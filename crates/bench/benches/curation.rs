@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the curation pipeline itself: how expensive is
+//! parameter curation compared to the benchmark it stabilizes?
+//!
+//! Includes the ablation DESIGN.md calls out: estimated-cost profiling (one
+//! optimizer probe per binding, the paper's formulation) vs measured-cost
+//! profiling (one execution per binding, the LDBC production variant).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parambench_core::{
+    cluster, curate, profile_domain, ClusterConfig, CostSource, CurationConfig, ParameterDomain,
+    ProfileConfig,
+};
+use parambench_datagen::{Bsbm, BsbmConfig};
+use parambench_sparql::Engine;
+use std::hint::black_box;
+
+fn curation_benches(c: &mut Criterion) {
+    let data = Bsbm::generate(BsbmConfig::with_scale(50_000));
+    let engine = Engine::new(&data.dataset);
+    let template = Bsbm::q4_feature_price_by_type();
+    let domain = ParameterDomain::single("type", data.type_iris());
+
+    c.bench_function("curation/profile_estimated", |b| {
+        b.iter(|| {
+            black_box(
+                profile_domain(
+                    &engine,
+                    &template,
+                    &domain,
+                    &ProfileConfig {
+                        cost_source: CostSource::EstimatedCout,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    c.bench_function("curation/profile_measured", |b| {
+        b.iter(|| {
+            black_box(
+                profile_domain(
+                    &engine,
+                    &template,
+                    &domain,
+                    &ProfileConfig {
+                        cost_source: CostSource::MeasuredCout,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    let profiles = profile_domain(&engine, &template, &domain, &ProfileConfig::default()).unwrap();
+    c.bench_function("curation/cluster_only", |b| {
+        b.iter(|| black_box(cluster(&profiles, &ClusterConfig::default()).unwrap()))
+    });
+
+    c.bench_function("curation/curate_end_to_end", |b| {
+        b.iter(|| {
+            black_box(curate(&engine, &template, &domain, &CurationConfig::default()).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = curation_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the engine substrate: index scans, exact
+//! counts, optimizer (prepare) latency — the cost of one curation probe —
+//! and full query execution at the two extremes of the E3 parameter space.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use parambench_core::ParameterDomain;
+use parambench_datagen::{Bsbm, BsbmConfig};
+use parambench_rdf::Term;
+use parambench_sparql::{Binding, Engine};
+use std::hint::black_box;
+
+fn engine_benches(c: &mut Criterion) {
+    let data = Bsbm::generate(BsbmConfig::with_scale(50_000));
+    let ds = &data.dataset;
+    let engine = Engine::new(ds);
+    let rdf_type = ds.lookup(&Term::iri(parambench_datagen::bsbm::schema::RDF_TYPE)).unwrap();
+    let root = ds
+        .lookup(&Term::iri(parambench_datagen::bsbm::schema::product_type(0)))
+        .unwrap();
+
+    c.bench_function("store/count_pattern", |b| {
+        b.iter(|| black_box(ds.count([None, Some(rdf_type), Some(root)])))
+    });
+
+    c.bench_function("store/scan_pattern_full", |b| {
+        b.iter(|| black_box(ds.scan([None, Some(rdf_type), Some(root)]).count()))
+    });
+
+    let q4 = Bsbm::q4_feature_price_by_type();
+    let root_binding =
+        Binding::new().with("type", Term::iri(parambench_datagen::bsbm::schema::product_type(0)));
+    let leaf = *data.types.leaves().last().unwrap();
+    let leaf_binding = Binding::new()
+        .with("type", Term::iri(parambench_datagen::bsbm::schema::product_type(leaf)));
+
+    c.bench_function("optimizer/prepare_q4", |b| {
+        b.iter(|| black_box(engine.prepare_template(&q4, &root_binding).unwrap()))
+    });
+
+    let prepared_root = engine.prepare_template(&q4, &root_binding).unwrap();
+    let prepared_leaf = engine.prepare_template(&q4, &leaf_binding).unwrap();
+    c.bench_function("exec/q4_generic_type", |b| {
+        b.iter(|| black_box(engine.execute(&prepared_root).unwrap().cout))
+    });
+    c.bench_function("exec/q4_leaf_type", |b| {
+        b.iter(|| black_box(engine.execute(&prepared_leaf).unwrap().cout))
+    });
+
+    // One uniform workload iteration (100 template instantiations) — the
+    // unit of the paper's E1/E2 measurements.
+    let domain = ParameterDomain::single("type", data.type_iris());
+    c.bench_function("workload/q4_100_uniform_bindings", |b| {
+        b.iter_batched(
+            || domain.sample_uniform(100, 5),
+            |bindings| {
+                for binding in &bindings {
+                    let p = engine.prepare_template(&q4, binding).unwrap();
+                    black_box(engine.execute(&p).unwrap().cout);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine_benches
+}
+criterion_main!(benches);

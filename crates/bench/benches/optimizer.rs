@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the optimizer itself: how the exact subset DP
+//! scales with pattern count (the curation pipeline runs it once per
+//! candidate binding, so its latency bounds profiling throughput), and the
+//! statistics kernels used by validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parambench_rdf::store::{Dataset, StoreBuilder};
+use parambench_rdf::term::Term;
+use parambench_sparql::cardinality::Estimator;
+use parambench_sparql::optimizer::{greedy, optimize};
+use parambench_sparql::plan::{PlannedPattern, Slot};
+use parambench_stats::{bootstrap_mean_ci, ks_two_sample, mann_whitney_u, Summary};
+use std::hint::black_box;
+
+/// A chain-shaped dataset wide enough for up to 12 join patterns.
+fn chain_dataset() -> Dataset {
+    let mut b = StoreBuilder::new();
+    for hop in 0..12 {
+        for i in 0..400 {
+            b.insert(
+                Term::iri(format!("n{hop}/{i}")),
+                Term::iri(format!("edge{hop}")),
+                Term::iri(format!("n{}/{}", hop + 1, (i * 7 + hop) % 400)),
+            );
+        }
+    }
+    b.freeze()
+}
+
+fn chain_patterns(ds: &Dataset, n: usize) -> Vec<PlannedPattern> {
+    (0..n)
+        .map(|hop| {
+            let pred = ds.lookup(&Term::iri(format!("edge{hop}"))).unwrap();
+            PlannedPattern {
+                idx: hop,
+                slots: [Slot::Var(hop), Slot::Bound(pred), Slot::Var(hop + 1)],
+            }
+        })
+        .collect()
+}
+
+fn optimizer_benches(c: &mut Criterion) {
+    let ds = chain_dataset();
+    let mut group = c.benchmark_group("optimizer/dp_chain");
+    for n in [2usize, 4, 6, 8, 10] {
+        let patterns = chain_patterns(&ds, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &patterns, |b, pats| {
+            // Fresh estimator per iteration batch so the distinct-count
+            // cache doesn't turn the benchmark into a hash-map lookup.
+            let est = Estimator::new(&ds);
+            b.iter(|| black_box(optimize(pats, &est).unwrap().est_cout()))
+        });
+    }
+    group.finish();
+
+    let patterns = chain_patterns(&ds, 10);
+    c.bench_function("optimizer/greedy_chain_10", |b| {
+        let est = Estimator::new(&ds);
+        b.iter(|| black_box(greedy(&patterns, &est).est_cout()))
+    });
+
+    // Statistics kernels at validation-sized inputs.
+    let a: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
+    let bb: Vec<f64> = (0..100).map(|i| ((i * 53) % 97) as f64 + 3.0).collect();
+    c.bench_function("stats/summary_100", |b| {
+        b.iter(|| black_box(Summary::new(&a).unwrap().coeff_of_variation()))
+    });
+    c.bench_function("stats/ks_two_sample_100", |b| {
+        b.iter(|| black_box(ks_two_sample(&a, &bb).unwrap().p_value))
+    });
+    c.bench_function("stats/mann_whitney_100", |b| {
+        b.iter(|| black_box(mann_whitney_u(&a, &bb).unwrap().p_value))
+    });
+    c.bench_function("stats/bootstrap_mean_ci_100x300", |b| {
+        b.iter(|| black_box(bootstrap_mean_ci(&a, 300, 0.95, 7).unwrap().width()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = optimizer_benches
+}
+criterion_main!(benches);

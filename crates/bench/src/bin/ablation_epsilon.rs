@@ -1,0 +1,88 @@
+//! Ablation: the cost-band width ε (condition (b)'s tolerance).
+//!
+//! The paper requires "the cost Cout of the optimal plan is the same" for
+//! every member of a class; any implementation must relax exact equality to
+//! a band. This sweep quantifies the trade-off the benchmark designer
+//! faces:
+//!
+//! * small ε → tight classes (low within-class variance, strong P1) but
+//!   many classes and many dropped (undersized) bindings;
+//! * large ε → few classes, full coverage, but the within-class variance
+//!   creeps back toward the uniform baseline the paper criticizes.
+
+use parambench_bench::{bsbm, header, snb};
+use parambench_core::{
+    curate, run_workload, ClusterConfig, CostSource, CurationConfig, Metric, ParameterDomain,
+    ProfileConfig, RunConfig,
+};
+use parambench_datagen::{Bsbm, Snb};
+use parambench_stats::Summary;
+use parambench_sparql::{Engine, QueryTemplate};
+
+const EPSILONS: &[f64] = &[0.1, 0.25, 0.5, 1.0, 2.0, 4.0];
+
+fn sweep(
+    engine: &Engine<'_>,
+    template: &QueryTemplate,
+    domain: &ParameterDomain,
+    cost_source: CostSource,
+) {
+    println!(
+        "{:>6} | {:>8} | {:>9} | {:>10} | {:>14} | {:>12}",
+        "eps", "classes", "dropped", "coverage", "mean class CV", "max class CV"
+    );
+    for &eps in EPSILONS {
+        let cfg = CurationConfig {
+            profile: ProfileConfig { max_bindings: 800, cost_source, ..Default::default() },
+            cluster: ClusterConfig { epsilon: eps, min_class_size: 5 },
+        };
+        let workload = match curate(engine, template, domain, &cfg) {
+            Ok(w) => w,
+            Err(e) => {
+                println!("{eps:>6} | curation failed: {e}");
+                continue;
+            }
+        };
+        // Within-class dispersion of the measured metric, averaged over the
+        // three biggest classes (enough to see the trend, cheap to run).
+        let mut cvs = Vec::new();
+        for class in workload.classes().iter().take(3) {
+            let bindings = workload.sample_class(class.id, 30, 7).expect("sample");
+            let ms =
+                run_workload(engine, template, &bindings, &RunConfig::default()).expect("run");
+            if let Some(s) = Summary::new(&Metric::Cout.series(&ms)) {
+                cvs.push(s.coeff_of_variation());
+            }
+        }
+        let mean_cv = cvs.iter().sum::<f64>() / cvs.len().max(1) as f64;
+        let max_cv = cvs.iter().cloned().fold(0.0, f64::max);
+        let retained = workload.clustering().retained();
+        let dropped = workload.clustering().dropped.len();
+        println!(
+            "{eps:>6.2} | {:>8} | {:>9} | {:>9.0}% | {:>14.3} | {:>12.3}",
+            workload.classes().len(),
+            dropped,
+            100.0 * retained as f64 / (retained + dropped) as f64,
+            mean_cv,
+            max_cv
+        );
+    }
+}
+
+fn main() {
+    let catalog = bsbm();
+    {
+        let engine = Engine::new(&catalog.dataset);
+        header("epsilon sweep: BSBM-BI Q4 (%type), estimated-cost profiling");
+        let domain = ParameterDomain::single("type", catalog.type_iris());
+        sweep(&engine, &Bsbm::q4_feature_price_by_type(), &domain, CostSource::EstimatedCout);
+    }
+    let social = snb();
+    {
+        let engine = Engine::new(&social.dataset);
+        header("epsilon sweep: LDBC Q2 (%person), measured-cost profiling");
+        let domain = ParameterDomain::single("person", social.person_iris());
+        sweep(&engine, &Snb::q2_friend_posts(), &domain, CostSource::MeasuredCout);
+    }
+    println!("\nreading: CV should fall as eps shrinks; coverage falls with it.");
+}

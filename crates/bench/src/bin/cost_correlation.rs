@@ -1,0 +1,101 @@
+//! C1 — §III's justification of `Cout`: "the cost function Cout of the
+//! query strongly correlates with its running time (ca. 85% Pearson
+//! correlation coefficient)".
+//!
+//! Reproduced over all four workload templates: per template and pooled,
+//! Pearson and Spearman between measured `Cout` and wall-clock runtime.
+
+use parambench_bench::{bsbm, header, row, snb};
+use parambench_core::{run_workload, ParameterDomain, RunConfig};
+use parambench_datagen::{Bsbm, Snb};
+use parambench_sparql::{Engine, QueryTemplate};
+use parambench_stats::{pearson, spearman};
+
+fn measure(
+    engine: &Engine<'_>,
+    template: &QueryTemplate,
+    domain: &ParameterDomain,
+    n: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let bindings = domain.sample_uniform(n, seed);
+    let ms =
+        run_workload(engine, template, &bindings, &RunConfig { warmup: 1 }).expect("workload");
+    let cout: Vec<f64> = ms.iter().map(|m| m.cout as f64).collect();
+    let wall: Vec<f64> = ms.iter().map(|m| m.millis).collect();
+    (cout, wall)
+}
+
+fn report(name: &str, cout: &[f64], wall: &[f64]) {
+    let p = pearson(cout, wall);
+    let s = spearman(cout, wall);
+    println!(
+        "{name:<22} n = {:>4}   Pearson = {}   Spearman = {}",
+        cout.len(),
+        p.map_or("   n/a".to_string(), |v| format!("{v:+.3}")),
+        s.map_or("   n/a".to_string(), |v| format!("{v:+.3}")),
+    );
+}
+
+fn main() {
+    let catalog = bsbm();
+    let social = snb();
+    println!(
+        "datasets: BSBM {} triples, SNB {} triples",
+        catalog.dataset.len(),
+        social.dataset.len()
+    );
+
+    header("C1: Cout vs wall-clock runtime");
+    row("paper: Pearson(Cout, runtime)", "≈ 0.85");
+    println!();
+
+    let mut pooled_cout = Vec::new();
+    let mut pooled_wall = Vec::new();
+
+    {
+        let engine = Engine::new(&catalog.dataset);
+        let q4 = Bsbm::q4_feature_price_by_type();
+        let d = ParameterDomain::single("type", catalog.type_iris());
+        let (c, w) = measure(&engine, &q4, &d, 120, 21);
+        report("BSBM-BI Q4", &c, &w);
+        pooled_cout.extend(&c);
+        pooled_wall.extend(&w);
+
+        let q2 = Bsbm::q2_similar_products();
+        let d = ParameterDomain::single("product", catalog.product_iris());
+        let (c, w) = measure(&engine, &q2, &d, 120, 22);
+        report("BSBM-BI Q2", &c, &w);
+        pooled_cout.extend(&c);
+        pooled_wall.extend(&w);
+    }
+    {
+        let engine = Engine::new(&social.dataset);
+        let q2 = Snb::q2_friend_posts();
+        let d = ParameterDomain::single("person", social.person_iris());
+        let (c, w) = measure(&engine, &q2, &d, 120, 23);
+        report("LDBC Q2", &c, &w);
+        pooled_cout.extend(&c);
+        pooled_wall.extend(&w);
+
+        let q3 = Snb::q3_two_countries();
+        let persons: Vec<_> = social.person_iris().into_iter().take(30).collect();
+        let countries = social.country_iris();
+        let d = ParameterDomain::new()
+            .with("person", persons)
+            .with("countryX", countries.clone())
+            .with("countryY", countries);
+        let (c, w) = measure(&engine, &q3, &d, 120, 24);
+        report("LDBC Q3", &c, &w);
+        pooled_cout.extend(&c);
+        pooled_wall.extend(&w);
+    }
+
+    println!();
+    report("pooled (4 templates)", &pooled_cout, &pooled_wall);
+    let pooled = pearson(&pooled_cout, &pooled_wall).unwrap_or(0.0);
+    row(
+        "shape check (pooled Pearson >= 0.7 expected)",
+        if pooled >= 0.7 { "REPRODUCED" } else { "NOT reproduced" },
+    );
+}

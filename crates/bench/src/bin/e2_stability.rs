@@ -1,0 +1,120 @@
+//! E2 — "Sampling is not stable".
+//!
+//! Paper table (LDBC Q2, 4 independent groups of 100 bindings):
+//!
+//! ```text
+//! Time     Group 1   Group 2   Group 3   Group 4
+//! q10      0.14 s    0.07 s    0.08 s    0.09 s
+//! Median   1.33 s    0.75 s    0.78 s    1.04 s
+//! q90      4.18 s    3.41 s    3.63 s    3.07 s
+//! Average  1.80 s    1.33 s    1.53 s    1.30 s
+//! ```
+//!
+//! plus: average deviates up to 40%, percentiles/median up to 100%; for
+//! BSBM-BI Q2, mean differs up to 15% and median up to 25% between groups.
+
+use parambench_bench::{bsbm, fmt_ms, header, row, snb};
+use parambench_core::{run_workload, Metric, ParameterDomain, RunConfig};
+use parambench_datagen::{Bsbm, Snb};
+use parambench_stats::{bootstrap_mean_ci, relative_spread, Summary};
+use parambench_sparql::Engine;
+
+const GROUPS: u64 = 4;
+const GROUP_SIZE: usize = 100;
+
+fn run_groups(
+    engine: &Engine<'_>,
+    template: &parambench_sparql::QueryTemplate,
+    domain: &ParameterDomain,
+    seed0: u64,
+) -> Vec<(Summary, Summary)> {
+    let run_cfg = RunConfig { warmup: 0 };
+    (0..GROUPS)
+        .map(|g| {
+            let bindings = domain.sample_uniform(GROUP_SIZE, seed0 + g);
+            let ms = run_workload(engine, template, &bindings, &run_cfg).expect("workload");
+            (
+                Summary::new(&Metric::WallMillis.series(&ms)).expect("summary"),
+                Summary::new(&Metric::Cout.series(&ms)).expect("summary"),
+            )
+        })
+        .collect()
+}
+
+fn print_table(groups: &[(Summary, Summary)]) {
+    let cells = |f: &dyn Fn(&Summary) -> f64| -> String {
+        groups.iter().map(|(w, _)| format!("{:>10}", fmt_ms(f(w)))).collect::<String>()
+    };
+    println!("time     {}", (1..=GROUPS).map(|g| format!("{:>10}", format!("group {g}"))).collect::<String>());
+    println!("q10      {}", cells(&|s| s.quantile(0.1)));
+    println!("median   {}", cells(&|s| s.median()));
+    println!("q90      {}", cells(&|s| s.quantile(0.9)));
+    println!("average  {}", cells(&|s| s.mean()));
+    // Bootstrap 95% CIs of the group means: non-overlap between groups is
+    // the statistically honest form of the paper's "deviation up to 40%".
+    let cis: Vec<String> = groups
+        .iter()
+        .enumerate()
+        .map(|(g, (w, _))| {
+            match bootstrap_mean_ci(w.sorted(), 300, 0.95, 77 + g as u64) {
+                Some(ci) => format!("[{}, {}]", fmt_ms(ci.lo), fmt_ms(ci.hi)),
+                None => "n/a".to_string(),
+            }
+        })
+        .collect();
+    println!("mean 95% CI  {}", cis.join("  "));
+}
+
+fn spreads(groups: &[(Summary, Summary)]) -> (f64, f64, f64) {
+    let wall_means: Vec<f64> = groups.iter().map(|(w, _)| w.mean()).collect();
+    let wall_medians: Vec<f64> = groups.iter().map(|(w, _)| w.median()).collect();
+    let cout_means: Vec<f64> = groups.iter().map(|(_, c)| c.mean()).collect();
+    (
+        relative_spread(&wall_means),
+        relative_spread(&wall_medians),
+        relative_spread(&cout_means),
+    )
+}
+
+fn main() {
+    // --- E2a: LDBC Q2. ---
+    let social = snb();
+    println!(
+        "SNB-like dataset: {} triples, {} persons",
+        social.dataset.len(),
+        social.config.persons
+    );
+    let engine = Engine::new(&social.dataset);
+    header("E2a: LDBC Q2, 4 independent groups x 100 uniform %person bindings");
+    let domain = ParameterDomain::single("person", social.person_iris());
+    let groups = run_groups(&engine, &Snb::q2_friend_posts(), &domain, 100);
+    print_table(&groups);
+    let (avg_dev, med_dev, cout_dev) = spreads(&groups);
+    println!();
+    row("paper: average deviation", "up to 40%");
+    row("measured: average deviation (wall)", format!("{:.0}%", avg_dev * 100.0));
+    row("measured: median deviation (wall)", format!("{:.0}%", med_dev * 100.0));
+    row("measured: average deviation (Cout)", format!("{:.0}%", cout_dev * 100.0));
+    row(
+        "shape check (avg dev >= 10% expected)",
+        if avg_dev.max(cout_dev) >= 0.10 { "REPRODUCED" } else { "NOT reproduced" },
+    );
+
+    // --- E2b: BSBM-BI Q2. ---
+    let catalog = bsbm();
+    let engine = Engine::new(&catalog.dataset);
+    header("E2b: BSBM-BI Q2, 4 independent groups x 100 uniform %product bindings");
+    let domain = ParameterDomain::single("product", catalog.product_iris());
+    let groups = run_groups(&engine, &Bsbm::q2_similar_products(), &domain, 200);
+    print_table(&groups);
+    let (avg_dev, med_dev, cout_dev) = spreads(&groups);
+    println!();
+    row("paper: mean diff / median diff", "up to 15% / up to 25%");
+    row("measured: mean diff (wall)", format!("{:.0}%", avg_dev * 100.0));
+    row("measured: median diff (wall)", format!("{:.0}%", med_dev * 100.0));
+    row("measured: mean diff (Cout)", format!("{:.0}%", cout_dev * 100.0));
+    row(
+        "shape check (mean diff >= 5% expected)",
+        if avg_dev.max(cout_dev) >= 0.05 { "REPRODUCED" } else { "NOT reproduced" },
+    );
+}

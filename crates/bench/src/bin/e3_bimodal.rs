@@ -1,0 +1,71 @@
+//! E3 — "Average runtime is not representative".
+//!
+//! Paper table (BSBM-BI Q4 over the ProductType domain):
+//!
+//! ```text
+//! Min     Median   Mean    q95     Max
+//! 59 ms   354 ms   3.6 s   17.6 s  259 s
+//! ```
+//!
+//! "the query finishes in either 300–400 ms, or in more than 17 seconds,
+//! with almost no query in between [...] the arithmetic mean is over 10
+//! times larger than the median."
+
+use parambench_bench::{bsbm, fmt_ms, header, row};
+use parambench_core::{run_workload, Metric, ParameterDomain, RunConfig};
+use parambench_datagen::Bsbm;
+use parambench_stats::{Histogram, Summary};
+use parambench_sparql::Engine;
+
+fn main() {
+    let data = bsbm();
+    println!(
+        "BSBM-like dataset: {} triples, {} product types (depth {})",
+        data.dataset.len(),
+        data.types.len(),
+        data.config.type_depth
+    );
+    let engine = Engine::new(&data.dataset);
+
+    header("E3: BSBM-BI Q4 over the full ProductType domain");
+    let q4 = Bsbm::q4_feature_price_by_type();
+    let domain = ParameterDomain::single("type", data.type_iris());
+    // The whole domain, once per type (the paper's per-parameter view).
+    let bindings = domain.enumerate(usize::MAX, 0);
+    let ms = run_workload(&engine, &q4, &bindings, &RunConfig { warmup: 1 }).expect("workload");
+
+    let wall = Summary::new(&Metric::WallMillis.series(&ms)).expect("summary");
+    println!("\npaper:    Min 59 ms | Median 354 ms | Mean 3.6 s | q95 17.6 s | Max 259 s");
+    println!(
+        "measured: Min {} | Median {} | Mean {} | q95 {} | Max {}",
+        fmt_ms(wall.min()),
+        fmt_ms(wall.median()),
+        fmt_ms(wall.mean()),
+        fmt_ms(wall.quantile(0.95)),
+        fmt_ms(wall.max())
+    );
+    println!();
+    row("paper: mean / median ratio", "> 10x");
+    row("measured: mean / median ratio (wall)", format!("{:.1}x", wall.mean() / wall.median()));
+    let cout = Summary::new(&Metric::Cout.series(&ms)).expect("summary");
+    row("measured: mean / median ratio (Cout)", format!("{:.1}x", cout.mean() / cout.median()));
+    row("measured: bimodality coefficient (Cout)", format!(
+        "{:.3} (uniform threshold 0.555)",
+        cout.bimodality_coefficient()
+    ));
+
+    // Log-scale histogram: the two clusters should be visible as separated
+    // modes — "almost no query in between those two groups".
+    header("log10(Cout) histogram over the type domain");
+    let hist = Histogram::log10(&Metric::Cout.series(&ms), 12).expect("histogram");
+    print!("{}", hist.render(40));
+    row("modes detected", hist.mode_count());
+    row(
+        "shape check (mean/median >= 3x, multi-modal)",
+        if cout.mean() / cout.median() >= 3.0 && hist.mode_count() >= 2 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        },
+    );
+}

@@ -1,0 +1,76 @@
+//! # parambench-bench
+//!
+//! Experiment harness regenerating **every table and numeric claim** of
+//! "How to generate query parameters in RDF benchmarks?"
+//! (Gubichev, Angles, Boncz — ICDE 2014).
+//!
+//! One binary per experiment (see DESIGN.md's experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `e1_variance` | E1: runtime variance of BSBM-BI Q4; KS distance of Q2 vs normal |
+//! | `e2_stability` | E2: 4×100-binding group table for LDBC Q2 + BSBM Q2 deltas |
+//! | `e3_bimodal` | E3: Min/Median/Mean/q95/Max table for BSBM-BI Q4, bimodality |
+//! | `e4_plans` | E4: optimal-plan flips of LDBC Q3 across country pairs |
+//! | `cost_correlation` | §III: Pearson(Cout, runtime) ≈ 0.85 |
+//! | `curation_validation` | §III solution: P1–P3 before/after curation |
+//!
+//! Run each with `cargo run --release -p parambench-bench --bin <name>`.
+//! Dataset scale defaults to ~150k triples per benchmark and can be raised
+//! with the `PARAMBENCH_TRIPLES` environment variable.
+
+use parambench_datagen::{Bsbm, BsbmConfig, Snb, SnbConfig};
+
+/// Scale (approximate triples per generated dataset) honoring
+/// `PARAMBENCH_TRIPLES`.
+pub fn scale() -> usize {
+    std::env::var("PARAMBENCH_TRIPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000)
+}
+
+/// The standard BSBM instance used by all experiments.
+pub fn bsbm() -> Bsbm {
+    Bsbm::generate(BsbmConfig::with_scale(scale()))
+}
+
+/// The standard SNB instance used by all experiments.
+pub fn snb() -> Snb {
+    Snb::generate(SnbConfig::with_scale(scale()))
+}
+
+/// Formats milliseconds like the paper's tables (ms below 1 s, seconds above).
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 1_000.0 {
+        format!("{:.2} s", ms / 1_000.0)
+    } else {
+        format!("{ms:.1} ms")
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a key/value result row, aligned.
+pub fn row(key: &str, value: impl std::fmt::Display) {
+    println!("{key:<44} {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ms_switches_units() {
+        assert_eq!(fmt_ms(3.15), "3.1 ms");
+        assert_eq!(fmt_ms(2_500.0), "2.50 s");
+    }
+
+    #[test]
+    fn scale_is_positive() {
+        assert!(scale() >= 1_000);
+    }
+}

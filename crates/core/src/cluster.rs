@@ -1,0 +1,323 @@
+//! Clustering the parameter domain into classes — the paper's §III problem.
+//!
+//! > PARAMETERS FOR RDF BENCHMARKS: Split P into subsets S1, …, Sk such
+//! > that for every Si holds:
+//! >   (a) ∀p ∈ Si the query Q has the same optimal query plan w.r.t. Cout
+//! >   (b) ∀p ∈ Si the cost Cout of the optimal plan for Q is the same
+//! >   (c) the query plan for Sk, k ≠ i, differs from the plan for Si
+//!
+//! The heuristic realization (the paper leaves it to future work; this is
+//! the obvious one, later standardized by LDBC's parameter curation):
+//!
+//! 1. group profiles by **plan signature** — conditions (a) and (c) hold
+//!    exactly by construction;
+//! 2. within each signature group, split the (sorted) estimated costs into
+//!    **geometric bands**: a band starting at cost `c` covers costs up to
+//!    `c·(1+ε)` — condition (b) relaxed from "equal" to "within ε", which
+//!    is the only practical reading (costs are reals);
+//! 3. optionally drop classes smaller than `min_class_size` (the paper:
+//!    "the benchmark authors can decide to tune the workload generator such
+//!    that it does not generate parameters from the certain class").
+//!
+//! Classes are ordered by descending size, giving the "Q4a, Q4b, …"
+//! sub-queries of the paper's exposition.
+
+use parambench_sparql::plan::PlanSignature;
+
+use crate::error::CurationError;
+use crate::profile::BindingProfile;
+
+/// Clustering configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Relative width of a cost band: costs in `[c, c·(1+ε)]` are "the
+    /// same" for condition (b). `ε = 1.0` means within a factor of 2.
+    pub epsilon: f64,
+    /// Classes with fewer members are reported as dropped, not returned.
+    pub min_class_size: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { epsilon: 1.0, min_class_size: 3 }
+    }
+}
+
+/// One parameter class `Si`.
+#[derive(Debug, Clone)]
+pub struct ParameterClass {
+    /// Stable class index (0 = largest class).
+    pub id: usize,
+    /// The optimal plan shared by every member (condition a).
+    pub signature: PlanSignature,
+    /// Smallest estimated `Cout` among members.
+    pub cost_lo: f64,
+    /// Largest estimated `Cout` among members (≤ `cost_lo·(1+ε)`).
+    pub cost_hi: f64,
+    /// Member bindings with their profiles.
+    pub members: Vec<BindingProfile>,
+}
+
+impl ParameterClass {
+    /// Number of member bindings.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the class has no members (never returned by clustering).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Geometric mean of member costs — the class's nominal cost.
+    pub fn nominal_cost(&self) -> f64 {
+        let logs: f64 = self.members.iter().map(|m| (m.cost + 1.0).ln()).sum();
+        (logs / self.members.len() as f64).exp() - 1.0
+    }
+}
+
+/// The result of clustering: retained classes plus drop diagnostics.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Retained classes, largest first.
+    pub classes: Vec<ParameterClass>,
+    /// Profiles dropped because their class was below `min_class_size`.
+    pub dropped: Vec<BindingProfile>,
+    /// Number of distinct plan signatures observed (before cost banding).
+    pub distinct_plans: usize,
+}
+
+impl Clustering {
+    /// Total members across retained classes.
+    pub fn retained(&self) -> usize {
+        self.classes.iter().map(ParameterClass::len).sum()
+    }
+
+    /// One-line-per-class description for reports.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for c in &self.classes {
+            out.push_str(&format!(
+                "class {:>2}: {:>6} members, cout [{:>12.1}, {:>12.1}], plan {}\n",
+                c.id,
+                c.len(),
+                c.cost_lo,
+                c.cost_hi,
+                c.signature
+            ));
+        }
+        if !self.dropped.is_empty() {
+            out.push_str(&format!("dropped: {} profiles in undersized classes\n", self.dropped.len()));
+        }
+        out
+    }
+}
+
+/// Clusters profiles into parameter classes (see module docs).
+pub fn cluster(
+    profiles: &[BindingProfile],
+    config: &ClusterConfig,
+) -> Result<Clustering, CurationError> {
+    if profiles.is_empty() {
+        return Err(CurationError::EmptyDomain("no profiles to cluster".into()));
+    }
+    assert!(config.epsilon >= 0.0, "epsilon must be non-negative");
+
+    // 1. Group by signature.
+    let mut by_sig: Vec<(PlanSignature, Vec<BindingProfile>)> = Vec::new();
+    for p in profiles {
+        match by_sig.iter_mut().find(|(s, _)| *s == p.signature) {
+            Some((_, v)) => v.push(p.clone()),
+            None => by_sig.push((p.signature.clone(), vec![p.clone()])),
+        }
+    }
+    let distinct_plans = by_sig.len();
+
+    // 2. Cost-band each group.
+    let mut raw_classes: Vec<(PlanSignature, Vec<BindingProfile>)> = Vec::new();
+    for (sig, mut group) in by_sig {
+        group.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+        let mut band: Vec<BindingProfile> = Vec::new();
+        let mut band_start = 0.0;
+        for p in group {
+            if band.is_empty() {
+                band_start = p.cost;
+                band.push(p);
+            } else if p.cost <= band_limit(band_start, config.epsilon) {
+                band.push(p);
+            } else {
+                raw_classes.push((sig.clone(), std::mem::take(&mut band)));
+                band_start = p.cost;
+                band.push(p);
+            }
+        }
+        if !band.is_empty() {
+            raw_classes.push((sig.clone(), band));
+        }
+    }
+
+    // 3. Drop undersized classes; order by size.
+    let mut dropped = Vec::new();
+    let mut classes: Vec<ParameterClass> = Vec::new();
+    for (sig, members) in raw_classes {
+        if members.len() < config.min_class_size {
+            dropped.extend(members);
+            continue;
+        }
+        let cost_lo = members.first().expect("non-empty").cost;
+        let cost_hi = members.last().expect("non-empty").cost;
+        classes.push(ParameterClass { id: 0, signature: sig, cost_lo, cost_hi, members });
+    }
+    classes.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
+    for (i, c) in classes.iter_mut().enumerate() {
+        c.id = i;
+    }
+    if classes.is_empty() {
+        return Err(CurationError::NoClasses);
+    }
+    Ok(Clustering { classes, dropped, distinct_plans })
+}
+
+/// Upper cost edge of a band starting at `start`: multiplicative width for
+/// real costs, plus a small absolute slack so near-zero costs group.
+fn band_limit(start: f64, epsilon: f64) -> f64 {
+    start * (1.0 + epsilon) + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parambench_sparql::template::Binding;
+    use parambench_rdf::term::Term;
+
+    fn profile(sig: &str, cost: f64, tag: usize) -> BindingProfile {
+        BindingProfile {
+            binding: Binding::new().with("p", Term::iri(format!("v/{tag}"))),
+            signature: PlanSignature(sig.to_string()),
+            cost,
+            est_card: cost / 2.0,
+        }
+    }
+
+    #[test]
+    fn signature_groups_are_never_mixed() {
+        let profiles = vec![
+            profile("HJ(S0,S1)", 10.0, 0),
+            profile("HJ(S1,S0)", 10.0, 1),
+            profile("HJ(S0,S1)", 11.0, 2),
+            profile("HJ(S1,S0)", 12.0, 3),
+            profile("HJ(S0,S1)", 10.5, 4),
+            profile("HJ(S1,S0)", 11.5, 5),
+        ];
+        let c = cluster(&profiles, &ClusterConfig { epsilon: 1.0, min_class_size: 1 }).unwrap();
+        assert_eq!(c.distinct_plans, 2);
+        assert_eq!(c.classes.len(), 2);
+        for class in &c.classes {
+            for m in &class.members {
+                assert_eq!(m.signature, class.signature, "condition (a) violated");
+            }
+        }
+        // Condition (c): different classes have different signature or band.
+        assert_ne!(c.classes[0].signature, c.classes[1].signature);
+    }
+
+    #[test]
+    fn cost_bands_split_same_signature() {
+        // Same plan but costs 10 vs 10_000 — the paper's Q4a/Q4b situation.
+        let mut profiles = Vec::new();
+        for i in 0..10 {
+            profiles.push(profile("HJ(S0,S1)", 10.0 + i as f64 * 0.5, i));
+        }
+        for i in 0..10 {
+            profiles.push(profile("HJ(S0,S1)", 10_000.0 + i as f64 * 100.0, 100 + i));
+        }
+        let c = cluster(&profiles, &ClusterConfig { epsilon: 1.0, min_class_size: 1 }).unwrap();
+        assert_eq!(c.classes.len(), 2, "{}", c.describe());
+        for class in &c.classes {
+            assert!(
+                class.cost_hi <= band_limit(class.cost_lo, 1.0) + 1e-9,
+                "condition (b) band violated: [{}, {}]",
+                class.cost_lo,
+                class.cost_hi
+            );
+        }
+    }
+
+    #[test]
+    fn clustering_is_a_partition() {
+        let profiles: Vec<BindingProfile> = (0..100)
+            .map(|i| profile(if i % 3 == 0 { "A" } else { "B" }, (i % 7) as f64 * 50.0, i))
+            .collect();
+        let c = cluster(&profiles, &ClusterConfig { epsilon: 0.5, min_class_size: 1 }).unwrap();
+        assert_eq!(c.retained() + c.dropped.len(), 100);
+        // No binding appears in two classes.
+        let mut seen = std::collections::BTreeSet::new();
+        for class in &c.classes {
+            for m in &class.members {
+                assert!(seen.insert(format!("{}", m.binding)), "duplicate member");
+            }
+        }
+    }
+
+    #[test]
+    fn min_class_size_drops_and_reports() {
+        let profiles = vec![
+            profile("A", 1.0, 0),
+            profile("A", 1.1, 1),
+            profile("A", 1.2, 2),
+            profile("B", 999.0, 3), // singleton class
+        ];
+        let c = cluster(&profiles, &ClusterConfig { epsilon: 1.0, min_class_size: 2 }).unwrap();
+        assert_eq!(c.classes.len(), 1);
+        assert_eq!(c.dropped.len(), 1);
+        assert_eq!(c.distinct_plans, 2);
+    }
+
+    #[test]
+    fn classes_sorted_by_size_with_stable_ids() {
+        let mut profiles = Vec::new();
+        for i in 0..5 {
+            profiles.push(profile("A", 1.0, i));
+        }
+        for i in 0..9 {
+            profiles.push(profile("B", 1.0, 10 + i));
+        }
+        let c = cluster(&profiles, &ClusterConfig { epsilon: 1.0, min_class_size: 1 }).unwrap();
+        assert_eq!(c.classes[0].id, 0);
+        assert_eq!(c.classes[0].len(), 9);
+        assert_eq!(c.classes[1].len(), 5);
+    }
+
+    #[test]
+    fn zero_cost_profiles_band_together() {
+        let profiles: Vec<BindingProfile> =
+            (0..5).map(|i| profile("A", 0.0, i)).collect();
+        let c = cluster(&profiles, &ClusterConfig::default()).unwrap();
+        assert_eq!(c.classes.len(), 1);
+    }
+
+    #[test]
+    fn empty_profiles_is_error() {
+        assert!(matches!(
+            cluster(&[], &ClusterConfig::default()),
+            Err(CurationError::EmptyDomain(_))
+        ));
+    }
+
+    #[test]
+    fn all_dropped_is_no_classes() {
+        let profiles = vec![profile("A", 1.0, 0)];
+        let err =
+            cluster(&profiles, &ClusterConfig { epsilon: 1.0, min_class_size: 5 }).unwrap_err();
+        assert!(matches!(err, CurationError::NoClasses));
+    }
+
+    #[test]
+    fn nominal_cost_is_between_bounds() {
+        let profiles = vec![profile("A", 10.0, 0), profile("A", 18.0, 1), profile("A", 14.0, 2)];
+        let c = cluster(&profiles, &ClusterConfig { epsilon: 1.0, min_class_size: 1 }).unwrap();
+        let class = &c.classes[0];
+        let nom = class.nominal_cost();
+        assert!(nom >= class.cost_lo - 1e-9 && nom <= class.cost_hi + 1e-9, "{nom}");
+    }
+}

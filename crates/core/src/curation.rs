@@ -1,0 +1,200 @@
+//! End-to-end parameter curation and workload sampling.
+//!
+//! Ties the pipeline together: domain → profile → cluster →
+//! [`CuratedWorkload`], from which the benchmark driver draws either the
+//! paper's **baseline** (uniform over the whole domain — the strategy the
+//! paper shows to be broken) or the **curated** strategy (stratified within
+//! one parameter class, which restores P1–P3).
+
+use parambench_sparql::engine::Engine;
+use parambench_sparql::template::{Binding, QueryTemplate};
+
+use crate::cluster::{cluster, ClusterConfig, Clustering, ParameterClass};
+use crate::domain::ParameterDomain;
+use crate::error::CurationError;
+use crate::profile::{profile_domain, ProfileConfig};
+
+/// Configuration of the full curation pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CurationConfig {
+    /// Profiling bounds (domain sampling).
+    pub profile: ProfileConfig,
+    /// Clustering knobs (ε, minimum class size).
+    pub cluster: ClusterConfig,
+}
+
+/// A curated workload: the template plus its parameter classes.
+#[derive(Debug, Clone)]
+pub struct CuratedWorkload {
+    template: QueryTemplate,
+    clustering: Clustering,
+}
+
+impl CuratedWorkload {
+    /// The template this workload drives.
+    pub fn template(&self) -> &QueryTemplate {
+        &self.template
+    }
+
+    /// The parameter classes, largest first.
+    pub fn classes(&self) -> &[ParameterClass] {
+        &self.clustering.classes
+    }
+
+    /// Clustering diagnostics.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Draws `n` bindings from class `class_id` (shuffled; with replacement
+    /// only if the class is smaller than `n`). This is the paper's proposed
+    /// strategy: "the workload generator can produce separate parameter
+    /// bindings by sampling them from every parameter class independently".
+    pub fn sample_class(
+        &self,
+        class_id: usize,
+        n: usize,
+        seed: u64,
+    ) -> Result<Vec<Binding>, CurationError> {
+        let class = self
+            .clustering
+            .classes
+            .iter()
+            .find(|c| c.id == class_id)
+            .ok_or(CurationError::NoClasses)?;
+        let pool: Vec<Binding> = class.members.iter().map(|m| m.binding.clone()).collect();
+        Ok(ParameterDomain::shuffle_sample(&pool, n, seed))
+    }
+
+    /// Per-class report string.
+    pub fn describe(&self) -> String {
+        format!("template {}:\n{}", self.template.name(), self.clustering.describe())
+    }
+}
+
+/// Runs the full pipeline: profile the domain, cluster the profiles.
+pub fn curate(
+    engine: &Engine<'_>,
+    template: &QueryTemplate,
+    domain: &ParameterDomain,
+    config: &CurationConfig,
+) -> Result<CuratedWorkload, CurationError> {
+    let profiles = profile_domain(engine, template, domain, &config.profile)?;
+    let clustering = cluster(&profiles, &config.cluster)?;
+    Ok(CuratedWorkload { template: template.clone(), clustering })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parambench_rdf::store::StoreBuilder;
+    use parambench_rdf::term::Term;
+
+    /// Types with wildly different extents: type/0 has 900 products,
+    /// type/1 … type/9 have 10 each — a miniature BSBM Q4 situation.
+    fn skewed() -> parambench_rdf::store::Dataset {
+        let mut b = StoreBuilder::new();
+        for i in 0..990 {
+            let p = Term::iri(format!("prod/{i}"));
+            let ty = if i < 900 { 0 } else { 1 + (i - 900) / 10 };
+            b.insert(p.clone(), Term::iri("type"), Term::iri(format!("class/{ty}")));
+            b.insert(p.clone(), Term::iri("feature"), Term::iri(format!("f/{}", i % 37)));
+            b.insert(p, Term::iri("price"), Term::integer((i % 100) as i64));
+        }
+        b.freeze()
+    }
+
+    fn template() -> QueryTemplate {
+        QueryTemplate::parse(
+            "mini-q4",
+            "SELECT ?f (AVG(?price) AS ?avg) WHERE { ?p <type> %type . ?p <feature> ?f . ?p <price> ?price } GROUP BY ?f",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn curation_splits_generic_from_specific_types() {
+        let ds = skewed();
+        let engine = Engine::new(&ds);
+        let domain =
+            ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
+        let cfg = CurationConfig {
+            cluster: ClusterConfig { epsilon: 1.0, min_class_size: 1 },
+            ..Default::default()
+        };
+        let workload = curate(&engine, &template(), &domain, &cfg).unwrap();
+        assert!(
+            workload.classes().len() >= 2,
+            "generic and specific types must separate:\n{}",
+            workload.describe()
+        );
+        // The biggest class holds the nine specific types; the generic type
+        // is in its own (smaller, costlier) class.
+        let big = &workload.classes()[0];
+        let costly = workload
+            .classes()
+            .iter()
+            .max_by(|a, b| a.cost_hi.partial_cmp(&b.cost_hi).unwrap())
+            .unwrap();
+        assert!(costly.cost_lo > big.cost_hi, "cost separation");
+        assert_eq!(costly.len(), 1, "exactly the generic type");
+    }
+
+    #[test]
+    fn class_sampling_stays_within_class() {
+        let ds = skewed();
+        let engine = Engine::new(&ds);
+        let domain = ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
+        let cfg = CurationConfig {
+            cluster: ClusterConfig { epsilon: 1.0, min_class_size: 1 },
+            ..Default::default()
+        };
+        let workload = curate(&engine, &template(), &domain, &cfg).unwrap();
+        let class = &workload.classes()[0];
+        let members: std::collections::BTreeSet<String> =
+            class.members.iter().map(|m| format!("{}", m.binding)).collect();
+        let sample = workload.sample_class(class.id, 20, 7).unwrap();
+        assert_eq!(sample.len(), 20);
+        for b in &sample {
+            assert!(members.contains(&format!("{b}")), "sample escaped its class");
+        }
+    }
+
+    #[test]
+    fn sampling_unknown_class_is_error() {
+        let ds = skewed();
+        let engine = Engine::new(&ds);
+        let domain = ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
+        let workload = curate(
+            &engine,
+            &template(),
+            &domain,
+            &CurationConfig {
+                cluster: ClusterConfig { epsilon: 1.0, min_class_size: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(workload.sample_class(999, 5, 0).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let ds = skewed();
+        let engine = Engine::new(&ds);
+        let domain = ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
+        let workload = curate(
+            &engine,
+            &template(),
+            &domain,
+            &CurationConfig {
+                cluster: ClusterConfig { epsilon: 1.0, min_class_size: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = workload.sample_class(0, 5, 3).unwrap();
+        let b = workload.sample_class(0, 5, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,260 @@
+//! Parameter domains.
+//!
+//! §III: "We consider query Q (with parameters p1, …, pn) against the RDF
+//! dataset D. Every parameter pi has the domain Pi, and the domain of all
+//! the parameters is P = P1 × … × Pn."
+//!
+//! A [`ParameterDomain`] materializes the per-parameter candidate lists
+//! (typically extracted from the dataset: all product types, all countries…)
+//! and enumerates or samples the cross product `P`.
+
+use parambench_rdf::store::Dataset;
+use parambench_rdf::term::Term;
+use parambench_sparql::template::Binding;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::CurationError;
+
+/// The cross product `P = P1 × … × Pn` of per-parameter candidate values.
+#[derive(Debug, Clone)]
+pub struct ParameterDomain {
+    names: Vec<String>,
+    values: Vec<Vec<Term>>,
+}
+
+impl ParameterDomain {
+    /// An empty domain (build it up with [`ParameterDomain::with`]).
+    pub fn new() -> Self {
+        ParameterDomain { names: Vec::new(), values: Vec::new() }
+    }
+
+    /// Adds one parameter dimension.
+    pub fn with(mut self, name: impl Into<String>, values: Vec<Term>) -> Self {
+        self.names.push(name.into());
+        self.values.push(values);
+        self
+    }
+
+    /// A single-parameter domain.
+    pub fn single(name: impl Into<String>, values: Vec<Term>) -> Self {
+        ParameterDomain::new().with(name, values)
+    }
+
+    /// Dimension extracted from the dataset: all distinct objects of
+    /// predicate `pred` (e.g. all countries via `livesIn`).
+    pub fn from_objects(
+        ds: &Dataset,
+        name: impl Into<String>,
+        pred: &Term,
+    ) -> Result<Self, CurationError> {
+        let p = ds
+            .lookup(pred)
+            .ok_or_else(|| CurationError::EmptyDomain(format!("predicate {pred} not in dataset")))?;
+        let values: Vec<Term> = ds.objects_of(p).into_iter().map(|id| ds.decode(id).clone()).collect();
+        if values.is_empty() {
+            return Err(CurationError::EmptyDomain(format!("predicate {pred} has no objects")));
+        }
+        Ok(ParameterDomain::single(name, values))
+    }
+
+    /// Dimension extracted from the dataset: all distinct subjects of
+    /// predicate `pred` (e.g. all persons via `firstName`).
+    pub fn from_subjects(
+        ds: &Dataset,
+        name: impl Into<String>,
+        pred: &Term,
+    ) -> Result<Self, CurationError> {
+        let p = ds
+            .lookup(pred)
+            .ok_or_else(|| CurationError::EmptyDomain(format!("predicate {pred} not in dataset")))?;
+        let values: Vec<Term> =
+            ds.subjects_of(p).into_iter().map(|id| ds.decode(id).clone()).collect();
+        if values.is_empty() {
+            return Err(CurationError::EmptyDomain(format!("predicate {pred} has no subjects")));
+        }
+        Ok(ParameterDomain::single(name, values))
+    }
+
+    /// Parameter names, in dimension order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Candidate values of dimension `i`.
+    pub fn values(&self, i: usize) -> &[Term] {
+        &self.values[i]
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Size of the full cross product (saturating).
+    pub fn len(&self) -> usize {
+        if self.values.is_empty() {
+            return 0;
+        }
+        self.values.iter().fold(1usize, |acc, v| acc.saturating_mul(v.len()))
+    }
+
+    /// True if any dimension is empty (no bindings exist).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The binding at flat index `i` of the row-major cross product.
+    pub fn binding_at(&self, mut i: usize) -> Binding {
+        let mut b = Binding::new();
+        for d in (0..self.arity()).rev() {
+            let v = &self.values[d];
+            b = b.with(self.names[d].clone(), v[i % v.len()].clone());
+            i /= v.len();
+        }
+        b
+    }
+
+    /// Enumerates the whole cross product if it has at most `limit`
+    /// elements; otherwise draws `limit` distinct bindings uniformly at
+    /// random (deterministic in `seed`).
+    pub fn enumerate(&self, limit: usize, seed: u64) -> Vec<Binding> {
+        let n = self.len();
+        if n == 0 || limit == 0 {
+            return Vec::new();
+        }
+        if n <= limit {
+            return (0..n).map(|i| self.binding_at(i)).collect();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = rand::seq::index::sample(&mut rng, n, limit).into_vec();
+        indices.sort_unstable();
+        indices.into_iter().map(|i| self.binding_at(i)).collect()
+    }
+
+    /// Draws `n` bindings uniformly at random **with replacement** — the
+    /// paper's baseline workload generator.
+    pub fn sample_uniform(&self, n: usize, seed: u64) -> Vec<Binding> {
+        let total = self.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let i = rand::Rng::gen_range(&mut rng, 0..total);
+                self.binding_at(i)
+            })
+            .collect()
+    }
+
+    /// Draws `n` bindings by shuffling class member lists — helper for
+    /// stratified samplers.
+    pub(crate) fn shuffle_sample(pool: &[Binding], n: usize, seed: u64) -> Vec<Binding> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        if pool.len() >= n {
+            let mut copy: Vec<Binding> = pool.to_vec();
+            copy.shuffle(&mut rng);
+            copy.truncate(n);
+            copy
+        } else {
+            // With replacement once the pool is exhausted.
+            (0..n).map(|_| pool[rand::Rng::gen_range(&mut rng, 0..pool.len())].clone()).collect()
+        }
+    }
+}
+
+impl Default for ParameterDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parambench_rdf::store::StoreBuilder;
+
+    fn terms(prefix: &str, n: usize) -> Vec<Term> {
+        (0..n).map(|i| Term::iri(format!("{prefix}/{i}"))).collect()
+    }
+
+    #[test]
+    fn cross_product_size_and_enumeration() {
+        let d = ParameterDomain::new()
+            .with("a", terms("a", 3))
+            .with("b", terms("b", 4));
+        assert_eq!(d.arity(), 2);
+        assert_eq!(d.len(), 12);
+        let all = d.enumerate(100, 1);
+        assert_eq!(all.len(), 12);
+        // All distinct.
+        let mut set = std::collections::BTreeSet::new();
+        for b in &all {
+            set.insert(format!("{b}"));
+        }
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn binding_at_covers_all_combinations() {
+        let d = ParameterDomain::new().with("x", terms("x", 2)).with("y", terms("y", 3));
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..6 {
+            let b = d.binding_at(i);
+            seen.insert((b.get("x").unwrap().clone(), b.get("y").unwrap().clone()));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn sampling_large_domain_is_bounded_and_deterministic() {
+        let d = ParameterDomain::new()
+            .with("a", terms("a", 100))
+            .with("b", terms("b", 100));
+        let s1 = d.enumerate(50, 7);
+        let s2 = d.enumerate(50, 7);
+        let s3 = d.enumerate(50, 8);
+        assert_eq!(s1.len(), 50);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn uniform_sample_with_replacement() {
+        let d = ParameterDomain::single("a", terms("a", 3));
+        let s = d.sample_uniform(100, 3);
+        assert_eq!(s.len(), 100);
+        // All three values appear.
+        let distinct: std::collections::BTreeSet<String> =
+            s.iter().map(|b| format!("{b}")).collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn from_dataset_extractors() {
+        let mut b = StoreBuilder::new();
+        b.insert(Term::iri("p1"), Term::iri("lives"), Term::iri("c1"));
+        b.insert(Term::iri("p2"), Term::iri("lives"), Term::iri("c2"));
+        b.insert(Term::iri("p2"), Term::iri("lives"), Term::iri("c1"));
+        let ds = b.freeze();
+        let d = ParameterDomain::from_objects(&ds, "country", &Term::iri("lives")).unwrap();
+        assert_eq!(d.len(), 2);
+        let d = ParameterDomain::from_subjects(&ds, "person", &Term::iri("lives")).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(ParameterDomain::from_objects(&ds, "x", &Term::iri("nope")).is_err());
+    }
+
+    #[test]
+    fn empty_domain_behaviour() {
+        let d = ParameterDomain::new();
+        assert!(d.is_empty());
+        assert!(d.enumerate(10, 0).is_empty());
+        assert!(d.sample_uniform(10, 0).is_empty());
+        let with_empty_dim = ParameterDomain::new().with("a", vec![]);
+        assert!(with_empty_dim.is_empty());
+    }
+}

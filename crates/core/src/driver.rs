@@ -1,0 +1,275 @@
+//! The benchmark driver: the paper's complete methodology in one call.
+//!
+//! For each template the driver runs the *uniform baseline* (several
+//! independent groups of random bindings — the workload generator the paper
+//! criticizes) and the *curated workload* (classes from [`crate::curate`]
+//! validated for P1–P3), then renders the comparison as a Markdown report —
+//! the artifact a benchmark designer would actually publish.
+
+use parambench_sparql::engine::Engine;
+use parambench_sparql::template::QueryTemplate;
+use parambench_stats::summary::{relative_spread, Summary};
+
+use crate::curation::{curate, CurationConfig};
+use crate::domain::ParameterDomain;
+use crate::error::CurationError;
+use crate::profile::CostSource;
+use crate::validate::{validate_workload, ClassValidation, ValidationConfig};
+use crate::workload::{run_workload, Metric, RunConfig};
+
+/// One benchmark workload: a template plus its parameter domain.
+pub struct BenchmarkSpec {
+    pub template: QueryTemplate,
+    pub domain: ParameterDomain,
+    /// Cost observable used for curation (estimated vs measured `Cout`).
+    pub cost_source: CostSource,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Independent uniform groups (the paper uses 4).
+    pub groups: usize,
+    /// Bindings per group (the paper uses 100).
+    pub group_size: usize,
+    /// Metric aggregated in the report.
+    pub metric: Metric,
+    /// Curation pipeline knobs.
+    pub curation: CurationConfig,
+    /// P1–P3 validation knobs.
+    pub validation: ValidationConfig,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            groups: 4,
+            group_size: 100,
+            metric: Metric::Cout,
+            curation: CurationConfig::default(),
+            validation: ValidationConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Per-template results.
+pub struct TemplateReport {
+    /// Template label.
+    pub name: String,
+    /// Per-group metric summaries under uniform sampling.
+    pub uniform_groups: Vec<Summary>,
+    /// Cross-group spread of the mean under uniform sampling.
+    pub uniform_mean_spread: f64,
+    /// Cross-group spread of the mean inside the largest curated class.
+    pub curated_mean_spread: f64,
+    /// Number of curated classes.
+    pub classes: usize,
+    /// P1–P3 verdicts per class.
+    pub validations: Vec<ClassValidation>,
+}
+
+impl TemplateReport {
+    /// True when every curated class passed P1–P3.
+    pub fn all_classes_ok(&self) -> bool {
+        self.validations.iter().all(ClassValidation::all_ok)
+    }
+}
+
+/// The full suite report.
+pub struct SuiteReport {
+    pub templates: Vec<TemplateReport>,
+}
+
+impl SuiteReport {
+    /// Renders the report as Markdown (tables per template).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("# Parameter-curation benchmark report\n");
+        for t in &self.templates {
+            out.push_str(&format!("\n## {}\n\n", t.name));
+            out.push_str("| group | q10 | median | q90 | mean |\n|---|---|---|---|---|\n");
+            for (g, s) in t.uniform_groups.iter().enumerate() {
+                out.push_str(&format!(
+                    "| uniform {} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+                    g + 1,
+                    s.quantile(0.1),
+                    s.median(),
+                    s.quantile(0.9),
+                    s.mean()
+                ));
+            }
+            out.push_str(&format!(
+                "\n- uniform cross-group mean spread: **{:.0}%**\n",
+                t.uniform_mean_spread * 100.0
+            ));
+            out.push_str(&format!(
+                "- curated (class 0) cross-group mean spread: **{:.0}%**\n",
+                t.curated_mean_spread * 100.0
+            ));
+            out.push_str(&format!("- curated classes: {}\n", t.classes));
+            out.push_str("\n| class | n | median | mean | P1 cv | P1 | P2 p | P2 | plans | P3 |\n|---|---|---|---|---|---|---|---|---|---|\n");
+            for v in &t.validations {
+                out.push_str(&format!(
+                    "| {} | {} | {:.1} | {:.1} | {:.3} | {} | {} | {} | {} | {} |\n",
+                    v.class_id,
+                    v.summary.len(),
+                    v.summary.median(),
+                    v.summary.mean(),
+                    v.p1_cv,
+                    ok(v.p1_ok),
+                    v.p2_ks_p.map_or("—".into(), |p| format!("{p:.3}")),
+                    ok(v.p2_ok),
+                    v.p3_distinct_plans,
+                    ok(v.p3_ok),
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "✓"
+    } else {
+        "✗"
+    }
+}
+
+/// Runs the whole suite: uniform baseline + curated workload + validation
+/// per spec.
+pub fn run_suite(
+    engine: &Engine<'_>,
+    specs: &[BenchmarkSpec],
+    config: &SuiteConfig,
+) -> Result<SuiteReport, CurationError> {
+    let run_cfg = RunConfig { warmup: 0 };
+    let mut templates = Vec::with_capacity(specs.len());
+    for spec in specs {
+        // Uniform baseline groups.
+        let mut uniform_groups = Vec::with_capacity(config.groups);
+        for g in 0..config.groups {
+            let bindings =
+                spec.domain.sample_uniform(config.group_size, config.seed + g as u64);
+            let ms = run_workload(engine, &spec.template, &bindings, &run_cfg)?;
+            let series = config.metric.series(&ms);
+            uniform_groups.push(
+                Summary::new(&series)
+                    .ok_or_else(|| CurationError::EmptyDomain("empty group".into()))?,
+            );
+        }
+        let uniform_mean_spread =
+            relative_spread(&uniform_groups.iter().map(Summary::mean).collect::<Vec<_>>());
+
+        // Curated workload.
+        let mut curation = config.curation;
+        curation.profile.cost_source = spec.cost_source;
+        let workload = curate(engine, &spec.template, &spec.domain, &curation)?;
+        let validations = validate_workload(engine, &workload, &config.validation)?;
+
+        // Cross-group spread inside the largest class.
+        let mut curated_means = Vec::with_capacity(config.groups);
+        for g in 0..config.groups {
+            let bindings = workload.sample_class(
+                0,
+                config.group_size,
+                config.seed + 1_000 + g as u64,
+            )?;
+            let ms = run_workload(engine, &spec.template, &bindings, &run_cfg)?;
+            let series = config.metric.series(&ms);
+            if let Some(s) = Summary::new(&series) {
+                curated_means.push(s.mean());
+            }
+        }
+        let curated_mean_spread = relative_spread(&curated_means);
+
+        templates.push(TemplateReport {
+            name: spec.template.name().to_string(),
+            uniform_groups,
+            uniform_mean_spread,
+            curated_mean_spread,
+            classes: workload.classes().len(),
+            validations,
+        });
+    }
+    Ok(SuiteReport { templates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parambench_rdf::store::StoreBuilder;
+    use parambench_rdf::term::Term;
+
+    fn dataset() -> parambench_rdf::store::Dataset {
+        let mut b = StoreBuilder::new();
+        let mut prod = 0;
+        for ty in 0..8 {
+            let count = if ty < 4 { 8 } else { 120 };
+            for _ in 0..count {
+                let p = Term::iri(format!("prod/{prod}"));
+                prod += 1;
+                b.insert(p.clone(), Term::iri("type"), Term::iri(format!("class/{ty}")));
+                b.insert(p.clone(), Term::iri("feature"), Term::iri(format!("f/{}", prod % 11)));
+                b.insert(p, Term::iri("price"), Term::integer((prod % 50) as i64));
+            }
+        }
+        b.freeze()
+    }
+
+    fn spec(ds: &parambench_rdf::store::Dataset) -> BenchmarkSpec {
+        BenchmarkSpec {
+            template: QueryTemplate::parse(
+                "mini-q4",
+                "SELECT ?f (AVG(?price) AS ?a) WHERE { ?p <type> %type . ?p <feature> ?f . ?p <price> ?price } GROUP BY ?f",
+            )
+            .unwrap(),
+            domain: ParameterDomain::from_objects(ds, "type", &Term::iri("type")).unwrap(),
+            cost_source: CostSource::EstimatedCout,
+        }
+    }
+
+    #[test]
+    fn suite_produces_report_with_improvement() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let config = SuiteConfig {
+            groups: 3,
+            group_size: 30,
+            curation: CurationConfig {
+                cluster: crate::cluster::ClusterConfig { epsilon: 1.0, min_class_size: 2 },
+                ..Default::default()
+            },
+            validation: ValidationConfig { sample_size: 15, ..Default::default() },
+            ..Default::default()
+        };
+        let report = run_suite(&engine, &[spec(&ds)], &config).unwrap();
+        assert_eq!(report.templates.len(), 1);
+        let t = &report.templates[0];
+        assert_eq!(t.uniform_groups.len(), 3);
+        assert!(t.classes >= 2);
+        assert!(
+            t.curated_mean_spread <= t.uniform_mean_spread + 1e-9,
+            "curated {} vs uniform {}",
+            t.curated_mean_spread,
+            t.uniform_mean_spread
+        );
+        assert!(t.all_classes_ok(), "P1-P3 should hold on this clean split");
+
+        let md = report.to_markdown();
+        assert!(md.contains("## mini-q4"));
+        assert!(md.contains("| uniform 1 |"));
+        assert!(md.contains("P1 cv"));
+    }
+
+    #[test]
+    fn empty_suite_is_empty_report() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let report = run_suite(&engine, &[], &SuiteConfig::default()).unwrap();
+        assert!(report.templates.is_empty());
+        assert!(report.to_markdown().starts_with("# Parameter-curation"));
+    }
+}

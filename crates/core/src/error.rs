@@ -1,0 +1,37 @@
+//! Error type for the curation pipeline.
+
+use std::fmt;
+
+use parambench_sparql::error::QueryError;
+
+/// Errors raised while profiling, clustering or validating parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurationError {
+    /// A query failed to plan or execute.
+    Query(QueryError),
+    /// The parameter domain is empty (nothing to curate).
+    EmptyDomain(String),
+    /// The template's parameters and the domain's dimensions disagree.
+    DomainMismatch(String),
+    /// No class satisfied the configured constraints.
+    NoClasses,
+}
+
+impl fmt::Display for CurationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurationError::Query(e) => write!(f, "query error: {e}"),
+            CurationError::EmptyDomain(msg) => write!(f, "empty parameter domain: {msg}"),
+            CurationError::DomainMismatch(msg) => write!(f, "domain mismatch: {msg}"),
+            CurationError::NoClasses => write!(f, "curation produced no parameter classes"),
+        }
+    }
+}
+
+impl std::error::Error for CurationError {}
+
+impl From<QueryError> for CurationError {
+    fn from(e: QueryError) -> Self {
+        CurationError::Query(e)
+    }
+}

@@ -1,0 +1,59 @@
+//! # parambench-core
+//!
+//! The primary contribution of the *parambench* reproduction of
+//! "How to generate query parameters in RDF benchmarks?"
+//! (Gubichev, Angles, Boncz — ICDE 2014): **parameter curation**.
+//!
+//! The paper shows that drawing query-template parameters uniformly at
+//! random over correlated/skewed RDF data yields benchmark numbers that are
+//! high-variance (E1), unstable across samples (E2), unrepresentative (E3)
+//! and even optimized with different plans (E4). It then formalizes the
+//! fix: split the parameter domain `P = P1 × … × Pn` into classes with (a)
+//! one `Cout`-optimal plan per class, (b) one cost per class, (c) distinct
+//! plans across classes — and sample within classes.
+//!
+//! This crate implements the full pipeline:
+//!
+//! ```text
+//! ParameterDomain ──profile──▶ BindingProfile* ──cluster──▶ ParameterClass*
+//!       │                     (plan signature,               (conditions
+//!       │                      estimated Cout)                a, b, c)
+//!       └──sample_uniform (baseline)      sample_class (curated) ──▶ Binding*
+//!                                                                      │
+//!                                 run_workload ◀──────────────────────┘
+//!                                      │
+//!                              validate (P1 variance, P2 KS-stability,
+//!                                        P3 plan uniqueness)
+//! ```
+//!
+//! * [`domain`] — parameter domains: extraction from the dataset,
+//!   enumeration, uniform (baseline) sampling;
+//! * [`profile`] — one optimizer run per candidate binding (cheap, no
+//!   execution);
+//! * [`cluster`] — the §III clustering heuristic: signature groups ×
+//!   geometric cost bands;
+//! * [`curation`] — the end-to-end pipeline and stratified samplers;
+//! * [`workload`] — instrumented execution (wall time + measured `Cout`);
+//! * [`validate`] — P1–P3 checks with real executions;
+//! * [`driver`] — the whole methodology (uniform baseline vs curated
+//!   classes, validated) as a one-call suite with Markdown reports.
+
+pub mod cluster;
+pub mod curation;
+pub mod driver;
+pub mod domain;
+pub mod error;
+pub mod export;
+pub mod profile;
+pub mod validate;
+pub mod workload;
+
+pub use cluster::{cluster, ClusterConfig, Clustering, ParameterClass};
+pub use curation::{curate, CuratedWorkload, CurationConfig};
+pub use domain::ParameterDomain;
+pub use driver::{run_suite, BenchmarkSpec, SuiteConfig, SuiteReport};
+pub use error::CurationError;
+pub use export::{export_workload, manifest, parse_workload_bindings, ClassArtifact};
+pub use profile::{profile_bindings, profile_domain, BindingProfile, CostSource, ProfileConfig};
+pub use validate::{validate_class, validate_workload, ClassValidation, StabilityTest, ValidationConfig};
+pub use workload::{run_workload, Measurement, Metric, RunConfig};

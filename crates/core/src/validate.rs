@@ -1,0 +1,318 @@
+//! P1–P3 validation of parameter classes.
+//!
+//! The paper's §I requirements for a useful parameter-selection scheme:
+//!
+//! * **P1** — bounded variance: "the average runtime should correspond to
+//!   the behavior of the majority of the queries". Checked as a bound on
+//!   the coefficient of variation of the per-class metric.
+//! * **P2** — stable distribution: "a different sample of 100 parameter
+//!   bindings should result in an identical runtime distribution". Checked
+//!   by a two-sample Kolmogorov–Smirnov test between two independently
+//!   drawn within-class samples.
+//! * **P3** — plan stability: "the query plan for all the parameters is the
+//!   same". Checked by counting distinct executed-plan signatures.
+//!
+//! Validation runs real queries (not estimates), so it is the expensive,
+//! honest check that the cheap plan/cost clustering actually delivered the
+//! promised runtime behaviour.
+
+use parambench_sparql::engine::Engine;
+use parambench_stats::ks::ks_two_sample;
+use parambench_stats::mannwhitney::mann_whitney_u;
+use parambench_stats::summary::Summary;
+
+use crate::curation::CuratedWorkload;
+use crate::error::CurationError;
+use crate::workload::{run_workload, Metric, RunConfig};
+
+/// The statistical test backing the P2 stability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StabilityTest {
+    /// Two-sample Kolmogorov–Smirnov (the paper's distribution-distance
+    /// view; sensitive everywhere, including the tails).
+    #[default]
+    KolmogorovSmirnov,
+    /// Mann–Whitney U rank-sum (robust to the heavy tails of runtime
+    /// distributions; tests location shift rather than the full shape).
+    MannWhitney,
+}
+
+/// Validation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationConfig {
+    /// Bindings per independent sample (the paper uses 100).
+    pub sample_size: usize,
+    /// Metric to validate on (wall time for reports, `Cout` for
+    /// deterministic CI).
+    pub metric: Metric,
+    /// P1 bound on the coefficient of variation.
+    pub cv_bound: f64,
+    /// P2 significance level: a p-value below this rejects stability.
+    pub ks_alpha: f64,
+    /// Which two-sample test implements P2.
+    pub stability_test: StabilityTest,
+    /// Seed for the two independent samples.
+    pub seed: u64,
+    /// Warm-up executions per binding.
+    pub warmup: usize,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            sample_size: 50,
+            metric: Metric::Cout,
+            cv_bound: 0.5,
+            ks_alpha: 0.05,
+            stability_test: StabilityTest::KolmogorovSmirnov,
+            seed: 42,
+            warmup: 0,
+        }
+    }
+}
+
+/// Validation verdict for one parameter class.
+#[derive(Debug, Clone)]
+pub struct ClassValidation {
+    /// The validated class id.
+    pub class_id: usize,
+    /// Metric summary over both samples pooled.
+    pub summary: Summary,
+    /// P1: coefficient of variation of the pooled metric.
+    pub p1_cv: f64,
+    /// P1 verdict.
+    pub p1_ok: bool,
+    /// P2: KS p-value between the two independent samples (None when a
+    /// sample was degenerate — trivially stable).
+    pub p2_ks_p: Option<f64>,
+    /// P2 verdict.
+    pub p2_ok: bool,
+    /// P3: number of distinct executed plan signatures.
+    pub p3_distinct_plans: usize,
+    /// P3 verdict.
+    pub p3_ok: bool,
+}
+
+impl ClassValidation {
+    /// True when all three properties hold.
+    pub fn all_ok(&self) -> bool {
+        self.p1_ok && self.p2_ok && self.p3_ok
+    }
+}
+
+/// Validates every class of a curated workload.
+pub fn validate_workload(
+    engine: &Engine<'_>,
+    workload: &CuratedWorkload,
+    config: &ValidationConfig,
+) -> Result<Vec<ClassValidation>, CurationError> {
+    let mut out = Vec::with_capacity(workload.classes().len());
+    for class in workload.classes() {
+        out.push(validate_class(engine, workload, class.id, config)?);
+    }
+    Ok(out)
+}
+
+/// Validates one class: draws two independent samples, executes both,
+/// checks P1 on the pooled metric, P2 across the samples, P3 on signatures.
+pub fn validate_class(
+    engine: &Engine<'_>,
+    workload: &CuratedWorkload,
+    class_id: usize,
+    config: &ValidationConfig,
+) -> Result<ClassValidation, CurationError> {
+    let run_cfg = RunConfig { warmup: config.warmup };
+    let sample_a = workload.sample_class(class_id, config.sample_size, config.seed)?;
+    let sample_b =
+        workload.sample_class(class_id, config.sample_size, config.seed.wrapping_add(1))?;
+    let meas_a = run_workload(engine, workload.template(), &sample_a, &run_cfg)?;
+    let meas_b = run_workload(engine, workload.template(), &sample_b, &run_cfg)?;
+
+    let series_a = config.metric.series(&meas_a);
+    let series_b = config.metric.series(&meas_b);
+    let pooled: Vec<f64> = series_a.iter().chain(series_b.iter()).copied().collect();
+    let summary = Summary::new(&pooled)
+        .ok_or_else(|| CurationError::EmptyDomain("no measurements".into()))?;
+
+    let p1_cv = summary.coeff_of_variation();
+    let p1_ok = p1_cv <= config.cv_bound;
+
+    // A degenerate (constant) sample is trivially stable.
+    let degenerate = series_a.windows(2).all(|w| w[0] == w[1])
+        && series_b.windows(2).all(|w| w[0] == w[1])
+        && series_a.first() == series_b.first();
+    let (p2_ks_p, p2_ok) = if degenerate {
+        (None, true)
+    } else {
+        let p = match config.stability_test {
+            StabilityTest::KolmogorovSmirnov => {
+                ks_two_sample(&series_a, &series_b).map(|r| r.p_value)
+            }
+            StabilityTest::MannWhitney => {
+                mann_whitney_u(&series_a, &series_b).map(|r| r.p_value)
+            }
+        };
+        match p {
+            Some(p) => (Some(p), p >= config.ks_alpha),
+            None => (None, true),
+        }
+    };
+
+    let mut signatures: Vec<_> =
+        meas_a.iter().chain(meas_b.iter()).map(|m| m.signature.clone()).collect();
+    signatures.sort();
+    signatures.dedup();
+    let p3_distinct_plans = signatures.len();
+    let p3_ok = p3_distinct_plans == 1;
+
+    Ok(ClassValidation {
+        class_id,
+        summary,
+        p1_cv,
+        p1_ok,
+        p2_ks_p,
+        p2_ok,
+        p3_distinct_plans,
+        p3_ok,
+    })
+}
+
+/// Renders validations as an aligned report table.
+pub fn render_report(validations: &[ClassValidation]) -> String {
+    let mut out = String::from(
+        "class |   n  | median       | mean         | P1 cv   | P1 | P2 ks-p  | P2 | plans | P3\n",
+    );
+    for v in validations {
+        out.push_str(&format!(
+            "{:>5} | {:>4} | {:>12.2} | {:>12.2} | {:>7.3} | {} | {} | {} | {:>5} | {}\n",
+            v.class_id,
+            v.summary.len(),
+            v.summary.median(),
+            v.summary.mean(),
+            v.p1_cv,
+            tick(v.p1_ok),
+            match v.p2_ks_p {
+                Some(p) => format!("{p:>8.4}"),
+                None => "   const".to_string(),
+            },
+            tick(v.p2_ok),
+            v.p3_distinct_plans,
+            tick(v.p3_ok),
+        ));
+    }
+    out
+}
+
+fn tick(ok: bool) -> &'static str {
+    if ok {
+        "ok "
+    } else {
+        "FAIL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::curation::{curate, CurationConfig};
+    use crate::domain::ParameterDomain;
+    use parambench_rdf::store::StoreBuilder;
+    use parambench_rdf::term::Term;
+    use parambench_sparql::template::QueryTemplate;
+
+    /// Two populations of types: "small" types with ~5 products each and
+    /// "large" types with ~200 each. Within a class, behaviour is uniform.
+    fn bimodal_dataset() -> parambench_rdf::store::Dataset {
+        let mut b = StoreBuilder::new();
+        let mut prod = 0;
+        for ty in 0..10 {
+            let count = if ty < 5 { 5 } else { 200 };
+            for _ in 0..count {
+                let p = Term::iri(format!("prod/{prod}"));
+                prod += 1;
+                b.insert(p.clone(), Term::iri("type"), Term::iri(format!("class/{ty}")));
+                b.insert(p.clone(), Term::iri("feature"), Term::iri(format!("f/{}", prod % 13)));
+                b.insert(p, Term::iri("price"), Term::integer((prod % 90) as i64));
+            }
+        }
+        b.freeze()
+    }
+
+    fn template() -> QueryTemplate {
+        QueryTemplate::parse(
+            "t",
+            "SELECT ?f (AVG(?price) AS ?a) WHERE { ?p <type> %type . ?p <feature> ?f . ?p <price> ?price } GROUP BY ?f",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn curated_classes_pass_p1_p2_p3_on_cout() {
+        let ds = bimodal_dataset();
+        let engine = Engine::new(&ds);
+        let domain = ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
+        let workload = curate(
+            &engine,
+            &template(),
+            &domain,
+            &CurationConfig {
+                cluster: ClusterConfig { epsilon: 1.0, min_class_size: 2 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let cfg = ValidationConfig { sample_size: 20, ..Default::default() };
+        let report = validate_workload(&engine, &workload, &cfg).unwrap();
+        assert!(!report.is_empty());
+        for v in &report {
+            assert!(v.p1_ok, "P1 failed for class {}: cv={}", v.class_id, v.p1_cv);
+            assert!(v.p2_ok, "P2 failed for class {}: p={:?}", v.class_id, v.p2_ks_p);
+            assert!(v.p3_ok, "P3 failed for class {}: {} plans", v.class_id, v.p3_distinct_plans);
+        }
+        let text = render_report(&report);
+        assert!(text.contains("class"));
+    }
+
+    #[test]
+    fn mann_whitney_stability_test_also_passes() {
+        let ds = bimodal_dataset();
+        let engine = Engine::new(&ds);
+        let domain = ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
+        let workload = curate(
+            &engine,
+            &template(),
+            &domain,
+            &CurationConfig {
+                cluster: ClusterConfig { epsilon: 1.0, min_class_size: 2 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let cfg = ValidationConfig {
+            sample_size: 20,
+            stability_test: StabilityTest::MannWhitney,
+            ..Default::default()
+        };
+        let report = validate_workload(&engine, &workload, &cfg).unwrap();
+        for v in &report {
+            assert!(v.p2_ok, "MWU P2 failed for class {}: p={:?}", v.class_id, v.p2_ks_p);
+        }
+    }
+
+    #[test]
+    fn uniform_baseline_fails_p1_on_bimodal_data() {
+        let ds = bimodal_dataset();
+        let engine = Engine::new(&ds);
+        let domain = ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
+        // Uniform sample across ALL types — the broken baseline.
+        let bindings = domain.sample_uniform(40, 9);
+        let ms = run_workload(&engine, &template(), &bindings, &RunConfig::default()).unwrap();
+        let s = Summary::new(&Metric::Cout.series(&ms)).unwrap();
+        assert!(
+            s.coeff_of_variation() > 0.5,
+            "uniform sampling over bimodal types should violate P1 (cv={})",
+            s.coeff_of_variation()
+        );
+    }
+}

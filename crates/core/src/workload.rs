@@ -1,0 +1,166 @@
+//! Workload execution and measurement.
+//!
+//! Runs a list of parameter bindings against a template and records, per
+//! run: wall-clock time, measured `Cout` (sum of join output cardinalities)
+//! and the executed plan's signature. These measurements feed every
+//! experiment table (E1–E3), the §III correlation (C1) and the P1–P3
+//! validation.
+
+use parambench_sparql::engine::Engine;
+use parambench_sparql::plan::PlanSignature;
+use parambench_sparql::template::{Binding, QueryTemplate};
+
+use crate::error::CurationError;
+
+/// One executed query instance.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The parameter binding used.
+    pub binding: Binding,
+    /// Wall-clock execution time in milliseconds.
+    pub millis: f64,
+    /// Measured `Cout` (total intermediate join tuples).
+    pub cout: u64,
+    /// Estimated `Cout` the optimizer predicted.
+    pub est_cout: f64,
+    /// Result rows returned.
+    pub rows: usize,
+    /// Signature of the executed plan.
+    pub signature: PlanSignature,
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct RunConfig {
+    /// Untimed warm-up executions before the measured run (amortizes
+    /// allocator/cache effects like a real benchmark driver would).
+    pub warmup: usize,
+}
+
+
+/// Runs every binding once (after `warmup` untimed runs each) and collects
+/// measurements in input order.
+pub fn run_workload(
+    engine: &Engine<'_>,
+    template: &QueryTemplate,
+    bindings: &[Binding],
+    config: &RunConfig,
+) -> Result<Vec<Measurement>, CurationError> {
+    let mut out = Vec::with_capacity(bindings.len());
+    for b in bindings {
+        let prepared = engine.prepare_template(template, b)?;
+        for _ in 0..config.warmup {
+            let _ = engine.execute(&prepared)?;
+        }
+        let result = engine.execute(&prepared)?;
+        out.push(Measurement {
+            binding: b.clone(),
+            millis: result.wall_time.as_secs_f64() * 1e3,
+            cout: result.cout,
+            est_cout: prepared.est_cout,
+            rows: result.results.len(),
+            signature: prepared.signature,
+        });
+    }
+    Ok(out)
+}
+
+/// Wall-clock runtimes (ms) of a measurement batch.
+pub fn runtimes_ms(measurements: &[Measurement]) -> Vec<f64> {
+    measurements.iter().map(|m| m.millis).collect()
+}
+
+/// Measured `Cout` values of a batch (deterministic runtime proxy).
+pub fn couts(measurements: &[Measurement]) -> Vec<f64> {
+    measurements.iter().map(|m| m.cout as f64).collect()
+}
+
+/// The metric a validation or experiment aggregates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Wall-clock milliseconds — what the paper reports, noisy on shared
+    /// hardware.
+    WallMillis,
+    /// Measured `Cout` — the paper's runtime proxy (≈85% Pearson), exactly
+    /// reproducible; used by deterministic tests.
+    Cout,
+}
+
+impl Metric {
+    /// Extracts the metric series from measurements.
+    pub fn series(self, measurements: &[Measurement]) -> Vec<f64> {
+        match self {
+            Metric::WallMillis => runtimes_ms(measurements),
+            Metric::Cout => couts(measurements),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parambench_rdf::store::StoreBuilder;
+    use parambench_rdf::term::Term;
+
+    fn data() -> parambench_rdf::store::Dataset {
+        let mut b = StoreBuilder::new();
+        for i in 0..50 {
+            b.insert(
+                Term::iri(format!("s/{i}")),
+                Term::iri("p"),
+                Term::iri(format!("o/{}", i % 5)),
+            );
+            b.insert(
+                Term::iri(format!("s/{i}")),
+                Term::iri("q"),
+                Term::integer(i as i64),
+            );
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn measurements_align_with_bindings() {
+        let ds = data();
+        let engine = Engine::new(&ds);
+        let t = QueryTemplate::parse(
+            "t",
+            "SELECT ?s ?v WHERE { ?s <p> %o . ?s <q> ?v }",
+        )
+        .unwrap();
+        let bindings: Vec<Binding> = (0..5)
+            .map(|i| Binding::new().with("o", Term::iri(format!("o/{i}"))))
+            .collect();
+        let ms = run_workload(&engine, &t, &bindings, &RunConfig::default()).unwrap();
+        assert_eq!(ms.len(), 5);
+        for (m, b) in ms.iter().zip(&bindings) {
+            assert_eq!(&m.binding, b);
+            assert_eq!(m.rows, 10);
+            assert!(m.millis >= 0.0);
+        }
+        // Cout is deterministic across repeated runs.
+        let again = run_workload(&engine, &t, &bindings, &RunConfig { warmup: 1 }).unwrap();
+        assert_eq!(couts(&ms), couts(&again));
+    }
+
+    #[test]
+    fn metric_series_shapes() {
+        let ds = data();
+        let engine = Engine::new(&ds);
+        let t = QueryTemplate::parse("t", "SELECT ?s WHERE { ?s <p> %o }").unwrap();
+        let bindings = vec![Binding::new().with("o", Term::iri("o/0"))];
+        let ms = run_workload(&engine, &t, &bindings, &RunConfig::default()).unwrap();
+        assert_eq!(Metric::WallMillis.series(&ms).len(), 1);
+        assert_eq!(Metric::Cout.series(&ms).len(), 1);
+    }
+
+    #[test]
+    fn bad_binding_is_reported() {
+        let ds = data();
+        let engine = Engine::new(&ds);
+        let t = QueryTemplate::parse("t", "SELECT ?s WHERE { ?s <p> %o }").unwrap();
+        let bad = vec![Binding::new().with("wrong", Term::iri("o/0"))];
+        assert!(run_workload(&engine, &t, &bad, &RunConfig::default()).is_err());
+    }
+}

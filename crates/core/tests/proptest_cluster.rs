@@ -1,0 +1,95 @@
+//! Property tests of the clustering heuristic: for arbitrary profile sets,
+//! the output must be a partition whose classes satisfy the paper's
+//! conditions (a) and (b) by construction.
+
+use proptest::prelude::*;
+
+use parambench_core::cluster::{cluster, ClusterConfig};
+use parambench_core::profile::BindingProfile;
+use parambench_rdf::term::Term;
+use parambench_sparql::plan::PlanSignature;
+use parambench_sparql::template::Binding;
+
+fn arb_profiles() -> impl Strategy<Value = Vec<BindingProfile>> {
+    prop::collection::vec((0u8..4, 0f64..1e6), 1..150).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (sig, cost))| BindingProfile {
+                binding: Binding::new().with("p", Term::iri(format!("v/{i}"))),
+                signature: PlanSignature(format!("PLAN{sig}")),
+                cost,
+                est_card: cost,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn clustering_invariants(
+        profiles in arb_profiles(),
+        epsilon in 0.0f64..4.0,
+        min_size in 1usize..4,
+    ) {
+        let config = ClusterConfig { epsilon, min_class_size: min_size };
+        match cluster(&profiles, &config) {
+            Err(_) => {
+                // Only legitimate when everything was dropped.
+                prop_assert!(profiles.len() < min_size * 5 || min_size > 1);
+            }
+            Ok(c) => {
+                // Partition: retained + dropped = input; no duplicates.
+                prop_assert_eq!(c.retained() + c.dropped.len(), profiles.len());
+                let mut seen = std::collections::BTreeSet::new();
+                for class in &c.classes {
+                    prop_assert!(class.len() >= min_size);
+                    for m in &class.members {
+                        let key = format!("{}", m.binding);
+                        prop_assert!(seen.insert(key), "duplicate member across classes");
+                        // Condition (a): one signature per class.
+                        prop_assert_eq!(&m.signature, &class.signature);
+                        // Condition (b): cost inside the band.
+                        prop_assert!(m.cost >= class.cost_lo - 1e-9);
+                        prop_assert!(m.cost <= class.cost_hi + 1e-9);
+                    }
+                    prop_assert!(
+                        class.cost_hi <= class.cost_lo * (1.0 + epsilon) + 1.0 + 1e-6,
+                        "band too wide: [{}, {}] eps {epsilon}",
+                        class.cost_lo,
+                        class.cost_hi
+                    );
+                }
+                // Classes ordered by size, ids stable.
+                for w in c.classes.windows(2) {
+                    prop_assert!(w[0].len() >= w[1].len());
+                }
+                for (i, class) in c.classes.iter().enumerate() {
+                    prop_assert_eq!(class.id, i);
+                }
+                // Condition (c): two classes never share signature AND band.
+                for (i, a) in c.classes.iter().enumerate() {
+                    for b in &c.classes[i + 1..] {
+                        if a.signature == b.signature {
+                            let disjoint = a.cost_hi < b.cost_lo || b.cost_hi < a.cost_lo;
+                            prop_assert!(
+                                disjoint,
+                                "same-signature classes overlap in cost: [{}, {}] vs [{}, {}]",
+                                a.cost_lo, a.cost_hi, b.cost_lo, b.cost_hi
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_gives_tightest_bands(profiles in arb_profiles()) {
+        let tight = cluster(&profiles, &ClusterConfig { epsilon: 0.0, min_class_size: 1 }).unwrap();
+        let loose = cluster(&profiles, &ClusterConfig { epsilon: 4.0, min_class_size: 1 }).unwrap();
+        prop_assert!(tight.classes.len() >= loose.classes.len());
+    }
+}

@@ -1,0 +1,503 @@
+//! BSBM-like product-catalog generator (Berlin SPARQL Benchmark, BI use case).
+//!
+//! Reproduces the structural properties the paper's E1/E3 examples rely on:
+//!
+//! * a **product-type hierarchy** — a B-ary tree; every product is typed
+//!   with its leaf type *and all ancestors*, so a generic (high) type covers
+//!   a large fraction of all products while a leaf type covers a sliver.
+//!   The type parameter of BI Q4 therefore swings the touched data volume by
+//!   orders of magnitude — the paper's "clustered runtime" effect;
+//! * **type-correlated product features** — each type node owns a feature
+//!   pool and products draw features along their ancestor path, so feature
+//!   co-occurrence (BI Q2's similarity join) is skewed;
+//! * offers and reviews for realistic bulk and extra workloads.
+//!
+//! The paper's exact Q4 ("ratio between price with and without the feature")
+//! needs correlated subqueries outside our engine subset; our Q4 keeps the
+//! same parameter → the same data-volume behaviour (per-feature average
+//! price over the products of the type), which is what E1/E3 measure.
+
+use parambench_rdf::store::{Dataset, StoreBuilder};
+use parambench_rdf::term::Term;
+use parambench_sparql::template::QueryTemplate;
+use rand::Rng;
+
+use crate::dist::{stream_rng, weighted_index, Zipf};
+
+/// Vocabulary of the generated BSBM-like data.
+pub mod schema {
+    pub const NS: &str = "http://bsbm.example/";
+    pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    pub const SUBCLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    pub const PRODUCT_FEATURE: &str = "http://bsbm.example/productFeature";
+    pub const PRICE: &str = "http://bsbm.example/price";
+    pub const LABEL: &str = "http://bsbm.example/label";
+    pub const OFFER_PRODUCT: &str = "http://bsbm.example/offerProduct";
+    pub const OFFER_VENDOR: &str = "http://bsbm.example/offerVendor";
+    pub const OFFER_PRICE: &str = "http://bsbm.example/offerPrice";
+    pub const REVIEW_FOR: &str = "http://bsbm.example/reviewFor";
+    pub const RATING: &str = "http://bsbm.example/rating";
+    pub const REVIEWER: &str = "http://bsbm.example/reviewer";
+
+    pub fn product(i: usize) -> String {
+        format!("{NS}Product{i}")
+    }
+    pub fn product_type(i: usize) -> String {
+        format!("{NS}ProductType{i}")
+    }
+    pub fn feature(i: usize) -> String {
+        format!("{NS}ProductFeature{i}")
+    }
+    pub fn vendor(i: usize) -> String {
+        format!("{NS}Vendor{i}")
+    }
+    pub fn offer(i: usize) -> String {
+        format!("{NS}Offer{i}")
+    }
+    pub fn review(i: usize) -> String {
+        format!("{NS}Review{i}")
+    }
+    pub fn person(i: usize) -> String {
+        format!("{NS}Reviewer{i}")
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct BsbmConfig {
+    /// Number of products.
+    pub products: usize,
+    /// Depth of the type tree (root = level 0).
+    pub type_depth: usize,
+    /// Branching factor of the type tree.
+    pub type_branching: usize,
+    /// Features owned by each type node's pool.
+    pub features_per_type: usize,
+    /// Features attached to each product.
+    pub features_per_product: usize,
+    /// Offers per product (average).
+    pub offers_per_product: usize,
+    /// Reviews per product (average).
+    pub reviews_per_product: usize,
+    /// Number of vendors.
+    pub vendors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BsbmConfig {
+    fn default() -> Self {
+        BsbmConfig {
+            products: 2_000,
+            type_depth: 5,
+            type_branching: 3,
+            features_per_type: 6,
+            features_per_product: 6,
+            offers_per_product: 2,
+            reviews_per_product: 2,
+            vendors: 20,
+            seed: 42,
+        }
+    }
+}
+
+impl BsbmConfig {
+    /// A configuration scaled to approximately `triples` triples.
+    pub fn with_scale(triples: usize) -> Self {
+        // ~30 triples per product with the default knobs.
+        let products = (triples / 30).max(50);
+        BsbmConfig { products, ..Default::default() }
+    }
+}
+
+/// The type tree: nodes in BFS order, `parent[0] = None`.
+#[derive(Debug, Clone)]
+pub struct TypeTree {
+    parent: Vec<Option<usize>>,
+    depth: Vec<usize>,
+    children: Vec<Vec<usize>>,
+}
+
+impl TypeTree {
+    fn build(depth: usize, branching: usize) -> Self {
+        let mut parent = vec![None];
+        let mut depths = vec![0usize];
+        let mut level_start = 0;
+        let mut level_len = 1;
+        for d in 1..=depth {
+            let next_start = parent.len();
+            for p in level_start..level_start + level_len {
+                for _ in 0..branching {
+                    parent.push(Some(p));
+                    depths.push(d);
+                }
+            }
+            level_start = next_start;
+            level_len = parent.len() - next_start;
+        }
+        let mut children = vec![Vec::new(); parent.len()];
+        for (i, &p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p].push(i);
+            }
+        }
+        TypeTree { parent, depth: depths, children }
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the tree is trivial (single root only).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Indices of leaf nodes.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.children[i].is_empty()).collect()
+    }
+
+    /// Node → root ancestor path, inclusive of both endpoints.
+    pub fn ancestors(&self, mut node: usize) -> Vec<usize> {
+        let mut path = vec![node];
+        while let Some(p) = self.parent[node] {
+            path.push(p);
+            node = p;
+        }
+        path
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth_of(&self, node: usize) -> usize {
+        self.depth[node]
+    }
+}
+
+/// The generated benchmark instance: dataset + everything needed to pose
+/// the workload (templates, parameter domains).
+pub struct Bsbm {
+    /// The frozen RDF dataset.
+    pub dataset: Dataset,
+    /// The configuration it was generated from.
+    pub config: BsbmConfig,
+    /// The product type tree (for inspecting generality of a type).
+    pub types: TypeTree,
+}
+
+impl Bsbm {
+    /// Generates a dataset. Deterministic in `config.seed`.
+    pub fn generate(config: BsbmConfig) -> Self {
+        let types = TypeTree::build(config.type_depth, config.type_branching);
+        let mut b = StoreBuilder::new();
+
+        let rdf_type = Term::iri(schema::RDF_TYPE);
+        let subclass = Term::iri(schema::SUBCLASS_OF);
+        let has_feature = Term::iri(schema::PRODUCT_FEATURE);
+        let price_p = Term::iri(schema::PRICE);
+        let label_p = Term::iri(schema::LABEL);
+
+        // Type hierarchy triples.
+        for i in 0..types.len() {
+            if let Some(p) = types.parent[i] {
+                b.insert(
+                    Term::iri(schema::product_type(i)),
+                    subclass.clone(),
+                    Term::iri(schema::product_type(p)),
+                );
+            }
+        }
+
+        // Feature pools: node i owns features [i*fpt, (i+1)*fpt).
+        let fpt = config.features_per_type;
+        let pool_of = |node: usize| -> Vec<usize> { (node * fpt..(node + 1) * fpt).collect() };
+
+        let leaves = types.leaves();
+        let leaf_pop = Zipf::new(leaves.len(), 0.6);
+        let mut rng = stream_rng(config.seed, "bsbm-products");
+
+        let mut product_leaf = Vec::with_capacity(config.products);
+        for pi in 0..config.products {
+            let product = Term::iri(schema::product(pi));
+            let leaf = leaves[leaf_pop.sample(&mut rng)];
+            product_leaf.push(leaf);
+
+            // Type triples: leaf + all ancestors (the generality lever).
+            for t in types.ancestors(leaf) {
+                b.insert(product.clone(), rdf_type.clone(), Term::iri(schema::product_type(t)));
+            }
+            b.insert(product.clone(), label_p.clone(), Term::literal(format!("product {pi}")));
+
+            // Features drawn along the ancestor path, weighted toward the
+            // leaf (specific features more likely than generic ones), and
+            // Zipf-skewed within each pool: a handful of generic features
+            // end up on a large fraction of all products, giving BI Q2 its
+            // heavy-tailed similarity-join costs (the paper's E1).
+            let path = types.ancestors(leaf);
+            let weights: Vec<f64> =
+                path.iter().map(|&n| (types.depth_of(n) + 1) as f64).collect();
+            let pool_zipf = Zipf::new(fpt.max(1), 1.0);
+            let mut picked = Vec::with_capacity(config.features_per_product);
+            let mut price = 100.0 + (leaf % 50) as f64;
+            for _ in 0..config.features_per_product {
+                let node = path[weighted_index(&weights, &mut rng)];
+                let pool = pool_of(node);
+                let f = pool[pool_zipf.sample(&mut rng)];
+                if picked.contains(&f) {
+                    continue;
+                }
+                picked.push(f);
+                b.insert(product.clone(), has_feature.clone(), Term::iri(schema::feature(f)));
+                // Premium features (every 7th) raise the price.
+                price += if f % 7 == 0 { 120.0 } else { 15.0 };
+            }
+            price += rng.gen_range(0.0..30.0);
+            b.insert(product.clone(), price_p.clone(), Term::double((price * 100.0).round() / 100.0));
+        }
+
+        // Offers.
+        let mut rng = stream_rng(config.seed, "bsbm-offers");
+        let offer_product = Term::iri(schema::OFFER_PRODUCT);
+        let offer_vendor = Term::iri(schema::OFFER_VENDOR);
+        let offer_price = Term::iri(schema::OFFER_PRICE);
+        let mut offer_id = 0;
+        for pi in 0..config.products {
+            let n = rng.gen_range(0..=config.offers_per_product * 2);
+            for _ in 0..n {
+                let offer = Term::iri(schema::offer(offer_id));
+                offer_id += 1;
+                b.insert(offer.clone(), offer_product.clone(), Term::iri(schema::product(pi)));
+                b.insert(
+                    offer.clone(),
+                    offer_vendor.clone(),
+                    Term::iri(schema::vendor(rng.gen_range(0..config.vendors))),
+                );
+                b.insert(
+                    offer,
+                    offer_price.clone(),
+                    Term::double(rng.gen_range(50.0..500.0_f64).round()),
+                );
+            }
+        }
+
+        // Reviews.
+        let mut rng = stream_rng(config.seed, "bsbm-reviews");
+        let review_for = Term::iri(schema::REVIEW_FOR);
+        let rating_p = Term::iri(schema::RATING);
+        let reviewer_p = Term::iri(schema::REVIEWER);
+        let reviewer_pool = (config.products / 10).max(5);
+        let mut review_id = 0;
+        for pi in 0..config.products {
+            let n = rng.gen_range(0..=config.reviews_per_product * 2);
+            for _ in 0..n {
+                let review = Term::iri(schema::review(review_id));
+                review_id += 1;
+                b.insert(review.clone(), review_for.clone(), Term::iri(schema::product(pi)));
+                b.insert(review.clone(), rating_p.clone(), Term::integer(rng.gen_range(1..=10)));
+                b.insert(
+                    review,
+                    reviewer_p.clone(),
+                    Term::iri(schema::person(rng.gen_range(0..reviewer_pool))),
+                );
+            }
+        }
+
+        Bsbm { dataset: b.freeze(), config, types }
+    }
+
+    /// IRIs of every product type (the Q4 parameter domain).
+    pub fn type_iris(&self) -> Vec<Term> {
+        (0..self.types.len()).map(|i| Term::iri(schema::product_type(i))).collect()
+    }
+
+    /// IRIs of every product (the Q2 parameter domain).
+    pub fn product_iris(&self) -> Vec<Term> {
+        (0..self.config.products).map(schema::product).map(Term::iri).collect()
+    }
+
+    /// BI Q2: the ten products most similar to `%product`
+    /// (shared-feature count).
+    pub fn q2_similar_products() -> QueryTemplate {
+        QueryTemplate::parse(
+            "BSBM-BI-Q2",
+            &format!(
+                "SELECT ?other (COUNT(?f) AS ?shared) WHERE {{ \
+                   %product <{pf}> ?f . \
+                   ?other <{pf}> ?f . \
+                   FILTER(?other != %product) \
+                 }} GROUP BY ?other ORDER BY DESC(?shared) LIMIT 10",
+                pf = schema::PRODUCT_FEATURE
+            ),
+        )
+        .expect("static template parses")
+    }
+
+    /// BI Q4 (engine-subset variant): per-feature average price over the
+    /// products of `%type`, highest first. The parameter (`ProductType`)
+    /// plays the paper's role: its position in the hierarchy dictates how
+    /// much data the query touches.
+    pub fn q4_feature_price_by_type() -> QueryTemplate {
+        QueryTemplate::parse(
+            "BSBM-BI-Q4",
+            &format!(
+                "SELECT ?f (AVG(?price) AS ?avgPrice) (COUNT(?p) AS ?cnt) WHERE {{ \
+                   ?p <{ty}> %type . \
+                   ?p <{pf}> ?f . \
+                   ?p <{pr}> ?price \
+                 }} GROUP BY ?f ORDER BY DESC(?avgPrice) LIMIT 10",
+                ty = schema::RDF_TYPE,
+                pf = schema::PRODUCT_FEATURE,
+                pr = schema::PRICE
+            ),
+        )
+        .expect("static template parses")
+    }
+
+    /// Extra BI-style template: average review rating of `%type` products.
+    pub fn q_rating_by_type() -> QueryTemplate {
+        QueryTemplate::parse(
+            "BSBM-RATING",
+            &format!(
+                "SELECT (AVG(?rating) AS ?avgRating) (COUNT(?rev) AS ?n) WHERE {{ \
+                   ?p <{ty}> %type . \
+                   ?rev <{rf}> ?p . \
+                   ?rev <{rt}> ?rating \
+                 }}",
+                ty = schema::RDF_TYPE,
+                rf = schema::REVIEW_FOR,
+                rt = schema::RATING
+            ),
+        )
+        .expect("static template parses")
+    }
+
+    /// Extra template with two correlated parameters: products of `%type`
+    /// carrying `%feature` and their offers — the two-parameter analogue of
+    /// the paper's intro example (type and feature are correlated by
+    /// construction).
+    pub fn q_type_feature_offers() -> QueryTemplate {
+        QueryTemplate::parse(
+            "BSBM-TYPE-FEATURE",
+            &format!(
+                "SELECT ?p (MIN(?op) AS ?bestPrice) WHERE {{ \
+                   ?p <{ty}> %type . \
+                   ?p <{pf}> %feature . \
+                   ?o <{opd}> ?p . \
+                   ?o <{opr}> ?op \
+                 }} GROUP BY ?p ORDER BY ASC(?bestPrice) LIMIT 5",
+                ty = schema::RDF_TYPE,
+                pf = schema::PRODUCT_FEATURE,
+                opd = schema::OFFER_PRODUCT,
+                opr = schema::OFFER_PRICE
+            ),
+        )
+        .expect("static template parses")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parambench_sparql::engine::Engine;
+    use parambench_sparql::template::Binding;
+
+    fn small() -> Bsbm {
+        Bsbm::generate(BsbmConfig {
+            products: 300,
+            type_depth: 3,
+            type_branching: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn type_tree_shape() {
+        let t = TypeTree::build(3, 2);
+        assert_eq!(t.len(), 1 + 2 + 4 + 8);
+        assert_eq!(t.leaves().len(), 8);
+        let leaf = t.leaves()[0];
+        let anc = t.ancestors(leaf);
+        assert_eq!(anc.len(), 4);
+        assert_eq!(*anc.last().unwrap(), 0);
+        assert_eq!(t.depth_of(0), 0);
+        assert_eq!(t.depth_of(leaf), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.dataset.len(), b.dataset.len());
+    }
+
+    #[test]
+    fn root_type_covers_all_products() {
+        let g = small();
+        let rdf_type = g.dataset.lookup(&Term::iri(schema::RDF_TYPE)).unwrap();
+        let root = g.dataset.lookup(&Term::iri(schema::product_type(0))).unwrap();
+        let n = g.dataset.count([None, Some(rdf_type), Some(root)]);
+        assert_eq!(n, g.config.products, "every product is typed with the root");
+        // A leaf type covers far fewer.
+        let leaf = *g.types.leaves().last().unwrap();
+        let leaf_id = g.dataset.lookup(&Term::iri(schema::product_type(leaf))).unwrap();
+        let leaf_n = g.dataset.count([None, Some(rdf_type), Some(leaf_id)]);
+        assert!(leaf_n < n / 2, "leaf {leaf_n} vs root {n}");
+    }
+
+    #[test]
+    fn q4_runtime_scales_with_type_generality() {
+        let g = small();
+        let engine = Engine::new(&g.dataset);
+        let t = Bsbm::q4_feature_price_by_type();
+        let root = Binding::new().with("type", Term::iri(schema::product_type(0)));
+        let leaf = Binding::new()
+            .with("type", Term::iri(schema::product_type(*g.types.leaves().last().unwrap())));
+        let out_root = engine.run_template(&t, &root).unwrap();
+        let out_leaf = engine.run_template(&t, &leaf).unwrap();
+        assert!(
+            out_root.cout > out_leaf.cout * 2,
+            "root cout {} should dwarf leaf cout {}",
+            out_root.cout,
+            out_leaf.cout
+        );
+    }
+
+    #[test]
+    fn q2_returns_similar_products() {
+        let g = small();
+        let engine = Engine::new(&g.dataset);
+        let t = Bsbm::q2_similar_products();
+        let b = Binding::new().with("product", Term::iri(schema::product(0)));
+        let out = engine.run_template(&t, &b).unwrap();
+        assert!(out.results.len() <= 10);
+        assert!(!out.results.is_empty(), "some product shares a feature with product 0");
+        // Sorted by shared count descending.
+        let shared: Vec<f64> =
+            out.results.rows.iter().map(|r| r[1].as_num().unwrap()).collect();
+        assert!(shared.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn rating_template_runs() {
+        let g = small();
+        let engine = Engine::new(&g.dataset);
+        let t = Bsbm::q_rating_by_type();
+        let b = Binding::new().with("type", Term::iri(schema::product_type(0)));
+        let out = engine.run_template(&t, &b).unwrap();
+        assert_eq!(out.results.len(), 1);
+        let avg = out.results.rows[0][0].as_num().unwrap();
+        assert!((1.0..=10.0).contains(&avg), "avg rating {avg}");
+    }
+
+    #[test]
+    fn domains_exist_in_dataset() {
+        let g = small();
+        for t in g.type_iris() {
+            assert!(g.dataset.lookup(&t).is_some(), "{t} missing");
+        }
+        for p in g.product_iris().iter().take(20) {
+            assert!(g.dataset.lookup(p).is_some());
+        }
+    }
+}

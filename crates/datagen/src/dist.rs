@@ -1,0 +1,184 @@
+//! Sampling utilities shared by the generators.
+//!
+//! Everything is driven by a seeded [`rand::rngs::StdRng`], so a
+//! `(config, seed)` pair always regenerates the identical dataset —
+//! a property the workload-stability experiments (E2) depend on.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A precomputed discrete distribution over `0..n` with Zipf(s) weights:
+/// `P(k) ∝ 1/(k+1)^s`. Sampling is by binary search over the CDF.
+///
+/// Used for country populations, person "attractiveness" in the social
+/// graph, post activity and travel-destination popularity — the skews the
+/// paper's E1/E2 attribute to "real-world distributions".
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with exponent `s ≥ 0`.
+    /// `s = 0` degenerates to uniform. Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(s >= 0.0 && s.is_finite(), "invalid Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the support is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Samples an index from explicit non-negative weights.
+pub fn weighted_index(weights: &[f64], rng: &mut StdRng) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A power-law-ish degree sampler: `max(min_deg, round(scale / u^alpha))`
+/// clipped at `max_deg`, where `u ~ U(0,1)`. Produces the heavy-tailed
+/// friend/post counts that make uniform parameter sampling unstable (E2).
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawDegree {
+    pub min_deg: usize,
+    pub max_deg: usize,
+    pub scale: f64,
+    pub alpha: f64,
+}
+
+impl PowerLawDegree {
+    /// Samples one degree.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(1e-6..1.0);
+        let d = (self.scale / u.powf(self.alpha)).round() as usize;
+        d.clamp(self.min_deg, self.max_deg)
+    }
+}
+
+/// Deterministic RNG from a root seed and a stream label, so independent
+/// generator phases don't perturb each other when one changes.
+pub fn stream_rng(seed: u64, label: &str) -> StdRng {
+    // FNV-1a over the label, mixed into the seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed ^ h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_normalized_and_monotone() {
+        let z = Zipf::new(10, 1.0);
+        assert_eq!(z.len(), 10);
+        let total: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(9));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_respects_skew() {
+        let z = Zipf::new(20, 1.2);
+        let mut rng = stream_rng(42, "zipf-test");
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > 3 * counts[10]);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy() {
+        let mut rng = stream_rng(7, "weighted");
+        let w = [0.0, 9.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..5_000 {
+            counts[weighted_index(&w, &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > 5 * counts[2]);
+    }
+
+    #[test]
+    fn degrees_respect_bounds() {
+        let d = PowerLawDegree { min_deg: 1, max_deg: 100, scale: 3.0, alpha: 0.8 };
+        let mut rng = stream_rng(1, "deg");
+        let samples: Vec<usize> = (0..2_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| (1..=100).contains(&x)));
+        // Heavy tail: someone should exceed 5× the minimum scale.
+        assert!(samples.iter().any(|&x| x > 15));
+        // But the median stays small.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        assert!(sorted[1000] <= 10);
+    }
+
+    #[test]
+    fn stream_rng_is_deterministic_and_label_sensitive() {
+        let a: u64 = stream_rng(5, "x").gen();
+        let b: u64 = stream_rng(5, "x").gen();
+        let c: u64 = stream_rng(5, "y").gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

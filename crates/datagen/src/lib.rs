@@ -1,0 +1,30 @@
+//! # parambench-datagen
+//!
+//! Deterministic dataset generators for the *parambench* reproduction of
+//! "How to generate query parameters in RDF benchmarks?"
+//! (Gubichev, Angles, Boncz — ICDE 2014).
+//!
+//! Three generators, the first two mirroring the paper's two benchmarks:
+//!
+//! * [`bsbm`] — a Berlin-SPARQL-Benchmark-like product catalog with a
+//!   product-type hierarchy (the E1/E3 "type generality" lever) and
+//!   type-correlated features;
+//! * [`lubm`] — a LUBM-like university graph with size-skewed universities
+//!   (the related-work benchmark family, exercising curation generality);
+//! * [`snb`] — an LDBC-Social-Network-Benchmark-like graph with S3G2-style
+//!   correlations: country-correlated names, location-correlated power-law
+//!   friendships, activity-correlated posts, region-correlated travel
+//!   (the E2 instability and E4 plan-flip levers).
+//!
+//! All generators also export their query templates (parameterized in the
+//! paper's `%param` notation) and parameter domains.
+
+pub mod bsbm;
+pub mod dist;
+pub mod lubm;
+pub mod names;
+pub mod snb;
+
+pub use bsbm::{Bsbm, BsbmConfig};
+pub use lubm::{Lubm, LubmConfig};
+pub use snb::{Snb, SnbConfig};

@@ -1,0 +1,346 @@
+//! LUBM-like university-domain generator.
+//!
+//! LUBM is one of the RDF benchmarks the paper's related work cites as
+//! affected by the parameter-generation problem ("the problem of finding
+//! the parameter domains is relevant for all of them"). This generator
+//! produces the classic university schema with a **size-skewed** university
+//! population (Zipf over departments per university and students per
+//! department), so that university/department-parameterized templates show
+//! the same uniform-sampling pathologies as BSBM and SNB — and curate the
+//! same way.
+
+use parambench_rdf::store::{Dataset, StoreBuilder};
+use parambench_rdf::term::Term;
+use parambench_sparql::template::QueryTemplate;
+use rand::Rng;
+
+use crate::dist::stream_rng;
+
+/// Vocabulary of the generated LUBM-like data.
+pub mod schema {
+    pub const NS: &str = "http://lubm.example/";
+    pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    pub const FULL_PROFESSOR: &str = "http://lubm.example/FullProfessor";
+    pub const ASSOCIATE_PROFESSOR: &str = "http://lubm.example/AssociateProfessor";
+    pub const GRADUATE_STUDENT: &str = "http://lubm.example/GraduateStudent";
+    pub const UNDERGRADUATE_STUDENT: &str = "http://lubm.example/UndergraduateStudent";
+    pub const COURSE: &str = "http://lubm.example/Course";
+    pub const WORKS_FOR: &str = "http://lubm.example/worksFor";
+    pub const SUB_ORGANIZATION_OF: &str = "http://lubm.example/subOrganizationOf";
+    pub const MEMBER_OF: &str = "http://lubm.example/memberOf";
+    pub const ADVISOR: &str = "http://lubm.example/advisor";
+    pub const TAKES_COURSE: &str = "http://lubm.example/takesCourse";
+    pub const TEACHER_OF: &str = "http://lubm.example/teacherOf";
+    pub const DEGREE_FROM: &str = "http://lubm.example/degreeFrom";
+
+    pub fn university(i: usize) -> String {
+        format!("{NS}University{i}")
+    }
+    pub fn department(i: usize) -> String {
+        format!("{NS}Department{i}")
+    }
+    pub fn professor(i: usize) -> String {
+        format!("{NS}Professor{i}")
+    }
+    pub fn student(i: usize) -> String {
+        format!("{NS}Student{i}")
+    }
+    pub fn course(i: usize) -> String {
+        format!("{NS}Course{i}")
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct LubmConfig {
+    /// Number of universities.
+    pub universities: usize,
+    /// Maximum departments per university (Zipf-skewed by university rank).
+    pub max_departments: usize,
+    /// Professors per department (uniform in `2..=this`).
+    pub max_professors: usize,
+    /// Students per professor (advisees; uniform in `1..=this`).
+    pub max_advisees: usize,
+    /// Courses per professor (uniform in `1..=this`).
+    pub max_courses: usize,
+    /// Course enrollments per student (uniform in `1..=this`).
+    pub max_enrollments: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 12,
+            max_departments: 18,
+            max_professors: 8,
+            max_advisees: 6,
+            max_courses: 3,
+            max_enrollments: 4,
+            seed: 42,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// A configuration scaled to approximately `triples` triples.
+    pub fn with_scale(triples: usize) -> Self {
+        // ~1.5k triples per university with the default knobs.
+        let universities = (triples / 1_500).max(3);
+        LubmConfig { universities, ..Default::default() }
+    }
+}
+
+/// The generated LUBM-like instance.
+pub struct Lubm {
+    /// The frozen RDF dataset.
+    pub dataset: Dataset,
+    /// The configuration it was generated from.
+    pub config: LubmConfig,
+    /// Department count per university (size skew, for analysis).
+    pub departments_of: Vec<usize>,
+}
+
+impl Lubm {
+    /// Generates a dataset. Deterministic in `config.seed`.
+    pub fn generate(config: LubmConfig) -> Self {
+        let mut b = StoreBuilder::new();
+        let rdf_type = Term::iri(schema::RDF_TYPE);
+        let works_for = Term::iri(schema::WORKS_FOR);
+        let sub_org = Term::iri(schema::SUB_ORGANIZATION_OF);
+        let member_of = Term::iri(schema::MEMBER_OF);
+        let advisor = Term::iri(schema::ADVISOR);
+        let takes = Term::iri(schema::TAKES_COURSE);
+        let teaches = Term::iri(schema::TEACHER_OF);
+        let degree_from = Term::iri(schema::DEGREE_FROM);
+
+        let mut rng = stream_rng(config.seed, "lubm");
+        let mut dept_id = 0;
+        let mut prof_id = 0;
+        let mut student_id = 0;
+        let mut course_id = 0;
+        let mut departments_of = Vec::with_capacity(config.universities);
+
+        for u in 0..config.universities {
+            let univ = Term::iri(schema::university(u));
+            // Zipf-like department count: larger for low ranks.
+            let departments =
+                ((config.max_departments as f64 / (u + 1) as f64).ceil() as usize).max(2);
+            departments_of.push(departments);
+            for _ in 0..departments {
+                let dept = Term::iri(schema::department(dept_id));
+                dept_id += 1;
+                b.insert(dept.clone(), sub_org.clone(), univ.clone());
+
+                let professors = rng.gen_range(2..=config.max_professors);
+                let mut dept_courses: Vec<Term> = Vec::new();
+                let mut dept_profs: Vec<Term> = Vec::new();
+                for p in 0..professors {
+                    let prof = Term::iri(schema::professor(prof_id));
+                    prof_id += 1;
+                    let rank = if p == 0 {
+                        schema::FULL_PROFESSOR
+                    } else {
+                        schema::ASSOCIATE_PROFESSOR
+                    };
+                    b.insert(prof.clone(), rdf_type.clone(), Term::iri(rank));
+                    b.insert(prof.clone(), works_for.clone(), dept.clone());
+                    // Degree mostly from a *different* university (correlation
+                    // knob: selective joins across universities).
+                    let degree_univ = if rng.gen::<f64>() < 0.2 {
+                        u
+                    } else {
+                        rng.gen_range(0..config.universities)
+                    };
+                    b.insert(
+                        prof.clone(),
+                        degree_from.clone(),
+                        Term::iri(schema::university(degree_univ)),
+                    );
+                    for _ in 0..rng.gen_range(1..=config.max_courses) {
+                        let course = Term::iri(schema::course(course_id));
+                        course_id += 1;
+                        b.insert(course.clone(), rdf_type.clone(), Term::iri(schema::COURSE));
+                        b.insert(prof.clone(), teaches.clone(), course.clone());
+                        dept_courses.push(course);
+                    }
+                    dept_profs.push(prof);
+                }
+
+                for prof in &dept_profs {
+                    for _ in 0..rng.gen_range(1..=config.max_advisees) {
+                        let student = Term::iri(schema::student(student_id));
+                        student_id += 1;
+                        let level = if rng.gen::<f64>() < 0.4 {
+                            schema::GRADUATE_STUDENT
+                        } else {
+                            schema::UNDERGRADUATE_STUDENT
+                        };
+                        b.insert(student.clone(), rdf_type.clone(), Term::iri(level));
+                        b.insert(student.clone(), member_of.clone(), dept.clone());
+                        b.insert(student.clone(), advisor.clone(), prof.clone());
+                        for _ in 0..rng.gen_range(1..=config.max_enrollments) {
+                            let course = &dept_courses[rng.gen_range(0..dept_courses.len())];
+                            b.insert(student.clone(), takes.clone(), course.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        Lubm { dataset: b.freeze(), config, departments_of }
+    }
+
+    /// IRIs of every university (a heavily size-skewed parameter domain).
+    pub fn university_iris(&self) -> Vec<Term> {
+        (0..self.config.universities).map(schema::university).map(Term::iri).collect()
+    }
+
+    /// IRIs of every department.
+    pub fn department_iris(&self) -> Vec<Term> {
+        let total: usize = self.departments_of.iter().sum();
+        (0..total).map(schema::department).map(Term::iri).collect()
+    }
+
+    /// IRIs of every professor occurring in the dataset.
+    pub fn professor_iris(&self) -> Vec<Term> {
+        let p = self
+            .dataset
+            .lookup(&Term::iri(schema::WORKS_FOR))
+            .expect("generated data has worksFor");
+        self.dataset.subjects_of(p).into_iter().map(|id| self.dataset.decode(id).clone()).collect()
+    }
+
+    /// LUBM-style Q1: students taking any course taught by `%prof`.
+    pub fn q_students_of_professor() -> QueryTemplate {
+        QueryTemplate::parse(
+            "LUBM-STUDENTS",
+            &format!(
+                "SELECT ?student ?course WHERE {{ \
+                   %prof <{teach}> ?course . \
+                   ?student <{takes}> ?course \
+                 }}",
+                teach = schema::TEACHER_OF,
+                takes = schema::TAKES_COURSE
+            ),
+        )
+        .expect("static template parses")
+    }
+
+    /// LUBM-style Q2: the whole teaching staff and their advisees inside
+    /// `%univ` — cost tracks the (skewed) university size.
+    pub fn q_university_staff() -> QueryTemplate {
+        QueryTemplate::parse(
+            "LUBM-STAFF",
+            &format!(
+                "SELECT ?prof (COUNT(?student) AS ?advisees) WHERE {{ \
+                   ?dept <{sub}> %univ . \
+                   ?prof <{wf}> ?dept . \
+                   ?student <{adv}> ?prof \
+                 }} GROUP BY ?prof ORDER BY DESC(?advisees) LIMIT 10",
+                sub = schema::SUB_ORGANIZATION_OF,
+                wf = schema::WORKS_FOR,
+                adv = schema::ADVISOR
+            ),
+        )
+        .expect("static template parses")
+    }
+
+    /// LUBM-style Q3 with a UNION: people of `%dept` — professors working
+    /// for it or students member of it.
+    pub fn q_department_people() -> QueryTemplate {
+        QueryTemplate::parse(
+            "LUBM-PEOPLE",
+            &format!(
+                "SELECT ?person WHERE {{ \
+                   {{ ?person <{wf}> %dept }} UNION {{ ?person <{mo}> %dept }} \
+                 }}",
+                wf = schema::WORKS_FOR,
+                mo = schema::MEMBER_OF
+            ),
+        )
+        .expect("static template parses")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parambench_sparql::engine::Engine;
+    use parambench_sparql::template::Binding;
+
+    fn small() -> Lubm {
+        Lubm::generate(LubmConfig { universities: 5, ..Default::default() })
+    }
+
+    #[test]
+    fn deterministic_and_skewed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.dataset.len(), b.dataset.len());
+        // University 0 has more departments than the last one.
+        assert!(a.departments_of[0] > a.departments_of[4]);
+    }
+
+    #[test]
+    fn staff_query_cost_tracks_university_size() {
+        let g = small();
+        let engine = Engine::new(&g.dataset);
+        let t = Lubm::q_university_staff();
+        let big = engine
+            .run_template(&t, &Binding::new().with("univ", Term::iri(schema::university(0))))
+            .unwrap();
+        let small_u = engine
+            .run_template(&t, &Binding::new().with("univ", Term::iri(schema::university(4))))
+            .unwrap();
+        assert!(
+            big.cout > small_u.cout,
+            "university 0 ({}) should cost more than university 4 ({})",
+            big.cout,
+            small_u.cout
+        );
+    }
+
+    #[test]
+    fn students_of_professor_are_enrolled() {
+        let g = small();
+        let ds = &g.dataset;
+        let engine = Engine::new(ds);
+        let t = Lubm::q_students_of_professor();
+        let prof = g.professor_iris()[0].clone();
+        let out = engine.run_template(&t, &Binding::new().with("prof", prof.clone())).unwrap();
+        let takes = ds.lookup(&Term::iri(schema::TAKES_COURSE)).unwrap();
+        for row in &out.results.rows {
+            let student = ds.lookup(row[0].as_term().unwrap()).unwrap();
+            let course = ds.lookup(row[1].as_term().unwrap()).unwrap();
+            assert!(ds.contains([Some(student), Some(takes), Some(course)]));
+        }
+    }
+
+    #[test]
+    fn union_template_returns_profs_and_students() {
+        let g = small();
+        let ds = &g.dataset;
+        let engine = Engine::new(ds);
+        let t = Lubm::q_department_people();
+        let dept = Term::iri(schema::department(0));
+        let out = engine.run_template(&t, &Binding::new().with("dept", dept.clone())).unwrap();
+        let wf = ds.lookup(&Term::iri(schema::WORKS_FOR)).unwrap();
+        let mo = ds.lookup(&Term::iri(schema::MEMBER_OF)).unwrap();
+        let d = ds.lookup(&dept).unwrap();
+        let profs = ds.count([None, Some(wf), Some(d)]);
+        let students = ds.count([None, Some(mo), Some(d)]);
+        assert_eq!(out.results.len(), profs + students);
+        assert!(profs > 0 && students > 0);
+    }
+
+    #[test]
+    fn domains_are_consistent() {
+        let g = small();
+        assert_eq!(g.university_iris().len(), 5);
+        let total: usize = g.departments_of.iter().sum();
+        assert_eq!(g.department_iris().len(), total);
+        assert!(!g.professor_iris().is_empty());
+    }
+}

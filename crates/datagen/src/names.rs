@@ -1,0 +1,90 @@
+//! Country-correlated first names — the paper's introductory example.
+//!
+//! "if the %name is Li, and the %country is China, the query is an
+//! unselective join [...] if we select John and China [...] very selective."
+//!
+//! Each country has a pool of characteristic names; a person's name is drawn
+//! from the home pool with probability [`LOCAL_NAME_PROB`] and from the
+//! global pool otherwise, reproducing the S3G2-style attribute correlation.
+
+/// Probability that a person's first name comes from their country's pool.
+pub const LOCAL_NAME_PROB: f64 = 0.8;
+
+/// `(country, characteristic first names)` — ordered by (approximate)
+/// population so a Zipf over the index models population skew.
+pub const COUNTRIES: &[(&str, &[&str])] = &[
+    ("China", &["Li", "Wei", "Fang", "Jun", "Yan", "Ming", "Hua", "Lei"]),
+    ("India", &["Aarav", "Priya", "Raj", "Anika", "Vikram", "Divya", "Arjun", "Meera"]),
+    ("USA", &["John", "Mary", "James", "Jennifer", "Robert", "Linda", "Michael", "Emily"]),
+    ("Indonesia", &["Budi", "Siti", "Agus", "Dewi", "Eko", "Putri", "Joko", "Ratna"]),
+    ("Brazil", &["Joao", "Maria", "Pedro", "Ana", "Lucas", "Beatriz", "Gabriel", "Larissa"]),
+    ("Russia", &["Ivan", "Olga", "Dmitri", "Natasha", "Sergei", "Anna", "Mikhail", "Elena"]),
+    ("Japan", &["Hiroshi", "Yuki", "Takashi", "Sakura", "Kenji", "Aiko", "Satoshi", "Haruka"]),
+    ("Germany", &["Hans", "Anna", "Klaus", "Greta", "Fritz", "Ingrid", "Otto", "Heidi"]),
+    ("France", &["Pierre", "Marie", "Jean", "Camille", "Luc", "Sophie", "Antoine", "Chloe"]),
+    ("UK", &["Oliver", "Amelia", "Harry", "Isla", "George", "Ava", "Jack", "Grace"]),
+    ("Canada", &["Liam", "Emma", "Noah", "Olivia", "William", "Charlotte", "Ethan", "Sophia"]),
+    ("Spain", &["Carlos", "Lucia", "Javier", "Carmen", "Miguel", "Paula", "Diego", "Sara"]),
+    ("Finland", &["Mikko", "Aino", "Juhani", "Helmi", "Tapio", "Venla", "Eero", "Silja"]),
+    ("Poland", &["Piotr", "Agnieszka", "Krzysztof", "Magda", "Tomasz", "Zofia", "Marek", "Kasia"]),
+    ("Netherlands", &["Daan", "Sanne", "Bram", "Lotte", "Sem", "Fleur", "Thijs", "Anouk"]),
+    ("Chile", &["Matias", "Valentina", "Benjamin", "Isidora", "Vicente", "Antonia", "Tomas", "Fernanda"]),
+    ("Austria", &["Lukas", "Lena", "Felix", "Marie", "Paul", "Laura", "Jakob", "Julia"]),
+    ("Norway", &["Magnus", "Ingrid", "Henrik", "Sofie", "Olav", "Nora", "Sigurd", "Frida"]),
+    ("Greece", &["Georgios", "Eleni", "Dimitris", "Katerina", "Nikos", "Sofia", "Kostas", "Despina"]),
+    ("Zimbabwe", &["Tendai", "Chipo", "Tatenda", "Rudo", "Farai", "Nyasha", "Tafadzwa", "Kudzai"]),
+];
+
+/// Names that occur (rarely) everywhere — the 1−[`LOCAL_NAME_PROB`] tail.
+pub const GLOBAL_NAMES: &[&str] = &[
+    "Alex", "Sam", "Max", "Kim", "Lee", "Dana", "Robin", "Jordan", "Taylor", "Casey",
+];
+
+/// Number of modeled countries.
+pub fn country_count() -> usize {
+    COUNTRIES.len()
+}
+
+/// The country name at population rank `i` (0 = most populous).
+pub fn country_name(i: usize) -> &'static str {
+    COUNTRIES[i].0
+}
+
+/// The characteristic name pool of country `i`.
+pub fn local_names(i: usize) -> &'static [&'static str] {
+    COUNTRIES[i].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_unique_per_country() {
+        for (country, names) in COUNTRIES {
+            assert!(!names.is_empty(), "{country}");
+            let mut sorted = names.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), names.len(), "duplicate names in {country}");
+        }
+    }
+
+    #[test]
+    fn intro_example_names_present() {
+        // The paper's running example must be representable.
+        let china = COUNTRIES.iter().find(|(c, _)| *c == "China").unwrap();
+        assert!(china.1.contains(&"Li"));
+        let usa = COUNTRIES.iter().find(|(c, _)| *c == "USA").unwrap();
+        assert!(usa.1.contains(&"John"));
+        // John is NOT a Chinese local name: the correlation is real.
+        assert!(!china.1.contains(&"John"));
+    }
+
+    #[test]
+    fn e4_country_pairs_present() {
+        for c in ["USA", "Canada", "Finland", "Zimbabwe"] {
+            assert!(COUNTRIES.iter().any(|(n, _)| *n == c), "{c} missing");
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! LDBC-SNB-like social network generator (S3G2-style correlations).
+//!
+//! Reproduces the three correlations the paper's E2/E4 examples depend on:
+//!
+//! * **attribute correlation** — first names are drawn from the home
+//!   country's pool with high probability (the "Li/China vs John/China"
+//!   intro example);
+//! * **structure correlation** — friendships prefer same-country pairs, and
+//!   both friend counts and post counts are power-law *and mutually
+//!   correlated* (active people have many friends and many posts), which is
+//!   what makes LDBC Q2's runtime skew so heavy under uniform parameters;
+//! * **travel correlation** — trips target same-region countries with
+//!   popularity skew, so some country pairs (USA+Canada) are co-visited by
+//!   many people and others (Finland+Zimbabwe) by almost none — the E4
+//!   plan-flip lever.
+
+use parambench_rdf::store::{Dataset, StoreBuilder};
+use parambench_rdf::term::Term;
+use parambench_sparql::template::QueryTemplate;
+use rand::Rng;
+
+use crate::dist::{stream_rng, PowerLawDegree, Zipf};
+use crate::names::{country_count, country_name, local_names, GLOBAL_NAMES, LOCAL_NAME_PROB};
+
+/// Vocabulary of the generated SNB-like data.
+pub mod schema {
+    pub const NS: &str = "http://snb.example/";
+    pub const FIRST_NAME: &str = "http://snb.example/firstName";
+    pub const LIVES_IN: &str = "http://snb.example/livesIn";
+    pub const KNOWS: &str = "http://snb.example/knows";
+    pub const HAS_CREATOR: &str = "http://snb.example/hasCreator";
+    pub const CREATION_DATE: &str = "http://snb.example/creationDate";
+    pub const HAS_BEEN_IN: &str = "http://snb.example/hasBeenIn";
+
+    pub fn person(i: usize) -> String {
+        format!("{NS}Person{i}")
+    }
+    pub fn post(i: usize) -> String {
+        format!("{NS}Post{i}")
+    }
+    pub fn country(name: &str) -> String {
+        format!("{NS}Country/{name}")
+    }
+}
+
+/// Geographic region of each country in [`crate::names::COUNTRIES`] order.
+/// Travel is strongly intra-region, creating correlated country pairs.
+const REGIONS: &[(&str, usize)] = &[
+    ("China", 0),
+    ("India", 0),
+    ("USA", 1),
+    ("Indonesia", 0),
+    ("Brazil", 1),
+    ("Russia", 2),
+    ("Japan", 0),
+    ("Germany", 2),
+    ("France", 2),
+    ("UK", 2),
+    ("Canada", 1),
+    ("Spain", 2),
+    ("Finland", 2),
+    ("Poland", 2),
+    ("Netherlands", 2),
+    ("Chile", 1),
+    ("Austria", 2),
+    ("Norway", 2),
+    ("Greece", 2),
+    ("Zimbabwe", 3),
+];
+
+/// Region index of country `i`.
+pub fn region_of(country_idx: usize) -> usize {
+    REGIONS[country_idx].1
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SnbConfig {
+    /// Number of persons.
+    pub persons: usize,
+    /// Friend-degree distribution.
+    pub degree: PowerLawDegree,
+    /// Probability a friendship stays within the home country.
+    pub same_country_friend_prob: f64,
+    /// Zipf exponent of country populations.
+    pub country_skew: f64,
+    /// Probability a trip targets the home region.
+    pub same_region_trip_prob: f64,
+    /// Maximum trips per person.
+    pub max_trips: usize,
+    /// Posts ≈ `post_activity` × friend-degree (correlated activity).
+    pub post_activity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SnbConfig {
+    fn default() -> Self {
+        SnbConfig {
+            persons: 3_000,
+            degree: PowerLawDegree { min_deg: 1, max_deg: 300, scale: 2.5, alpha: 0.85 },
+            same_country_friend_prob: 0.7,
+            country_skew: 1.0,
+            same_region_trip_prob: 0.75,
+            max_trips: 8,
+            post_activity: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+impl SnbConfig {
+    /// A configuration scaled to approximately `triples` triples.
+    pub fn with_scale(triples: usize) -> Self {
+        // ~22 triples per person with the default knobs.
+        let persons = (triples / 22).max(100);
+        SnbConfig { persons, ..Default::default() }
+    }
+}
+
+/// The generated social network: dataset plus the workload's templates and
+/// parameter domains.
+pub struct Snb {
+    /// The frozen RDF dataset.
+    pub dataset: Dataset,
+    /// The configuration it was generated from.
+    pub config: SnbConfig,
+    /// Home country index of each person (for analysis in tests/benches).
+    pub home_country: Vec<usize>,
+}
+
+impl Snb {
+    /// Generates a dataset. Deterministic in `config.seed`.
+    #[allow(clippy::needless_range_loop)] // person index is identity across parallel arrays
+    pub fn generate(config: SnbConfig) -> Self {
+        let n = config.persons;
+        let mut b = StoreBuilder::new();
+        let first_name = Term::iri(schema::FIRST_NAME);
+        let lives_in = Term::iri(schema::LIVES_IN);
+        let knows = Term::iri(schema::KNOWS);
+        let has_creator = Term::iri(schema::HAS_CREATOR);
+        let creation_date = Term::iri(schema::CREATION_DATE);
+        let has_been_in = Term::iri(schema::HAS_BEEN_IN);
+
+        let countries = country_count();
+        let country_pop = Zipf::new(countries, config.country_skew);
+
+        // Residence + names.
+        let mut rng = stream_rng(config.seed, "snb-persons");
+        let mut home = Vec::with_capacity(n);
+        let mut by_country: Vec<Vec<usize>> = vec![Vec::new(); countries];
+        for pi in 0..n {
+            let c = country_pop.sample(&mut rng);
+            home.push(c);
+            by_country[c].push(pi);
+            let person = Term::iri(schema::person(pi));
+            b.insert(person.clone(), lives_in.clone(), Term::iri(schema::country(country_name(c))));
+            let name = if rng.gen::<f64>() < LOCAL_NAME_PROB {
+                let pool = local_names(c);
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                GLOBAL_NAMES[rng.gen_range(0..GLOBAL_NAMES.len())]
+            };
+            b.insert(person, first_name.clone(), Term::literal(name));
+        }
+
+        // Friendships (symmetric, stored in both directions).
+        let mut rng = stream_rng(config.seed, "snb-knows");
+        let mut degree = vec![0usize; n];
+        for pi in 0..n {
+            let target_deg = config.degree.sample(&mut rng);
+            let mut attempts = 0;
+            while degree[pi] < target_deg && attempts < target_deg * 4 {
+                attempts += 1;
+                let friend = if rng.gen::<f64>() < config.same_country_friend_prob
+                    && by_country[home[pi]].len() > 1
+                {
+                    let mates = &by_country[home[pi]];
+                    mates[rng.gen_range(0..mates.len())]
+                } else {
+                    rng.gen_range(0..n)
+                };
+                if friend == pi {
+                    continue;
+                }
+                b.insert(
+                    Term::iri(schema::person(pi)),
+                    knows.clone(),
+                    Term::iri(schema::person(friend)),
+                );
+                b.insert(
+                    Term::iri(schema::person(friend)),
+                    knows.clone(),
+                    Term::iri(schema::person(pi)),
+                );
+                degree[pi] += 1;
+                degree[friend] += 1;
+            }
+        }
+
+        // Posts: activity correlated with degree.
+        let mut rng = stream_rng(config.seed, "snb-posts");
+        // 2012 .. 2014 window, milliseconds.
+        let t0: i64 = 1_325_376_000_000;
+        let t1: i64 = 1_388_534_400_000;
+        let mut post_id = 0;
+        for pi in 0..n {
+            let base = (degree[pi] as f64 * config.post_activity).round() as usize;
+            let posts = rng.gen_range(0..=base.max(1));
+            for _ in 0..posts {
+                let post = Term::iri(schema::post(post_id));
+                post_id += 1;
+                b.insert(post.clone(), has_creator.clone(), Term::iri(schema::person(pi)));
+                b.insert(
+                    post,
+                    creation_date.clone(),
+                    Term::date_time_millis(rng.gen_range(t0..t1)),
+                );
+            }
+        }
+
+        // Travel.
+        let mut rng = stream_rng(config.seed, "snb-travel");
+        // In-region popularity: Zipf over the countries of each region,
+        // ordered by global popularity.
+        let mut region_members: Vec<Vec<usize>> = vec![Vec::new(); 4];
+        for c in 0..countries {
+            region_members[region_of(c)].push(c);
+        }
+        let region_zipf: Vec<Zipf> = region_members
+            .iter()
+            .map(|m| Zipf::new(m.len().max(1), 1.0))
+            .collect();
+        let global_zipf = Zipf::new(countries, 1.0);
+        for pi in 0..n {
+            let trips = rng.gen_range(0..=config.max_trips);
+            for _ in 0..trips {
+                let dest = if rng.gen::<f64>() < config.same_region_trip_prob {
+                    let region = region_of(home[pi]);
+                    let members = &region_members[region];
+                    members[region_zipf[region].sample(&mut rng)]
+                } else {
+                    global_zipf.sample(&mut rng)
+                };
+                b.insert(
+                    Term::iri(schema::person(pi)),
+                    has_been_in.clone(),
+                    Term::iri(schema::country(country_name(dest))),
+                );
+            }
+        }
+
+        Snb { dataset: b.freeze(), config, home_country: home }
+    }
+
+    /// IRIs of every person (the Q2 parameter domain).
+    pub fn person_iris(&self) -> Vec<Term> {
+        (0..self.config.persons).map(schema::person).map(Term::iri).collect()
+    }
+
+    /// IRIs of every country.
+    pub fn country_iris(&self) -> Vec<Term> {
+        (0..country_count()).map(|c| Term::iri(schema::country(country_name(c)))).collect()
+    }
+
+    /// All first names occurring in the generator's pools.
+    pub fn name_literals(&self) -> Vec<Term> {
+        let mut names: Vec<&str> = GLOBAL_NAMES.to_vec();
+        for c in 0..country_count() {
+            names.extend_from_slice(local_names(c));
+        }
+        names.sort_unstable();
+        names.dedup();
+        names.into_iter().map(Term::literal).collect()
+    }
+
+    /// Intro example: people by first name and country — two *correlated*
+    /// parameters.
+    pub fn q1_name_country() -> QueryTemplate {
+        QueryTemplate::parse(
+            "SNB-Q1",
+            &format!(
+                "SELECT ?p WHERE {{ ?p <{fnm}> %name . ?p <{liv}> %country }}",
+                fnm = schema::FIRST_NAME,
+                liv = schema::LIVES_IN
+            ),
+        )
+        .expect("static template parses")
+    }
+
+    /// LDBC Q2: the newest 20 posts of `%person`'s friends.
+    pub fn q2_friend_posts() -> QueryTemplate {
+        QueryTemplate::parse(
+            "LDBC-Q2",
+            &format!(
+                "SELECT ?post ?date WHERE {{ \
+                   %person <{kn}> ?friend . \
+                   ?post <{hc}> ?friend . \
+                   ?post <{cd}> ?date \
+                 }} ORDER BY DESC(?date) LIMIT 20",
+                kn = schema::KNOWS,
+                hc = schema::HAS_CREATOR,
+                cd = schema::CREATION_DATE
+            ),
+        )
+        .expect("static template parses")
+    }
+
+    /// LDBC Q3: friends-of-friends of `%person` who have been to both
+    /// `%countryX` and `%countryY`.
+    pub fn q3_two_countries() -> QueryTemplate {
+        QueryTemplate::parse(
+            "LDBC-Q3",
+            &format!(
+                "SELECT DISTINCT ?other WHERE {{ \
+                   %person <{kn}> ?f . \
+                   ?f <{kn}> ?other . \
+                   ?other <{hb}> %countryX . \
+                   ?other <{hb}> %countryY . \
+                   FILTER(?other != %person) \
+                 }}",
+                kn = schema::KNOWS,
+                hb = schema::HAS_BEEN_IN
+            ),
+        )
+        .expect("static template parses")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parambench_sparql::engine::Engine;
+    use parambench_sparql::template::Binding;
+    use std::collections::HashMap;
+
+    fn small() -> Snb {
+        Snb::generate(SnbConfig { persons: 600, ..Default::default() })
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.dataset.len(), b.dataset.len());
+        assert_eq!(a.home_country, b.home_country);
+    }
+
+    #[test]
+    fn country_population_is_skewed() {
+        let g = small();
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for &c in &g.home_country {
+            *counts.entry(c).or_default() += 1;
+        }
+        let biggest = *counts.values().max().unwrap();
+        let smallest = counts.get(&(country_count() - 1)).copied().unwrap_or(0);
+        assert!(biggest > 5 * smallest.max(1), "biggest {biggest} smallest {smallest}");
+    }
+
+    #[test]
+    fn names_correlate_with_country() {
+        let g = small();
+        let ds = &g.dataset;
+        let fnm = ds.lookup(&Term::iri(schema::FIRST_NAME)).unwrap();
+        let liv = ds.lookup(&Term::iri(schema::LIVES_IN)).unwrap();
+        let china = ds.lookup(&Term::iri(schema::country("China"))).unwrap();
+        // Among Chinese residents, count local vs foreign-local names.
+        let mut local = 0;
+        let mut other = 0;
+        for t in ds.scan([None, Some(liv), Some(china)]) {
+            let person = t[0];
+            for nt in ds.scan([Some(person), Some(fnm), None]) {
+                let name = ds.decode(nt[2]);
+                let lex = match name {
+                    Term::Literal(l) => l.lexical.as_str(),
+                    _ => "",
+                };
+                if local_names(0).contains(&lex) {
+                    local += 1;
+                } else {
+                    other += 1;
+                }
+            }
+        }
+        assert!(local > other, "local {local} vs other {other}");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = small();
+        let ds = &g.dataset;
+        let kn = ds.lookup(&Term::iri(schema::KNOWS)).unwrap();
+        let mut degs: Vec<usize> = Vec::new();
+        for p in g.person_iris().iter().take(600) {
+            if let Some(id) = ds.lookup(p) {
+                degs.push(ds.count([Some(id), Some(kn), None]));
+            }
+        }
+        degs.sort_unstable();
+        let median = degs[degs.len() / 2];
+        let max = *degs.last().unwrap();
+        assert!(max >= media_bound(median), "max {max} median {median}");
+        fn media_bound(median: usize) -> usize {
+            (median * 4).max(8)
+        }
+    }
+
+    #[test]
+    fn travel_pairs_are_correlated() {
+        let g = small();
+        let ds = &g.dataset;
+        let hb = ds.lookup(&Term::iri(schema::HAS_BEEN_IN)).unwrap();
+        let visitors = |name: &str| -> Vec<parambench_rdf::dict::Id> {
+            let c = ds.lookup(&Term::iri(schema::country(name)));
+            match c {
+                Some(c) => ds.scan([None, Some(hb), Some(c)]).map(|t| t[0]).collect(),
+                None => Vec::new(),
+            }
+        };
+        let inter = |a: &[parambench_rdf::dict::Id], b: &[parambench_rdf::dict::Id]| -> usize {
+            let set: std::collections::HashSet<_> = a.iter().collect();
+            b.iter().filter(|x| set.contains(x)).count()
+        };
+        let usa = visitors("USA");
+        let canada = visitors("Canada");
+        let finland = visitors("Finland");
+        let zimbabwe = visitors("Zimbabwe");
+        let popular = inter(&usa, &canada);
+        let rare = inter(&finland, &zimbabwe);
+        assert!(
+            popular > rare.saturating_mul(3).max(2),
+            "USA∩Canada = {popular}, Finland∩Zimbabwe = {rare}"
+        );
+    }
+
+    #[test]
+    fn q2_runs_and_orders_dates_desc() {
+        let g = small();
+        let engine = Engine::new(&g.dataset);
+        let t = Snb::q2_friend_posts();
+        // Find a person with friends and posts around.
+        let out = engine
+            .run_template(&t, &Binding::new().with("person", Term::iri(schema::person(0))))
+            .unwrap();
+        assert!(out.results.len() <= 20);
+        let dates: Vec<f64> =
+            out.results.rows.iter().filter_map(|r| r[1].as_num()).collect();
+        assert!(dates.windows(2).all(|w| w[0] >= w[1]), "descending dates");
+    }
+
+    #[test]
+    fn q3_respects_both_countries() {
+        let g = small();
+        let ds = &g.dataset;
+        let engine = Engine::new(&g.dataset);
+        let t = Snb::q3_two_countries();
+        let b = Binding::new()
+            .with("person", Term::iri(schema::person(1)))
+            .with("countryX", Term::iri(schema::country("USA")))
+            .with("countryY", Term::iri(schema::country("Canada")));
+        let out = engine.run_template(&t, &b).unwrap();
+        let hb = ds.lookup(&Term::iri(schema::HAS_BEEN_IN)).unwrap();
+        let usa = ds.lookup(&Term::iri(schema::country("USA"))).unwrap();
+        let canada = ds.lookup(&Term::iri(schema::country("Canada"))).unwrap();
+        for row in &out.results.rows {
+            let other = row[0].as_term().unwrap();
+            let oid = ds.lookup(other).unwrap();
+            assert!(ds.contains([Some(oid), Some(hb), Some(usa)]));
+            assert!(ds.contains([Some(oid), Some(hb), Some(canada)]));
+        }
+    }
+
+    #[test]
+    fn q1_intro_example_selectivity_flips() {
+        let g = Snb::generate(SnbConfig { persons: 2_000, ..Default::default() });
+        let engine = Engine::new(&g.dataset);
+        let t = Snb::q1_name_country();
+        let li_china = Binding::new()
+            .with("name", Term::literal("Li"))
+            .with("country", Term::iri(schema::country("China")));
+        let john_china = Binding::new()
+            .with("name", Term::literal("John"))
+            .with("country", Term::iri(schema::country("China")));
+        let li = engine.run_template(&t, &li_china).unwrap().results.len();
+        let john = engine.run_template(&t, &john_china).unwrap().results.len();
+        assert!(li > john, "Li/China ({li}) should beat John/China ({john})");
+    }
+}

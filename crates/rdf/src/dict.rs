@@ -1,0 +1,173 @@
+//! Dictionary encoding of RDF terms.
+//!
+//! Every distinct [`Term`] in a dataset is mapped to a dense 32-bit [`Id`].
+//! The engine's indexes, operators and statistics all work on ids; the
+//! dictionary is only consulted at the edges (loading data, binding query
+//! constants, producing human-readable results).
+//!
+//! Besides the bijection itself, the dictionary caches the numeric
+//! interpretation of each literal (see [`Term::numeric_value`]) so that
+//! filters and ORDER BY never re-parse lexical forms on the hot path.
+
+use std::collections::HashMap;
+
+use crate::term::Term;
+
+/// A dense identifier for an interned term. `Id(0)` is the first term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Id(pub u32);
+
+impl Id {
+    /// The id as an index into dictionary-parallel arrays.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Id {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between [`Term`]s and [`Id`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    /// Cached `numeric_value()` per id (NaN = none); parallel to `terms`.
+    numeric: Vec<f64>,
+    by_term: HashMap<Term, Id>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns `term`, returning its id. Re-interning is idempotent.
+    pub fn encode(&mut self, term: Term) -> Id {
+        if let Some(&id) = self.by_term.get(&term) {
+            return id;
+        }
+        let id = Id(u32::try_from(self.terms.len()).expect("dictionary overflow: > u32::MAX terms"));
+        self.numeric.push(term.numeric_value().unwrap_or(f64::NAN));
+        self.by_term.insert(term.clone(), id);
+        self.terms.push(term);
+        id
+    }
+
+    /// Looks up the id of a term without interning it.
+    pub fn lookup(&self, term: &Term) -> Option<Id> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The term for `id`. Panics if the id is out of range (ids are only
+    /// produced by this dictionary, so that is a logic error).
+    pub fn decode(&self, id: Id) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// The cached numeric value of `id`'s term, if it has one.
+    #[inline]
+    pub fn numeric(&self, id: Id) -> Option<f64> {
+        let v = self.numeric[id.index()];
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Iterates over all `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &Term)> {
+        self.terms.iter().enumerate().map(|(i, t)| (Id(i as u32), t))
+    }
+
+    /// Compares two ids by the RDF "benchmark order": numeric values first
+    /// (by value), then lexical term order. Used by ORDER BY.
+    pub fn compare(&self, a: Id, b: Id) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.numeric(a), self.numeric(b)) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => self.decode(a).cmp(self.decode(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut dict = Dictionary::new();
+        let a = dict.encode(Term::iri("http://e/a"));
+        let b = dict.encode(Term::iri("http://e/b"));
+        let a2 = dict.encode(Term::iri("http://e/a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let mut dict = Dictionary::new();
+        let terms = vec![
+            Term::iri("http://e/a"),
+            Term::literal("hello"),
+            Term::integer(42),
+            Term::Blank("b1".into()),
+            Term::Literal(Literal::lang("hola", "es")),
+        ];
+        let ids: Vec<Id> = terms.iter().cloned().map(|t| dict.encode(t)).collect();
+        for (id, term) in ids.iter().zip(&terms) {
+            assert_eq!(dict.decode(*id), term);
+            assert_eq!(dict.lookup(term), Some(*id));
+        }
+    }
+
+    #[test]
+    fn numeric_cache() {
+        let mut dict = Dictionary::new();
+        let i = dict.encode(Term::integer(7));
+        let d = dict.encode(Term::double(-1.5));
+        let s = dict.encode(Term::literal("7"));
+        assert_eq!(dict.numeric(i), Some(7.0));
+        assert_eq!(dict.numeric(d), Some(-1.5));
+        assert_eq!(dict.numeric(s), None);
+    }
+
+    #[test]
+    fn compare_orders_numerics_before_lexicals() {
+        let mut dict = Dictionary::new();
+        let two = dict.encode(Term::integer(2));
+        let ten = dict.encode(Term::integer(10));
+        let txt = dict.encode(Term::literal("аbc"));
+        assert_eq!(dict.compare(two, ten), std::cmp::Ordering::Less);
+        assert_eq!(dict.compare(ten, two), std::cmp::Ordering::Greater);
+        assert_eq!(dict.compare(two, txt), std::cmp::Ordering::Less);
+        assert_eq!(dict.compare(two, two), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let dict = Dictionary::new();
+        assert_eq!(dict.lookup(&Term::iri("http://nope")), None);
+    }
+}

@@ -1,0 +1,23 @@
+//! Error type for the RDF substrate.
+
+use std::fmt;
+
+/// Errors produced while building or loading datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A syntax or I/O problem while parsing serialized RDF.
+    Parse(String),
+    /// A term was referenced that the dictionary does not contain.
+    UnknownTerm(String),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Parse(msg) => write!(f, "parse error: {msg}"),
+            RdfError::UnknownTerm(term) => write!(f, "unknown term: {term}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}

@@ -1,0 +1,263 @@
+//! Sorted permutation indexes over dictionary-encoded triples.
+//!
+//! The store keeps six copies of the triple set, each sorted by one of the
+//! six orderings of (subject, predicate, object) — the classical RDF-3X /
+//! Hexastore layout. Any triple pattern with any combination of bound
+//! positions can then be answered by a binary-searched contiguous range of
+//! exactly one index, which also gives *exact* pattern cardinalities in
+//! `O(log n)` — the property the paper's `Cout` analysis relies on.
+
+use crate::dict::Id;
+
+/// One of the six orderings of (S, P, O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexOrder {
+    Spo,
+    Sop,
+    Pso,
+    Pos,
+    Osp,
+    Ops,
+}
+
+impl IndexOrder {
+    /// All six orders, in the order they are stored.
+    pub const ALL: [IndexOrder; 6] = [
+        IndexOrder::Spo,
+        IndexOrder::Sop,
+        IndexOrder::Pso,
+        IndexOrder::Pos,
+        IndexOrder::Osp,
+        IndexOrder::Ops,
+    ];
+
+    /// `perm()[k]` is the SPO-position (0=s, 1=p, 2=o) stored at key
+    /// position `k` of this index.
+    #[inline]
+    pub fn perm(self) -> [usize; 3] {
+        match self {
+            IndexOrder::Spo => [0, 1, 2],
+            IndexOrder::Sop => [0, 2, 1],
+            IndexOrder::Pso => [1, 0, 2],
+            IndexOrder::Pos => [1, 2, 0],
+            IndexOrder::Osp => [2, 0, 1],
+            IndexOrder::Ops => [2, 1, 0],
+        }
+    }
+
+    /// Index into [`IndexOrder::ALL`].
+    #[inline]
+    pub fn slot(self) -> usize {
+        match self {
+            IndexOrder::Spo => 0,
+            IndexOrder::Sop => 1,
+            IndexOrder::Pso => 2,
+            IndexOrder::Pos => 3,
+            IndexOrder::Osp => 4,
+            IndexOrder::Ops => 5,
+        }
+    }
+
+    /// Picks the index whose key prefix covers the bound positions of a
+    /// pattern. `bound = (s?, p?, o?)`.
+    pub fn for_bound(s: bool, p: bool, o: bool) -> IndexOrder {
+        match (s, p, o) {
+            (true, true, true) | (true, true, false) | (true, false, false) | (false, false, false) => {
+                IndexOrder::Spo
+            }
+            (true, false, true) => IndexOrder::Sop,
+            (false, true, false) => IndexOrder::Pso,
+            (false, true, true) => IndexOrder::Pos,
+            (false, false, true) => IndexOrder::Osp,
+        }
+    }
+
+    /// Re-orders an SPO triple into this index's key order.
+    #[inline]
+    pub fn key_of(self, spo: [Id; 3]) -> [Id; 3] {
+        let p = self.perm();
+        [spo[p[0]], spo[p[1]], spo[p[2]]]
+    }
+
+    /// Inverse of [`IndexOrder::key_of`].
+    #[inline]
+    pub fn spo_of(self, key: [Id; 3]) -> [Id; 3] {
+        let p = self.perm();
+        let mut spo = [Id(0); 3];
+        spo[p[0]] = key[0];
+        spo[p[1]] = key[1];
+        spo[p[2]] = key[2];
+        spo
+    }
+}
+
+/// A single sorted permutation index.
+#[derive(Debug, Clone)]
+pub struct PermIndex {
+    order: IndexOrder,
+    /// Triples re-ordered into key order and sorted lexicographically.
+    keys: Vec<[Id; 3]>,
+}
+
+impl PermIndex {
+    /// Builds the index for `order` from a deduplicated SPO triple set.
+    pub fn build(order: IndexOrder, spo_triples: &[[Id; 3]]) -> Self {
+        let mut keys: Vec<[Id; 3]> = spo_triples.iter().map(|&t| order.key_of(t)).collect();
+        keys.sort_unstable();
+        PermIndex { order, keys }
+    }
+
+    /// The ordering of this index.
+    pub fn order(&self) -> IndexOrder {
+        self.order
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The contiguous key range whose first `prefix.len()` key components
+    /// equal `prefix` (at most 3 components).
+    pub fn range(&self, prefix: &[Id]) -> &[[Id; 3]] {
+        debug_assert!(prefix.len() <= 3);
+        let lo = self.keys.partition_point(|k| cmp_prefix(k, prefix) == std::cmp::Ordering::Less);
+        let hi = self.keys[lo..]
+            .partition_point(|k| cmp_prefix(k, prefix) != std::cmp::Ordering::Greater)
+            + lo;
+        &self.keys[lo..hi]
+    }
+
+    /// Exact number of triples matching a bound key prefix, via two binary
+    /// searches (no scan).
+    pub fn count(&self, prefix: &[Id]) -> usize {
+        self.range(prefix).len()
+    }
+
+    /// Iterates SPO triples matching the prefix.
+    pub fn scan(&self, prefix: &[Id]) -> impl Iterator<Item = [Id; 3]> + '_ {
+        let order = self.order;
+        self.range(prefix).iter().map(move |&k| order.spo_of(k))
+    }
+
+    /// Number of *distinct* values in key position `prefix.len()` within the
+    /// range selected by `prefix`. Because keys are sorted, distinct values
+    /// form runs; this gallops over the runs, so cost is `O(d log n)` for
+    /// `d` distinct values rather than `O(range)`.
+    pub fn distinct_after(&self, prefix: &[Id]) -> usize {
+        let pos = prefix.len();
+        if pos >= 3 {
+            return usize::from(!self.range(prefix).is_empty());
+        }
+        let range = self.range(prefix);
+        let mut distinct = 0;
+        let mut i = 0;
+        while i < range.len() {
+            let v = range[i][pos];
+            distinct += 1;
+            // Skip the run of keys sharing `v` at `pos` via binary search.
+            i += range[i..].partition_point(|k| k[pos] == v);
+        }
+        distinct
+    }
+}
+
+fn cmp_prefix(key: &[Id; 3], prefix: &[Id]) -> std::cmp::Ordering {
+    for (k, p) in key.iter().zip(prefix) {
+        match k.cmp(p) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u32) -> Id {
+        Id(v)
+    }
+
+    fn sample_triples() -> Vec<[Id; 3]> {
+        // (s, p, o)
+        vec![
+            [id(1), id(10), id(100)],
+            [id(1), id(10), id(101)],
+            [id(1), id(11), id(100)],
+            [id(2), id(10), id(100)],
+            [id(2), id(11), id(102)],
+            [id(3), id(12), id(103)],
+        ]
+    }
+
+    #[test]
+    fn perm_round_trip() {
+        let t = [id(7), id(8), id(9)];
+        for order in IndexOrder::ALL {
+            assert_eq!(order.spo_of(order.key_of(t)), t, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn for_bound_covers_all_masks() {
+        for mask in 0..8u8 {
+            let (s, p, o) = (mask & 1 != 0, mask & 2 != 0, mask & 4 != 0);
+            let order = IndexOrder::for_bound(s, p, o);
+            // The bound positions must be a prefix of the permutation.
+            let bound = [s, p, o];
+            let n_bound = bound.iter().filter(|&&b| b).count();
+            let perm = order.perm();
+            for k in 0..n_bound {
+                assert!(bound[perm[k]], "mask {mask:03b}: {order:?} prefix not bound");
+            }
+        }
+    }
+
+    #[test]
+    fn range_and_count() {
+        let idx = PermIndex::build(IndexOrder::Spo, &sample_triples());
+        assert_eq!(idx.count(&[]), 6);
+        assert_eq!(idx.count(&[id(1)]), 3);
+        assert_eq!(idx.count(&[id(1), id(10)]), 2);
+        assert_eq!(idx.count(&[id(1), id(10), id(100)]), 1);
+        assert_eq!(idx.count(&[id(9)]), 0);
+    }
+
+    #[test]
+    fn scan_returns_spo_triples() {
+        let idx = PermIndex::build(IndexOrder::Pos, &sample_triples());
+        let got: Vec<[Id; 3]> = idx.scan(&[id(10), id(100)]).collect();
+        assert_eq!(got.len(), 2);
+        for t in got {
+            assert_eq!(t[1], id(10));
+            assert_eq!(t[2], id(100));
+        }
+    }
+
+    #[test]
+    fn distinct_after_counts_runs() {
+        let idx = PermIndex::build(IndexOrder::Pso, &sample_triples());
+        // predicate 10 has subjects {1, 2}
+        assert_eq!(idx.distinct_after(&[id(10)]), 2);
+        // root level: distinct predicates {10, 11, 12}
+        assert_eq!(idx.distinct_after(&[]), 3);
+        // fully bound: existence
+        assert_eq!(idx.distinct_after(&[id(10), id(1), id(100)]), 1);
+        assert_eq!(idx.distinct_after(&[id(10), id(9), id(100)]), 0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = PermIndex::build(IndexOrder::Spo, &[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.count(&[]), 0);
+        assert_eq!(idx.distinct_after(&[]), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # parambench-rdf
+//!
+//! The RDF substrate of the *parambench* reproduction of
+//! "How to generate query parameters in RDF benchmarks?"
+//! (Gubichev, Angles, Boncz — ICDE 2014).
+//!
+//! This crate provides an in-memory, dictionary-encoded triple store with
+//! the six classical SPO-permutation indexes (Hexastore / RDF-3X layout),
+//! exact pattern cardinalities in `O(log n)`, per-predicate statistics for
+//! the optimizer, and a small N-Triples reader/writer.
+//!
+//! The store is write-once: a [`store::StoreBuilder`] accumulates triples
+//! and [`store::StoreBuilder::freeze`] produces an immutable
+//! [`store::Dataset`] that is cheap to share across threads.
+//!
+//! ```
+//! use parambench_rdf::store::StoreBuilder;
+//! use parambench_rdf::term::Term;
+//!
+//! let mut b = StoreBuilder::new();
+//! b.insert(Term::iri("http://e/alice"), Term::iri("http://e/knows"), Term::iri("http://e/bob"));
+//! let ds = b.freeze();
+//! let knows = ds.lookup(&Term::iri("http://e/knows")).unwrap();
+//! assert_eq!(ds.count([None, Some(knows), None]), 1);
+//! ```
+
+pub mod dict;
+pub mod error;
+pub mod index;
+pub mod ntriples;
+pub mod stats;
+pub mod store;
+pub mod term;
+
+pub use dict::{Dictionary, Id};
+pub use error::RdfError;
+pub use store::{Dataset, IdPattern, StoreBuilder};
+pub use term::{Literal, LiteralKind, Term};

@@ -1,0 +1,213 @@
+//! Minimal N-Triples reader/writer.
+//!
+//! Supports the subset the generators emit: IRIs in angle brackets, blank
+//! nodes, plain / language-tagged / typed literals with the standard string
+//! escapes, `#` comment lines and blank lines. Enough to dump a generated
+//! dataset to disk and reload it, which the examples use.
+
+use std::io::{BufRead, Write};
+
+use crate::error::RdfError;
+use crate::store::StoreBuilder;
+use crate::term::{unescape_literal, Literal, Term};
+
+/// Serializes every triple of a frozen dataset in N-Triples syntax.
+pub fn write_dataset<W: Write>(ds: &crate::store::Dataset, out: &mut W) -> std::io::Result<()> {
+    for t in ds.scan([None, None, None]) {
+        writeln!(out, "{} {} {} .", ds.decode(t[0]), ds.decode(t[1]), ds.decode(t[2]))?;
+    }
+    Ok(())
+}
+
+/// Parses N-Triples lines into a [`StoreBuilder`].
+pub fn read_into<R: BufRead>(reader: R, builder: &mut StoreBuilder) -> Result<usize, RdfError> {
+    let mut n = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| RdfError::Parse(format!("I/O error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (s, p, o) = parse_line(trimmed)
+            .map_err(|msg| RdfError::Parse(format!("line {}: {msg}", lineno + 1)))?;
+        builder.insert(s, p, o);
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Parses one N-Triples statement (without trailing newline).
+pub fn parse_line(line: &str) -> Result<(Term, Term, Term), String> {
+    let mut cursor = Cursor { input: line, pos: 0 };
+    let s = cursor.term()?;
+    let p = cursor.term()?;
+    let o = cursor.term()?;
+    cursor.skip_ws();
+    if !cursor.rest().starts_with('.') {
+        return Err(format!("expected '.' at byte {}", cursor.pos));
+    }
+    cursor.pos += 1;
+    cursor.skip_ws();
+    if !cursor.rest().is_empty() {
+        return Err(format!("trailing content after '.': {:?}", cursor.rest()));
+    }
+    Ok((s, p, o))
+}
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = self.rest();
+        let skipped = rest.len() - rest.trim_start().len();
+        self.pos += skipped;
+    }
+
+    fn term(&mut self) -> Result<Term, String> {
+        self.skip_ws();
+        let rest = self.rest();
+        if let Some(stripped) = rest.strip_prefix('<') {
+            let end = stripped.find('>').ok_or("unterminated IRI")?;
+            let iri = &stripped[..end];
+            self.pos += end + 2;
+            Ok(Term::iri(iri))
+        } else if let Some(stripped) = rest.strip_prefix("_:") {
+            let end = stripped
+                .find(|c: char| c.is_whitespace())
+                .unwrap_or(stripped.len());
+            let label = &stripped[..end];
+            if label.is_empty() {
+                return Err("empty blank node label".into());
+            }
+            self.pos += 2 + end;
+            Ok(Term::Blank(label.to_string()))
+        } else if rest.starts_with('"') {
+            self.literal()
+        } else {
+            Err(format!("unexpected token at byte {}: {:?}", self.pos, rest.chars().next()))
+        }
+    }
+
+    fn literal(&mut self) -> Result<Term, String> {
+        let rest = self.rest();
+        debug_assert!(rest.starts_with('"'));
+        // Find the closing unescaped quote.
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => break,
+                _ => i += 1,
+            }
+        }
+        if i >= bytes.len() {
+            return Err("unterminated literal".into());
+        }
+        let lexical = unescape_literal(&rest[1..i]);
+        let mut after = i + 1;
+        let tail = &rest[after..];
+        let lit = if let Some(stripped) = tail.strip_prefix("^^<") {
+            let end = stripped.find('>').ok_or("unterminated datatype IRI")?;
+            after += 3 + end + 1;
+            Literal::typed(lexical, &stripped[..end])
+        } else if let Some(stripped) = tail.strip_prefix('@') {
+            let end = stripped
+                .find(|c: char| c.is_whitespace())
+                .unwrap_or(stripped.len());
+            if end == 0 {
+                return Err("empty language tag".into());
+            }
+            after += 1 + end;
+            Literal::lang(lexical, &stripped[..end])
+        } else {
+            Literal::plain(lexical)
+        };
+        self.pos += after;
+        Ok(Term::Literal(lit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::xsd;
+
+    #[test]
+    fn parse_iri_triple() {
+        let (s, p, o) = parse_line("<http://e/a> <http://e/p> <http://e/b> .").unwrap();
+        assert_eq!(s, Term::iri("http://e/a"));
+        assert_eq!(p, Term::iri("http://e/p"));
+        assert_eq!(o, Term::iri("http://e/b"));
+    }
+
+    #[test]
+    fn parse_literals() {
+        let (_, _, o) = parse_line(r#"<a> <p> "plain" ."#).unwrap();
+        assert_eq!(o, Term::literal("plain"));
+        let (_, _, o) = parse_line(r#"<a> <p> "hello"@en ."#).unwrap();
+        assert_eq!(o, Term::Literal(Literal::lang("hello", "en")));
+        let (_, _, o) =
+            parse_line(&format!(r#"<a> <p> "42"^^<{}> ."#, xsd::INTEGER)).unwrap();
+        assert_eq!(o, Term::integer(42));
+        let (_, _, o) = parse_line(r#"<a> <p> "esc\"aped\n" ."#).unwrap();
+        assert_eq!(o, Term::literal("esc\"aped\n"));
+    }
+
+    #[test]
+    fn parse_blank_nodes() {
+        let (s, _, o) = parse_line("_:b0 <p> _:b1 .").unwrap();
+        assert_eq!(s, Term::Blank("b0".into()));
+        assert_eq!(o, Term::Blank("b1".into()));
+    }
+
+    #[test]
+    fn reject_malformed() {
+        assert!(parse_line("<a> <p> .").is_err());
+        assert!(parse_line("<a> <p> <b>").is_err());
+        assert!(parse_line("<a> <p> \"unterminated .").is_err());
+        assert!(parse_line("<a <p> <b> .").is_err());
+        assert!(parse_line("<a> <p> <b> . extra").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_store() {
+        let mut b = StoreBuilder::new();
+        b.insert(Term::iri("http://e/a"), Term::iri("http://e/p"), Term::literal("x \"y\"\nz"));
+        b.insert(Term::iri("http://e/a"), Term::iri("http://e/q"), Term::integer(-7));
+        b.insert(Term::Blank("n".into()), Term::iri("http://e/p"), Term::iri("http://e/a"));
+        let ds = b.freeze();
+
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+
+        let mut b2 = StoreBuilder::new();
+        let n = read_into(std::io::Cursor::new(&buf), &mut b2).unwrap();
+        assert_eq!(n, 3);
+        let ds2 = b2.freeze();
+        assert_eq!(ds2.len(), ds.len());
+        for t in ds.scan([None, None, None]) {
+            let s = ds.decode(t[0]).clone();
+            let p = ds.decode(t[1]).clone();
+            let o = ds.decode(t[2]).clone();
+            let pat = [ds2.lookup(&s), ds2.lookup(&p), ds2.lookup(&o)];
+            assert!(pat.iter().all(Option::is_some), "missing term after round trip");
+            assert!(ds2.contains(pat));
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let input = "# comment\n\n<a> <p> <b> .\n   \n# another\n<a> <p> <c> .\n";
+        let mut b = StoreBuilder::new();
+        let n = read_into(std::io::Cursor::new(input), &mut b).unwrap();
+        assert_eq!(n, 2);
+    }
+}

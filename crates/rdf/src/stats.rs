@@ -1,0 +1,310 @@
+//! Dataset statistics backing the query optimizer's cardinality estimator.
+//!
+//! The statistics are exact (computed from the frozen indexes, not sampled):
+//! per-predicate triple counts and distinct subject/object counts, plus
+//! global totals. The cardinality estimator combines them with exact
+//! pattern counts from the indexes; the *estimation* part is confined to
+//! join selectivities, mirroring what a production RDF optimizer keeps in
+//! its aggregated indexes.
+
+use std::collections::HashMap;
+
+use crate::dict::{Dictionary, Id};
+use crate::index::PermIndex;
+
+/// Per-predicate statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// Number of triples with this predicate.
+    pub triples: usize,
+    /// Number of distinct subjects among those triples.
+    pub distinct_subjects: usize,
+    /// Number of distinct objects among those triples.
+    pub distinct_objects: usize,
+}
+
+impl PredicateStats {
+    /// Average number of triples per distinct subject.
+    pub fn objects_per_subject(&self) -> f64 {
+        if self.distinct_subjects == 0 {
+            0.0
+        } else {
+            self.triples as f64 / self.distinct_subjects as f64
+        }
+    }
+
+    /// Average number of triples per distinct object.
+    pub fn subjects_per_object(&self) -> f64 {
+        if self.distinct_objects == 0 {
+            0.0
+        } else {
+            self.triples as f64 / self.distinct_objects as f64
+        }
+    }
+}
+
+/// Characteristic sets (Neumann & Moerkotte, ICDE 2011): subjects grouped
+/// by their exact predicate set, with per-predicate triple multiplicities.
+///
+/// Enables near-exact cardinality estimates for *star* queries (all
+/// patterns sharing the subject variable) — the shape of most benchmark
+/// templates — where the independence assumption is weakest: predicates on
+/// the same subject are strongly correlated in real data (a product that
+/// has a price also has features).
+#[derive(Debug, Clone, Default)]
+pub struct CharacteristicSets {
+    /// Each distinct predicate set (sorted) with its subject count and the
+    /// total triple count per predicate within the group.
+    sets: Vec<(Vec<Id>, CsEntry)>,
+}
+
+/// One characteristic set's payload.
+#[derive(Debug, Clone, Default)]
+pub struct CsEntry {
+    /// Number of subjects with exactly this predicate set.
+    pub subjects: usize,
+    /// Total triples per predicate over those subjects.
+    pub triples: HashMap<Id, usize>,
+}
+
+/// Aggregate over all characteristic sets that cover a queried star.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarEstimate {
+    /// Distinct subjects having *all* queried predicates.
+    pub subjects: f64,
+    /// Expected result tuples of the star join (product of per-predicate
+    /// mean multiplicities, summed over covering sets).
+    pub tuples: f64,
+}
+
+impl CharacteristicSets {
+    /// Builds the characteristic sets from the SPO index (subject-grouped).
+    pub fn compute(spo: &PermIndex) -> Self {
+        let all = spo.range(&[]);
+        let mut sets: HashMap<Vec<Id>, CsEntry> = HashMap::new();
+        let mut i = 0;
+        while i < all.len() {
+            let s = all[i][0];
+            let mut preds: Vec<Id> = Vec::new();
+            let mut counts: HashMap<Id, usize> = HashMap::new();
+            let mut j = i;
+            while j < all.len() && all[j][0] == s {
+                let p = all[j][1];
+                if preds.last() != Some(&p) {
+                    preds.push(p);
+                }
+                *counts.entry(p).or_default() += 1;
+                j += 1;
+            }
+            // SPO order sorts predicates within a subject already.
+            let entry = sets.entry(preds).or_default();
+            entry.subjects += 1;
+            for (p, c) in counts {
+                *entry.triples.entry(p).or_default() += c;
+            }
+            i = j;
+        }
+        let mut sets: Vec<(Vec<Id>, CsEntry)> = sets.into_iter().collect();
+        sets.sort_by(|a, b| a.0.cmp(&b.0));
+        CharacteristicSets { sets }
+    }
+
+    /// Number of distinct characteristic sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when no subjects were observed.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Estimates a star query over `preds` (must be non-empty): subjects
+    /// having all of them, and expected tuples when each predicate
+    /// contributes one pattern with an unbound object.
+    pub fn star(&self, preds: &[Id]) -> StarEstimate {
+        let mut subjects = 0.0;
+        let mut tuples = 0.0;
+        for (set, entry) in &self.sets {
+            if preds.iter().all(|p| set.binary_search(p).is_ok()) {
+                subjects += entry.subjects as f64;
+                let mut t = entry.subjects as f64;
+                for p in preds {
+                    let total = entry.triples.get(p).copied().unwrap_or(0) as f64;
+                    t *= total / entry.subjects as f64;
+                }
+                tuples += t;
+            }
+        }
+        StarEstimate { subjects, tuples }
+    }
+}
+
+/// Whole-dataset statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetStats {
+    /// Total number of distinct triples.
+    pub total_triples: usize,
+    /// Number of distinct subjects in the dataset.
+    pub distinct_subjects: usize,
+    /// Number of distinct objects in the dataset.
+    pub distinct_objects: usize,
+    /// Number of distinct predicates.
+    pub distinct_predicates: usize,
+    per_predicate: HashMap<Id, PredicateStats>,
+}
+
+impl DatasetStats {
+    /// Computes statistics from the PSO index (grouped by predicate) and the
+    /// dictionary. `O(n)` over the triples, done once at freeze time.
+    pub fn compute(pso: &PermIndex, _dict: &Dictionary) -> Self {
+        let mut per_predicate = HashMap::new();
+        let all = pso.range(&[]);
+        let total_triples = all.len();
+
+        let mut i = 0;
+        while i < all.len() {
+            let p = all[i][0];
+            // Find end of this predicate's run.
+            let mut j = i;
+            let mut distinct_subjects = 0;
+            let mut last_s = None;
+            let mut objects: Vec<Id> = Vec::new();
+            while j < all.len() && all[j][0] == p {
+                let s = all[j][1];
+                if last_s != Some(s) {
+                    distinct_subjects += 1;
+                    last_s = Some(s);
+                }
+                objects.push(all[j][2]);
+                j += 1;
+            }
+            objects.sort_unstable();
+            objects.dedup();
+            per_predicate.insert(
+                p,
+                PredicateStats {
+                    triples: j - i,
+                    distinct_subjects,
+                    distinct_objects: objects.len(),
+                },
+            );
+            i = j;
+        }
+
+        // Global distinct subject/object counts.
+        let mut subjects: Vec<Id> = all.iter().map(|k| k[1]).collect();
+        subjects.sort_unstable();
+        subjects.dedup();
+        let mut objects: Vec<Id> = all.iter().map(|k| k[2]).collect();
+        objects.sort_unstable();
+        objects.dedup();
+
+        DatasetStats {
+            total_triples,
+            distinct_subjects: subjects.len(),
+            distinct_objects: objects.len(),
+            distinct_predicates: per_predicate.len(),
+            per_predicate,
+        }
+    }
+
+    /// Statistics for one predicate, if it occurs in the dataset.
+    pub fn predicate(&self, p: Id) -> Option<&PredicateStats> {
+        self.per_predicate.get(&p)
+    }
+
+    /// Iterates `(predicate, stats)` pairs in arbitrary order.
+    pub fn predicates(&self) -> impl Iterator<Item = (Id, &PredicateStats)> {
+        self.per_predicate.iter().map(|(&p, s)| (p, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+    use crate::term::Term;
+
+    #[test]
+    fn per_predicate_counts() {
+        let mut b = StoreBuilder::new();
+        let knows = Term::iri("p/knows");
+        let name = Term::iri("p/name");
+        for i in 0..10 {
+            b.insert(Term::iri(format!("s/{i}")), knows.clone(), Term::iri(format!("s/{}", i % 3)));
+            b.insert(Term::iri(format!("s/{i}")), name.clone(), Term::literal(format!("n{i}")));
+        }
+        let ds = b.freeze();
+        let knows_id = ds.lookup(&knows).unwrap();
+        let name_id = ds.lookup(&name).unwrap();
+        let ks = ds.stats().predicate(knows_id).unwrap();
+        assert_eq!(ks.triples, 10);
+        assert_eq!(ks.distinct_subjects, 10);
+        assert_eq!(ks.distinct_objects, 3);
+        let ns = ds.stats().predicate(name_id).unwrap();
+        assert_eq!(ns.triples, 10);
+        assert_eq!(ns.distinct_objects, 10);
+        assert_eq!(ds.stats().distinct_predicates, 2);
+        assert_eq!(ds.stats().total_triples, 20);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = PredicateStats { triples: 12, distinct_subjects: 4, distinct_objects: 6 };
+        assert!((s.objects_per_subject() - 3.0).abs() < 1e-12);
+        assert!((s.subjects_per_object() - 2.0).abs() < 1e-12);
+        let zero = PredicateStats { triples: 0, distinct_subjects: 0, distinct_objects: 0 };
+        assert_eq!(zero.objects_per_subject(), 0.0);
+        assert_eq!(zero.subjects_per_object(), 0.0);
+    }
+
+    #[test]
+    fn missing_predicate_is_none() {
+        let ds = StoreBuilder::new().freeze();
+        assert!(ds.stats().predicate(Id(0)).is_none());
+        assert_eq!(ds.stats().total_triples, 0);
+    }
+
+    #[test]
+    fn characteristic_sets_group_subjects() {
+        let mut b = StoreBuilder::new();
+        // 5 subjects with {p, q}; 3 subjects with {p} only; one {p,q,r}.
+        for i in 0..5 {
+            b.insert(Term::iri(format!("a/{i}")), Term::iri("p"), Term::integer(i));
+            b.insert(Term::iri(format!("a/{i}")), Term::iri("q"), Term::integer(i));
+            b.insert(Term::iri(format!("a/{i}")), Term::iri("q"), Term::integer(i + 100));
+        }
+        for i in 0..3 {
+            b.insert(Term::iri(format!("b/{i}")), Term::iri("p"), Term::integer(i));
+        }
+        b.insert(Term::iri("c"), Term::iri("p"), Term::integer(0));
+        b.insert(Term::iri("c"), Term::iri("q"), Term::integer(0));
+        b.insert(Term::iri("c"), Term::iri("r"), Term::integer(0));
+        let ds = b.freeze();
+        let cs = ds.char_sets();
+        assert_eq!(cs.len(), 3);
+
+        let p = ds.lookup(&Term::iri("p")).unwrap();
+        let q = ds.lookup(&Term::iri("q")).unwrap();
+        let r = ds.lookup(&Term::iri("r")).unwrap();
+
+        // Subjects with p: all 9.
+        assert_eq!(cs.star(&[p]).subjects, 9.0);
+        // Subjects with p AND q: 6; tuples = 5 subjects * 1 * 2 + 1 * 1 * 1.
+        let pq = cs.star(&[p, q]);
+        assert_eq!(pq.subjects, 6.0);
+        assert_eq!(pq.tuples, 11.0);
+        // The full star.
+        assert_eq!(cs.star(&[p, q, r]).subjects, 1.0);
+        // Unsatisfiable star.
+        assert_eq!(cs.star(&[Id(9999)]).subjects, 0.0);
+    }
+
+    #[test]
+    fn characteristic_sets_empty_dataset() {
+        let ds = StoreBuilder::new().freeze();
+        assert!(ds.char_sets().is_empty());
+        assert_eq!(ds.char_sets().star(&[Id(0)]).tuples, 0.0);
+    }
+}

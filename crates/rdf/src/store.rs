@@ -1,0 +1,319 @@
+//! The triple store: a write-once builder and a frozen, fully indexed dataset.
+
+use crate::dict::{Dictionary, Id};
+use crate::index::{IndexOrder, PermIndex};
+use crate::stats::{CharacteristicSets, DatasetStats};
+use crate::term::Term;
+
+/// A triple pattern at the id level: `None` = wildcard position.
+pub type IdPattern = [Option<Id>; 3];
+
+/// Accumulates triples (at the term level), then freezes into a [`Dataset`].
+///
+/// The builder is the single mutation point of the system: once
+/// [`StoreBuilder::freeze`] runs, the dataset is immutable and safe to share
+/// across threads (`Dataset: Send + Sync`).
+#[derive(Debug, Default)]
+pub struct StoreBuilder {
+    dict: Dictionary,
+    triples: Vec<[Id; 3]>,
+}
+
+impl StoreBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of (possibly duplicate) triples inserted so far.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if no triple was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Access to the dictionary being built (for pre-interning vocabulary).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Inserts a triple of terms.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) {
+        let s = self.dict.encode(s);
+        let p = self.dict.encode(p);
+        let o = self.dict.encode(o);
+        self.triples.push([s, p, o]);
+    }
+
+    /// Inserts a triple of already-interned ids.
+    pub fn insert_ids(&mut self, s: Id, p: Id, o: Id) {
+        debug_assert!(s.index() < self.dict.len());
+        debug_assert!(p.index() < self.dict.len());
+        debug_assert!(o.index() < self.dict.len());
+        self.triples.push([s, p, o]);
+    }
+
+    /// Deduplicates, builds all six permutation indexes and dataset
+    /// statistics, and returns the immutable dataset.
+    pub fn freeze(mut self) -> Dataset {
+        self.triples.sort_unstable();
+        self.triples.dedup();
+        let indexes: Vec<PermIndex> = IndexOrder::ALL
+            .iter()
+            .map(|&order| PermIndex::build(order, &self.triples))
+            .collect();
+        let indexes: [PermIndex; 6] = indexes.try_into().expect("six orders");
+        let stats = DatasetStats::compute(&indexes[IndexOrder::Pso.slot()], &self.dict);
+        let char_sets = CharacteristicSets::compute(&indexes[IndexOrder::Spo.slot()]);
+        Dataset { dict: self.dict, indexes, stats, char_sets }
+    }
+}
+
+/// An immutable, fully indexed RDF dataset.
+#[derive(Debug)]
+pub struct Dataset {
+    dict: Dictionary,
+    indexes: [PermIndex; 6],
+    stats: DatasetStats,
+    char_sets: CharacteristicSets,
+}
+
+impl Dataset {
+    /// The term dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Pre-computed dataset statistics.
+    pub fn stats(&self) -> &DatasetStats {
+        &self.stats
+    }
+
+    /// Pre-computed characteristic sets (star-query statistics).
+    pub fn char_sets(&self) -> &CharacteristicSets {
+        &self.char_sets
+    }
+
+    /// Total number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.indexes[0].len()
+    }
+
+    /// True if the dataset holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The index with the given ordering.
+    #[allow(clippy::should_implement_trait)] // domain term: a store "index", not ops::Index
+    pub fn index(&self, order: IndexOrder) -> &PermIndex {
+        &self.indexes[order.slot()]
+    }
+
+    /// Chooses the index and key prefix serving an id-level pattern.
+    fn plan_access(&self, pattern: IdPattern) -> (&PermIndex, Vec<Id>) {
+        let order =
+            IndexOrder::for_bound(pattern[0].is_some(), pattern[1].is_some(), pattern[2].is_some());
+        let idx = self.index(order);
+        let perm = order.perm();
+        let mut prefix = Vec::with_capacity(3);
+        for &pos in &perm {
+            match pattern[pos] {
+                Some(id) => prefix.push(id),
+                None => break,
+            }
+        }
+        (idx, prefix)
+    }
+
+    /// Iterates all SPO triples matching `pattern`.
+    pub fn scan(&self, pattern: IdPattern) -> impl Iterator<Item = [Id; 3]> + '_ {
+        let (idx, prefix) = self.plan_access(pattern);
+        // `prefix` is moved into the closure-owning iterator below.
+        ScanIter { idx, prefix, pos: 0 }
+    }
+
+    /// Exact number of triples matching `pattern` (binary search only).
+    pub fn count(&self, pattern: IdPattern) -> usize {
+        let (idx, prefix) = self.plan_access(pattern);
+        idx.count(&prefix)
+    }
+
+    /// True if at least one triple matches `pattern`.
+    pub fn contains(&self, pattern: IdPattern) -> bool {
+        self.count(pattern) > 0
+    }
+
+    /// Exact number of distinct values of the *first unbound* position in
+    /// index order for `pattern` — e.g. for `(?, p, o)` the number of
+    /// distinct subjects.
+    pub fn distinct_next(&self, pattern: IdPattern) -> usize {
+        let (idx, prefix) = self.plan_access(pattern);
+        idx.distinct_after(&prefix)
+    }
+
+    /// Looks up a term id.
+    pub fn lookup(&self, term: &Term) -> Option<Id> {
+        self.dict.lookup(term)
+    }
+
+    /// Decodes an id back to its term.
+    pub fn decode(&self, id: Id) -> &Term {
+        self.dict.decode(id)
+    }
+
+    /// All distinct objects of triples with predicate `p` (e.g. a parameter
+    /// domain such as "all countries"). Sorted by id.
+    pub fn objects_of(&self, p: Id) -> Vec<Id> {
+        let idx = self.index(IndexOrder::Pos);
+        let mut out = Vec::new();
+        let mut last = None;
+        for key in idx.range(&[p]) {
+            let o = key[1];
+            if last != Some(o) {
+                out.push(o);
+                last = Some(o);
+            }
+        }
+        out
+    }
+
+    /// All distinct subjects of triples with predicate `p`. Sorted by id.
+    pub fn subjects_of(&self, p: Id) -> Vec<Id> {
+        let idx = self.index(IndexOrder::Pso);
+        let mut out = Vec::new();
+        let mut last = None;
+        for key in idx.range(&[p]) {
+            let s = key[1];
+            if last != Some(s) {
+                out.push(s);
+                last = Some(s);
+            }
+        }
+        out
+    }
+}
+
+/// Owning scan iterator over one index range.
+struct ScanIter<'a> {
+    idx: &'a PermIndex,
+    prefix: Vec<Id>,
+    pos: usize,
+}
+
+impl<'a> Iterator for ScanIter<'a> {
+    type Item = [Id; 3];
+
+    fn next(&mut self) -> Option<[Id; 3]> {
+        let range = self.idx.range(&self.prefix);
+        if self.pos < range.len() {
+            let key = range[self.pos];
+            self.pos += 1;
+            Some(self.idx.order().spo_of(key))
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.idx.range(&self.prefix).len().saturating_sub(self.pos);
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_sample() -> Dataset {
+        let mut b = StoreBuilder::new();
+        let alice = Term::iri("http://e/alice");
+        let bob = Term::iri("http://e/bob");
+        let carol = Term::iri("http://e/carol");
+        let knows = Term::iri("http://e/knows");
+        let name = Term::iri("http://e/name");
+        b.insert(alice.clone(), knows.clone(), bob.clone());
+        b.insert(alice.clone(), knows.clone(), carol.clone());
+        b.insert(bob.clone(), knows.clone(), carol.clone());
+        b.insert(alice.clone(), name.clone(), Term::literal("Alice"));
+        b.insert(bob.clone(), name.clone(), Term::literal("Bob"));
+        // duplicate — must be removed by freeze
+        b.insert(alice, knows, bob);
+        b.freeze()
+    }
+
+    #[test]
+    fn freeze_dedups() {
+        let ds = build_sample();
+        assert_eq!(ds.len(), 5);
+    }
+
+    #[test]
+    fn scan_by_various_masks() {
+        let ds = build_sample();
+        let alice = ds.lookup(&Term::iri("http://e/alice")).unwrap();
+        let knows = ds.lookup(&Term::iri("http://e/knows")).unwrap();
+        let carol = ds.lookup(&Term::iri("http://e/carol")).unwrap();
+
+        assert_eq!(ds.count([None, None, None]), 5);
+        assert_eq!(ds.count([Some(alice), None, None]), 3);
+        assert_eq!(ds.count([None, Some(knows), None]), 3);
+        assert_eq!(ds.count([None, None, Some(carol)]), 2);
+        assert_eq!(ds.count([Some(alice), Some(knows), None]), 2);
+        assert_eq!(ds.count([Some(alice), None, Some(carol)]), 1);
+        assert_eq!(ds.count([None, Some(knows), Some(carol)]), 2);
+        assert_eq!(ds.count([Some(alice), Some(knows), Some(carol)]), 1);
+
+        // scans agree with counts for every mask
+        for s in [None, Some(alice)] {
+            for p in [None, Some(knows)] {
+                for o in [None, Some(carol)] {
+                    let pat = [s, p, o];
+                    assert_eq!(ds.scan(pat).count(), ds.count(pat), "{pat:?}");
+                    for t in ds.scan(pat) {
+                        if let Some(sv) = s {
+                            assert_eq!(t[0], sv);
+                        }
+                        if let Some(pv) = p {
+                            assert_eq!(t[1], pv);
+                        }
+                        if let Some(ov) = o {
+                            assert_eq!(t[2], ov);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contains_and_distinct() {
+        let ds = build_sample();
+        let knows = ds.lookup(&Term::iri("http://e/knows")).unwrap();
+        let name = ds.lookup(&Term::iri("http://e/name")).unwrap();
+        assert!(ds.contains([None, Some(knows), None]));
+        // distinct subjects of `knows`: alice, bob
+        assert_eq!(ds.distinct_next([None, Some(knows), None]), 2);
+        // distinct subjects of `name`: alice, bob
+        assert_eq!(ds.distinct_next([None, Some(name), None]), 2);
+    }
+
+    #[test]
+    fn objects_and_subjects_of() {
+        let ds = build_sample();
+        let knows = ds.lookup(&Term::iri("http://e/knows")).unwrap();
+        assert_eq!(ds.objects_of(knows).len(), 2); // bob, carol
+        assert_eq!(ds.subjects_of(knows).len(), 2); // alice, bob
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = StoreBuilder::new().freeze();
+        assert!(ds.is_empty());
+        assert_eq!(ds.count([None, None, None]), 0);
+        assert_eq!(ds.scan([None, None, None]).count(), 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! RDF terms: IRIs, literals and blank nodes.
+//!
+//! Terms are the *lexical* layer of the store. The query engine never touches
+//! them on the hot path: every term is interned into a dense [`crate::dict::Id`]
+//! by the [`crate::dict::Dictionary`], and all indexes and operators work on
+//! ids. Terms carry enough typed information (numeric value, date value) for
+//! filter evaluation and ordering, which the dictionary caches at intern time.
+
+use std::fmt;
+
+/// Well-known XSD datatype IRIs used by the typed-literal fast paths.
+pub mod xsd {
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+}
+
+/// The datatype tag of a literal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LiteralKind {
+    /// A plain literal without language tag or datatype (`"foo"`).
+    Plain,
+    /// A language-tagged literal (`"foo"@en`).
+    Lang(String),
+    /// A typed literal (`"42"^^xsd:integer`); the payload is the datatype IRI.
+    Typed(String),
+}
+
+/// An RDF literal: a lexical form plus a [`LiteralKind`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    pub lexical: String,
+    pub kind: LiteralKind,
+}
+
+impl Literal {
+    /// A plain (untyped, untagged) string literal.
+    pub fn plain(lexical: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Plain }
+    }
+
+    /// A language-tagged literal.
+    pub fn lang(lexical: impl Into<String>, lang: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Lang(lang.into()) }
+    }
+
+    /// A typed literal with an explicit datatype IRI.
+    pub fn typed(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Typed(datatype.into()) }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Literal::typed(value.to_string(), xsd::INTEGER)
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(value: f64) -> Self {
+        Literal::typed(format!("{value}"), xsd::DOUBLE)
+    }
+
+    /// An `xsd:dateTime` literal from epoch milliseconds. The lexical form is a
+    /// fixed-width sortable timestamp so string order equals temporal order.
+    pub fn date_time_millis(millis: i64) -> Self {
+        Literal::typed(format_epoch_millis(millis), xsd::DATE_TIME)
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Literal::typed(if value { "true" } else { "false" }, xsd::BOOLEAN)
+    }
+
+    /// The numeric interpretation of this literal, if it has one.
+    ///
+    /// Integers, decimals and doubles map to their value; `xsd:dateTime`
+    /// maps to epoch milliseconds so dates order numerically; booleans map
+    /// to 0/1. Everything else is `None`.
+    pub fn numeric_value(&self) -> Option<f64> {
+        match &self.kind {
+            LiteralKind::Typed(dt) => match dt.as_str() {
+                xsd::INTEGER | xsd::DECIMAL | xsd::DOUBLE => self.lexical.parse::<f64>().ok(),
+                xsd::DATE_TIME | xsd::DATE => {
+                    parse_epoch_millis(&self.lexical).map(|m| m as f64)
+                }
+                xsd::BOOLEAN => match self.lexical.as_str() {
+                    "true" | "1" => Some(1.0),
+                    "false" | "0" => Some(0.0),
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// An RDF term: the subject/predicate/object vocabulary of the store.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI reference, stored without angle brackets.
+    Iri(String),
+    /// A literal value.
+    Literal(Literal),
+    /// A blank node with a store-local label.
+    Blank(String),
+}
+
+impl Term {
+    /// Shorthand for an IRI term.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        Term::Iri(iri.into())
+    }
+
+    /// Shorthand for a plain-literal term.
+    pub fn literal(lexical: impl Into<String>) -> Self {
+        Term::Literal(Literal::plain(lexical))
+    }
+
+    /// Shorthand for an integer-literal term.
+    pub fn integer(value: i64) -> Self {
+        Term::Literal(Literal::integer(value))
+    }
+
+    /// Shorthand for a double-literal term.
+    pub fn double(value: f64) -> Self {
+        Term::Literal(Literal::double(value))
+    }
+
+    /// Shorthand for a dateTime-literal term from epoch milliseconds.
+    pub fn date_time_millis(millis: i64) -> Self {
+        Term::Literal(Literal::date_time_millis(millis))
+    }
+
+    /// Returns the IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// Returns the literal if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// The numeric interpretation of the term (see [`Literal::numeric_value`]).
+    pub fn numeric_value(&self) -> Option<f64> {
+        self.as_literal().and_then(Literal::numeric_value)
+    }
+
+    /// True if the term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::Blank(label) => write!(f, "_:{label}"),
+            Term::Literal(lit) => {
+                write!(f, "\"{}\"", escape_literal(&lit.lexical))?;
+                match &lit.kind {
+                    LiteralKind::Plain => Ok(()),
+                    LiteralKind::Lang(lang) => write!(f, "@{lang}"),
+                    LiteralKind::Typed(dt) => write!(f, "^^<{dt}>"),
+                }
+            }
+        }
+    }
+}
+
+/// Escapes a literal's lexical form for N-Triples output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_literal`].
+pub fn unescape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+const MILLIS_PER_DAY: i64 = 86_400_000;
+
+/// Formats epoch milliseconds as `YYYY-MM-DDThh:mm:ss.mmmZ`.
+///
+/// A minimal proleptic-Gregorian implementation; the generators only produce
+/// timestamps in a narrow modern range, but the conversion is exact for any
+/// year within `i32`.
+pub fn format_epoch_millis(millis: i64) -> String {
+    let (days, mut rem) = (millis.div_euclid(MILLIS_PER_DAY), millis.rem_euclid(MILLIS_PER_DAY));
+    let ms = rem % 1000;
+    rem /= 1000;
+    let s = rem % 60;
+    rem /= 60;
+    let m = rem % 60;
+    let h = rem / 60;
+    let (year, month, day) = civil_from_days(days);
+    format!("{year:04}-{month:02}-{day:02}T{h:02}:{m:02}:{s:02}.{ms:03}Z")
+}
+
+/// Parses `YYYY-MM-DD[Thh:mm:ss[.mmm][Z]]` into epoch milliseconds.
+pub fn parse_epoch_millis(s: &str) -> Option<i64> {
+    let bytes = s.as_bytes();
+    if bytes.len() < 10 {
+        return None;
+    }
+    let year: i64 = s.get(0..4)?.parse().ok()?;
+    if bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let month: u32 = s.get(5..7)?.parse().ok()?;
+    let day: u32 = s.get(8..10)?.parse().ok()?;
+    if month == 0 || month > 12 || day == 0 || day > 31 {
+        return None;
+    }
+    let mut millis = days_from_civil(year, month, day) * MILLIS_PER_DAY;
+    if bytes.len() > 10 {
+        if bytes[10] != b'T' || bytes.len() < 19 {
+            return None;
+        }
+        let h: i64 = s.get(11..13)?.parse().ok()?;
+        let m: i64 = s.get(14..16)?.parse().ok()?;
+        let sec: i64 = s.get(17..19)?.parse().ok()?;
+        millis += ((h * 60 + m) * 60 + sec) * 1000;
+        if bytes.len() >= 23 && bytes[19] == b'.' {
+            let frac: i64 = s.get(20..23)?.parse().ok()?;
+            millis += frac;
+        }
+    }
+    Some(millis)
+}
+
+/// Days-from-civil algorithm (Howard Hinnant's `days_from_civil`).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_constructors() {
+        assert_eq!(Literal::plain("x").kind, LiteralKind::Plain);
+        assert_eq!(Literal::lang("x", "en").kind, LiteralKind::Lang("en".into()));
+        assert_eq!(
+            Literal::integer(7),
+            Literal { lexical: "7".into(), kind: LiteralKind::Typed(xsd::INTEGER.into()) }
+        );
+    }
+
+    #[test]
+    fn numeric_values() {
+        assert_eq!(Literal::integer(-3).numeric_value(), Some(-3.0));
+        assert_eq!(Literal::double(2.5).numeric_value(), Some(2.5));
+        assert_eq!(Literal::boolean(true).numeric_value(), Some(1.0));
+        assert_eq!(Literal::plain("7").numeric_value(), None);
+        assert_eq!(Literal::typed("abc", xsd::INTEGER).numeric_value(), None);
+    }
+
+    #[test]
+    fn date_time_round_trip() {
+        for millis in [0i64, 1_356_998_400_000, -86_400_000, 123_456_789_012, 86_399_999] {
+            let lit = Literal::date_time_millis(millis);
+            assert_eq!(lit.numeric_value(), Some(millis as f64), "millis={millis} -> {lit:?}");
+        }
+    }
+
+    #[test]
+    fn date_time_lexical_order_is_temporal_order() {
+        let a = Literal::date_time_millis(1_000_000_000_000);
+        let b = Literal::date_time_millis(1_000_000_000_001);
+        let c = Literal::date_time_millis(1_500_000_000_000);
+        assert!(a.lexical < b.lexical);
+        assert!(b.lexical < c.lexical);
+    }
+
+    #[test]
+    fn epoch_formatting_known_values() {
+        assert_eq!(format_epoch_millis(0), "1970-01-01T00:00:00.000Z");
+        assert_eq!(format_epoch_millis(1_356_998_400_000), "2013-01-01T00:00:00.000Z");
+        assert_eq!(parse_epoch_millis("2013-01-01T00:00:00.000Z"), Some(1_356_998_400_000));
+        assert_eq!(parse_epoch_millis("1970-01-01"), Some(0));
+        assert_eq!(parse_epoch_millis("1969-12-31"), Some(-MILLIS_PER_DAY));
+    }
+
+    #[test]
+    fn parse_epoch_rejects_garbage() {
+        assert_eq!(parse_epoch_millis(""), None);
+        assert_eq!(parse_epoch_millis("not-a-date"), None);
+        assert_eq!(parse_epoch_millis("2013-13-01"), None);
+        assert_eq!(parse_epoch_millis("2013-01-00"), None);
+        assert_eq!(parse_epoch_millis("2013-01-01Txx:00:00"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("http://e/x").to_string(), "<http://e/x>");
+        assert_eq!(Term::literal("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(
+            Term::Literal(Literal::lang("hi", "en")).to_string(),
+            "\"hi\"@en"
+        );
+        assert_eq!(Term::Blank("b0".into()).to_string(), "_:b0");
+        let t = Term::integer(5).to_string();
+        assert!(t.starts_with("\"5\"^^<"), "{t}");
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let cases = ["plain", "with \"quotes\"", "line\nbreak", "tab\there", "back\\slash"];
+        for case in cases {
+            assert_eq!(unescape_literal(&escape_literal(case)), case);
+        }
+    }
+}

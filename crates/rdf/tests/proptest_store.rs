@@ -1,0 +1,118 @@
+//! Property tests: the indexed store agrees with a naive triple list on
+//! every access path, for arbitrary triple sets.
+
+use proptest::prelude::*;
+
+use parambench_rdf::store::StoreBuilder;
+use parambench_rdf::term::Term;
+
+/// A small universe of terms so collisions/duplicates actually happen.
+fn term(ix: u8) -> Term {
+    match ix % 3 {
+        0 => Term::iri(format!("http://t/{}", ix % 16)),
+        1 => Term::literal(format!("lit{}", ix % 16)),
+        _ => Term::integer((ix % 16) as i64),
+    }
+}
+
+fn arb_triples() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_and_count_agree_with_naive(triples in arb_triples(), mask in 0u8..8) {
+        let mut builder = StoreBuilder::new();
+        let mut naive: Vec<(Term, Term, Term)> = Vec::new();
+        for &(s, p, o) in &triples {
+            let (s, p, o) = (term(s), term(p), term(o));
+            builder.insert(s.clone(), p.clone(), o.clone());
+            naive.push((s, p, o));
+        }
+        naive.sort();
+        naive.dedup();
+        let ds = builder.freeze();
+        prop_assert_eq!(ds.len(), naive.len());
+
+        // Pick pattern constants from the data (or a missing term).
+        let (ps, pp, po) = naive.first().cloned().unwrap_or((
+            Term::iri("http://none"),
+            Term::iri("http://none"),
+            Term::iri("http://none"),
+        ));
+        let want_s = (mask & 1 != 0).then_some(ps);
+        let want_p = (mask & 2 != 0).then_some(pp);
+        let want_o = (mask & 4 != 0).then_some(po);
+
+        let pattern = [
+            want_s.as_ref().map(|t| ds.lookup(t)).unwrap_or(None).or(
+                if want_s.is_some() { Some(parambench_rdf::Id(u32::MAX - 1)) } else { None }),
+            want_p.as_ref().map(|t| ds.lookup(t)).unwrap_or(None).or(
+                if want_p.is_some() { Some(parambench_rdf::Id(u32::MAX - 1)) } else { None }),
+            want_o.as_ref().map(|t| ds.lookup(t)).unwrap_or(None).or(
+                if want_o.is_some() { Some(parambench_rdf::Id(u32::MAX - 1)) } else { None }),
+        ];
+
+        let expected = naive
+            .iter()
+            .filter(|(s, p, o)| {
+                want_s.as_ref().is_none_or(|w| w == s)
+                    && want_p.as_ref().is_none_or(|w| w == p)
+                    && want_o.as_ref().is_none_or(|w| w == o)
+            })
+            .count();
+        prop_assert_eq!(ds.count(pattern), expected);
+        prop_assert_eq!(ds.scan(pattern).count(), expected);
+        prop_assert_eq!(ds.contains(pattern), expected > 0);
+    }
+
+    #[test]
+    fn scans_return_matching_unique_triples(triples in arb_triples()) {
+        let mut builder = StoreBuilder::new();
+        for &(s, p, o) in &triples {
+            builder.insert(term(s), term(p), term(o));
+        }
+        let ds = builder.freeze();
+        let mut seen = std::collections::BTreeSet::new();
+        for t in ds.scan([None, None, None]) {
+            prop_assert!(seen.insert(t), "duplicate triple from scan");
+        }
+        prop_assert_eq!(seen.len(), ds.len());
+    }
+
+    #[test]
+    fn stats_totals_match(triples in arb_triples()) {
+        let mut builder = StoreBuilder::new();
+        for &(s, p, o) in &triples {
+            builder.insert(term(s), term(p), term(o));
+        }
+        let ds = builder.freeze();
+        let stats = ds.stats();
+        prop_assert_eq!(stats.total_triples, ds.len());
+        let sum: usize = stats.predicates().map(|(_, s)| s.triples).sum();
+        prop_assert_eq!(sum, ds.len());
+        for (p, s) in stats.predicates() {
+            prop_assert_eq!(s.triples, ds.count([None, Some(p), None]));
+            prop_assert!(s.distinct_subjects <= s.triples);
+            prop_assert!(s.distinct_objects <= s.triples);
+            prop_assert!(s.distinct_subjects >= 1);
+        }
+    }
+
+    #[test]
+    fn ntriples_round_trip(triples in arb_triples()) {
+        let mut builder = StoreBuilder::new();
+        for &(s, p, o) in &triples {
+            builder.insert(term(s), term(p), term(o));
+        }
+        let ds = builder.freeze();
+        let mut buf = Vec::new();
+        parambench_rdf::ntriples::write_dataset(&ds, &mut buf).unwrap();
+        let mut b2 = StoreBuilder::new();
+        parambench_rdf::ntriples::read_into(std::io::Cursor::new(&buf), &mut b2).unwrap();
+        let ds2 = b2.freeze();
+        prop_assert_eq!(ds2.len(), ds.len());
+    }
+}

@@ -1,0 +1,203 @@
+//! Pretty-printing of queries back to parseable SPARQL text.
+//!
+//! `parse_query(query.to_string())` reproduces the original AST — a
+//! round-trip property the test suite checks on both hand-written and
+//! randomly generated queries. Useful for logging curated workloads and for
+//! exporting the per-class sub-queries ("Q4a", "Q4b") the paper proposes.
+
+use std::fmt;
+
+use crate::ast::{
+    AggFunc, BinOp, Element, Expr, OrderKey, Projection, SelectQuery, TriplePattern, VarOrTerm,
+};
+
+impl fmt::Display for VarOrTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarOrTerm::Var(v) => write!(f, "?{v}"),
+            VarOrTerm::Term(t) => write!(f, "{t}"),
+            VarOrTerm::Param(p) => write!(f, "%{p}"),
+        }
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.subject, self.predicate, self.object)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Fully parenthesized: precedence-safe by construction.
+        match self {
+            Expr::Var(v) => write!(f, "?{v}"),
+            Expr::Const(t) => write!(f, "{t}"),
+            Expr::Param(p) => write!(f, "%{p}"),
+            Expr::Bound(v) => write!(f, "BOUND(?{v})"),
+            Expr::Not(inner) => write!(f, "!({inner})"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Projection::Var(v) => write!(f, "?{v}"),
+            Projection::Aggregate { func, var, distinct, alias } => {
+                write!(f, "({func}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                match var {
+                    Some(v) => write!(f, "?{v}")?,
+                    None => write!(f, "*")?,
+                }
+                write!(f, ") AS ?{alias})")
+            }
+        }
+    }
+}
+
+fn fmt_elements(elements: &[Element], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for el in elements {
+        match el {
+            Element::Triple(t) => write!(f, "{t} . ")?,
+            Element::Filter(e) => write!(f, "FILTER({e}) ")?,
+            Element::Optional(inner) => {
+                write!(f, "OPTIONAL {{ ")?;
+                fmt_elements(inner, f)?;
+                write!(f, "}} ")?;
+            }
+            Element::Union(branches) => {
+                for (i, branch) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "UNION ")?;
+                    }
+                    write!(f, "{{ ")?;
+                    fmt_elements(branch, f)?;
+                    write!(f, "}} ")?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for SelectQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for p in &self.projections {
+            write!(f, "{p} ")?;
+        }
+        write!(f, "WHERE {{ ")?;
+        fmt_elements(&self.where_clause, f)?;
+        write!(f, "}}")?;
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY")?;
+            for g in &self.group_by {
+                write!(f, " ?{g}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY")?;
+            for OrderKey { var, descending } in &self.order_by {
+                if *descending {
+                    write!(f, " DESC(?{var})")?;
+                } else {
+                    write!(f, " ASC(?{var})")?;
+                }
+            }
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        if let Some(offset) = self.offset {
+            write!(f, " OFFSET {offset}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    fn round_trip(text: &str) {
+        let q = parse_query(text).unwrap();
+        let printed = q.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        assert_eq!(q, q2, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_simple() {
+        round_trip("SELECT ?s ?o WHERE { ?s <http://e/p> ?o }");
+        round_trip("SELECT DISTINCT ?s WHERE { ?s <p> \"lit\" . ?s <q> 5 } LIMIT 3 OFFSET 1");
+    }
+
+    #[test]
+    fn round_trips_filters_and_optional() {
+        round_trip(
+            "SELECT ?x WHERE { ?x <p> ?y . FILTER(?y > 3 && !BOUND(?z)) OPTIONAL { ?x <n> ?z } }",
+        );
+    }
+
+    #[test]
+    fn round_trips_union_and_params() {
+        round_trip(
+            "SELECT ?f WHERE { { ?a <p> ?f } UNION { ?a <q> ?f . FILTER(?f != %bad) } } ORDER BY DESC(?f)",
+        );
+    }
+
+    #[test]
+    fn round_trips_aggregates() {
+        round_trip(
+            "SELECT ?g (AVG(?v) AS ?a) (COUNT(DISTINCT ?x) AS ?c) WHERE { ?x <p> ?g . ?x <v> ?v } GROUP BY ?g ORDER BY ASC(?a) LIMIT 7",
+        );
+    }
+
+    #[test]
+    fn round_trips_typed_literals() {
+        round_trip(
+            "SELECT ?s WHERE { ?s <p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> . ?s <q> \"hi\"@en . ?s <r> \"esc\\\"aped\" }",
+        );
+    }
+}

@@ -1,0 +1,745 @@
+//! The query engine facade: prepare (lower + optimize) and execute.
+//!
+//! `prepare` is deliberately cheap relative to `execute`: the parameter
+//! curation pipeline calls it once per candidate binding to obtain the
+//! `Cout`-optimal plan and its estimated cost *without* running the query
+//! (§III of the paper defines parameter classes purely over optimal plans
+//! and their costs). `execute` then runs the chosen plan with full
+//! instrumentation: wall time and measured `Cout`.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parambench_rdf::store::Dataset;
+use parambench_rdf::term::Term;
+
+use crate::ast::{Element, Expr, Projection, SelectQuery, TriplePattern, VarOrTerm};
+use crate::cardinality::Estimator;
+use crate::error::QueryError;
+use crate::exec::{apply_filters, execute_plan, left_outer_join, Bindings, ExecStats};
+use crate::optimizer::{optimize, reestimate};
+use crate::plan::{PlanNode, PlanSignature, PlannedPattern, Slot};
+use crate::results::{finalize, ResultSet};
+use crate::template::{Binding, QueryTemplate};
+
+/// An optimized OPTIONAL group.
+#[derive(Debug, Clone)]
+struct OptionalPlan {
+    plan: PlanNode,
+    /// Variable slots shared with the required part (outer join keys).
+    join_vars: Vec<usize>,
+    /// Filters scoped to the optional group.
+    filters: Vec<Expr>,
+}
+
+/// An optimized `{A} UNION {B}` group: each branch is its own BGP plan plus
+/// branch-scoped filters. Branches are validated to bind the same variable
+/// set, so the concatenated table has a uniform schema.
+#[derive(Debug, Clone)]
+struct UnionPlan {
+    branches: Vec<(PlanNode, Vec<Expr>)>,
+    /// Variable slots shared with the part of the query evaluated before
+    /// this union (inner join keys; empty when the union is the base).
+    join_vars: Vec<usize>,
+}
+
+/// A fully prepared (lowered + optimized) query, ready to execute.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    query: SelectQuery,
+    /// Variable name per slot.
+    var_names: Vec<String>,
+    /// name → slot map (shared with filters and modifiers).
+    slot_of: HashMap<String, usize>,
+    /// The required basic graph pattern (absent when the query body is a
+    /// bare UNION).
+    bgp_plan: Option<PlanNode>,
+    unions: Vec<UnionPlan>,
+    optionals: Vec<OptionalPlan>,
+    filters: Vec<Expr>,
+    /// Structural signature of the full plan (required + optional parts).
+    pub signature: PlanSignature,
+    /// Estimated `Cout` of the plan (required BGP + optional BGPs + outer joins).
+    pub est_cout: f64,
+    /// Estimated cardinality of the required BGP result.
+    pub est_card: f64,
+}
+
+impl Prepared {
+    /// The optimized required-BGP join tree (absent for bare-UNION bodies).
+    pub fn plan(&self) -> Option<&PlanNode> {
+        self.bgp_plan.as_ref()
+    }
+
+    /// Multi-line EXPLAIN rendering.
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "signature: {}\nest_cout: {:.1}\nest_card: {:.1}\n",
+            self.signature, self.est_cout, self.est_card
+        );
+        if let Some(plan) = &self.bgp_plan {
+            out.push_str(&plan.render(0));
+        }
+        for (i, u) in self.unions.iter().enumerate() {
+            out.push_str(&format!("UNION #{i} (join on {:?})\n", u.join_vars));
+            for (b, (plan, _)) in u.branches.iter().enumerate() {
+                out.push_str(&format!("  branch {b}:\n"));
+                out.push_str(&plan.render(2));
+            }
+        }
+        for (i, opt) in self.optionals.iter().enumerate() {
+            out.push_str(&format!("OPTIONAL #{i} (join on {:?})\n", opt.join_vars));
+            out.push_str(&opt.plan.render(1));
+        }
+        out
+    }
+}
+
+/// Result of executing a prepared query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The decoded result table.
+    pub results: ResultSet,
+    /// Wall-clock execution time (plan execution + modifiers, not prepare).
+    pub wall_time: Duration,
+    /// Measured `Cout`: total intermediate tuples produced by all joins.
+    pub cout: u64,
+    /// Full operator instrumentation.
+    pub stats: ExecStats,
+}
+
+/// The query engine over one frozen dataset.
+pub struct Engine<'a> {
+    ds: &'a Dataset,
+    est: Estimator<'a>,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine (and its statistics/estimator caches) for a dataset.
+    pub fn new(ds: &'a Dataset) -> Self {
+        Engine { ds, est: Estimator::new(ds) }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// The cardinality estimator (exposed for the curation profiler).
+    pub fn estimator(&self) -> &Estimator<'a> {
+        &self.est
+    }
+
+    /// Lowers and optimizes a concrete query.
+    pub fn prepare(&self, query: &SelectQuery) -> Result<Prepared, QueryError> {
+        if let Some(p) = query.params().first() {
+            return Err(QueryError::UnboundParameter(p.clone()));
+        }
+
+        // Assign variable slots across the whole query.
+        let mut var_names: Vec<String> = Vec::new();
+        let mut slot_of: HashMap<String, usize> = HashMap::new();
+        let slot = |name: &str, var_names: &mut Vec<String>, slot_of: &mut HashMap<String, usize>| {
+            if let Some(&s) = slot_of.get(name) {
+                s
+            } else {
+                let s = var_names.len();
+                var_names.push(name.to_string());
+                slot_of.insert(name.to_string(), s);
+                s
+            }
+        };
+
+        // Split the where clause.
+        let mut required: Vec<TriplePattern> = Vec::new();
+        let mut filters: Vec<Expr> = Vec::new();
+        let mut optional_groups: Vec<(Vec<TriplePattern>, Vec<Expr>)> = Vec::new();
+        let mut union_groups: Vec<Vec<(Vec<TriplePattern>, Vec<Expr>)>> = Vec::new();
+        // Flattens a group of triples+filters (no further nesting).
+        let flat_group = |elements: &[Element],
+                          context: &str|
+         -> Result<(Vec<TriplePattern>, Vec<Expr>), QueryError> {
+            let mut pats = Vec::new();
+            let mut fs = Vec::new();
+            for el in elements {
+                match el {
+                    Element::Triple(t) => pats.push(t.clone()),
+                    Element::Filter(f) => fs.push(f.clone()),
+                    _ => {
+                        return Err(QueryError::Unsupported(format!(
+                            "nested groups inside {context}"
+                        )))
+                    }
+                }
+            }
+            if pats.is_empty() {
+                return Err(QueryError::Unsupported(format!("empty {context} group")));
+            }
+            Ok((pats, fs))
+        };
+        for el in &query.where_clause {
+            match el {
+                Element::Triple(t) => required.push(t.clone()),
+                Element::Filter(f) => filters.push(f.clone()),
+                Element::Optional(inner) => {
+                    optional_groups.push(flat_group(inner, "OPTIONAL")?);
+                }
+                Element::Union(branches) => {
+                    let mut flat = Vec::with_capacity(branches.len());
+                    for branch in branches {
+                        flat.push(flat_group(branch, "UNION")?);
+                    }
+                    union_groups.push(flat);
+                }
+            }
+        }
+        if required.is_empty() && union_groups.is_empty() {
+            return Err(QueryError::Unsupported("query has no required triple patterns".into()));
+        }
+
+        // Lower required patterns; pattern idx = syntactic position.
+        let lower = |t: &TriplePattern,
+                     idx: usize,
+                     var_names: &mut Vec<String>,
+                     slot_of: &mut HashMap<String, usize>|
+         -> Result<PlannedPattern, QueryError> {
+            let mut slots = [Slot::Absent; 3];
+            for (i, vot) in [&t.subject, &t.predicate, &t.object].into_iter().enumerate() {
+                slots[i] = match vot {
+                    VarOrTerm::Var(v) => Slot::Var(slot(v, var_names, slot_of)),
+                    VarOrTerm::Term(term) => match self.ds.lookup(term) {
+                        Some(id) => Slot::Bound(id),
+                        None => Slot::Absent,
+                    },
+                    VarOrTerm::Param(p) => {
+                        return Err(QueryError::UnboundParameter(p.clone()))
+                    }
+                };
+            }
+            Ok(PlannedPattern { idx, slots })
+        };
+
+        let mut next_idx = 0;
+        let mut est_cout = 0.0;
+        let mut sig = String::new();
+
+        // Required BGP (if any).
+        let (bgp_plan, mut running_est) = if required.is_empty() {
+            (None, None)
+        } else {
+            let mut planned: Vec<PlannedPattern> = Vec::with_capacity(required.len());
+            for t in &required {
+                planned.push(lower(t, next_idx, &mut var_names, &mut slot_of)?);
+                next_idx += 1;
+            }
+            let plan = optimize(&planned, &self.est)?;
+            let est = reestimate(&plan, &self.est);
+            est_cout += plan.est_cout();
+            sig = plan.signature().0;
+            (Some(plan), Some(est))
+        };
+        let mut seen_vars: Vec<usize> =
+            bgp_plan.as_ref().map(|p| p.var_slots()).unwrap_or_default();
+
+        // UNION groups: each branch its own BGP; branches must bind the same
+        // variable set so the concatenated table has one schema.
+        let mut unions: Vec<UnionPlan> = Vec::new();
+        for branches in &union_groups {
+            let mut lowered_branches: Vec<(PlanNode, Vec<Expr>)> = Vec::new();
+            let mut branch_vars: Option<Vec<usize>> = None;
+            let mut union_sig = String::new();
+            let mut union_card = 0.0;
+            let mut union_est: Option<crate::cardinality::Estimate> = None;
+            for (pats, fs) in branches {
+                let mut lowered = Vec::with_capacity(pats.len());
+                for t in pats {
+                    lowered.push(lower(t, next_idx, &mut var_names, &mut slot_of)?);
+                    next_idx += 1;
+                }
+                let plan = optimize(&lowered, &self.est)?;
+                let mut vars = plan.var_slots();
+                vars.sort_unstable();
+                match &branch_vars {
+                    None => branch_vars = Some(vars),
+                    Some(first) => {
+                        if *first != vars {
+                            return Err(QueryError::Unsupported(
+                                "UNION branches must bind the same variables".into(),
+                            ));
+                        }
+                    }
+                }
+                let est = reestimate(&plan, &self.est);
+                est_cout += plan.est_cout();
+                union_card += est.card;
+                union_est = Some(match union_est {
+                    // Approximate the union's distinct counts by the larger
+                    // branch (costs only guide banding, not correctness).
+                    Some(prev) if prev.card >= est.card => prev,
+                    _ => est,
+                });
+                if !union_sig.is_empty() {
+                    union_sig.push('|');
+                }
+                union_sig.push_str(&plan.signature().0);
+                lowered_branches.push((plan, fs.clone()));
+            }
+            let vars = branch_vars.expect("validated non-empty union");
+            let join_vars: Vec<usize> =
+                vars.iter().copied().filter(|v| seen_vars.contains(v)).collect();
+            let mut est = union_est.expect("non-empty union");
+            est.card = union_card;
+            match running_est.take() {
+                Some(base) => {
+                    let joined = self.est.join(&base, &est, &join_vars);
+                    est_cout += joined.card;
+                    running_est = Some(joined);
+                }
+                None => running_est = Some(est),
+            }
+            for v in vars {
+                if !seen_vars.contains(&v) {
+                    seen_vars.push(v);
+                }
+            }
+            if !sig.is_empty() {
+                sig.push('+');
+            }
+            sig.push_str(&format!("UNION({union_sig})"));
+            unions.push(UnionPlan { branches: lowered_branches, join_vars });
+        }
+
+        let bgp_est = running_est.expect("base BGP or union present");
+        let required_vars = seen_vars.clone();
+
+        // Optional groups: separate optimization; pattern idx continues the
+        // numbering so signatures stay unambiguous.
+        let mut optionals = Vec::new();
+        for (pats, fs) in &optional_groups {
+            let mut lowered = Vec::with_capacity(pats.len());
+            for t in pats {
+                lowered.push(lower(t, next_idx, &mut var_names, &mut slot_of)?);
+                next_idx += 1;
+            }
+            let plan = optimize(&lowered, &self.est)?;
+            let opt_est = reestimate(&plan, &self.est);
+            let join_vars: Vec<usize> =
+                plan.var_slots().into_iter().filter(|v| required_vars.contains(v)).collect();
+            est_cout += plan.est_cout();
+            // The outer join's output is at least the required side; count
+            // the expected matched rows like an inner join.
+            let joined = self.est.join(&bgp_est, &opt_est, &join_vars);
+            est_cout += joined.card.max(bgp_est.card);
+            sig.push_str("+OPT(");
+            sig.push_str(&plan.signature().0);
+            sig.push(')');
+            optionals.push(OptionalPlan { plan, join_vars, filters: fs.clone() });
+        }
+
+        // Validate filter variables exist.
+        for f in &filters {
+            let mut vars = Vec::new();
+            f.collect_vars(&mut vars);
+            for v in vars {
+                if !slot_of.contains_key(&v) {
+                    return Err(QueryError::UnknownVariable(v));
+                }
+            }
+        }
+        // Validate projections (plain vars must exist; aggregates validated
+        // at finalize).
+        for p in &query.projections {
+            if let Projection::Var(v) = p {
+                if !slot_of.contains_key(v) {
+                    return Err(QueryError::UnknownVariable(v.clone()));
+                }
+            }
+        }
+
+        Ok(Prepared {
+            query: query.clone(),
+            var_names,
+            slot_of,
+            est_card: bgp_est.card,
+            bgp_plan,
+            unions,
+            optionals,
+            filters,
+            signature: PlanSignature(sig),
+            est_cout,
+        })
+    }
+
+    /// Executes a prepared query with instrumentation.
+    pub fn execute(&self, prepared: &Prepared) -> Result<QueryOutput, QueryError> {
+        let start = Instant::now();
+        let mut stats = ExecStats::default();
+
+        let mut bindings: Option<Bindings> = prepared
+            .bgp_plan
+            .as_ref()
+            .map(|plan| execute_plan(self.ds, plan, &mut stats));
+
+        for u in &prepared.unions {
+            // Evaluate and filter every branch, then concatenate.
+            let mut concat: Option<Bindings> = None;
+            for (plan, branch_filters) in &u.branches {
+                let rows = execute_plan(self.ds, plan, &mut stats);
+                let rows = if branch_filters.is_empty() {
+                    rows
+                } else {
+                    let var_col = self.var_col_map(&rows, &prepared.var_names);
+                    apply_filters(rows, branch_filters, &var_col, self.ds)?
+                };
+                concat = Some(match concat {
+                    None => rows,
+                    Some(mut acc) => {
+                        // Schemas bind the same vars; map columns by slot.
+                        let mapping: Vec<usize> = acc
+                            .cols()
+                            .iter()
+                            .map(|&slot| rows.col_of(slot).expect("same-var union branches"))
+                            .collect();
+                        let mut buf = vec![crate::exec::UNBOUND; mapping.len()];
+                        for row in rows.iter() {
+                            for (k, &c) in mapping.iter().enumerate() {
+                                buf[k] = row[c];
+                            }
+                            acc.push_row(&buf);
+                        }
+                        acc
+                    }
+                });
+            }
+            let union_rows = concat.expect("non-empty union");
+            bindings = Some(match bindings {
+                None => union_rows,
+                Some(base) => {
+                    let out = crate::exec::hash_join(&base, &union_rows, &u.join_vars);
+                    stats.cout += out.len() as u64;
+                    stats.join_cards.push((format!("UNION⋈{:?}", u.join_vars), out.len() as u64));
+                    out
+                }
+            });
+        }
+
+        let mut bindings = bindings.expect("prepare guarantees a base");
+
+        for opt in &prepared.optionals {
+            let mut opt_stats = ExecStats::default();
+            let opt_rows = execute_plan(self.ds, &opt.plan, &mut opt_stats);
+            stats.cout_optional += opt_stats.cout;
+            stats.scanned += opt_stats.scanned;
+            stats.join_cards.extend(opt_stats.join_cards);
+            // Optional-scoped filters: need cols of the optional table.
+            let opt_rows = if opt.filters.is_empty() {
+                opt_rows
+            } else {
+                let var_col = self.var_col_map(&opt_rows, &prepared.var_names);
+                apply_filters(opt_rows, &opt.filters, &var_col, self.ds)?
+            };
+            let out = left_outer_join(&bindings, &opt_rows, &opt.join_vars);
+            stats.cout_optional += out.len() as u64;
+            bindings = out;
+        }
+
+        if !prepared.filters.is_empty() {
+            let var_col = self.var_col_map(&bindings, &prepared.var_names);
+            bindings = apply_filters(bindings, &prepared.filters, &var_col, self.ds)?;
+        }
+
+        let results = finalize(&bindings, &prepared.query, &prepared.slot_of, self.ds)?;
+        let wall_time = start.elapsed();
+        let cout = stats.cout + stats.cout_optional;
+        Ok(QueryOutput { results, wall_time, cout, stats })
+    }
+
+    /// Builds the variable-name → column map for a bindings table.
+    fn var_col_map(&self, bindings: &Bindings, var_names: &[String]) -> HashMap<String, usize> {
+        bindings
+            .cols()
+            .iter()
+            .enumerate()
+            .map(|(col, &slot)| (var_names[slot].clone(), col))
+            .collect()
+    }
+
+    /// Parses, prepares and executes query text in one call.
+    pub fn run_text(&self, text: &str) -> Result<QueryOutput, QueryError> {
+        let query = crate::parser::parse_query(text)?;
+        let prepared = self.prepare(&query)?;
+        self.execute(&prepared)
+    }
+
+    /// Instantiates a template with a binding, prepares and executes it.
+    pub fn run_template(
+        &self,
+        template: &QueryTemplate,
+        binding: &Binding,
+    ) -> Result<QueryOutput, QueryError> {
+        let query = template.instantiate(binding)?;
+        let prepared = self.prepare(&query)?;
+        self.execute(&prepared)
+    }
+
+    /// Prepares a template instantiation without executing (the profiling
+    /// path of the curation pipeline).
+    pub fn prepare_template(
+        &self,
+        template: &QueryTemplate,
+        binding: &Binding,
+    ) -> Result<Prepared, QueryError> {
+        let query = template.instantiate(binding)?;
+        self.prepare(&query)
+    }
+
+    /// Convenience: looks up a term, returning a readable error.
+    pub fn require_term(&self, term: &Term) -> Result<parambench_rdf::dict::Id, QueryError> {
+        self.ds
+            .lookup(term)
+            .ok_or_else(|| QueryError::Unsupported(format!("term not in dataset: {term}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parambench_rdf::store::StoreBuilder;
+
+    /// Small social dataset: people, names, friendships, posts with dates.
+    fn dataset() -> Dataset {
+        let mut b = StoreBuilder::new();
+        let knows = Term::iri("p/knows");
+        let name = Term::iri("p/name");
+        let wrote = Term::iri("p/wrote");
+        let date = Term::iri("p/date");
+        for i in 0..6 {
+            let person = Term::iri(format!("person/{i}"));
+            b.insert(person.clone(), name.clone(), Term::literal(format!("Name{i}")));
+            // Ring of friendships.
+            b.insert(person.clone(), knows.clone(), Term::iri(format!("person/{}", (i + 1) % 6)));
+            // Two posts each.
+            for k in 0..2 {
+                let post = Term::iri(format!("post/{i}-{k}"));
+                b.insert(person.clone(), wrote.clone(), post.clone());
+                b.insert(post, date.clone(), Term::integer((i * 10 + k) as i64));
+            }
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn simple_join_query() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let out = engine
+            .run_text("SELECT ?n WHERE { <person/0> <p/knows> ?f . ?f <p/name> ?n }")
+            .unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(
+            out.results.rows[0][0],
+            crate::results::OutVal::Term(Term::literal("Name1"))
+        );
+        assert!(out.cout >= 1);
+    }
+
+    #[test]
+    fn order_by_desc_limit() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let out = engine
+            .run_text(
+                "SELECT ?post ?d WHERE { <person/2> <p/wrote> ?post . ?post <p/date> ?d } ORDER BY DESC(?d) LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results.rows[0][1].as_num(), Some(21.0));
+    }
+
+    #[test]
+    fn filter_and_distinct() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let out = engine
+            .run_text(
+                "SELECT DISTINCT ?p WHERE { ?p <p/wrote> ?post . ?post <p/date> ?d . FILTER(?d >= 20) }",
+            )
+            .unwrap();
+        // dates 20,21 (person 2), 30..51 for persons 3..5 → persons 2..5
+        assert_eq!(out.results.len(), 4);
+    }
+
+    #[test]
+    fn optional_keeps_all_left_rows() {
+        let mut b = StoreBuilder::new();
+        b.insert(Term::iri("a"), Term::iri("p/knows"), Term::iri("b"));
+        b.insert(Term::iri("a"), Term::iri("p/knows"), Term::iri("c"));
+        b.insert(Term::iri("b"), Term::iri("p/name"), Term::literal("B"));
+        let ds = b.freeze();
+        let engine = Engine::new(&ds);
+        let out = engine
+            .run_text("SELECT ?f ?n WHERE { <a> <p/knows> ?f OPTIONAL { ?f <p/name> ?n } }")
+            .unwrap();
+        assert_eq!(out.results.len(), 2);
+        let unbound = out
+            .results
+            .rows
+            .iter()
+            .filter(|r| matches!(r[1], crate::results::OutVal::Unbound))
+            .count();
+        assert_eq!(unbound, 1);
+    }
+
+    #[test]
+    fn aggregation_group_by() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let out = engine
+            .run_text(
+                "SELECT ?p (COUNT(?post) AS ?n) (MAX(?d) AS ?newest) WHERE { ?p <p/wrote> ?post . ?post <p/date> ?d } GROUP BY ?p ORDER BY DESC(?newest)",
+            )
+            .unwrap();
+        assert_eq!(out.results.len(), 6);
+        assert_eq!(out.results.rows[0][1].as_num(), Some(2.0));
+        assert_eq!(out.results.rows[0][2].as_num(), Some(51.0));
+    }
+
+    #[test]
+    fn unknown_projection_var_is_error() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let err = engine.run_text("SELECT ?nope WHERE { ?p <p/name> ?n }").unwrap_err();
+        assert!(matches!(err, QueryError::UnknownVariable(_)));
+    }
+
+    #[test]
+    fn template_with_unbound_param_is_error() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let q = crate::parser::parse_query("SELECT ?p WHERE { ?p <p/name> %name }").unwrap();
+        let err = engine.prepare(&q).unwrap_err();
+        assert!(matches!(err, QueryError::UnboundParameter(_)));
+    }
+
+    #[test]
+    fn term_not_in_dataset_yields_empty_not_error() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let out = engine
+            .run_text("SELECT ?x WHERE { ?x <p/knows> <person/unknown-xyz> }")
+            .unwrap();
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn signature_stable_across_bindings_with_same_plan() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let t = QueryTemplate::parse(
+            "q",
+            "SELECT ?n WHERE { %person <p/knows> ?f . ?f <p/name> ?n }",
+        )
+        .unwrap();
+        let p0 = engine
+            .prepare_template(&t, &Binding::new().with("person", Term::iri("person/0")))
+            .unwrap();
+        let p3 = engine
+            .prepare_template(&t, &Binding::new().with("person", Term::iri("person/3")))
+            .unwrap();
+        assert_eq!(p0.signature, p3.signature);
+    }
+
+    #[test]
+    fn explain_renders() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let q = crate::parser::parse_query(
+            "SELECT ?f WHERE { <person/0> <p/knows> ?f OPTIONAL { ?f <p/name> ?n } }",
+        )
+        .unwrap();
+        let p = engine.prepare(&q).unwrap();
+        let text = p.explain();
+        assert!(text.contains("signature:"));
+        assert!(text.contains("OPTIONAL #0"));
+    }
+
+    #[test]
+    fn union_concatenates_branches() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        // Friends of person/0 OR friends of person/3 — bare UNION body.
+        let out = engine
+            .run_text(
+                "SELECT ?f WHERE { { <person/0> <p/knows> ?f } UNION { <person/3> <p/knows> ?f } }",
+            )
+            .unwrap();
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn union_joined_with_required_part() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        // Names of (friends of 0) ∪ (friends of 3).
+        let out = engine
+            .run_text(
+                "SELECT ?f ?n WHERE { ?f <p/name> ?n . { <person/0> <p/knows> ?f } UNION { <person/3> <p/knows> ?f } }",
+            )
+            .unwrap();
+        assert_eq!(out.results.len(), 2);
+        for row in &out.results.rows {
+            assert!(matches!(row[1], crate::results::OutVal::Term(_)));
+        }
+    }
+
+    #[test]
+    fn union_branch_filters_are_scoped() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let out = engine
+            .run_text(
+                "SELECT ?p ?d WHERE { { ?p <p/wrote> ?x . ?x <p/date> ?d . FILTER(?d < 1) } UNION { ?p <p/wrote> ?x . ?x <p/date> ?d . FILTER(?d >= 50) } }",
+            )
+            .unwrap();
+        // dates: 0,1 for person 0 ... 50,51 for person 5 → d=0, d=50, d=51.
+        assert_eq!(out.results.len(), 3);
+    }
+
+    #[test]
+    fn union_with_mismatched_vars_is_unsupported() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let err = engine
+            .run_text("SELECT ?a WHERE { { ?a <p/knows> ?b } UNION { ?a <p/name> ?c } }")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn union_signature_lists_branches() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        let q = crate::parser::parse_query(
+            "SELECT ?f WHERE { { <person/0> <p/knows> ?f } UNION { <person/3> <p/knows> ?f } }",
+        )
+        .unwrap();
+        let p = engine.prepare(&q).unwrap();
+        assert!(p.signature.0.starts_with("UNION("), "{}", p.signature);
+        assert!(p.explain().contains("UNION #0"));
+    }
+
+    #[test]
+    fn measured_cout_counts_join_outputs() {
+        let ds = dataset();
+        let engine = Engine::new(&ds);
+        // Two joins: friends-of-friends.
+        let out = engine
+            .run_text(
+                "SELECT ?c WHERE { <person/0> <p/knows> ?b . ?b <p/knows> ?c . ?c <p/name> ?n }",
+            )
+            .unwrap();
+        assert_eq!(out.results.len(), 1); // ring: 0→1→2
+        assert!(out.cout >= 2, "cout = {}", out.cout);
+        assert_eq!(out.stats.join_cards.len(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Error type for the query engine.
+
+use std::fmt;
+
+/// Errors raised while parsing, planning or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Query text could not be parsed.
+    Parse(String),
+    /// A template was planned/executed with unsubstituted parameters.
+    UnboundParameter(String),
+    /// A projection, order key or filter references an unknown variable.
+    UnknownVariable(String),
+    /// Query shape not supported by the engine (documented subset).
+    Unsupported(String),
+    /// Instantiation was given a binding for a parameter the template lacks,
+    /// or lacked a binding for one it has.
+    BindingMismatch(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+            QueryError::UnboundParameter(p) => write!(f, "unbound parameter %{p}"),
+            QueryError::UnknownVariable(v) => write!(f, "unknown variable ?{v}"),
+            QueryError::Unsupported(msg) => write!(f, "unsupported query shape: {msg}"),
+            QueryError::BindingMismatch(msg) => write!(f, "binding mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,57 @@
+//! # parambench-sparql
+//!
+//! A SPARQL-subset query engine built for the *parambench* reproduction of
+//! "How to generate query parameters in RDF benchmarks?"
+//! (Gubichev, Angles, Boncz — ICDE 2014).
+//!
+//! The engine's design centre is the paper's cost function
+//! `Cout(T) = Σ |intermediate results|`:
+//!
+//! * the [`optimizer`] performs exact dynamic programming over pattern
+//!   subsets to find the **`Cout`-optimal** bushy join tree, using
+//!   exact single-pattern cardinalities and textbook join estimates
+//!   ([`cardinality`]);
+//! * every plan carries a [`plan::PlanSignature`] — the structural identity
+//!   the paper's parameter classes are defined over (conditions a/c);
+//! * the executor ([`exec`]) measures the *actual* `Cout` (sum of join
+//!   output cardinalities) next to wall-clock time, enabling the §III
+//!   correlation experiment;
+//! * query *templates* with `%param` placeholders ([`template`]) are
+//!   first-class: the workload generator instantiates them once per
+//!   parameter binding.
+//!
+//! Supported query shape: `SELECT [DISTINCT] vars/aggregates WHERE { basic
+//! graph pattern + FILTER + OPTIONAL } [GROUP BY] [ORDER BY] [LIMIT/OFFSET]`.
+//!
+//! ```
+//! use parambench_rdf::{StoreBuilder, Term};
+//! use parambench_sparql::engine::Engine;
+//!
+//! let mut b = StoreBuilder::new();
+//! b.insert(Term::iri("alice"), Term::iri("knows"), Term::iri("bob"));
+//! b.insert(Term::iri("bob"), Term::iri("name"), Term::literal("Bob"));
+//! let ds = b.freeze();
+//! let engine = Engine::new(&ds);
+//! let out = engine.run_text("SELECT ?n WHERE { <alice> <knows> ?f . ?f <name> ?n }").unwrap();
+//! assert_eq!(out.results.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod cardinality;
+pub mod display;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod results;
+pub mod template;
+
+pub use ast::SelectQuery;
+pub use engine::{Engine, Prepared, QueryOutput};
+pub use error::QueryError;
+pub use parser::parse_query;
+pub use plan::{PlanNode, PlanSignature};
+pub use results::{OutVal, ResultSet};
+pub use template::{Binding, QueryTemplate};

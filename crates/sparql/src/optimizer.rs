@@ -1,0 +1,558 @@
+//! `Cout`-optimal join ordering.
+//!
+//! Implements dynamic programming over connected subsets (a bitset DP in the
+//! DPsize/DPsub family) minimizing the paper's cost function
+//!
+//! ```text
+//! Cout(T) = 0                                if T is a scan
+//! Cout(T) = |T| + Cout(T1) + Cout(T2)        if T = T1 ⋈ T2
+//! ```
+//!
+//! Cross products are considered only when no variable-sharing partition
+//! exists (disconnected join graphs). Beyond [`EXACT_LIMIT`] patterns the
+//! optimizer falls back to a greedy heuristic (cheapest-result-first), which
+//! is also exposed for testing.
+//!
+//! The DP returns provably `Cout`-optimal bushy plans — the exact object the
+//! paper's clustering conditions (a)/(b) are defined over.
+
+use std::collections::HashMap;
+
+use crate::cardinality::{Estimate, Estimator};
+use crate::error::QueryError;
+use crate::plan::{PlanNode, PlannedPattern};
+
+/// Maximum number of patterns for the exact subset DP (3^16 ≈ 43M partition
+/// enumerations is the practical ceiling; our workloads stay well below).
+pub const EXACT_LIMIT: usize = 13;
+
+/// Produces the `Cout`-optimal (or greedily approximated) join tree for a
+/// set of required triple patterns.
+pub fn optimize(patterns: &[PlannedPattern], est: &Estimator<'_>) -> Result<PlanNode, QueryError> {
+    match patterns.len() {
+        0 => Err(QueryError::Unsupported("empty basic graph pattern".into())),
+        1 => Ok(PlanNode::Scan { pattern: patterns[0].clone(), est_card: est.scan(&patterns[0]).card }),
+        n if n <= EXACT_LIMIT => Ok(dp_optimal(patterns, est)),
+        _ => Ok(greedy(patterns, est)),
+    }
+}
+
+/// Variable-slot bitmask (up to 64 variables per query).
+fn var_mask(pattern: &PlannedPattern) -> u64 {
+    let mut m = 0u64;
+    for v in pattern.var_slots() {
+        assert!(v < 64, "more than 64 variables in one query");
+        m |= 1 << v;
+    }
+    m
+}
+
+struct DpEntry {
+    cost: f64,
+    plan: PlanNode,
+}
+
+/// The canonical estimate of a pattern *subset*: scans folded in ascending
+/// pattern-index order.
+///
+/// Making cardinality a function of the subset alone (not of the join tree
+/// that produced it) is what keeps `Cout` well-defined and the subset DP
+/// exactly optimal: with history-dependent estimates (e.g. the
+/// characteristic-set star bonus surviving only along some join orders),
+/// optimal substructure would not hold.
+pub fn subset_estimate(patterns: &[PlannedPattern], est: &Estimator<'_>) -> Estimate {
+    let mut sorted: Vec<&PlannedPattern> = patterns.iter().collect();
+    sorted.sort_by_key(|p| p.idx);
+    let mut acc: Option<(Estimate, Vec<usize>)> = None;
+    for p in sorted {
+        let scan = est.scan(p);
+        acc = Some(match acc {
+            None => {
+                let vars = p.var_slots();
+                (scan, vars)
+            }
+            Some((prev, mut vars)) => {
+                let shared: Vec<usize> =
+                    p.var_slots().into_iter().filter(|v| vars.contains(v)).collect();
+                let joined = est.join(&prev, &scan, &shared);
+                for v in p.var_slots() {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                (joined, vars)
+            }
+        });
+    }
+    acc.expect("non-empty pattern set").0
+}
+
+/// Exact bitset DP over all pattern subsets.
+///
+/// `Cout(T) = Σ canonical-card(leafset(n))` over internal nodes `n`, so the
+/// cost of a plan depends only on which subsets its joins materialize — the
+/// textbook setting in which subset DP is provably optimal.
+fn dp_optimal(patterns: &[PlannedPattern], est: &Estimator<'_>) -> PlanNode {
+    let n = patterns.len();
+    let full = (1usize << n) - 1;
+    let masks: Vec<u64> = patterns.iter().map(var_mask).collect();
+    let mut best: Vec<Option<DpEntry>> = Vec::with_capacity(full + 1);
+    let mut subset_est: Vec<Option<Estimate>> = Vec::with_capacity(full + 1);
+    best.push(None); // empty set
+    subset_est.push(None);
+    for _ in 1..=full {
+        best.push(None);
+        subset_est.push(None);
+    }
+
+    // Leaves.
+    for (i, p) in patterns.iter().enumerate() {
+        let e = est.scan(p);
+        best[1 << i] = Some(DpEntry {
+            cost: 0.0,
+            plan: PlanNode::Scan { pattern: p.clone(), est_card: e.card },
+        });
+        subset_est[1 << i] = Some(e);
+    }
+
+    // Subset var masks, for connectivity checks.
+    let mut subset_vars = vec![0u64; full + 1];
+    for s in 1..=full {
+        let lsb = s & s.wrapping_neg();
+        subset_vars[s] = subset_vars[s ^ lsb] | masks[lsb.trailing_zeros() as usize];
+    }
+
+    for s in 1..=full {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        // Canonical estimate of s: fold in the highest-index pattern last,
+        // which reproduces the ascending-index fold of `subset_estimate`.
+        let hb = 1usize << (usize::BITS - 1 - s.leading_zeros());
+        let rest = s ^ hb;
+        let shared_hb = subset_vars[rest] & masks[hb.trailing_zeros() as usize];
+        let hb_vars: Vec<usize> = (0..64).filter(|&v| shared_hb & (1 << v) != 0).collect();
+        let joined = est.join(
+            subset_est[rest].as_ref().expect("smaller subset computed"),
+            subset_est[hb].as_ref().expect("leaf computed"),
+            &hb_vars,
+        );
+        let subset_card = joined.card;
+        subset_est[s] = Some(joined);
+
+        // Enumerate proper non-empty subsets s1 of s; consider each
+        // unordered partition once by requiring s1 to contain the lowest
+        // bit of s. Cross-product partitions participate too (`Cout`
+        // decides) so the DP is truly optimal, matching the exhaustive
+        // oracle even on disconnected join graphs.
+        let low = s & s.wrapping_neg();
+        let mut s1 = s;
+        while s1 > 0 {
+            s1 = (s1 - 1) & s;
+            if s1 == 0 {
+                break;
+            }
+            if s1 & low == 0 {
+                continue;
+            }
+            let s2 = s ^ s1;
+            let shared = subset_vars[s1] & subset_vars[s2];
+            let (Some(e1), Some(e2)) = (&best[s1], &best[s2]) else {
+                continue;
+            };
+            let join_vars: Vec<usize> = (0..64).filter(|&v| shared & (1 << v) != 0).collect();
+            let cost = e1.cost + e2.cost + subset_card;
+            let better = match &best[s] {
+                None => true,
+                Some(cur) => cost < cur.cost,
+            };
+            if better {
+                // Both child orders cost the same under Cout; canonicalize
+                // build side = smaller-estimate side for determinism.
+                let (l, r) = if subset_est[s1].as_ref().expect("computed").card
+                    <= subset_est[s2].as_ref().expect("computed").card
+                {
+                    (s1, s2)
+                } else {
+                    (s2, s1)
+                };
+                let (Some(le), Some(re)) = (&best[l], &best[r]) else { unreachable!() };
+                let plan = PlanNode::HashJoin {
+                    left: Box::new(le.plan.clone()),
+                    right: Box::new(re.plan.clone()),
+                    join_vars,
+                    est_card: subset_card,
+                };
+                best[s] = Some(DpEntry { cost, plan });
+            }
+        }
+    }
+
+    best[full].take().expect("DP covers the full set").plan
+}
+
+/// Greedy join ordering: start from the smallest pattern, repeatedly join
+/// the remaining pattern minimizing the resulting cardinality, preferring
+/// var-sharing joins over cross products. Used beyond [`EXACT_LIMIT`] and as
+/// a test oracle for "reasonable but not optimal".
+pub fn greedy(patterns: &[PlannedPattern], est: &Estimator<'_>) -> PlanNode {
+    assert!(!patterns.is_empty());
+    let mut remaining: Vec<(PlannedPattern, Estimate)> =
+        patterns.iter().map(|p| (p.clone(), est.scan(p))).collect();
+
+    // Start from the smallest scan.
+    let start = remaining
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .1.card.partial_cmp(&b.1 .1.card).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let (p0, e0) = remaining.swap_remove(start);
+    let mut plan = PlanNode::Scan { pattern: p0, est_card: e0.card };
+    let mut cur = e0;
+    let mut cur_vars = plan.var_slots();
+
+    while !remaining.is_empty() {
+        let mut best_idx = None;
+        let mut best_card = f64::INFINITY;
+        let mut best_shared: Vec<usize> = Vec::new();
+        for (i, (p, e)) in remaining.iter().enumerate() {
+            let shared: Vec<usize> =
+                p.var_slots().into_iter().filter(|v| cur_vars.contains(v)).collect();
+            let j = est.join(&cur, e, &shared);
+            // Prefer connected joins: penalize cross products heavily.
+            let effective = if shared.is_empty() { j.card * 1e12 } else { j.card };
+            if effective < best_card {
+                best_card = effective;
+                best_idx = Some(i);
+                best_shared = shared;
+            }
+        }
+        let (p, e) = remaining.swap_remove(best_idx.expect("non-empty remaining"));
+        let joined = est.join(&cur, &e, &best_shared);
+        for v in p.var_slots() {
+            if !cur_vars.contains(&v) {
+                cur_vars.push(v);
+            }
+        }
+        plan = PlanNode::HashJoin {
+            left: Box::new(plan),
+            right: Box::new(PlanNode::Scan { pattern: p, est_card: e.card }),
+            join_vars: best_shared,
+            est_card: joined.card,
+        };
+        cur = joined;
+    }
+    // Re-annotate with canonical subset estimates so greedy costs are
+    // comparable with the DP's (same cost function).
+    annotate_canonical(&mut plan, est);
+    plan
+}
+
+/// Rewrites every node's `est_card` with the canonical estimate of its leaf
+/// pattern set; returns those leaves.
+pub fn annotate_canonical(plan: &mut PlanNode, est: &Estimator<'_>) -> Vec<PlannedPattern> {
+    match plan {
+        PlanNode::Scan { pattern, est_card } => {
+            *est_card = est.scan(pattern).card;
+            vec![pattern.clone()]
+        }
+        PlanNode::HashJoin { left, right, est_card, .. } => {
+            let mut leaves = annotate_canonical(left, est);
+            leaves.extend(annotate_canonical(right, est));
+            *est_card = subset_estimate(&leaves, est).card;
+            leaves
+        }
+    }
+}
+
+/// Exhaustive plan enumeration (all bushy trees), used as a test oracle to
+/// verify DP optimality on small inputs. Costs use the same canonical
+/// per-subset cardinalities as the DP. Exponential — tests only.
+pub fn exhaustive_min_cout(
+    patterns: &[PlannedPattern],
+    est: &Estimator<'_>,
+) -> Option<(f64, PlanNode)> {
+    fn card_of(
+        mask: usize,
+        patterns: &[PlannedPattern],
+        est: &Estimator<'_>,
+        cache: &mut HashMap<usize, f64>,
+    ) -> f64 {
+        if let Some(&c) = cache.get(&mask) {
+            return c;
+        }
+        let members: Vec<PlannedPattern> = (0..patterns.len())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| patterns[i].clone())
+            .collect();
+        let c = subset_estimate(&members, est).card;
+        cache.insert(mask, c);
+        c
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        items: Vec<(PlanNode, usize, f64)>, // (plan, leaf mask, cost)
+        patterns: &[PlannedPattern],
+        est: &Estimator<'_>,
+        cache: &mut HashMap<usize, f64>,
+        best: &mut Option<(f64, PlanNode)>,
+    ) {
+        if items.len() == 1 {
+            let (plan, _, cost) = &items[0];
+            if best.as_ref().is_none_or(|(c, _)| cost < c) {
+                *best = Some((*cost, plan.clone()));
+            }
+            return;
+        }
+        for i in 0..items.len() {
+            for j in 0..items.len() {
+                if i == j {
+                    continue;
+                }
+                let (pi, mi, ci) = &items[i];
+                let (pj, mj, cj) = &items[j];
+                let shared: Vec<usize> = pi
+                    .var_slots()
+                    .into_iter()
+                    .filter(|v| pj.var_slots().contains(v))
+                    .collect();
+                let union = mi | mj;
+                let card = card_of(union, patterns, est, cache);
+                let cost = ci + cj + card;
+                let node = PlanNode::HashJoin {
+                    left: Box::new(pi.clone()),
+                    right: Box::new(pj.clone()),
+                    join_vars: shared,
+                    est_card: card,
+                };
+                let mut rest: Vec<(PlanNode, usize, f64)> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != i && *k != j)
+                    .map(|(_, it)| it.clone())
+                    .collect();
+                rest.push((node, union, cost));
+                rec(rest, patterns, est, cache, best);
+            }
+        }
+    }
+
+    if patterns.is_empty() {
+        return None;
+    }
+    let items: Vec<(PlanNode, usize, f64)> = patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let e = est.scan(p);
+            (PlanNode::Scan { pattern: p.clone(), est_card: e.card }, 1usize << i, 0.0)
+        })
+        .collect();
+    if items.len() == 1 {
+        return Some((0.0, items[0].0.clone()));
+    }
+    let mut best = None;
+    let mut cache = HashMap::new();
+    rec(items, patterns, est, &mut cache, &mut best);
+    best
+}
+
+/// A convenience wrapper retaining per-subset diagnostics (for EXPLAIN and
+/// the curation profiler): the chosen plan plus its estimate.
+pub struct OptimizedBgp {
+    pub plan: PlanNode,
+    pub est: Estimate,
+}
+
+/// Optimizes and re-derives the root estimate (distinct counts included).
+pub fn optimize_with_estimate(
+    patterns: &[PlannedPattern],
+    est: &Estimator<'_>,
+) -> Result<OptimizedBgp, QueryError> {
+    let plan = optimize(patterns, est)?;
+    let root_est = reestimate(&plan, est);
+    Ok(OptimizedBgp { plan, est: root_est })
+}
+
+/// Recomputes the estimate of a plan tree bottom-up (used when a plan is
+/// built or transplanted outside the DP).
+pub fn reestimate(plan: &PlanNode, est: &Estimator<'_>) -> Estimate {
+    fn leaves(plan: &PlanNode, out: &mut Vec<PlannedPattern>) {
+        match plan {
+            PlanNode::Scan { pattern, .. } => out.push(pattern.clone()),
+            PlanNode::HashJoin { left, right, .. } => {
+                leaves(left, out);
+                leaves(right, out);
+            }
+        }
+    }
+    let mut ps = Vec::new();
+    leaves(plan, &mut ps);
+    subset_estimate(&ps, est)
+}
+
+#[allow(dead_code)]
+fn _unused(_: &HashMap<usize, f64>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Slot;
+    use parambench_rdf::store::{Dataset, StoreBuilder};
+    use parambench_rdf::term::Term;
+
+    /// A store with strong selectivity skew: a huge `type` predicate, a
+    /// mid-size `feature` predicate and a tiny `special` predicate.
+    fn skewed_dataset() -> Dataset {
+        let mut b = StoreBuilder::new();
+        let ty = Term::iri("p/type");
+        let feat = Term::iri("p/feature");
+        let special = Term::iri("p/special");
+        for i in 0..300 {
+            let s = Term::iri(format!("prod/{i}"));
+            b.insert(s.clone(), ty.clone(), Term::iri(format!("class/{}", i % 3)));
+            b.insert(s.clone(), feat.clone(), Term::iri(format!("feat/{}", i % 30)));
+            if i < 5 {
+                b.insert(s, special.clone(), Term::iri("flag/on"));
+            }
+        }
+        b.freeze()
+    }
+
+    fn pattern(ds: &Dataset, idx: usize, pred: &str, obj: Option<&str>, s_var: usize, o_var: usize) -> PlannedPattern {
+        let p = ds.lookup(&Term::iri(pred)).unwrap();
+        let o = match obj {
+            Some(o) => Slot::Bound(ds.lookup(&Term::iri(o)).unwrap()),
+            None => Slot::Var(o_var),
+        };
+        PlannedPattern { idx, slots: [Slot::Var(s_var), Slot::Bound(p), o] }
+    }
+
+    #[test]
+    fn single_pattern_is_a_scan() {
+        let ds = skewed_dataset();
+        let est = Estimator::new(&ds);
+        let pats = vec![pattern(&ds, 0, "p/type", None, 0, 1)];
+        let plan = optimize(&pats, &est).unwrap();
+        assert!(matches!(plan, PlanNode::Scan { .. }));
+        assert_eq!(plan.est_cout(), 0.0);
+    }
+
+    #[test]
+    fn empty_bgp_is_error() {
+        let ds = skewed_dataset();
+        let est = Estimator::new(&ds);
+        assert!(optimize(&[], &est).is_err());
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_small_queries() {
+        let ds = skewed_dataset();
+        let est = Estimator::new(&ds);
+        // Star query over ?x: type, feature, special.
+        let pats = vec![
+            pattern(&ds, 0, "p/type", Some("class/0"), 0, 9),
+            pattern(&ds, 1, "p/feature", None, 0, 1),
+            pattern(&ds, 2, "p/special", Some("flag/on"), 0, 9),
+        ];
+        let dp = optimize(&pats, &est).unwrap();
+        let (oracle_cost, _) = exhaustive_min_cout(&pats, &est).unwrap();
+        assert!(
+            (dp.est_cout() - oracle_cost).abs() < 1e-6,
+            "dp {} vs oracle {oracle_cost}",
+            dp.est_cout()
+        );
+    }
+
+    #[test]
+    fn dp_starts_from_most_selective_pattern() {
+        let ds = skewed_dataset();
+        let est = Estimator::new(&ds);
+        let pats = vec![
+            pattern(&ds, 0, "p/type", Some("class/0"), 0, 9), // 100 rows
+            pattern(&ds, 1, "p/special", Some("flag/on"), 0, 9), // 5 rows
+        ];
+        let plan = optimize(&pats, &est).unwrap();
+        // The cheaper (special) scan should be the build side.
+        if let PlanNode::HashJoin { left, .. } = &plan {
+            if let PlanNode::Scan { pattern, .. } = left.as_ref() {
+                assert_eq!(pattern.idx, 1);
+            } else {
+                panic!("expected scan on the left");
+            }
+        } else {
+            panic!("expected join");
+        }
+    }
+
+    #[test]
+    fn disconnected_patterns_get_cross_product() {
+        let ds = skewed_dataset();
+        let est = Estimator::new(&ds);
+        let pats = vec![
+            pattern(&ds, 0, "p/special", Some("flag/on"), 0, 9),
+            pattern(&ds, 1, "p/special", Some("flag/on"), 1, 9), // different var!
+        ];
+        let plan = optimize(&pats, &est).unwrap();
+        if let PlanNode::HashJoin { join_vars, est_card, .. } = &plan {
+            assert!(join_vars.is_empty());
+            assert_eq!(*est_card, 25.0);
+        } else {
+            panic!("expected cross join");
+        }
+    }
+
+    #[test]
+    fn greedy_produces_valid_plan_with_all_leaves() {
+        let ds = skewed_dataset();
+        let est = Estimator::new(&ds);
+        let pats = vec![
+            pattern(&ds, 0, "p/type", Some("class/1"), 0, 9),
+            pattern(&ds, 1, "p/feature", None, 0, 1),
+            pattern(&ds, 2, "p/special", Some("flag/on"), 0, 9),
+            pattern(&ds, 3, "p/type", None, 2, 1_0), // disconnected from ?x via ?f? no: var 10
+        ];
+        let plan = greedy(&pats, &est);
+        assert_eq!(plan.leaf_count(), 4);
+        // Greedy cost is an upper bound on DP cost.
+        let dp = optimize(&pats, &est).unwrap();
+        assert!(dp.est_cout() <= plan.est_cout() + 1e-9);
+    }
+
+    #[test]
+    fn chain_query_dp_optimal() {
+        let ds = skewed_dataset();
+        let est = Estimator::new(&ds);
+        // chain: ?a type ?c . ?b feature ?f . ?a feature ?f  (a–f–b chain)
+        let pats = vec![
+            pattern(&ds, 0, "p/type", None, 0, 2),
+            pattern(&ds, 1, "p/feature", None, 1, 3),
+            PlannedPattern {
+                idx: 2,
+                slots: [
+                    Slot::Var(0),
+                    Slot::Bound(ds.lookup(&Term::iri("p/feature")).unwrap()),
+                    Slot::Var(3),
+                ],
+            },
+        ];
+        let dp = optimize(&pats, &est).unwrap();
+        let (oracle, _) = exhaustive_min_cout(&pats, &est).unwrap();
+        assert!((dp.est_cout() - oracle).abs() < 1e-6);
+        assert_eq!(dp.leaf_count(), 3);
+    }
+
+    #[test]
+    fn reestimate_agrees_with_plan_cards() {
+        let ds = skewed_dataset();
+        let est = Estimator::new(&ds);
+        let pats = vec![
+            pattern(&ds, 0, "p/type", Some("class/0"), 0, 9),
+            pattern(&ds, 1, "p/feature", None, 0, 1),
+        ];
+        let opt = optimize_with_estimate(&pats, &est).unwrap();
+        assert!((opt.plan.est_card() - opt.est.card).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,932 @@
+//! Hand-written recursive-descent parser for the SPARQL subset.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! Query      := Prefix* "SELECT" "DISTINCT"? ProjList "WHERE"? "{" Group "}" Modifiers
+//! Prefix     := "PREFIX" NAME ":" IRIREF
+//! ProjList   := "*" | ( Var | "(" Agg "(" ("DISTINCT"? (Var | "*")) ")" "AS" Var ")" )+
+//! Group      := ( Triples "."? | "FILTER" "(" Expr ")" | "OPTIONAL" "{" Group "}" )*
+//! Triples    := VarOrTerm VarOrTerm VarOrTerm ( ";" VarOrTerm VarOrTerm )* ( "," VarOrTerm )*
+//! Modifiers  := ("GROUP" "BY" Var+)? ("ORDER" "BY" OrderKey+)? ("LIMIT" INT)? ("OFFSET" INT)?
+//! OrderKey   := Var | ("ASC"|"DESC") "(" Var ")"
+//! ```
+//!
+//! Terms: `<iri>`, `prefix:local`, `?var`, `%param`, `"literal"(@lang|^^dt)?`,
+//! integers/decimals (typed xsd literals), `true`/`false`, and the Turtle
+//! keyword `a` for `rdf:type`.
+
+use std::collections::HashMap;
+
+use parambench_rdf::term::{xsd, Literal, Term};
+
+use crate::ast::{
+    AggFunc, BinOp, Element, Expr, OrderKey, Projection, SelectQuery, TriplePattern, VarOrTerm,
+};
+use crate::error::QueryError;
+
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Parses a SELECT query (or template with `%params`) from text.
+pub fn parse_query(input: &str) -> Result<SelectQuery, QueryError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0, prefixes: HashMap::new() };
+    let query = parser.query()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.err("unexpected trailing tokens"));
+    }
+    Ok(query)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Iri(String),
+    PName(String, String),
+    Var(String),
+    Param(String),
+    Str(String),
+    LangTag(String),
+    DtSep, // ^^
+    Int(i64),
+    Dec(f64),
+    Kw(&'static str),
+    Punct(char),
+    Op(&'static str),
+}
+
+const KEYWORDS: &[&str] = &[
+    "PREFIX", "SELECT", "DISTINCT", "WHERE", "FILTER", "OPTIONAL", "UNION", "GROUP", "ORDER", "BY", "ASC",
+    "DESC", "LIMIT", "OFFSET", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX", "BOUND", "TRUE", "FALSE",
+];
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '<' => {
+                // Could be IRI or comparison; IRI iff a '>' appears before whitespace.
+                let rest = &input[i + 1..];
+                if let Some(end) = rest.find('>') {
+                    if !rest[..end].contains(char::is_whitespace) && !rest[..end].contains('<') {
+                        toks.push(Tok::Iri(rest[..end].to_string()));
+                        i += end + 2;
+                        continue;
+                    }
+                }
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op("<="));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op(">="));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(">"));
+                    i += 1;
+                }
+            }
+            '?' | '$' => {
+                let start = i + 1;
+                let end = scan_name(bytes, start);
+                if end == start {
+                    return Err(QueryError::Parse(format!("empty variable name at byte {i}")));
+                }
+                toks.push(Tok::Var(input[start..end].to_string()));
+                i = end;
+            }
+            '%' => {
+                let start = i + 1;
+                let end = scan_name(bytes, start);
+                if end == start {
+                    return Err(QueryError::Parse(format!("empty parameter name at byte {i}")));
+                }
+                toks.push(Tok::Param(input[start..end].to_string()));
+                i = end;
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut lit = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(QueryError::Parse("unterminated string literal".into()));
+                    }
+                    match bytes[j] {
+                        b'"' => break,
+                        b'\\' => {
+                            let esc = *bytes
+                                .get(j + 1)
+                                .ok_or_else(|| QueryError::Parse("dangling escape".into()))?;
+                            lit.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(QueryError::Parse(format!(
+                                        "unknown escape \\{}",
+                                        other as char
+                                    )))
+                                }
+                            });
+                            j += 2;
+                        }
+                        _ => {
+                            // Copy the full UTF-8 char.
+                            let ch_len = utf8_len(bytes[j]);
+                            lit.push_str(&input[j..j + ch_len]);
+                            j += ch_len;
+                        }
+                    }
+                }
+                toks.push(Tok::Str(lit));
+                i = j + 1;
+            }
+            '@' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'-')
+                {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(QueryError::Parse("empty language tag".into()));
+                }
+                toks.push(Tok::LangTag(input[start..end].to_string()));
+                i = end;
+            }
+            '^' => {
+                if bytes.get(i + 1) == Some(&b'^') {
+                    toks.push(Tok::DtSep);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse("stray '^'".into()));
+                }
+            }
+            '0'..='9' => {
+                let (tok, next) = scan_number(input, i)?;
+                toks.push(tok);
+                i = next;
+            }
+            '-' => {
+                // Negative number literal or minus operator: a number follows
+                // directly only if the next char is a digit.
+                if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (tok, next) = scan_number(input, i)?;
+                    toks.push(tok);
+                    i = next;
+                } else {
+                    toks.push(Tok::Op("-"));
+                    i += 1;
+                }
+            }
+            '{' | '}' | '(' | ')' | ',' | ';' => {
+                toks.push(Tok::Punct(c));
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Punct('.'));
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Op("*"));
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Op("+"));
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Op("/"));
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Op("="));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op("!="));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op("!"));
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    toks.push(Tok::Op("&&"));
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse("stray '&'".into()));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    toks.push(Tok::Op("||"));
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse("stray '|'".into()));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = scan_name(bytes, i);
+                // Prefixed name?
+                if end < bytes.len() && bytes[end] == b':' {
+                    let prefix = input[start..end].to_string();
+                    let lstart = end + 1;
+                    let lend = scan_name(bytes, lstart);
+                    toks.push(Tok::PName(prefix, input[lstart..lend].to_string()));
+                    i = lend;
+                    continue;
+                }
+                // `:local` with empty prefix is not supported; bare word.
+                let word = &input[start..end];
+                let upper = word.to_ascii_uppercase();
+                if let Some(&kw) = KEYWORDS.iter().find(|&&k| k == upper) {
+                    toks.push(Tok::Kw(kw));
+                } else if word == "a" {
+                    toks.push(Tok::Iri(RDF_TYPE.to_string()));
+                } else {
+                    return Err(QueryError::Parse(format!("unexpected word {word:?}")));
+                }
+                end = end.max(start + 1);
+                i = end;
+            }
+            other => {
+                return Err(QueryError::Parse(format!("unexpected character {other:?} at byte {i}")))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+fn scan_name(bytes: &[u8], start: usize) -> usize {
+    let mut end = start;
+    while end < bytes.len()
+        && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_' || bytes[end] == b'-')
+    {
+        end += 1;
+    }
+    end
+}
+
+fn scan_number(input: &str, start: usize) -> Result<(Tok, usize), QueryError> {
+    let bytes = input.as_bytes();
+    let mut end = start;
+    if bytes[end] == b'-' {
+        end += 1;
+    }
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        end += 1;
+    }
+    // Decimal point only if followed by a digit (else it's a triple terminator).
+    if end + 1 < bytes.len() && bytes[end] == b'.' && bytes[end + 1].is_ascii_digit() {
+        end += 1;
+        while end < bytes.len() && bytes[end].is_ascii_digit() {
+            end += 1;
+        }
+        let v: f64 = input[start..end]
+            .parse()
+            .map_err(|_| QueryError::Parse(format!("bad decimal {:?}", &input[start..end])))?;
+        Ok((Tok::Dec(v), end))
+    } else {
+        let v: i64 = input[start..end]
+            .parse()
+            .map_err(|_| QueryError::Parse(format!("bad integer {:?}", &input[start..end])))?;
+        Ok((Tok::Int(v), end))
+    }
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> QueryError {
+        QueryError::Parse(format!("{msg} (at token {} of {})", self.pos, self.tokens.len()))
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Kw(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {kw}")))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), QueryError> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {c:?}")))
+        }
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Op(o)) if *o == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn resolve_pname(&self, prefix: &str, local: &str) -> Result<String, QueryError> {
+        let base = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| QueryError::Parse(format!("undeclared prefix {prefix:?}")))?;
+        Ok(format!("{base}{local}"))
+    }
+
+    fn query(&mut self) -> Result<SelectQuery, QueryError> {
+        while self.eat_kw("PREFIX") {
+            let (prefix, local) = match self.next() {
+                Some(Tok::PName(p, l)) => (p, l),
+                _ => return Err(self.err("expected prefix name after PREFIX")),
+            };
+            if !local.is_empty() {
+                return Err(self.err("prefix declaration must end with ':'"));
+            }
+            let iri = match self.next() {
+                Some(Tok::Iri(iri)) => iri,
+                _ => return Err(self.err("expected IRI in prefix declaration")),
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut projections = Vec::new();
+        let mut select_star = false;
+        loop {
+            match self.peek() {
+                Some(Tok::Var(_)) => {
+                    if let Some(Tok::Var(v)) = self.next() {
+                        projections.push(Projection::Var(v));
+                    }
+                }
+                Some(Tok::Op("*")) if projections.is_empty() => {
+                    self.pos += 1;
+                    select_star = true;
+                    break;
+                }
+                Some(Tok::Punct('(')) => {
+                    self.pos += 1;
+                    projections.push(self.aggregate_projection()?);
+                }
+                _ => break,
+            }
+        }
+        if !select_star && projections.is_empty() {
+            return Err(self.err("SELECT needs at least one projection or '*'"));
+        }
+
+        let _ = self.eat_kw("WHERE");
+        self.expect_punct('{')?;
+        let where_clause = self.group()?;
+        self.expect_punct('}')?;
+
+        if select_star {
+            // Project all variables of the group, first-occurrence order.
+            let mut vars = Vec::new();
+            collect_group_vars(&where_clause, &mut vars);
+            projections = vars.into_iter().map(Projection::Var).collect();
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            while let Some(Tok::Var(_)) = self.peek() {
+                if let Some(Tok::Var(v)) = self.next() {
+                    group_by.push(v);
+                }
+            }
+            if group_by.is_empty() {
+                return Err(self.err("GROUP BY needs at least one variable"));
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                match self.peek() {
+                    Some(Tok::Var(_)) => {
+                        if let Some(Tok::Var(v)) = self.next() {
+                            order_by.push(OrderKey { var: v, descending: false });
+                        }
+                    }
+                    Some(Tok::Kw("ASC")) | Some(Tok::Kw("DESC")) => {
+                        let descending = matches!(self.next(), Some(Tok::Kw("DESC")));
+                        self.expect_punct('(')?;
+                        let var = match self.next() {
+                            Some(Tok::Var(v)) => v,
+                            _ => return Err(self.err("expected variable in ORDER BY key")),
+                        };
+                        self.expect_punct(')')?;
+                        order_by.push(OrderKey { var, descending });
+                    }
+                    _ => break,
+                }
+            }
+            if order_by.is_empty() {
+                return Err(self.err("ORDER BY needs at least one key"));
+            }
+        }
+
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_kw("LIMIT") {
+            limit = Some(self.expect_uint()?);
+        }
+        if self.eat_kw("OFFSET") {
+            offset = Some(self.expect_uint()?);
+        }
+
+        Ok(SelectQuery { distinct, projections, where_clause, group_by, order_by, limit, offset })
+    }
+
+    fn expect_uint(&mut self) -> Result<usize, QueryError> {
+        match self.next() {
+            Some(Tok::Int(v)) if v >= 0 => Ok(v as usize),
+            _ => Err(self.err("expected non-negative integer")),
+        }
+    }
+
+    fn aggregate_projection(&mut self) -> Result<Projection, QueryError> {
+        let func = match self.next() {
+            Some(Tok::Kw("COUNT")) => AggFunc::Count,
+            Some(Tok::Kw("SUM")) => AggFunc::Sum,
+            Some(Tok::Kw("AVG")) => AggFunc::Avg,
+            Some(Tok::Kw("MIN")) => AggFunc::Min,
+            Some(Tok::Kw("MAX")) => AggFunc::Max,
+            _ => return Err(self.err("expected aggregate function")),
+        };
+        self.expect_punct('(')?;
+        let distinct = self.eat_kw("DISTINCT");
+        let var = match self.peek() {
+            Some(Tok::Op("*")) => {
+                if func != AggFunc::Count {
+                    return Err(self.err("'*' argument only valid for COUNT"));
+                }
+                self.pos += 1;
+                None
+            }
+            Some(Tok::Var(_)) => match self.next() {
+                Some(Tok::Var(v)) => Some(v),
+                _ => unreachable!(),
+            },
+            _ => return Err(self.err("expected variable or '*' in aggregate")),
+        };
+        self.expect_punct(')')?;
+        self.expect_kw("AS")?;
+        let alias = match self.next() {
+            Some(Tok::Var(v)) => v,
+            _ => return Err(self.err("expected alias variable after AS")),
+        };
+        self.expect_punct(')')?;
+        Ok(Projection::Aggregate { func, var, distinct, alias })
+    }
+
+    fn group(&mut self) -> Result<Vec<Element>, QueryError> {
+        let mut elements = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('}')) | None => break,
+                Some(Tok::Kw("FILTER")) => {
+                    self.pos += 1;
+                    self.expect_punct('(')?;
+                    let expr = self.expr()?;
+                    self.expect_punct(')')?;
+                    elements.push(Element::Filter(expr));
+                    let _ = self.eat_punct('.');
+                }
+                Some(Tok::Kw("OPTIONAL")) => {
+                    self.pos += 1;
+                    self.expect_punct('{')?;
+                    let inner = self.group()?;
+                    self.expect_punct('}')?;
+                    elements.push(Element::Optional(inner));
+                    let _ = self.eat_punct('.');
+                }
+                Some(Tok::Punct('{')) => {
+                    // `{A} UNION {B} [UNION {C} …]`
+                    let mut branches = Vec::new();
+                    self.expect_punct('{')?;
+                    branches.push(self.group()?);
+                    self.expect_punct('}')?;
+                    while self.eat_kw("UNION") {
+                        self.expect_punct('{')?;
+                        branches.push(self.group()?);
+                        self.expect_punct('}')?;
+                    }
+                    if branches.len() < 2 {
+                        return Err(self.err("braced group must be part of a UNION"));
+                    }
+                    elements.push(Element::Union(branches));
+                    let _ = self.eat_punct('.');
+                }
+                _ => {
+                    // Triple(s) with optional ';' predicate lists and ',' object lists.
+                    let subject = self.var_or_term()?;
+                    loop {
+                        let predicate = self.var_or_term()?;
+                        let object = self.var_or_term()?;
+                        elements.push(Element::Triple(TriplePattern {
+                            subject: subject.clone(),
+                            predicate: predicate.clone(),
+                            object,
+                        }));
+                        while self.eat_punct(',') {
+                            let object = self.var_or_term()?;
+                            elements.push(Element::Triple(TriplePattern {
+                                subject: subject.clone(),
+                                predicate: predicate.clone(),
+                                object,
+                            }));
+                        }
+                        if !self.eat_punct(';') {
+                            break;
+                        }
+                    }
+                    let _ = self.eat_punct('.');
+                }
+            }
+        }
+        Ok(elements)
+    }
+
+    fn var_or_term(&mut self) -> Result<VarOrTerm, QueryError> {
+        match self.next() {
+            Some(Tok::Var(v)) => Ok(VarOrTerm::Var(v)),
+            Some(Tok::Param(p)) => Ok(VarOrTerm::Param(p)),
+            Some(Tok::Iri(iri)) => Ok(VarOrTerm::Term(Term::iri(iri))),
+            Some(Tok::PName(p, l)) => Ok(VarOrTerm::Term(Term::iri(self.resolve_pname(&p, &l)?))),
+            Some(Tok::Str(s)) => Ok(VarOrTerm::Term(self.literal_suffix(s)?)),
+            Some(Tok::Int(v)) => Ok(VarOrTerm::Term(Term::integer(v))),
+            Some(Tok::Dec(v)) => Ok(VarOrTerm::Term(Term::double(v))),
+            Some(Tok::Kw("TRUE")) => Ok(VarOrTerm::Term(Term::Literal(Literal::boolean(true)))),
+            Some(Tok::Kw("FALSE")) => Ok(VarOrTerm::Term(Term::Literal(Literal::boolean(false)))),
+            other => Err(self.err(&format!("expected term, got {other:?}"))),
+        }
+    }
+
+    fn literal_suffix(&mut self, lexical: String) -> Result<Term, QueryError> {
+        match self.peek() {
+            Some(Tok::LangTag(_)) => {
+                if let Some(Tok::LangTag(lang)) = self.next() {
+                    Ok(Term::Literal(Literal::lang(lexical, lang)))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Tok::DtSep) => {
+                self.pos += 1;
+                let dt = match self.next() {
+                    Some(Tok::Iri(iri)) => iri,
+                    Some(Tok::PName(p, l)) => self.resolve_pname(&p, &l)?,
+                    _ => return Err(self.err("expected datatype IRI after ^^")),
+                };
+                Ok(Term::Literal(Literal::typed(lexical, dt)))
+            }
+            _ => Ok(Term::literal(lexical)),
+        }
+    }
+
+    // Expression precedence: || < && < comparison < additive < multiplicative < unary.
+    fn expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.and_expr()?;
+        while self.eat_op("||") {
+            let right = self.and_expr()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.cmp_expr()?;
+        while self.eat_op("&&") {
+            let right = self.cmp_expr()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, QueryError> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Op("=")) => Some(BinOp::Eq),
+            Some(Tok::Op("!=")) => Some(BinOp::Ne),
+            Some(Tok::Op("<")) => Some(BinOp::Lt),
+            Some(Tok::Op("<=")) => Some(BinOp::Le),
+            Some(Tok::Op(">")) => Some(BinOp::Gt),
+            Some(Tok::Op(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            if self.eat_op("+") {
+                let right = self.mul_expr()?;
+                left = Expr::Binary(BinOp::Add, Box::new(left), Box::new(right));
+            } else if self.eat_op("-") {
+                let right = self.mul_expr()?;
+                left = Expr::Binary(BinOp::Sub, Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            if self.eat_op("*") {
+                let right = self.unary_expr()?;
+                left = Expr::Binary(BinOp::Mul, Box::new(left), Box::new(right));
+            } else if self.eat_op("/") {
+                let right = self.unary_expr()?;
+                left = Expr::Binary(BinOp::Div, Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_op("!") {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        match self.next() {
+            Some(Tok::Punct('(')) => {
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Tok::Kw("BOUND")) => {
+                self.expect_punct('(')?;
+                let var = match self.next() {
+                    Some(Tok::Var(v)) => v,
+                    _ => return Err(self.err("expected variable in BOUND()")),
+                };
+                self.expect_punct(')')?;
+                Ok(Expr::Bound(var))
+            }
+            Some(Tok::Var(v)) => Ok(Expr::Var(v)),
+            Some(Tok::Param(p)) => Ok(Expr::Param(p)),
+            Some(Tok::Iri(iri)) => Ok(Expr::Const(Term::iri(iri))),
+            Some(Tok::PName(p, l)) => Ok(Expr::Const(Term::iri(self.resolve_pname(&p, &l)?))),
+            Some(Tok::Str(s)) => Ok(Expr::Const(self.literal_suffix(s)?)),
+            Some(Tok::Int(v)) => Ok(Expr::Const(Term::integer(v))),
+            Some(Tok::Dec(v)) => Ok(Expr::Const(Term::double(v))),
+            Some(Tok::Kw("TRUE")) => Ok(Expr::Const(Term::Literal(Literal::boolean(true)))),
+            Some(Tok::Kw("FALSE")) => Ok(Expr::Const(Term::Literal(Literal::boolean(false)))),
+            other => Err(self.err(&format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+}
+
+fn collect_group_vars(elements: &[Element], out: &mut Vec<String>) {
+    for el in elements {
+        match el {
+            Element::Triple(t) => {
+                for v in t.vars() {
+                    if !out.iter().any(|x| x == v) {
+                        out.push(v.to_string());
+                    }
+                }
+            }
+            Element::Filter(_) => {}
+            Element::Optional(inner) => collect_group_vars(inner, out),
+            Element::Union(branches) => {
+                for branch in branches {
+                    collect_group_vars(branch, out);
+                }
+            }
+        }
+    }
+}
+
+// Re-export xsd for tests below.
+#[allow(unused_imports)]
+use xsd as _xsd;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_select() {
+        let q = parse_query(
+            "SELECT ?s ?o WHERE { ?s <http://e/p> ?o . ?o <http://e/q> <http://e/v> }",
+        )
+        .unwrap();
+        assert_eq!(q.projections.len(), 2);
+        assert_eq!(q.required_patterns().len(), 2);
+        assert!(!q.distinct);
+        assert!(q.is_concrete());
+    }
+
+    #[test]
+    fn parse_prefixes_and_a() {
+        let q = parse_query(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s a ex:Product . ?s ex:label \"x\" }",
+        )
+        .unwrap();
+        let pats = q.required_patterns();
+        assert_eq!(
+            pats[0].predicate,
+            VarOrTerm::Term(Term::iri(RDF_TYPE))
+        );
+        assert_eq!(pats[0].object, VarOrTerm::Term(Term::iri("http://e/Product")));
+        assert_eq!(pats[1].predicate, VarOrTerm::Term(Term::iri("http://e/label")));
+    }
+
+    #[test]
+    fn parse_params() {
+        let q = parse_query(
+            "PREFIX sn: <http://sn/> SELECT ?p WHERE { ?p sn:firstName %name . ?p sn:livesIn %country }",
+        )
+        .unwrap();
+        assert_eq!(q.params(), vec!["name", "country"]);
+        assert!(!q.is_concrete());
+    }
+
+    #[test]
+    fn parse_filter_precedence() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x <p> ?y . FILTER(?y > 3 && ?y < 10 || !BOUND(?x)) }",
+        )
+        .unwrap();
+        let filter = q
+            .where_clause
+            .iter()
+            .find_map(|e| match e {
+                Element::Filter(f) => Some(f.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // Top node must be Or (lowest precedence).
+        assert!(matches!(filter, Expr::Binary(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn parse_optional() {
+        let q = parse_query(
+            "SELECT ?s ?n WHERE { ?s <p> ?o OPTIONAL { ?s <name> ?n } }",
+        )
+        .unwrap();
+        assert!(q.where_clause.iter().any(|e| matches!(e, Element::Optional(_))));
+    }
+
+    #[test]
+    fn parse_aggregates_group_order_limit() {
+        let q = parse_query(
+            "SELECT ?f (AVG(?price) AS ?avgPrice) (COUNT(*) AS ?n) WHERE { ?x <hasFeature> ?f . ?x <price> ?price } GROUP BY ?f ORDER BY DESC(?avgPrice) ?f LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        assert_eq!(q.projections.len(), 3);
+        assert!(matches!(
+            q.projections[1],
+            Projection::Aggregate { func: AggFunc::Avg, .. }
+        ));
+        assert!(matches!(
+            q.projections[2],
+            Projection::Aggregate { func: AggFunc::Count, var: None, .. }
+        ));
+        assert_eq!(q.group_by, vec!["f"]);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].descending);
+        assert!(!q.order_by[1].descending);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+    }
+
+    #[test]
+    fn parse_select_star() {
+        let q = parse_query("SELECT * WHERE { ?s <p> ?o }").unwrap();
+        let names: Vec<&str> = q.projections.iter().map(|p| p.output_name()).collect();
+        assert_eq!(names, vec!["s", "o"]);
+    }
+
+    #[test]
+    fn parse_predicate_object_lists() {
+        let q = parse_query("SELECT ?s WHERE { ?s <p> ?a , ?b ; <q> ?c . }").unwrap();
+        assert_eq!(q.required_patterns().len(), 3);
+        // All share the same subject.
+        for p in q.required_patterns() {
+            assert_eq!(p.subject, VarOrTerm::Var("s".into()));
+        }
+    }
+
+    #[test]
+    fn parse_typed_and_tagged_literals() {
+        let q = parse_query(
+            "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#> SELECT ?s WHERE { ?s <p> \"5\"^^xsd:integer . ?s <q> \"hi\"@en . ?s <r> 2.5 . ?s <t> -3 }",
+        )
+        .unwrap();
+        let pats = q.required_patterns();
+        assert_eq!(pats[0].object, VarOrTerm::Term(Term::integer(5)));
+        assert_eq!(pats[1].object, VarOrTerm::Term(Term::Literal(Literal::lang("hi", "en"))));
+        assert_eq!(pats[2].object, VarOrTerm::Term(Term::double(2.5)));
+        assert_eq!(pats[3].object, VarOrTerm::Term(Term::integer(-3)));
+    }
+
+    #[test]
+    fn comparison_vs_iri_disambiguation() {
+        // '<' followed by space is an operator, '<x>' is an IRI.
+        let q = parse_query("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y < 5) }").unwrap();
+        assert_eq!(q.required_patterns().len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("SELECT WHERE { }").is_err());
+        assert!(parse_query("SELECT ?x { ?x <p> }").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x unknown:p ?y }").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x <p> \"unterminated }").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y } LIMIT -3").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y } trailing").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = parse_query(
+            "# leading comment\nSELECT ?s # trailing\nWHERE { ?s <p> ?o } # end",
+        )
+        .unwrap();
+        assert_eq!(q.required_patterns().len(), 1);
+    }
+}

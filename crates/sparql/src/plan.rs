@@ -1,0 +1,298 @@
+//! Physical plan representation and plan signatures.
+//!
+//! The paper's formal problem is stated in terms of the *optimal plan w.r.t.
+//! `Cout`*; two parameter bindings belong to the same class only if they
+//! yield the same optimal plan (condition a) and different classes must have
+//! different plans (condition c). [`PlanSignature`] is the canonical
+//! structural identity used for those comparisons: it captures join tree
+//! shape and leaf (pattern) identity, but *not* the concrete parameter ids,
+//! so two instantiations of a template compare equal iff their optimal join
+//! trees match.
+
+use parambench_rdf::dict::Id;
+
+/// One S/P/O slot of a planned pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// Bound to a dictionary id.
+    Bound(Id),
+    /// A query variable, identified by its slot in the variable table.
+    Var(usize),
+    /// A constant term that is absent from the dictionary: the pattern can
+    /// never match (the scan is provably empty).
+    Absent,
+}
+
+impl Slot {
+    /// The variable slot, if this is a variable.
+    pub fn as_var(&self) -> Option<usize> {
+        match self {
+            Slot::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The bound id, if any.
+    pub fn as_bound(&self) -> Option<Id> {
+        match self {
+            Slot::Bound(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// A triple pattern lowered to the id level, ready for scanning.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlannedPattern {
+    /// Index of this pattern in the query's pattern list — the stable
+    /// identity that plan signatures are built from.
+    pub idx: usize,
+    /// Subject, predicate, object slots.
+    pub slots: [Slot; 3],
+}
+
+impl PlannedPattern {
+    /// The id-level access pattern for the store (vars and absents → wildcard;
+    /// an absent constant makes the scan empty, handled by the executor).
+    pub fn access(&self) -> [Option<Id>; 3] {
+        [self.slots[0].as_bound(), self.slots[1].as_bound(), self.slots[2].as_bound()]
+    }
+
+    /// True if some constant was missing from the dictionary.
+    pub fn has_absent(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, Slot::Absent))
+    }
+
+    /// Distinct variable slots of the pattern, in S-P-O order.
+    pub fn var_slots(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(3);
+        for s in &self.slots {
+            if let Slot::Var(v) = s {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A node of the physical join tree for a basic graph pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// An index scan of one triple pattern. Scans contribute zero to `Cout`.
+    Scan {
+        pattern: PlannedPattern,
+        /// Estimated output cardinality.
+        est_card: f64,
+    },
+    /// A hash join; `join_vars` are the shared variable slots (empty for a
+    /// cross product). The join's output cardinality is what `Cout` sums.
+    HashJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        join_vars: Vec<usize>,
+        est_card: f64,
+    },
+}
+
+impl PlanNode {
+    /// Estimated output cardinality of this node.
+    pub fn est_card(&self) -> f64 {
+        match self {
+            PlanNode::Scan { est_card, .. } | PlanNode::HashJoin { est_card, .. } => *est_card,
+        }
+    }
+
+    /// Estimated `Cout` of the subtree: sum of estimated cardinalities of
+    /// all join results (scans cost 0) — the paper's cost function.
+    pub fn est_cout(&self) -> f64 {
+        match self {
+            PlanNode::Scan { .. } => 0.0,
+            PlanNode::HashJoin { left, right, est_card, .. } => {
+                est_card + left.est_cout() + right.est_cout()
+            }
+        }
+    }
+
+    /// Number of scan leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } => 1,
+            PlanNode::HashJoin { left, right, .. } => left.leaf_count() + right.leaf_count(),
+        }
+    }
+
+    /// Collects the distinct variable slots produced by the subtree.
+    pub fn var_slots(&self) -> Vec<usize> {
+        fn walk(node: &PlanNode, out: &mut Vec<usize>) {
+            match node {
+                PlanNode::Scan { pattern, .. } => {
+                    for v in pattern.var_slots() {
+                        if !out.contains(&v) {
+                            out.push(v);
+                        }
+                    }
+                }
+                PlanNode::HashJoin { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// The structural signature of this subtree (see [`PlanSignature`]).
+    pub fn signature(&self) -> PlanSignature {
+        let mut text = String::new();
+        fn walk(node: &PlanNode, out: &mut String) {
+            match node {
+                PlanNode::Scan { pattern, .. } => {
+                    out.push('S');
+                    out.push_str(&pattern.idx.to_string());
+                }
+                PlanNode::HashJoin { left, right, .. } => {
+                    out.push_str("HJ(");
+                    walk(left, out);
+                    out.push(',');
+                    walk(right, out);
+                    out.push(')');
+                }
+            }
+        }
+        walk(self, &mut text);
+        PlanSignature(text)
+    }
+
+    /// Pretty multi-line rendering with estimates, for EXPLAIN output.
+    pub fn render(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent);
+        match self {
+            PlanNode::Scan { pattern, est_card } => {
+                format!("{pad}Scan p{} {:?} (est {est_card:.1})\n", pattern.idx, pattern.slots)
+            }
+            PlanNode::HashJoin { left, right, join_vars, est_card } => {
+                let mut out =
+                    format!("{pad}HashJoin on {join_vars:?} (est {est_card:.1})\n");
+                out.push_str(&left.render(indent + 1));
+                out.push_str(&right.render(indent + 1));
+                out
+            }
+        }
+    }
+}
+
+/// Canonical structural identity of a plan: join tree shape over pattern
+/// indexes. Parameter *values* do not participate, so signatures compare
+/// plans across bindings of the same template — exactly the identity that
+/// conditions (a)/(c) of the paper's clustering problem need.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanSignature(pub String);
+
+impl std::fmt::Display for PlanSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(idx: usize, card: f64) -> PlanNode {
+        PlanNode::Scan {
+            pattern: PlannedPattern { idx, slots: [Slot::Var(0), Slot::Bound(Id(1)), Slot::Var(1)] },
+            est_card: card,
+        }
+    }
+
+    #[test]
+    fn cout_sums_join_cards_only() {
+        let plan = PlanNode::HashJoin {
+            left: Box::new(PlanNode::HashJoin {
+                left: Box::new(scan(0, 100.0)),
+                right: Box::new(scan(1, 50.0)),
+                join_vars: vec![0],
+                est_card: 20.0,
+            }),
+            right: Box::new(scan(2, 10.0)),
+            join_vars: vec![1],
+            est_card: 5.0,
+        };
+        assert_eq!(plan.est_cout(), 25.0);
+        assert_eq!(plan.leaf_count(), 3);
+    }
+
+    #[test]
+    fn signature_ignores_bound_values_but_not_structure() {
+        let a = PlanNode::HashJoin {
+            left: Box::new(scan(0, 1.0)),
+            right: Box::new(scan(1, 2.0)),
+            join_vars: vec![0],
+            est_card: 1.0,
+        };
+        // Same structure, different cardinalities / bound ids inside: equal.
+        let mut b = a.clone();
+        if let PlanNode::HashJoin { left, .. } = &mut b {
+            if let PlanNode::Scan { pattern, est_card } = left.as_mut() {
+                pattern.slots[1] = Slot::Bound(Id(99));
+                *est_card = 777.0;
+            }
+        }
+        assert_eq!(a.signature(), b.signature());
+
+        // Swapped children: different signature (different build/probe roles).
+        let c = PlanNode::HashJoin {
+            left: Box::new(scan(1, 2.0)),
+            right: Box::new(scan(0, 1.0)),
+            join_vars: vec![0],
+            est_card: 1.0,
+        };
+        assert_ne!(a.signature(), c.signature());
+        assert_eq!(a.signature().to_string(), "HJ(S0,S1)");
+    }
+
+    #[test]
+    fn var_slots_deduplicated() {
+        let plan = PlanNode::HashJoin {
+            left: Box::new(scan(0, 1.0)),
+            right: Box::new(scan(1, 1.0)),
+            join_vars: vec![0],
+            est_card: 1.0,
+        };
+        assert_eq!(plan.var_slots(), vec![0, 1]);
+    }
+
+    #[test]
+    fn pattern_helpers() {
+        let p = PlannedPattern {
+            idx: 3,
+            slots: [Slot::Var(2), Slot::Bound(Id(5)), Slot::Absent],
+        };
+        assert!(p.has_absent());
+        assert_eq!(p.access(), [None, Some(Id(5)), None]);
+        assert_eq!(p.var_slots(), vec![2]);
+        let rep = PlannedPattern {
+            idx: 0,
+            slots: [Slot::Var(1), Slot::Var(1), Slot::Var(0)],
+        };
+        assert_eq!(rep.var_slots(), vec![1, 0]);
+    }
+
+    #[test]
+    fn render_contains_structure() {
+        let plan = PlanNode::HashJoin {
+            left: Box::new(scan(0, 1.0)),
+            right: Box::new(scan(1, 1.0)),
+            join_vars: vec![0],
+            est_card: 4.0,
+        };
+        let text = plan.render(0);
+        assert!(text.contains("HashJoin"));
+        assert!(text.contains("Scan p0"));
+        assert!(text.lines().count() == 3);
+    }
+}

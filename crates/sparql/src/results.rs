@@ -1,0 +1,464 @@
+//! Solution modifiers and result sets: GROUP BY / aggregation, ORDER BY,
+//! DISTINCT, OFFSET/LIMIT and projection to decoded terms.
+
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+
+use parambench_rdf::dict::Id;
+use parambench_rdf::store::Dataset;
+use parambench_rdf::term::Term;
+
+use crate::ast::{AggFunc, OrderKey, Projection, SelectQuery};
+use crate::error::QueryError;
+use crate::exec::{Bindings, UNBOUND};
+
+/// A value in a (pre-decoding) solution table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SolVal {
+    Id(Id),
+    Num(f64),
+    Unbound,
+}
+
+/// A decoded output value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutVal {
+    /// An RDF term from the dataset.
+    Term(Term),
+    /// A computed numeric value (aggregate result).
+    Num(f64),
+    /// No binding (OPTIONAL mismatch).
+    Unbound,
+}
+
+impl OutVal {
+    /// Numeric view of the value, when it has one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            OutVal::Num(n) => Some(*n),
+            OutVal::Term(t) => t.numeric_value(),
+            OutVal::Unbound => None,
+        }
+    }
+
+    /// The term, if this is one.
+    pub fn as_term(&self) -> Option<&Term> {
+        match self {
+            OutVal::Term(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OutVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutVal::Term(t) => write!(f, "{t}"),
+            OutVal::Num(n) => write!(f, "{n}"),
+            OutVal::Unbound => write!(f, "UNDEF"),
+        }
+    }
+}
+
+/// The decoded result table of a query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names (projection order).
+    pub columns: Vec<String>,
+    /// Rows of decoded values.
+    pub rows: Vec<Vec<OutVal>>,
+}
+
+impl ResultSet {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column index by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Renders a bar-separated table (for examples and reports).
+    pub fn render(&self, max_rows: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(" | "));
+        out.push('\n');
+        for row in self.rows.iter().take(max_rows) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("... ({} more rows)\n", self.rows.len() - max_rows));
+        }
+        out
+    }
+}
+
+fn solval_key(v: &SolVal) -> u64 {
+    match v {
+        SolVal::Id(id) => (id.0 as u64) | (1 << 40),
+        SolVal::Num(n) => n.to_bits(),
+        SolVal::Unbound => u64::MAX - 1,
+    }
+}
+
+fn cmp_solval(a: SolVal, b: SolVal, ds: &Dataset) -> Ordering {
+    // Unbound sorts last; numerics and numeric-valued terms compare by
+    // value; remaining terms by dictionary (benchmark) order.
+    let num = |v: SolVal| match v {
+        SolVal::Num(n) => Some(n),
+        SolVal::Id(id) => ds.dict().numeric(id),
+        SolVal::Unbound => None,
+    };
+    match (a, b) {
+        (SolVal::Unbound, SolVal::Unbound) => Ordering::Equal,
+        (SolVal::Unbound, _) => Ordering::Greater,
+        (_, SolVal::Unbound) => Ordering::Less,
+        _ => match (num(a), num(b)) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => match (a, b) {
+                (SolVal::Id(x), SolVal::Id(y)) => ds.dict().compare(x, y),
+                _ => Ordering::Equal,
+            },
+        },
+    }
+}
+
+/// Non-aggregate path: the table is the bindings restricted to the columns
+/// needed by projection and ORDER BY.
+fn plain_table(
+    bindings: &Bindings,
+    query: &SelectQuery,
+    slot_of: &HashMap<String, usize>,
+) -> Result<(Vec<String>, Vec<Vec<SolVal>>), QueryError> {
+    if !query.group_by.is_empty() {
+        return Err(QueryError::Unsupported("GROUP BY without aggregates".into()));
+    }
+    let mut names: Vec<String> = Vec::new();
+    for p in &query.projections {
+        if let Projection::Var(v) = p {
+            names.push(v.clone());
+        }
+    }
+    for k in &query.order_by {
+        if !names.contains(&k.var) {
+            names.push(k.var.clone());
+        }
+    }
+    let cols: Vec<usize> = names
+        .iter()
+        .map(|n| {
+            let slot = slot_of.get(n).ok_or_else(|| QueryError::UnknownVariable(n.clone()))?;
+            bindings.col_of(*slot).ok_or_else(|| QueryError::UnknownVariable(n.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let rows: Vec<Vec<SolVal>> = bindings
+        .iter()
+        .map(|row| {
+            cols.iter()
+                .map(|&c| {
+                    let id = row[c];
+                    if id == UNBOUND {
+                        SolVal::Unbound
+                    } else {
+                        SolVal::Id(id)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Ok((names, rows))
+}
+
+/// Aggregate path: group rows by the GROUP BY variables and fold each
+/// aggregate projection. SUM/AVG/MIN/MAX use the numeric value of terms;
+/// non-numeric terms are skipped (documented subset behaviour).
+fn aggregate(
+    bindings: &Bindings,
+    query: &SelectQuery,
+    slot_of: &HashMap<String, usize>,
+    ds: &Dataset,
+) -> Result<(Vec<String>, Vec<Vec<SolVal>>), QueryError> {
+    // Every plain projected var must be a group var.
+    for p in &query.projections {
+        if let Projection::Var(v) = p {
+            if !query.group_by.iter().any(|g| g == v) {
+                return Err(QueryError::Unsupported(format!(
+                    "projected variable ?{v} must appear in GROUP BY"
+                )));
+            }
+        }
+    }
+    let group_cols: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|g| {
+            let slot = slot_of.get(g).ok_or_else(|| QueryError::UnknownVariable(g.clone()))?;
+            bindings.col_of(*slot).ok_or_else(|| QueryError::UnknownVariable(g.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    struct AggSpec {
+        col: Option<usize>,
+        distinct: bool,
+    }
+    let mut specs: Vec<AggSpec> = Vec::new();
+    for p in &query.projections {
+        if let Projection::Aggregate { var, distinct, .. } = p {
+            let col = match var {
+                Some(v) => {
+                    let slot =
+                        slot_of.get(v).ok_or_else(|| QueryError::UnknownVariable(v.clone()))?;
+                    Some(
+                        bindings
+                            .col_of(*slot)
+                            .ok_or_else(|| QueryError::UnknownVariable(v.clone()))?,
+                    )
+                }
+                None => None,
+            };
+            specs.push(AggSpec { col, distinct: *distinct });
+        }
+    }
+
+    #[derive(Clone)]
+    struct AggState {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        seen: HashSet<u32>,
+    }
+    impl AggState {
+        fn new() -> Self {
+            AggState {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                seen: HashSet::new(),
+            }
+        }
+    }
+
+    let mut groups: HashMap<Vec<Id>, Vec<AggState>> = HashMap::new();
+    let mut group_order: Vec<Vec<Id>> = Vec::new();
+    for row in bindings.iter() {
+        let key: Vec<Id> = group_cols.iter().map(|&c| row[c]).collect();
+        let states = groups.entry(key.clone()).or_insert_with(|| {
+            group_order.push(key);
+            vec![AggState::new(); specs.len()]
+        });
+        for (spec, state) in specs.iter().zip(states.iter_mut()) {
+            match spec.col {
+                None => state.count += 1, // COUNT(*)
+                Some(c) => {
+                    let id = row[c];
+                    if id == UNBOUND {
+                        continue;
+                    }
+                    if spec.distinct && !state.seen.insert(id.0) {
+                        continue;
+                    }
+                    state.count += 1;
+                    if let Some(n) = ds.dict().numeric(id) {
+                        state.sum += n;
+                        state.min = state.min.min(n);
+                        state.max = state.max.max(n);
+                    }
+                }
+            }
+        }
+    }
+
+    // Output schema: projections in order, then unprojected ORDER BY group
+    // vars as helper columns (dropped after sorting).
+    let mut names: Vec<String> =
+        query.projections.iter().map(|p| p.output_name().to_string()).collect();
+    for k in &query.order_by {
+        if !names.contains(&k.var) {
+            if !query.group_by.iter().any(|g| g == &k.var) {
+                return Err(QueryError::Unsupported(format!(
+                    "ORDER BY ?{} must be a group variable or aggregate alias",
+                    k.var
+                )));
+            }
+            names.push(k.var.clone());
+        }
+    }
+
+    let mut rows: Vec<Vec<SolVal>> = Vec::with_capacity(group_order.len());
+    for key in &group_order {
+        let states = &groups[key];
+        let mut row: Vec<SolVal> = Vec::with_capacity(names.len());
+        let mut agg_i = 0;
+        for p in &query.projections {
+            match p {
+                Projection::Var(v) => {
+                    let gi = query.group_by.iter().position(|g| g == v).expect("validated");
+                    let id = key[gi];
+                    row.push(if id == UNBOUND { SolVal::Unbound } else { SolVal::Id(id) });
+                }
+                Projection::Aggregate { func, .. } => {
+                    let st = &states[agg_i];
+                    agg_i += 1;
+                    row.push(fold_result(*func, st.count, st.sum, st.min, st.max));
+                }
+            }
+        }
+        for name in names.iter().skip(query.projections.len()) {
+            let gi = query.group_by.iter().position(|g| g == name).expect("validated");
+            let id = key[gi];
+            row.push(if id == UNBOUND { SolVal::Unbound } else { SolVal::Id(id) });
+        }
+        rows.push(row);
+    }
+    Ok((names, rows))
+}
+
+fn fold_result(func: AggFunc, count: u64, sum: f64, min: f64, max: f64) -> SolVal {
+    match func {
+        AggFunc::Count => SolVal::Num(count as f64),
+        AggFunc::Sum => SolVal::Num(sum),
+        AggFunc::Avg => {
+            if count == 0 {
+                SolVal::Unbound
+            } else {
+                SolVal::Num(sum / count as f64)
+            }
+        }
+        AggFunc::Min => {
+            if min.is_finite() {
+                SolVal::Num(min)
+            } else {
+                SolVal::Unbound
+            }
+        }
+        AggFunc::Max => {
+            if max.is_finite() {
+                SolVal::Num(max)
+            } else {
+                SolVal::Unbound
+            }
+        }
+    }
+}
+
+/// Applies all solution modifiers of `query` to the filtered bindings and
+/// decodes the final rows. `slot_of` maps variable names to variable slots
+/// (owned by the engine's prepared query).
+pub(crate) fn finalize(
+    bindings: &Bindings,
+    query: &SelectQuery,
+    slot_of: &HashMap<String, usize>,
+    ds: &Dataset,
+) -> Result<ResultSet, QueryError> {
+    let (columns, mut rows) = if query.has_aggregates() {
+        aggregate(bindings, query, slot_of, ds)?
+    } else {
+        plain_table(bindings, query, slot_of)?
+    };
+
+    if !query.order_by.is_empty() {
+        let key_cols: Vec<(usize, bool)> = query
+            .order_by
+            .iter()
+            .map(|OrderKey { var, descending }| {
+                columns
+                    .iter()
+                    .position(|c| c == var)
+                    .map(|i| (i, *descending))
+                    .ok_or_else(|| QueryError::UnknownVariable(var.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        rows.sort_by(|a, b| {
+            for &(col, desc) in &key_cols {
+                let ord = cmp_solval(a[col], b[col], ds);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // Project to the declared outputs (drops helper sort columns).
+    let out_names: Vec<String> =
+        query.projections.iter().map(|p| p.output_name().to_string()).collect();
+    let out_cols: Vec<usize> = out_names
+        .iter()
+        .map(|n| {
+            columns
+                .iter()
+                .position(|c| c == n)
+                .ok_or_else(|| QueryError::UnknownVariable(n.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut projected: Vec<Vec<SolVal>> =
+        rows.into_iter().map(|row| out_cols.iter().map(|&c| row[c]).collect()).collect();
+
+    if query.distinct {
+        let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(projected.len());
+        projected.retain(|row| seen.insert(row.iter().map(solval_key).collect()));
+    }
+
+    let offset = query.offset.unwrap_or(0);
+    let sliced: Vec<Vec<SolVal>> = projected
+        .into_iter()
+        .skip(offset)
+        .take(query.limit.unwrap_or(usize::MAX))
+        .collect();
+
+    let decoded = sliced
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|v| match v {
+                    SolVal::Id(id) => OutVal::Term(ds.decode(id).clone()),
+                    SolVal::Num(n) => OutVal::Num(n),
+                    SolVal::Unbound => OutVal::Unbound,
+                })
+                .collect()
+        })
+        .collect();
+    Ok(ResultSet { columns: out_names, rows: decoded })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outval_display_and_views() {
+        assert_eq!(OutVal::Num(2.5).to_string(), "2.5");
+        assert_eq!(OutVal::Unbound.to_string(), "UNDEF");
+        assert_eq!(OutVal::Term(Term::iri("http://x")).to_string(), "<http://x>");
+        assert_eq!(OutVal::Num(3.0).as_num(), Some(3.0));
+        assert_eq!(OutVal::Term(Term::integer(4)).as_num(), Some(4.0));
+        assert!(OutVal::Unbound.as_num().is_none());
+    }
+
+    #[test]
+    fn resultset_render_truncates() {
+        let rs = ResultSet {
+            columns: vec!["a".into()],
+            rows: vec![vec![OutVal::Num(1.0)], vec![OutVal::Num(2.0)], vec![OutVal::Num(3.0)]],
+        };
+        let text = rs.render(2);
+        assert!(text.contains("1 more rows"));
+        assert_eq!(rs.col("a"), Some(0));
+        assert_eq!(rs.col("b"), None);
+        assert_eq!(rs.len(), 3);
+    }
+}

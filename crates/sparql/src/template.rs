@@ -1,0 +1,247 @@
+//! Query templates and parameter bindings.
+//!
+//! A *query template* is the paper's unit of workload specification: a query
+//! with `%name` substitution parameters. The workload generator produces
+//! [`Binding`]s (parameter name → RDF term) and instantiates the template
+//! once per binding; the aggregate of the resulting runtimes is what the
+//! benchmark reports.
+
+use std::collections::BTreeMap;
+
+use parambench_rdf::term::Term;
+
+use crate::ast::{Element, Expr, SelectQuery, VarOrTerm};
+use crate::error::QueryError;
+use crate::parser::parse_query;
+
+/// A full assignment of RDF terms to a template's parameters.
+///
+/// Ordered map so that bindings have a canonical display/compare order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Binding(pub BTreeMap<String, Term>);
+
+impl Binding {
+    /// An empty binding.
+    pub fn new() -> Self {
+        Binding(BTreeMap::new())
+    }
+
+    /// Builds a binding from `(name, term)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Term)>,
+        S: Into<String>,
+    {
+        Binding(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Adds one parameter value (builder style).
+    pub fn with(mut self, name: impl Into<String>, term: Term) -> Self {
+        self.0.insert(name.into(), term);
+        self
+    }
+
+    /// The term bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.0.get(name)
+    }
+}
+
+impl Default for Binding {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Display for Binding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (k, v) in &self.0 {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "%{k}={v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed query template with named `%parameters`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTemplate {
+    name: String,
+    query: SelectQuery,
+    params: Vec<String>,
+}
+
+impl QueryTemplate {
+    /// Parses a template from query text. `name` labels it in reports.
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, QueryError> {
+        let query = parse_query(text)?;
+        let params = query.params();
+        Ok(QueryTemplate { name: name.into(), query, params })
+    }
+
+    /// Wraps an already-parsed query.
+    pub fn from_query(name: impl Into<String>, query: SelectQuery) -> Self {
+        let params = query.params();
+        QueryTemplate { name: name.into(), query, params }
+    }
+
+    /// The template's report label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter names in first-occurrence order.
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// The underlying (parameterized) query.
+    pub fn query(&self) -> &SelectQuery {
+        &self.query
+    }
+
+    /// Substitutes `binding` into the template, producing a concrete query.
+    ///
+    /// Every template parameter must be bound; extra bindings are rejected
+    /// as a likely workload-generator bug.
+    pub fn instantiate(&self, binding: &Binding) -> Result<SelectQuery, QueryError> {
+        for p in &self.params {
+            if binding.get(p).is_none() {
+                return Err(QueryError::BindingMismatch(format!("missing value for %{p}")));
+            }
+        }
+        for k in binding.0.keys() {
+            if !self.params.iter().any(|p| p == k) {
+                return Err(QueryError::BindingMismatch(format!(
+                    "binding provides %{k} which template {} lacks",
+                    self.name
+                )));
+            }
+        }
+        let mut query = self.query.clone();
+        substitute_elements(&mut query.where_clause, binding);
+        debug_assert!(query.is_concrete());
+        Ok(query)
+    }
+}
+
+fn substitute_elements(elements: &mut [Element], binding: &Binding) {
+    for el in elements {
+        match el {
+            Element::Triple(t) => {
+                for slot in [&mut t.subject, &mut t.predicate, &mut t.object] {
+                    if let VarOrTerm::Param(p) = slot {
+                        let term = binding.get(p).expect("checked in instantiate").clone();
+                        *slot = VarOrTerm::Term(term);
+                    }
+                }
+            }
+            Element::Filter(e) => substitute_expr(e, binding),
+            Element::Optional(inner) => substitute_elements(inner, binding),
+            Element::Union(branches) => {
+                for branch in branches {
+                    substitute_elements(branch, binding);
+                }
+            }
+        }
+    }
+}
+
+fn substitute_expr(expr: &mut Expr, binding: &Binding) {
+    match expr {
+        Expr::Param(p) => {
+            let term = binding.get(p).expect("checked in instantiate").clone();
+            *expr = Expr::Const(term);
+        }
+        Expr::Var(_) | Expr::Const(_) | Expr::Bound(_) => {}
+        Expr::Not(inner) => substitute_expr(inner, binding),
+        Expr::Binary(_, a, b) => {
+            substitute_expr(a, binding);
+            substitute_expr(b, binding);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEMPLATE: &str = "PREFIX sn: <http://sn/> \
+        SELECT ?person WHERE { \
+          ?person sn:firstName %name . \
+          ?person sn:livesIn %country . \
+          FILTER(?person != %excluded) \
+        }";
+
+    #[test]
+    fn template_lists_params() {
+        let t = QueryTemplate::parse("q1", TEMPLATE).unwrap();
+        assert_eq!(t.params(), &["name", "country", "excluded"]);
+        assert_eq!(t.name(), "q1");
+    }
+
+    #[test]
+    fn instantiate_substitutes_everywhere() {
+        let t = QueryTemplate::parse("q1", TEMPLATE).unwrap();
+        let b = Binding::new()
+            .with("name", Term::literal("Li"))
+            .with("country", Term::iri("http://sn/country/China"))
+            .with("excluded", Term::iri("http://sn/person/0"));
+        let q = t.instantiate(&b).unwrap();
+        assert!(q.is_concrete());
+        let pats = q.required_patterns();
+        assert_eq!(pats[0].object, VarOrTerm::Term(Term::literal("Li")));
+        assert_eq!(pats[1].object, VarOrTerm::Term(Term::iri("http://sn/country/China")));
+    }
+
+    #[test]
+    fn instantiate_rejects_missing_and_extra() {
+        let t = QueryTemplate::parse("q1", TEMPLATE).unwrap();
+        let missing = Binding::new().with("name", Term::literal("Li"));
+        assert!(matches!(t.instantiate(&missing), Err(QueryError::BindingMismatch(_))));
+        let extra = Binding::new()
+            .with("name", Term::literal("Li"))
+            .with("country", Term::iri("http://c"))
+            .with("excluded", Term::iri("http://p"))
+            .with("bogus", Term::literal("x"));
+        assert!(matches!(t.instantiate(&extra), Err(QueryError::BindingMismatch(_))));
+    }
+
+    #[test]
+    fn binding_display_is_sorted() {
+        let b = Binding::new()
+            .with("z", Term::integer(1))
+            .with("a", Term::literal("x"));
+        let text = b.to_string();
+        assert!(text.starts_with("%a="), "{text}");
+    }
+
+    #[test]
+    fn instantiation_does_not_mutate_template() {
+        let t = QueryTemplate::parse("q1", TEMPLATE).unwrap();
+        let b = Binding::from_pairs([
+            ("name", Term::literal("Li")),
+            ("country", Term::iri("http://c")),
+            ("excluded", Term::iri("http://p")),
+        ]);
+        let _ = t.instantiate(&b).unwrap();
+        assert_eq!(t.params(), &["name", "country", "excluded"]);
+        assert!(!t.query().is_concrete());
+    }
+
+    #[test]
+    fn optional_params_substituted() {
+        let t = QueryTemplate::parse(
+            "q",
+            "SELECT ?s WHERE { ?s <p> ?o OPTIONAL { ?s <q> %x } }",
+        )
+        .unwrap();
+        assert_eq!(t.params(), &["x"]);
+        let q = t.instantiate(&Binding::new().with("x", Term::integer(1))).unwrap();
+        assert!(q.is_concrete());
+    }
+}

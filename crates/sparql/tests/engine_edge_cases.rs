@@ -1,0 +1,214 @@
+//! Edge-case integration tests of the query engine: solution modifiers,
+//! mixed-type ordering, OPTIONAL/UNION interplay, instrumentation
+//! determinism — behaviours a downstream benchmark driver depends on.
+
+use parambench_rdf::store::{Dataset, StoreBuilder};
+use parambench_rdf::term::Term;
+use parambench_sparql::engine::Engine;
+use parambench_sparql::error::QueryError;
+use parambench_sparql::results::OutVal;
+
+fn dataset() -> Dataset {
+    let mut b = StoreBuilder::new();
+    for i in 0..10 {
+        let s = Term::iri(format!("item/{i}"));
+        b.insert(s.clone(), Term::iri("rank"), Term::integer(i as i64));
+        b.insert(s.clone(), Term::iri("group"), Term::iri(format!("g/{}", i % 3)));
+        if i % 2 == 0 {
+            b.insert(s.clone(), Term::iri("label"), Term::literal(format!("label {i}")));
+        }
+        if i == 7 {
+            b.insert(s, Term::iri("special"), Term::literal("yes"));
+        }
+    }
+    b.freeze()
+}
+
+#[test]
+fn offset_beyond_result_is_empty() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine
+        .run_text("SELECT ?s WHERE { ?s <rank> ?r } OFFSET 100")
+        .unwrap();
+    assert!(out.results.is_empty());
+}
+
+#[test]
+fn offset_and_limit_slice_sorted_output() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine
+        .run_text("SELECT ?r WHERE { ?s <rank> ?r } ORDER BY ASC(?r) LIMIT 3 OFFSET 2")
+        .unwrap();
+    let vals: Vec<f64> = out.results.rows.iter().map(|r| r[0].as_num().unwrap()).collect();
+    assert_eq!(vals, vec![2.0, 3.0, 4.0]);
+}
+
+#[test]
+fn order_by_unbound_sorts_last() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine
+        .run_text(
+            "SELECT ?s ?l WHERE { ?s <rank> ?r OPTIONAL { ?s <label> ?l } } ORDER BY ASC(?l)",
+        )
+        .unwrap();
+    let first = &out.results.rows[0][1];
+    let last = &out.results.rows[out.results.len() - 1][1];
+    assert!(matches!(first, OutVal::Term(_)));
+    assert!(matches!(last, OutVal::Unbound));
+}
+
+#[test]
+fn distinct_collapses_duplicates_after_projection() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let all = engine.run_text("SELECT ?g WHERE { ?s <group> ?g }").unwrap();
+    assert_eq!(all.results.len(), 10);
+    let distinct = engine.run_text("SELECT DISTINCT ?g WHERE { ?s <group> ?g }").unwrap();
+    assert_eq!(distinct.results.len(), 3);
+}
+
+#[test]
+fn count_distinct_vs_count() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine
+        .run_text(
+            "SELECT (COUNT(?g) AS ?n) (COUNT(DISTINCT ?g) AS ?d) WHERE { ?s <group> ?g }",
+        )
+        .unwrap();
+    assert_eq!(out.results.rows[0][0].as_num(), Some(10.0));
+    assert_eq!(out.results.rows[0][1].as_num(), Some(3.0));
+}
+
+#[test]
+fn group_by_with_empty_input_yields_no_groups() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine
+        .run_text(
+            "SELECT ?g (COUNT(?s) AS ?n) WHERE { ?s <group> ?g . ?s <rank> ?r . FILTER(?r > 99) } GROUP BY ?g",
+        )
+        .unwrap();
+    assert!(out.results.is_empty());
+}
+
+#[test]
+fn optional_after_union_extends_rows() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine
+        .run_text(
+            "SELECT ?s ?l WHERE { { ?s <group> <g/0> } UNION { ?s <group> <g/1> } OPTIONAL { ?s <label> ?l } }",
+        )
+        .unwrap();
+    // groups 0 and 1 cover items 0,1,3,4,6,7,9 → 7 rows.
+    assert_eq!(out.results.len(), 7);
+    let bound = out
+        .results
+        .rows
+        .iter()
+        .filter(|r| matches!(r[1], OutVal::Term(_)))
+        .count();
+    assert_eq!(bound, 3, "items 0, 4, 6 have labels");
+}
+
+#[test]
+fn filter_on_optional_var_with_bound_guard() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    // Keep rows where the label is missing — the BOUND() idiom.
+    let out = engine
+        .run_text(
+            "SELECT ?s WHERE { ?s <rank> ?r OPTIONAL { ?s <label> ?l } FILTER(!BOUND(?l)) }",
+        )
+        .unwrap();
+    assert_eq!(out.results.len(), 5); // odd ranks have no label
+}
+
+#[test]
+fn cout_is_deterministic_across_runs() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let q = parambench_sparql::parse_query(
+        "SELECT ?s WHERE { ?s <rank> ?r . ?s <group> ?g . ?s <label> ?l }",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let a = engine.execute(&prepared).unwrap();
+    let b = engine.execute(&prepared).unwrap();
+    assert_eq!(a.cout, b.cout);
+    assert_eq!(a.results, b.results);
+}
+
+#[test]
+fn est_cout_nonnegative_and_signature_nonempty() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    for text in [
+        "SELECT ?s WHERE { ?s <rank> ?r }",
+        "SELECT ?s WHERE { ?s <rank> ?r . ?s <group> ?g }",
+        "SELECT ?s WHERE { { ?s <group> <g/0> } UNION { ?s <group> <g/2> } }",
+        "SELECT ?s WHERE { ?s <special> ?x OPTIONAL { ?s <label> ?l } }",
+    ] {
+        let q = parambench_sparql::parse_query(text).unwrap();
+        let p = engine.prepare(&q).unwrap();
+        assert!(p.est_cout >= 0.0, "{text}");
+        assert!(!p.signature.0.is_empty(), "{text}");
+    }
+}
+
+#[test]
+fn var_predicate_patterns_work() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine
+        .run_text("SELECT DISTINCT ?p WHERE { <item/7> ?p ?o }")
+        .unwrap();
+    assert_eq!(out.results.len(), 3); // rank, group, special
+}
+
+#[test]
+fn fully_bound_pattern_acts_as_existence_check() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let hit = engine
+        .run_text("SELECT ?s WHERE { ?s <rank> ?r . <item/7> <special> \"yes\" }")
+        .unwrap();
+    assert_eq!(hit.results.len(), 10, "existence holds: join keeps all rows");
+    let miss = engine
+        .run_text("SELECT ?s WHERE { ?s <rank> ?r . <item/7> <special> \"no\" }")
+        .unwrap();
+    assert!(miss.results.is_empty());
+}
+
+#[test]
+fn order_by_var_not_in_projection() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine
+        .run_text("SELECT ?s WHERE { ?s <rank> ?r } ORDER BY DESC(?r) LIMIT 2")
+        .unwrap();
+    let names: Vec<String> =
+        out.results.rows.iter().map(|r| r[0].as_term().unwrap().to_string()).collect();
+    assert_eq!(names, vec!["<item/9>", "<item/8>"]);
+    assert_eq!(out.results.columns, vec!["s"]);
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let err = engine.run_text("SELECT ?s WHERE { }").unwrap_err();
+    assert!(matches!(err, QueryError::Unsupported(_)));
+    let err = engine
+        .run_text("SELECT ?s WHERE { ?s <rank> ?r } ORDER BY ASC(?missing)")
+        .unwrap_err();
+    assert!(matches!(err, QueryError::UnknownVariable(v) if v == "missing"));
+    let err = engine
+        .run_text("SELECT ?g (AVG(?r) AS ?a) WHERE { ?s <rank> ?r . ?s <group> ?g }")
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Unsupported(_)), "projected var without GROUP BY");
+}

@@ -1,0 +1,150 @@
+//! Property test: pretty-printing any generated query and re-parsing it
+//! reproduces the identical AST.
+
+use proptest::prelude::*;
+
+use parambench_rdf::term::Term;
+use parambench_sparql::ast::{
+    AggFunc, BinOp, Element, Expr, OrderKey, Projection, SelectQuery, TriplePattern, VarOrTerm,
+};
+use parambench_sparql::parser::parse_query;
+
+fn arb_var() -> impl Strategy<Value = String> {
+    (0usize..6).prop_map(|i| format!("v{i}"))
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0usize..8).prop_map(|i| Term::iri(format!("http://t/{i}"))),
+        (-50i64..50).prop_map(Term::integer),
+        "[a-z]{0,6}".prop_map(Term::literal),
+        ("[a-z]{1,4}", "[a-z]{2}").prop_map(|(s, l)| Term::Literal(
+            parambench_rdf::term::Literal::lang(s, l)
+        )),
+    ]
+}
+
+fn arb_vot() -> impl Strategy<Value = VarOrTerm> {
+    prop_oneof![
+        arb_var().prop_map(VarOrTerm::Var),
+        arb_term().prop_map(VarOrTerm::Term),
+        (0usize..3).prop_map(|i| VarOrTerm::Param(format!("p{i}"))),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = TriplePattern> {
+    (arb_vot(), arb_vot(), arb_vot())
+        .prop_map(|(subject, predicate, object)| TriplePattern { subject, predicate, object })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_var().prop_map(Expr::Var),
+        arb_term().prop_map(Expr::Const),
+        arb_var().prop_map(Expr::Bound),
+        (0usize..3).prop_map(|i| Expr::Param(format!("p{i}"))),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (
+                prop_oneof![
+                    Just(BinOp::Or),
+                    Just(BinOp::And),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                ],
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_flat_group() -> impl Strategy<Value = Vec<Element>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => arb_triple().prop_map(Element::Triple),
+            1 => arb_expr().prop_map(Element::Filter),
+        ],
+        1..4,
+    )
+}
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    prop_oneof![
+        5 => arb_triple().prop_map(Element::Triple),
+        1 => arb_expr().prop_map(Element::Filter),
+        1 => arb_flat_group().prop_map(Element::Optional),
+        1 => prop::collection::vec(arb_flat_group(), 2..4).prop_map(Element::Union),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = SelectQuery> {
+    (
+        any::<bool>(),
+        prop::collection::vec(
+            prop_oneof![
+                3 => arb_var().prop_map(Projection::Var),
+                1 => (
+                    prop_oneof![
+                        Just(AggFunc::Count),
+                        Just(AggFunc::Sum),
+                        Just(AggFunc::Avg),
+                        Just(AggFunc::Min),
+                        Just(AggFunc::Max)
+                    ],
+                    prop::option::of(arb_var()),
+                    any::<bool>(),
+                    arb_var(),
+                )
+                    .prop_map(|(func, var, distinct, alias)| {
+                        // COUNT(*) only for COUNT.
+                        let var = if func == AggFunc::Count { var } else { Some(var.unwrap_or_else(|| "v0".into())) };
+                        Projection::Aggregate { func, var, distinct, alias }
+                    }),
+            ],
+            1..4,
+        ),
+        prop::collection::vec(arb_element(), 1..5),
+        prop::collection::vec(arb_var(), 0..3),
+        prop::collection::vec((arb_var(), any::<bool>()), 0..3),
+        prop::option::of(0usize..1000),
+        prop::option::of(0usize..1000),
+    )
+        .prop_map(|(distinct, projections, where_clause, group_by, order, limit, offset)| {
+            SelectQuery {
+                distinct,
+                projections,
+                where_clause,
+                group_by,
+                order_by: order
+                    .into_iter()
+                    .map(|(var, descending)| OrderKey { var, descending })
+                    .collect(),
+                limit,
+                offset,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_round_trip(q in arb_query()) {
+        let printed = q.to_string();
+        let parsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(parsed, q, "round trip changed the AST for {}", printed);
+    }
+}

@@ -1,0 +1,154 @@
+//! Bootstrap confidence intervals for benchmark aggregates.
+//!
+//! The paper's E2 compares *point* aggregates (mean, median, percentiles)
+//! between independently drawn binding groups. Bootstrap intervals make the
+//! same comparison honest: two groups "agree" when their aggregate
+//! intervals overlap, and the uniform-sampling instability shows up as
+//! wide, non-overlapping intervals. Deterministic via an explicit seed
+//! (xorshift resampling — no external RNG dependency for this crate).
+
+/// A two-sided confidence interval for a sample statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    pub lo: f64,
+    pub hi: f64,
+    /// The statistic on the original (non-resampled) sample.
+    pub point: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when the two intervals share any point.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// * `data` — the sample (must be non-empty),
+/// * `statistic` — a function of a sample (mean, median, q95, …),
+/// * `resamples` — bootstrap iterations (≥ 100 recommended),
+/// * `confidence` — e.g. 0.95,
+/// * `seed` — determinism handle.
+pub fn bootstrap_ci(
+    data: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    if data.is_empty() || resamples == 0 || !(0.0..1.0).contains(&confidence) {
+        return None;
+    }
+    let point = statistic(data);
+    let mut state = seed | 1; // xorshift must not start at 0
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            *slot = data[(r % data.len() as u64) as usize];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((stats.len() as f64) * alpha).floor() as usize;
+    let hi_idx =
+        (((stats.len() as f64) * (1.0 - alpha)).ceil() as usize).min(stats.len()) - 1;
+    Some(ConfidenceInterval { lo: stats[lo_idx], hi: stats[hi_idx.max(lo_idx)], point })
+}
+
+/// Convenience: bootstrap CI of the mean.
+pub fn bootstrap_mean_ci(
+    data: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(
+        data,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        confidence,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_point_for_smooth_statistics() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let ci = bootstrap_mean_ci(&data, 300, 0.95, 42).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi, "{ci:?}");
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn constant_data_gives_degenerate_interval() {
+        let data = vec![7.0; 50];
+        let ci = bootstrap_mean_ci(&data, 200, 0.95, 1).unwrap();
+        assert_eq!(ci.lo, 7.0);
+        assert_eq!(ci.hi, 7.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data: Vec<f64> = (0..100).map(|i| (i * i % 31) as f64).collect();
+        let a = bootstrap_mean_ci(&data, 200, 0.9, 5).unwrap();
+        let b = bootstrap_mean_ci(&data, 200, 0.9, 5).unwrap();
+        let c = bootstrap_mean_ci(&data, 200, 0.9, 6).unwrap();
+        assert_eq!(a, b);
+        assert!(a != c || a.width() == 0.0);
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let data: Vec<f64> = (0..150).map(|i| ((i * 13) % 47) as f64).collect();
+        let narrow = bootstrap_mean_ci(&data, 400, 0.5, 3).unwrap();
+        let wide = bootstrap_mean_ci(&data, 400, 0.99, 3).unwrap();
+        assert!(wide.width() >= narrow.width());
+    }
+
+    #[test]
+    fn disjoint_populations_have_disjoint_intervals() {
+        let a: Vec<f64> = (0..80).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..80).map(|i| (i % 10) as f64 + 100.0).collect();
+        let ca = bootstrap_mean_ci(&a, 300, 0.95, 11).unwrap();
+        let cb = bootstrap_mean_ci(&b, 300, 0.95, 11).unwrap();
+        assert!(!ca.overlaps(&cb));
+        assert!(ca.overlaps(&ca));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, 1).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 0.95, 1).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 1.5, 1).is_none());
+    }
+
+    #[test]
+    fn works_with_median_statistic() {
+        let mut data: Vec<f64> = (0..99).map(|i| i as f64).collect();
+        data.push(1e9); // outlier barely moves the median CI
+        let median = |s: &[f64]| {
+            let mut v = s.to_vec();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let ci = bootstrap_ci(&data, median, 300, 0.95, 2).unwrap();
+        assert!(ci.hi < 1e6, "median CI should resist the outlier: {ci:?}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Correlation coefficients.
+//!
+//! §III of the paper justifies using `Cout` as a runtime proxy by its ≈85%
+//! Pearson correlation with the observed running time; the `cost_correlation`
+//! experiment recomputes that number on our engine, and Spearman is provided
+//! as a robustness check (runtime distributions are heavy-tailed, where rank
+//! correlation is the safer statistic).
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` if lengths differ, fewer than two points, or either
+/// sample has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation (Pearson over mid-ranks, ties averaged).
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Mid-ranks of a sample (ties receive the average of their rank range).
+pub fn ranks(data: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.sort_unstable_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("finite data"));
+    let mut out = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && data[order[j + 1]] == data[order[i]] {
+            j += 1;
+        }
+        // Mid-rank for the tie group [i, j] (1-based ranks).
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let y_neg = [40.0, 30.0, 20.0, 10.0];
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, -1.0, 1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[3.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(spearman(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        // y = x^3 is perfectly rank-correlated even though nonlinear.
+        let x: [f64; 6] = [-2.0, -1.0, 0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson is high but strictly below 1.
+        let p = pearson(&x, &y).unwrap();
+        assert!(p < 1.0 - 1e-6 && p > 0.8);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+}

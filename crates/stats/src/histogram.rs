@@ -1,0 +1,150 @@
+//! Equi-width histograms and ASCII rendering for experiment reports.
+
+/// A fixed-bin equi-width histogram over `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width buckets spanning the data
+    /// range. Returns `None` for empty data, non-finite values or zero bins.
+    pub fn new(data: &[f64], bins: usize) -> Option<Self> {
+        if data.is_empty() || bins == 0 || data.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0usize; bins];
+        let width = (max - min) / bins as f64;
+        for &x in data {
+            let idx = if width == 0.0 {
+                0
+            } else {
+                (((x - min) / width) as usize).min(bins - 1)
+            };
+            counts[idx] += 1;
+        }
+        Some(Histogram { min, max, counts })
+    }
+
+    /// Builds a histogram over log10 of the data (positive values only),
+    /// which is how heavy-tailed runtime distributions are best inspected.
+    pub fn log10(data: &[f64], bins: usize) -> Option<Self> {
+        let logs: Vec<f64> =
+            data.iter().filter(|&&x| x > 0.0).map(|x| x.log10()).collect();
+        Self::new(&logs, bins)
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The `(lo, hi)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        (self.min + width * i as f64, self.min + width * (i + 1) as f64)
+    }
+
+    /// Number of local maxima ("modes") in the smoothed bin profile: a bin
+    /// run strictly higher than its non-empty neighbors. Used to report the
+    /// E3 "two clusters, nothing in between" shape.
+    pub fn mode_count(&self) -> usize {
+        // Collapse consecutive equal counts, drop zero bins at the ends of
+        // comparisons (a zero gap still separates modes).
+        let mut modes = 0;
+        let n = self.counts.len();
+        for i in 0..n {
+            if self.counts[i] == 0 {
+                continue;
+            }
+            let left_lower = (0..i).rev().find(|&j| self.counts[j] != self.counts[i]).is_none_or(
+                |j| self.counts[j] < self.counts[i],
+            );
+            let right_lower = (i + 1..n).find(|&j| self.counts[j] != self.counts[i]).is_none_or(
+                |j| self.counts[j] < self.counts[i],
+            );
+            // Count only the first bin of a plateau.
+            let first_of_plateau = i == 0 || self.counts[i - 1] != self.counts[i];
+            if left_lower && right_lower && first_of_plateau {
+                modes += 1;
+            }
+        }
+        modes
+    }
+
+    /// Renders an ASCII bar chart (one line per bin), for experiment logs.
+    pub fn render(&self, width: usize) -> String {
+        let max_count = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar_len = c * width / max_count;
+            out.push_str(&format!(
+                "[{lo:>10.3}, {hi:>10.3}) {:>6} {}\n",
+                c,
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_cover_all_points() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::new(&data, 10).unwrap();
+        assert_eq!(h.counts().iter().sum::<usize>(), 100);
+        assert!(h.counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let h = Histogram::new(&[0.0, 1.0], 4).unwrap();
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.counts()[0], 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Histogram::new(&[], 4).is_none());
+        assert!(Histogram::new(&[1.0], 0).is_none());
+        assert!(Histogram::new(&[f64::NAN], 4).is_none());
+        // All-equal data: everything in bin 0.
+        let h = Histogram::new(&[5.0, 5.0, 5.0], 3).unwrap();
+        assert_eq!(h.counts(), &[3, 0, 0]);
+    }
+
+    #[test]
+    fn bimodal_mode_count() {
+        let mut data = vec![1.0; 40];
+        data.extend(vec![100.0; 40]);
+        let h = Histogram::new(&data, 20).unwrap();
+        assert_eq!(h.mode_count(), 2);
+
+        let unimodal: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let h = Histogram::new(&unimodal, 5).unwrap();
+        assert_eq!(h.mode_count(), 1);
+    }
+
+    #[test]
+    fn log_histogram_skips_nonpositive() {
+        let h = Histogram::log10(&[0.0, -1.0, 1.0, 10.0, 100.0], 2).unwrap();
+        assert_eq!(h.counts().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn render_shape() {
+        let h = Histogram::new(&[0.0, 0.1, 0.9, 1.0], 2).unwrap();
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains('#'));
+    }
+}

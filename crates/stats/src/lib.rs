@@ -1,0 +1,35 @@
+//! # parambench-stats
+//!
+//! Statistics toolkit for the *parambench* reproduction of
+//! "How to generate query parameters in RDF benchmarks?"
+//! (Gubichev, Angles, Boncz — ICDE 2014).
+//!
+//! Everything the paper's evaluation needs, self-contained:
+//!
+//! * [`summary::Summary`] — min / quantiles / median / mean / variance /
+//!   skewness / kurtosis / Sarle's bimodality coefficient (E1–E3 tables),
+//! * [`ks`] — one-sample Kolmogorov–Smirnov vs a fitted normal (E1's
+//!   D = 0.89 claim) and the two-sample test (P2 stability validation),
+//! * [`correlation`] — Pearson (§III's Cout-vs-runtime ≈ 0.85) and Spearman,
+//! * [`histogram::Histogram`] — equi-width and log-scale histograms with
+//!   mode counting (E3's "clustered runtimes") and ASCII rendering,
+//! * [`mannwhitney`] — rank-sum test, the heavy-tail-robust alternative for
+//!   the P2 stability check,
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals for group
+//!   aggregates (honest E2 comparisons).
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod histogram;
+pub mod ks;
+pub mod mannwhitney;
+pub mod normal;
+pub mod summary;
+
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, ConfidenceInterval};
+pub use correlation::{pearson, spearman};
+pub use mannwhitney::{mann_whitney_u, MannWhitneyResult};
+pub use histogram::Histogram;
+pub use ks::{ks_test_vs_fitted_normal, ks_two_sample, KsResult};
+pub use normal::Normal;
+pub use summary::{relative_spread, Summary};

@@ -1,0 +1,120 @@
+//! Mann–Whitney U test (Wilcoxon rank-sum).
+//!
+//! A robust alternative to the two-sample KS test for the P2 stability
+//! check: runtime distributions are heavy-tailed, and rank statistics are
+//! insensitive to the tail magnitudes that dominate KS on small samples.
+//! Uses the normal approximation with tie correction (adequate for the
+//! benchmark's n ≥ 20 samples).
+
+use crate::correlation::ranks;
+use crate::normal::std_normal_cdf;
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitneyResult {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Two-sided p-value (normal approximation, tie-corrected).
+    pub p_value: f64,
+    /// Common-language effect size `U / (n·m)` — the probability that a
+    /// random element of `a` exceeds a random element of `b` (0.5 = none).
+    pub effect: f64,
+}
+
+/// Two-sided Mann–Whitney U test of `a` vs `b`.
+///
+/// Returns `None` if either sample is empty or both are entirely constant
+/// and equal (no ordering information).
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitneyResult> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let n = a.len() as f64;
+    let m = b.len() as f64;
+    let pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    let r = ranks(&pooled);
+    let ra: f64 = r[..a.len()].iter().sum();
+    let u = ra - n * (n + 1.0) / 2.0;
+
+    // Tie correction for the variance.
+    let mut sorted = pooled.clone();
+    sorted.sort_unstable_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+    let total = n + m;
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let var = n * m / 12.0 * (total + 1.0 - tie_term / (total * (total - 1.0)));
+    if var <= 0.0 {
+        // All observations identical: distributions indistinguishable.
+        return Some(MannWhitneyResult { u, p_value: 1.0, effect: 0.5 });
+    }
+    let mean_u = n * m / 2.0;
+    // Continuity correction.
+    let z = (u - mean_u - 0.5 * (u - mean_u).signum()) / var.sqrt();
+    let p = 2.0 * (1.0 - std_normal_cdf(z.abs()));
+    Some(MannWhitneyResult { u, p_value: p.clamp(0.0, 1.0), effect: u / (n * m) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_indistinct() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let r = mann_whitney_u(&a, &a).unwrap();
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+        assert!((r.effect - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn shifted_samples_are_detected() {
+        let a: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..40).map(|i| i as f64 + 100.0).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+        assert!(r.effect < 0.05, "effect = {}", r.effect);
+    }
+
+    #[test]
+    fn symmetric_in_direction() {
+        let a: Vec<f64> = (0..30).map(|i| (i * 7 % 13) as f64).collect();
+        let b: Vec<f64> = (0..25).map(|i| (i * 5 % 11) as f64 + 0.3).collect();
+        let ab = mann_whitney_u(&a, &b).unwrap();
+        let ba = mann_whitney_u(&b, &a).unwrap();
+        assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        assert!((ab.effect + ba.effect - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_equal_samples() {
+        let a = vec![5.0; 20];
+        let r = mann_whitney_u(&a, &a).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.effect, 0.5);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn small_shift_weaker_than_large_shift() {
+        let a: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let small: Vec<f64> = a.iter().map(|x| x + 3.0).collect();
+        let large: Vec<f64> = a.iter().map(|x| x + 60.0).collect();
+        let ps = mann_whitney_u(&a, &small).unwrap().p_value;
+        let pl = mann_whitney_u(&a, &large).unwrap().p_value;
+        assert!(pl < ps, "{pl} vs {ps}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Descriptive statistics of a runtime (or cost) sample.
+//!
+//! The paper reports min / median / mean / q10 / q90 / q95 / max and
+//! variance for each group of parameter bindings; [`Summary`] computes all
+//! of them in one pass plus a sort, and is the common currency between the
+//! experiment binaries and EXPERIMENTS.md tables.
+
+/// Descriptive statistics of a non-empty f64 sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    /// Sample variance (n-1 denominator); 0 for singleton samples.
+    variance: f64,
+}
+
+impl Summary {
+    /// Builds a summary; returns `None` for an empty sample or any
+    /// non-finite value.
+    pub fn new(data: &[f64]) -> Option<Self> {
+        if data.is_empty() || data.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let variance = if sorted.len() > 1 {
+            sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Some(Summary { sorted, mean, variance })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no samples (never: construction forbids it, kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n−1 denominator).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Quantile by linear interpolation between order statistics
+    /// (type-7 / NumPy default). `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let h = q * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        let frac = h - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Coefficient of variation `std_dev / mean` — the paper's P1 ("bounded
+    /// variance") is naturally expressed as a bound on this scale-free ratio.
+    pub fn coeff_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean.abs()
+        }
+    }
+
+    /// Sample skewness (g1, biased).
+    pub fn skewness(&self) -> f64 {
+        let n = self.sorted.len() as f64;
+        let sd = (self.variance * (n - 1.0) / n).sqrt(); // population sd
+        if sd == 0.0 {
+            return 0.0;
+        }
+        self.sorted.iter().map(|x| ((x - self.mean) / sd).powi(3)).sum::<f64>() / n
+    }
+
+    /// Sample excess kurtosis (g2, biased).
+    pub fn excess_kurtosis(&self) -> f64 {
+        let n = self.sorted.len() as f64;
+        let var_pop = self.variance * (n - 1.0) / n;
+        if var_pop == 0.0 {
+            return 0.0;
+        }
+        self.sorted.iter().map(|x| (x - self.mean).powi(4)).sum::<f64>() / (n * var_pop * var_pop)
+            - 3.0
+    }
+
+    /// Sarle's bimodality coefficient
+    /// `BC = (g1² + 1) / (g2 + 3(n−1)² / ((n−2)(n−3)))`.
+    /// Values above ~0.555 (the uniform distribution's BC) suggest
+    /// bi-/multi-modality — the paper's E3 "clustered runtimes" diagnosis.
+    pub fn bimodality_coefficient(&self) -> f64 {
+        let n = self.sorted.len() as f64;
+        if self.sorted.len() < 4 {
+            return 0.0;
+        }
+        let g1 = self.skewness();
+        let g2 = self.excess_kurtosis();
+        (g1 * g1 + 1.0) / (g2 + 3.0 * (n - 1.0) * (n - 1.0) / ((n - 2.0) * (n - 3.0)))
+    }
+
+    /// The sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Relative spread of a set of group aggregates: `(max − min) / min`.
+///
+/// E2 reports that the *average* runtime across four independently drawn
+/// groups deviates by up to 40% and percentiles by up to 100%; this is the
+/// metric those percentages use.
+pub fn relative_spread(values: &[f64]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() || min == 0.0 {
+        return 0.0;
+    }
+    (max - min) / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::new(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1: sum sq dev = 32, / 7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_type7() {
+        let s = Summary::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        assert!((s.quantile(1.0 / 3.0) - 2.0).abs() < 1e-12);
+        // Clamping
+        assert_eq!(s.quantile(-1.0), 1.0);
+        assert_eq!(s.quantile(2.0), 4.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Summary::new(&[3.5]).unwrap();
+        assert_eq!(s.median(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.quantile(0.9), 3.5);
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(Summary::new(&[]).is_none());
+        assert!(Summary::new(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn skewness_sign() {
+        let right = Summary::new(&[1.0, 1.0, 1.0, 1.0, 10.0]).unwrap();
+        assert!(right.skewness() > 1.0, "long right tail should be positively skewed");
+        let sym = Summary::new(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!(sym.skewness().abs() < 1e-9);
+    }
+
+    #[test]
+    fn bimodality_detects_two_clusters() {
+        // Two tight clusters, the paper's E3 picture.
+        let mut data = vec![0.3; 50];
+        data.extend(vec![17.0; 50]);
+        let bimodal = Summary::new(&data).unwrap();
+        assert!(
+            bimodal.bimodality_coefficient() > 0.555,
+            "bc = {}",
+            bimodal.bimodality_coefficient()
+        );
+
+        // A single bell is far below the threshold.
+        let unimodal: Vec<f64> =
+            (0..100).map(|i| ((i as f64) / 99.0 * 2.0 - 1.0).powi(3) + 1.5).collect();
+        let s = Summary::new(&unimodal).unwrap();
+        assert!(s.bimodality_coefficient() < 0.9);
+    }
+
+    #[test]
+    fn relative_spread_basics() {
+        assert!((relative_spread(&[1.0, 1.4]) - 0.4).abs() < 1e-12);
+        assert_eq!(relative_spread(&[2.0, 2.0, 2.0]), 0.0);
+        assert_eq!(relative_spread(&[]), 0.0);
+    }
+
+    #[test]
+    fn coeff_of_variation() {
+        let s = Summary::new(&[10.0, 10.0, 10.0]).unwrap();
+        assert_eq!(s.coeff_of_variation(), 0.0);
+        let s = Summary::new(&[1.0, 100.0]).unwrap();
+        assert!(s.coeff_of_variation() > 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the statistics toolkit: order/bound invariants that
+//! must hold for arbitrary finite samples.
+
+use proptest::prelude::*;
+
+use parambench_stats::correlation::{pearson, ranks, spearman};
+use parambench_stats::ks::{ks_p_value, ks_two_sample};
+use parambench_stats::summary::{relative_spread, Summary};
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn summary_bounds_and_order(data in arb_sample()) {
+        let s = Summary::new(&data).unwrap();
+        prop_assert!(s.min() <= s.median());
+        prop_assert!(s.median() <= s.max());
+        prop_assert!(s.min() <= s.mean() && s.mean() <= s.max());
+        prop_assert!(s.variance() >= 0.0);
+        // Quantiles are monotone in q and bounded.
+        let mut last = s.min();
+        for i in 0..=10 {
+            let q = s.quantile(i as f64 / 10.0);
+            prop_assert!(q + 1e-9 >= last, "quantile not monotone");
+            prop_assert!(q >= s.min() - 1e-9 && q <= s.max() + 1e-9);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn summary_shift_invariance(data in arb_sample(), shift in -1e3f64..1e3) {
+        let s = Summary::new(&data).unwrap();
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let s2 = Summary::new(&shifted).unwrap();
+        prop_assert!((s2.mean() - s.mean() - shift).abs() < 1e-6);
+        prop_assert!((s2.variance() - s.variance()).abs() < 1e-3 * (1.0 + s.variance()));
+    }
+
+    #[test]
+    fn ks_two_sample_identical_is_zero(data in arb_sample()) {
+        let r = ks_two_sample(&data, &data).unwrap();
+        prop_assert!(r.statistic.abs() < 1e-12);
+        prop_assert!((r.p_value - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ks_statistic_and_p_bounds(a in arb_sample(), b in arb_sample()) {
+        let r = ks_two_sample(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.statistic));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn ks_p_value_monotone(n in 2f64..500.0) {
+        let mut last = f64::INFINITY;
+        for i in 1..20 {
+            let d = i as f64 / 20.0;
+            let p = ks_p_value(d, n);
+            prop_assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn pearson_bounded_and_symmetric(a in arb_sample(), b in arb_sample()) {
+        let n = a.len().min(b.len());
+        if n >= 2 {
+            let (x, y) = (&a[..n], &b[..n]);
+            if let Some(r) = pearson(x, y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+                let r2 = pearson(y, x).unwrap();
+                prop_assert!((r - r2).abs() < 1e-9);
+            }
+            if let Some(r) = spearman(x, y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn pearson_self_correlation_is_one(a in arb_sample()) {
+        if a.len() >= 2 {
+            if let Some(r) = pearson(&a, &a) {
+                prop_assert!((r - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_permutation_of_midranks(a in arb_sample()) {
+        let r = ranks(&a);
+        prop_assert_eq!(r.len(), a.len());
+        // Rank sum is invariant: n(n+1)/2.
+        let n = a.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        for &rank in &r {
+            prop_assert!(rank >= 1.0 && rank <= n);
+        }
+    }
+
+    #[test]
+    fn relative_spread_non_negative(a in prop::collection::vec(1e-3f64..1e6, 1..50)) {
+        prop_assert!(relative_spread(&a) >= 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: generate data, run a parameterized query, curate parameters.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parambench::curation::{curate, CurationConfig, ParameterDomain};
+use parambench::datagen::{Bsbm, BsbmConfig};
+use parambench::rdf::Term;
+use parambench::sparql::{Binding, Engine};
+
+fn main() {
+    // 1. A small BSBM-like product catalog (deterministic).
+    let bsbm = Bsbm::generate(BsbmConfig { products: 1_000, ..Default::default() });
+    println!("dataset: {} triples", bsbm.dataset.len());
+
+    let engine = Engine::new(&bsbm.dataset);
+
+    // 2. A single query-template execution, the unit every benchmark
+    //    aggregates over. BI Q4's parameter is a product type.
+    let template = Bsbm::q4_feature_price_by_type();
+    let generic = Binding::new()
+        .with("type", Term::iri(parambench::datagen::bsbm::schema::product_type(0)));
+    let out = engine.run_template(&template, &generic).unwrap();
+    println!(
+        "\nQ4(%type = root type): {} rows, Cout = {}, {:.2} ms",
+        out.results.len(),
+        out.cout,
+        out.wall_time.as_secs_f64() * 1e3
+    );
+    println!("{}", out.results.render(5));
+
+    // 3. The same query with a *specific* (leaf) type touches a sliver of
+    //    the data — the paper's E3 effect in one picture.
+    let leaf = *bsbm.types.leaves().last().unwrap();
+    let specific = Binding::new()
+        .with("type", Term::iri(parambench::datagen::bsbm::schema::product_type(leaf)));
+    let out2 = engine.run_template(&template, &specific).unwrap();
+    println!(
+        "Q4(%type = leaf type): {} rows, Cout = {}, {:.2} ms",
+        out2.results.len(),
+        out2.cout,
+        out2.wall_time.as_secs_f64() * 1e3
+    );
+
+    // 4. Parameter curation: split the type domain into classes with one
+    //    optimal plan + one cost each (§III of the paper).
+    let domain = ParameterDomain::single("type", bsbm.type_iris());
+    let workload = curate(&engine, &template, &domain, &CurationConfig::default()).unwrap();
+    println!("\ncuration of the %type domain:");
+    println!("{}", workload.describe());
+
+    // 5. A stable benchmark samples within one class.
+    let class0 = workload.sample_class(0, 5, 7).unwrap();
+    println!("5 bindings from class 0:");
+    for b in &class0 {
+        let m = engine.run_template(&template, b).unwrap();
+        println!("  {b} -> Cout {:>8}  {:>7.2} ms", m.cout, m.wall_time.as_secs_f64() * 1e3);
+    }
+}

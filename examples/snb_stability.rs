@@ -1,0 +1,100 @@
+//! LDBC Q2 sample-stability experiment (the paper's E2, live).
+//!
+//! Draws four independent groups of parameter bindings for "newest 20 posts
+//! of the user's friends", reports per-group q10/median/q90/average, and
+//! contrasts the spread under uniform sampling with the spread after
+//! curation.
+//!
+//! ```text
+//! cargo run --release --example snb_stability
+//! ```
+
+use parambench::curation::{
+    curate, run_workload, CostSource, CurationConfig, Metric, ParameterDomain, ProfileConfig,
+    RunConfig,
+};
+use parambench::datagen::{Snb, SnbConfig};
+use parambench::stats::{relative_spread, Summary};
+use parambench::sparql::Engine;
+
+fn group_row(label: &str, s: &Summary) -> String {
+    format!(
+        "{label:>8} | q10 {:>10.1} | median {:>10.1} | q90 {:>10.1} | avg {:>10.1}",
+        s.quantile(0.1),
+        s.median(),
+        s.quantile(0.9),
+        s.mean()
+    )
+}
+
+fn main() {
+    let snb = Snb::generate(SnbConfig::with_scale(120_000));
+    println!("SNB-like dataset: {} triples, {} persons\n", snb.dataset.len(), snb.config.persons);
+    let engine = Engine::new(&snb.dataset);
+    let template = Snb::q2_friend_posts();
+    let domain = ParameterDomain::single("person", snb.person_iris());
+
+    // Four independent uniform groups of 100 bindings (paper's E2 table).
+    println!("LDBC Q2 with uniform parameters, 4 independent groups x 100 (metric: Cout):");
+    let mut group_stats = Vec::new();
+    for g in 0..4 {
+        let bindings = domain.sample_uniform(100, 1000 + g);
+        let ms = run_workload(&engine, &template, &bindings, &RunConfig::default()).unwrap();
+        let s = Summary::new(&Metric::Cout.series(&ms)).unwrap();
+        println!("{}", group_row(&format!("group {g}"), &s));
+        group_stats.push(s);
+    }
+    let avg_spread =
+        relative_spread(&group_stats.iter().map(Summary::mean).collect::<Vec<_>>());
+    let med_spread =
+        relative_spread(&group_stats.iter().map(Summary::median).collect::<Vec<_>>());
+    println!(
+        "\n  spread across groups: average {:.0}%, median {:.0}% (paper: up to 40% / 100%)\n",
+        avg_spread * 100.0,
+        med_spread * 100.0
+    );
+
+    // Curate the person domain with *measured* Cout profiling (the LDBC
+    // production variant — one execution per candidate; Q2's true cost
+    // depends on friends' post counts, which estimates can't see), then
+    // re-run the 4-group experiment within the largest class.
+    let workload = curate(
+        &engine,
+        &template,
+        &domain,
+        &CurationConfig {
+            profile: ProfileConfig {
+                max_bindings: 1_500,
+                cost_source: CostSource::MeasuredCout,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    println!("curated classes:\n{}", workload.describe());
+
+    println!("same experiment inside class 0 (curated):");
+    let mut curated_stats = Vec::new();
+    for g in 0..4 {
+        let bindings = workload.sample_class(0, 100, 2000 + g).unwrap();
+        let ms = run_workload(&engine, &template, &bindings, &RunConfig::default()).unwrap();
+        let s = Summary::new(&Metric::Cout.series(&ms)).unwrap();
+        println!("{}", group_row(&format!("group {g}"), &s));
+        curated_stats.push(s);
+    }
+    let avg_spread_c =
+        relative_spread(&curated_stats.iter().map(Summary::mean).collect::<Vec<_>>());
+    let med_spread_c =
+        relative_spread(&curated_stats.iter().map(Summary::median).collect::<Vec<_>>());
+    println!(
+        "\n  spread across groups: average {:.0}%, median {:.0}%",
+        avg_spread_c * 100.0,
+        med_spread_c * 100.0
+    );
+    println!(
+        "\n=> curation shrinks the cross-sample spread from {:.0}% to {:.0}% (average metric)",
+        avg_spread * 100.0,
+        avg_spread_c * 100.0
+    );
+}

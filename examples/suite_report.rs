@@ -1,0 +1,66 @@
+//! Full-suite benchmark report: the paper's methodology end to end, written
+//! to `target/parambench-report.md`.
+//!
+//! ```text
+//! cargo run --release --example suite_report
+//! ```
+
+use parambench::curation::driver::{run_suite, BenchmarkSpec, SuiteConfig};
+use parambench::curation::{CostSource, ParameterDomain};
+use parambench::datagen::{Bsbm, BsbmConfig, Lubm, LubmConfig, Snb, SnbConfig};
+use parambench::sparql::Engine;
+
+fn main() {
+    // Separate datasets per family; run each family as its own suite.
+    let mut sections = Vec::new();
+
+    {
+        let bsbm = Bsbm::generate(BsbmConfig::with_scale(100_000));
+        let engine = Engine::new(&bsbm.dataset);
+        let specs = vec![
+            BenchmarkSpec {
+                template: Bsbm::q4_feature_price_by_type(),
+                domain: ParameterDomain::single("type", bsbm.type_iris()),
+                cost_source: CostSource::EstimatedCout,
+            },
+            BenchmarkSpec {
+                template: Bsbm::q2_similar_products(),
+                domain: ParameterDomain::single("product", bsbm.product_iris()),
+                cost_source: CostSource::MeasuredCout,
+            },
+        ];
+        let report = run_suite(&engine, &specs, &SuiteConfig::default()).expect("bsbm suite");
+        sections.push(report.to_markdown());
+    }
+    {
+        let snb = Snb::generate(SnbConfig::with_scale(100_000));
+        let engine = Engine::new(&snb.dataset);
+        let specs = vec![BenchmarkSpec {
+            template: Snb::q2_friend_posts(),
+            domain: ParameterDomain::single("person", snb.person_iris()),
+            cost_source: CostSource::MeasuredCout,
+        }];
+        let report = run_suite(&engine, &specs, &SuiteConfig::default()).expect("snb suite");
+        sections.push(report.to_markdown());
+    }
+    {
+        let lubm = Lubm::generate(LubmConfig::with_scale(60_000));
+        let engine = Engine::new(&lubm.dataset);
+        let specs = vec![BenchmarkSpec {
+            template: Lubm::q_university_staff(),
+            domain: ParameterDomain::single("univ", lubm.university_iris()),
+            cost_source: CostSource::EstimatedCout,
+        }];
+        let mut cfg = SuiteConfig::default();
+        cfg.curation.cluster.min_class_size = 1;
+        cfg.validation.sample_size = 20;
+        let report = run_suite(&engine, &specs, &cfg).expect("lubm suite");
+        sections.push(report.to_markdown());
+    }
+
+    let combined = sections.join("\n");
+    let path = "target/parambench-report.md";
+    std::fs::write(path, &combined).expect("write report");
+    println!("{combined}");
+    println!("\n(report written to {path})");
+}

@@ -1,0 +1,326 @@
+//! `parambench` — command-line front end.
+//!
+//! ```text
+//! parambench generate <bsbm|snb|lubm> [--triples N] [--seed S] [--out FILE]
+//! parambench query    <data.nt> (--text QUERY | --file QUERY.rq) [--explain]
+//! parambench curate   <bsbm|snb|lubm> <template> [--triples N] [--epsilon E]
+//!                     [--measured] [--sample N]
+//! parambench templates
+//! ```
+//!
+//! `generate` writes an N-Triples dump; `query` loads one and runs a SPARQL
+//! (subset) query with EXPLAIN/instrumentation; `curate` runs the paper's
+//! §III pipeline on a named built-in template and prints the parameter
+//! classes plus a sample from the largest class.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+use parambench::curation::{
+    curate, CostSource, CurationConfig, ParameterDomain, ProfileConfig,
+};
+use parambench::curation::cluster::ClusterConfig;
+use parambench::datagen::{Bsbm, BsbmConfig, Lubm, LubmConfig, Snb, SnbConfig};
+use parambench::rdf::{ntriples, Dataset, StoreBuilder, Term};
+use parambench::sparql::{Engine, QueryTemplate};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  parambench generate <bsbm|snb|lubm> [--triples N] [--seed S] [--out FILE]
+  parambench query <data.nt> (--text QUERY | --file QUERY.rq) [--explain]
+  parambench curate <bsbm|snb|lubm> <template> [--triples N] [--epsilon E] [--measured] [--sample N]
+  parambench templates";
+
+/// Parses `--key value` flags (and bare `--flag` booleans) after the
+/// positional arguments.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
+        let boolean = matches!(key, "explain" | "measured");
+        if boolean {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value =
+                args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            flags.insert(key.to_string(), value);
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("curate") => cmd_curate(&args[1..]),
+        Some("templates") => {
+            println!("{}", template_listing());
+            Ok(())
+        }
+        _ => Err("missing or unknown subcommand".into()),
+    }
+}
+
+/// The built-in templates, per generator family.
+fn template_listing() -> String {
+    "\
+bsbm: q2 (similar products, %product)\n\
+bsbm: q4 (feature price by type, %type)\n\
+bsbm: rating (avg rating by type, %type)\n\
+snb:  q1 (person by name+country, %name %country)\n\
+snb:  q2 (newest posts of friends, %person)\n\
+snb:  q3 (friends-of-friends in two countries, %person %countryX %countryY)\n\
+lubm: students (students of professor, %prof)\n\
+lubm: staff (university staff, %univ)\n\
+lubm: people (department people via UNION, %dept)"
+        .to_string()
+}
+
+fn generate_dataset(family: &str, triples: usize, seed: u64) -> Result<Dataset, String> {
+    Ok(match family {
+        "bsbm" => {
+            Bsbm::generate(BsbmConfig { seed, ..BsbmConfig::with_scale(triples) }).dataset
+        }
+        "snb" => Snb::generate(SnbConfig { seed, ..SnbConfig::with_scale(triples) }).dataset,
+        "lubm" => {
+            Lubm::generate(LubmConfig { seed, ..LubmConfig::with_scale(triples) }).dataset
+        }
+        other => return Err(format!("unknown generator {other:?} (bsbm|snb|lubm)")),
+    })
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let family = args.first().ok_or("generate needs a generator name")?;
+    let flags = parse_flags(&args[1..])?;
+    let triples = flag(&flags, "triples", 100_000usize)?;
+    let seed = flag(&flags, "seed", 42u64)?;
+    let ds = generate_dataset(family, triples, seed)?;
+    eprintln!("generated {} triples ({family}, seed {seed})", ds.len());
+    match flags.get("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            ntriples::write_dataset(&ds, &mut w).map_err(|e| format!("write: {e}"))?;
+            w.flush().map_err(|e| format!("flush: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = std::io::BufWriter::new(stdout.lock());
+            ntriples::write_dataset(&ds, &mut lock).map_err(|e| format!("write: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("query needs a data file")?;
+    let flags = parse_flags(&args[1..])?;
+    let text = match (flags.get("text"), flags.get("file")) {
+        (Some(t), None) => t.clone(),
+        (None, Some(f)) => std::fs::read_to_string(f).map_err(|e| format!("read {f}: {e}"))?,
+        _ => return Err("query needs exactly one of --text or --file".into()),
+    };
+
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut builder = StoreBuilder::new();
+    ntriples::read_into(std::io::BufReader::new(file), &mut builder)
+        .map_err(|e| format!("parse {path}: {e}"))?;
+    let ds = builder.freeze();
+    eprintln!("loaded {} triples", ds.len());
+
+    let engine = Engine::new(&ds);
+    let query = parambench::sparql::parse_query(&text).map_err(|e| e.to_string())?;
+    let prepared = engine.prepare(&query).map_err(|e| e.to_string())?;
+    if flags.contains_key("explain") {
+        println!("{}", prepared.explain());
+    }
+    let out = engine.execute(&prepared).map_err(|e| e.to_string())?;
+    println!("{}", out.results.render(50));
+    eprintln!(
+        "{} rows in {:.2} ms, Cout = {}",
+        out.results.len(),
+        out.wall_time.as_secs_f64() * 1e3,
+        out.cout
+    );
+    Ok(())
+}
+
+fn cmd_curate(args: &[String]) -> Result<(), String> {
+    let family = args.first().ok_or("curate needs a generator name")?.as_str();
+    let tname = args.get(1).ok_or("curate needs a template name (see `templates`)")?.as_str();
+    let flags = parse_flags(&args[2..])?;
+    let triples = flag(&flags, "triples", 100_000usize)?;
+    let epsilon = flag(&flags, "epsilon", 1.0f64)?;
+    let sample = flag(&flags, "sample", 10usize)?;
+    let cost_source = if flags.contains_key("measured") {
+        CostSource::MeasuredCout
+    } else {
+        CostSource::EstimatedCout
+    };
+
+    // Build dataset + template + domain for the requested workload.
+    let (ds, template, domain): (Dataset, QueryTemplate, ParameterDomain) =
+        match (family, tname) {
+            ("bsbm", "q2") => {
+                let g = Bsbm::generate(BsbmConfig::with_scale(triples));
+                let d = ParameterDomain::single("product", g.product_iris());
+                (g.dataset, Bsbm::q2_similar_products(), d)
+            }
+            ("bsbm", "q4") => {
+                let g = Bsbm::generate(BsbmConfig::with_scale(triples));
+                let d = ParameterDomain::single("type", g.type_iris());
+                (g.dataset, Bsbm::q4_feature_price_by_type(), d)
+            }
+            ("bsbm", "rating") => {
+                let g = Bsbm::generate(BsbmConfig::with_scale(triples));
+                let d = ParameterDomain::single("type", g.type_iris());
+                (g.dataset, Bsbm::q_rating_by_type(), d)
+            }
+            ("snb", "q1") => {
+                let g = Snb::generate(SnbConfig::with_scale(triples));
+                let names: Vec<Term> = g.name_literals();
+                let d = ParameterDomain::new()
+                    .with("name", names)
+                    .with("country", g.country_iris());
+                (g.dataset, Snb::q1_name_country(), d)
+            }
+            ("snb", "q2") => {
+                let g = Snb::generate(SnbConfig::with_scale(triples));
+                let d = ParameterDomain::single("person", g.person_iris());
+                (g.dataset, Snb::q2_friend_posts(), d)
+            }
+            ("snb", "q3") => {
+                let g = Snb::generate(SnbConfig::with_scale(triples));
+                let persons: Vec<Term> = g.person_iris().into_iter().take(20).collect();
+                let d = ParameterDomain::new()
+                    .with("person", persons)
+                    .with("countryX", g.country_iris())
+                    .with("countryY", g.country_iris());
+                (g.dataset, Snb::q3_two_countries(), d)
+            }
+            ("lubm", "students") => {
+                let g = Lubm::generate(LubmConfig::with_scale(triples));
+                let d = ParameterDomain::single("prof", g.professor_iris());
+                (g.dataset, Lubm::q_students_of_professor(), d)
+            }
+            ("lubm", "staff") => {
+                let g = Lubm::generate(LubmConfig::with_scale(triples));
+                let d = ParameterDomain::single("univ", g.university_iris());
+                (g.dataset, Lubm::q_university_staff(), d)
+            }
+            ("lubm", "people") => {
+                let g = Lubm::generate(LubmConfig::with_scale(triples));
+                let d = ParameterDomain::single("dept", g.department_iris());
+                (g.dataset, Lubm::q_department_people(), d)
+            }
+            _ => {
+                return Err(format!(
+                    "unknown workload {family}/{tname}; available:\n{}",
+                    template_listing()
+                ))
+            }
+        };
+
+    eprintln!("dataset: {} triples; domain: {} bindings", ds.len(), domain.len());
+    let engine = Engine::new(&ds);
+    let cfg = CurationConfig {
+        profile: ProfileConfig { cost_source, ..Default::default() },
+        cluster: ClusterConfig { epsilon, ..Default::default() },
+    };
+    let workload = curate(&engine, &template, &domain, &cfg).map_err(|e| e.to_string())?;
+    println!("{}", workload.describe());
+
+    let bindings =
+        workload.sample_class(0, sample, 7).map_err(|e| e.to_string())?;
+    println!("sample from class 0:");
+    for b in bindings {
+        println!("  {b}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_pairs_and_booleans() {
+        let flags = parse_flags(&s(&["--triples", "500", "--explain", "--seed", "7"])).unwrap();
+        assert_eq!(flags.get("triples").unwrap(), "500");
+        assert_eq!(flags.get("seed").unwrap(), "7");
+        assert!(flags.contains_key("explain"));
+    }
+
+    #[test]
+    fn parse_flags_rejects_bad_shapes() {
+        assert!(parse_flags(&s(&["triples", "500"])).is_err());
+        assert!(parse_flags(&s(&["--triples"])).is_err());
+    }
+
+    #[test]
+    fn flag_parses_with_default() {
+        let flags = parse_flags(&s(&["--epsilon", "0.5"])).unwrap();
+        assert_eq!(flag(&flags, "epsilon", 1.0f64).unwrap(), 0.5);
+        assert_eq!(flag(&flags, "sample", 10usize).unwrap(), 10);
+        assert!(flag::<usize>(&flags, "epsilon", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_error() {
+        assert!(run(&s(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_dataset_families() {
+        for fam in ["bsbm", "snb", "lubm"] {
+            let ds = generate_dataset(fam, 5_000, 1).unwrap();
+            assert!(ds.len() > 500, "{fam}: {}", ds.len());
+        }
+        assert!(generate_dataset("nope", 1000, 1).is_err());
+    }
+
+    #[test]
+    fn templates_listing_mentions_all_families() {
+        let text = template_listing();
+        for fam in ["bsbm", "snb", "lubm"] {
+            assert!(text.contains(fam));
+        }
+    }
+}

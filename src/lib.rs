@@ -1,0 +1,52 @@
+//! # parambench
+//!
+//! A production-quality Rust reproduction of
+//! **"How to generate query parameters in RDF benchmarks?"**
+//! (Andrey Gubichev, Renzo Angles, Peter Boncz — ICDE 2014).
+//!
+//! The paper demonstrates that the standard practice of drawing query
+//! parameters *uniformly at random* produces unstable, unrepresentative RDF
+//! benchmark results on correlated data, and formalizes **parameter
+//! curation**: clustering the parameter domain into classes that share one
+//! `Cout`-optimal plan and one cost, then sampling within classes.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`rdf`] | dictionary-encoded triple store, six permutation indexes, statistics |
+//! | [`sparql`] | SPARQL-subset engine: templates, `Cout`-optimal DP optimizer, instrumented executor |
+//! | [`datagen`] | BSBM-like and LDBC-SNB-like (S3G2 correlated) generators |
+//! | [`stats`] | summaries, KS tests, Pearson/Spearman, histograms |
+//! | [`curation`] | **the paper's contribution**: domain → profile → cluster → sample → validate |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parambench::datagen::{Bsbm, BsbmConfig};
+//! use parambench::sparql::Engine;
+//! use parambench::curation::{curate, CurationConfig, ParameterDomain};
+//! use parambench::rdf::Term;
+//!
+//! // 1. Generate a BSBM-like dataset.
+//! let bsbm = Bsbm::generate(BsbmConfig { products: 500, ..Default::default() });
+//! let engine = Engine::new(&bsbm.dataset);
+//!
+//! // 2. The parameter domain of BI Q4: every product type.
+//! let domain = ParameterDomain::single("type", bsbm.type_iris());
+//!
+//! // 3. Curate: one optimizer probe per type, cluster by plan + cost.
+//! let workload = curate(&engine, &Bsbm::q4_feature_price_by_type(), &domain,
+//!                       &CurationConfig::default()).unwrap();
+//! assert!(!workload.classes().is_empty());
+//!
+//! // 4. Benchmark within a class (stable), not across the raw domain (unstable).
+//! let bindings = workload.sample_class(0, 10, 7).unwrap();
+//! assert_eq!(bindings.len(), 10);
+//! ```
+
+pub use parambench_core as curation;
+pub use parambench_datagen as datagen;
+pub use parambench_rdf as rdf;
+pub use parambench_sparql as sparql;
+pub use parambench_stats as stats;

@@ -1,0 +1,78 @@
+//! Black-box tests of the `parambench` CLI binary: generate → query →
+//! curate round trip through real process invocations.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parambench"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn templates_lists_workloads() {
+    let out = bin().arg("templates").output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["bsbm", "snb", "lubm", "%type", "%person"] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn generate_then_query_round_trip() {
+    let dir = std::env::temp_dir().join(format!("parambench-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.nt");
+
+    let out = bin()
+        .args(["generate", "bsbm", "--triples", "8000", "--out"])
+        .arg(&data)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+
+    let out = bin()
+        .arg("query")
+        .arg(&data)
+        .args([
+            "--text",
+            "SELECT (COUNT(?p) AS ?n) WHERE { ?p <http://bsbm.example/price> ?x }",
+            "--explain",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("signature:"), "{stdout}");
+    assert!(stdout.contains('n'), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn curate_prints_classes() {
+    let out = bin()
+        .args(["curate", "bsbm", "q4", "--triples", "15000", "--epsilon", "1.0"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("class  0:"), "{stdout}");
+    assert!(stdout.contains("sample from class 0:"), "{stdout}");
+}
+
+#[test]
+fn unknown_workload_is_reported() {
+    let out = bin().args(["curate", "bsbm", "nope"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown workload"), "{stderr}");
+}

@@ -1,0 +1,179 @@
+//! End-to-end integration: SNB generation → engine → curation, asserting
+//! the paper's E2 (instability) and E4 (plan flips) effects and their
+//! resolution, all on the deterministic `Cout` metric.
+
+use parambench::curation::{
+    curate, profile_bindings, run_workload, CostSource, CurationConfig, Metric, ParameterDomain,
+    ProfileConfig, RunConfig,
+};
+use parambench::datagen::{snb::schema, Snb, SnbConfig};
+use parambench::rdf::Term;
+use parambench::stats::{relative_spread, Summary};
+use parambench::sparql::Engine;
+
+fn small_snb() -> Snb {
+    Snb::generate(SnbConfig { persons: 1_500, ..Default::default() })
+}
+
+#[test]
+fn e2_uniform_groups_disagree_curated_groups_agree() {
+    let social = small_snb();
+    let engine = Engine::new(&social.dataset);
+    let template = Snb::q2_friend_posts();
+    let domain = ParameterDomain::single("person", social.person_iris());
+
+    // Uniform baseline: 4 independent groups.
+    let uniform_means: Vec<f64> = (0..4)
+        .map(|g| {
+            let bindings = domain.sample_uniform(80, 300 + g);
+            let ms = run_workload(&engine, &template, &bindings, &RunConfig::default()).unwrap();
+            Summary::new(&Metric::Cout.series(&ms)).unwrap().mean()
+        })
+        .collect();
+    let uniform_spread = relative_spread(&uniform_means);
+
+    // Curated (measured-cost profiling), 4 groups within class 0.
+    let workload = curate(
+        &engine,
+        &template,
+        &domain,
+        &CurationConfig {
+            profile: ProfileConfig {
+                max_bindings: 800,
+                cost_source: CostSource::MeasuredCout,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let curated_means: Vec<f64> = (0..4)
+        .map(|g| {
+            let bindings = workload.sample_class(0, 80, 400 + g).unwrap();
+            let ms = run_workload(&engine, &template, &bindings, &RunConfig::default()).unwrap();
+            Summary::new(&Metric::Cout.series(&ms)).unwrap().mean()
+        })
+        .collect();
+    let curated_spread = relative_spread(&curated_means);
+
+    assert!(
+        uniform_spread > 0.05,
+        "uniform sampling should be unstable (spread {uniform_spread})"
+    );
+    assert!(
+        curated_spread < uniform_spread,
+        "curation should stabilize: {curated_spread} vs {uniform_spread}"
+    );
+}
+
+#[test]
+fn e4_q3_has_multiple_optimal_plans_over_country_pairs() {
+    let social = small_snb();
+    let engine = Engine::new(&social.dataset);
+    let template = Snb::q3_two_countries();
+    let persons: Vec<Term> = social.person_iris().into_iter().take(3).collect();
+    let countries = social.country_iris();
+    let domain = ParameterDomain::new()
+        .with("person", persons)
+        .with("countryX", countries.clone())
+        .with("countryY", countries);
+    let bindings = domain.enumerate(600, 9);
+    let profiles =
+        profile_bindings(&engine, &template, &bindings, CostSource::EstimatedCout).unwrap();
+    let mut sigs: Vec<String> = profiles.iter().map(|p| p.signature.to_string()).collect();
+    sigs.sort();
+    sigs.dedup();
+    assert!(sigs.len() >= 2, "expected plan flips, got only {sigs:?}");
+}
+
+#[test]
+fn e4_curated_classes_isolate_plans() {
+    let social = small_snb();
+    let engine = Engine::new(&social.dataset);
+    let template = Snb::q3_two_countries();
+    let persons: Vec<Term> = social.person_iris().into_iter().take(3).collect();
+    let countries = social.country_iris();
+    let domain = ParameterDomain::new()
+        .with("person", persons)
+        .with("countryX", countries.clone())
+        .with("countryY", countries);
+    let workload = curate(&engine, &template, &domain, &CurationConfig::default()).unwrap();
+    // Executing any sample of a class must reproduce exactly the class plan.
+    for class in workload.classes().iter().take(3) {
+        let sample = workload.sample_class(class.id, 10, 5).unwrap();
+        let ms = run_workload(&engine, &template, &sample, &RunConfig::default()).unwrap();
+        for m in &ms {
+            assert_eq!(m.signature, class.signature, "P3 violated inside class {}", class.id);
+        }
+    }
+}
+
+#[test]
+fn q2_results_are_posts_of_friends() {
+    let social = small_snb();
+    let ds = &social.dataset;
+    let engine = Engine::new(ds);
+    let template = Snb::q2_friend_posts();
+    let person = Term::iri(schema::person(2));
+    let out = engine
+        .run_template(
+            &template,
+            &parambench::sparql::Binding::new().with("person", person.clone()),
+        )
+        .unwrap();
+    let knows = ds.lookup(&Term::iri(schema::KNOWS)).unwrap();
+    let creator = ds.lookup(&Term::iri(schema::HAS_CREATOR)).unwrap();
+    let pid = ds.lookup(&person).unwrap();
+    let friends: std::collections::HashSet<_> =
+        ds.scan([Some(pid), Some(knows), None]).map(|t| t[2]).collect();
+    assert!(out.results.len() <= 20);
+    for row in &out.results.rows {
+        let post = ds.lookup(row[0].as_term().unwrap()).unwrap();
+        let author = ds.scan([Some(post), Some(creator), None]).next().unwrap()[2];
+        assert!(friends.contains(&author), "post not by a friend");
+    }
+}
+
+#[test]
+fn intro_example_name_country_correlation_shows_in_cardinalities() {
+    let social = Snb::generate(SnbConfig { persons: 3_000, ..Default::default() });
+    let engine = Engine::new(&social.dataset);
+    let template = Snb::q1_name_country();
+    let li_china = parambench::sparql::Binding::new()
+        .with("name", Term::literal("Li"))
+        .with("country", Term::iri(schema::country("China")));
+    let john_china = parambench::sparql::Binding::new()
+        .with("name", Term::literal("John"))
+        .with("country", Term::iri(schema::country("China")));
+    let li = engine.run_template(&template, &li_china).unwrap();
+    let john = engine.run_template(&template, &john_china).unwrap();
+    assert!(
+        li.results.len() > john.results.len(),
+        "Li/China {} should exceed John/China {}",
+        li.results.len(),
+        john.results.len()
+    );
+}
+
+#[test]
+fn snb_dataset_round_trips_through_ntriples() {
+    let social = Snb::generate(SnbConfig { persons: 120, ..Default::default() });
+    let mut buf = Vec::new();
+    parambench::rdf::ntriples::write_dataset(&social.dataset, &mut buf).unwrap();
+    let mut builder = parambench::rdf::StoreBuilder::new();
+    parambench::rdf::ntriples::read_into(std::io::Cursor::new(&buf), &mut builder).unwrap();
+    let ds2 = builder.freeze();
+    assert_eq!(ds2.len(), social.dataset.len());
+    // Queries agree on both copies.
+    let engine1 = Engine::new(&social.dataset);
+    let engine2 = Engine::new(&ds2);
+    let q = format!(
+        "SELECT ?p WHERE {{ ?p <{}> <{}> }}",
+        schema::LIVES_IN,
+        schema::country("China")
+    );
+    assert_eq!(
+        engine1.run_text(&q).unwrap().results.len(),
+        engine2.run_text(&q).unwrap().results.len()
+    );
+}
