@@ -27,10 +27,7 @@ fn curation_benches(c: &mut Criterion) {
                     &engine,
                     &template,
                     &domain,
-                    &ProfileConfig {
-                        cost_source: CostSource::EstimatedCout,
-                        ..Default::default()
-                    },
+                    &ProfileConfig { cost_source: CostSource::EstimatedCout, ..Default::default() },
                 )
                 .unwrap(),
             )
@@ -44,10 +41,7 @@ fn curation_benches(c: &mut Criterion) {
                     &engine,
                     &template,
                     &domain,
-                    &ProfileConfig {
-                        cost_source: CostSource::MeasuredCout,
-                        ..Default::default()
-                    },
+                    &ProfileConfig { cost_source: CostSource::MeasuredCout, ..Default::default() },
                 )
                 .unwrap(),
             )

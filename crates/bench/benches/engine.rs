@@ -14,9 +14,7 @@ fn engine_benches(c: &mut Criterion) {
     let ds = &data.dataset;
     let engine = Engine::new(ds);
     let rdf_type = ds.lookup(&Term::iri(parambench_datagen::bsbm::schema::RDF_TYPE)).unwrap();
-    let root = ds
-        .lookup(&Term::iri(parambench_datagen::bsbm::schema::product_type(0)))
-        .unwrap();
+    let root = ds.lookup(&Term::iri(parambench_datagen::bsbm::schema::product_type(0))).unwrap();
 
     c.bench_function("store/count_pattern", |b| {
         b.iter(|| black_box(ds.count([None, Some(rdf_type), Some(root)])))
@@ -44,6 +42,25 @@ fn engine_benches(c: &mut Criterion) {
     });
     c.bench_function("exec/q4_leaf_type", |b| {
         b.iter(|| black_box(engine.execute(&prepared_leaf).unwrap().cout))
+    });
+
+    // Streaming pipeline vs the retained materializing executor on the
+    // multi-join BSBM template: same measured Cout by construction; the
+    // peak-intermediate-tuple gap is what the Volcano refactor buys.
+    // The strictly-lower-peak gate itself is asserted (at fixed scale) by
+    // tests/streaming_vs_materialized.rs; the bench only reports the gap so
+    // PARAMBENCH_TRIPLES experiments at tiny scales cannot abort the run.
+    let streamed = engine.execute(&prepared_root).unwrap();
+    let materialized = engine.execute_materialized(&prepared_root).unwrap();
+    println!(
+        "q4 generic type: Cout {} | peak tuples streaming {} vs materialized {}",
+        streamed.cout, streamed.stats.peak_tuples, materialized.stats.peak_tuples
+    );
+    c.bench_function("exec/q4_generic_type_materialized", |b| {
+        b.iter(|| black_box(engine.execute_materialized(&prepared_root).unwrap().cout))
+    });
+    c.bench_function("exec/q4_leaf_type_materialized", |b| {
+        b.iter(|| black_box(engine.execute_materialized(&prepared_leaf).unwrap().cout))
     });
 
     // One uniform workload iteration (100 template instantiations) — the

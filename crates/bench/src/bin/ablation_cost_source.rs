@@ -17,8 +17,8 @@ use parambench_core::{
     ProfileConfig, RunConfig,
 };
 use parambench_datagen::{Bsbm, Snb};
-use parambench_stats::Summary;
 use parambench_sparql::{Engine, QueryTemplate};
+use parambench_stats::Summary;
 
 fn evaluate(
     engine: &Engine<'_>,

@@ -16,8 +16,8 @@ use parambench_core::{
     ProfileConfig, RunConfig,
 };
 use parambench_datagen::{Bsbm, Snb};
-use parambench_stats::Summary;
 use parambench_sparql::{Engine, QueryTemplate};
+use parambench_stats::Summary;
 
 const EPSILONS: &[f64] = &[0.1, 0.25, 0.5, 1.0, 2.0, 4.0];
 
@@ -48,8 +48,7 @@ fn sweep(
         let mut cvs = Vec::new();
         for class in workload.classes().iter().take(3) {
             let bindings = workload.sample_class(class.id, 30, 7).expect("sample");
-            let ms =
-                run_workload(engine, template, &bindings, &RunConfig::default()).expect("run");
+            let ms = run_workload(engine, template, &bindings, &RunConfig::default()).expect("run");
             if let Some(s) = Summary::new(&Metric::Cout.series(&ms)) {
                 cvs.push(s.coeff_of_variation());
             }

@@ -18,8 +18,8 @@ use parambench_core::{
     ParameterDomain, ProfileConfig, RunConfig, ValidationConfig,
 };
 use parambench_datagen::{Bsbm, Snb};
-use parambench_stats::{ks_two_sample, Summary};
 use parambench_sparql::{Engine, QueryTemplate};
+use parambench_stats::{ks_two_sample, Summary};
 
 fn baseline(engine: &Engine<'_>, template: &QueryTemplate, domain: &ParameterDomain) {
     let a = domain.sample_uniform(60, 51);

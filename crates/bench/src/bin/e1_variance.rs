@@ -33,12 +33,10 @@ fn main() {
     let wall = Summary::new(&Metric::WallMillis.series(&ms)).expect("summary");
     row("paper: variance", "674e6 ms^2 (100M triples, Virtuoso)");
     row("measured: variance", format!("{:.3e} ms^2", wall.variance()));
-    row("measured: mean / median / max", format!(
-        "{} / {} / {}",
-        fmt_ms(wall.mean()),
-        fmt_ms(wall.median()),
-        fmt_ms(wall.max())
-    ));
+    row(
+        "measured: mean / median / max",
+        format!("{} / {} / {}", fmt_ms(wall.mean()), fmt_ms(wall.median()), fmt_ms(wall.max())),
+    );
     row("measured: coefficient of variation", format!("{:.2}", wall.coeff_of_variation()));
     let cout = Summary::new(&Metric::Cout.series(&ms)).expect("summary");
     row("measured: Cout variance (scale-free)", format!("{:.3e}", cout.variance()));

@@ -16,8 +16,8 @@
 use parambench_bench::{bsbm, fmt_ms, header, row, snb};
 use parambench_core::{run_workload, Metric, ParameterDomain, RunConfig};
 use parambench_datagen::{Bsbm, Snb};
-use parambench_stats::{bootstrap_mean_ci, relative_spread, Summary};
 use parambench_sparql::Engine;
+use parambench_stats::{bootstrap_mean_ci, relative_spread, Summary};
 
 const GROUPS: u64 = 4;
 const GROUP_SIZE: usize = 100;
@@ -45,7 +45,10 @@ fn print_table(groups: &[(Summary, Summary)]) {
     let cells = |f: &dyn Fn(&Summary) -> f64| -> String {
         groups.iter().map(|(w, _)| format!("{:>10}", fmt_ms(f(w)))).collect::<String>()
     };
-    println!("time     {}", (1..=GROUPS).map(|g| format!("{:>10}", format!("group {g}"))).collect::<String>());
+    println!(
+        "time     {}",
+        (1..=GROUPS).map(|g| format!("{:>10}", format!("group {g}"))).collect::<String>()
+    );
     println!("q10      {}", cells(&|s| s.quantile(0.1)));
     println!("median   {}", cells(&|s| s.median()));
     println!("q90      {}", cells(&|s| s.quantile(0.9)));
@@ -55,11 +58,9 @@ fn print_table(groups: &[(Summary, Summary)]) {
     let cis: Vec<String> = groups
         .iter()
         .enumerate()
-        .map(|(g, (w, _))| {
-            match bootstrap_mean_ci(w.sorted(), 300, 0.95, 77 + g as u64) {
-                Some(ci) => format!("[{}, {}]", fmt_ms(ci.lo), fmt_ms(ci.hi)),
-                None => "n/a".to_string(),
-            }
+        .map(|(g, (w, _))| match bootstrap_mean_ci(w.sorted(), 300, 0.95, 77 + g as u64) {
+            Some(ci) => format!("[{}, {}]", fmt_ms(ci.lo), fmt_ms(ci.hi)),
+            None => "n/a".to_string(),
         })
         .collect();
     println!("mean 95% CI  {}", cis.join("  "));
@@ -69,11 +70,7 @@ fn spreads(groups: &[(Summary, Summary)]) -> (f64, f64, f64) {
     let wall_means: Vec<f64> = groups.iter().map(|(w, _)| w.mean()).collect();
     let wall_medians: Vec<f64> = groups.iter().map(|(w, _)| w.median()).collect();
     let cout_means: Vec<f64> = groups.iter().map(|(_, c)| c.mean()).collect();
-    (
-        relative_spread(&wall_means),
-        relative_spread(&wall_medians),
-        relative_spread(&cout_means),
-    )
+    (relative_spread(&wall_means), relative_spread(&wall_medians), relative_spread(&cout_means))
 }
 
 fn main() {

@@ -14,8 +14,8 @@
 use parambench_bench::{bsbm, fmt_ms, header, row};
 use parambench_core::{run_workload, Metric, ParameterDomain, RunConfig};
 use parambench_datagen::Bsbm;
-use parambench_stats::{Histogram, Summary};
 use parambench_sparql::Engine;
+use parambench_stats::{Histogram, Summary};
 
 fn main() {
     let data = bsbm();
@@ -49,10 +49,10 @@ fn main() {
     row("measured: mean / median ratio (wall)", format!("{:.1}x", wall.mean() / wall.median()));
     let cout = Summary::new(&Metric::Cout.series(&ms)).expect("summary");
     row("measured: mean / median ratio (Cout)", format!("{:.1}x", cout.mean() / cout.median()));
-    row("measured: bimodality coefficient (Cout)", format!(
-        "{:.3} (uniform threshold 0.555)",
-        cout.bimodality_coefficient()
-    ));
+    row(
+        "measured: bimodality coefficient (Cout)",
+        format!("{:.3} (uniform threshold 0.555)", cout.bimodality_coefficient()),
+    );
 
     // Log-scale histogram: the two clusters should be visible as separated
     // modes — "almost no query in between those two groups".

@@ -36,9 +36,8 @@ fn main() {
         .with("countryX", countries.clone())
         .with("countryY", countries.clone());
     let bindings = domain.enumerate(3_000, 4);
-    let profiles =
-        profile_bindings(&engine, &template, &bindings, CostSource::EstimatedCout)
-            .expect("profiling");
+    let profiles = profile_bindings(&engine, &template, &bindings, CostSource::EstimatedCout)
+        .expect("profiling");
 
     let mut by_sig: BTreeMap<String, usize> = BTreeMap::new();
     for p in &profiles {
@@ -66,11 +65,10 @@ fn main() {
         let set: std::collections::HashSet<_> = visitors(a).into_iter().collect();
         visitors(b).into_iter().filter(|x| set.contains(x)).count()
     };
-    println!(
-        "{:<22} {:>12} {:>14} {:<34}",
-        "pair", "|X ∩ Y|", "est Cout", "optimal plan"
-    );
-    for (x, y) in [("USA", "Canada"), ("Germany", "France"), ("USA", "Zimbabwe"), ("Finland", "Zimbabwe")] {
+    println!("{:<22} {:>12} {:>14} {:<34}", "pair", "|X ∩ Y|", "est Cout", "optimal plan");
+    for (x, y) in
+        [("USA", "Canada"), ("Germany", "France"), ("USA", "Zimbabwe"), ("Finland", "Zimbabwe")]
+    {
         let binding = Binding::new()
             .with("person", Term::iri(schema::person(0)))
             .with("countryX", Term::iri(schema::country(x)))
@@ -94,10 +92,7 @@ fn main() {
         let y = p.binding.get("countryY").and_then(|t| t.as_iri()).unwrap_or_default();
         let xn = x.rsplit('/').next().unwrap_or_default();
         let yn = y.rsplit('/').next().unwrap_or_default();
-        per_plan
-            .entry(p.signature.to_string())
-            .or_default()
-            .push(intersection(xn, yn) as f64);
+        per_plan.entry(p.signature.to_string()).or_default().push(intersection(xn, yn) as f64);
     }
     for (sig, inters) in &per_plan {
         let mean = inters.iter().sum::<f64>() / inters.len() as f64;

@@ -24,10 +24,7 @@ use parambench_datagen::{Bsbm, BsbmConfig, Snb, SnbConfig};
 /// Scale (approximate triples per generated dataset) honoring
 /// `PARAMBENCH_TRIPLES`.
 pub fn scale() -> usize {
-    std::env::var("PARAMBENCH_TRIPLES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150_000)
+    std::env::var("PARAMBENCH_TRIPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(150_000)
 }
 
 /// The standard BSBM instance used by all experiments.

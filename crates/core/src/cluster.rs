@@ -107,7 +107,10 @@ impl Clustering {
             ));
         }
         if !self.dropped.is_empty() {
-            out.push_str(&format!("dropped: {} profiles in undersized classes\n", self.dropped.len()));
+            out.push_str(&format!(
+                "dropped: {} profiles in undersized classes\n",
+                self.dropped.len()
+            ));
         }
         out
     }
@@ -187,8 +190,8 @@ fn band_limit(start: f64, epsilon: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parambench_sparql::template::Binding;
     use parambench_rdf::term::Term;
+    use parambench_sparql::template::Binding;
 
     fn profile(sig: &str, cost: f64, tag: usize) -> BindingProfile {
         BindingProfile {
@@ -290,8 +293,7 @@ mod tests {
 
     #[test]
     fn zero_cost_profiles_band_together() {
-        let profiles: Vec<BindingProfile> =
-            (0..5).map(|i| profile("A", 0.0, i)).collect();
+        let profiles: Vec<BindingProfile> = (0..5).map(|i| profile("A", 0.0, i)).collect();
         let c = cluster(&profiles, &ClusterConfig::default()).unwrap();
         assert_eq!(c.classes.len(), 1);
     }

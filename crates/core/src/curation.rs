@@ -116,8 +116,7 @@ mod tests {
     fn curation_splits_generic_from_specific_types() {
         let ds = skewed();
         let engine = Engine::new(&ds);
-        let domain =
-            ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
+        let domain = ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
         let cfg = CurationConfig {
             cluster: ClusterConfig { epsilon: 1.0, min_class_size: 1 },
             ..Default::default()

@@ -48,10 +48,10 @@ impl ParameterDomain {
         name: impl Into<String>,
         pred: &Term,
     ) -> Result<Self, CurationError> {
-        let p = ds
-            .lookup(pred)
-            .ok_or_else(|| CurationError::EmptyDomain(format!("predicate {pred} not in dataset")))?;
-        let values: Vec<Term> = ds.objects_of(p).into_iter().map(|id| ds.decode(id).clone()).collect();
+        let p = ds.lookup(pred).ok_or_else(|| {
+            CurationError::EmptyDomain(format!("predicate {pred} not in dataset"))
+        })?;
+        let values: Vec<Term> = ds.objects_of_iter(p).map(|id| ds.decode(id).clone()).collect();
         if values.is_empty() {
             return Err(CurationError::EmptyDomain(format!("predicate {pred} has no objects")));
         }
@@ -65,11 +65,10 @@ impl ParameterDomain {
         name: impl Into<String>,
         pred: &Term,
     ) -> Result<Self, CurationError> {
-        let p = ds
-            .lookup(pred)
-            .ok_or_else(|| CurationError::EmptyDomain(format!("predicate {pred} not in dataset")))?;
-        let values: Vec<Term> =
-            ds.subjects_of(p).into_iter().map(|id| ds.decode(id).clone()).collect();
+        let p = ds.lookup(pred).ok_or_else(|| {
+            CurationError::EmptyDomain(format!("predicate {pred} not in dataset"))
+        })?;
+        let values: Vec<Term> = ds.subjects_of_iter(p).map(|id| ds.decode(id).clone()).collect();
         if values.is_empty() {
             return Err(CurationError::EmptyDomain(format!("predicate {pred} has no subjects")));
         }
@@ -184,9 +183,7 @@ mod tests {
 
     #[test]
     fn cross_product_size_and_enumeration() {
-        let d = ParameterDomain::new()
-            .with("a", terms("a", 3))
-            .with("b", terms("b", 4));
+        let d = ParameterDomain::new().with("a", terms("a", 3)).with("b", terms("b", 4));
         assert_eq!(d.arity(), 2);
         assert_eq!(d.len(), 12);
         let all = d.enumerate(100, 1);
@@ -212,9 +209,7 @@ mod tests {
 
     #[test]
     fn sampling_large_domain_is_bounded_and_deterministic() {
-        let d = ParameterDomain::new()
-            .with("a", terms("a", 100))
-            .with("b", terms("b", 100));
+        let d = ParameterDomain::new().with("a", terms("a", 100)).with("b", terms("b", 100));
         let s1 = d.enumerate(50, 7);
         let s2 = d.enumerate(50, 7);
         let s3 = d.enumerate(50, 8);

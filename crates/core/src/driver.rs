@@ -61,6 +61,10 @@ pub struct TemplateReport {
     pub name: String,
     /// Per-group metric summaries under uniform sampling.
     pub uniform_groups: Vec<Summary>,
+    /// Median peak intermediate-tuple count across all uniform runs — the
+    /// memory-side companion of `Cout`, reported so benchmark designers see
+    /// what the streaming executor must actually hold resident.
+    pub uniform_peak_median: f64,
     /// Cross-group spread of the mean under uniform sampling.
     pub uniform_mean_spread: f64,
     /// Cross-group spread of the mean inside the largest curated class.
@@ -103,6 +107,10 @@ impl SuiteReport {
             out.push_str(&format!(
                 "\n- uniform cross-group mean spread: **{:.0}%**\n",
                 t.uniform_mean_spread * 100.0
+            ));
+            out.push_str(&format!(
+                "- peak intermediate tuples (median across uniform runs): **{:.0}**\n",
+                t.uniform_peak_median
             ));
             out.push_str(&format!(
                 "- curated (class 0) cross-group mean spread: **{:.0}%**\n",
@@ -150,16 +158,18 @@ pub fn run_suite(
     for spec in specs {
         // Uniform baseline groups.
         let mut uniform_groups = Vec::with_capacity(config.groups);
+        let mut uniform_peaks = Vec::new();
         for g in 0..config.groups {
-            let bindings =
-                spec.domain.sample_uniform(config.group_size, config.seed + g as u64);
+            let bindings = spec.domain.sample_uniform(config.group_size, config.seed + g as u64);
             let ms = run_workload(engine, &spec.template, &bindings, &run_cfg)?;
+            uniform_peaks.extend(Metric::PeakTuples.series(&ms));
             let series = config.metric.series(&ms);
             uniform_groups.push(
                 Summary::new(&series)
                     .ok_or_else(|| CurationError::EmptyDomain("empty group".into()))?,
             );
         }
+        let uniform_peak_median = Summary::new(&uniform_peaks).map_or(0.0, |s| s.median());
         let uniform_mean_spread =
             relative_spread(&uniform_groups.iter().map(Summary::mean).collect::<Vec<_>>());
 
@@ -172,11 +182,8 @@ pub fn run_suite(
         // Cross-group spread inside the largest class.
         let mut curated_means = Vec::with_capacity(config.groups);
         for g in 0..config.groups {
-            let bindings = workload.sample_class(
-                0,
-                config.group_size,
-                config.seed + 1_000 + g as u64,
-            )?;
+            let bindings =
+                workload.sample_class(0, config.group_size, config.seed + 1_000 + g as u64)?;
             let ms = run_workload(engine, &spec.template, &bindings, &run_cfg)?;
             let series = config.metric.series(&ms);
             if let Some(s) = Summary::new(&series) {
@@ -188,6 +195,7 @@ pub fn run_suite(
         templates.push(TemplateReport {
             name: spec.template.name().to_string(),
             uniform_groups,
+            uniform_peak_median,
             uniform_mean_spread,
             curated_mean_spread,
             classes: workload.classes().len(),
@@ -262,6 +270,8 @@ mod tests {
         assert!(md.contains("## mini-q4"));
         assert!(md.contains("| uniform 1 |"));
         assert!(md.contains("P1 cv"));
+        assert!(md.contains("peak intermediate tuples"));
+        assert!(t.uniform_peak_median > 0.0);
     }
 
     #[test]

@@ -98,9 +98,8 @@ pub fn parse_workload_bindings(tsv: &str) -> Result<Vec<Binding>, CurationError>
             let (name, term_text) = cell.split_once('=').ok_or_else(|| {
                 CurationError::DomainMismatch(format!("line {}: bad cell {cell:?}", lineno + 1))
             })?;
-            let term = parse_term(term_text).map_err(|e| {
-                CurationError::DomainMismatch(format!("line {}: {e}", lineno + 1))
-            })?;
+            let term = parse_term(term_text)
+                .map_err(|e| CurationError::DomainMismatch(format!("line {}: {e}", lineno + 1)))?;
             binding = binding.with(name.trim_start_matches('%'), term);
         }
         out.push(binding);
@@ -126,10 +125,7 @@ pub fn replay_artifact(
     let template = QueryTemplate::parse(artifact.name.clone(), &artifact.query_text)
         .map_err(CurationError::Query)?;
     let bindings = parse_workload_bindings(&artifact.bindings_tsv)?;
-    bindings
-        .iter()
-        .map(|b| template.instantiate(b).map_err(CurationError::Query))
-        .collect()
+    bindings.iter().map(|b| template.instantiate(b).map_err(CurationError::Query)).collect()
 }
 
 #[cfg(test)]
@@ -145,21 +141,15 @@ mod tests {
         let mut b = StoreBuilder::new();
         for i in 0..200 {
             let ty = if i < 150 { 0 } else { 1 + i % 3 };
-            b.insert(
-                Term::iri(format!("p/{i}")),
-                Term::iri("type"),
-                Term::iri(format!("c/{ty}")),
-            );
+            b.insert(Term::iri(format!("p/{i}")), Term::iri("type"), Term::iri(format!("c/{ty}")));
             b.insert(Term::iri(format!("p/{i}")), Term::iri("v"), Term::integer(i as i64));
         }
         let ds = b.freeze();
         let workload = {
             let engine = Engine::new(&ds);
-            let t = QueryTemplate::parse(
-                "Q4",
-                "SELECT ?p ?x WHERE { ?p <type> %type . ?p <v> ?x }",
-            )
-            .unwrap();
+            let t =
+                QueryTemplate::parse("Q4", "SELECT ?p ?x WHERE { ?p <type> %type . ?p <v> ?x }")
+                    .unwrap();
             let domain = ParameterDomain::from_objects(&ds, "type", &Term::iri("type")).unwrap();
             curate(
                 &engine,

@@ -40,8 +40,8 @@
 
 pub mod cluster;
 pub mod curation;
-pub mod driver;
 pub mod domain;
+pub mod driver;
 pub mod error;
 pub mod export;
 pub mod profile;
@@ -55,5 +55,7 @@ pub use driver::{run_suite, BenchmarkSpec, SuiteConfig, SuiteReport};
 pub use error::CurationError;
 pub use export::{export_workload, manifest, parse_workload_bindings, ClassArtifact};
 pub use profile::{profile_bindings, profile_domain, BindingProfile, CostSource, ProfileConfig};
-pub use validate::{validate_class, validate_workload, ClassValidation, StabilityTest, ValidationConfig};
+pub use validate::{
+    validate_class, validate_workload, ClassValidation, StabilityTest, ValidationConfig,
+};
 pub use workload::{run_workload, Measurement, Metric, RunConfig};

@@ -158,8 +158,7 @@ mod tests {
         let domain = ParameterDomain::new()
             .with("country", (0..4).map(|i| Term::iri(format!("country/{i}"))).collect())
             .with("country2", (0..4).map(|i| Term::iri(format!("country/{i}"))).collect());
-        let profiles =
-            profile_domain(&engine, &t, &domain, &ProfileConfig::default()).unwrap();
+        let profiles = profile_domain(&engine, &t, &domain, &ProfileConfig::default()).unwrap();
         assert_eq!(profiles.len(), 16);
         for p in &profiles {
             assert!(p.cost >= 0.0);

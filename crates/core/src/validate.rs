@@ -148,9 +148,7 @@ pub fn validate_class(
             StabilityTest::KolmogorovSmirnov => {
                 ks_two_sample(&series_a, &series_b).map(|r| r.p_value)
             }
-            StabilityTest::MannWhitney => {
-                mann_whitney_u(&series_a, &series_b).map(|r| r.p_value)
-            }
+            StabilityTest::MannWhitney => mann_whitney_u(&series_a, &series_b).map(|r| r.p_value),
         };
         match p {
             Some(p) => (Some(p), p >= config.ks_alpha),

@@ -21,6 +21,10 @@ pub struct Measurement {
     pub millis: f64,
     /// Measured `Cout` (total intermediate join tuples).
     pub cout: u64,
+    /// Peak intermediate tuples resident at once during execution — the
+    /// memory-side companion of `Cout` (streaming keeps it near the hash
+    /// build sides; materialized execution near `Cout` itself).
+    pub peak_tuples: u64,
     /// Estimated `Cout` the optimizer predicted.
     pub est_cout: f64,
     /// Result rows returned.
@@ -30,14 +34,12 @@ pub struct Measurement {
 }
 
 /// Execution options.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunConfig {
     /// Untimed warm-up executions before the measured run (amortizes
     /// allocator/cache effects like a real benchmark driver would).
     pub warmup: usize,
 }
-
 
 /// Runs every binding once (after `warmup` untimed runs each) and collects
 /// measurements in input order.
@@ -58,6 +60,7 @@ pub fn run_workload(
             binding: b.clone(),
             millis: result.wall_time.as_secs_f64() * 1e3,
             cout: result.cout,
+            peak_tuples: result.stats.peak_tuples,
             est_cout: prepared.est_cout,
             rows: result.results.len(),
             signature: prepared.signature,
@@ -76,6 +79,11 @@ pub fn couts(measurements: &[Measurement]) -> Vec<f64> {
     measurements.iter().map(|m| m.cout as f64).collect()
 }
 
+/// Peak intermediate-tuple counts of a batch (deterministic memory proxy).
+pub fn peaks(measurements: &[Measurement]) -> Vec<f64> {
+    measurements.iter().map(|m| m.peak_tuples as f64).collect()
+}
+
 /// The metric a validation or experiment aggregates over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
@@ -85,6 +93,9 @@ pub enum Metric {
     /// Measured `Cout` — the paper's runtime proxy (≈85% Pearson), exactly
     /// reproducible; used by deterministic tests.
     Cout,
+    /// Peak intermediate tuples resident at once — the memory-side metric
+    /// the streaming executor minimizes; also exactly reproducible.
+    PeakTuples,
 }
 
 impl Metric {
@@ -93,6 +104,7 @@ impl Metric {
         match self {
             Metric::WallMillis => runtimes_ms(measurements),
             Metric::Cout => couts(measurements),
+            Metric::PeakTuples => peaks(measurements),
         }
     }
 }
@@ -111,11 +123,7 @@ mod tests {
                 Term::iri("p"),
                 Term::iri(format!("o/{}", i % 5)),
             );
-            b.insert(
-                Term::iri(format!("s/{i}")),
-                Term::iri("q"),
-                Term::integer(i as i64),
-            );
+            b.insert(Term::iri(format!("s/{i}")), Term::iri("q"), Term::integer(i as i64));
         }
         b.freeze()
     }
@@ -124,24 +132,21 @@ mod tests {
     fn measurements_align_with_bindings() {
         let ds = data();
         let engine = Engine::new(&ds);
-        let t = QueryTemplate::parse(
-            "t",
-            "SELECT ?s ?v WHERE { ?s <p> %o . ?s <q> ?v }",
-        )
-        .unwrap();
-        let bindings: Vec<Binding> = (0..5)
-            .map(|i| Binding::new().with("o", Term::iri(format!("o/{i}"))))
-            .collect();
+        let t = QueryTemplate::parse("t", "SELECT ?s ?v WHERE { ?s <p> %o . ?s <q> ?v }").unwrap();
+        let bindings: Vec<Binding> =
+            (0..5).map(|i| Binding::new().with("o", Term::iri(format!("o/{i}")))).collect();
         let ms = run_workload(&engine, &t, &bindings, &RunConfig::default()).unwrap();
         assert_eq!(ms.len(), 5);
         for (m, b) in ms.iter().zip(&bindings) {
             assert_eq!(&m.binding, b);
             assert_eq!(m.rows, 10);
             assert!(m.millis >= 0.0);
+            assert!(m.peak_tuples > 0, "executions hold at least one tuple");
         }
-        // Cout is deterministic across repeated runs.
+        // Cout and peak tuples are deterministic across repeated runs.
         let again = run_workload(&engine, &t, &bindings, &RunConfig { warmup: 1 }).unwrap();
         assert_eq!(couts(&ms), couts(&again));
+        assert_eq!(peaks(&ms), peaks(&again));
     }
 
     #[test]
@@ -153,6 +158,7 @@ mod tests {
         let ms = run_workload(&engine, &t, &bindings, &RunConfig::default()).unwrap();
         assert_eq!(Metric::WallMillis.series(&ms).len(), 1);
         assert_eq!(Metric::Cout.series(&ms).len(), 1);
+        assert_eq!(Metric::PeakTuples.series(&ms).len(), 1);
     }
 
     #[test]

@@ -235,8 +235,7 @@ impl Bsbm {
             // end up on a large fraction of all products, giving BI Q2 its
             // heavy-tailed similarity-join costs (the paper's E1).
             let path = types.ancestors(leaf);
-            let weights: Vec<f64> =
-                path.iter().map(|&n| (types.depth_of(n) + 1) as f64).collect();
+            let weights: Vec<f64> = path.iter().map(|&n| (types.depth_of(n) + 1) as f64).collect();
             let pool_zipf = Zipf::new(fpt.max(1), 1.0);
             let mut picked = Vec::with_capacity(config.features_per_product);
             let mut price = 100.0 + (leaf % 50) as f64;
@@ -253,7 +252,11 @@ impl Bsbm {
                 price += if f % 7 == 0 { 120.0 } else { 15.0 };
             }
             price += rng.gen_range(0.0..30.0);
-            b.insert(product.clone(), price_p.clone(), Term::double((price * 100.0).round() / 100.0));
+            b.insert(
+                product.clone(),
+                price_p.clone(),
+                Term::double((price * 100.0).round() / 100.0),
+            );
         }
 
         // Offers.
@@ -473,8 +476,7 @@ mod tests {
         assert!(out.results.len() <= 10);
         assert!(!out.results.is_empty(), "some product shares a feature with product 0");
         // Sorted by shared count descending.
-        let shared: Vec<f64> =
-            out.results.rows.iter().map(|r| r[1].as_num().unwrap()).collect();
+        let shared: Vec<f64> = out.results.rows.iter().map(|r| r[1].as_num().unwrap()).collect();
         assert!(shared.windows(2).all(|w| w[0] >= w[1]));
     }
 

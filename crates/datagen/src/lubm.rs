@@ -139,11 +139,8 @@ impl Lubm {
                 for p in 0..professors {
                     let prof = Term::iri(schema::professor(prof_id));
                     prof_id += 1;
-                    let rank = if p == 0 {
-                        schema::FULL_PROFESSOR
-                    } else {
-                        schema::ASSOCIATE_PROFESSOR
-                    };
+                    let rank =
+                        if p == 0 { schema::FULL_PROFESSOR } else { schema::ASSOCIATE_PROFESSOR };
                     b.insert(prof.clone(), rdf_type.clone(), Term::iri(rank));
                     b.insert(prof.clone(), works_for.clone(), dept.clone());
                     // Degree mostly from a *different* university (correlation
@@ -209,7 +206,7 @@ impl Lubm {
             .dataset
             .lookup(&Term::iri(schema::WORKS_FOR))
             .expect("generated data has worksFor");
-        self.dataset.subjects_of(p).into_iter().map(|id| self.dataset.decode(id).clone()).collect()
+        self.dataset.subjects_of_iter(p).map(|id| self.dataset.decode(id).clone()).collect()
     }
 
     /// LUBM-style Q1: students taking any course taught by `%prof`.

@@ -28,17 +28,22 @@ pub const COUNTRIES: &[(&str, &[&str])] = &[
     ("Finland", &["Mikko", "Aino", "Juhani", "Helmi", "Tapio", "Venla", "Eero", "Silja"]),
     ("Poland", &["Piotr", "Agnieszka", "Krzysztof", "Magda", "Tomasz", "Zofia", "Marek", "Kasia"]),
     ("Netherlands", &["Daan", "Sanne", "Bram", "Lotte", "Sem", "Fleur", "Thijs", "Anouk"]),
-    ("Chile", &["Matias", "Valentina", "Benjamin", "Isidora", "Vicente", "Antonia", "Tomas", "Fernanda"]),
+    (
+        "Chile",
+        &["Matias", "Valentina", "Benjamin", "Isidora", "Vicente", "Antonia", "Tomas", "Fernanda"],
+    ),
     ("Austria", &["Lukas", "Lena", "Felix", "Marie", "Paul", "Laura", "Jakob", "Julia"]),
     ("Norway", &["Magnus", "Ingrid", "Henrik", "Sofie", "Olav", "Nora", "Sigurd", "Frida"]),
-    ("Greece", &["Georgios", "Eleni", "Dimitris", "Katerina", "Nikos", "Sofia", "Kostas", "Despina"]),
+    (
+        "Greece",
+        &["Georgios", "Eleni", "Dimitris", "Katerina", "Nikos", "Sofia", "Kostas", "Despina"],
+    ),
     ("Zimbabwe", &["Tendai", "Chipo", "Tatenda", "Rudo", "Farai", "Nyasha", "Tafadzwa", "Kudzai"]),
 ];
 
 /// Names that occur (rarely) everywhere — the 1−[`LOCAL_NAME_PROB`] tail.
-pub const GLOBAL_NAMES: &[&str] = &[
-    "Alex", "Sam", "Max", "Kim", "Lee", "Dana", "Robin", "Jordan", "Taylor", "Casey",
-];
+pub const GLOBAL_NAMES: &[&str] =
+    &["Alex", "Sam", "Max", "Kim", "Lee", "Dana", "Robin", "Jordan", "Taylor", "Casey"];
 
 /// Number of modeled countries.
 pub fn country_count() -> usize {

@@ -227,10 +227,8 @@ impl Snb {
         for c in 0..countries {
             region_members[region_of(c)].push(c);
         }
-        let region_zipf: Vec<Zipf> = region_members
-            .iter()
-            .map(|m| Zipf::new(m.len().max(1), 1.0))
-            .collect();
+        let region_zipf: Vec<Zipf> =
+            region_members.iter().map(|m| Zipf::new(m.len().max(1), 1.0)).collect();
         let global_zipf = Zipf::new(countries, 1.0);
         for pi in 0..n {
             let trips = rng.gen_range(0..=config.max_trips);
@@ -444,8 +442,7 @@ mod tests {
             .run_template(&t, &Binding::new().with("person", Term::iri(schema::person(0))))
             .unwrap();
         assert!(out.results.len() <= 20);
-        let dates: Vec<f64> =
-            out.results.rows.iter().filter_map(|r| r[1].as_num()).collect();
+        let dates: Vec<f64> = out.results.rows.iter().filter_map(|r| r[1].as_num()).collect();
         assert!(dates.windows(2).all(|w| w[0] >= w[1]), "descending dates");
     }
 

@@ -42,6 +42,14 @@ pub struct Dictionary {
 }
 
 impl Dictionary {
+    /// Maximum number of terms a dictionary can hold.
+    ///
+    /// `Id(u32::MAX)` is reserved: the query executor uses it as the
+    /// `UNBOUND` sentinel (OPTIONAL mismatches), so the dictionary must
+    /// never hand it out as a real term id. Allocating ids `0..u32::MAX`
+    /// (exclusive) keeps the sentinel unambiguous.
+    pub const MAX_TERMS: usize = u32::MAX as usize;
+
     /// An empty dictionary.
     pub fn new() -> Self {
         Self::default()
@@ -57,12 +65,31 @@ impl Dictionary {
         self.terms.is_empty()
     }
 
+    /// Panics when a dictionary of `len` terms cannot accept another one.
+    /// Factored out of [`Dictionary::encode`] so the guard is unit-testable
+    /// without interning 2^32 terms.
+    #[inline]
+    fn check_capacity(len: usize) {
+        assert!(
+            len < Self::MAX_TERMS,
+            "dictionary overflow: {} terms would allocate Id(u32::MAX), \
+             which is reserved as the UNBOUND sentinel",
+            len + 1
+        );
+    }
+
     /// Interns `term`, returning its id. Re-interning is idempotent.
+    ///
+    /// # Panics
+    /// When the dictionary already holds [`Dictionary::MAX_TERMS`] terms:
+    /// the next id would be `Id(u32::MAX)`, the executor's `UNBOUND`
+    /// sentinel.
     pub fn encode(&mut self, term: Term) -> Id {
         if let Some(&id) = self.by_term.get(&term) {
             return id;
         }
-        let id = Id(u32::try_from(self.terms.len()).expect("dictionary overflow: > u32::MAX terms"));
+        Self::check_capacity(self.terms.len());
+        let id = Id(self.terms.len() as u32);
         self.numeric.push(term.numeric_value().unwrap_or(f64::NAN));
         self.by_term.insert(term.clone(), id);
         self.terms.push(term);
@@ -169,5 +196,20 @@ mod tests {
     fn lookup_missing_is_none() {
         let dict = Dictionary::new();
         assert_eq!(dict.lookup(&Term::iri("http://nope")), None);
+    }
+
+    /// `Id(u32::MAX)` is the executor's `UNBOUND` sentinel; the dictionary
+    /// must refuse to allocate it. The guard is exercised directly because
+    /// interning 2^32 real terms is infeasible in a unit test.
+    #[test]
+    fn capacity_guard_reserves_unbound_sentinel() {
+        // One below the cap: fine (the id handed out would be MAX_TERMS-1).
+        Dictionary::check_capacity(Dictionary::MAX_TERMS - 1);
+        // At the cap the next id would be Id(u32::MAX): must panic.
+        let overflow = std::panic::catch_unwind(|| {
+            Dictionary::check_capacity(Dictionary::MAX_TERMS);
+        });
+        assert!(overflow.is_err(), "allocating Id(u32::MAX) must be refused");
+        assert_eq!(Dictionary::MAX_TERMS, u32::MAX as usize);
     }
 }

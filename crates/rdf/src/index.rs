@@ -62,9 +62,10 @@ impl IndexOrder {
     /// pattern. `bound = (s?, p?, o?)`.
     pub fn for_bound(s: bool, p: bool, o: bool) -> IndexOrder {
         match (s, p, o) {
-            (true, true, true) | (true, true, false) | (true, false, false) | (false, false, false) => {
-                IndexOrder::Spo
-            }
+            (true, true, true)
+            | (true, true, false)
+            | (true, false, false)
+            | (false, false, false) => IndexOrder::Spo,
             (true, false, true) => IndexOrder::Sop,
             (false, true, false) => IndexOrder::Pso,
             (false, true, true) => IndexOrder::Pos,

@@ -79,9 +79,7 @@ impl<'a> Cursor<'a> {
             self.pos += end + 2;
             Ok(Term::iri(iri))
         } else if let Some(stripped) = rest.strip_prefix("_:") {
-            let end = stripped
-                .find(|c: char| c.is_whitespace())
-                .unwrap_or(stripped.len());
+            let end = stripped.find(|c: char| c.is_whitespace()).unwrap_or(stripped.len());
             let label = &stripped[..end];
             if label.is_empty() {
                 return Err("empty blank node label".into());
@@ -119,9 +117,7 @@ impl<'a> Cursor<'a> {
             after += 3 + end + 1;
             Literal::typed(lexical, &stripped[..end])
         } else if let Some(stripped) = tail.strip_prefix('@') {
-            let end = stripped
-                .find(|c: char| c.is_whitespace())
-                .unwrap_or(stripped.len());
+            let end = stripped.find(|c: char| c.is_whitespace()).unwrap_or(stripped.len());
             if end == 0 {
                 return Err("empty language tag".into());
             }
@@ -154,8 +150,7 @@ mod tests {
         assert_eq!(o, Term::literal("plain"));
         let (_, _, o) = parse_line(r#"<a> <p> "hello"@en ."#).unwrap();
         assert_eq!(o, Term::Literal(Literal::lang("hello", "en")));
-        let (_, _, o) =
-            parse_line(&format!(r#"<a> <p> "42"^^<{}> ."#, xsd::INTEGER)).unwrap();
+        let (_, _, o) = parse_line(&format!(r#"<a> <p> "42"^^<{}> ."#, xsd::INTEGER)).unwrap();
         assert_eq!(o, Term::integer(42));
         let (_, _, o) = parse_line(r#"<a> <p> "esc\"aped\n" ."#).unwrap();
         assert_eq!(o, Term::literal("esc\"aped\n"));

@@ -83,9 +83,7 @@ impl Literal {
         match &self.kind {
             LiteralKind::Typed(dt) => match dt.as_str() {
                 xsd::INTEGER | xsd::DECIMAL | xsd::DOUBLE => self.lexical.parse::<f64>().ok(),
-                xsd::DATE_TIME | xsd::DATE => {
-                    parse_epoch_millis(&self.lexical).map(|m| m as f64)
-                }
+                xsd::DATE_TIME | xsd::DATE => parse_epoch_millis(&self.lexical).map(|m| m as f64),
                 xsd::BOOLEAN => match self.lexical.as_str() {
                     "true" | "1" => Some(1.0),
                     "false" | "0" => Some(0.0),
@@ -358,10 +356,7 @@ mod tests {
     fn display_forms() {
         assert_eq!(Term::iri("http://e/x").to_string(), "<http://e/x>");
         assert_eq!(Term::literal("a\"b").to_string(), "\"a\\\"b\"");
-        assert_eq!(
-            Term::Literal(Literal::lang("hi", "en")).to_string(),
-            "\"hi\"@en"
-        );
+        assert_eq!(Term::Literal(Literal::lang("hi", "en")).to_string(), "\"hi\"@en");
         assert_eq!(Term::Blank("b0".into()).to_string(), "_:b0");
         let t = Term::integer(5).to_string();
         assert!(t.starts_with("\"5\"^^<"), "{t}");

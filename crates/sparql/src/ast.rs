@@ -47,9 +47,7 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// Variables mentioned by the pattern, in S-P-O slot order.
     pub fn vars(&self) -> impl Iterator<Item = &str> {
-        [&self.subject, &self.predicate, &self.object]
-            .into_iter()
-            .filter_map(|v| v.as_var())
+        [&self.subject, &self.predicate, &self.object].into_iter().filter_map(|v| v.as_var())
     }
 
     /// Parameters mentioned by the pattern.

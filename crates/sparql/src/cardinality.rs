@@ -116,10 +116,7 @@ impl<'a> Estimator<'a> {
                 self.distinct_position(access, pos).min(card)
             };
             // A variable repeated within one pattern keeps the smaller count.
-            distinct
-                .entry(var)
-                .and_modify(|cur: &mut f64| *cur = cur.min(d))
-                .or_insert(d);
+            distinct.entry(var).and_modify(|cur: &mut f64| *cur = cur.min(d)).or_insert(d);
         }
         // Star bookkeeping: subject is a variable not reused elsewhere in
         // the pattern, predicate is bound.
@@ -129,12 +126,8 @@ impl<'a> Estimator<'a> {
             {
                 let selectivity = match pattern.slots[2] {
                     crate::plan::Slot::Bound(_) => {
-                        let total = self
-                            .ds
-                            .stats()
-                            .predicate(p)
-                            .map(|s| s.triples as f64)
-                            .unwrap_or(0.0);
+                        let total =
+                            self.ds.stats().predicate(p).map(|s| s.triples as f64).unwrap_or(0.0);
                         if total > 0.0 {
                             card / total
                         } else {
@@ -183,11 +176,7 @@ impl<'a> Estimator<'a> {
             (Some(a), Some(b), [v]) if self.use_char_sets && a.var == *v && b.var == *v => {
                 let mut preds = a.preds.clone();
                 preds.extend_from_slice(&b.preds);
-                Some(StarInfo {
-                    var: *v,
-                    preds,
-                    selectivity: a.selectivity * b.selectivity,
-                })
+                Some(StarInfo { var: *v, preds, selectivity: a.selectivity * b.selectivity })
             }
             _ => None,
         };

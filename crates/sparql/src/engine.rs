@@ -16,8 +16,12 @@ use parambench_rdf::term::Term;
 use crate::ast::{Element, Expr, Projection, SelectQuery, TriplePattern, VarOrTerm};
 use crate::cardinality::Estimator;
 use crate::error::QueryError;
-use crate::exec::{apply_filters, execute_plan, left_outer_join, Bindings, ExecStats};
+use crate::exec::{apply_filters, Bindings, ExecStats};
+use crate::legacy::{execute_plan, hash_join, left_outer_join};
 use crate::optimizer::{optimize, reestimate};
+use crate::physical::{
+    self, BoxedOperator, CoutBucket, FilterEval, HashJoinProbe, LeftOuterJoin, Project, UnionAll,
+};
 use crate::plan::{PlanNode, PlanSignature, PlannedPattern, Slot};
 use crate::results::{finalize, ResultSet};
 use crate::template::{Binding, QueryTemplate};
@@ -69,6 +73,36 @@ impl Prepared {
     /// The optimized required-BGP join tree (absent for bare-UNION bodies).
     pub fn plan(&self) -> Option<&PlanNode> {
         self.bgp_plan.as_ref()
+    }
+
+    /// The variable slots the result actually needs (projections, ORDER BY,
+    /// GROUP BY) — everything else is dead after the last filter and is
+    /// dropped by the pipeline's final [`Project`] before materialization.
+    fn needed_slots(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        let add = |name: &str, out: &mut Vec<usize>| {
+            // Names missing from slot_of are aggregate aliases, resolved
+            // against computed columns in the results layer instead.
+            if let Some(&slot) = self.slot_of.get(name) {
+                if !out.contains(&slot) {
+                    out.push(slot);
+                }
+            }
+        };
+        for p in &self.query.projections {
+            match p {
+                Projection::Var(v) => add(v, &mut out),
+                Projection::Aggregate { var: Some(v), .. } => add(v, &mut out),
+                Projection::Aggregate { var: None, .. } => {}
+            }
+        }
+        for k in &self.query.order_by {
+            add(&k.var, &mut out);
+        }
+        for g in &self.query.group_by {
+            add(g, &mut out);
+        }
+        out
     }
 
     /// Multi-line EXPLAIN rendering.
@@ -139,16 +173,17 @@ impl<'a> Engine<'a> {
         // Assign variable slots across the whole query.
         let mut var_names: Vec<String> = Vec::new();
         let mut slot_of: HashMap<String, usize> = HashMap::new();
-        let slot = |name: &str, var_names: &mut Vec<String>, slot_of: &mut HashMap<String, usize>| {
-            if let Some(&s) = slot_of.get(name) {
-                s
-            } else {
-                let s = var_names.len();
-                var_names.push(name.to_string());
-                slot_of.insert(name.to_string(), s);
-                s
-            }
-        };
+        let slot =
+            |name: &str, var_names: &mut Vec<String>, slot_of: &mut HashMap<String, usize>| {
+                if let Some(&s) = slot_of.get(name) {
+                    s
+                } else {
+                    let s = var_names.len();
+                    var_names.push(name.to_string());
+                    slot_of.insert(name.to_string(), s);
+                    s
+                }
+            };
 
         // Split the where clause.
         let mut required: Vec<TriplePattern> = Vec::new();
@@ -211,9 +246,7 @@ impl<'a> Engine<'a> {
                         Some(id) => Slot::Bound(id),
                         None => Slot::Absent,
                     },
-                    VarOrTerm::Param(p) => {
-                        return Err(QueryError::UnboundParameter(p.clone()))
-                    }
+                    VarOrTerm::Param(p) => return Err(QueryError::UnboundParameter(p.clone())),
                 };
             }
             Ok(PlannedPattern { idx, slots })
@@ -370,15 +403,98 @@ impl<'a> Engine<'a> {
         })
     }
 
-    /// Executes a prepared query with instrumentation.
+    /// Executes a prepared query through the batched Volcano pipeline (the
+    /// default path): the logical plans are lowered to pull-based physical
+    /// operators, intermediate results stream in fixed-size columnar
+    /// batches, and only the projected columns are materialized (and
+    /// decoded) at the result boundary. Measured `Cout` is identical to
+    /// [`Engine::execute_materialized`]; `stats.peak_tuples` is what the
+    /// streaming buys.
     pub fn execute(&self, prepared: &Prepared) -> Result<QueryOutput, QueryError> {
         let start = Instant::now();
         let mut stats = ExecStats::default();
 
-        let mut bindings: Option<Bindings> = prepared
-            .bgp_plan
-            .as_ref()
-            .map(|plan| execute_plan(self.ds, plan, &mut stats));
+        let mut op: Option<BoxedOperator<'_>> =
+            prepared.bgp_plan.as_ref().map(|plan| plan.lower(self.ds, CoutBucket::Required));
+
+        for u in &prepared.unions {
+            let mut branches: Vec<BoxedOperator<'_>> = Vec::with_capacity(u.branches.len());
+            for (plan, branch_filters) in &u.branches {
+                let mut branch = plan.lower(self.ds, CoutBucket::Required);
+                if !branch_filters.is_empty() {
+                    branch = Box::new(FilterEval::new(
+                        branch,
+                        branch_filters.clone(),
+                        &prepared.var_names,
+                        self.ds,
+                    ));
+                }
+                branches.push(branch);
+            }
+            let union: BoxedOperator<'_> = Box::new(UnionAll::new(branches));
+            op = Some(match op {
+                None => union,
+                // Build the (bounded) union side, stream the base past it.
+                Some(base) => Box::new(HashJoinProbe::new(
+                    base,
+                    union,
+                    u.join_vars.clone(),
+                    true,
+                    format!("UNION⋈{:?}", u.join_vars),
+                    CoutBucket::Required,
+                )),
+            });
+        }
+
+        let mut op = op.expect("prepare guarantees a base");
+
+        for opt in &prepared.optionals {
+            let mut right = opt.plan.lower(self.ds, CoutBucket::Optional);
+            if !opt.filters.is_empty() {
+                right = Box::new(FilterEval::new(
+                    right,
+                    opt.filters.clone(),
+                    &prepared.var_names,
+                    self.ds,
+                ));
+            }
+            op = Box::new(LeftOuterJoin::new(op, right, opt.join_vars.clone()));
+        }
+
+        if !prepared.filters.is_empty() {
+            op = Box::new(FilterEval::new(
+                op,
+                prepared.filters.clone(),
+                &prepared.var_names,
+                self.ds,
+            ));
+        }
+
+        // Late materialization: drop dead columns before the final drain so
+        // the result boundary only ever holds (and decodes) projected data.
+        let needed = prepared.needed_slots();
+        if needed.len() < op.schema().len() {
+            op = Box::new(Project::new(op, &needed));
+        }
+
+        let bindings = physical::drain(op, &mut stats);
+        let results = finalize(&bindings, &prepared.query, &prepared.slot_of, self.ds)?;
+        let wall_time = start.elapsed();
+        let cout = stats.cout + stats.cout_optional;
+        Ok(QueryOutput { results, wall_time, cout, stats })
+    }
+
+    /// Executes a prepared query with the original fully materializing
+    /// executor ([`crate::legacy`]). Kept for one PR as the differential
+    /// oracle: identical result sets and identical measured `Cout`, but
+    /// every intermediate result is held as a complete table, which
+    /// `stats.peak_tuples` records.
+    pub fn execute_materialized(&self, prepared: &Prepared) -> Result<QueryOutput, QueryError> {
+        let start = Instant::now();
+        let mut stats = ExecStats::default();
+
+        let mut bindings: Option<Bindings> =
+            prepared.bgp_plan.as_ref().map(|plan| execute_plan(self.ds, plan, &mut stats));
 
         for u in &prepared.unions {
             // Evaluate and filter every branch, then concatenate.
@@ -388,8 +504,12 @@ impl<'a> Engine<'a> {
                 let rows = if branch_filters.is_empty() {
                     rows
                 } else {
+                    let before = rows.len();
                     let var_col = self.var_col_map(&rows, &prepared.var_names);
-                    apply_filters(rows, branch_filters, &var_col, self.ds)?
+                    let filtered = apply_filters(rows, branch_filters, &var_col, self.ds)?;
+                    stats.grow(filtered.len());
+                    stats.shrink(before);
+                    filtered
                 };
                 concat = Some(match concat {
                     None => rows,
@@ -415,7 +535,9 @@ impl<'a> Engine<'a> {
             bindings = Some(match bindings {
                 None => union_rows,
                 Some(base) => {
-                    let out = crate::exec::hash_join(&base, &union_rows, &u.join_vars);
+                    let out = hash_join(&base, &union_rows, &u.join_vars);
+                    stats.grow(out.len());
+                    stats.shrink(base.len() + union_rows.len());
                     stats.cout += out.len() as u64;
                     stats.join_cards.push((format!("UNION⋈{:?}", u.join_vars), out.len() as u64));
                     out
@@ -428,24 +550,31 @@ impl<'a> Engine<'a> {
         for opt in &prepared.optionals {
             let mut opt_stats = ExecStats::default();
             let opt_rows = execute_plan(self.ds, &opt.plan, &mut opt_stats);
-            stats.cout_optional += opt_stats.cout;
-            stats.scanned += opt_stats.scanned;
-            stats.join_cards.extend(opt_stats.join_cards);
+            stats.absorb_optional(opt_stats);
             // Optional-scoped filters: need cols of the optional table.
             let opt_rows = if opt.filters.is_empty() {
                 opt_rows
             } else {
+                let before = opt_rows.len();
                 let var_col = self.var_col_map(&opt_rows, &prepared.var_names);
-                apply_filters(opt_rows, &opt.filters, &var_col, self.ds)?
+                let filtered = apply_filters(opt_rows, &opt.filters, &var_col, self.ds)?;
+                stats.grow(filtered.len());
+                stats.shrink(before);
+                filtered
             };
             let out = left_outer_join(&bindings, &opt_rows, &opt.join_vars);
+            stats.grow(out.len());
+            stats.shrink(bindings.len() + opt_rows.len());
             stats.cout_optional += out.len() as u64;
             bindings = out;
         }
 
         if !prepared.filters.is_empty() {
+            let before = bindings.len();
             let var_col = self.var_col_map(&bindings, &prepared.var_names);
             bindings = apply_filters(bindings, &prepared.filters, &var_col, self.ds)?;
+            stats.grow(bindings.len());
+            stats.shrink(before);
         }
 
         let results = finalize(&bindings, &prepared.query, &prepared.slot_of, self.ds)?;
@@ -536,10 +665,7 @@ mod tests {
             .run_text("SELECT ?n WHERE { <person/0> <p/knows> ?f . ?f <p/name> ?n }")
             .unwrap();
         assert_eq!(out.results.len(), 1);
-        assert_eq!(
-            out.results.rows[0][0],
-            crate::results::OutVal::Term(Term::literal("Name1"))
-        );
+        assert_eq!(out.results.rows[0][0], crate::results::OutVal::Term(Term::literal("Name1")));
         assert!(out.cout >= 1);
     }
 
@@ -625,9 +751,7 @@ mod tests {
     fn term_not_in_dataset_yields_empty_not_error() {
         let ds = dataset();
         let engine = Engine::new(&ds);
-        let out = engine
-            .run_text("SELECT ?x WHERE { ?x <p/knows> <person/unknown-xyz> }")
-            .unwrap();
+        let out = engine.run_text("SELECT ?x WHERE { ?x <p/knows> <person/unknown-xyz> }").unwrap();
         assert!(out.results.is_empty());
     }
 
@@ -635,11 +759,9 @@ mod tests {
     fn signature_stable_across_bindings_with_same_plan() {
         let ds = dataset();
         let engine = Engine::new(&ds);
-        let t = QueryTemplate::parse(
-            "q",
-            "SELECT ?n WHERE { %person <p/knows> ?f . ?f <p/name> ?n }",
-        )
-        .unwrap();
+        let t =
+            QueryTemplate::parse("q", "SELECT ?n WHERE { %person <p/knows> ?f . ?f <p/name> ?n }")
+                .unwrap();
         let p0 = engine
             .prepare_template(&t, &Binding::new().with("person", Term::iri("person/0")))
             .unwrap();

@@ -1,9 +1,14 @@
-//! Physical operators: scans, hash joins, left-outer (OPTIONAL) joins and
-//! filters over dictionary-encoded binding tables.
+//! Shared execution substrate: binding tables, per-run instrumentation and
+//! row-level filter evaluation.
 //!
-//! Execution is instrumented: every join reports its output cardinality into
-//! [`ExecStats`], whose sum is the *measured* `Cout` of the run — the
-//! quantity the paper correlates with wall-clock time (§III, ≈85% Pearson).
+//! Two executors build on this module: the batched Volcano pipeline in
+//! [`crate::physical`] (the engine's default) and the fully materializing
+//! oracle in [`crate::legacy`]. Execution is instrumented either way: every
+//! join reports its output cardinality into [`ExecStats`], whose sum is the
+//! *measured* `Cout` of the run — the quantity the paper correlates with
+//! wall-clock time (§III, ≈85% Pearson) — and both executors track the peak
+//! number of intermediate tuples resident at once, the memory-side metric
+//! that distinguishes streaming from materializing execution.
 
 use std::collections::HashMap;
 
@@ -12,7 +17,6 @@ use parambench_rdf::store::Dataset;
 
 use crate::ast::{BinOp, Expr};
 use crate::error::QueryError;
-use crate::plan::{PlanNode, Slot};
 
 /// Sentinel id marking an unbound value (from OPTIONAL mismatches).
 pub const UNBOUND: Id = Id(u32::MAX);
@@ -90,287 +94,41 @@ pub struct ExecStats {
     pub join_cards: Vec<(String, u64)>,
     /// Rows scanned out of the store (sum over scans).
     pub scanned: u64,
+    /// Peak number of intermediate tuples resident at once (materialized
+    /// tables, hash-join build sides, in-flight batches). `Cout` measures
+    /// how many intermediate tuples a plan *produces*; this measures how
+    /// many it must *hold* — the quantity streaming execution minimizes.
+    pub peak_tuples: u64,
+    /// Currently resident intermediate tuples (bookkeeping for the peak).
+    live_tuples: u64,
 }
 
-/// Executes a BGP join tree, producing a bindings table.
-pub fn execute_plan(ds: &Dataset, plan: &PlanNode, stats: &mut ExecStats) -> Bindings {
-    match plan {
-        PlanNode::Scan { pattern, .. } => {
-            let cols = pattern.var_slots();
-            let mut out = Bindings::empty(cols.clone());
-            if pattern.has_absent() {
-                return out;
-            }
-            // Positions of each output column within the triple.
-            let col_pos: Vec<usize> = cols
-                .iter()
-                .map(|&v| {
-                    pattern
-                        .slots
-                        .iter()
-                        .position(|s| s.as_var() == Some(v))
-                        .expect("var comes from this pattern")
-                })
-                .collect();
-            // Repeated-variable equality constraints within the pattern.
-            let mut eq_pairs: Vec<(usize, usize)> = Vec::new();
-            for i in 0..3 {
-                for j in (i + 1)..3 {
-                    if let (Slot::Var(a), Slot::Var(b)) = (pattern.slots[i], pattern.slots[j]) {
-                        if a == b {
-                            eq_pairs.push((i, j));
-                        }
-                    }
-                }
-            }
-            let mut row = vec![UNBOUND; cols.len()];
-            for triple in ds.scan(pattern.access()) {
-                stats.scanned += 1;
-                if eq_pairs.iter().any(|&(i, j)| triple[i] != triple[j]) {
-                    continue;
-                }
-                for (c, &pos) in col_pos.iter().enumerate() {
-                    row[c] = triple[pos];
-                }
-                out.push_row(&row);
-            }
-            out
-        }
-        PlanNode::HashJoin { left, right, join_vars, .. } => {
-            let l = execute_plan(ds, left, stats);
-            // Adaptive join method: when the right child is a leaf scan that
-            // shares variables with the left result, and the left result is
-            // smaller than the scan's extent, probe the store per left row
-            // (index nested-loop / "bind join") instead of materializing the
-            // whole scan. This is how index-based RDF engines execute
-            // selective joins, and it is what makes wall-clock time track
-            // the *touched* data volume — the effect behind the paper's
-            // E1/E3 runtime swings. The join's logical output (and therefore
-            // the measured `Cout`) is identical either way.
-            let out = match right.as_ref() {
-                PlanNode::Scan { pattern, .. }
-                    if !join_vars.is_empty()
-                        && !pattern.has_absent()
-                        && l.len() <= ds.count(pattern.access()) =>
-                {
-                    bind_join(ds, &l, pattern, join_vars, stats)
-                }
-                _ => {
-                    let r = execute_plan(ds, right, stats);
-                    hash_join(&l, &r, join_vars)
-                }
-            };
-            stats.cout += out.len() as u64;
-            stats.join_cards.push((plan.signature().0.clone(), out.len() as u64));
-            out
-        }
-    }
-}
-
-/// Index nested-loop join ("bind join"): for every left row, bind the
-/// shared variables into the scan pattern and probe the store's indexes.
-/// Output equals `hash_join(left, scan(pattern))` but only touches the
-/// store range each left row selects.
-pub fn bind_join(
-    ds: &Dataset,
-    left: &Bindings,
-    pattern: &crate::plan::PlannedPattern,
-    join_vars: &[usize],
-    stats: &mut ExecStats,
-) -> Bindings {
-    let mut out_cols: Vec<usize> = left.cols().to_vec();
-    let pattern_vars = pattern.var_slots();
-    for &v in &pattern_vars {
-        if !out_cols.contains(&v) {
-            out_cols.push(v);
-        }
-    }
-    let mut out = Bindings::empty(out_cols.clone());
-
-    // For each triple position: where its value comes from / what must match.
-    // A position is either already bound in the pattern, bound via a shared
-    // var (left row), or free (emitted into a new column).
-    let left_col_of: Vec<Option<usize>> = (0..3)
-        .map(|pos| match pattern.slots[pos] {
-            Slot::Var(v) if join_vars.contains(&v) => left.col_of(v),
-            _ => None,
-        })
-        .collect();
-    let new_cols: Vec<(usize, usize)> = out_cols
-        .iter()
-        .enumerate()
-        .skip(left.cols().len())
-        .map(|(k, &v)| {
-            let pos = pattern
-                .slots
-                .iter()
-                .position(|s| s.as_var() == Some(v))
-                .expect("new column from this pattern");
-            (k, pos)
-        })
-        .collect();
-    // Positions whose value must equal another position (repeated vars and
-    // pattern vars bound by the left side beyond the first occurrence).
-    let mut check: Vec<(usize, usize)> = Vec::new(); // (triple pos, left col)
-    let mut eq_pairs: Vec<(usize, usize)> = Vec::new();
-    for i in 0..3 {
-        for j in (i + 1)..3 {
-            if let (Slot::Var(a), Slot::Var(b)) = (pattern.slots[i], pattern.slots[j]) {
-                if a == b {
-                    eq_pairs.push((i, j));
-                }
-            }
+impl ExecStats {
+    /// Registers `n` intermediate tuples becoming resident.
+    #[inline]
+    pub fn grow(&mut self, n: usize) {
+        self.live_tuples += n as u64;
+        if self.live_tuples > self.peak_tuples {
+            self.peak_tuples = self.live_tuples;
         }
     }
 
-    let mut row_buf = vec![UNBOUND; out_cols.len()];
-    for lrow in left.iter() {
-        let mut access = pattern.access();
-        check.clear();
-        for pos in 0..3 {
-            if let Some(c) = left_col_of[pos] {
-                if lrow[c] == UNBOUND {
-                    // Unbound join key (from OPTIONAL) never matches.
-                    access = [Some(Id(u32::MAX)), None, None];
-                    break;
-                }
-                if access[pos].is_none() {
-                    access[pos] = Some(lrow[c]);
-                } else {
-                    check.push((pos, c));
-                }
-            }
-        }
-        row_buf[..lrow.len()].copy_from_slice(lrow);
-        for triple in ds.scan(access) {
-            stats.scanned += 1;
-            if eq_pairs.iter().any(|&(i, j)| triple[i] != triple[j]) {
-                continue;
-            }
-            if check.iter().any(|&(pos, c)| triple[pos] != lrow[c]) {
-                continue;
-            }
-            for &(k, pos) in &new_cols {
-                row_buf[k] = triple[pos];
-            }
-            out.push_row(&row_buf);
-        }
-    }
-    out
-}
-
-/// Inner hash join on the given variable slots (cross product when empty).
-/// The smaller input is the build side.
-pub fn hash_join(a: &Bindings, b: &Bindings, join_vars: &[usize]) -> Bindings {
-    let (build, probe, build_is_left) =
-        if a.len() <= b.len() { (a, b, true) } else { (b, a, false) };
-
-    let build_key_cols: Vec<usize> =
-        join_vars.iter().map(|&v| build.col_of(v).expect("join var in build side")).collect();
-    let probe_key_cols: Vec<usize> =
-        join_vars.iter().map(|&v| probe.col_of(v).expect("join var in probe side")).collect();
-
-    // Output schema: all left (a) cols, then right (b) cols not already
-    // present — stable regardless of which side builds the hash table.
-    let mut out_cols: Vec<usize> = a.cols().to_vec();
-    for &c in b.cols() {
-        if !out_cols.contains(&c) {
-            out_cols.push(c);
-        }
-    }
-    let mut out = Bindings::empty(out_cols.clone());
-
-    let mut table: HashMap<Vec<Id>, Vec<usize>> = HashMap::new();
-    for (i, row) in build.iter().enumerate() {
-        let key: Vec<Id> = build_key_cols.iter().map(|&c| row[c]).collect();
-        table.entry(key).or_default().push(i);
+    /// Registers `n` intermediate tuples being released.
+    #[inline]
+    pub fn shrink(&mut self, n: usize) {
+        self.live_tuples = self.live_tuples.saturating_sub(n as u64);
     }
 
-    // Column source map for output assembly.
-    let src: Vec<(bool, usize)> = out_cols
-        .iter()
-        .map(|&v| {
-            if let Some(c) = a.col_of(v) {
-                (true, c)
-            } else {
-                (false, b.col_of(v).expect("var from one side"))
-            }
-        })
-        .collect();
-
-    let mut row_buf = vec![UNBOUND; out_cols.len()];
-    for prow in probe.iter() {
-        let key: Vec<Id> = probe_key_cols.iter().map(|&c| prow[c]).collect();
-        if let Some(matches) = table.get(&key) {
-            for &bi in matches {
-                let brow = build.row(bi);
-                let (arow, brow2): (&[Id], &[Id]) =
-                    if build_is_left { (brow, prow) } else { (prow, brow) };
-                for (k, &(from_a, c)) in src.iter().enumerate() {
-                    row_buf[k] = if from_a { arow[c] } else { brow2[c] };
-                }
-                out.push_row(&row_buf);
-            }
-        }
+    /// Folds the stats of an OPTIONAL sub-plan executed with its own
+    /// [`ExecStats`]: its join outputs count as optional `Cout`, and its
+    /// peak happened while `self`'s currently live tuples were resident.
+    pub fn absorb_optional(&mut self, other: ExecStats) {
+        self.cout_optional += other.cout + other.cout_optional;
+        self.scanned += other.scanned;
+        self.join_cards.extend(other.join_cards);
+        self.peak_tuples = self.peak_tuples.max(self.live_tuples + other.peak_tuples);
+        self.live_tuples += other.live_tuples;
     }
-    out
-}
-
-/// Left-outer hash join for OPTIONAL: all rows of `left` survive; matching
-/// rows of `right` extend them, otherwise right-only columns are [`UNBOUND`].
-/// Join keys with UNBOUND on the left never match (SPARQL semantics for
-/// nested optionals).
-pub fn left_outer_join(left: &Bindings, right: &Bindings, join_vars: &[usize]) -> Bindings {
-    let mut out_cols: Vec<usize> = left.cols().to_vec();
-    for &c in right.cols() {
-        if !out_cols.contains(&c) {
-            out_cols.push(c);
-        }
-    }
-    let mut out = Bindings::empty(out_cols.clone());
-
-    let right_key_cols: Vec<usize> =
-        join_vars.iter().map(|&v| right.col_of(v).expect("join var in right")).collect();
-    let left_key_cols: Vec<usize> =
-        join_vars.iter().map(|&v| left.col_of(v).expect("join var in left")).collect();
-
-    let mut table: HashMap<Vec<Id>, Vec<usize>> = HashMap::new();
-    for (i, row) in right.iter().enumerate() {
-        let key: Vec<Id> = right_key_cols.iter().map(|&c| row[c]).collect();
-        table.entry(key).or_default().push(i);
-    }
-
-    let right_only: Vec<(usize, usize)> = out_cols
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| left.col_of(**v).is_none())
-        .map(|(k, &v)| (k, right.col_of(v).expect("right-only var")))
-        .collect();
-
-    let mut row_buf = vec![UNBOUND; out_cols.len()];
-    for lrow in left.iter() {
-        row_buf[..lrow.len()].copy_from_slice(lrow);
-        let key: Vec<Id> = left_key_cols.iter().map(|&c| lrow[c]).collect();
-        let matches = if key.contains(&UNBOUND) { None } else { table.get(&key) };
-        match matches {
-            Some(matches) if !matches.is_empty() => {
-                for &ri in matches {
-                    let rrow = right.row(ri);
-                    for &(k, rc) in &right_only {
-                        row_buf[k] = rrow[rc];
-                    }
-                    out.push_row(&row_buf);
-                }
-            }
-            _ => {
-                for &(k, _) in &right_only {
-                    row_buf[k] = UNBOUND;
-                }
-                out.push_row(&row_buf);
-            }
-        }
-    }
-    out
 }
 
 /// A value during filter evaluation.
@@ -386,12 +144,7 @@ pub enum Value {
 
 /// Evaluates a filter expression over one row. `col_of` maps variable names
 /// to column positions (resolved once per query by the engine).
-pub fn eval_expr(
-    expr: &Expr,
-    row: &[Id],
-    var_col: &HashMap<String, usize>,
-    ds: &Dataset,
-) -> Value {
+pub fn eval_expr(expr: &Expr, row: &[Id], var_col: &HashMap<String, usize>, ds: &Dataset) -> Value {
     match expr {
         Expr::Var(name) => match var_col.get(name) {
             Some(&c) => {
@@ -501,7 +254,7 @@ fn eval_binary(op: BinOp, a: Value, b: Value, ds: &Dataset) -> Value {
                         Le => ord != std::cmp::Ordering::Greater,
                         Gt => ord == std::cmp::Ordering::Greater,
                         Ge => ord != std::cmp::Ordering::Less,
-                    _ => unreachable!(),
+                        _ => unreachable!(),
                     };
                     Value::Bool(r)
                 }
@@ -526,6 +279,16 @@ fn truth(v: Value) -> Option<bool> {
     }
 }
 
+/// True when every filter evaluates to boolean true on the row.
+pub fn row_passes(
+    row: &[Id],
+    filters: &[Expr],
+    var_col: &HashMap<String, usize>,
+    ds: &Dataset,
+) -> bool {
+    filters.iter().all(|f| matches!(eval_expr(f, row, var_col, ds), Value::Bool(true)))
+}
+
 /// Retains only rows where all `filters` evaluate to true.
 pub fn apply_filters(
     bindings: Bindings,
@@ -538,10 +301,7 @@ pub fn apply_filters(
     }
     let mut out = Bindings::empty(bindings.cols().to_vec());
     for row in bindings.iter() {
-        let keep = filters
-            .iter()
-            .all(|f| matches!(eval_expr(f, row, var_col, ds), Value::Bool(true)));
-        if keep {
+        if row_passes(row, filters, var_col, ds) {
             out.push_row(row);
         }
     }
@@ -551,7 +311,8 @@ pub fn apply_filters(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{PlannedPattern, Slot};
+    use crate::legacy::execute_plan;
+    use crate::plan::{PlanNode, PlannedPattern, Slot};
     use parambench_rdf::store::StoreBuilder;
     use parambench_rdf::term::Term;
 
@@ -576,98 +337,33 @@ mod tests {
     }
 
     #[test]
-    fn scan_produces_rows() {
-        let ds = dataset();
+    fn stats_track_peak_of_grow_shrink_sequences() {
         let mut stats = ExecStats::default();
-        let b = execute_plan(&ds, &scan_plan(&ds, "p/knows", 0, 1, 0), &mut stats);
-        assert_eq!(b.len(), 3);
-        assert_eq!(b.cols(), &[0, 1]);
-        assert_eq!(stats.scanned, 3);
-        assert_eq!(stats.cout, 0); // scans are free under Cout
+        stats.grow(10);
+        stats.grow(5);
+        stats.shrink(10);
+        stats.grow(3);
+        assert_eq!(stats.peak_tuples, 15);
+        stats.grow(20);
+        assert_eq!(stats.peak_tuples, 28);
+        // Shrinking below zero saturates instead of wrapping.
+        stats.shrink(10_000);
+        stats.grow(1);
+        assert_eq!(stats.peak_tuples, 28);
     }
 
     #[test]
-    fn join_counts_cout() {
-        let ds = dataset();
-        // ?x knows ?y . ?y knows ?z  → (a,b,c) and (a knows b, b knows c): rows: a-b-c; also a-c? c knows nothing.
-        let plan = PlanNode::HashJoin {
-            left: Box::new(scan_plan(&ds, "p/knows", 0, 1, 0)),
-            right: Box::new(scan_plan(&ds, "p/knows", 1, 2, 1)),
-            join_vars: vec![1],
-            est_card: 0.0,
-        };
-        let mut stats = ExecStats::default();
-        let b = execute_plan(&ds, &plan, &mut stats);
-        assert_eq!(b.len(), 1); // a knows b, b knows c
-        assert_eq!(stats.cout, 1);
-        assert_eq!(stats.join_cards.len(), 1);
-        let row = b.row(0);
-        let col_x = b.col_of(0).unwrap();
-        let col_z = b.col_of(2).unwrap();
-        assert_eq!(ds.decode(row[col_x]), &Term::iri("a"));
-        assert_eq!(ds.decode(row[col_z]), &Term::iri("c"));
-    }
-
-    #[test]
-    fn bind_join_equals_hash_join() {
-        let ds = dataset();
-        let knows_id = ds.lookup(&Term::iri("p/knows")).unwrap();
-        let left =
-            execute_plan(&ds, &scan_plan(&ds, "p/knows", 0, 1, 0), &mut ExecStats::default());
-        let pattern = PlannedPattern {
-            idx: 1,
-            slots: [Slot::Var(1), Slot::Bound(knows_id), Slot::Var(2)],
-        };
-        let right = execute_plan(
-            &ds,
-            &PlanNode::Scan { pattern: pattern.clone(), est_card: 0.0 },
-            &mut ExecStats::default(),
-        );
-        let via_hash = hash_join(&left, &right, &[1]);
-        let via_bind = bind_join(&ds, &left, &pattern, &[1], &mut ExecStats::default());
-        assert_eq!(via_bind.cols(), via_hash.cols());
-        let norm = |b: &Bindings| {
-            let mut rows: Vec<Vec<Id>> = b.iter().map(|r| r.to_vec()).collect();
-            rows.sort();
-            rows
-        };
-        assert_eq!(norm(&via_bind), norm(&via_hash));
-    }
-
-    #[test]
-    fn bind_join_skips_unbound_left_keys() {
-        let ds = dataset();
-        let knows_id = ds.lookup(&Term::iri("p/knows")).unwrap();
-        let mut left = Bindings::empty(vec![0, 1]);
-        left.push_row(&[ds.lookup(&Term::iri("a")).unwrap(), UNBOUND]);
-        let pattern = PlannedPattern {
-            idx: 1,
-            slots: [Slot::Var(1), Slot::Bound(knows_id), Slot::Var(2)],
-        };
-        let out = bind_join(&ds, &left, &pattern, &[1], &mut ExecStats::default());
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn cross_join_when_no_vars() {
-        let ds = dataset();
-        let a = execute_plan(&ds, &scan_plan(&ds, "p/age", 0, 1, 0), &mut ExecStats::default());
-        let b = execute_plan(&ds, &scan_plan(&ds, "p/age", 2, 3, 1), &mut ExecStats::default());
-        let j = hash_join(&a, &b, &[]);
-        assert_eq!(j.len(), 4);
-    }
-
-    #[test]
-    fn left_outer_join_keeps_unmatched() {
-        let ds = dataset();
-        let people = execute_plan(&ds, &scan_plan(&ds, "p/knows", 0, 1, 0), &mut ExecStats::default());
-        let ages = execute_plan(&ds, &scan_plan(&ds, "p/age", 1, 2, 1), &mut ExecStats::default());
-        // For each (x knows y), optionally y's age. c has no age.
-        let out = left_outer_join(&people, &ages, &[1]);
-        assert_eq!(out.len(), 3);
-        let age_col = out.col_of(2).unwrap();
-        let unbound_rows = out.iter().filter(|r| r[age_col] == UNBOUND).count();
-        assert_eq!(unbound_rows, 2); // a-c and b-c: c has no age
+    fn absorb_optional_moves_cout_and_merges_peak() {
+        let mut base = ExecStats { cout: 7, ..Default::default() };
+        base.grow(100); // base table resident
+        let mut opt = ExecStats { cout: 3, ..Default::default() };
+        opt.grow(50);
+        opt.shrink(20);
+        base.absorb_optional(opt);
+        assert_eq!(base.cout, 7);
+        assert_eq!(base.cout_optional, 3);
+        // Optional peak (50) happened while the base 100 were live.
+        assert_eq!(base.peak_tuples, 150);
     }
 
     #[test]
@@ -689,7 +385,8 @@ mod tests {
     #[test]
     fn filter_term_inequality() {
         let ds = dataset();
-        let knows = execute_plan(&ds, &scan_plan(&ds, "p/knows", 0, 1, 0), &mut ExecStats::default());
+        let knows =
+            execute_plan(&ds, &scan_plan(&ds, "p/knows", 0, 1, 0), &mut ExecStats::default());
         let mut var_col = HashMap::new();
         var_col.insert("x".to_string(), knows.col_of(0).unwrap());
         var_col.insert("y".to_string(), knows.col_of(1).unwrap());
@@ -709,7 +406,10 @@ mod tests {
         var_col.insert("x".to_string(), 0);
         let row_bound = vec![Id(1)];
         let row_unbound = vec![UNBOUND];
-        assert_eq!(eval_expr(&Expr::Bound("x".into()), &row_bound, &var_col, &ds), Value::Bool(true));
+        assert_eq!(
+            eval_expr(&Expr::Bound("x".into()), &row_bound, &var_col, &ds),
+            Value::Bool(true)
+        );
         assert_eq!(
             eval_expr(&Expr::Bound("x".into()), &row_unbound, &var_col, &ds),
             Value::Bool(false)

@@ -13,15 +13,25 @@
 //!   ([`cardinality`]);
 //! * every plan carries a [`plan::PlanSignature`] — the structural identity
 //!   the paper's parameter classes are defined over (conditions a/c);
-//! * the executor ([`exec`]) measures the *actual* `Cout` (sum of join
-//!   output cardinalities) next to wall-clock time, enabling the §III
-//!   correlation experiment;
+//! * execution is split into a logical and a physical layer: the optimized
+//!   [`plan::PlanNode`] tree is lowered ([`plan::PlanNode::lower`]) to a
+//!   batched Volcano pipeline of pull-based operators ([`physical`]) —
+//!   index scans, hash/bind joins, left-outer joins, filters and a final
+//!   late-materializing projection — streaming fixed-size columnar `Id`
+//!   batches instead of materializing every intermediate table;
+//! * both the pipeline and the retained materializing oracle ([`legacy`])
+//!   measure the *actual* `Cout` (sum of join output cardinalities,
+//!   [`exec::ExecStats`]) next to wall-clock time, enabling the §III
+//!   correlation experiment, plus the peak intermediate-tuple count
+//!   (`peak_tuples`) — the memory-side metric the streaming engine
+//!   minimizes;
 //! * query *templates* with `%param` placeholders ([`template`]) are
 //!   first-class: the workload generator instantiates them once per
 //!   parameter binding.
 //!
 //! Supported query shape: `SELECT [DISTINCT] vars/aggregates WHERE { basic
-//! graph pattern + FILTER + OPTIONAL } [GROUP BY] [ORDER BY] [LIMIT/OFFSET]`.
+//! graph pattern + FILTER + OPTIONAL + UNION } [GROUP BY] [ORDER BY]
+//! [LIMIT/OFFSET]`.
 //!
 //! ```
 //! use parambench_rdf::{StoreBuilder, Term};
@@ -42,8 +52,10 @@ pub mod display;
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod legacy;
 pub mod optimizer;
 pub mod parser;
+pub mod physical;
 pub mod plan;
 pub mod results;
 pub mod template;
@@ -51,7 +63,9 @@ pub mod template;
 pub use ast::SelectQuery;
 pub use engine::{Engine, Prepared, QueryOutput};
 pub use error::QueryError;
+pub use exec::ExecStats;
 pub use parser::parse_query;
+pub use physical::{Batch, CoutBucket, Operator, BATCH_SIZE};
 pub use plan::{PlanNode, PlanSignature};
 pub use results::{OutVal, ResultSet};
 pub use template::{Binding, QueryTemplate};

@@ -31,7 +31,10 @@ pub const EXACT_LIMIT: usize = 13;
 pub fn optimize(patterns: &[PlannedPattern], est: &Estimator<'_>) -> Result<PlanNode, QueryError> {
     match patterns.len() {
         0 => Err(QueryError::Unsupported("empty basic graph pattern".into())),
-        1 => Ok(PlanNode::Scan { pattern: patterns[0].clone(), est_card: est.scan(&patterns[0]).card }),
+        1 => Ok(PlanNode::Scan {
+            pattern: patterns[0].clone(),
+            est_card: est.scan(&patterns[0]).card,
+        }),
         n if n <= EXACT_LIMIT => Ok(dp_optimal(patterns, est)),
         _ => Ok(greedy(patterns, est)),
     }
@@ -313,11 +316,8 @@ pub fn exhaustive_min_cout(
                 }
                 let (pi, mi, ci) = &items[i];
                 let (pj, mj, cj) = &items[j];
-                let shared: Vec<usize> = pi
-                    .var_slots()
-                    .into_iter()
-                    .filter(|v| pj.var_slots().contains(v))
-                    .collect();
+                let shared: Vec<usize> =
+                    pi.var_slots().into_iter().filter(|v| pj.var_slots().contains(v)).collect();
                 let union = mi | mj;
                 let card = card_of(union, patterns, est, cache);
                 let cost = ci + cj + card;
@@ -421,7 +421,14 @@ mod tests {
         b.freeze()
     }
 
-    fn pattern(ds: &Dataset, idx: usize, pred: &str, obj: Option<&str>, s_var: usize, o_var: usize) -> PlannedPattern {
+    fn pattern(
+        ds: &Dataset,
+        idx: usize,
+        pred: &str,
+        obj: Option<&str>,
+        s_var: usize,
+        o_var: usize,
+    ) -> PlannedPattern {
         let p = ds.lookup(&Term::iri(pred)).unwrap();
         let o = match obj {
             Some(o) => Slot::Bound(ds.lookup(&Term::iri(o)).unwrap()),

@@ -55,8 +55,9 @@ enum Tok {
 }
 
 const KEYWORDS: &[&str] = &[
-    "PREFIX", "SELECT", "DISTINCT", "WHERE", "FILTER", "OPTIONAL", "UNION", "GROUP", "ORDER", "BY", "ASC",
-    "DESC", "LIMIT", "OFFSET", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX", "BOUND", "TRUE", "FALSE",
+    "PREFIX", "SELECT", "DISTINCT", "WHERE", "FILTER", "OPTIONAL", "UNION", "GROUP", "ORDER", "BY",
+    "ASC", "DESC", "LIMIT", "OFFSET", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX", "BOUND", "TRUE",
+    "FALSE",
 ];
 
 fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
@@ -159,7 +160,8 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
             '@' => {
                 let start = i + 1;
                 let mut end = start;
-                while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'-')
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'-')
                 {
                     end += 1;
                 }
@@ -269,7 +271,9 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
                 i = end;
             }
             other => {
-                return Err(QueryError::Parse(format!("unexpected character {other:?} at byte {i}")))
+                return Err(QueryError::Parse(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
             }
         }
     }
@@ -787,10 +791,9 @@ mod tests {
 
     #[test]
     fn parse_simple_select() {
-        let q = parse_query(
-            "SELECT ?s ?o WHERE { ?s <http://e/p> ?o . ?o <http://e/q> <http://e/v> }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?s ?o WHERE { ?s <http://e/p> ?o . ?o <http://e/q> <http://e/v> }")
+                .unwrap();
         assert_eq!(q.projections.len(), 2);
         assert_eq!(q.required_patterns().len(), 2);
         assert!(!q.distinct);
@@ -804,10 +807,7 @@ mod tests {
         )
         .unwrap();
         let pats = q.required_patterns();
-        assert_eq!(
-            pats[0].predicate,
-            VarOrTerm::Term(Term::iri(RDF_TYPE))
-        );
+        assert_eq!(pats[0].predicate, VarOrTerm::Term(Term::iri(RDF_TYPE)));
         assert_eq!(pats[0].object, VarOrTerm::Term(Term::iri("http://e/Product")));
         assert_eq!(pats[1].predicate, VarOrTerm::Term(Term::iri("http://e/label")));
     }
@@ -824,10 +824,9 @@ mod tests {
 
     #[test]
     fn parse_filter_precedence() {
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x <p> ?y . FILTER(?y > 3 && ?y < 10 || !BOUND(?x)) }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y > 3 && ?y < 10 || !BOUND(?x)) }")
+                .unwrap();
         let filter = q
             .where_clause
             .iter()
@@ -842,10 +841,7 @@ mod tests {
 
     #[test]
     fn parse_optional() {
-        let q = parse_query(
-            "SELECT ?s ?n WHERE { ?s <p> ?o OPTIONAL { ?s <name> ?n } }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?s ?n WHERE { ?s <p> ?o OPTIONAL { ?s <name> ?n } }").unwrap();
         assert!(q.where_clause.iter().any(|e| matches!(e, Element::Optional(_))));
     }
 
@@ -856,10 +852,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.projections.len(), 3);
-        assert!(matches!(
-            q.projections[1],
-            Projection::Aggregate { func: AggFunc::Avg, .. }
-        ));
+        assert!(matches!(q.projections[1], Projection::Aggregate { func: AggFunc::Avg, .. }));
         assert!(matches!(
             q.projections[2],
             Projection::Aggregate { func: AggFunc::Count, var: None, .. }
@@ -923,10 +916,8 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let q = parse_query(
-            "# leading comment\nSELECT ?s # trailing\nWHERE { ?s <p> ?o } # end",
-        )
-        .unwrap();
+        let q = parse_query("# leading comment\nSELECT ?s # trailing\nWHERE { ?s <p> ?o } # end")
+            .unwrap();
         assert_eq!(q.required_patterns().len(), 1);
     }
 }

@@ -1,0 +1,1210 @@
+//! The batched Volcano execution pipeline: pull-based physical operators
+//! over fixed-size columnar [`Id`] batches.
+//!
+//! This is the engine's default execution path. Where the materializing
+//! oracle in [`crate::legacy`] builds a full [`Bindings`] table per plan
+//! node — so memory scales with exactly the `Cout` quantity the paper
+//! studies — the pipeline holds only hash-join build sides plus one
+//! in-flight batch per operator, and the peak intermediate-tuple count
+//! recorded in [`ExecStats::peak_tuples`] measures the difference.
+//!
+//! Operator inventory (each reports its output cardinality into
+//! [`ExecStats`], so measured `Cout` is identical to the legacy executor):
+//!
+//! * [`IndexScan`] — one triple pattern over the permutation indexes;
+//! * [`HashJoinBuild`] / [`HashJoinProbe`] — inner hash join; the build
+//!   side is chosen by the optimizer's cardinality estimates;
+//! * [`BindJoin`] — index nested-loop join probing the permutation indexes
+//!   once per left row (selective joins);
+//! * [`LeftOuterJoin`] — OPTIONAL semantics, right side built;
+//! * [`FilterEval`] — row-level FILTER evaluation;
+//! * [`Project`] — late materialization: drops every column the result
+//!   does not need before the final decode;
+//! * [`UnionAll`] — concatenation of same-schema branches.
+//!
+//! Physical plans are produced from logical [`crate::plan::PlanNode`] trees
+//! by [`crate::plan::PlanNode::lower`].
+
+use std::collections::HashMap;
+
+use parambench_rdf::dict::Id;
+use parambench_rdf::store::Dataset;
+
+use crate::ast::Expr;
+use crate::exec::{row_passes, Bindings, ExecStats, UNBOUND};
+use crate::plan::{PlannedPattern, Slot};
+
+/// Rows per batch. Large enough to amortize per-batch dispatch, small
+/// enough that in-flight data stays cache-resident.
+pub const BATCH_SIZE: usize = 1024;
+
+/// Which `Cout` accumulator an operator's join output counts into:
+/// joins of the required BGP feed [`ExecStats::cout`], joins inside
+/// OPTIONAL groups feed [`ExecStats::cout_optional`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoutBucket {
+    Required,
+    Optional,
+}
+
+impl CoutBucket {
+    #[inline]
+    fn bump(self, stats: &mut ExecStats, n: u64) {
+        match self {
+            CoutBucket::Required => stats.cout += n,
+            CoutBucket::Optional => stats.cout_optional += n,
+        }
+    }
+}
+
+/// A fixed-capacity columnar chunk of bindings: `schema[c]` is the variable
+/// slot stored in column `c`. Zero-column batches carry an explicit row
+/// count (existence checks).
+#[derive(Debug, Clone)]
+pub struct Batch {
+    schema: Vec<usize>,
+    columns: Vec<Vec<Id>>,
+    rows: usize,
+}
+
+impl Batch {
+    /// An empty batch with the given column schema.
+    pub fn with_schema(schema: Vec<usize>) -> Self {
+        let columns = schema.iter().map(|_| Vec::with_capacity(BATCH_SIZE)).collect();
+        Batch { schema, columns, rows: 0 }
+    }
+
+    /// The variable slot of each column.
+    pub fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// True once the batch reached [`BATCH_SIZE`].
+    pub fn is_full(&self) -> bool {
+        self.rows >= BATCH_SIZE
+    }
+
+    /// Column `c` as a contiguous slice.
+    pub fn column(&self, c: usize) -> &[Id] {
+        &self.columns[c]
+    }
+
+    /// The value at (`row`, `col`).
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> Id {
+        self.columns[col][row]
+    }
+
+    /// Appends one row (must match the schema width).
+    #[inline]
+    pub fn push_row(&mut self, row: &[Id]) {
+        debug_assert_eq!(row.len(), self.schema.len());
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Copies row `row` into `buf` (which must match the schema width).
+    #[inline]
+    pub fn read_row(&self, row: usize, buf: &mut [Id]) {
+        for (c, col) in self.columns.iter().enumerate() {
+            buf[c] = col[row];
+        }
+    }
+}
+
+/// A pull-based physical operator producing columnar batches.
+///
+/// Contract: `next_batch` returns `Some` of a **non-empty** batch, or
+/// `None` once the operator is exhausted (and stays `None`). Operators
+/// register emitted batches with [`ExecStats::grow`] and release consumed
+/// input batches with [`ExecStats::shrink`], so `stats.peak_tuples` tracks
+/// the real high-water mark of resident intermediate tuples.
+pub trait Operator {
+    /// The variable slot of each output column.
+    fn schema(&self) -> &[usize];
+
+    /// Produces the next batch of bindings.
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch>;
+}
+
+/// A boxed operator tied to the dataset lifetime.
+pub type BoxedOperator<'a> = Box<dyn Operator + 'a>;
+
+/// Position pairs a scanned triple must match for the pattern's repeated
+/// variables (e.g. `?x <p> ?x` yields `(0, 2)`). Shared by every operator
+/// that scans triples against a [`PlannedPattern`].
+fn eq_pairs(pattern: &PlannedPattern) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            if let (Slot::Var(a), Slot::Var(b)) = (pattern.slots[i], pattern.slots[j]) {
+                if a == b {
+                    out.push((i, j));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs a pipeline to completion, materializing its output only once, at
+/// the result boundary.
+pub fn drain(mut op: BoxedOperator<'_>, stats: &mut ExecStats) -> Bindings {
+    let mut out = Bindings::empty(op.schema().to_vec());
+    let width = op.schema().len();
+    let mut row_buf = vec![UNBOUND; width];
+    while let Some(batch) = op.next_batch(stats) {
+        for r in 0..batch.len() {
+            batch.read_row(r, &mut row_buf);
+            out.push_row(&row_buf);
+        }
+        // Accounting transfer: the batch's tuples (already grown by the
+        // producer) now live on in `out`, so no grow/shrink is needed.
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// IndexScan
+// ---------------------------------------------------------------------------
+
+/// Scans one triple pattern out of the store's permutation indexes.
+pub struct IndexScan<'a> {
+    schema: Vec<usize>,
+    /// `None` when the pattern contains an absent constant (provably empty)
+    /// or the scan is exhausted.
+    state: Option<ScanState<'a>>,
+}
+
+struct ScanState<'a> {
+    iter: Box<dyn Iterator<Item = [Id; 3]> + 'a>,
+    /// Triple position feeding each output column.
+    col_pos: Vec<usize>,
+    /// Repeated-variable equality constraints within the pattern.
+    eq_pairs: Vec<(usize, usize)>,
+}
+
+impl<'a> IndexScan<'a> {
+    pub fn new(ds: &'a Dataset, pattern: &PlannedPattern) -> Self {
+        let schema = pattern.var_slots();
+        if pattern.has_absent() {
+            return IndexScan { schema, state: None };
+        }
+        let col_pos: Vec<usize> = schema
+            .iter()
+            .map(|&v| {
+                pattern
+                    .slots
+                    .iter()
+                    .position(|s| s.as_var() == Some(v))
+                    .expect("var comes from this pattern")
+            })
+            .collect();
+        let eq_pairs = eq_pairs(pattern);
+        let iter = Box::new(ds.scan(pattern.access()));
+        IndexScan { schema, state: Some(ScanState { iter, col_pos, eq_pairs }) }
+    }
+}
+
+impl Operator for IndexScan<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        let state = self.state.as_mut()?;
+        let mut out = Batch::with_schema(self.schema.clone());
+        let mut row = vec![UNBOUND; self.schema.len()];
+        while !out.is_full() {
+            let Some(triple) = state.iter.next() else {
+                self.state = None;
+                break;
+            };
+            stats.scanned += 1;
+            if state.eq_pairs.iter().any(|&(i, j)| triple[i] != triple[j]) {
+                continue;
+            }
+            for (c, &pos) in state.col_pos.iter().enumerate() {
+                row[c] = triple[pos];
+            }
+            out.push_row(&row);
+        }
+        if out.is_empty() {
+            self.state = None;
+            return None;
+        }
+        stats.grow(out.len());
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash join (build + probe)
+// ---------------------------------------------------------------------------
+
+/// The materialized side of a hash join: row storage plus the key index.
+/// Stays resident (and counted in [`ExecStats::peak_tuples`]) until the
+/// owning probe operator is dropped.
+pub struct HashJoinBuild {
+    rows: Bindings,
+    table: HashMap<Vec<Id>, Vec<usize>>,
+}
+
+impl HashJoinBuild {
+    /// Drains `child` and indexes its rows on `join_vars`.
+    ///
+    /// The drained batches' residency accounting transfers to the build
+    /// table (which is not released until the join finishes), so the build
+    /// side shows up in the peak exactly as long as it is live.
+    pub fn build(
+        mut child: BoxedOperator<'_>,
+        join_vars: &[usize],
+        stats: &mut ExecStats,
+    ) -> HashJoinBuild {
+        let mut rows = Bindings::empty(child.schema().to_vec());
+        let key_cols: Vec<usize> =
+            join_vars.iter().map(|&v| rows.col_of(v).expect("join var in build side")).collect();
+        let mut table: HashMap<Vec<Id>, Vec<usize>> = HashMap::new();
+        let width = rows.cols().len();
+        let mut row_buf = vec![UNBOUND; width];
+        while let Some(batch) = child.next_batch(stats) {
+            for r in 0..batch.len() {
+                batch.read_row(r, &mut row_buf);
+                let key: Vec<Id> = key_cols.iter().map(|&c| row_buf[c]).collect();
+                table.entry(key).or_default().push(rows.len());
+                rows.push_row(&row_buf);
+            }
+        }
+        HashJoinBuild { rows, table }
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Where an output column's value comes from during probe-side assembly.
+#[derive(Debug, Clone, Copy)]
+enum ColSource {
+    Probe(usize),
+    Build(usize),
+}
+
+/// Inner hash join: streams the probe child against the built side.
+/// `build_right` says which *semantic* side (left = first operand, whose
+/// columns lead the output schema) is materialized — the optimizer picks
+/// the side with the smaller estimated cardinality.
+pub struct HashJoinProbe<'a> {
+    schema: Vec<usize>,
+    join_vars: Vec<usize>,
+    signature: String,
+    bucket: CoutBucket,
+    /// Children waiting to run (build child first); emptied on first pull.
+    pending: Option<(BoxedOperator<'a>, BoxedOperator<'a>)>,
+    build: Option<HashJoinBuild>,
+    probe: Option<BoxedOperator<'a>>,
+    probe_key_cols: Vec<usize>,
+    sources: Vec<ColSource>,
+    /// In-progress probe batch: (batch, row index, match offset).
+    cursor: Option<(Batch, usize, usize)>,
+    emitted: u64,
+    done: bool,
+}
+
+impl<'a> HashJoinProbe<'a> {
+    pub fn new(
+        left: BoxedOperator<'a>,
+        right: BoxedOperator<'a>,
+        join_vars: Vec<usize>,
+        build_right: bool,
+        signature: String,
+        bucket: CoutBucket,
+    ) -> Self {
+        // Output schema: all left cols, then right cols not already present
+        // — stable regardless of which side builds the hash table.
+        let mut schema: Vec<usize> = left.schema().to_vec();
+        for &v in right.schema() {
+            if !schema.contains(&v) {
+                schema.push(v);
+            }
+        }
+        let (build_schema, probe_schema): (&[usize], &[usize]) = if build_right {
+            (right.schema(), left.schema())
+        } else {
+            (left.schema(), right.schema())
+        };
+        let col_in = |s: &[usize], v: usize| s.iter().position(|&c| c == v);
+        let sources: Vec<ColSource> = schema
+            .iter()
+            .map(|&v| match col_in(probe_schema, v) {
+                Some(c) => ColSource::Probe(c),
+                None => ColSource::Build(col_in(build_schema, v).expect("var from one side")),
+            })
+            .collect();
+        let probe_key_cols: Vec<usize> = join_vars
+            .iter()
+            .map(|&v| col_in(probe_schema, v).expect("join var in probe side"))
+            .collect();
+        let pending = if build_right { (right, left) } else { (left, right) };
+        HashJoinProbe {
+            schema,
+            join_vars,
+            signature,
+            bucket,
+            pending: Some(pending),
+            build: None,
+            probe: None,
+            probe_key_cols,
+            sources,
+            cursor: None,
+            emitted: 0,
+            done: false,
+        }
+    }
+
+    fn finish(&mut self, stats: &mut ExecStats) {
+        self.bucket.bump(stats, self.emitted);
+        stats.join_cards.push((self.signature.clone(), self.emitted));
+        // Release the build side: the join output has been handed on.
+        if let Some(build) = self.build.take() {
+            stats.shrink(build.len());
+        }
+        self.done = true;
+    }
+}
+
+impl Operator for HashJoinProbe<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        if let Some((build_child, probe_child)) = self.pending.take() {
+            let build = HashJoinBuild::build(build_child, &self.join_vars, stats);
+            let mut probe_child = probe_child;
+            if build.rows.is_empty() {
+                // Empty build side: the join is empty, but the probe subtree
+                // must still run so its joins contribute to measured `Cout`
+                // exactly as in the materializing executor.
+                while let Some(batch) = probe_child.next_batch(stats) {
+                    stats.shrink(batch.len());
+                }
+                self.finish(stats);
+                return None;
+            }
+            self.build = Some(build);
+            self.probe = Some(probe_child);
+        }
+        let build = self.build.as_ref().expect("built above");
+        let probe = self.probe.as_mut().expect("built above");
+
+        let mut out = Batch::with_schema(self.schema.clone());
+        let mut probe_buf = vec![UNBOUND; probe.schema().len()];
+        let mut row_buf = vec![UNBOUND; self.schema.len()];
+        'fill: while !out.is_full() {
+            let (batch, mut row, mut offset) = match self.cursor.take() {
+                Some(c) => c,
+                None => match probe.next_batch(stats) {
+                    Some(b) => (b, 0, 0),
+                    None => break 'fill,
+                },
+            };
+            while row < batch.len() {
+                batch.read_row(row, &mut probe_buf);
+                let key: Vec<Id> = self.probe_key_cols.iter().map(|&c| probe_buf[c]).collect();
+                if let Some(matches) = build.table.get(&key) {
+                    while offset < matches.len() {
+                        if out.is_full() {
+                            self.cursor = Some((batch, row, offset));
+                            break 'fill;
+                        }
+                        let brow = build.rows.row(matches[offset]);
+                        for (k, src) in self.sources.iter().enumerate() {
+                            row_buf[k] = match *src {
+                                ColSource::Probe(c) => probe_buf[c],
+                                ColSource::Build(c) => brow[c],
+                            };
+                        }
+                        out.push_row(&row_buf);
+                        self.emitted += 1;
+                        offset += 1;
+                    }
+                }
+                offset = 0;
+                row += 1;
+            }
+            stats.shrink(batch.len());
+        }
+        if self.cursor.is_none() && out.is_empty() {
+            self.finish(stats);
+            return None;
+        }
+        if self.cursor.is_none() && !out.is_full() {
+            // Probe exhausted with a final partial batch: account now so a
+            // trailing next_batch call just returns None.
+            self.finish(stats);
+        }
+        stats.grow(out.len());
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bind join (index nested-loop into the permutation indexes)
+// ---------------------------------------------------------------------------
+
+/// For every left row, binds the shared variables into the triple pattern
+/// and probes the store's indexes — the streaming equivalent of the legacy
+/// adaptive bind join. Output equals `HashJoinProbe(left, IndexScan(pat))`
+/// but touches only the index ranges the left rows select.
+pub struct BindJoin<'a> {
+    ds: &'a Dataset,
+    left: BoxedOperator<'a>,
+    pattern: PlannedPattern,
+    schema: Vec<usize>,
+    /// Per triple position: the left column that binds it, if any.
+    left_col_of: Vec<Option<usize>>,
+    /// (output column, triple position) for columns new to this pattern.
+    new_cols: Vec<(usize, usize)>,
+    eq_pairs: Vec<(usize, usize)>,
+    signature: String,
+    bucket: CoutBucket,
+    cursor: Option<BindCursor<'a>>,
+    emitted: u64,
+    done: bool,
+}
+
+/// An open index probe plus the residual `(triple position, value)`
+/// equality checks the scanned triples must satisfy (repeat-bound vars).
+type OpenScan<'a> = (Box<dyn Iterator<Item = [Id; 3]> + 'a>, Vec<(usize, Id)>);
+
+struct BindCursor<'a> {
+    batch: Batch,
+    row: usize,
+    /// Active index probe for the current left row.
+    scan: Option<OpenScan<'a>>,
+}
+
+impl<'a> BindJoin<'a> {
+    pub fn new(
+        ds: &'a Dataset,
+        left: BoxedOperator<'a>,
+        pattern: PlannedPattern,
+        join_vars: &[usize],
+        signature: String,
+        bucket: CoutBucket,
+    ) -> Self {
+        let mut schema: Vec<usize> = left.schema().to_vec();
+        for v in pattern.var_slots() {
+            if !schema.contains(&v) {
+                schema.push(v);
+            }
+        }
+        let left_col_of: Vec<Option<usize>> = (0..3)
+            .map(|pos| match pattern.slots[pos] {
+                Slot::Var(v) if join_vars.contains(&v) => {
+                    left.schema().iter().position(|&c| c == v)
+                }
+                _ => None,
+            })
+            .collect();
+        let new_cols: Vec<(usize, usize)> = schema
+            .iter()
+            .enumerate()
+            .skip(left.schema().len())
+            .map(|(k, &v)| {
+                let pos = pattern
+                    .slots
+                    .iter()
+                    .position(|s| s.as_var() == Some(v))
+                    .expect("new column from this pattern");
+                (k, pos)
+            })
+            .collect();
+        let eq_pairs = eq_pairs(&pattern);
+        BindJoin {
+            ds,
+            left,
+            pattern,
+            schema,
+            left_col_of,
+            new_cols,
+            eq_pairs,
+            signature,
+            bucket,
+            cursor: None,
+            emitted: 0,
+            done: false,
+        }
+    }
+
+    fn finish(&mut self, stats: &mut ExecStats) {
+        self.bucket.bump(stats, self.emitted);
+        stats.join_cards.push((self.signature.clone(), self.emitted));
+        self.done = true;
+    }
+}
+
+impl Operator for BindJoin<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        let ds = self.ds;
+        let left_width = self.left.schema().len();
+        let mut out = Batch::with_schema(self.schema.clone());
+        let mut row_buf = vec![UNBOUND; self.schema.len()];
+        'fill: while !out.is_full() {
+            if self.cursor.is_none() {
+                match self.left.next_batch(stats) {
+                    Some(batch) => self.cursor = Some(BindCursor { batch, row: 0, scan: None }),
+                    None => break 'fill,
+                }
+            }
+            let cursor = self.cursor.as_mut().expect("ensured above");
+            if cursor.row >= cursor.batch.len() {
+                let released = cursor.batch.len();
+                self.cursor = None;
+                stats.shrink(released);
+                continue 'fill;
+            }
+            cursor.batch.read_row(cursor.row, &mut row_buf[..left_width]);
+            if cursor.scan.is_none() {
+                // Bind the shared variables of this left row into the
+                // pattern's access mask; repeat-bound positions become
+                // residual equality checks on the scanned triples.
+                let mut access = self.pattern.access();
+                let mut checks: Vec<(usize, Id)> = Vec::new();
+                let mut unbound_key = false;
+                for (pos, slot) in access.iter_mut().enumerate() {
+                    if let Some(c) = self.left_col_of[pos] {
+                        let v = row_buf[c];
+                        if v == UNBOUND {
+                            // Unbound join key (from OPTIONAL) never matches.
+                            unbound_key = true;
+                            break;
+                        }
+                        if slot.is_none() {
+                            *slot = Some(v);
+                        } else {
+                            checks.push((pos, v));
+                        }
+                    }
+                }
+                if unbound_key {
+                    cursor.row += 1;
+                    continue 'fill;
+                }
+                cursor.scan = Some((Box::new(ds.scan(access)), checks));
+            }
+            let (scan, checks) = cursor.scan.as_mut().expect("opened above");
+            let mut scan_exhausted = false;
+            while !out.is_full() {
+                let Some(triple) = scan.next() else {
+                    scan_exhausted = true;
+                    break;
+                };
+                stats.scanned += 1;
+                if self.eq_pairs.iter().any(|&(i, j)| triple[i] != triple[j]) {
+                    continue;
+                }
+                if checks.iter().any(|&(pos, v)| triple[pos] != v) {
+                    continue;
+                }
+                for &(k, pos) in &self.new_cols {
+                    row_buf[k] = triple[pos];
+                }
+                out.push_row(&row_buf);
+                self.emitted += 1;
+            }
+            if scan_exhausted {
+                cursor.scan = None;
+                cursor.row += 1;
+            }
+        }
+        if self.cursor.is_none() {
+            self.finish(stats);
+        }
+        if out.is_empty() {
+            return None;
+        }
+        stats.grow(out.len());
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Left outer join (OPTIONAL)
+// ---------------------------------------------------------------------------
+
+/// Left-outer hash join: every left row survives; matching right rows
+/// extend it, otherwise right-only columns are [`UNBOUND`]. The right
+/// (optional) side is built; the left streams.
+pub struct LeftOuterJoin<'a> {
+    schema: Vec<usize>,
+    join_vars: Vec<usize>,
+    left: BoxedOperator<'a>,
+    right: Option<BoxedOperator<'a>>,
+    build: Option<HashJoinBuild>,
+    left_key_cols: Vec<usize>,
+    /// (output column, build column) pairs for right-only columns.
+    right_only: Vec<(usize, usize)>,
+    /// In-progress left batch: (batch, row, match offset).
+    cursor: Option<(Batch, usize, usize)>,
+    emitted: u64,
+    done: bool,
+}
+
+impl<'a> LeftOuterJoin<'a> {
+    pub fn new(left: BoxedOperator<'a>, right: BoxedOperator<'a>, join_vars: Vec<usize>) -> Self {
+        let mut schema: Vec<usize> = left.schema().to_vec();
+        for &v in right.schema() {
+            if !schema.contains(&v) {
+                schema.push(v);
+            }
+        }
+        let left_key_cols: Vec<usize> = join_vars
+            .iter()
+            .map(|&v| left.schema().iter().position(|&c| c == v).expect("join var in left"))
+            .collect();
+        let right_only: Vec<(usize, usize)> = schema
+            .iter()
+            .enumerate()
+            .skip(left.schema().len())
+            .map(|(k, &v)| {
+                let rc = right
+                    .schema()
+                    .iter()
+                    .position(|&c| c == v)
+                    .expect("right-only var from right side");
+                (k, rc)
+            })
+            .collect();
+        LeftOuterJoin {
+            schema,
+            join_vars,
+            left,
+            right: Some(right),
+            build: None,
+            left_key_cols,
+            right_only,
+            cursor: None,
+            emitted: 0,
+            done: false,
+        }
+    }
+
+    fn finish(&mut self, stats: &mut ExecStats) {
+        stats.cout_optional += self.emitted;
+        if let Some(build) = self.build.take() {
+            stats.shrink(build.len());
+        }
+        self.done = true;
+    }
+}
+
+impl Operator for LeftOuterJoin<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        if let Some(right) = self.right.take() {
+            self.build = Some(HashJoinBuild::build(right, &self.join_vars, stats));
+        }
+        let build = self.build.as_ref().expect("built above");
+        let left_width = self.left.schema().len();
+
+        let mut out = Batch::with_schema(self.schema.clone());
+        let mut row_buf = vec![UNBOUND; self.schema.len()];
+        'fill: while !out.is_full() {
+            let (batch, mut row, mut offset) = match self.cursor.take() {
+                Some(c) => c,
+                None => match self.left.next_batch(stats) {
+                    Some(b) => (b, 0, 0),
+                    None => break 'fill,
+                },
+            };
+            while row < batch.len() {
+                batch.read_row(row, &mut row_buf[..left_width]);
+                let key: Vec<Id> = self.left_key_cols.iter().map(|&c| row_buf[c]).collect();
+                let matches = if key.contains(&UNBOUND) {
+                    None
+                } else {
+                    build.table.get(&key).filter(|m| !m.is_empty())
+                };
+                match matches {
+                    Some(matches) => {
+                        while offset < matches.len() {
+                            if out.is_full() {
+                                self.cursor = Some((batch, row, offset));
+                                break 'fill;
+                            }
+                            let rrow = build.rows.row(matches[offset]);
+                            for &(k, rc) in &self.right_only {
+                                row_buf[k] = rrow[rc];
+                            }
+                            out.push_row(&row_buf);
+                            self.emitted += 1;
+                            offset += 1;
+                        }
+                    }
+                    None => {
+                        if out.is_full() {
+                            self.cursor = Some((batch, row, 0));
+                            break 'fill;
+                        }
+                        for &(k, _) in &self.right_only {
+                            row_buf[k] = UNBOUND;
+                        }
+                        out.push_row(&row_buf);
+                        self.emitted += 1;
+                    }
+                }
+                offset = 0;
+                row += 1;
+            }
+            stats.shrink(batch.len());
+        }
+        if self.cursor.is_none() && out.is_empty() {
+            self.finish(stats);
+            return None;
+        }
+        if self.cursor.is_none() && !out.is_full() {
+            self.finish(stats);
+        }
+        stats.grow(out.len());
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FilterEval
+// ---------------------------------------------------------------------------
+
+/// Drops rows on which any FILTER expression does not evaluate to true.
+pub struct FilterEval<'a> {
+    child: BoxedOperator<'a>,
+    filters: Vec<Expr>,
+    var_col: HashMap<String, usize>,
+    ds: &'a Dataset,
+}
+
+impl<'a> FilterEval<'a> {
+    /// `var_names` maps variable slots to names (the engine's table); the
+    /// filter evaluator wants name → column for the child schema.
+    pub fn new(
+        child: BoxedOperator<'a>,
+        filters: Vec<Expr>,
+        var_names: &[String],
+        ds: &'a Dataset,
+    ) -> Self {
+        let var_col = child
+            .schema()
+            .iter()
+            .enumerate()
+            .map(|(col, &slot)| (var_names[slot].clone(), col))
+            .collect();
+        FilterEval { child, filters, var_col, ds }
+    }
+}
+
+impl Operator for FilterEval<'_> {
+    fn schema(&self) -> &[usize] {
+        self.child.schema()
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        let width = self.child.schema().len();
+        let mut row_buf = vec![UNBOUND; width];
+        loop {
+            let batch = self.child.next_batch(stats)?;
+            let mut out = Batch::with_schema(batch.schema().to_vec());
+            for r in 0..batch.len() {
+                batch.read_row(r, &mut row_buf);
+                if row_passes(&row_buf, &self.filters, &self.var_col, self.ds) {
+                    out.push_row(&row_buf);
+                }
+            }
+            stats.shrink(batch.len());
+            if !out.is_empty() {
+                stats.grow(out.len());
+                return Some(out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+/// Late materialization: keeps only the columns whose variable slots the
+/// result actually needs, so the final drain (and the dictionary decode in
+/// the results layer) never touches dead columns.
+pub struct Project<'a> {
+    child: BoxedOperator<'a>,
+    /// Child column index per output column.
+    keep: Vec<usize>,
+    schema: Vec<usize>,
+}
+
+impl<'a> Project<'a> {
+    /// Projects `child` onto `slots` (slots absent from the child schema
+    /// are ignored; duplicates are dropped).
+    pub fn new(child: BoxedOperator<'a>, slots: &[usize]) -> Self {
+        let mut keep = Vec::new();
+        let mut schema = Vec::new();
+        for &slot in slots {
+            if schema.contains(&slot) {
+                continue;
+            }
+            if let Some(c) = child.schema().iter().position(|&v| v == slot) {
+                keep.push(c);
+                schema.push(slot);
+            }
+        }
+        Project { child, keep, schema }
+    }
+}
+
+impl Operator for Project<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        let batch = self.child.next_batch(stats)?;
+        let mut out = Batch::with_schema(self.schema.clone());
+        for (k, &c) in self.keep.iter().enumerate() {
+            out.columns[k].extend_from_slice(batch.column(c));
+        }
+        out.rows = batch.len();
+        stats.shrink(batch.len());
+        stats.grow(out.len());
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UnionAll
+// ---------------------------------------------------------------------------
+
+/// Concatenates branches that bind the same variable set (validated at
+/// prepare time); columns are remapped onto the first branch's order.
+pub struct UnionAll<'a> {
+    branches: Vec<(BoxedOperator<'a>, Vec<usize>)>,
+    current: usize,
+    schema: Vec<usize>,
+}
+
+impl<'a> UnionAll<'a> {
+    pub fn new(branches: Vec<BoxedOperator<'a>>) -> Self {
+        assert!(!branches.is_empty(), "UNION with no branches");
+        let schema: Vec<usize> = branches[0].schema().to_vec();
+        let branches = branches
+            .into_iter()
+            .map(|b| {
+                let mapping: Vec<usize> = schema
+                    .iter()
+                    .map(|&slot| {
+                        b.schema().iter().position(|&v| v == slot).expect("same-var union branches")
+                    })
+                    .collect();
+                (b, mapping)
+            })
+            .collect();
+        UnionAll { branches, current: 0, schema }
+    }
+}
+
+impl Operator for UnionAll<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        while self.current < self.branches.len() {
+            let (branch, mapping) = &mut self.branches[self.current];
+            match branch.next_batch(stats) {
+                Some(batch) => {
+                    let mut out = Batch::with_schema(self.schema.clone());
+                    for (k, &c) in mapping.iter().enumerate() {
+                        out.columns[k].extend_from_slice(batch.column(c));
+                    }
+                    out.rows = batch.len();
+                    // Straight transfer: same tuple count in, same out.
+                    return Some(out);
+                }
+                None => self.current += 1,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legacy;
+    use crate::plan::PlanNode;
+    use parambench_rdf::store::StoreBuilder;
+    use parambench_rdf::term::Term;
+
+    /// A chain dataset big enough to cross batch boundaries.
+    fn chain_dataset(n: usize) -> Dataset {
+        let mut b = StoreBuilder::new();
+        let next = Term::iri("p/next");
+        let label = Term::iri("p/label");
+        for i in 0..n {
+            b.insert(Term::iri(format!("n/{i}")), next.clone(), Term::iri(format!("n/{}", i + 1)));
+            if i % 2 == 0 {
+                b.insert(Term::iri(format!("n/{i}")), label.clone(), Term::integer(i as i64));
+            }
+        }
+        b.freeze()
+    }
+
+    fn pattern(ds: &Dataset, pred: &str, s: usize, o: usize, idx: usize) -> PlannedPattern {
+        let p = ds.lookup(&Term::iri(pred)).unwrap();
+        PlannedPattern { idx, slots: [Slot::Var(s), Slot::Bound(p), Slot::Var(o)] }
+    }
+
+    fn sorted_rows(b: &Bindings) -> Vec<Vec<Id>> {
+        let mut rows: Vec<Vec<Id>> = b.iter().map(|r| r.to_vec()).collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn index_scan_batches_cover_all_rows() {
+        let n = 3 * BATCH_SIZE + 17;
+        let ds = chain_dataset(n);
+        let mut stats = ExecStats::default();
+        let mut scan = IndexScan::new(&ds, &pattern(&ds, "p/next", 0, 1, 0));
+        let mut total = 0;
+        let mut batches = 0;
+        while let Some(batch) = scan.next_batch(&mut stats) {
+            assert!(!batch.is_empty());
+            assert!(batch.len() <= BATCH_SIZE);
+            total += batch.len();
+            batches += 1;
+        }
+        assert_eq!(total, n);
+        assert!(batches >= 4, "expected multiple batches, got {batches}");
+        assert_eq!(stats.scanned, n as u64);
+        assert_eq!(stats.cout, 0);
+        // Exhausted operators stay exhausted.
+        assert!(scan.next_batch(&mut stats).is_none());
+    }
+
+    #[test]
+    fn hash_join_matches_legacy() {
+        let ds = chain_dataset(500);
+        let scan = |s, o, idx| {
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/next", s, o, idx))) as BoxedOperator<'_>
+        };
+        let mut stats = ExecStats::default();
+        let join = HashJoinProbe::new(
+            scan(0, 1, 0),
+            scan(1, 2, 1),
+            vec![1],
+            true,
+            "HJ(S0,S1)".into(),
+            CoutBucket::Required,
+        );
+        let got = drain(Box::new(join), &mut stats);
+
+        let mut legacy_stats = ExecStats::default();
+        let plan = PlanNode::HashJoin {
+            left: Box::new(PlanNode::Scan {
+                pattern: pattern(&ds, "p/next", 0, 1, 0),
+                est_card: 0.0,
+            }),
+            right: Box::new(PlanNode::Scan {
+                pattern: pattern(&ds, "p/next", 1, 2, 1),
+                est_card: 0.0,
+            }),
+            join_vars: vec![1],
+            est_card: 0.0,
+        };
+        let want = legacy::execute_plan(&ds, &plan, &mut legacy_stats);
+        assert_eq!(got.cols(), want.cols());
+        assert_eq!(sorted_rows(&got), sorted_rows(&want));
+        assert_eq!(stats.cout, legacy_stats.cout);
+        assert_eq!(stats.join_cards.len(), 1);
+        assert_eq!(stats.join_cards[0].1, want.len() as u64);
+    }
+
+    #[test]
+    fn hash_join_build_side_choice_is_transparent() {
+        let ds = chain_dataset(300);
+        let scan = |s, o, idx| {
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/next", s, o, idx))) as BoxedOperator<'_>
+        };
+        for build_right in [false, true] {
+            let mut stats = ExecStats::default();
+            let join = HashJoinProbe::new(
+                scan(0, 1, 0),
+                scan(1, 2, 1),
+                vec![1],
+                build_right,
+                "sig".into(),
+                CoutBucket::Required,
+            );
+            let out = drain(Box::new(join), &mut stats);
+            assert_eq!(out.cols(), &[0, 1, 2], "build_right={build_right}");
+            assert_eq!(out.len(), 299, "build_right={build_right}");
+            assert_eq!(stats.cout, 299);
+        }
+    }
+
+    #[test]
+    fn bind_join_matches_hash_join() {
+        let ds = chain_dataset(400);
+        let scan = |s, o, idx| {
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/next", s, o, idx))) as BoxedOperator<'_>
+        };
+        let mut hash_stats = ExecStats::default();
+        let via_hash = drain(
+            Box::new(HashJoinProbe::new(
+                scan(0, 1, 0),
+                scan(1, 2, 1),
+                vec![1],
+                true,
+                "sig".into(),
+                CoutBucket::Required,
+            )),
+            &mut hash_stats,
+        );
+        let mut bind_stats = ExecStats::default();
+        let via_bind = drain(
+            Box::new(BindJoin::new(
+                &ds,
+                scan(0, 1, 0),
+                pattern(&ds, "p/next", 1, 2, 1),
+                &[1],
+                "sig".into(),
+                CoutBucket::Required,
+            )),
+            &mut bind_stats,
+        );
+        assert_eq!(via_bind.cols(), via_hash.cols());
+        assert_eq!(sorted_rows(&via_bind), sorted_rows(&via_hash));
+        assert_eq!(bind_stats.cout, hash_stats.cout);
+        // The bind join only touches the ranges its left rows select, so it
+        // scans fewer (or equal) triples than materializing the full scan.
+        assert!(bind_stats.scanned <= hash_stats.scanned);
+    }
+
+    #[test]
+    fn left_outer_join_pads_unmatched() {
+        let ds = chain_dataset(10);
+        let people =
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/next", 0, 1, 0))) as BoxedOperator<'_>;
+        let labels =
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/label", 0, 2, 1))) as BoxedOperator<'_>;
+        let mut stats = ExecStats::default();
+        let out = drain(Box::new(LeftOuterJoin::new(people, labels, vec![0])), &mut stats);
+        assert_eq!(out.len(), 10); // every left row survives
+        let label_col = out.col_of(2).unwrap();
+        let unbound = out.iter().filter(|r| r[label_col] == UNBOUND).count();
+        assert_eq!(unbound, 5); // odd nodes have no label
+        assert_eq!(stats.cout_optional, 10);
+        assert_eq!(stats.cout, 0);
+    }
+
+    #[test]
+    fn filter_and_project_stream_through() {
+        let ds = chain_dataset(50);
+        let labels =
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/label", 0, 1, 0))) as BoxedOperator<'_>;
+        let var_names = vec!["n".to_string(), "l".to_string()];
+        let filter = crate::ast::Expr::Binary(
+            crate::ast::BinOp::Ge,
+            Box::new(crate::ast::Expr::Var("l".into())),
+            Box::new(crate::ast::Expr::Const(Term::integer(20))),
+        );
+        let filtered = Box::new(FilterEval::new(labels, vec![filter], &var_names, &ds));
+        let projected = Box::new(Project::new(filtered, &[1]));
+        let mut stats = ExecStats::default();
+        let out = drain(projected, &mut stats);
+        assert_eq!(out.cols(), &[1]);
+        // labels 20, 22, ..., 48 → 15 rows
+        assert_eq!(out.len(), 15);
+    }
+
+    #[test]
+    fn union_all_concatenates_and_remaps() {
+        let ds = chain_dataset(20);
+        let a =
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/label", 0, 1, 0))) as BoxedOperator<'_>;
+        // Same variable set, but the pattern binds them in reversed slot roles.
+        let p = ds.lookup(&Term::iri("p/label")).unwrap();
+        let rev = PlannedPattern { idx: 1, slots: [Slot::Var(1), Slot::Bound(p), Slot::Var(0)] };
+        let b = Box::new(IndexScan::new(&ds, &rev)) as BoxedOperator<'_>;
+        let mut stats = ExecStats::default();
+        let union = UnionAll::new(vec![a, b]);
+        assert_eq!(union.schema(), &[0, 1]);
+        let out = drain(Box::new(union), &mut stats);
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn pipeline_peak_is_below_legacy_peak_on_multi_join() {
+        let n = 4000;
+        let ds = chain_dataset(n);
+        let scan_node = |s, o, idx| PlanNode::Scan {
+            pattern: pattern(&ds, "p/next", s, o, idx),
+            est_card: n as f64,
+        };
+        // Three-hop chain join: two intermediate results of ~n rows each.
+        let plan = PlanNode::HashJoin {
+            left: Box::new(PlanNode::HashJoin {
+                left: Box::new(scan_node(0, 1, 0)),
+                right: Box::new(scan_node(1, 2, 1)),
+                join_vars: vec![1],
+                est_card: n as f64,
+            }),
+            right: Box::new(scan_node(2, 3, 2)),
+            join_vars: vec![2],
+            est_card: n as f64,
+        };
+        let mut legacy_stats = ExecStats::default();
+        let want = legacy::execute_plan(&ds, &plan, &mut legacy_stats);
+
+        let mut stream_stats = ExecStats::default();
+        let got = drain(plan.lower(&ds, CoutBucket::Required), &mut stream_stats);
+
+        assert_eq!(sorted_rows(&got), sorted_rows(&want));
+        assert_eq!(stream_stats.cout, legacy_stats.cout);
+        assert!(
+            stream_stats.peak_tuples < legacy_stats.peak_tuples,
+            "streaming peak {} should be below materialized peak {}",
+            stream_stats.peak_tuples,
+            legacy_stats.peak_tuples
+        );
+    }
+}

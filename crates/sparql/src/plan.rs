@@ -10,6 +10,9 @@
 //! trees match.
 
 use parambench_rdf::dict::Id;
+use parambench_rdf::store::Dataset;
+
+use crate::physical::{BindJoin, BoxedOperator, CoutBucket, HashJoinProbe, IndexScan};
 
 /// One S/P/O slot of a planned pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,12 +91,7 @@ pub enum PlanNode {
     },
     /// A hash join; `join_vars` are the shared variable slots (empty for a
     /// cross product). The join's output cardinality is what `Cout` sums.
-    HashJoin {
-        left: Box<PlanNode>,
-        right: Box<PlanNode>,
-        join_vars: Vec<usize>,
-        est_card: f64,
-    },
+    HashJoin { left: Box<PlanNode>, right: Box<PlanNode>, join_vars: Vec<usize>, est_card: f64 },
 }
 
 impl PlanNode {
@@ -167,6 +165,53 @@ impl PlanNode {
         PlanSignature(text)
     }
 
+    /// Lowers the logical join tree to a physical operator pipeline over
+    /// `ds` — the logical→physical split of the batched Volcano engine.
+    ///
+    /// Join-method selection reuses the optimizer's cardinality estimates
+    /// (the `est_card` each node carries): a join whose right child is a
+    /// leaf scan becomes an index nested-loop [`BindJoin`] probing the
+    /// permutation indexes when the estimated left cardinality does not
+    /// exceed the scan's exact extent (a selective join); otherwise it
+    /// becomes a [`HashJoinProbe`] whose build side is the child with the
+    /// smaller estimate. Either choice produces the same logical output,
+    /// so the measured `Cout` is independent of the physical plan — only
+    /// wall-clock time and touched data volume change.
+    ///
+    /// `bucket` routes the joins' output cardinalities into the required
+    /// or OPTIONAL `Cout` accumulator of [`crate::exec::ExecStats`].
+    pub fn lower<'a>(&self, ds: &'a Dataset, bucket: CoutBucket) -> BoxedOperator<'a> {
+        match self {
+            PlanNode::Scan { pattern, .. } => Box::new(IndexScan::new(ds, pattern)),
+            PlanNode::HashJoin { left, right, join_vars, .. } => {
+                if let PlanNode::Scan { pattern, .. } = right.as_ref() {
+                    if !join_vars.is_empty()
+                        && !pattern.has_absent()
+                        && left.est_card() <= ds.count(pattern.access()) as f64
+                    {
+                        return Box::new(BindJoin::new(
+                            ds,
+                            left.lower(ds, bucket),
+                            pattern.clone(),
+                            join_vars,
+                            self.signature().0,
+                            bucket,
+                        ));
+                    }
+                }
+                let build_right = right.est_card() <= left.est_card();
+                Box::new(HashJoinProbe::new(
+                    left.lower(ds, bucket),
+                    right.lower(ds, bucket),
+                    join_vars.clone(),
+                    build_right,
+                    self.signature().0,
+                    bucket,
+                ))
+            }
+        }
+    }
+
     /// Pretty multi-line rendering with estimates, for EXPLAIN output.
     pub fn render(&self, indent: usize) -> String {
         let pad = "  ".repeat(indent);
@@ -175,8 +220,7 @@ impl PlanNode {
                 format!("{pad}Scan p{} {:?} (est {est_card:.1})\n", pattern.idx, pattern.slots)
             }
             PlanNode::HashJoin { left, right, join_vars, est_card } => {
-                let mut out =
-                    format!("{pad}HashJoin on {join_vars:?} (est {est_card:.1})\n");
+                let mut out = format!("{pad}HashJoin on {join_vars:?} (est {est_card:.1})\n");
                 out.push_str(&left.render(indent + 1));
                 out.push_str(&right.render(indent + 1));
                 out
@@ -204,7 +248,10 @@ mod tests {
 
     fn scan(idx: usize, card: f64) -> PlanNode {
         PlanNode::Scan {
-            pattern: PlannedPattern { idx, slots: [Slot::Var(0), Slot::Bound(Id(1)), Slot::Var(1)] },
+            pattern: PlannedPattern {
+                idx,
+                slots: [Slot::Var(0), Slot::Bound(Id(1)), Slot::Var(1)],
+            },
             est_card: card,
         }
     }
@@ -268,17 +315,11 @@ mod tests {
 
     #[test]
     fn pattern_helpers() {
-        let p = PlannedPattern {
-            idx: 3,
-            slots: [Slot::Var(2), Slot::Bound(Id(5)), Slot::Absent],
-        };
+        let p = PlannedPattern { idx: 3, slots: [Slot::Var(2), Slot::Bound(Id(5)), Slot::Absent] };
         assert!(p.has_absent());
         assert_eq!(p.access(), [None, Some(Id(5)), None]);
         assert_eq!(p.var_slots(), vec![2]);
-        let rep = PlannedPattern {
-            idx: 0,
-            slots: [Slot::Var(1), Slot::Var(1), Slot::Var(0)],
-        };
+        let rep = PlannedPattern { idx: 0, slots: [Slot::Var(1), Slot::Var(1), Slot::Var(0)] };
         assert_eq!(rep.var_slots(), vec![1, 0]);
     }
 

@@ -414,11 +414,8 @@ pub(crate) fn finalize(
     }
 
     let offset = query.offset.unwrap_or(0);
-    let sliced: Vec<Vec<SolVal>> = projected
-        .into_iter()
-        .skip(offset)
-        .take(query.limit.unwrap_or(usize::MAX))
-        .collect();
+    let sliced: Vec<Vec<SolVal>> =
+        projected.into_iter().skip(offset).take(query.limit.unwrap_or(usize::MAX)).collect();
 
     let decoded = sliced
         .into_iter()

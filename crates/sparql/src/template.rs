@@ -213,9 +213,7 @@ mod tests {
 
     #[test]
     fn binding_display_is_sorted() {
-        let b = Binding::new()
-            .with("z", Term::integer(1))
-            .with("a", Term::literal("x"));
+        let b = Binding::new().with("z", Term::integer(1)).with("a", Term::literal("x"));
         let text = b.to_string();
         assert!(text.starts_with("%a="), "{text}");
     }
@@ -235,11 +233,8 @@ mod tests {
 
     #[test]
     fn optional_params_substituted() {
-        let t = QueryTemplate::parse(
-            "q",
-            "SELECT ?s WHERE { ?s <p> ?o OPTIONAL { ?s <q> %x } }",
-        )
-        .unwrap();
+        let t = QueryTemplate::parse("q", "SELECT ?s WHERE { ?s <p> ?o OPTIONAL { ?s <q> %x } }")
+            .unwrap();
         assert_eq!(t.params(), &["x"]);
         let q = t.instantiate(&Binding::new().with("x", Term::integer(1))).unwrap();
         assert!(q.is_concrete());

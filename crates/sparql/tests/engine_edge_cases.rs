@@ -28,9 +28,7 @@ fn dataset() -> Dataset {
 fn offset_beyond_result_is_empty() {
     let ds = dataset();
     let engine = Engine::new(&ds);
-    let out = engine
-        .run_text("SELECT ?s WHERE { ?s <rank> ?r } OFFSET 100")
-        .unwrap();
+    let out = engine.run_text("SELECT ?s WHERE { ?s <rank> ?r } OFFSET 100").unwrap();
     assert!(out.results.is_empty());
 }
 
@@ -50,9 +48,7 @@ fn order_by_unbound_sorts_last() {
     let ds = dataset();
     let engine = Engine::new(&ds);
     let out = engine
-        .run_text(
-            "SELECT ?s ?l WHERE { ?s <rank> ?r OPTIONAL { ?s <label> ?l } } ORDER BY ASC(?l)",
-        )
+        .run_text("SELECT ?s ?l WHERE { ?s <rank> ?r OPTIONAL { ?s <label> ?l } } ORDER BY ASC(?l)")
         .unwrap();
     let first = &out.results.rows[0][1];
     let last = &out.results.rows[out.results.len() - 1][1];
@@ -75,9 +71,7 @@ fn count_distinct_vs_count() {
     let ds = dataset();
     let engine = Engine::new(&ds);
     let out = engine
-        .run_text(
-            "SELECT (COUNT(?g) AS ?n) (COUNT(DISTINCT ?g) AS ?d) WHERE { ?s <group> ?g }",
-        )
+        .run_text("SELECT (COUNT(?g) AS ?n) (COUNT(DISTINCT ?g) AS ?d) WHERE { ?s <group> ?g }")
         .unwrap();
     assert_eq!(out.results.rows[0][0].as_num(), Some(10.0));
     assert_eq!(out.results.rows[0][1].as_num(), Some(3.0));
@@ -106,12 +100,7 @@ fn optional_after_union_extends_rows() {
         .unwrap();
     // groups 0 and 1 cover items 0,1,3,4,6,7,9 → 7 rows.
     assert_eq!(out.results.len(), 7);
-    let bound = out
-        .results
-        .rows
-        .iter()
-        .filter(|r| matches!(r[1], OutVal::Term(_)))
-        .count();
+    let bound = out.results.rows.iter().filter(|r| matches!(r[1], OutVal::Term(_))).count();
     assert_eq!(bound, 3, "items 0, 4, 6 have labels");
 }
 
@@ -121,9 +110,7 @@ fn filter_on_optional_var_with_bound_guard() {
     let engine = Engine::new(&ds);
     // Keep rows where the label is missing — the BOUND() idiom.
     let out = engine
-        .run_text(
-            "SELECT ?s WHERE { ?s <rank> ?r OPTIONAL { ?s <label> ?l } FILTER(!BOUND(?l)) }",
-        )
+        .run_text("SELECT ?s WHERE { ?s <rank> ?r OPTIONAL { ?s <label> ?l } FILTER(!BOUND(?l)) }")
         .unwrap();
     assert_eq!(out.results.len(), 5); // odd ranks have no label
 }
@@ -164,9 +151,7 @@ fn est_cout_nonnegative_and_signature_nonempty() {
 fn var_predicate_patterns_work() {
     let ds = dataset();
     let engine = Engine::new(&ds);
-    let out = engine
-        .run_text("SELECT DISTINCT ?p WHERE { <item/7> ?p ?o }")
-        .unwrap();
+    let out = engine.run_text("SELECT DISTINCT ?p WHERE { <item/7> ?p ?o }").unwrap();
     assert_eq!(out.results.len(), 3); // rank, group, special
 }
 
@@ -174,13 +159,11 @@ fn var_predicate_patterns_work() {
 fn fully_bound_pattern_acts_as_existence_check() {
     let ds = dataset();
     let engine = Engine::new(&ds);
-    let hit = engine
-        .run_text("SELECT ?s WHERE { ?s <rank> ?r . <item/7> <special> \"yes\" }")
-        .unwrap();
+    let hit =
+        engine.run_text("SELECT ?s WHERE { ?s <rank> ?r . <item/7> <special> \"yes\" }").unwrap();
     assert_eq!(hit.results.len(), 10, "existence holds: join keeps all rows");
-    let miss = engine
-        .run_text("SELECT ?s WHERE { ?s <rank> ?r . <item/7> <special> \"no\" }")
-        .unwrap();
+    let miss =
+        engine.run_text("SELECT ?s WHERE { ?s <rank> ?r . <item/7> <special> \"no\" }").unwrap();
     assert!(miss.results.is_empty());
 }
 
@@ -188,9 +171,8 @@ fn fully_bound_pattern_acts_as_existence_check() {
 fn order_by_var_not_in_projection() {
     let ds = dataset();
     let engine = Engine::new(&ds);
-    let out = engine
-        .run_text("SELECT ?s WHERE { ?s <rank> ?r } ORDER BY DESC(?r) LIMIT 2")
-        .unwrap();
+    let out =
+        engine.run_text("SELECT ?s WHERE { ?s <rank> ?r } ORDER BY DESC(?r) LIMIT 2").unwrap();
     let names: Vec<String> =
         out.results.rows.iter().map(|r| r[0].as_term().unwrap().to_string()).collect();
     assert_eq!(names, vec!["<item/9>", "<item/8>"]);
@@ -203,9 +185,8 @@ fn error_messages_are_actionable() {
     let engine = Engine::new(&ds);
     let err = engine.run_text("SELECT ?s WHERE { }").unwrap_err();
     assert!(matches!(err, QueryError::Unsupported(_)));
-    let err = engine
-        .run_text("SELECT ?s WHERE { ?s <rank> ?r } ORDER BY ASC(?missing)")
-        .unwrap_err();
+    let err =
+        engine.run_text("SELECT ?s WHERE { ?s <rank> ?r } ORDER BY ASC(?missing)").unwrap_err();
     assert!(matches!(err, QueryError::UnknownVariable(v) if v == "missing"));
     let err = engine
         .run_text("SELECT ?g (AVG(?r) AS ?a) WHERE { ?s <rank> ?r . ?s <group> ?g }")

@@ -18,9 +18,8 @@ fn arb_term() -> impl Strategy<Value = Term> {
         (0usize..8).prop_map(|i| Term::iri(format!("http://t/{i}"))),
         (-50i64..50).prop_map(Term::integer),
         "[a-z]{0,6}".prop_map(Term::literal),
-        ("[a-z]{1,4}", "[a-z]{2}").prop_map(|(s, l)| Term::Literal(
-            parambench_rdf::term::Literal::lang(s, l)
-        )),
+        ("[a-z]{1,4}", "[a-z]{2}")
+            .prop_map(|(s, l)| Term::Literal(parambench_rdf::term::Literal::lang(s, l))),
     ]
 }
 
@@ -33,8 +32,11 @@ fn arb_vot() -> impl Strategy<Value = VarOrTerm> {
 }
 
 fn arb_triple() -> impl Strategy<Value = TriplePattern> {
-    (arb_vot(), arb_vot(), arb_vot())
-        .prop_map(|(subject, predicate, object)| TriplePattern { subject, predicate, object })
+    (arb_vot(), arb_vot(), arb_vot()).prop_map(|(subject, predicate, object)| TriplePattern {
+        subject,
+        predicate,
+        object,
+    })
 }
 
 fn arb_expr() -> impl Strategy<Value = Expr> {

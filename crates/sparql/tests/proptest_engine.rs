@@ -69,7 +69,10 @@ fn lower(ds: &Dataset, specs: &[PatternSpec]) -> Vec<PlannedPattern> {
 
 /// Naive evaluation: nested loops over full triple list, accumulating
 /// consistent variable assignments. Returns sorted rows keyed by var slot.
-fn naive_eval(ds: &Dataset, patterns: &[PlannedPattern]) -> Vec<BTreeMap<usize, parambench_rdf::Id>> {
+fn naive_eval(
+    ds: &Dataset,
+    patterns: &[PlannedPattern],
+) -> Vec<BTreeMap<usize, parambench_rdf::Id>> {
     let all: Vec<[parambench_rdf::Id; 3]> = ds.scan([None, None, None]).collect();
     let mut results: Vec<BTreeMap<usize, parambench_rdf::Id>> = vec![BTreeMap::new()];
     for pat in patterns {

@@ -63,8 +63,7 @@ pub fn bootstrap_ci(
     stats.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((stats.len() as f64) * alpha).floor() as usize;
-    let hi_idx =
-        (((stats.len() as f64) * (1.0 - alpha)).ceil() as usize).min(stats.len()) - 1;
+    let hi_idx = (((stats.len() as f64) * (1.0 - alpha)).ceil() as usize).min(stats.len()) - 1;
     Some(ConfidenceInterval { lo: stats[lo_idx], hi: stats[hi_idx.max(lo_idx)], point })
 }
 
@@ -75,13 +74,7 @@ pub fn bootstrap_mean_ci(
     confidence: f64,
     seed: u64,
 ) -> Option<ConfidenceInterval> {
-    bootstrap_ci(
-        data,
-        |s| s.iter().sum::<f64>() / s.len() as f64,
-        resamples,
-        confidence,
-        seed,
-    )
+    bootstrap_ci(data, |s| s.iter().sum::<f64>() / s.len() as f64, resamples, confidence, seed)
 }
 
 #[cfg(test)]

@@ -20,11 +20,7 @@ impl Histogram {
         let mut counts = vec![0usize; bins];
         let width = (max - min) / bins as f64;
         for &x in data {
-            let idx = if width == 0.0 {
-                0
-            } else {
-                (((x - min) / width) as usize).min(bins - 1)
-            };
+            let idx = if width == 0.0 { 0 } else { (((x - min) / width) as usize).min(bins - 1) };
             counts[idx] += 1;
         }
         Some(Histogram { min, max, counts })
@@ -33,8 +29,7 @@ impl Histogram {
     /// Builds a histogram over log10 of the data (positive values only),
     /// which is how heavy-tailed runtime distributions are best inspected.
     pub fn log10(data: &[f64], bins: usize) -> Option<Self> {
-        let logs: Vec<f64> =
-            data.iter().filter(|&&x| x > 0.0).map(|x| x.log10()).collect();
+        let logs: Vec<f64> = data.iter().filter(|&&x| x > 0.0).map(|x| x.log10()).collect();
         Self::new(&logs, bins)
     }
 
@@ -61,12 +56,13 @@ impl Histogram {
             if self.counts[i] == 0 {
                 continue;
             }
-            let left_lower = (0..i).rev().find(|&j| self.counts[j] != self.counts[i]).is_none_or(
-                |j| self.counts[j] < self.counts[i],
-            );
-            let right_lower = (i + 1..n).find(|&j| self.counts[j] != self.counts[i]).is_none_or(
-                |j| self.counts[j] < self.counts[i],
-            );
+            let left_lower = (0..i)
+                .rev()
+                .find(|&j| self.counts[j] != self.counts[i])
+                .is_none_or(|j| self.counts[j] < self.counts[i]);
+            let right_lower = (i + 1..n)
+                .find(|&j| self.counts[j] != self.counts[i])
+                .is_none_or(|j| self.counts[j] < self.counts[i]);
             // Count only the first bin of a plateau.
             let first_of_plateau = i == 0 || self.counts[i - 1] != self.counts[i];
             if left_lower && right_lower && first_of_plateau {
@@ -83,11 +79,7 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             let (lo, hi) = self.bin_range(i);
             let bar_len = c * width / max_count;
-            out.push_str(&format!(
-                "[{lo:>10.3}, {hi:>10.3}) {:>6} {}\n",
-                c,
-                "#".repeat(bar_len)
-            ));
+            out.push_str(&format!("[{lo:>10.3}, {hi:>10.3}) {:>6} {}\n", c, "#".repeat(bar_len)));
         }
         out
     }

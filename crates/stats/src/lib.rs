@@ -28,8 +28,8 @@ pub mod summary;
 
 pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, ConfidenceInterval};
 pub use correlation::{pearson, spearman};
-pub use mannwhitney::{mann_whitney_u, MannWhitneyResult};
 pub use histogram::Histogram;
 pub use ks::{ks_test_vs_fitted_normal, ks_two_sample, KsResult};
+pub use mannwhitney::{mann_whitney_u, MannWhitneyResult};
 pub use normal::Normal;
 pub use summary::{relative_spread, Summary};

@@ -6,14 +6,14 @@
 //! cargo run --release --example bsbm_curation
 //! ```
 
+use parambench::curation::validate::render_report;
 use parambench::curation::{
     curate, run_workload, validate_workload, CurationConfig, Metric, ParameterDomain, RunConfig,
     ValidationConfig,
 };
-use parambench::curation::validate::render_report;
 use parambench::datagen::{Bsbm, BsbmConfig};
-use parambench::stats::Summary;
 use parambench::sparql::Engine;
+use parambench::stats::Summary;
 
 fn main() {
     let bsbm = Bsbm::generate(BsbmConfig::with_scale(150_000));

@@ -19,8 +19,8 @@ fn main() {
     // 2. A single query-template execution, the unit every benchmark
     //    aggregates over. BI Q4's parameter is a product type.
     let template = Bsbm::q4_feature_price_by_type();
-    let generic = Binding::new()
-        .with("type", Term::iri(parambench::datagen::bsbm::schema::product_type(0)));
+    let generic =
+        Binding::new().with("type", Term::iri(parambench::datagen::bsbm::schema::product_type(0)));
     let out = engine.run_template(&template, &generic).unwrap();
     println!(
         "\nQ4(%type = root type): {} rows, Cout = {}, {:.2} ms",

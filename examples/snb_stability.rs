@@ -14,8 +14,8 @@ use parambench::curation::{
     RunConfig,
 };
 use parambench::datagen::{Snb, SnbConfig};
-use parambench::stats::{relative_spread, Summary};
 use parambench::sparql::Engine;
+use parambench::stats::{relative_spread, Summary};
 
 fn group_row(label: &str, s: &Summary) -> String {
     format!(
@@ -44,10 +44,8 @@ fn main() {
         println!("{}", group_row(&format!("group {g}"), &s));
         group_stats.push(s);
     }
-    let avg_spread =
-        relative_spread(&group_stats.iter().map(Summary::mean).collect::<Vec<_>>());
-    let med_spread =
-        relative_spread(&group_stats.iter().map(Summary::median).collect::<Vec<_>>());
+    let avg_spread = relative_spread(&group_stats.iter().map(Summary::mean).collect::<Vec<_>>());
+    let med_spread = relative_spread(&group_stats.iter().map(Summary::median).collect::<Vec<_>>());
     println!(
         "\n  spread across groups: average {:.0}%, median {:.0}% (paper: up to 40% / 100%)\n",
         avg_spread * 100.0,

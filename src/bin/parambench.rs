@@ -17,10 +17,8 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
 
-use parambench::curation::{
-    curate, CostSource, CurationConfig, ParameterDomain, ProfileConfig,
-};
 use parambench::curation::cluster::ClusterConfig;
+use parambench::curation::{curate, CostSource, CurationConfig, ParameterDomain, ProfileConfig};
 use parambench::datagen::{Bsbm, BsbmConfig, Lubm, LubmConfig, Snb, SnbConfig};
 use parambench::rdf::{ntriples, Dataset, StoreBuilder, Term};
 use parambench::sparql::{Engine, QueryTemplate};
@@ -51,16 +49,13 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
-        let key = arg
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
+        let key = arg.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
         let boolean = matches!(key, "explain" | "measured");
         if boolean {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
-            let value =
-                args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
             flags.insert(key.to_string(), value);
             i += 2;
         }
@@ -109,13 +104,9 @@ lubm: people (department people via UNION, %dept)"
 
 fn generate_dataset(family: &str, triples: usize, seed: u64) -> Result<Dataset, String> {
     Ok(match family {
-        "bsbm" => {
-            Bsbm::generate(BsbmConfig { seed, ..BsbmConfig::with_scale(triples) }).dataset
-        }
+        "bsbm" => Bsbm::generate(BsbmConfig { seed, ..BsbmConfig::with_scale(triples) }).dataset,
         "snb" => Snb::generate(SnbConfig { seed, ..SnbConfig::with_scale(triples) }).dataset,
-        "lubm" => {
-            Lubm::generate(LubmConfig { seed, ..LubmConfig::with_scale(triples) }).dataset
-        }
+        "lubm" => Lubm::generate(LubmConfig { seed, ..LubmConfig::with_scale(triples) }).dataset,
         other => return Err(format!("unknown generator {other:?} (bsbm|snb|lubm)")),
     })
 }
@@ -191,67 +182,64 @@ fn cmd_curate(args: &[String]) -> Result<(), String> {
     };
 
     // Build dataset + template + domain for the requested workload.
-    let (ds, template, domain): (Dataset, QueryTemplate, ParameterDomain) =
-        match (family, tname) {
-            ("bsbm", "q2") => {
-                let g = Bsbm::generate(BsbmConfig::with_scale(triples));
-                let d = ParameterDomain::single("product", g.product_iris());
-                (g.dataset, Bsbm::q2_similar_products(), d)
-            }
-            ("bsbm", "q4") => {
-                let g = Bsbm::generate(BsbmConfig::with_scale(triples));
-                let d = ParameterDomain::single("type", g.type_iris());
-                (g.dataset, Bsbm::q4_feature_price_by_type(), d)
-            }
-            ("bsbm", "rating") => {
-                let g = Bsbm::generate(BsbmConfig::with_scale(triples));
-                let d = ParameterDomain::single("type", g.type_iris());
-                (g.dataset, Bsbm::q_rating_by_type(), d)
-            }
-            ("snb", "q1") => {
-                let g = Snb::generate(SnbConfig::with_scale(triples));
-                let names: Vec<Term> = g.name_literals();
-                let d = ParameterDomain::new()
-                    .with("name", names)
-                    .with("country", g.country_iris());
-                (g.dataset, Snb::q1_name_country(), d)
-            }
-            ("snb", "q2") => {
-                let g = Snb::generate(SnbConfig::with_scale(triples));
-                let d = ParameterDomain::single("person", g.person_iris());
-                (g.dataset, Snb::q2_friend_posts(), d)
-            }
-            ("snb", "q3") => {
-                let g = Snb::generate(SnbConfig::with_scale(triples));
-                let persons: Vec<Term> = g.person_iris().into_iter().take(20).collect();
-                let d = ParameterDomain::new()
-                    .with("person", persons)
-                    .with("countryX", g.country_iris())
-                    .with("countryY", g.country_iris());
-                (g.dataset, Snb::q3_two_countries(), d)
-            }
-            ("lubm", "students") => {
-                let g = Lubm::generate(LubmConfig::with_scale(triples));
-                let d = ParameterDomain::single("prof", g.professor_iris());
-                (g.dataset, Lubm::q_students_of_professor(), d)
-            }
-            ("lubm", "staff") => {
-                let g = Lubm::generate(LubmConfig::with_scale(triples));
-                let d = ParameterDomain::single("univ", g.university_iris());
-                (g.dataset, Lubm::q_university_staff(), d)
-            }
-            ("lubm", "people") => {
-                let g = Lubm::generate(LubmConfig::with_scale(triples));
-                let d = ParameterDomain::single("dept", g.department_iris());
-                (g.dataset, Lubm::q_department_people(), d)
-            }
-            _ => {
-                return Err(format!(
-                    "unknown workload {family}/{tname}; available:\n{}",
-                    template_listing()
-                ))
-            }
-        };
+    let (ds, template, domain): (Dataset, QueryTemplate, ParameterDomain) = match (family, tname) {
+        ("bsbm", "q2") => {
+            let g = Bsbm::generate(BsbmConfig::with_scale(triples));
+            let d = ParameterDomain::single("product", g.product_iris());
+            (g.dataset, Bsbm::q2_similar_products(), d)
+        }
+        ("bsbm", "q4") => {
+            let g = Bsbm::generate(BsbmConfig::with_scale(triples));
+            let d = ParameterDomain::single("type", g.type_iris());
+            (g.dataset, Bsbm::q4_feature_price_by_type(), d)
+        }
+        ("bsbm", "rating") => {
+            let g = Bsbm::generate(BsbmConfig::with_scale(triples));
+            let d = ParameterDomain::single("type", g.type_iris());
+            (g.dataset, Bsbm::q_rating_by_type(), d)
+        }
+        ("snb", "q1") => {
+            let g = Snb::generate(SnbConfig::with_scale(triples));
+            let names: Vec<Term> = g.name_literals();
+            let d = ParameterDomain::new().with("name", names).with("country", g.country_iris());
+            (g.dataset, Snb::q1_name_country(), d)
+        }
+        ("snb", "q2") => {
+            let g = Snb::generate(SnbConfig::with_scale(triples));
+            let d = ParameterDomain::single("person", g.person_iris());
+            (g.dataset, Snb::q2_friend_posts(), d)
+        }
+        ("snb", "q3") => {
+            let g = Snb::generate(SnbConfig::with_scale(triples));
+            let persons: Vec<Term> = g.person_iris().into_iter().take(20).collect();
+            let d = ParameterDomain::new()
+                .with("person", persons)
+                .with("countryX", g.country_iris())
+                .with("countryY", g.country_iris());
+            (g.dataset, Snb::q3_two_countries(), d)
+        }
+        ("lubm", "students") => {
+            let g = Lubm::generate(LubmConfig::with_scale(triples));
+            let d = ParameterDomain::single("prof", g.professor_iris());
+            (g.dataset, Lubm::q_students_of_professor(), d)
+        }
+        ("lubm", "staff") => {
+            let g = Lubm::generate(LubmConfig::with_scale(triples));
+            let d = ParameterDomain::single("univ", g.university_iris());
+            (g.dataset, Lubm::q_university_staff(), d)
+        }
+        ("lubm", "people") => {
+            let g = Lubm::generate(LubmConfig::with_scale(triples));
+            let d = ParameterDomain::single("dept", g.department_iris());
+            (g.dataset, Lubm::q_department_people(), d)
+        }
+        _ => {
+            return Err(format!(
+                "unknown workload {family}/{tname}; available:\n{}",
+                template_listing()
+            ))
+        }
+    };
 
     eprintln!("dataset: {} triples; domain: {} bindings", ds.len(), domain.len());
     let engine = Engine::new(&ds);
@@ -262,8 +250,7 @@ fn cmd_curate(args: &[String]) -> Result<(), String> {
     let workload = curate(&engine, &template, &domain, &cfg).map_err(|e| e.to_string())?;
     println!("{}", workload.describe());
 
-    let bindings =
-        workload.sample_class(0, sample, 7).map_err(|e| e.to_string())?;
+    let bindings = workload.sample_class(0, sample, 7).map_err(|e| e.to_string())?;
     println!("sample from class 0:");
     for b in bindings {
         println!("  {b}");

@@ -7,8 +7,8 @@ use parambench::curation::{
 };
 use parambench::datagen::{bsbm::schema, Bsbm, BsbmConfig};
 use parambench::rdf::Term;
-use parambench::stats::Summary;
 use parambench::sparql::{Binding, Engine};
+use parambench::stats::Summary;
 
 fn small_bsbm() -> Bsbm {
     Bsbm::generate(BsbmConfig { products: 800, ..Default::default() })
@@ -24,12 +24,7 @@ fn e3_uniform_type_sampling_is_bimodal_and_unrepresentative() {
     let ms = run_workload(&engine, &template, &bindings, &RunConfig::default()).unwrap();
     let cout = Summary::new(&Metric::Cout.series(&ms)).unwrap();
     // The paper's E3: mean far above median, high dispersion.
-    assert!(
-        cout.mean() / cout.median() >= 2.0,
-        "mean {} median {}",
-        cout.mean(),
-        cout.median()
-    );
+    assert!(cout.mean() / cout.median() >= 2.0, "mean {} median {}", cout.mean(), cout.median());
     assert!(cout.coeff_of_variation() > 1.0, "cv = {}", cout.coeff_of_variation());
 }
 
@@ -72,8 +67,7 @@ fn class_costs_are_ordered_and_disjoint_within_signature() {
     let engine = Engine::new(&data.dataset);
     let template = Bsbm::q4_feature_price_by_type();
     let domain = ParameterDomain::single("type", data.type_iris());
-    let workload =
-        curate(&engine, &template, &domain, &CurationConfig::default()).unwrap();
+    let workload = curate(&engine, &template, &domain, &CurationConfig::default()).unwrap();
     let classes = workload.classes();
     for (i, a) in classes.iter().enumerate() {
         for b in &classes[i + 1..] {
@@ -94,9 +88,8 @@ fn q2_similarity_respects_shared_features() {
     let engine = Engine::new(ds);
     let template = Bsbm::q2_similar_products();
     let product = Term::iri(schema::product(3));
-    let out = engine
-        .run_template(&template, &Binding::new().with("product", product.clone()))
-        .unwrap();
+    let out =
+        engine.run_template(&template, &Binding::new().with("product", product.clone())).unwrap();
     let pf = ds.lookup(&Term::iri(schema::PRODUCT_FEATURE)).unwrap();
     let pid = ds.lookup(&product).unwrap();
     let my_features: std::collections::HashSet<_> =
@@ -104,10 +97,8 @@ fn q2_similarity_respects_shared_features() {
     for row in &out.results.rows {
         let other = ds.lookup(row[0].as_term().unwrap()).unwrap();
         assert_ne!(other, pid, "FILTER(?other != %product) violated");
-        let shared = ds
-            .scan([Some(other), Some(pf), None])
-            .filter(|t| my_features.contains(&t[2]))
-            .count();
+        let shared =
+            ds.scan([Some(other), Some(pf), None]).filter(|t| my_features.contains(&t[2])).count();
         assert_eq!(shared as f64, row[1].as_num().unwrap(), "shared-feature count wrong");
     }
 }
@@ -146,9 +137,7 @@ fn two_parameter_template_curates() {
     let template = Bsbm::q_type_feature_offers();
     // Correlated two-dimensional domain: types × a sample of features.
     let features: Vec<Term> = (0..60).map(|i| Term::iri(schema::feature(i))).collect();
-    let domain = ParameterDomain::new()
-        .with("type", data.type_iris())
-        .with("feature", features);
+    let domain = ParameterDomain::new().with("type", data.type_iris()).with("feature", features);
     let workload = curate(
         &engine,
         &template,

@@ -8,8 +8,8 @@ use parambench::curation::{
     ParameterDomain, RunConfig, ValidationConfig,
 };
 use parambench::datagen::{Lubm, LubmConfig};
-use parambench::stats::Summary;
 use parambench::sparql::Engine;
+use parambench::stats::Summary;
 
 fn small_lubm() -> Lubm {
     Lubm::generate(LubmConfig { universities: 8, ..Default::default() })

@@ -8,8 +8,8 @@ use parambench::curation::{
 };
 use parambench::datagen::{snb::schema, Snb, SnbConfig};
 use parambench::rdf::Term;
-use parambench::stats::{relative_spread, Summary};
 use parambench::sparql::Engine;
+use parambench::stats::{relative_spread, Summary};
 
 fn small_snb() -> Snb {
     Snb::generate(SnbConfig { persons: 1_500, ..Default::default() })
@@ -56,10 +56,7 @@ fn e2_uniform_groups_disagree_curated_groups_agree() {
         .collect();
     let curated_spread = relative_spread(&curated_means);
 
-    assert!(
-        uniform_spread > 0.05,
-        "uniform sampling should be unstable (spread {uniform_spread})"
-    );
+    assert!(uniform_spread > 0.05, "uniform sampling should be unstable (spread {uniform_spread})");
     assert!(
         curated_spread < uniform_spread,
         "curation should stabilize: {curated_spread} vs {uniform_spread}"
@@ -116,10 +113,7 @@ fn q2_results_are_posts_of_friends() {
     let template = Snb::q2_friend_posts();
     let person = Term::iri(schema::person(2));
     let out = engine
-        .run_template(
-            &template,
-            &parambench::sparql::Binding::new().with("person", person.clone()),
-        )
+        .run_template(&template, &parambench::sparql::Binding::new().with("person", person.clone()))
         .unwrap();
     let knows = ds.lookup(&Term::iri(schema::KNOWS)).unwrap();
     let creator = ds.lookup(&Term::iri(schema::HAS_CREATOR)).unwrap();
@@ -167,11 +161,8 @@ fn snb_dataset_round_trips_through_ntriples() {
     // Queries agree on both copies.
     let engine1 = Engine::new(&social.dataset);
     let engine2 = Engine::new(&ds2);
-    let q = format!(
-        "SELECT ?p WHERE {{ ?p <{}> <{}> }}",
-        schema::LIVES_IN,
-        schema::country("China")
-    );
+    let q =
+        format!("SELECT ?p WHERE {{ ?p <{}> <{}> }}", schema::LIVES_IN, schema::country("China"));
     assert_eq!(
         engine1.run_text(&q).unwrap().results.len(),
         engine2.run_text(&q).unwrap().results.len()

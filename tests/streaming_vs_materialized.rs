@@ -1,0 +1,57 @@
+//! End-to-end comparison of the batched Volcano pipeline against the
+//! retained materializing executor on the multi-join BSBM template (BI Q4:
+//! a three-pattern star join plus aggregation) — the acceptance gate for
+//! the streaming refactor.
+
+use parambench::datagen::{bsbm::schema, Bsbm, BsbmConfig};
+use parambench::rdf::Term;
+use parambench::sparql::{Binding, Engine};
+
+#[test]
+fn q4_streaming_matches_materialized_with_strictly_lower_peak() {
+    let data = Bsbm::generate(BsbmConfig { products: 1500, ..Default::default() });
+    let engine = Engine::new(&data.dataset);
+    let template = Bsbm::q4_feature_price_by_type();
+    // The root product type selects every product: the worst case for the
+    // materializing executor, which holds each join result in full.
+    let binding = Binding::new().with("type", Term::iri(schema::product_type(0)));
+    let prepared = engine.prepare_template(&template, &binding).unwrap();
+
+    let streamed = engine.execute(&prepared).unwrap();
+    let materialized = engine.execute_materialized(&prepared).unwrap();
+
+    assert_eq!(streamed.results, materialized.results, "result sets must be identical");
+    assert_eq!(streamed.cout, materialized.cout, "measured Cout must be identical");
+    assert_eq!(streamed.stats.cout, materialized.stats.cout);
+    assert_eq!(streamed.stats.cout_optional, materialized.stats.cout_optional);
+    assert!(
+        streamed.stats.peak_tuples < materialized.stats.peak_tuples,
+        "streaming peak {} must be strictly below materialized peak {}",
+        streamed.stats.peak_tuples,
+        materialized.stats.peak_tuples
+    );
+}
+
+#[test]
+fn optional_queries_also_agree_end_to_end() {
+    let data = Bsbm::generate(BsbmConfig { products: 400, ..Default::default() });
+    let engine = Engine::new(&data.dataset);
+    // Products with their type, optionally a feature — OPTIONAL exercises
+    // the streaming left-outer join against the legacy one.
+    let text = format!(
+        "SELECT ?p ?t ?f WHERE {{ ?p <{ty}> ?t OPTIONAL {{ ?p <{pf}> ?f }} }}",
+        ty = schema::RDF_TYPE,
+        pf = schema::PRODUCT_FEATURE
+    );
+    let query = parambench::sparql::parse_query(&text).unwrap();
+    let prepared = engine.prepare(&query).unwrap();
+    let streamed = engine.execute(&prepared).unwrap();
+    let materialized = engine.execute_materialized(&prepared).unwrap();
+    let norm = |out: &parambench::sparql::QueryOutput| {
+        let mut rows: Vec<String> = out.results.rows.iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(norm(&streamed), norm(&materialized));
+    assert_eq!(streamed.cout, materialized.cout);
+}

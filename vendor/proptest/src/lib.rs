@@ -1,0 +1,688 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest this workspace uses: [`Strategy`]
+//! combinators (`prop_map`, `prop_recursive`), range / tuple / collection /
+//! option strategies, a tiny `[a-z]{m,n}`-style string strategy, the
+//! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] macros and a
+//! deterministic [`test_runner::TestRunner`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its case
+//! index; re-running is deterministic, so the case is reproducible), and
+//! random streams are not value-compatible with upstream proptest.
+
+pub mod strategy {
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values (upstream: `proptest::strategy::Strategy`).
+    ///
+    /// Shrinking is not implemented, so a strategy is just a cloneable
+    /// recipe for producing one value from a [`TestRng`].
+    pub trait Strategy: Clone {
+        type Value;
+
+        /// Produces one random value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> U + Clone,
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (upstream: `BoxedStrategy`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+
+        /// Builds recursive structures: `recurse` receives a strategy for
+        /// sub-structures and returns the strategy for one more level.
+        /// `depth` bounds nesting; the size-tuning parameters of upstream
+        /// proptest are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                // Each level mixes leaves back in so generated trees vary
+                // in depth instead of always bottoming out at `depth`.
+                let deeper = recurse(current).boxed();
+                let leaf = self.clone().boxed();
+                current = Union { variants: vec![(1, leaf), (2, deeper)] }.boxed();
+            }
+            current
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value (upstream: `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between same-valued strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        pub variants: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { variants: self.variants.clone() }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u32 = self.variants.iter().map(|(w, _)| *w).sum();
+            debug_assert!(total > 0, "prop_oneof! needs at least one variant");
+            let mut pick = rng.below(total as u64) as u32;
+            for (w, s) in &self.variants {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    // --- primitive strategies -------------------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    /// String-literal strategies: a pragmatic subset of upstream's regex
+    /// support covering `[a-z]`, `[a-z]{n}`, and `[a-z]{m,n}` patterns
+    /// (one character class, optional repetition). Anything else panics.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, min, max) = parse_simple_pattern(self);
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len).map(|_| class[rng.below(class.len() as u64) as usize]).collect()
+        }
+    }
+
+    fn parse_simple_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let rest = pattern
+            .strip_prefix('[')
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {pattern:?}"));
+        let (class_text, rest) = rest
+            .split_once(']')
+            .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+        let mut class = Vec::new();
+        let mut chars = class_text.chars().peekable();
+        while let Some(c) = chars.next() {
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let hi = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling '-' in character class {pattern:?}"));
+                for v in c as u32..=hi as u32 {
+                    class.extend(char::from_u32(v));
+                }
+            } else {
+                class.push(c);
+            }
+        }
+        assert!(!class.is_empty(), "empty character class in {pattern:?}");
+        let (min, max) = match rest {
+            "" => (1, 1),
+            quant => {
+                let inner = quant
+                    .strip_prefix('{')
+                    .and_then(|q| q.strip_suffix('}'))
+                    .unwrap_or_else(|| panic!("unsupported quantifier in {pattern:?}"));
+                match inner.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = inner.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            }
+        };
+        assert!(min <= max, "inverted repetition in {pattern:?}");
+        (class, min, max)
+    }
+
+    // --- tuple strategies -----------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    // --- any::<T>() ------------------------------------------------------
+
+    /// Types with a canonical "any value" strategy (upstream: `Arbitrary`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mag = rng.unit_f64() * 1e9;
+            if rng.next_u64() & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T` (upstream: `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// `prop::collection` and `prop::option` namespaces.
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Sizes accepted by [`vec`]: an exact length or a length range.
+        pub trait SizeRange: Clone {
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for ::std::ops::Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end, "empty vec size range");
+                self.start + rng.below((self.end - self.start) as u64) as usize
+            }
+        }
+
+        impl SizeRange for ::std::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + rng.below((hi - lo + 1) as u64) as usize
+            }
+        }
+
+        /// Strategy for vectors of `element` values with length in `size`.
+        pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+
+        #[derive(Clone)]
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for `Option<T>`: `None` about a quarter of the time.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        #[derive(Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic generator backing every strategy (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// One stream per (test name, case index): deterministic runs,
+        /// different data per case.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            seed ^= case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runner configuration (upstream: `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property-test assertion (carries the formatted message).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Runs each property over `cases` deterministic random inputs.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_name(x in strategy_expr, y in other_strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            variants: vec![
+                $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+            ],
+        }
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            variants: vec![
+                $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+            ],
+        }
+    };
+}
+
+/// Fails the enclosing property case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+                l,
+                r,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate() {
+        let mut rng = crate::test_runner::TestRng::for_case("self_test", 0);
+        let strat = (0u8..4, (10usize..=20).prop_map(|v| v * 2), "[a-c]{2,5}");
+        for _ in 0..200 {
+            let (a, b, s) = Strategy::generate(&strat, &mut rng);
+            assert!(a < 4);
+            assert!((20..=40).contains(&b) && b % 2 == 0);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_respected_roughly() {
+        let mut rng = crate::test_runner::TestRng::for_case("weights", 0);
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| Strategy::generate(&strat, &mut rng)).count();
+        assert!(trues > 800, "trues = {trues}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_round_trip(v in prop::collection::vec(any::<u8>(), 0..50), flag in any::<bool>()) {
+            prop_assert!(v.len() < 50);
+            let doubled: Vec<u16> = v.iter().map(|&x| x as u16 * 2).collect();
+            prop_assert_eq!(doubled.len(), v.len(), "flag was {}", flag);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)] // Leaf payload exists only to exercise prop_map
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..16).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("rec", 0);
+        for _ in 0..200 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 3);
+        }
+    }
+}
