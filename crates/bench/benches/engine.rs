@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks of the engine substrate: index scans, exact
 //! counts, optimizer (prepare) latency — the cost of one curation probe —
-//! and full query execution at the two extremes of the E3 parameter space.
+//! full query execution at the two extremes of the E3 parameter space, and
+//! the modifier pushdown (streaming aggregation, bounded-heap TopK)
+//! against the materialize-then-modify baseline.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use parambench_core::ParameterDomain;
@@ -44,23 +46,42 @@ fn engine_benches(c: &mut Criterion) {
         b.iter(|| black_box(engine.execute(&prepared_leaf).unwrap().cout))
     });
 
-    // Streaming pipeline vs the retained materializing executor on the
-    // multi-join BSBM template: same measured Cout by construction; the
-    // peak-intermediate-tuple gap is what the Volcano refactor buys.
-    // The strictly-lower-peak gate itself is asserted (at fixed scale) by
-    // tests/streaming_vs_materialized.rs; the bench only reports the gap so
+    // Pushed modifiers vs the materialize-then-modify baseline on the
+    // aggregating BSBM template: same measured Cout by construction; the
+    // peak-intermediate-tuple gap is what the streaming aggregation buys.
+    // The strictly-lower gates themselves are asserted (at fixed scale) by
+    // tests/modifier_pushdown.rs; the bench only reports the gap so
     // PARAMBENCH_TRIPLES experiments at tiny scales cannot abort the run.
     let streamed = engine.execute(&prepared_root).unwrap();
-    let materialized = engine.execute_materialized(&prepared_root).unwrap();
+    let unpushed = engine.execute_unpushed(&prepared_root).unwrap();
     println!(
-        "q4 generic type: Cout {} | peak tuples streaming {} vs materialized {}",
-        streamed.cout, streamed.stats.peak_tuples, materialized.stats.peak_tuples
+        "q4 generic type: Cout {} | peak tuples pushed {} vs unpushed {}",
+        streamed.cout, streamed.stats.peak_tuples, unpushed.stats.peak_tuples
     );
-    c.bench_function("exec/q4_generic_type_materialized", |b| {
-        b.iter(|| black_box(engine.execute_materialized(&prepared_root).unwrap().cout))
+    c.bench_function("exec/q4_generic_type_unpushed", |b| {
+        b.iter(|| black_box(engine.execute_unpushed(&prepared_root).unwrap().cout))
     });
-    c.bench_function("exec/q4_leaf_type_materialized", |b| {
-        b.iter(|| black_box(engine.execute_materialized(&prepared_leaf).unwrap().cout))
+    c.bench_function("exec/q4_leaf_type_unpushed", |b| {
+        b.iter(|| black_box(engine.execute_unpushed(&prepared_leaf).unwrap().cout))
+    });
+
+    // ORDER BY + LIMIT (no aggregation): the bounded-heap TopK against the
+    // full decode-and-sort of every product of the root type.
+    let topk = Bsbm::q_cheapest_products_of_type();
+    let prepared_topk = engine.prepare_template(&topk, &root_binding).unwrap();
+    let topk_pushed = engine.execute(&prepared_topk).unwrap();
+    let topk_unpushed = engine.execute_unpushed(&prepared_topk).unwrap();
+    println!(
+        "cheapest-of-type: rows {} | peak tuples topk {} vs full sort {}",
+        topk_pushed.results.len(),
+        topk_pushed.stats.peak_tuples,
+        topk_unpushed.stats.peak_tuples
+    );
+    c.bench_function("exec/order_by_limit_topk", |b| {
+        b.iter(|| black_box(engine.execute(&prepared_topk).unwrap().results.len()))
+    });
+    c.bench_function("exec/order_by_limit_full_sort", |b| {
+        b.iter(|| black_box(engine.execute_unpushed(&prepared_topk).unwrap().results.len()))
     });
 
     // One uniform workload iteration (100 template instantiations) — the

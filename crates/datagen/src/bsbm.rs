@@ -357,6 +357,26 @@ impl Bsbm {
         .expect("static template parses")
     }
 
+    /// Explore-style template: the products of `%type`, cheapest first —
+    /// a pure ORDER BY + LIMIT query (no aggregation). This is the
+    /// streaming TopK case: the engine keeps only the ten best rows in a
+    /// bounded heap instead of materializing and sorting every product of
+    /// the type.
+    pub fn q_cheapest_products_of_type() -> QueryTemplate {
+        QueryTemplate::parse(
+            "BSBM-CHEAPEST",
+            &format!(
+                "SELECT ?p ?price WHERE {{ \
+                   ?p <{ty}> %type . \
+                   ?p <{pr}> ?price \
+                 }} ORDER BY ASC(?price) LIMIT 10",
+                ty = schema::RDF_TYPE,
+                pr = schema::PRICE
+            ),
+        )
+        .expect("static template parses")
+    }
+
     /// Extra BI-style template: average review rating of `%type` products.
     pub fn q_rating_by_type() -> QueryTemplate {
         QueryTemplate::parse(

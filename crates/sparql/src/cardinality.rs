@@ -23,7 +23,7 @@ use parambench_rdf::dict::Id;
 use parambench_rdf::index::IndexOrder;
 use parambench_rdf::store::Dataset;
 
-use crate::plan::PlannedPattern;
+use crate::plan::{ModifierPlan, PlannedPattern};
 
 /// Star-shape bookkeeping: when a (sub)plan is a pure subject-star (every
 /// pattern shares one subject variable, all predicates bound), the
@@ -211,6 +211,48 @@ impl<'a> Estimator<'a> {
             distinct.entry(v).or_insert(d.min(card));
         }
         Estimate { card, distinct, star: None }
+    }
+
+    /// Modifier-aware output estimate: the expected number of *result*
+    /// rows after the solution modifiers of `m` have been applied to a
+    /// pattern result with estimate `est`.
+    ///
+    /// * GROUP BY caps the output at the product of the group keys'
+    ///   distinct counts (an ungrouped aggregate always yields one row);
+    /// * DISTINCT caps it at the product of the projected variables'
+    ///   distinct counts;
+    /// * OFFSET/LIMIT clamp the final window.
+    ///
+    /// Like every estimate here this guides banding and plan diagnostics,
+    /// not correctness.
+    pub fn modifier_output_card(&self, est: &Estimate, m: &ModifierPlan) -> f64 {
+        let mut card = est.card.max(0.0);
+        if let Some(agg) = &m.aggregate {
+            if agg.group_slots.is_empty() {
+                // Implicit single group: exactly one row, even on empty input.
+                card = 1.0;
+            } else {
+                let mut groups = 1.0;
+                for &s in &agg.group_slots {
+                    groups *= est.distinct_of(s).max(1.0);
+                }
+                card = groups.min(card);
+            }
+        } else if m.distinct {
+            // DISTINCT applies after projection: only the projected slots
+            // bound the number of distinct rows (helper sort columns are
+            // dropped before deduplication).
+            let mut combos = 1.0;
+            for s in m.out_slots() {
+                combos *= est.distinct_of(s).max(1.0);
+            }
+            card = combos.min(card);
+        }
+        let after_offset = (card - m.offset as f64).max(0.0);
+        match m.limit {
+            Some(l) => after_offset.min(l as f64),
+            None => after_offset,
+        }
     }
 }
 

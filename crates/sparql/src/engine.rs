@@ -16,14 +16,17 @@ use parambench_rdf::term::Term;
 use crate::ast::{Element, Expr, Projection, SelectQuery, TriplePattern, VarOrTerm};
 use crate::cardinality::Estimator;
 use crate::error::QueryError;
-use crate::exec::{apply_filters, Bindings, ExecStats};
-use crate::legacy::{execute_plan, hash_join, left_outer_join};
+use crate::exec::ExecStats;
+use crate::modifiers::{Distinct, GroupFold, Slice, TopK};
 use crate::optimizer::{optimize, reestimate};
 use crate::physical::{
     self, BoxedOperator, CoutBucket, FilterEval, HashJoinProbe, LeftOuterJoin, Project, UnionAll,
 };
-use crate::plan::{PlanNode, PlanSignature, PlannedPattern, Slot};
-use crate::results::{finalize, ResultSet};
+use crate::plan::{ModifierPlan, PlanNode, PlanSignature, PlannedPattern, Slot};
+use crate::results::{
+    decode_bindings, finalize_bindings, finalize_table, table_from_bindings, table_from_groups,
+    ResultSet,
+};
 use crate::template::{Binding, QueryTemplate};
 
 /// An optimized OPTIONAL group.
@@ -50,23 +53,27 @@ struct UnionPlan {
 /// A fully prepared (lowered + optimized) query, ready to execute.
 #[derive(Debug, Clone)]
 pub struct Prepared {
-    query: SelectQuery,
     /// Variable name per slot.
     var_names: Vec<String>,
-    /// name → slot map (shared with filters and modifiers).
-    slot_of: HashMap<String, usize>,
     /// The required basic graph pattern (absent when the query body is a
     /// bare UNION).
     bgp_plan: Option<PlanNode>,
     unions: Vec<UnionPlan>,
     optionals: Vec<OptionalPlan>,
     filters: Vec<Expr>,
+    /// The lowered solution-modifier stack (DISTINCT, aggregation,
+    /// ORDER BY, LIMIT/OFFSET), validated at prepare time.
+    pub modifiers: ModifierPlan,
     /// Structural signature of the full plan (required + optional parts).
     pub signature: PlanSignature,
     /// Estimated `Cout` of the plan (required BGP + optional BGPs + outer joins).
     pub est_cout: f64,
     /// Estimated cardinality of the required BGP result.
     pub est_card: f64,
+    /// Estimated number of *result* rows after all solution modifiers
+    /// (grouping, DISTINCT, OFFSET/LIMIT) — the modifier-aware companion
+    /// of `est_card`.
+    pub est_result_card: f64,
 }
 
 impl Prepared {
@@ -75,41 +82,15 @@ impl Prepared {
         self.bgp_plan.as_ref()
     }
 
-    /// The variable slots the result actually needs (projections, ORDER BY,
-    /// GROUP BY) — everything else is dead after the last filter and is
-    /// dropped by the pipeline's final [`Project`] before materialization.
-    fn needed_slots(&self) -> Vec<usize> {
-        let mut out: Vec<usize> = Vec::new();
-        let add = |name: &str, out: &mut Vec<usize>| {
-            // Names missing from slot_of are aggregate aliases, resolved
-            // against computed columns in the results layer instead.
-            if let Some(&slot) = self.slot_of.get(name) {
-                if !out.contains(&slot) {
-                    out.push(slot);
-                }
-            }
-        };
-        for p in &self.query.projections {
-            match p {
-                Projection::Var(v) => add(v, &mut out),
-                Projection::Aggregate { var: Some(v), .. } => add(v, &mut out),
-                Projection::Aggregate { var: None, .. } => {}
-            }
-        }
-        for k in &self.query.order_by {
-            add(&k.var, &mut out);
-        }
-        for g in &self.query.group_by {
-            add(g, &mut out);
-        }
-        out
-    }
-
     /// Multi-line EXPLAIN rendering.
     pub fn explain(&self) -> String {
         let mut out = format!(
-            "signature: {}\nest_cout: {:.1}\nest_card: {:.1}\n",
-            self.signature, self.est_cout, self.est_card
+            "signature: {}\nest_cout: {:.1}\nest_card: {:.1}\nest_result_card: {:.1}\nmodifiers: {}\n",
+            self.signature,
+            self.est_cout,
+            self.est_card,
+            self.est_result_card,
+            self.modifiers.render()
         );
         if let Some(plan) = &self.bgp_plan {
             out.push_str(&plan.render(0));
@@ -379,8 +360,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        // Validate projections (plain vars must exist; aggregates validated
-        // at finalize).
+        // Validate projections (plain vars must exist; aggregate shapes are
+        // validated by the modifier lowering below).
         for p in &query.projections {
             if let Projection::Var(v) = p {
                 if !slot_of.contains_key(v) {
@@ -389,31 +370,29 @@ impl<'a> Engine<'a> {
             }
         }
 
+        // Lower + validate the solution-modifier stack, and fold it into
+        // the output-cardinality estimate.
+        let modifiers = ModifierPlan::lower(query, &slot_of)?;
+        let est_result_card = self.est.modifier_output_card(&bgp_est, &modifiers);
+
         Ok(Prepared {
-            query: query.clone(),
             var_names,
-            slot_of,
             est_card: bgp_est.card,
             bgp_plan,
             unions,
             optionals,
             filters,
+            modifiers,
             signature: PlanSignature(sig),
             est_cout,
+            est_result_card,
         })
     }
 
-    /// Executes a prepared query through the batched Volcano pipeline (the
-    /// default path): the logical plans are lowered to pull-based physical
-    /// operators, intermediate results stream in fixed-size columnar
-    /// batches, and only the projected columns are materialized (and
-    /// decoded) at the result boundary. Measured `Cout` is identical to
-    /// [`Engine::execute_materialized`]; `stats.peak_tuples` is what the
-    /// streaming buys.
-    pub fn execute(&self, prepared: &Prepared) -> Result<QueryOutput, QueryError> {
-        let start = Instant::now();
-        let mut stats = ExecStats::default();
-
+    /// Lowers the prepared query's pattern part (BGP + UNION + OPTIONAL +
+    /// FILTER) to the streaming operator pipeline, without any modifier
+    /// operators.
+    fn build_pipeline(&self, prepared: &Prepared) -> BoxedOperator<'a> {
         let mut op: Option<BoxedOperator<'_>> =
             prepared.bgp_plan.as_ref().map(|plan| plan.lower(self.ds, CoutBucket::Required));
 
@@ -469,128 +448,165 @@ impl<'a> Engine<'a> {
                 self.ds,
             ));
         }
-
-        // Late materialization: drop dead columns before the final drain so
-        // the result boundary only ever holds (and decodes) projected data.
-        let needed = prepared.needed_slots();
-        if needed.len() < op.schema().len() {
-            op = Box::new(Project::new(op, &needed));
-        }
-
-        let bindings = physical::drain(op, &mut stats);
-        let results = finalize(&bindings, &prepared.query, &prepared.slot_of, self.ds)?;
-        let wall_time = start.elapsed();
-        let cout = stats.cout + stats.cout_optional;
-        Ok(QueryOutput { results, wall_time, cout, stats })
+        op
     }
 
-    /// Executes a prepared query with the original fully materializing
-    /// executor ([`crate::legacy`]). Kept for one PR as the differential
-    /// oracle: identical result sets and identical measured `Cout`, but
-    /// every intermediate result is held as a complete table, which
-    /// `stats.peak_tuples` records.
-    pub fn execute_materialized(&self, prepared: &Prepared) -> Result<QueryOutput, QueryError> {
+    /// Executes a prepared query through the batched Volcano pipeline (the
+    /// default path), with the solution modifiers **pushed into the
+    /// physical layer** wherever their combination allows:
+    ///
+    /// * aggregation folds batches into per-group accumulators as they
+    ///   stream ([`GroupFold`]) — the grouped input is never materialized;
+    /// * DISTINCT deduplicates raw `Id` rows pre-decode ([`Distinct`]);
+    /// * ORDER BY + LIMIT becomes a bounded-heap [`TopK`];
+    /// * LIMIT/OFFSET becomes a [`Slice`] that stops pulling upstream
+    ///   batches once satisfied, so scans and joins cease work early.
+    ///
+    /// Combinations that cannot stream (ORDER BY without LIMIT; DISTINCT
+    /// under unprojected sort keys) fall back to the solution-table path at
+    /// the result boundary, which sorts by per-row precomputed keys.
+    pub fn execute(&self, prepared: &Prepared) -> Result<QueryOutput, QueryError> {
+        self.run(prepared, true)
+    }
+
+    /// Executes with every solution modifier applied **after** full
+    /// materialization at the result boundary — the pre-pushdown behaviour.
+    /// Kept as the in-engine baseline: differential tests assert identical
+    /// results, and the pushdown's `peak_tuples`/wall-time advantage is
+    /// measured against this path in `benches/engine.rs` and the
+    /// integration suite.
+    pub fn execute_unpushed(&self, prepared: &Prepared) -> Result<QueryOutput, QueryError> {
+        self.run(prepared, false)
+    }
+
+    fn run(&self, prepared: &Prepared, push: bool) -> Result<QueryOutput, QueryError> {
         let start = Instant::now();
         let mut stats = ExecStats::default();
-
-        let mut bindings: Option<Bindings> =
-            prepared.bgp_plan.as_ref().map(|plan| execute_plan(self.ds, plan, &mut stats));
-
-        for u in &prepared.unions {
-            // Evaluate and filter every branch, then concatenate.
-            let mut concat: Option<Bindings> = None;
-            for (plan, branch_filters) in &u.branches {
-                let rows = execute_plan(self.ds, plan, &mut stats);
-                let rows = if branch_filters.is_empty() {
-                    rows
-                } else {
-                    let before = rows.len();
-                    let var_col = self.var_col_map(&rows, &prepared.var_names);
-                    let filtered = apply_filters(rows, branch_filters, &var_col, self.ds)?;
-                    stats.grow(filtered.len());
-                    stats.shrink(before);
-                    filtered
-                };
-                concat = Some(match concat {
-                    None => rows,
-                    Some(mut acc) => {
-                        // Schemas bind the same vars; map columns by slot.
-                        let mapping: Vec<usize> = acc
-                            .cols()
-                            .iter()
-                            .map(|&slot| rows.col_of(slot).expect("same-var union branches"))
-                            .collect();
-                        let mut buf = vec![crate::exec::UNBOUND; mapping.len()];
-                        for row in rows.iter() {
-                            for (k, &c) in mapping.iter().enumerate() {
-                                buf[k] = row[c];
-                            }
-                            acc.push_row(&buf);
-                        }
-                        acc
-                    }
-                });
-            }
-            let union_rows = concat.expect("non-empty union");
-            bindings = Some(match bindings {
-                None => union_rows,
-                Some(base) => {
-                    let out = hash_join(&base, &union_rows, &u.join_vars);
-                    stats.grow(out.len());
-                    stats.shrink(base.len() + union_rows.len());
-                    stats.cout += out.len() as u64;
-                    stats.join_cards.push((format!("UNION⋈{:?}", u.join_vars), out.len() as u64));
-                    out
-                }
-            });
-        }
-
-        let mut bindings = bindings.expect("prepare guarantees a base");
-
-        for opt in &prepared.optionals {
-            let mut opt_stats = ExecStats::default();
-            let opt_rows = execute_plan(self.ds, &opt.plan, &mut opt_stats);
-            stats.absorb_optional(opt_stats);
-            // Optional-scoped filters: need cols of the optional table.
-            let opt_rows = if opt.filters.is_empty() {
-                opt_rows
+        let op = self.build_pipeline(prepared);
+        let results = if push {
+            self.finish_pushed(prepared, op, &mut stats)?
+        } else {
+            // Baseline: project to the needed columns, drain everything,
+            // then run the whole modifier stack on the materialized table.
+            let m = &prepared.modifiers;
+            let needed = m.input_slots();
+            let op = if needed.len() < op.schema().len() {
+                Box::new(Project::new(op, &needed)) as BoxedOperator<'_>
             } else {
-                let before = opt_rows.len();
-                let var_col = self.var_col_map(&opt_rows, &prepared.var_names);
-                let filtered = apply_filters(opt_rows, &opt.filters, &var_col, self.ds)?;
-                stats.grow(filtered.len());
-                stats.shrink(before);
-                filtered
+                op
             };
-            let out = left_outer_join(&bindings, &opt_rows, &opt.join_vars);
-            stats.grow(out.len());
-            stats.shrink(bindings.len() + opt_rows.len());
-            stats.cout_optional += out.len() as u64;
-            bindings = out;
-        }
-
-        if !prepared.filters.is_empty() {
-            let before = bindings.len();
-            let var_col = self.var_col_map(&bindings, &prepared.var_names);
-            bindings = apply_filters(bindings, &prepared.filters, &var_col, self.ds)?;
-            stats.grow(bindings.len());
-            stats.shrink(before);
-        }
-
-        let results = finalize(&bindings, &prepared.query, &prepared.slot_of, self.ds)?;
+            let bindings = physical::drain(op, &mut stats);
+            finalize_bindings(&bindings, m, self.ds, &mut stats)?
+        };
         let wall_time = start.elapsed();
         let cout = stats.cout + stats.cout_optional;
         Ok(QueryOutput { results, wall_time, cout, stats })
     }
 
-    /// Builds the variable-name → column map for a bindings table.
-    fn var_col_map(&self, bindings: &Bindings, var_names: &[String]) -> HashMap<String, usize> {
-        bindings
-            .cols()
-            .iter()
-            .enumerate()
-            .map(|(col, &slot)| (var_names[slot].clone(), col))
-            .collect()
+    /// The pushed-modifier epilogue: stacks modifier operators onto the
+    /// pipeline and decodes at the boundary.
+    fn finish_pushed(
+        &self,
+        prepared: &Prepared,
+        mut op: BoxedOperator<'a>,
+        stats: &mut ExecStats,
+    ) -> Result<ResultSet, QueryError> {
+        let m = &prepared.modifiers;
+
+        // LIMIT 0 is provably empty on every path: skip all execution
+        // (aggregation and TopK would otherwise still drain the pipeline).
+        if m.limit == Some(0) {
+            return Ok(ResultSet { columns: m.out_names(), rows: Vec::new() });
+        }
+
+        if let Some(agg) = &m.aggregate {
+            // Streaming aggregation: project to the group + aggregate input
+            // columns, fold batch-by-batch, then finish the (small) group
+            // table at the boundary.
+            let needed = m.input_slots();
+            if needed.len() < op.schema().len() {
+                op = Box::new(Project::new(op, &needed));
+            }
+            let mut fold = GroupFold::new(agg, op.schema(), self.ds);
+            let width = op.schema().len();
+            let mut row = vec![crate::exec::UNBOUND; width];
+            while let Some(batch) = op.next_batch(stats) {
+                for r in 0..batch.len() {
+                    batch.read_row(r, &mut row);
+                    // add_row registers new group state with `stats` while
+                    // the input batch is still live.
+                    fold.add_row(&row, stats);
+                }
+                // Input tuples collapse into the group accumulators.
+                stats.shrink(batch.len());
+            }
+            let resident = fold.resident();
+            let (keys, states) = fold.finish();
+            let rows = table_from_groups(keys, states, m, agg);
+            let out = finalize_table(rows, m, self.ds, false);
+            stats.shrink(resident);
+            return Ok(out);
+        }
+
+        // Plain path: project to the solution-table columns.
+        let slots = m.table_slots();
+        if slots.len() < op.schema().len() {
+            op = Box::new(Project::new(op, &slots));
+        }
+
+        // DISTINCT streams when the table has no helper sort columns: rows
+        // equal on all projected columns then share their sort keys, so
+        // dedup-before-sort keeps exactly the representative (first
+        // arrival) that dedup-after-sort would.
+        let mut already_distinct = false;
+        if m.distinct && !m.has_helper_cols() {
+            op = Box::new(Distinct::new(op));
+            already_distinct = true;
+        }
+
+        if m.order_by.is_empty() {
+            if m.offset > 0 || m.limit.is_some() {
+                // Early-exit slice: upstream stops once the limit is hit.
+                op = Box::new(Slice::new(op, m.offset, m.limit));
+            }
+            let bindings = physical::drain(op, stats);
+            return Ok(decode_bindings(&bindings, m, self.ds));
+        }
+
+        let distinct_pending = m.distinct && !already_distinct;
+        if !distinct_pending {
+            if let Some(limit) = m.limit {
+                // ORDER BY + LIMIT: bounded heap, sort keys computed once
+                // per row, only offset+limit rows ever resident.
+                let keys: Vec<(usize, bool)> = m
+                    .order_by
+                    .iter()
+                    .map(|&(table_col, desc)| {
+                        let slot = match m.table[table_col].source {
+                            crate::plan::TableColSource::Slot(s) => s,
+                            crate::plan::TableColSource::Agg(_) => {
+                                unreachable!("aggregate column on the plain path")
+                            }
+                        };
+                        let col = op
+                            .schema()
+                            .iter()
+                            .position(|&v| v == slot)
+                            .expect("order slot in pipeline schema");
+                        (col, desc)
+                    })
+                    .collect();
+                op = Box::new(TopK::new(op, self.ds, keys, m.offset, limit));
+                let bindings = physical::drain(op, stats);
+                return Ok(decode_bindings(&bindings, m, self.ds));
+            }
+        }
+
+        // Fallback: ORDER BY without LIMIT (full sort is unavoidable), or
+        // DISTINCT that must wait for unprojected sort keys to be dropped.
+        let bindings = physical::drain(op, stats);
+        let rows = table_from_bindings(&bindings, m)?;
+        Ok(finalize_table(rows, m, self.ds, already_distinct))
     }
 
     /// Parses, prepares and executes query text in one call.

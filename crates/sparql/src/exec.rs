@@ -1,14 +1,14 @@
 //! Shared execution substrate: binding tables, per-run instrumentation and
 //! row-level filter evaluation.
 //!
-//! Two executors build on this module: the batched Volcano pipeline in
-//! [`crate::physical`] (the engine's default) and the fully materializing
-//! oracle in [`crate::legacy`]. Execution is instrumented either way: every
-//! join reports its output cardinality into [`ExecStats`], whose sum is the
-//! *measured* `Cout` of the run — the quantity the paper correlates with
-//! wall-clock time (§III, ≈85% Pearson) — and both executors track the peak
-//! number of intermediate tuples resident at once, the memory-side metric
-//! that distinguishes streaming from materializing execution.
+//! The batched Volcano pipeline in [`crate::physical`] (and its modifier
+//! operators in [`crate::modifiers`]) builds on this module. Execution is
+//! fully instrumented: every join reports its output cardinality into
+//! [`ExecStats`], whose sum is the *measured* `Cout` of the run — the
+//! quantity the paper correlates with wall-clock time (§III, ≈85% Pearson)
+//! — alongside the peak number of intermediate tuples resident at once,
+//! the memory-side metric that distinguishes streaming from materializing
+//! execution.
 
 use std::collections::HashMap;
 
@@ -311,8 +311,8 @@ pub fn apply_filters(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::legacy::execute_plan;
-    use crate::plan::{PlanNode, PlannedPattern, Slot};
+    use crate::physical::{drain, IndexScan};
+    use crate::plan::{PlannedPattern, Slot};
     use parambench_rdf::store::StoreBuilder;
     use parambench_rdf::term::Term;
 
@@ -328,12 +328,10 @@ mod tests {
         b.freeze()
     }
 
-    fn scan_plan(ds: &Dataset, pred: &str, s: usize, o: usize, idx: usize) -> PlanNode {
+    fn scan_all(ds: &Dataset, pred: &str, s: usize, o: usize) -> Bindings {
         let p = ds.lookup(&Term::iri(pred)).unwrap();
-        PlanNode::Scan {
-            pattern: PlannedPattern { idx, slots: [Slot::Var(s), Slot::Bound(p), Slot::Var(o)] },
-            est_card: 0.0,
-        }
+        let pat = PlannedPattern { idx: 0, slots: [Slot::Var(s), Slot::Bound(p), Slot::Var(o)] };
+        drain(Box::new(IndexScan::new(ds, &pat)), &mut ExecStats::default())
     }
 
     #[test]
@@ -369,7 +367,7 @@ mod tests {
     #[test]
     fn filter_numeric_comparison() {
         let ds = dataset();
-        let ages = execute_plan(&ds, &scan_plan(&ds, "p/age", 0, 1, 0), &mut ExecStats::default());
+        let ages = scan_all(&ds, "p/age", 0, 1);
         let mut var_col = HashMap::new();
         var_col.insert("person".to_string(), ages.col_of(0).unwrap());
         var_col.insert("age".to_string(), ages.col_of(1).unwrap());
@@ -385,8 +383,7 @@ mod tests {
     #[test]
     fn filter_term_inequality() {
         let ds = dataset();
-        let knows =
-            execute_plan(&ds, &scan_plan(&ds, "p/knows", 0, 1, 0), &mut ExecStats::default());
+        let knows = scan_all(&ds, "p/knows", 0, 1);
         let mut var_col = HashMap::new();
         var_col.insert("x".to_string(), knows.col_of(0).unwrap());
         var_col.insert("y".to_string(), knows.col_of(1).unwrap());

@@ -19,12 +19,18 @@
 //!   index scans, hash/bind joins, left-outer joins, filters and a final
 //!   late-materializing projection — streaming fixed-size columnar `Id`
 //!   batches instead of materializing every intermediate table;
-//! * both the pipeline and the retained materializing oracle ([`legacy`])
-//!   measure the *actual* `Cout` (sum of join output cardinalities,
-//!   [`exec::ExecStats`]) next to wall-clock time, enabling the §III
-//!   correlation experiment, plus the peak intermediate-tuple count
-//!   (`peak_tuples`) — the memory-side metric the streaming engine
-//!   minimizes;
+//! * solution modifiers are pushed into that pipeline ([`modifiers`]):
+//!   DISTINCT dedups raw `Id` rows, GROUP BY/aggregates fold streaming
+//!   batches into per-group accumulators, ORDER BY + LIMIT runs as a
+//!   bounded-heap TopK with per-row precomputed sort keys, and
+//!   LIMIT/OFFSET stops pulling upstream work the moment it is satisfied
+//!   (lowered by [`plan::ModifierPlan`] at prepare time);
+//! * the pipeline measures the *actual* `Cout` (sum of join output
+//!   cardinalities, [`exec::ExecStats`]) next to wall-clock time, enabling
+//!   the §III correlation experiment, plus the peak intermediate-tuple
+//!   count (`peak_tuples`) — the memory-side metric the streaming engine
+//!   minimizes ([`engine::Engine::execute_unpushed`] retains the
+//!   materialize-then-modify baseline for differential measurement);
 //! * query *templates* with `%param` placeholders ([`template`]) are
 //!   first-class: the workload generator instantiates them once per
 //!   parameter binding.
@@ -52,7 +58,7 @@ pub mod display;
 pub mod engine;
 pub mod error;
 pub mod exec;
-pub mod legacy;
+pub mod modifiers;
 pub mod optimizer;
 pub mod parser;
 pub mod physical;
@@ -66,6 +72,6 @@ pub use error::QueryError;
 pub use exec::ExecStats;
 pub use parser::parse_query;
 pub use physical::{Batch, CoutBucket, Operator, BATCH_SIZE};
-pub use plan::{PlanNode, PlanSignature};
+pub use plan::{ModifierPlan, PlanNode, PlanSignature};
 pub use results::{OutVal, ResultSet};
 pub use template::{Binding, QueryTemplate};

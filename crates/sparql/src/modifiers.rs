@@ -1,0 +1,629 @@
+//! Streaming solution-modifier operators for the batched Volcano pipeline.
+//!
+//! PR 1 moved joins into a pull-based operator pipeline but left every
+//! solution modifier in the result layer, *after* full materialization.
+//! This module pushes them into the physical layer:
+//!
+//! * [`Distinct`] — hash-set deduplication over raw `Id` rows, before any
+//!   dictionary decode;
+//! * [`Slice`] — OFFSET/LIMIT with **early termination**: once the limit is
+//!   satisfied it stops pulling upstream batches, so scans and joins above
+//!   it simply never run their remaining work;
+//! * [`TopK`] — ORDER BY + LIMIT as a bounded max-heap of the best
+//!   `offset + limit` rows, with per-row sort keys
+//!   ([`crate::results::SortAtom`]) computed **once** on arrival instead of
+//!   decoded on every comparison;
+//! * [`GroupFold`] — streaming GROUP BY/aggregation: folds each input batch
+//!   into per-group accumulators so the grouped query never materializes
+//!   its (potentially huge) join input, only the groups.
+//!
+//! Tie-breaking is pinned everywhere: rows are ordered by their sort keys,
+//! then by pipeline arrival order, which makes [`TopK`] output identical to
+//! a stable full sort followed by `skip/take` — the property the
+//! differential suites rely on.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use parambench_rdf::dict::Id;
+use parambench_rdf::store::Dataset;
+
+use crate::exec::{ExecStats, UNBOUND};
+use crate::physical::{Batch, BoxedOperator, Operator};
+use crate::plan::AggregatePlan;
+use crate::results::{cmp_atoms, SortAtom};
+
+// ---------------------------------------------------------------------------
+// Distinct
+// ---------------------------------------------------------------------------
+
+/// Streams only the first occurrence of each row (compared as raw `Id`
+/// tuples, before any decode). The retained key set is the operator's only
+/// state — counted into [`ExecStats::peak_tuples`] alongside the emitted
+/// copy, since both are resident at once; rows already emitted flow on
+/// unchanged.
+pub struct Distinct<'a> {
+    child: BoxedOperator<'a>,
+    seen: HashSet<Vec<Id>>,
+}
+
+impl<'a> Distinct<'a> {
+    pub fn new(child: BoxedOperator<'a>) -> Self {
+        Distinct { child, seen: HashSet::new() }
+    }
+}
+
+impl Operator for Distinct<'_> {
+    fn schema(&self) -> &[usize] {
+        self.child.schema()
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        let width = self.child.schema().len();
+        let mut row_buf = vec![UNBOUND; width];
+        loop {
+            let batch = self.child.next_batch(stats)?;
+            let mut out = Batch::with_schema(batch.schema().to_vec());
+            for r in 0..batch.len() {
+                batch.read_row(r, &mut row_buf);
+                // contains-then-insert: duplicates (the common case this
+                // operator exists for) pay no allocation.
+                if !self.seen.contains(row_buf.as_slice()) {
+                    self.seen.insert(row_buf.clone());
+                    out.push_row(&row_buf);
+                }
+            }
+            stats.shrink(batch.len());
+            if !out.is_empty() {
+                // The retained `seen` copy stays resident for the rest of
+                // the query; the emitted copy is handed downstream.
+                stats.grow(2 * out.len());
+                return Some(out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice (OFFSET / LIMIT with early exit)
+// ---------------------------------------------------------------------------
+
+/// OFFSET/LIMIT over the stream. Once `limit` rows have been emitted the
+/// operator is done and **never pulls its child again** — the "done" signal
+/// the pull model gives for free: upstream scans and joins simply stop
+/// producing, which is what makes LIMIT-bearing queries cheap.
+pub struct Slice<'a> {
+    child: BoxedOperator<'a>,
+    skip: usize,
+    /// Rows still to emit; `None` = unlimited.
+    take: Option<usize>,
+    done: bool,
+}
+
+impl<'a> Slice<'a> {
+    pub fn new(child: BoxedOperator<'a>, offset: usize, limit: Option<usize>) -> Self {
+        Slice { child, skip: offset, take: limit, done: limit == Some(0) }
+    }
+}
+
+impl Operator for Slice<'_> {
+    fn schema(&self) -> &[usize] {
+        self.child.schema()
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        let width = self.child.schema().len();
+        let mut row_buf = vec![UNBOUND; width];
+        loop {
+            let Some(batch) = self.child.next_batch(stats) else {
+                self.done = true;
+                return None;
+            };
+            let total = batch.len();
+            let drop_front = self.skip.min(total);
+            self.skip -= drop_front;
+            let available = total - drop_front;
+            let emit = match self.take {
+                Some(t) => t.min(available),
+                None => available,
+            };
+            if let Some(t) = &mut self.take {
+                *t -= emit;
+                if *t == 0 {
+                    self.done = true;
+                }
+            }
+            stats.shrink(total);
+            if emit == 0 {
+                if self.done {
+                    return None;
+                }
+                continue;
+            }
+            let mut out = Batch::with_schema(batch.schema().to_vec());
+            for r in drop_front..drop_front + emit {
+                batch.read_row(r, &mut row_buf);
+                out.push_row(&row_buf);
+            }
+            stats.grow(out.len());
+            return Some(out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TopK (ORDER BY + LIMIT as a bounded heap)
+// ---------------------------------------------------------------------------
+
+/// One sort-key atom with its sort direction baked in, so heap ordering
+/// needs no side-table of directions. Atoms of the same key position always
+/// carry the same variant.
+enum KeyAtom<'a> {
+    Asc(SortAtom<'a>),
+    Desc(SortAtom<'a>),
+}
+
+impl KeyAtom<'_> {
+    fn cmp_atom(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (KeyAtom::Asc(a), KeyAtom::Asc(b)) => cmp_atoms(a, b),
+            (KeyAtom::Desc(a), KeyAtom::Desc(b)) => cmp_atoms(b, a),
+            // Mixed variants cannot occur: keys compare position-wise.
+            _ => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+/// A buffered row: sort key, arrival sequence (tie-break), then payload.
+struct HeapRow<'a> {
+    key: Vec<KeyAtom<'a>>,
+    seq: u64,
+    row: Vec<Id>,
+}
+
+impl HeapRow<'_> {
+    fn cmp_row(&self, other: &Self) -> std::cmp::Ordering {
+        for (a, b) in self.key.iter().zip(&other.key) {
+            let ord = a.cmp_atom(b);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.seq.cmp(&other.seq)
+    }
+}
+
+impl PartialEq for HeapRow<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_row(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapRow<'_> {}
+impl PartialOrd for HeapRow<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapRow<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp_row(other)
+    }
+}
+
+/// ORDER BY paired with LIMIT: keeps the best `offset + limit` rows in a
+/// bounded max-heap (the heap top is the current *worst* kept row, popped
+/// whenever a better row arrives), then emits the survivors past `offset`
+/// in final sorted order. Peak resident rows: `offset + limit`, not the
+/// full input — the memory win `ExecStats::peak_tuples` records.
+///
+/// Sort keys are resolved once per arriving row (numeric value or decoded
+/// term reference); comparisons never touch the dictionary again.
+pub struct TopK<'a> {
+    child: BoxedOperator<'a>,
+    ds: &'a Dataset,
+    /// (child column, descending) per ORDER BY key.
+    keys: Vec<(usize, bool)>,
+    offset: usize,
+    /// Heap capacity: `offset + limit`.
+    k: usize,
+    heap: BinaryHeap<HeapRow<'a>>,
+    /// Sorted survivors, filled when the input is exhausted.
+    emit: Option<std::vec::IntoIter<Vec<Id>>>,
+    seq: u64,
+    schema: Vec<usize>,
+}
+
+impl<'a> TopK<'a> {
+    pub fn new(
+        child: BoxedOperator<'a>,
+        ds: &'a Dataset,
+        keys: Vec<(usize, bool)>,
+        offset: usize,
+        limit: usize,
+    ) -> Self {
+        let schema = child.schema().to_vec();
+        let k = offset.saturating_add(limit);
+        TopK { child, ds, keys, offset, k, heap: BinaryHeap::new(), emit: None, seq: 0, schema }
+    }
+
+    fn make_key(&self, row: &[Id]) -> Vec<KeyAtom<'a>> {
+        self.keys
+            .iter()
+            .map(|&(col, desc)| {
+                let atom = SortAtom::of_id(row[col], self.ds);
+                if desc {
+                    KeyAtom::Desc(atom)
+                } else {
+                    KeyAtom::Asc(atom)
+                }
+            })
+            .collect()
+    }
+}
+
+impl Operator for TopK<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        if self.emit.is_none() {
+            let width = self.schema.len();
+            let mut row_buf = vec![UNBOUND; width];
+            if self.k > 0 {
+                while let Some(batch) = self.child.next_batch(stats) {
+                    for r in 0..batch.len() {
+                        batch.read_row(r, &mut row_buf);
+                        let key = self.make_key(&row_buf);
+                        let seq = self.seq;
+                        self.seq += 1;
+                        if self.heap.len() < self.k {
+                            self.heap.push(HeapRow { key, seq, row: row_buf.clone() });
+                            stats.grow(1);
+                            continue;
+                        }
+                        // At capacity: admit only rows that beat the worst
+                        // kept row *on keys* — an equal key always loses
+                        // (the kept row arrived earlier), so the row
+                        // payload is cloned only for actual insertions.
+                        let worst = self.heap.peek().expect("heap at capacity is non-empty");
+                        let beats = key
+                            .iter()
+                            .zip(&worst.key)
+                            .map(|(a, b)| a.cmp_atom(b))
+                            .find(|o| *o != std::cmp::Ordering::Equal)
+                            == Some(std::cmp::Ordering::Less);
+                        if beats {
+                            self.heap.pop();
+                            self.heap.push(HeapRow { key, seq, row: row_buf.clone() });
+                        }
+                    }
+                    stats.shrink(batch.len());
+                }
+            }
+            let sorted: Vec<Vec<Id>> = std::mem::take(&mut self.heap)
+                .into_sorted_vec()
+                .into_iter()
+                .map(|h| h.row)
+                .collect();
+            let skipped = self.offset.min(sorted.len());
+            let past_offset: Vec<Vec<Id>> = sorted.into_iter().skip(self.offset).collect();
+            stats.shrink(skipped);
+            self.emit = Some(past_offset.into_iter());
+        }
+        let emit = self.emit.as_mut().expect("filled above");
+        let mut out = Batch::with_schema(self.schema.clone());
+        while !out.is_full() {
+            match emit.next() {
+                // Accounting transfer: rows were grown on heap insertion
+                // and stay resident until the pipeline finishes.
+                Some(row) => out.push_row(&row),
+                None => break,
+            }
+        }
+        if out.is_empty() {
+            return None;
+        }
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GroupFold (streaming GROUP BY / aggregation)
+// ---------------------------------------------------------------------------
+
+/// Per-group accumulator of one aggregate projection.
+#[derive(Debug, Clone)]
+pub(crate) struct AggState {
+    /// Bound input values folded (after DISTINCT filtering).
+    pub count: u64,
+    /// Of those, how many had a numeric interpretation.
+    pub num_count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Ids already folded, for `FUNC(DISTINCT ?x)`.
+    seen: HashSet<u32>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            num_count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+/// Streaming GROUP BY fold: rows are folded into per-group [`AggState`]s
+/// as they arrive, so only the groups — never the grouped input — are ever
+/// resident. Groups are kept in first-seen order (the pipeline's row
+/// order), which pins the pre-sort output order.
+///
+/// Aggregation subset semantics (shared by the oracle in the test suite):
+/// COUNT counts bound values; SUM adds the numeric values and is 0 when
+/// none exist; AVG divides by the *numeric* count and is unbound for a
+/// group without numeric values; MIN/MAX fold numeric values only and are
+/// unbound for a group without any.
+pub(crate) struct GroupFold<'a> {
+    ds: &'a Dataset,
+    /// Input column per group key.
+    group_cols: Vec<usize>,
+    /// Input column per aggregate (`None` = COUNT(*)), plus DISTINCT flag.
+    spec_cols: Vec<(Option<usize>, bool)>,
+    groups: HashMap<Vec<Id>, usize>,
+    /// Group keys in first-seen order.
+    order: Vec<Vec<Id>>,
+    states: Vec<Vec<AggState>>,
+    /// Resident accumulator entries registered with `ExecStats` so far
+    /// (one per group row, one per retained DISTINCT input id): the fold's
+    /// memory is counted *while* input batches are still live, not after.
+    resident: usize,
+}
+
+impl<'a> GroupFold<'a> {
+    /// `schema` is the slot list of the rows that will be folded (a batch
+    /// schema or a bindings column list).
+    pub fn new(agg: &AggregatePlan, schema: &[usize], ds: &'a Dataset) -> Self {
+        let col_of = |slot: usize| {
+            schema.iter().position(|&v| v == slot).expect("modifier slot in pipeline schema")
+        };
+        GroupFold {
+            ds,
+            group_cols: agg.group_slots.iter().map(|&s| col_of(s)).collect(),
+            spec_cols: agg
+                .specs
+                .iter()
+                .map(|spec| (spec.slot.map(col_of), spec.distinct))
+                .collect(),
+            groups: HashMap::new(),
+            order: Vec::new(),
+            states: Vec::new(),
+            resident: 0,
+        }
+    }
+
+    /// Folds one row into its group's accumulators, registering newly
+    /// retained state (group rows, DISTINCT input ids) with `stats` so
+    /// `peak_tuples` sees the fold's memory concurrently with the live
+    /// input batch.
+    pub fn add_row(&mut self, row: &[Id], stats: &mut ExecStats) {
+        let key: Vec<Id> = self.group_cols.iter().map(|&c| row[c]).collect();
+        let gi = match self.groups.get(&key) {
+            Some(&gi) => gi,
+            None => {
+                let gi = self.order.len();
+                self.groups.insert(key.clone(), gi);
+                self.order.push(key);
+                self.states.push(vec![AggState::new(); self.spec_cols.len()]);
+                stats.grow(1);
+                self.resident += 1;
+                gi
+            }
+        };
+        for ((col, distinct), state) in self.spec_cols.iter().zip(self.states[gi].iter_mut()) {
+            match col {
+                None => state.count += 1, // COUNT(*)
+                Some(c) => {
+                    let id = row[*c];
+                    if id == UNBOUND {
+                        continue;
+                    }
+                    if *distinct {
+                        if !state.seen.insert(id.0) {
+                            continue;
+                        }
+                        stats.grow(1);
+                        self.resident += 1;
+                    }
+                    state.count += 1;
+                    if let Some(n) = self.ds.dict().numeric(id) {
+                        state.num_count += 1;
+                        state.sum += n;
+                        state.min = state.min.min(n);
+                        state.max = state.max.max(n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resident accumulator entries registered so far (to release once the
+    /// fold's output has been laid out).
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of groups so far (used by the unit tests; production code
+    /// tracks `resident()` instead).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Finishes the fold. A grouped query over empty input has no groups;
+    /// an *ungrouped* aggregate query (implicit single group) always yields
+    /// exactly one row, per SPARQL — COUNT 0, SUM 0, AVG/MIN/MAX unbound.
+    pub fn finish(mut self) -> (Vec<Vec<Id>>, Vec<Vec<AggState>>) {
+        if self.group_cols.is_empty() && self.order.is_empty() {
+            self.order.push(Vec::new());
+            self.states.push(vec![AggState::new(); self.spec_cols.len()]);
+        }
+        (self.order, self.states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AggFunc;
+    use crate::physical::{drain, IndexScan, BATCH_SIZE};
+    use crate::plan::{AggSpec, PlannedPattern, Slot};
+    use parambench_rdf::store::StoreBuilder;
+    use parambench_rdf::term::Term;
+
+    /// `n` subjects with value i%5 under p/val, plus a p/tag per subject.
+    fn dataset(n: usize) -> Dataset {
+        let mut b = StoreBuilder::new();
+        for i in 0..n {
+            let s = Term::iri(format!("s/{i}"));
+            b.insert(s.clone(), Term::iri("p/val"), Term::integer((i % 5) as i64));
+            b.insert(s, Term::iri("p/tag"), Term::iri(format!("t/{}", i % 3)));
+        }
+        b.freeze()
+    }
+
+    fn scan<'a>(ds: &'a Dataset, pred: &str, s: usize, o: usize) -> BoxedOperator<'a> {
+        let p = ds.lookup(&Term::iri(pred)).unwrap();
+        let pat = PlannedPattern { idx: 0, slots: [Slot::Var(s), Slot::Bound(p), Slot::Var(o)] };
+        Box::new(IndexScan::new(ds, &pat))
+    }
+
+    #[test]
+    fn distinct_dedups_across_batches() {
+        let n = 2 * BATCH_SIZE + 100;
+        let ds = dataset(n);
+        // Project to the value column only: 5 distinct values survive.
+        let op = Box::new(crate::physical::Project::new(scan(&ds, "p/val", 0, 1), &[1]));
+        let mut stats = ExecStats::default();
+        let out = drain(Box::new(Distinct::new(op)), &mut stats);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn slice_stops_pulling_after_limit() {
+        let n = 4 * BATCH_SIZE;
+        let ds = dataset(n);
+        let mut stats = ExecStats::default();
+        let sliced = Slice::new(scan(&ds, "p/val", 0, 1), 3, Some(10));
+        let out = drain(Box::new(sliced), &mut stats);
+        assert_eq!(out.len(), 10);
+        // Early exit: only the first batch was ever scanned.
+        assert!(
+            stats.scanned <= BATCH_SIZE as u64,
+            "scanned {} rows for a LIMIT 10",
+            stats.scanned
+        );
+    }
+
+    #[test]
+    fn slice_limit_zero_never_pulls() {
+        let ds = dataset(100);
+        let mut stats = ExecStats::default();
+        let out = drain(Box::new(Slice::new(scan(&ds, "p/val", 0, 1), 0, Some(0))), &mut stats);
+        assert!(out.is_empty());
+        assert_eq!(stats.scanned, 0);
+    }
+
+    #[test]
+    fn slice_offset_past_end_is_empty() {
+        let ds = dataset(50);
+        let mut stats = ExecStats::default();
+        let out = drain(Box::new(Slice::new(scan(&ds, "p/val", 0, 1), 1000, None)), &mut stats);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn topk_equals_stable_sort_prefix() {
+        let n = 3 * BATCH_SIZE + 7;
+        let ds = dataset(n);
+        // Sort ascending by value (heavy ties: values are i % 5).
+        let mut stats = ExecStats::default();
+        let full = drain(scan(&ds, "p/val", 0, 1), &mut stats);
+        let mut expected: Vec<(Id, usize)> = Vec::new();
+        for (i, row) in full.iter().enumerate() {
+            expected.push((row[1], i));
+        }
+        let cmp_ids = |a: Id, b: Id| cmp_atoms(&SortAtom::of_id(a, &ds), &SortAtom::of_id(b, &ds));
+        expected.sort_by(|a, b| cmp_ids(a.0, b.0).then(a.1.cmp(&b.1)));
+
+        let (offset, limit) = (5, 40);
+        let mut tk_stats = ExecStats::default();
+        let topk = TopK::new(scan(&ds, "p/val", 0, 1), &ds, vec![(1, false)], offset, limit);
+        let got = drain(Box::new(topk), &mut tk_stats);
+        assert_eq!(got.len(), limit);
+        for (g, (id, i)) in got.iter().zip(expected.iter().skip(offset).take(limit)) {
+            assert_eq!(g[1], *id);
+            assert_eq!(g[0], full.row(*i)[0], "tie-break must follow arrival order");
+        }
+        // Bounded memory: the heap held at most offset+limit rows on top of
+        // one in-flight batch.
+        assert!(
+            tk_stats.peak_tuples <= (offset + limit + BATCH_SIZE) as u64,
+            "peak {}",
+            tk_stats.peak_tuples
+        );
+    }
+
+    #[test]
+    fn group_fold_streams_groups() {
+        let n = 1000;
+        let ds = dataset(n);
+        let agg = AggregatePlan {
+            group_slots: vec![1],
+            specs: vec![
+                AggSpec { func: AggFunc::Count, slot: Some(0), distinct: false },
+                AggSpec { func: AggFunc::Count, slot: Some(0), distinct: true },
+            ],
+        };
+        let mut op = scan(&ds, "p/val", 0, 1);
+        let mut fold = GroupFold::new(&agg, op.schema(), &ds);
+        let mut stats = ExecStats::default();
+        let mut row = vec![UNBOUND; 2];
+        while let Some(batch) = op.next_batch(&mut stats) {
+            for r in 0..batch.len() {
+                batch.read_row(r, &mut row);
+                fold.add_row(&row, &mut stats);
+            }
+            stats.shrink(batch.len());
+        }
+        assert_eq!(fold.len(), 5);
+        // Resident accounting: 5 group rows + 1000 retained distinct ids.
+        assert_eq!(fold.resident(), 5 + n);
+        let (keys, states) = fold.finish();
+        assert_eq!(keys.len(), 5);
+        for st in &states {
+            assert_eq!(st[0].count, 200);
+            assert_eq!(st[1].count, 200, "subjects are distinct");
+        }
+    }
+
+    #[test]
+    fn ungrouped_fold_of_empty_input_yields_one_group() {
+        let ds = dataset(10);
+        let agg = AggregatePlan {
+            group_slots: vec![],
+            specs: vec![AggSpec { func: AggFunc::Count, slot: None, distinct: false }],
+        };
+        let fold = GroupFold::new(&agg, &[0, 1], &ds);
+        let (keys, states) = fold.finish();
+        assert_eq!(keys.len(), 1);
+        assert_eq!(states[0][0].count, 0);
+    }
+}

@@ -9,9 +9,13 @@
 //! so two instantiations of a template compare equal iff their optimal join
 //! trees match.
 
+use std::collections::HashMap;
+
 use parambench_rdf::dict::Id;
 use parambench_rdf::store::Dataset;
 
+use crate::ast::{AggFunc, Projection, SelectQuery};
+use crate::error::QueryError;
 use crate::physical::{BindJoin, BoxedOperator, CoutBucket, HashJoinProbe, IndexScan};
 
 /// One S/P/O slot of a planned pattern.
@@ -226,6 +230,254 @@ impl PlanNode {
                 out
             }
         }
+    }
+}
+
+/// Where a solution-table column's value comes from once the pipeline has
+/// produced its final bindings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableColSource {
+    /// A variable slot of the binding pipeline (plain vars, group keys).
+    Slot(usize),
+    /// The `i`-th aggregate of the enclosing [`AggregatePlan`].
+    Agg(usize),
+}
+
+/// One column of the solution table the modifier stack operates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableCol {
+    /// Output name (variable name or aggregate alias).
+    pub name: String,
+    pub source: TableColSource,
+}
+
+/// One aggregate projection, lowered to the slot level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Input variable slot; `None` for `COUNT(*)`.
+    pub slot: Option<usize>,
+    /// `FUNC(DISTINCT ?x)`: fold each distinct input id once per group.
+    pub distinct: bool,
+}
+
+/// GROUP BY + aggregate projections, lowered to the slot level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatePlan {
+    /// Grouping key slots, in GROUP BY order (empty = one implicit group).
+    pub group_slots: Vec<usize>,
+    /// Aggregate projections, in projection order.
+    pub specs: Vec<AggSpec>,
+}
+
+/// The query's solution modifiers (DISTINCT, GROUP BY/aggregation,
+/// ORDER BY, LIMIT/OFFSET), lowered and validated against the variable
+/// slot table at prepare time.
+///
+/// The *solution table* the plan describes has `table` columns: the
+/// declared projections first (`out_width` of them), then helper columns
+/// for ORDER BY keys that are not projected (dropped after sorting).
+/// Modifier semantics over that table, in order: sort by `order_by`
+/// (stable: ties keep pipeline row order), project to the first
+/// `out_width` columns, DISTINCT (first occurrence wins), then
+/// OFFSET/LIMIT. [`crate::engine::Engine::execute`] pushes as much of
+/// this stack as possible into streaming physical operators
+/// ([`crate::modifiers`]); the rest runs at the result boundary
+/// ([`crate::results`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModifierPlan {
+    pub distinct: bool,
+    pub offset: usize,
+    pub limit: Option<usize>,
+    /// Solution-table columns: projections, then ORDER BY helper columns.
+    pub table: Vec<TableCol>,
+    /// Number of declared output columns (prefix of `table`).
+    pub out_width: usize,
+    /// Sort keys: (table column, descending).
+    pub order_by: Vec<(usize, bool)>,
+    /// Present when any projection is an aggregate.
+    pub aggregate: Option<AggregatePlan>,
+}
+
+impl ModifierPlan {
+    /// Lowers and validates the modifier clauses of `query` against the
+    /// prepared variable table. All modifier shape errors (unknown ORDER BY
+    /// variables, ungrouped projections, GROUP BY without aggregates) are
+    /// raised here, at prepare time, instead of during execution.
+    pub fn lower(
+        query: &SelectQuery,
+        slot_of: &HashMap<String, usize>,
+    ) -> Result<Self, QueryError> {
+        let slot = |name: &str| -> Result<usize, QueryError> {
+            slot_of.get(name).copied().ok_or_else(|| QueryError::UnknownVariable(name.to_string()))
+        };
+
+        let mut table: Vec<TableCol> = Vec::new();
+        let aggregate = if query.has_aggregates() {
+            let mut specs: Vec<AggSpec> = Vec::new();
+            for p in &query.projections {
+                match p {
+                    Projection::Var(v) => {
+                        if !query.group_by.iter().any(|g| g == v) {
+                            return Err(QueryError::Unsupported(format!(
+                                "projected variable ?{v} must appear in GROUP BY"
+                            )));
+                        }
+                        table.push(TableCol {
+                            name: v.clone(),
+                            source: TableColSource::Slot(slot(v)?),
+                        });
+                    }
+                    Projection::Aggregate { func, var, distinct, alias } => {
+                        let in_slot = match var {
+                            Some(v) => Some(slot(v)?),
+                            None => None,
+                        };
+                        table.push(TableCol {
+                            name: alias.clone(),
+                            source: TableColSource::Agg(specs.len()),
+                        });
+                        specs.push(AggSpec { func: *func, slot: in_slot, distinct: *distinct });
+                    }
+                }
+            }
+            let group_slots =
+                query.group_by.iter().map(|g| slot(g)).collect::<Result<Vec<_>, _>>()?;
+            Some(AggregatePlan { group_slots, specs })
+        } else {
+            if !query.group_by.is_empty() {
+                return Err(QueryError::Unsupported("GROUP BY without aggregates".into()));
+            }
+            for p in &query.projections {
+                if let Projection::Var(v) = p {
+                    table
+                        .push(TableCol { name: v.clone(), source: TableColSource::Slot(slot(v)?) });
+                }
+            }
+            None
+        };
+        let out_width = table.len();
+
+        // ORDER BY keys: reuse a projected column when one carries the
+        // variable/alias; otherwise append a helper column (which must be
+        // a pattern variable — a group variable under aggregation).
+        let mut order_by: Vec<(usize, bool)> = Vec::new();
+        for k in &query.order_by {
+            let col = match table.iter().position(|c| c.name == k.var) {
+                Some(c) => c,
+                None => {
+                    if aggregate.is_some() && !query.group_by.iter().any(|g| g == &k.var) {
+                        return Err(QueryError::Unsupported(format!(
+                            "ORDER BY ?{} must be a group variable or aggregate alias",
+                            k.var
+                        )));
+                    }
+                    table.push(TableCol {
+                        name: k.var.clone(),
+                        source: TableColSource::Slot(slot(&k.var)?),
+                    });
+                    table.len() - 1
+                }
+            };
+            order_by.push((col, k.descending));
+        }
+
+        Ok(ModifierPlan {
+            distinct: query.distinct,
+            offset: query.offset.unwrap_or(0),
+            limit: query.limit,
+            table,
+            out_width,
+            order_by,
+            aggregate,
+        })
+    }
+
+    /// True when the table carries helper (unprojected ORDER BY) columns.
+    pub fn has_helper_cols(&self) -> bool {
+        self.table.len() > self.out_width
+    }
+
+    /// Output column names, in projection order.
+    pub fn out_names(&self) -> Vec<String> {
+        self.table[..self.out_width].iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Distinct variable slots referenced by the solution table, in table
+    /// column order (the plain path's pipeline projection).
+    pub fn table_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for c in &self.table {
+            if let TableColSource::Slot(s) = c.source {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct variable slots of the *projected* columns only (what
+    /// DISTINCT deduplicates on — helper sort columns excluded).
+    pub fn out_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for c in &self.table[..self.out_width] {
+            if let TableColSource::Slot(s) = c.source {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every variable slot the pipeline must still carry at the modifier
+    /// boundary: table slots plus aggregate input slots.
+    pub fn input_slots(&self) -> Vec<usize> {
+        let mut out = self.table_slots();
+        if let Some(agg) = &self.aggregate {
+            for &s in &agg.group_slots {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+            for spec in &agg.specs {
+                if let Some(s) = spec.slot {
+                    if !out.contains(&s) {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One-line summary for EXPLAIN output.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if self.distinct {
+            parts.push("DISTINCT".into());
+        }
+        if let Some(agg) = &self.aggregate {
+            parts.push(format!(
+                "AGGREGATE({} specs, {} group keys)",
+                agg.specs.len(),
+                agg.group_slots.len()
+            ));
+        }
+        if !self.order_by.is_empty() {
+            parts.push(format!("ORDER({} keys)", self.order_by.len()));
+        }
+        if self.offset > 0 {
+            parts.push(format!("OFFSET {}", self.offset));
+        }
+        if let Some(l) = self.limit {
+            parts.push(format!("LIMIT {l}"));
+        }
+        if parts.is_empty() {
+            parts.push("none".into());
+        }
+        parts.join(" ")
     }
 }
 

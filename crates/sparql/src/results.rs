@@ -1,20 +1,34 @@
-//! Solution modifiers and result sets: GROUP BY / aggregation, ORDER BY,
-//! DISTINCT, OFFSET/LIMIT and projection to decoded terms.
+//! Result-boundary finalization: decoding, precomputed sort keys, and the
+//! solution-table fallback for modifiers the pipeline could not stream.
+//!
+//! Most modifier work now happens *inside* the physical pipeline
+//! ([`crate::modifiers`]): DISTINCT, LIMIT/OFFSET early exit, TopK and
+//! streaming aggregation all run over raw `Id` batches. What remains here
+//! is (a) decoding `Id` rows to terms, (b) the full-sort fallback for
+//! ORDER BY without LIMIT (or combined with modifiers that prevent
+//! pushdown), and (c) laying out aggregate results as a solution table.
+//!
+//! Sorting always precomputes one [`SortAtom`] key vector per row — the
+//! dictionary is consulted O(n) times, never inside the O(n log n)
+//! comparator — and breaks ties by input row order, the same pinned order
+//! the streaming [`crate::modifiers::TopK`] operator uses.
 
 use std::cmp::Ordering;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use parambench_rdf::dict::Id;
 use parambench_rdf::store::Dataset;
 use parambench_rdf::term::Term;
 
-use crate::ast::{AggFunc, OrderKey, Projection, SelectQuery};
+use crate::ast::AggFunc;
 use crate::error::QueryError;
 use crate::exec::{Bindings, UNBOUND};
+use crate::modifiers::{AggState, GroupFold};
+use crate::plan::{AggregatePlan, ModifierPlan, TableColSource};
 
 /// A value in a (pre-decoding) solution table.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum SolVal {
+pub(crate) enum SolVal {
     Id(Id),
     Num(f64),
     Unbound,
@@ -102,6 +116,60 @@ impl ResultSet {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sort keys
+// ---------------------------------------------------------------------------
+
+/// One precomputed sort-key atom. Resolving a value to its atom touches
+/// the dictionary (numeric cache + decode) exactly once; comparing two
+/// atoms never does.
+///
+/// Ordering mirrors the engine's "benchmark order": numeric values first
+/// (by value, regardless of lexical form), then non-numeric terms in
+/// [`Term`] order, unbound last.
+#[derive(Debug, Clone, Copy)]
+pub enum SortAtom<'a> {
+    Num(f64),
+    Term(&'a Term),
+    Unbound,
+}
+
+impl<'a> SortAtom<'a> {
+    /// Resolves an id (or the UNBOUND sentinel) to its sort atom.
+    pub fn of_id(id: Id, ds: &'a Dataset) -> SortAtom<'a> {
+        if id == UNBOUND {
+            return SortAtom::Unbound;
+        }
+        match ds.dict().numeric(id) {
+            Some(n) => SortAtom::Num(n),
+            None => SortAtom::Term(ds.decode(id)),
+        }
+    }
+
+    pub(crate) fn of_solval(v: &SolVal, ds: &'a Dataset) -> SortAtom<'a> {
+        match v {
+            SolVal::Num(n) => SortAtom::Num(*n),
+            SolVal::Id(id) => SortAtom::of_id(*id, ds),
+            SolVal::Unbound => SortAtom::Unbound,
+        }
+    }
+}
+
+/// Total order over sort atoms (see [`SortAtom`]).
+pub fn cmp_atoms(a: &SortAtom<'_>, b: &SortAtom<'_>) -> Ordering {
+    match (a, b) {
+        (SortAtom::Num(x), SortAtom::Num(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        (SortAtom::Num(_), _) => Ordering::Less,
+        (_, SortAtom::Num(_)) => Ordering::Greater,
+        (SortAtom::Term(x), SortAtom::Term(y)) => x.cmp(y),
+        (SortAtom::Term(_), SortAtom::Unbound) => Ordering::Less,
+        (SortAtom::Unbound, SortAtom::Term(_)) => Ordering::Greater,
+        (SortAtom::Unbound, SortAtom::Unbound) => Ordering::Equal,
+    }
+}
+
+/// Hashable identity of a solution value, for DISTINCT over mixed
+/// id/numeric rows.
 fn solval_key(v: &SolVal) -> u64 {
     match v {
         SolVal::Id(id) => (id.0 as u64) | (1 << 40),
@@ -110,59 +178,27 @@ fn solval_key(v: &SolVal) -> u64 {
     }
 }
 
-fn cmp_solval(a: SolVal, b: SolVal, ds: &Dataset) -> Ordering {
-    // Unbound sorts last; numerics and numeric-valued terms compare by
-    // value; remaining terms by dictionary (benchmark) order.
-    let num = |v: SolVal| match v {
-        SolVal::Num(n) => Some(n),
-        SolVal::Id(id) => ds.dict().numeric(id),
-        SolVal::Unbound => None,
-    };
-    match (a, b) {
-        (SolVal::Unbound, SolVal::Unbound) => Ordering::Equal,
-        (SolVal::Unbound, _) => Ordering::Greater,
-        (_, SolVal::Unbound) => Ordering::Less,
-        _ => match (num(a), num(b)) {
-            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
-            (Some(_), None) => Ordering::Less,
-            (None, Some(_)) => Ordering::Greater,
-            (None, None) => match (a, b) {
-                (SolVal::Id(x), SolVal::Id(y)) => ds.dict().compare(x, y),
-                _ => Ordering::Equal,
-            },
-        },
-    }
-}
+// ---------------------------------------------------------------------------
+// Solution tables
+// ---------------------------------------------------------------------------
 
-/// Non-aggregate path: the table is the bindings restricted to the columns
-/// needed by projection and ORDER BY.
-fn plain_table(
+/// Builds the solution table (in [`ModifierPlan::table`] column order) from
+/// fully materialized bindings — the non-aggregate fallback path.
+pub(crate) fn table_from_bindings(
     bindings: &Bindings,
-    query: &SelectQuery,
-    slot_of: &HashMap<String, usize>,
-) -> Result<(Vec<String>, Vec<Vec<SolVal>>), QueryError> {
-    if !query.group_by.is_empty() {
-        return Err(QueryError::Unsupported("GROUP BY without aggregates".into()));
-    }
-    let mut names: Vec<String> = Vec::new();
-    for p in &query.projections {
-        if let Projection::Var(v) = p {
-            names.push(v.clone());
-        }
-    }
-    for k in &query.order_by {
-        if !names.contains(&k.var) {
-            names.push(k.var.clone());
-        }
-    }
-    let cols: Vec<usize> = names
+    m: &ModifierPlan,
+) -> Result<Vec<Vec<SolVal>>, QueryError> {
+    let cols: Vec<usize> = m
+        .table
         .iter()
-        .map(|n| {
-            let slot = slot_of.get(n).ok_or_else(|| QueryError::UnknownVariable(n.clone()))?;
-            bindings.col_of(*slot).ok_or_else(|| QueryError::UnknownVariable(n.clone()))
+        .map(|c| match c.source {
+            TableColSource::Slot(slot) => {
+                bindings.col_of(slot).ok_or_else(|| QueryError::UnknownVariable(c.name.clone()))
+            }
+            TableColSource::Agg(_) => unreachable!("aggregate column on the plain path"),
         })
         .collect::<Result<_, _>>()?;
-    let rows: Vec<Vec<SolVal>> = bindings
+    Ok(bindings
         .iter()
         .map(|row| {
             cols.iter()
@@ -176,246 +212,127 @@ fn plain_table(
                 })
                 .collect()
         })
-        .collect();
-    Ok((names, rows))
+        .collect())
 }
 
-/// Aggregate path: group rows by the GROUP BY variables and fold each
-/// aggregate projection. SUM/AVG/MIN/MAX use the numeric value of terms;
-/// non-numeric terms are skipped (documented subset behaviour).
-fn aggregate(
-    bindings: &Bindings,
-    query: &SelectQuery,
-    slot_of: &HashMap<String, usize>,
-    ds: &Dataset,
-) -> Result<(Vec<String>, Vec<Vec<SolVal>>), QueryError> {
-    // Every plain projected var must be a group var.
-    for p in &query.projections {
-        if let Projection::Var(v) = p {
-            if !query.group_by.iter().any(|g| g == v) {
-                return Err(QueryError::Unsupported(format!(
-                    "projected variable ?{v} must appear in GROUP BY"
-                )));
-            }
-        }
-    }
-    let group_cols: Vec<usize> = query
-        .group_by
-        .iter()
-        .map(|g| {
-            let slot = slot_of.get(g).ok_or_else(|| QueryError::UnknownVariable(g.clone()))?;
-            bindings.col_of(*slot).ok_or_else(|| QueryError::UnknownVariable(g.clone()))
-        })
-        .collect::<Result<_, _>>()?;
-
-    struct AggSpec {
-        col: Option<usize>,
-        distinct: bool,
-    }
-    let mut specs: Vec<AggSpec> = Vec::new();
-    for p in &query.projections {
-        if let Projection::Aggregate { var, distinct, .. } = p {
-            let col = match var {
-                Some(v) => {
-                    let slot =
-                        slot_of.get(v).ok_or_else(|| QueryError::UnknownVariable(v.clone()))?;
-                    Some(
-                        bindings
-                            .col_of(*slot)
-                            .ok_or_else(|| QueryError::UnknownVariable(v.clone()))?,
-                    )
-                }
-                None => None,
-            };
-            specs.push(AggSpec { col, distinct: *distinct });
-        }
-    }
-
-    #[derive(Clone)]
-    struct AggState {
-        count: u64,
-        sum: f64,
-        min: f64,
-        max: f64,
-        seen: HashSet<u32>,
-    }
-    impl AggState {
-        fn new() -> Self {
-            AggState {
-                count: 0,
-                sum: 0.0,
-                min: f64::INFINITY,
-                max: f64::NEG_INFINITY,
-                seen: HashSet::new(),
-            }
-        }
-    }
-
-    let mut groups: HashMap<Vec<Id>, Vec<AggState>> = HashMap::new();
-    let mut group_order: Vec<Vec<Id>> = Vec::new();
-    for row in bindings.iter() {
-        let key: Vec<Id> = group_cols.iter().map(|&c| row[c]).collect();
-        let states = groups.entry(key.clone()).or_insert_with(|| {
-            group_order.push(key);
-            vec![AggState::new(); specs.len()]
-        });
-        for (spec, state) in specs.iter().zip(states.iter_mut()) {
-            match spec.col {
-                None => state.count += 1, // COUNT(*)
-                Some(c) => {
-                    let id = row[c];
-                    if id == UNBOUND {
-                        continue;
-                    }
-                    if spec.distinct && !state.seen.insert(id.0) {
-                        continue;
-                    }
-                    state.count += 1;
-                    if let Some(n) = ds.dict().numeric(id) {
-                        state.sum += n;
-                        state.min = state.min.min(n);
-                        state.max = state.max.max(n);
-                    }
-                }
-            }
-        }
-    }
-
-    // Output schema: projections in order, then unprojected ORDER BY group
-    // vars as helper columns (dropped after sorting).
-    let mut names: Vec<String> =
-        query.projections.iter().map(|p| p.output_name().to_string()).collect();
-    for k in &query.order_by {
-        if !names.contains(&k.var) {
-            if !query.group_by.iter().any(|g| g == &k.var) {
-                return Err(QueryError::Unsupported(format!(
-                    "ORDER BY ?{} must be a group variable or aggregate alias",
-                    k.var
-                )));
-            }
-            names.push(k.var.clone());
-        }
-    }
-
-    let mut rows: Vec<Vec<SolVal>> = Vec::with_capacity(group_order.len());
-    for key in &group_order {
-        let states = &groups[key];
-        let mut row: Vec<SolVal> = Vec::with_capacity(names.len());
-        let mut agg_i = 0;
-        for p in &query.projections {
-            match p {
-                Projection::Var(v) => {
-                    let gi = query.group_by.iter().position(|g| g == v).expect("validated");
+/// Lays out finished [`GroupFold`] accumulators as a solution table.
+pub(crate) fn table_from_groups(
+    keys: Vec<Vec<Id>>,
+    states: Vec<Vec<AggState>>,
+    m: &ModifierPlan,
+    agg: &AggregatePlan,
+) -> Vec<Vec<SolVal>> {
+    let mut rows: Vec<Vec<SolVal>> = Vec::with_capacity(keys.len());
+    for (key, states) in keys.iter().zip(&states) {
+        let row: Vec<SolVal> = m
+            .table
+            .iter()
+            .map(|c| match c.source {
+                TableColSource::Slot(slot) => {
+                    let gi = agg
+                        .group_slots
+                        .iter()
+                        .position(|&g| g == slot)
+                        .expect("table slot is a group slot under aggregation");
                     let id = key[gi];
-                    row.push(if id == UNBOUND { SolVal::Unbound } else { SolVal::Id(id) });
+                    if id == UNBOUND {
+                        SolVal::Unbound
+                    } else {
+                        SolVal::Id(id)
+                    }
                 }
-                Projection::Aggregate { func, .. } => {
-                    let st = &states[agg_i];
-                    agg_i += 1;
-                    row.push(fold_result(*func, st.count, st.sum, st.min, st.max));
-                }
-            }
-        }
-        for name in names.iter().skip(query.projections.len()) {
-            let gi = query.group_by.iter().position(|g| g == name).expect("validated");
-            let id = key[gi];
-            row.push(if id == UNBOUND { SolVal::Unbound } else { SolVal::Id(id) });
-        }
+                TableColSource::Agg(i) => fold_result(agg.specs[i].func, &states[i]),
+            })
+            .collect();
         rows.push(row);
     }
-    Ok((names, rows))
+    rows
 }
 
-fn fold_result(func: AggFunc, count: u64, sum: f64, min: f64, max: f64) -> SolVal {
+/// The final value of one aggregate accumulator (see [`GroupFold`] for the
+/// subset semantics).
+pub(crate) fn fold_result(func: AggFunc, st: &AggState) -> SolVal {
     match func {
-        AggFunc::Count => SolVal::Num(count as f64),
-        AggFunc::Sum => SolVal::Num(sum),
+        AggFunc::Count => SolVal::Num(st.count as f64),
+        AggFunc::Sum => SolVal::Num(st.sum),
         AggFunc::Avg => {
-            if count == 0 {
+            if st.num_count == 0 {
                 SolVal::Unbound
             } else {
-                SolVal::Num(sum / count as f64)
+                SolVal::Num(st.sum / st.num_count as f64)
             }
         }
         AggFunc::Min => {
-            if min.is_finite() {
-                SolVal::Num(min)
-            } else {
+            if st.num_count == 0 {
                 SolVal::Unbound
+            } else {
+                SolVal::Num(st.min)
             }
         }
         AggFunc::Max => {
-            if max.is_finite() {
-                SolVal::Num(max)
-            } else {
+            if st.num_count == 0 {
                 SolVal::Unbound
+            } else {
+                SolVal::Num(st.max)
             }
         }
     }
 }
 
-/// Applies all solution modifiers of `query` to the filtered bindings and
-/// decodes the final rows. `slot_of` maps variable names to variable slots
-/// (owned by the engine's prepared query).
-pub(crate) fn finalize(
-    bindings: &Bindings,
-    query: &SelectQuery,
-    slot_of: &HashMap<String, usize>,
+/// Runs the modifier stack over a solution table and decodes the result:
+/// stable sort by precomputed keys → project to the declared outputs →
+/// DISTINCT (unless the pipeline already deduplicated) → OFFSET/LIMIT →
+/// decode.
+pub(crate) fn finalize_table(
+    rows: Vec<Vec<SolVal>>,
+    m: &ModifierPlan,
     ds: &Dataset,
-) -> Result<ResultSet, QueryError> {
-    let (columns, mut rows) = if query.has_aggregates() {
-        aggregate(bindings, query, slot_of, ds)?
-    } else {
-        plain_table(bindings, query, slot_of)?
-    };
-
-    if !query.order_by.is_empty() {
-        let key_cols: Vec<(usize, bool)> = query
-            .order_by
+    already_distinct: bool,
+) -> ResultSet {
+    let mut rows = rows;
+    if !m.order_by.is_empty() {
+        // Precompute per-row sort keys once: the dictionary (numeric cache
+        // + decode) is touched n·k times total, not inside the comparator.
+        let keyed: Vec<Vec<SortAtom<'_>>> = rows
             .iter()
-            .map(|OrderKey { var, descending }| {
-                columns
-                    .iter()
-                    .position(|c| c == var)
-                    .map(|i| (i, *descending))
-                    .ok_or_else(|| QueryError::UnknownVariable(var.clone()))
+            .map(|row| {
+                m.order_by.iter().map(|&(col, _)| SortAtom::of_solval(&row[col], ds)).collect()
             })
-            .collect::<Result<_, _>>()?;
-        rows.sort_by(|a, b| {
-            for &(col, desc) in &key_cols {
-                let ord = cmp_solval(a[col], b[col], ds);
+            .collect();
+        let mut idx: Vec<usize> = (0..rows.len()).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            for (i, &(_, desc)) in m.order_by.iter().enumerate() {
+                let ord = cmp_atoms(&keyed[a][i], &keyed[b][i]);
                 let ord = if desc { ord.reverse() } else { ord };
                 if ord != Ordering::Equal {
                     return ord;
                 }
             }
-            Ordering::Equal
+            // Pinned tie-break: input (pipeline) row order.
+            a.cmp(&b)
         });
+        let mut reordered: Vec<Vec<SolVal>> = Vec::with_capacity(rows.len());
+        let mut taken: Vec<Option<Vec<SolVal>>> = rows.into_iter().map(Some).collect();
+        for i in idx {
+            reordered.push(taken[i].take().expect("each index visited once"));
+        }
+        rows = reordered;
     }
 
     // Project to the declared outputs (drops helper sort columns).
-    let out_names: Vec<String> =
-        query.projections.iter().map(|p| p.output_name().to_string()).collect();
-    let out_cols: Vec<usize> = out_names
-        .iter()
-        .map(|n| {
-            columns
-                .iter()
-                .position(|c| c == n)
-                .ok_or_else(|| QueryError::UnknownVariable(n.clone()))
-        })
-        .collect::<Result<_, _>>()?;
-    let mut projected: Vec<Vec<SolVal>> =
-        rows.into_iter().map(|row| out_cols.iter().map(|&c| row[c]).collect()).collect();
-
-    if query.distinct {
-        let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(projected.len());
-        projected.retain(|row| seen.insert(row.iter().map(solval_key).collect()));
+    if m.has_helper_cols() {
+        for row in &mut rows {
+            row.truncate(m.out_width);
+        }
     }
 
-    let offset = query.offset.unwrap_or(0);
+    if m.distinct && !already_distinct {
+        let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(rows.len());
+        rows.retain(|row| seen.insert(row.iter().map(solval_key).collect()));
+    }
+
     let sliced: Vec<Vec<SolVal>> =
-        projected.into_iter().skip(offset).take(query.limit.unwrap_or(usize::MAX)).collect();
+        rows.into_iter().skip(m.offset).take(m.limit.unwrap_or(usize::MAX)).collect();
 
     let decoded = sliced
         .into_iter()
@@ -429,7 +346,64 @@ pub(crate) fn finalize(
                 .collect()
         })
         .collect();
-    Ok(ResultSet { columns: out_names, rows: decoded })
+    ResultSet { columns: m.out_names(), rows: decoded }
+}
+
+/// Decodes already-modified pipeline output (the fully pushed plain path):
+/// each output column reads the bindings column holding its slot.
+pub(crate) fn decode_bindings(bindings: &Bindings, m: &ModifierPlan, ds: &Dataset) -> ResultSet {
+    let cols: Vec<usize> = m.table[..m.out_width]
+        .iter()
+        .map(|c| match c.source {
+            TableColSource::Slot(slot) => {
+                bindings.col_of(slot).expect("projected slot in pipeline schema")
+            }
+            TableColSource::Agg(_) => unreachable!("aggregate column on the plain path"),
+        })
+        .collect();
+    let rows = bindings
+        .iter()
+        .map(|row| {
+            cols.iter()
+                .map(|&c| {
+                    let id = row[c];
+                    if id == UNBOUND {
+                        OutVal::Unbound
+                    } else {
+                        OutVal::Term(ds.decode(id).clone())
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    ResultSet { columns: m.out_names(), rows }
+}
+
+/// The materialize-then-modify fallback: applies the full modifier stack
+/// of `m` to drained bindings. Used by the unpushed execution path (the
+/// baseline the pushdown is measured against) and by pushed plans whose
+/// modifier combination cannot stream (e.g. ORDER BY without LIMIT).
+pub(crate) fn finalize_bindings(
+    bindings: &Bindings,
+    m: &ModifierPlan,
+    ds: &Dataset,
+    stats: &mut crate::exec::ExecStats,
+) -> Result<ResultSet, QueryError> {
+    let rows = match &m.aggregate {
+        Some(agg) => {
+            let mut fold = GroupFold::new(agg, bindings.cols(), ds);
+            for row in bindings.iter() {
+                fold.add_row(row, stats);
+            }
+            let resident = fold.resident();
+            let (keys, states) = fold.finish();
+            let rows = table_from_groups(keys, states, m, agg);
+            stats.shrink(resident);
+            rows
+        }
+        None => table_from_bindings(bindings, m)?,
+    };
+    Ok(finalize_table(rows, m, ds, false))
 }
 
 #[cfg(test)]
@@ -457,5 +431,21 @@ mod tests {
         assert_eq!(rs.col("a"), Some(0));
         assert_eq!(rs.col("b"), None);
         assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn sort_atoms_order_numerics_terms_unbound() {
+        let n = SortAtom::Num(3.0);
+        let n2 = SortAtom::Num(10.0);
+        let ta = Term::iri("a");
+        let tb = Term::iri("b");
+        let t1 = SortAtom::Term(&ta);
+        let t2 = SortAtom::Term(&tb);
+        let u = SortAtom::Unbound;
+        assert_eq!(cmp_atoms(&n, &n2), Ordering::Less);
+        assert_eq!(cmp_atoms(&n2, &t1), Ordering::Less, "numerics before terms");
+        assert_eq!(cmp_atoms(&t1, &t2), Ordering::Less);
+        assert_eq!(cmp_atoms(&t2, &u), Ordering::Less, "unbound last");
+        assert_eq!(cmp_atoms(&u, &u), Ordering::Equal);
     }
 }

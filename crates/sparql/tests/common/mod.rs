@@ -1,0 +1,3 @@
+//! Shared test support for the integration suites.
+
+pub mod oracle;

@@ -1,0 +1,589 @@
+//! An independent, deliberately naive SPARQL-subset evaluator used as the
+//! differential-testing oracle for the streaming engine.
+//!
+//! This replaces the retired `legacy` module (the PR-1 materializing
+//! executor): instead of shipping a second executor in the library, the
+//! oracle lives in test support and evaluates queries the simplest way
+//! that could possibly be right — nested-loop pattern extension over the
+//! store's scans, then solution modifiers computed over *decoded terms*
+//! (never over dictionary ids or the engine's solution tables).
+//!
+//! Pattern-combination semantics mirror the engine's documented subset
+//! (UNION groups joined in order on variables shared with the part
+//! evaluated before them; OPTIONAL left-joined on variables shared with
+//! the required part; group-scoped filters), which PR 1's differential
+//! suites validated against a naive evaluator. What this oracle chiefly
+//! guards is the **modifier stack**: DISTINCT, GROUP BY/aggregation,
+//! ORDER BY and LIMIT/OFFSET, which the engine now pushes into streaming
+//! operators.
+//!
+//! Because ORDER BY only constrains the *sort keys*, a limited result may
+//! legitimately differ from the oracle's in which tie rows survive the
+//! cut. [`assert_matches`] therefore compares tie-class by tie-class: the
+//! engine's rows must be a sub-multiset of the oracle's rows of the same
+//! key class, with full equality for classes entirely inside the
+//! OFFSET/LIMIT window.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use parambench_rdf::dict::Id;
+use parambench_rdf::store::Dataset;
+use parambench_rdf::term::Term;
+use parambench_sparql::ast::{AggFunc, Element, Expr, Projection, SelectQuery, VarOrTerm};
+use parambench_sparql::exec::{eval_expr, Value, UNBOUND};
+use parambench_sparql::results::{OutVal, ResultSet};
+
+/// A naive solution table: named columns, id-level rows (UNBOUND = pad).
+struct Table {
+    vars: Vec<String>,
+    rows: Vec<Vec<Id>>,
+}
+
+impl Table {
+    fn unit() -> Table {
+        Table { vars: Vec::new(), rows: vec![Vec::new()] }
+    }
+
+    fn col(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+}
+
+/// The oracle's fully modified result, *before* OFFSET/LIMIT slicing, plus
+/// everything [`assert_matches`] needs to compare a limited engine result.
+pub struct OracleOutput {
+    pub columns: Vec<String>,
+    /// Sorted (if ORDER BY) + projected + deduplicated (if DISTINCT) rows.
+    pub full_rows: Vec<Vec<OutVal>>,
+    /// The sort-key tuple of each row of `full_rows` (empty tuples when the
+    /// query has no ORDER BY).
+    keys: Vec<Vec<OutVal>>,
+    offset: usize,
+    limit: Option<usize>,
+}
+
+/// Naive benchmark-order comparison over decoded values: numeric values
+/// first (by value), then non-numeric terms in `Term` order, unbound last.
+/// Mirrors the engine's ordering semantics without touching its code.
+pub fn cmp_vals(a: &OutVal, b: &OutVal) -> Ordering {
+    let num = |v: &OutVal| v.as_num();
+    match (a, b) {
+        (OutVal::Unbound, OutVal::Unbound) => Ordering::Equal,
+        (OutVal::Unbound, _) => Ordering::Greater,
+        (_, OutVal::Unbound) => Ordering::Less,
+        _ => match (num(a), num(b)) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => match (a, b) {
+                (OutVal::Term(x), OutVal::Term(y)) => x.cmp(y),
+                _ => Ordering::Equal,
+            },
+        },
+    }
+}
+
+/// Evaluates `query` naively over `ds`. Panics on queries outside the
+/// supported subset (the generators only produce supported shapes).
+pub fn evaluate(ds: &Dataset, query: &SelectQuery) -> OracleOutput {
+    // --- split the WHERE clause exactly like the engine's subset ---
+    let mut required = Vec::new();
+    let mut filters = Vec::new();
+    let mut optionals: Vec<(Vec<_>, Vec<Expr>)> = Vec::new();
+    let mut unions: Vec<Vec<(Vec<_>, Vec<Expr>)>> = Vec::new();
+    let flat = |elements: &[Element]| {
+        let mut pats = Vec::new();
+        let mut fs = Vec::new();
+        for el in elements {
+            match el {
+                Element::Triple(t) => pats.push(t.clone()),
+                Element::Filter(f) => fs.push(f.clone()),
+                _ => panic!("oracle: nested groups unsupported"),
+            }
+        }
+        (pats, fs)
+    };
+    for el in &query.where_clause {
+        match el {
+            Element::Triple(t) => required.push(t.clone()),
+            Element::Filter(f) => filters.push(f.clone()),
+            Element::Optional(inner) => optionals.push(flat(inner)),
+            Element::Union(branches) => unions.push(branches.iter().map(|b| flat(b)).collect()),
+        }
+    }
+
+    // --- required BGP ---
+    let mut base = if required.is_empty() {
+        None
+    } else {
+        let mut t = Table::unit();
+        for p in &required {
+            t = extend(ds, t, p);
+        }
+        Some(t)
+    };
+
+    // --- UNION groups, joined in order on shared variables ---
+    for branches in &unions {
+        let mut concat: Option<Table> = None;
+        for (pats, fs) in branches {
+            let mut t = Table::unit();
+            for p in pats {
+                t = extend(ds, t, p);
+            }
+            let t = filter(ds, t, fs);
+            concat = Some(match concat {
+                None => t,
+                Some(mut acc) => {
+                    let map: Vec<usize> = acc
+                        .vars
+                        .iter()
+                        .map(|v| t.col(v).expect("union branches bind the same vars"))
+                        .collect();
+                    for row in &t.rows {
+                        acc.rows.push(map.iter().map(|&c| row[c]).collect());
+                    }
+                    acc
+                }
+            });
+        }
+        let union_t = concat.expect("non-empty union");
+        base = Some(match base {
+            None => union_t,
+            Some(b) => join(b, union_t),
+        });
+    }
+    let mut table = base.expect("query has a base");
+    let required_vars: Vec<String> = table.vars.clone();
+
+    // --- OPTIONAL groups, left-joined on vars shared with the required part ---
+    for (pats, fs) in &optionals {
+        let mut t = Table::unit();
+        for p in pats {
+            t = extend(ds, t, p);
+        }
+        let t = filter(ds, t, fs);
+        table = left_join(table, t, &required_vars);
+    }
+
+    // --- top-level filters ---
+    table = filter(ds, table, &filters);
+
+    // --- modifiers over decoded values ---
+    let decode = |id: Id| -> OutVal {
+        if id == UNBOUND {
+            OutVal::Unbound
+        } else {
+            OutVal::Term(ds.decode(id).clone())
+        }
+    };
+
+    let has_aggs = query.projections.iter().any(|p| matches!(p, Projection::Aggregate { .. }));
+
+    // Build the solution rows: projections first, then helper ORDER BY
+    // columns (variables not already projected).
+    let mut columns: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<OutVal>> = Vec::new();
+    if has_aggs {
+        // Group rows by the GROUP BY variables, in first-seen order.
+        let group_cols: Vec<usize> =
+            query.group_by.iter().map(|g| table.col(g).expect("group var bound")).collect();
+        let mut order: Vec<Vec<Id>> = Vec::new();
+        let mut groups: HashMap<Vec<Id>, Vec<Vec<Id>>> = HashMap::new();
+        for row in &table.rows {
+            let key: Vec<Id> = group_cols.iter().map(|&c| row[c]).collect();
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(row.clone());
+        }
+        if query.group_by.is_empty() && order.is_empty() {
+            // Implicit single group over empty input: one all-empty group.
+            order.push(Vec::new());
+            groups.insert(Vec::new(), Vec::new());
+        }
+        for p in &query.projections {
+            columns.push(match p {
+                Projection::Var(v) => v.clone(),
+                Projection::Aggregate { alias, .. } => alias.clone(),
+            });
+        }
+        for k in &query.order_by {
+            if !columns.contains(&k.var) {
+                columns.push(k.var.clone());
+            }
+        }
+        for key in &order {
+            let members = &groups[key];
+            let mut out_row: Vec<OutVal> = Vec::new();
+            for name in &columns {
+                if let Some(gi) = query.group_by.iter().position(|g| g == name) {
+                    out_row.push(decode(key[gi]));
+                    continue;
+                }
+                let p = query
+                    .projections
+                    .iter()
+                    .find(|p| matches!(p, Projection::Aggregate { alias, .. } if alias == name))
+                    .expect("column is a group var or an aggregate alias");
+                let Projection::Aggregate { func, var, distinct, .. } = p else { unreachable!() };
+                out_row.push(fold_naive(ds, &table, members, *func, var.as_deref(), *distinct));
+            }
+            rows.push(out_row);
+        }
+    } else {
+        for p in &query.projections {
+            if let Projection::Var(v) = p {
+                columns.push(v.clone());
+            }
+        }
+        for k in &query.order_by {
+            if !columns.contains(&k.var) {
+                columns.push(k.var.clone());
+            }
+        }
+        let cols: Vec<usize> =
+            columns.iter().map(|v| table.col(v).expect("projected var bound")).collect();
+        for row in &table.rows {
+            rows.push(cols.iter().map(|&c| decode(row[c])).collect());
+        }
+    }
+
+    // Stable sort by the ORDER BY keys.
+    let key_cols: Vec<(usize, bool)> = query
+        .order_by
+        .iter()
+        .map(|k| (columns.iter().position(|c| c == &k.var).expect("key col"), k.descending))
+        .collect();
+    if !key_cols.is_empty() {
+        rows.sort_by(|a, b| {
+            for &(c, desc) in &key_cols {
+                let ord = cmp_vals(&a[c], &b[c]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // Capture key tuples, project to the declared outputs, then DISTINCT.
+    let out_width = query.projections.len();
+    let keys: Vec<Vec<OutVal>> =
+        rows.iter().map(|r| key_cols.iter().map(|&(c, _)| r[c].clone()).collect()).collect();
+    let mut keyed: Vec<(Vec<OutVal>, Vec<OutVal>)> = rows
+        .into_iter()
+        .zip(keys)
+        .map(|(mut r, k)| {
+            r.truncate(out_width);
+            (r, k)
+        })
+        .collect();
+    if query.distinct {
+        let mut seen = std::collections::HashSet::new();
+        keyed.retain(|(r, _)| seen.insert(format!("{r:?}")));
+    }
+    let (full_rows, keys): (Vec<_>, Vec<_>) = keyed.into_iter().unzip();
+
+    OracleOutput {
+        columns: columns[..out_width].to_vec(),
+        full_rows,
+        keys,
+        offset: query.offset.unwrap_or(0),
+        limit: query.limit,
+    }
+}
+
+/// Extends every solution with every matching triple of `p`.
+fn extend(ds: &Dataset, table: Table, p: &parambench_sparql::ast::TriplePattern) -> Table {
+    let slots = [&p.subject, &p.predicate, &p.object];
+    let mut vars = table.vars.clone();
+    for s in slots {
+        if let VarOrTerm::Var(v) = s {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    'row: for row in &table.rows {
+        // Bind the access pattern from constants and already-bound vars.
+        let mut access: [Option<Id>; 3] = [None, None, None];
+        for (i, s) in slots.iter().enumerate() {
+            match s {
+                VarOrTerm::Term(t) => match ds.lookup(t) {
+                    Some(id) => access[i] = Some(id),
+                    None => continue 'row, // constant absent: no matches
+                },
+                VarOrTerm::Var(v) => {
+                    if let Some(c) = table.col(v) {
+                        access[i] = Some(row[c]);
+                    }
+                }
+                VarOrTerm::Param(_) => panic!("oracle: unbound parameter"),
+            }
+        }
+        for triple in ds.scan(access) {
+            // Repeated variables inside the pattern must agree.
+            let mut bound: HashMap<&str, Id> = HashMap::new();
+            let mut ok = true;
+            for (i, s) in slots.iter().enumerate() {
+                if let VarOrTerm::Var(v) = s {
+                    match bound.get(v.as_str()) {
+                        Some(&prev) if prev != triple[i] => {
+                            ok = false;
+                            break;
+                        }
+                        _ => {
+                            bound.insert(v, triple[i]);
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let mut out = row.clone();
+            for v in &vars[table.vars.len()..] {
+                out.push(bound[v.as_str()]);
+            }
+            rows.push(out);
+        }
+    }
+    Table { vars, rows }
+}
+
+/// Keeps rows on which every filter evaluates to boolean true (shared
+/// row-expression semantics — the oracle targets modifiers, not filters).
+fn filter(ds: &Dataset, table: Table, filters: &[Expr]) -> Table {
+    if filters.is_empty() {
+        return table;
+    }
+    let var_col: HashMap<String, usize> =
+        table.vars.iter().enumerate().map(|(c, v)| (v.clone(), c)).collect();
+    let rows = table
+        .rows
+        .into_iter()
+        .filter(|row| {
+            filters.iter().all(|f| matches!(eval_expr(f, row, &var_col, ds), Value::Bool(true)))
+        })
+        .collect();
+    Table { vars: table.vars, rows }
+}
+
+/// Inner join on all shared variables (hash-indexed, semantics naive).
+fn join(left: Table, right: Table) -> Table {
+    let shared: Vec<(usize, usize)> = left
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(lc, v)| right.col(v).map(|rc| (lc, rc)))
+        .collect();
+    let right_new: Vec<usize> =
+        (0..right.vars.len()).filter(|&rc| !left.vars.contains(&right.vars[rc])).collect();
+    let mut vars = left.vars.clone();
+    for &rc in &right_new {
+        vars.push(right.vars[rc].clone());
+    }
+    let mut index: HashMap<Vec<Id>, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows.iter().enumerate() {
+        let key: Vec<Id> = shared.iter().map(|&(_, rc)| row[rc]).collect();
+        index.entry(key).or_default().push(i);
+    }
+    let mut rows = Vec::new();
+    for lrow in &left.rows {
+        let key: Vec<Id> = shared.iter().map(|&(lc, _)| lrow[lc]).collect();
+        if let Some(matches) = index.get(&key) {
+            for &ri in matches {
+                let mut out = lrow.clone();
+                for &rc in &right_new {
+                    out.push(right.rows[ri][rc]);
+                }
+                rows.push(out);
+            }
+        }
+    }
+    Table { vars, rows }
+}
+
+/// Left outer join on the variables of `right` shared with `join_scope`
+/// (the engine's OPTIONAL semantics: keys are the variables shared with
+/// the *required* part; other shared variables keep the left value).
+fn left_join(left: Table, right: Table, join_scope: &[String]) -> Table {
+    let keys: Vec<(usize, usize)> = right
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| join_scope.contains(v))
+        .filter_map(|(rc, v)| left.col(v).map(|lc| (lc, rc)))
+        .collect();
+    let right_new: Vec<usize> =
+        (0..right.vars.len()).filter(|&rc| !left.vars.contains(&right.vars[rc])).collect();
+    let mut vars = left.vars.clone();
+    for &rc in &right_new {
+        vars.push(right.vars[rc].clone());
+    }
+    let mut index: HashMap<Vec<Id>, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows.iter().enumerate() {
+        let key: Vec<Id> = keys.iter().map(|&(_, rc)| row[rc]).collect();
+        index.entry(key).or_default().push(i);
+    }
+    let mut rows = Vec::new();
+    for lrow in &left.rows {
+        let key: Vec<Id> = keys.iter().map(|&(lc, _)| lrow[lc]).collect();
+        let matches =
+            if key.contains(&UNBOUND) { None } else { index.get(&key).filter(|m| !m.is_empty()) };
+        match matches {
+            Some(matches) => {
+                for &ri in matches {
+                    let mut out = lrow.clone();
+                    for &rc in &right_new {
+                        out.push(right.rows[ri][rc]);
+                    }
+                    rows.push(out);
+                }
+            }
+            None => {
+                let mut out = lrow.clone();
+                out.extend(std::iter::repeat_n(UNBOUND, right_new.len()));
+                rows.push(out);
+            }
+        }
+    }
+    Table { vars, rows }
+}
+
+/// Naive aggregate fold over a group's rows, on decoded numeric values.
+/// Subset semantics (mirrors the engine's documented behaviour): COUNT
+/// counts bound values; SUM sums numeric values (0 if none); AVG divides
+/// by the numeric count (unbound when 0); MIN/MAX fold numeric values
+/// only (unbound when none).
+fn fold_naive(
+    ds: &Dataset,
+    table: &Table,
+    members: &[Vec<Id>],
+    func: AggFunc,
+    var: Option<&str>,
+    distinct: bool,
+) -> OutVal {
+    let col = var.map(|v| table.col(v).expect("aggregate input var bound"));
+    let mut count = 0u64;
+    let mut num_count = 0u64;
+    let mut sum = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut seen: std::collections::HashSet<Term> = std::collections::HashSet::new();
+    for row in members {
+        match col {
+            None => count += 1, // COUNT(*)
+            Some(c) => {
+                let id = row[c];
+                if id == UNBOUND {
+                    continue;
+                }
+                let term = ds.decode(id).clone();
+                if distinct && !seen.insert(term.clone()) {
+                    continue;
+                }
+                count += 1;
+                if let Some(n) = term.numeric_value() {
+                    num_count += 1;
+                    sum += n;
+                    min = min.min(n);
+                    max = max.max(n);
+                }
+            }
+        }
+    }
+    match func {
+        AggFunc::Count => OutVal::Num(count as f64),
+        AggFunc::Sum => OutVal::Num(sum),
+        AggFunc::Avg => {
+            if num_count == 0 {
+                OutVal::Unbound
+            } else {
+                OutVal::Num(sum / num_count as f64)
+            }
+        }
+        AggFunc::Min => {
+            if num_count == 0 {
+                OutVal::Unbound
+            } else {
+                OutVal::Num(min)
+            }
+        }
+        AggFunc::Max => {
+            if num_count == 0 {
+                OutVal::Unbound
+            } else {
+                OutVal::Num(max)
+            }
+        }
+    }
+}
+
+/// Asserts that an engine result is a valid answer w.r.t. the oracle:
+///
+/// * identical output columns;
+/// * exactly the rows the OFFSET/LIMIT window selects, compared tie-class
+///   by tie-class: classes fully inside the window must match as
+///   multisets; boundary classes must be sub-multisets of the oracle's
+///   class (ties at the cut are legitimately implementation-defined).
+///
+/// Without ORDER BY the whole result is one class, so this degrades to
+/// "correct row count + sub-multiset of the full result" under LIMIT and
+/// exact multiset equality without it.
+pub fn assert_matches(got: &ResultSet, oracle: &OracleOutput, context: &str) {
+    assert_eq!(got.columns, oracle.columns, "columns diverge for {context}");
+    let n = oracle.full_rows.len();
+    let lo = oracle.offset.min(n);
+    let hi = match oracle.limit {
+        Some(l) => (oracle.offset + l).min(n),
+        None => n,
+    };
+    assert_eq!(
+        got.rows.len(),
+        hi - lo,
+        "row count diverges for {context}: oracle window [{lo},{hi}) of {n}"
+    );
+
+    // Walk tie classes (consecutive rows with equal key tuples).
+    let key_eq = |a: &Vec<OutVal>, b: &Vec<OutVal>| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| cmp_vals(x, y) == Ordering::Equal)
+    };
+    let mut class_start = 0usize;
+    while class_start < n {
+        let mut class_end = class_start + 1;
+        while class_end < n && key_eq(&oracle.keys[class_start], &oracle.keys[class_end]) {
+            class_end += 1;
+        }
+        let a = class_start.max(lo);
+        let b = class_end.min(hi);
+        if a < b {
+            let mut got_rows: Vec<String> =
+                got.rows[a - lo..b - lo].iter().map(|r| format!("{r:?}")).collect();
+            let mut class_rows: Vec<String> =
+                oracle.full_rows[class_start..class_end].iter().map(|r| format!("{r:?}")).collect();
+            got_rows.sort();
+            class_rows.sort();
+            if class_start >= lo && class_end <= hi {
+                assert_eq!(
+                    got_rows, class_rows,
+                    "class [{class_start},{class_end}) diverges for {context}"
+                );
+            } else {
+                // Boundary class: engine rows must be a sub-multiset.
+                let mut it = class_rows.iter();
+                for g in &got_rows {
+                    assert!(
+                        it.any(|c| c == g),
+                        "row {g} not in oracle tie class [{class_start},{class_end}) for {context}"
+                    );
+                }
+            }
+        }
+        class_start = class_end;
+    }
+}

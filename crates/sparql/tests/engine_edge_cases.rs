@@ -180,6 +180,162 @@ fn order_by_var_not_in_projection() {
 }
 
 #[test]
+fn limit_zero_is_empty_and_does_no_work() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let q = parambench_sparql::parse_query("SELECT ?s WHERE { ?s <rank> ?r } LIMIT 0").unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let out = engine.execute(&prepared).unwrap();
+    assert!(out.results.is_empty());
+    // The pushed pipeline never runs: nothing is ever scanned.
+    assert_eq!(out.stats.scanned, 0, "LIMIT 0 must not touch the store");
+    assert_eq!(out.stats.peak_tuples, 0);
+    // The short-circuit covers the aggregate and ORDER BY shapes too.
+    for text in [
+        "SELECT ?g (COUNT(?s) AS ?n) WHERE { ?s <group> ?g } GROUP BY ?g LIMIT 0",
+        "SELECT ?s WHERE { ?s <rank> ?r } ORDER BY ASC(?r) LIMIT 0 OFFSET 5",
+    ] {
+        let q = parambench_sparql::parse_query(text).unwrap();
+        let out = engine.execute(&engine.prepare(&q).unwrap()).unwrap();
+        assert!(out.results.is_empty(), "{text}");
+        assert_eq!(out.stats.scanned, 0, "LIMIT 0 must do no work: {text}");
+    }
+}
+
+#[test]
+fn offset_past_end_with_limit_is_empty() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine.run_text("SELECT ?s WHERE { ?s <rank> ?r } LIMIT 5 OFFSET 1000").unwrap();
+    assert!(out.results.is_empty());
+    let sorted = engine
+        .run_text("SELECT ?s WHERE { ?s <rank> ?r } ORDER BY ASC(?r) LIMIT 5 OFFSET 1000")
+        .unwrap();
+    assert!(sorted.results.is_empty());
+}
+
+#[test]
+fn distinct_over_union_duplicates() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    // Both branches produce the same subjects: UNION concatenates (bag
+    // semantics), DISTINCT collapses the duplicates.
+    let all = engine
+        .run_text("SELECT ?s WHERE { { ?s <group> <g/0> } UNION { ?s <group> <g/0> } }")
+        .unwrap();
+    assert_eq!(all.results.len(), 8, "items 0,3,6,9 twice");
+    let distinct = engine
+        .run_text("SELECT DISTINCT ?s WHERE { { ?s <group> <g/0> } UNION { ?s <group> <g/0> } }")
+        .unwrap();
+    assert_eq!(distinct.results.len(), 4);
+}
+
+#[test]
+fn ungrouped_aggregates_over_zero_rows_yield_one_row() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let out = engine
+        .run_text(
+            "SELECT (COUNT(?r) AS ?n) (SUM(?r) AS ?sum) (AVG(?r) AS ?avg) (MIN(?r) AS ?mn) \
+             WHERE { ?s <rank> ?r . FILTER(?r > 99) }",
+        )
+        .unwrap();
+    // SPARQL: the implicit group always yields one row; COUNT/SUM are 0,
+    // value aggregates are unbound.
+    assert_eq!(out.results.len(), 1);
+    assert_eq!(out.results.rows[0][0].as_num(), Some(0.0));
+    assert_eq!(out.results.rows[0][1].as_num(), Some(0.0));
+    assert!(matches!(out.results.rows[0][2], OutVal::Unbound));
+    assert!(matches!(out.results.rows[0][3], OutVal::Unbound));
+}
+
+#[test]
+fn avg_and_min_on_non_numeric_values_are_unbound() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    // Labels are plain string literals: COUNT counts them, the numeric
+    // folds find nothing to fold.
+    let out = engine
+        .run_text(
+            "SELECT ?g (COUNT(?l) AS ?n) (AVG(?l) AS ?avg) (MIN(?l) AS ?mn) \
+             WHERE { ?s <group> ?g . ?s <label> ?l } GROUP BY ?g ORDER BY DESC(?n)",
+        )
+        .unwrap();
+    assert!(!out.results.is_empty());
+    for row in &out.results.rows {
+        assert!(row[1].as_num().unwrap() >= 1.0);
+        assert!(matches!(row[2], OutVal::Unbound), "AVG of strings is unbound");
+        assert!(matches!(row[3], OutVal::Unbound), "MIN of strings is unbound");
+    }
+}
+
+#[test]
+fn order_by_ties_keep_pipeline_order_and_topk_matches_full_sort() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    // ?g has only 3 distinct values over 10 rows: heavy ties.
+    let full_q = parambench_sparql::parse_query(
+        "SELECT ?s ?g WHERE { ?s <group> ?g . ?s <rank> ?r } ORDER BY ASC(?g)",
+    )
+    .unwrap();
+    let full_prepared = engine.prepare(&full_q).unwrap();
+    let full = engine.execute(&full_prepared).unwrap();
+    // The pinned tie-break (pipeline row order) makes the pushed and the
+    // materialize-then-sort paths produce the same sequence, not just the
+    // same multiset.
+    let unpushed = engine.execute_unpushed(&full_prepared).unwrap();
+    assert_eq!(full.results, unpushed.results);
+
+    // A LIMIT-ed run goes through the bounded-heap TopK instead of the
+    // full sort — it must reproduce the stable sort's prefix exactly.
+    for limit in [1, 4, 7, 10, 15] {
+        let q = parambench_sparql::parse_query(&format!(
+            "SELECT ?s ?g WHERE {{ ?s <group> ?g . ?s <rank> ?r }} ORDER BY ASC(?g) LIMIT {limit}"
+        ))
+        .unwrap();
+        let limited = engine.execute(&engine.prepare(&q).unwrap()).unwrap();
+        let want: Vec<_> = full.results.rows.iter().take(limit).cloned().collect();
+        assert_eq!(limited.results.rows, want, "LIMIT {limit} breaks tie order");
+    }
+}
+
+#[test]
+fn topk_peak_is_strictly_below_full_sort_peak() {
+    // Enough rows that the TopK heap (offset+limit rows) is visibly
+    // smaller than the materialized sort input.
+    let mut b = StoreBuilder::new();
+    for i in 0..5000 {
+        b.insert(
+            Term::iri(format!("row/{i}")),
+            Term::iri("score"),
+            Term::integer(((i * 37) % 1000) as i64),
+        );
+    }
+    let ds = b.freeze();
+    let engine = Engine::new(&ds);
+    let q = parambench_sparql::parse_query(
+        "SELECT ?s ?v WHERE { ?s <score> ?v } ORDER BY DESC(?v) LIMIT 10",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let pushed = engine.execute(&prepared).unwrap();
+    let unpushed = engine.execute_unpushed(&prepared).unwrap();
+    assert_eq!(pushed.results, unpushed.results);
+    assert!(
+        pushed.stats.peak_tuples < unpushed.stats.peak_tuples,
+        "TopK peak {} must be strictly below the materialized sort peak {}",
+        pushed.stats.peak_tuples,
+        unpushed.stats.peak_tuples
+    );
+    // And not just lower: bounded by the heap + one in-flight batch.
+    assert!(
+        pushed.stats.peak_tuples <= (10 + parambench_sparql::BATCH_SIZE) as u64,
+        "TopK peak {} should be heap + batch bounded",
+        pushed.stats.peak_tuples
+    );
+}
+
+#[test]
 fn error_messages_are_actionable() {
     let ds = dataset();
     let engine = Engine::new(&ds);

@@ -1,32 +1,51 @@
-//! Differential property tests: the batched Volcano pipeline
-//! (`Engine::execute`) must produce exactly the same result set and exactly
-//! the same measured `Cout` as the retained materializing executor
-//! (`Engine::execute_materialized`) on random stores and random
-//! BGP + OPTIONAL + FILTER queries — the safety net for the streaming
-//! refactor.
+//! Differential property tests of the streaming engine against two
+//! references:
+//!
+//! * `Engine::execute_unpushed` — the same join pipeline with every
+//!   solution modifier applied after full materialization. Because the
+//!   engine pins tie-breaking to pipeline row order, the pushed result
+//!   must be **identical row-for-row**, and measured `Cout` must match
+//!   exactly whenever no LIMIT can cut execution short.
+//! * the naive oracle in `common/oracle.rs` — an independent nested-loop
+//!   evaluator whose modifiers run over decoded terms. Comparison is
+//!   order-aware modulo unordered prefixes under ties (see
+//!   `oracle::assert_matches`).
+//!
+//! The generators draw random BGP + OPTIONAL + FILTER bodies and random
+//! modifier stacks: DISTINCT, GROUP BY + COUNT/SUM/AVG/MIN/MAX (with
+//! DISTINCT and COUNT(*) variants), multi-key ORDER BY (including keys
+//! that are not projected), and LIMIT/OFFSET (including LIMIT 0 and
+//! offsets past the end).
 
+mod common;
+
+use common::oracle;
 use proptest::prelude::*;
 
 use parambench_rdf::store::{Dataset, StoreBuilder};
 use parambench_rdf::term::Term;
-use parambench_sparql::engine::{Engine, QueryOutput};
+use parambench_sparql::engine::Engine;
 use parambench_sparql::parse_query;
 
 /// Builds a random dataset over small vocabularies so joins actually hit.
+/// Predicate 3 carries small-integer objects, so aggregates and ORDER BY
+/// see numeric values (kept integral: the oracle and the engine then
+/// compute bit-identical sums/averages regardless of fold order).
 fn dataset(triples: &[(u8, u8, u8)]) -> Dataset {
     let mut b = StoreBuilder::new();
     for &(s, p, o) in triples {
-        b.insert(
-            Term::iri(format!("s/{}", s % 12)),
-            Term::iri(format!("p/{}", p % 4)),
-            Term::iri(format!("o/{}", o % 12)),
-        );
+        let object = if p % 4 == 3 {
+            Term::integer((o % 8) as i64)
+        } else {
+            Term::iri(format!("o/{}", o % 12))
+        };
+        b.insert(Term::iri(format!("s/{}", s % 12)), Term::iri(format!("p/{}", p % 4)), object);
     }
     b.freeze()
 }
 
 /// One random triple pattern: subject var, predicate index, object var or
-/// constant.
+/// constant (integer constant on the numeric predicate).
 #[derive(Debug, Clone)]
 struct PatternSpec {
     s_var: u8,
@@ -38,9 +57,10 @@ impl PatternSpec {
     fn to_text(&self) -> String {
         let obj = match self.obj {
             Ok(v) => format!("?v{v}"),
-            Err(c) => format!("<o/{c}>"),
+            Err(c) if self.pred % 4 == 3 => format!("{}", c % 8),
+            Err(c) => format!("<o/{}>", c % 12),
         };
-        format!("?s{} <p/{}> {obj} . ", self.s_var, self.pred)
+        format!("?s{} <p/{}> {obj} . ", self.s_var, self.pred % 4)
     }
 
     fn var_names(&self) -> Vec<String> {
@@ -57,12 +77,10 @@ fn arb_pattern() -> impl Strategy<Value = PatternSpec> {
         .prop_map(|(s_var, pred, obj)| PatternSpec { s_var, pred, obj })
 }
 
-/// A random FILTER over one of the query's variables: a term comparison
-/// against a constant, or (negated) bound() — exercising the UNBOUND
-/// propagation OPTIONAL introduces.
+/// A random FILTER over one of the query's variables.
 #[derive(Debug, Clone)]
 enum FilterSpec {
-    Compare { var_ix: u8, op: &'static str, constant: u8 },
+    Compare { var_ix: u8, op: &'static str, constant: u8, numeric: bool },
     Bound { var_ix: u8, negated: bool },
 }
 
@@ -72,24 +90,28 @@ fn arb_filter() -> impl Strategy<Value = FilterSpec> {
             0u8..8,
             prop_oneof![Just("="), Just("!="), Just("<"), Just(">"), Just("<="), Just(">=")],
             0u8..12,
+            any::<bool>(),
         )
-            .prop_map(|(var_ix, op, constant)| FilterSpec::Compare {
+            .prop_map(|(var_ix, op, constant, numeric)| FilterSpec::Compare {
                 var_ix,
                 op,
-                constant
+                constant,
+                numeric
             }),
         (0u8..8, any::<bool>()).prop_map(|(var_ix, negated)| FilterSpec::Bound { var_ix, negated }),
     ]
 }
 
 impl FilterSpec {
-    /// Renders against the query's actual variable list (the random index
-    /// is reduced modulo the available variables).
     fn to_text(&self, vars: &[String]) -> String {
         match self {
-            FilterSpec::Compare { var_ix, op, constant } => {
+            FilterSpec::Compare { var_ix, op, constant, numeric } => {
                 let var = &vars[*var_ix as usize % vars.len()];
-                format!("FILTER(?{var} {op} <o/{constant}>) ")
+                if *numeric {
+                    format!("FILTER(?{var} {op} {}) ", constant % 8)
+                } else {
+                    format!("FILTER(?{var} {op} <o/{constant}>) ")
+                }
             }
             FilterSpec::Bound { var_ix, negated } => {
                 let var = &vars[*var_ix as usize % vars.len()];
@@ -103,42 +125,193 @@ impl FilterSpec {
     }
 }
 
-/// Normalizes a result set into sorted, comparable row keys.
-fn sorted_rows(out: &QueryOutput) -> Vec<String> {
-    let mut rows: Vec<String> = out.results.rows.iter().map(|row| format!("{row:?}")).collect();
-    rows.sort();
-    rows
+/// A random solution-modifier stack.
+#[derive(Debug, Clone)]
+enum ModSpec {
+    Plain {
+        distinct: bool,
+        /// Indices (mod var count) of the projected variables.
+        project: Vec<u8>,
+        /// ORDER BY keys: (var index, descending) — keys may land outside
+        /// the projection, exercising helper columns.
+        order: Vec<(u8, bool)>,
+        limit: Option<u8>,
+        offset: Option<u8>,
+    },
+    Agg {
+        /// Group-variable indices (empty = implicit single group).
+        group: Vec<u8>,
+        /// (func 0..5, input var index, distinct); func 0 with input 255
+        /// renders COUNT(*).
+        aggs: Vec<(u8, u8, bool)>,
+        /// ORDER BY keys: (use alias?, index, descending).
+        order: Vec<(bool, u8, bool)>,
+        limit: Option<u8>,
+        offset: Option<u8>,
+    },
 }
 
-fn sorted_join_cards(out: &QueryOutput) -> Vec<(String, u64)> {
-    let mut cards = out.stats.join_cards.clone();
-    cards.sort();
-    cards
+fn arb_mods() -> impl Strategy<Value = ModSpec> {
+    let plain = (
+        any::<bool>(),
+        prop::collection::vec(0u8..8, 1..4),
+        prop::collection::vec((0u8..8, any::<bool>()), 0..3),
+        prop::option::of(0u8..12),
+        prop::option::of(0u8..7),
+    )
+        .prop_map(|(distinct, project, order, limit, offset)| ModSpec::Plain {
+            distinct,
+            project,
+            order,
+            limit,
+            offset,
+        });
+    let agg = (
+        prop::collection::vec(0u8..8, 0..3),
+        prop::collection::vec(
+            (0u8..5, prop_oneof![1 => Just(255u8), 5 => 0u8..8], any::<bool>()),
+            1..3,
+        ),
+        prop::collection::vec((any::<bool>(), 0u8..4, any::<bool>()), 0..3),
+        prop::option::of(0u8..12),
+        prop::option::of(0u8..7),
+    )
+        .prop_map(|(group, aggs, order, limit, offset)| ModSpec::Agg {
+            group,
+            aggs,
+            order,
+            limit,
+            offset,
+        });
+    prop_oneof![3 => plain, 2 => agg]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(160))]
+const FUNCS: [&str; 5] = ["COUNT", "SUM", "AVG", "MIN", "MAX"];
 
-    /// ≥100 random store/query cases: identical rows and identical measured
-    /// `Cout` (total and per join). Peak intermediate tuples are *not*
-    /// compared here: on tiny stores the two executors schedule work
-    /// differently (streaming builds hash sides while upstream state is
-    /// still live; materialized execution runs strictly bottom-up), so the
-    /// streaming advantage only materializes at scale — asserted by the
-    /// multi-join tests in `physical.rs` and the BSBM pipeline test.
-    #[test]
-    fn streaming_equals_materialized(
-        triples in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 5..80),
-        required in prop::collection::vec(arb_pattern(), 1..4),
-        optional in prop::option::of(prop::collection::vec(arb_pattern(), 1..3)),
-        filters in prop::collection::vec(arb_filter(), 0..3),
-    ) {
-        let ds = dataset(&triples);
-        let engine = Engine::new(&ds);
+impl ModSpec {
+    /// Renders SELECT clause + trailing modifiers around a WHERE body.
+    /// Returns None when the drawn spec cannot form a valid query.
+    fn render(&self, vars: &[String], body: &str) -> Option<String> {
+        match self {
+            ModSpec::Plain { distinct, project, order, limit, offset } => {
+                let mut proj: Vec<&String> = Vec::new();
+                for &p in project {
+                    let v = &vars[p as usize % vars.len()];
+                    if !proj.contains(&v) {
+                        proj.push(v);
+                    }
+                }
+                let mut text = String::from("SELECT ");
+                if *distinct {
+                    text.push_str("DISTINCT ");
+                }
+                for v in &proj {
+                    text.push_str(&format!("?{v} "));
+                }
+                text.push_str(&format!("WHERE {{ {body}}}"));
+                if !order.is_empty() {
+                    text.push_str(" ORDER BY");
+                    for &(ix, desc) in order {
+                        let v = &vars[ix as usize % vars.len()];
+                        text.push_str(if desc { " DESC(?" } else { " ASC(?" });
+                        text.push_str(v);
+                        text.push(')');
+                    }
+                }
+                Self::push_slice(&mut text, *limit, *offset);
+                Some(text)
+            }
+            ModSpec::Agg { group, aggs, order, limit, offset } => {
+                let mut gvars: Vec<&String> = Vec::new();
+                for &g in group {
+                    let v = &vars[g as usize % vars.len()];
+                    if !gvars.contains(&v) {
+                        gvars.push(v);
+                    }
+                }
+                let mut text = String::from("SELECT ");
+                for v in &gvars {
+                    text.push_str(&format!("?{v} "));
+                }
+                let mut aliases: Vec<String> = Vec::new();
+                for (i, &(func, input, distinct)) in aggs.iter().enumerate() {
+                    let func_ix = (func as usize) % FUNCS.len();
+                    let alias = format!("a{i}");
+                    let inner = if input == 255 {
+                        if func_ix != 0 {
+                            // Only COUNT(*) is part of the subset.
+                            return None;
+                        }
+                        "*".to_string()
+                    } else {
+                        format!(
+                            "{}?{}",
+                            if distinct { "DISTINCT " } else { "" },
+                            &vars[input as usize % vars.len()]
+                        )
+                    };
+                    text.push_str(&format!("({}({inner}) AS ?{alias}) ", FUNCS[func_ix]));
+                    aliases.push(alias);
+                }
+                text.push_str(&format!("WHERE {{ {body}}}"));
+                if !gvars.is_empty() {
+                    text.push_str(" GROUP BY");
+                    for v in &gvars {
+                        text.push_str(&format!(" ?{v}"));
+                    }
+                }
+                if !order.is_empty() {
+                    text.push_str(" ORDER BY");
+                    for &(use_alias, ix, desc) in order {
+                        let name = if use_alias || gvars.is_empty() {
+                            aliases[ix as usize % aliases.len()].clone()
+                        } else {
+                            (*gvars[ix as usize % gvars.len()]).clone()
+                        };
+                        text.push_str(if desc { " DESC(?" } else { " ASC(?" });
+                        text.push_str(&name);
+                        text.push(')');
+                    }
+                }
+                Self::push_slice(&mut text, *limit, *offset);
+                Some(text)
+            }
+        }
+    }
 
-        let mut body = String::new();
-        let mut vars: Vec<String> = Vec::new();
-        for spec in &required {
+    fn push_slice(text: &mut String, limit: Option<u8>, offset: Option<u8>) {
+        if let Some(l) = limit {
+            text.push_str(&format!(" LIMIT {l}"));
+        }
+        if let Some(o) = offset {
+            text.push_str(&format!(" OFFSET {o}"));
+        }
+    }
+
+    fn has_limit(&self) -> bool {
+        matches!(self, ModSpec::Plain { limit: Some(_), .. } | ModSpec::Agg { limit: Some(_), .. })
+    }
+}
+
+/// Builds the WHERE body and variable list from pattern/filter specs.
+fn build_body(
+    required: &[PatternSpec],
+    optional: &Option<Vec<PatternSpec>>,
+    filters: &[FilterSpec],
+) -> (String, Vec<String>) {
+    let mut body = String::new();
+    let mut vars: Vec<String> = Vec::new();
+    for spec in required {
+        body.push_str(&spec.to_text());
+        for v in spec.var_names() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    if let Some(opt) = optional {
+        body.push_str("OPTIONAL { ");
+        for spec in opt {
             body.push_str(&spec.to_text());
             for v in spec.var_names() {
                 if !vars.contains(&v) {
@@ -146,89 +319,111 @@ proptest! {
                 }
             }
         }
-        if let Some(opt) = &optional {
-            body.push_str("OPTIONAL { ");
-            for spec in opt {
-                body.push_str(&spec.to_text());
-                for v in spec.var_names() {
-                    if !vars.contains(&v) {
-                        vars.push(v);
-                    }
-                }
-            }
-            body.push_str("} ");
-        }
-        for f in &filters {
-            body.push_str(&f.to_text(&vars));
-        }
-        let text = format!("SELECT * WHERE {{ {body} }}");
+        body.push_str("} ");
+    }
+    for f in filters {
+        body.push_str(&f.to_text(&vars));
+    }
+    (body, vars)
+}
 
-        let query = parse_query(&text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"));
-        let prepared = engine.prepare(&query)
-            .unwrap_or_else(|e| panic!("prepare {text:?}: {e}"));
-        let streamed = engine.execute(&prepared)
-            .unwrap_or_else(|e| panic!("stream {text:?}: {e}"));
-        let materialized = engine.execute_materialized(&prepared)
-            .unwrap_or_else(|e| panic!("materialize {text:?}: {e}"));
+/// Runs one differential case: pushed vs unpushed vs oracle.
+fn check_case(ds: &Dataset, text: &str, limit_present: bool) {
+    let engine = Engine::new(ds);
+    let query = parse_query(text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"));
+    let prepared = engine.prepare(&query).unwrap_or_else(|e| panic!("prepare {text:?}: {e}"));
+    let pushed = engine.execute(&prepared).unwrap_or_else(|e| panic!("execute {text:?}: {e}"));
+    let unpushed = engine
+        .execute_unpushed(&prepared)
+        .unwrap_or_else(|e| panic!("execute_unpushed {text:?}: {e}"));
 
-        prop_assert_eq!(
-            &streamed.results.columns,
-            &materialized.results.columns,
-            "columns diverge for {}",
-            text
+    // Pinned tie-breaking makes the pushed pipeline bit-identical to the
+    // materialize-then-modify baseline — including row order.
+    assert_eq!(pushed.results, unpushed.results, "pushed and unpushed results diverge for {text}");
+    if limit_present {
+        // Early exit may only ever do *less* join work.
+        assert!(
+            pushed.cout <= unpushed.cout,
+            "pushed Cout {} exceeds unpushed {} for {text}",
+            pushed.cout,
+            unpushed.cout
         );
-        prop_assert_eq!(
-            sorted_rows(&streamed),
-            sorted_rows(&materialized),
-            "rows diverge for {}",
-            text
-        );
-        prop_assert_eq!(
-            streamed.cout, materialized.cout,
-            "total Cout diverges for {}", text
-        );
-        prop_assert_eq!(
-            streamed.stats.cout, materialized.stats.cout,
-            "required Cout diverges for {}", text
-        );
-        prop_assert_eq!(
-            streamed.stats.cout_optional, materialized.stats.cout_optional,
-            "optional Cout diverges for {}", text
-        );
-        prop_assert_eq!(
-            sorted_join_cards(&streamed),
-            sorted_join_cards(&materialized),
-            "per-join cardinalities diverge for {}",
-            text
+    } else {
+        assert_eq!(pushed.cout, unpushed.cout, "Cout diverges for {text}");
+        assert_eq!(
+            pushed.stats.cout_optional, unpushed.stats.cout_optional,
+            "optional Cout diverges for {text}"
         );
     }
 
-    /// UNION bodies (with branch-scoped filters) also stay equivalent.
+    // Independent oracle: naive evaluation + modifiers over decoded terms.
+    let want = oracle::evaluate(ds, &query);
+    oracle::assert_matches(&pushed.results, &want, text);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Modifier-free pipelines (the PR-1 property, now against the oracle):
+    /// identical rows, identical `Cout` between pushed and unpushed.
     #[test]
-    fn streaming_equals_materialized_with_union(
+    fn streaming_equals_oracle_on_bgp_optional_filter(
         triples in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 5..60),
-        pred_a in 0u8..4,
-        pred_b in 0u8..4,
-        constant in 0u8..12,
+        required in prop::collection::vec(arb_pattern(), 1..4),
+        optional in prop::option::of(prop::collection::vec(arb_pattern(), 1..3)),
+        filters in prop::collection::vec(arb_filter(), 0..3),
     ) {
         let ds = dataset(&triples);
-        let engine = Engine::new(&ds);
-        let text = format!(
+        let (body, _vars) = build_body(&required, &optional, &filters);
+        let text = format!("SELECT * WHERE {{ {body}}}");
+        check_case(&ds, &text, false);
+    }
+
+    /// UNION bodies (with branch-scoped filters) stay equivalent too.
+    #[test]
+    fn streaming_equals_oracle_with_union(
+        triples in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 5..50),
+        pred_a in 0u8..3,
+        pred_b in 0u8..3,
+        constant in 0u8..12,
+        limit in prop::option::of(0u8..9),
+    ) {
+        let ds = dataset(&triples);
+        let mut text = format!(
             "SELECT * WHERE {{ ?s0 <p/{pred_a}> ?v0 . \
              {{ ?s0 <p/{pred_b}> ?v1 . FILTER(?v1 != <o/{constant}>) }} \
              UNION {{ ?v1 <p/{pred_a}> ?s0 }} }}"
         );
-        let query = parse_query(&text).unwrap();
-        let prepared = engine.prepare(&query).unwrap();
-        let streamed = engine.execute(&prepared).unwrap();
-        let materialized = engine.execute_materialized(&prepared).unwrap();
-        prop_assert_eq!(sorted_rows(&streamed), sorted_rows(&materialized), "{}", text);
-        prop_assert_eq!(streamed.cout, materialized.cout, "{}", text);
-        prop_assert_eq!(
-            sorted_join_cards(&streamed),
-            sorted_join_cards(&materialized),
-            "{}",
-            text
-        );
+        if let Some(l) = limit {
+            text.push_str(&format!(" LIMIT {l}"));
+        }
+        check_case(&ds, &text, limit.is_some());
+    }
+}
+
+proptest! {
+    // The acceptance gate asks for 200+ random modifier-bearing queries;
+    // a small fraction of draws renders an unsupported spec and is
+    // skipped, so run comfortably more.
+    #![proptest_config(ProptestConfig::with_cases(260))]
+
+    /// The modifier differential suite: random DISTINCT / GROUP BY +
+    /// aggregate / ORDER BY (incl. unprojected keys) / LIMIT + OFFSET
+    /// stacks over random BGP + OPTIONAL + FILTER bodies.
+    #[test]
+    fn modifiers_match_oracle(
+        triples in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 5..60),
+        required in prop::collection::vec(arb_pattern(), 1..4),
+        optional in prop::option::of(prop::collection::vec(arb_pattern(), 1..3)),
+        filters in prop::collection::vec(arb_filter(), 0..2),
+        mods in arb_mods(),
+    ) {
+        let ds = dataset(&triples);
+        let (body, vars) = build_body(&required, &optional, &filters);
+        let Some(text) = mods.render(&vars, &body) else {
+            // Invalid spec draw (e.g. SUM(*)); skip without consuming a case.
+            return Ok(());
+        };
+        check_case(&ds, &text, mods.has_limit());
     }
 }

@@ -1,0 +1,160 @@
+//! End-to-end acceptance gates for the modifier pushdown: the streaming
+//! pipeline with pushed modifiers (`Engine::execute`) against the
+//! materialize-then-modify baseline (`Engine::execute_unpushed`) on
+//! benchmark-shaped BSBM templates.
+//!
+//! Asserted per template class:
+//! * identical result sets (tie-breaking is pinned, so row-for-row);
+//! * strictly lower `peak_tuples` for the streaming TopK and the streaming
+//!   aggregation;
+//! * strictly less scanned data under LIMIT early exit;
+//! * lower wall time for TopK vs full sort (min-of-N to damp scheduler
+//!   noise; the workload is sized so the gap is structural, not marginal).
+
+use std::time::Duration;
+
+use parambench::datagen::{bsbm::schema, Bsbm, BsbmConfig};
+use parambench::rdf::Term;
+use parambench::sparql::{Binding, Engine, Prepared, QueryOutput};
+
+fn root_binding() -> Binding {
+    // The root product type selects every product: the worst case for the
+    // materializing baseline, which holds the full join result.
+    Binding::new().with("type", Term::iri(schema::product_type(0)))
+}
+
+fn min_wall(engine: &Engine<'_>, prepared: &Prepared, pushed: bool, runs: usize) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let out = if pushed {
+                engine.execute(prepared).unwrap()
+            } else {
+                engine.execute_unpushed(prepared).unwrap()
+            };
+            out.wall_time
+        })
+        .min()
+        .expect("at least one run")
+}
+
+#[test]
+fn topk_template_has_strictly_lower_peak_and_wall_time() {
+    let data = Bsbm::generate(BsbmConfig { products: 4000, ..Default::default() });
+    let engine = Engine::new(&data.dataset);
+    let template = Bsbm::q_cheapest_products_of_type();
+    let prepared = engine.prepare_template(&template, &root_binding()).unwrap();
+
+    let pushed = engine.execute(&prepared).unwrap();
+    let unpushed = engine.execute_unpushed(&prepared).unwrap();
+
+    assert_eq!(
+        pushed.results, unpushed.results,
+        "pushed TopK must reproduce the stable-sort prefix exactly"
+    );
+    assert_eq!(pushed.cout, unpushed.cout, "no early join exit on a TopK-only plan");
+    assert!(
+        pushed.stats.peak_tuples < unpushed.stats.peak_tuples,
+        "streaming TopK peak {} must be strictly below the materialized sort peak {}",
+        pushed.stats.peak_tuples,
+        unpushed.stats.peak_tuples
+    );
+
+    // Wall time: the baseline decodes-and-sorts every product of the type;
+    // the pushed plan keeps 10 rows in a heap. Compare min-of-5 to damp
+    // scheduler noise.
+    let pushed_wall = min_wall(&engine, &prepared, true, 5);
+    let unpushed_wall = min_wall(&engine, &prepared, false, 5);
+    assert!(
+        pushed_wall < unpushed_wall,
+        "pushed TopK ({pushed_wall:?}) should beat materialize+sort ({unpushed_wall:?})"
+    );
+}
+
+#[test]
+fn aggregation_template_streams_groups_with_lower_peak() {
+    let data = Bsbm::generate(BsbmConfig { products: 1500, ..Default::default() });
+    let engine = Engine::new(&data.dataset);
+    let template = Bsbm::q4_feature_price_by_type();
+    let prepared = engine.prepare_template(&template, &root_binding()).unwrap();
+
+    let pushed = engine.execute(&prepared).unwrap();
+    let unpushed = engine.execute_unpushed(&prepared).unwrap();
+
+    assert_eq!(pushed.results, unpushed.results, "result sets must be identical");
+    assert_eq!(pushed.cout, unpushed.cout, "aggregation consumes the whole input");
+    assert_eq!(pushed.stats.cout, unpushed.stats.cout);
+    assert_eq!(pushed.stats.cout_optional, unpushed.stats.cout_optional);
+    assert!(
+        pushed.stats.peak_tuples < unpushed.stats.peak_tuples,
+        "streaming aggregation peak {} must be strictly below the materialized peak {}",
+        pushed.stats.peak_tuples,
+        unpushed.stats.peak_tuples
+    );
+}
+
+#[test]
+fn limit_without_order_stops_scanning_early() {
+    let data = Bsbm::generate(BsbmConfig { products: 2000, ..Default::default() });
+    let engine = Engine::new(&data.dataset);
+    let text = format!(
+        "SELECT ?p ?f WHERE {{ ?p <{ty}> <{root}> . ?p <{pf}> ?f }} LIMIT 25",
+        ty = schema::RDF_TYPE,
+        root = schema::product_type(0),
+        pf = schema::PRODUCT_FEATURE
+    );
+    let query = parambench::sparql::parse_query(&text).unwrap();
+    let prepared = engine.prepare(&query).unwrap();
+
+    let pushed = engine.execute(&prepared).unwrap();
+    let unpushed = engine.execute_unpushed(&prepared).unwrap();
+
+    assert_eq!(pushed.results, unpushed.results, "LIMIT takes the same prefix");
+    assert_eq!(pushed.results.len(), 25);
+    assert!(
+        pushed.stats.scanned < unpushed.stats.scanned,
+        "early exit must scan strictly less: pushed {} vs unpushed {}",
+        pushed.stats.scanned,
+        unpushed.stats.scanned
+    );
+    assert!(
+        pushed.cout <= unpushed.cout,
+        "early exit may only reduce join output: {} vs {}",
+        pushed.cout,
+        unpushed.cout
+    );
+    // Per-join accounting must stay consistent with total Cout even when
+    // the LIMIT abandons joins mid-flight (no OPTIONAL in this query, so
+    // every counted tuple belongs to a join_cards entry).
+    let per_join: u64 = pushed.stats.join_cards.iter().map(|(_, n)| n).sum();
+    assert_eq!(per_join, pushed.stats.cout, "join_cards diverged from Cout under early exit");
+    assert!(
+        pushed.stats.peak_tuples < unpushed.stats.peak_tuples,
+        "bounded prefix must beat full materialization: {} vs {}",
+        pushed.stats.peak_tuples,
+        unpushed.stats.peak_tuples
+    );
+}
+
+#[test]
+fn optional_and_distinct_agree_end_to_end() {
+    let data = Bsbm::generate(BsbmConfig { products: 400, ..Default::default() });
+    let engine = Engine::new(&data.dataset);
+    // Products with their type, optionally a feature, deduplicated —
+    // OPTIONAL exercises UNBOUND rows flowing through streaming DISTINCT.
+    let text = format!(
+        "SELECT DISTINCT ?t ?f WHERE {{ ?p <{ty}> ?t OPTIONAL {{ ?p <{pf}> ?f }} }}",
+        ty = schema::RDF_TYPE,
+        pf = schema::PRODUCT_FEATURE
+    );
+    let query = parambench::sparql::parse_query(&text).unwrap();
+    let prepared = engine.prepare(&query).unwrap();
+    let pushed = engine.execute(&prepared).unwrap();
+    let unpushed = engine.execute_unpushed(&prepared).unwrap();
+    let norm = |out: &QueryOutput| {
+        let mut rows: Vec<String> = out.results.rows.iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(norm(&pushed), norm(&unpushed));
+    assert_eq!(pushed.cout, unpushed.cout);
+}
