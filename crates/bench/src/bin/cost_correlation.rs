@@ -19,7 +19,9 @@ fn measure(
     seed: u64,
 ) -> (Vec<f64>, Vec<f64>) {
     let bindings = domain.sample_uniform(n, seed);
-    let ms = run_workload(engine, template, &bindings, &RunConfig { warmup: 1 }).expect("workload");
+    let ms =
+        run_workload(engine, template, &bindings, &RunConfig { warmup: 1, ..Default::default() })
+            .expect("workload");
     let cout: Vec<f64> = ms.iter().map(|m| m.cout as f64).collect();
     let wall: Vec<f64> = ms.iter().map(|m| m.millis).collect();
     (cout, wall)

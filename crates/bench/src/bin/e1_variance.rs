@@ -22,7 +22,7 @@ fn main() {
         data.types.len()
     );
     let engine = Engine::new(&data.dataset);
-    let run_cfg = RunConfig { warmup: 1 };
+    let run_cfg = RunConfig { warmup: 1, ..Default::default() };
 
     // --- E1a: BSBM-BI Q4 variance under uniform type parameters. ---
     header("E1a: BSBM-BI Q4, 100 uniform %type bindings");

@@ -28,7 +28,7 @@ fn run_groups(
     domain: &ParameterDomain,
     seed0: u64,
 ) -> Vec<(Summary, Summary)> {
-    let run_cfg = RunConfig { warmup: 0 };
+    let run_cfg = RunConfig { warmup: 0, ..Default::default() };
     (0..GROUPS)
         .map(|g| {
             let bindings = domain.sample_uniform(GROUP_SIZE, seed0 + g);

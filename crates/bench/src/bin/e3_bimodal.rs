@@ -32,7 +32,8 @@ fn main() {
     let domain = ParameterDomain::single("type", data.type_iris());
     // The whole domain, once per type (the paper's per-parameter view).
     let bindings = domain.enumerate(usize::MAX, 0);
-    let ms = run_workload(&engine, &q4, &bindings, &RunConfig { warmup: 1 }).expect("workload");
+    let ms = run_workload(&engine, &q4, &bindings, &RunConfig { warmup: 1, ..Default::default() })
+        .expect("workload");
 
     let wall = Summary::new(&Metric::WallMillis.series(&ms)).expect("summary");
     println!("\npaper:    Min 59 ms | Median 354 ms | Mean 3.6 s | q95 17.6 s | Max 259 s");

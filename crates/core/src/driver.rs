@@ -38,6 +38,10 @@ pub struct SuiteConfig {
     pub curation: CurationConfig,
     /// P1–P3 validation knobs.
     pub validation: ValidationConfig,
+    /// Worker threads for morsel-driven parallel execution of the measured
+    /// runs (default: available parallelism). `Cout`-based reports are
+    /// identical at any value; wall-clock reports speed up.
+    pub threads: usize,
     /// Root seed.
     pub seed: u64,
 }
@@ -50,6 +54,7 @@ impl Default for SuiteConfig {
             metric: Metric::Cout,
             curation: CurationConfig::default(),
             validation: ValidationConfig::default(),
+            threads: parambench_sparql::available_parallelism(),
             seed: 42,
         }
     }
@@ -153,7 +158,7 @@ pub fn run_suite(
     specs: &[BenchmarkSpec],
     config: &SuiteConfig,
 ) -> Result<SuiteReport, CurationError> {
-    let run_cfg = RunConfig { warmup: 0 };
+    let run_cfg = RunConfig { warmup: 0, threads: config.threads };
     let mut templates = Vec::with_capacity(specs.len());
     for spec in specs {
         // Uniform baseline groups.
@@ -173,11 +178,13 @@ pub fn run_suite(
         let uniform_mean_spread =
             relative_spread(&uniform_groups.iter().map(Summary::mean).collect::<Vec<_>>());
 
-        // Curated workload.
+        // Curated workload. Validation runs at the suite's thread count so
+        // wall-time validation sees the same execution it validates.
         let mut curation = config.curation;
         curation.profile.cost_source = spec.cost_source;
         let workload = curate(engine, &spec.template, &spec.domain, &curation)?;
-        let validations = validate_workload(engine, &workload, &config.validation)?;
+        let validation = ValidationConfig { threads: config.threads, ..config.validation };
+        let validations = validate_workload(engine, &workload, &validation)?;
 
         // Cross-group spread inside the largest class.
         let mut curated_means = Vec::with_capacity(config.groups);

@@ -30,7 +30,7 @@
 //!   enumeration, uniform (baseline) sampling;
 //! * [`profile`] — one optimizer run per candidate binding (cheap, no
 //!   execution);
-//! * [`cluster`] — the §III clustering heuristic: signature groups ×
+//! * [`mod@cluster`] — the §III clustering heuristic: signature groups ×
 //!   geometric cost bands;
 //! * [`curation`] — the end-to-end pipeline and stratified samplers;
 //! * [`workload`] — instrumented execution (wall time + measured `Cout`);

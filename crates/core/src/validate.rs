@@ -55,6 +55,10 @@ pub struct ValidationConfig {
     pub seed: u64,
     /// Warm-up executions per binding.
     pub warmup: usize,
+    /// Worker threads for the validation runs (default: available
+    /// parallelism). Keep it equal to the measured workload's thread count
+    /// so wall-time validation sees the same execution it validates.
+    pub threads: usize,
 }
 
 impl Default for ValidationConfig {
@@ -67,6 +71,7 @@ impl Default for ValidationConfig {
             stability_test: StabilityTest::KolmogorovSmirnov,
             seed: 42,
             warmup: 0,
+            threads: parambench_sparql::available_parallelism(),
         }
     }
 }
@@ -121,7 +126,7 @@ pub fn validate_class(
     class_id: usize,
     config: &ValidationConfig,
 ) -> Result<ClassValidation, CurationError> {
-    let run_cfg = RunConfig { warmup: config.warmup };
+    let run_cfg = RunConfig { warmup: config.warmup, threads: config.threads };
     let sample_a = workload.sample_class(class_id, config.sample_size, config.seed)?;
     let sample_b =
         workload.sample_class(class_id, config.sample_size, config.seed.wrapping_add(1))?;

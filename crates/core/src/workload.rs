@@ -9,6 +9,7 @@
 use parambench_sparql::engine::Engine;
 use parambench_sparql::plan::PlanSignature;
 use parambench_sparql::template::{Binding, QueryTemplate};
+use parambench_sparql::ExecConfig;
 
 use crate::error::CurationError;
 
@@ -34,11 +35,22 @@ pub struct Measurement {
 }
 
 /// Execution options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// Untimed warm-up executions before the measured run (amortizes
     /// allocator/cache effects like a real benchmark driver would).
     pub warmup: usize,
+    /// Worker-pool size for morsel-driven parallel execution. Defaults to
+    /// the machine's available parallelism. Measured `Cout`, rows and row
+    /// order are identical at any value (the engine's determinism
+    /// guarantee); only wall-clock measurements change.
+    pub threads: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { warmup: 0, threads: parambench_sparql::available_parallelism() }
+    }
 }
 
 /// Runs every binding once (after `warmup` untimed runs each) and collects
@@ -49,13 +61,14 @@ pub fn run_workload(
     bindings: &[Binding],
     config: &RunConfig,
 ) -> Result<Vec<Measurement>, CurationError> {
+    let exec = ExecConfig { threads: config.threads.max(1), ..engine.exec_config() };
     let mut out = Vec::with_capacity(bindings.len());
     for b in bindings {
         let prepared = engine.prepare_template(template, b)?;
         for _ in 0..config.warmup {
-            let _ = engine.execute(&prepared)?;
+            let _ = engine.execute_with(&prepared, &exec)?;
         }
-        let result = engine.execute(&prepared)?;
+        let result = engine.execute_with(&prepared, &exec)?;
         out.push(Measurement {
             binding: b.clone(),
             millis: result.wall_time.as_secs_f64() * 1e3,
@@ -144,7 +157,9 @@ mod tests {
             assert!(m.peak_tuples > 0, "executions hold at least one tuple");
         }
         // Cout and peak tuples are deterministic across repeated runs.
-        let again = run_workload(&engine, &t, &bindings, &RunConfig { warmup: 1 }).unwrap();
+        let again =
+            run_workload(&engine, &t, &bindings, &RunConfig { warmup: 1, ..Default::default() })
+                .unwrap();
         assert_eq!(couts(&ms), couts(&again));
         assert_eq!(peaks(&ms), peaks(&again));
     }

@@ -8,6 +8,10 @@
 //! Besides the bijection itself, the dictionary caches the numeric
 //! interpretation of each literal (see [`Term::numeric_value`]) so that
 //! filters and ORDER BY never re-parse lexical forms on the hot path.
+//!
+//! Invariant: `Id(u32::MAX)` is the engine-wide UNBOUND sentinel (an
+//! OPTIONAL mismatch, not a term). The dictionary refuses to allocate it,
+//! so no real term can ever collide with an unbound binding.
 
 use std::collections::HashMap;
 

@@ -1,4 +1,11 @@
 //! Error type for the RDF substrate.
+//!
+//! Covers the two failure surfaces the crate exposes: N-Triples parsing
+//! (line-numbered syntax errors) and dictionary capacity (the id space is
+//! `u32` minus the reserved `Id(u32::MAX)` UNBOUND sentinel, which the
+//! dictionary refuses to allocate). Everything else in the crate is
+//! infallible by construction — the store is write-once and fully indexed
+//! at freeze time.
 
 use std::fmt;
 

@@ -12,11 +12,17 @@ use crate::dict::Id;
 /// One of the six orderings of (S, P, O).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IndexOrder {
+    /// Subject, predicate, object.
     Spo,
+    /// Subject, object, predicate.
     Sop,
+    /// Predicate, subject, object.
     Pso,
+    /// Predicate, object, subject.
     Pos,
+    /// Object, subject, predicate.
     Osp,
+    /// Object, predicate, subject.
     Ops,
 }
 

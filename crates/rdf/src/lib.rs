@@ -24,6 +24,8 @@
 //! assert_eq!(ds.count([None, Some(knows), None]), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dict;
 pub mod error;
 pub mod index;

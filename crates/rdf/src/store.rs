@@ -130,8 +130,25 @@ impl Dataset {
     /// Iterates all SPO triples matching `pattern`.
     pub fn scan(&self, pattern: IdPattern) -> impl Iterator<Item = [Id; 3]> + '_ {
         let (idx, prefix) = self.plan_access(pattern);
+        let end = idx.range(&prefix).len();
         // `prefix` is moved into the closure-owning iterator below.
-        ScanIter { idx, prefix, pos: 0 }
+        ScanIter { idx, prefix, pos: 0, end }
+    }
+
+    /// Iterates the sub-range `[start, end)` of the triples matching
+    /// `pattern`, in the same index order [`Dataset::scan`] uses — the
+    /// morsel primitive of parallel scans: consecutive slices concatenated
+    /// in order reproduce the full scan exactly. `end` is clamped to the
+    /// match count.
+    pub fn scan_slice(
+        &self,
+        pattern: IdPattern,
+        start: usize,
+        end: usize,
+    ) -> impl Iterator<Item = [Id; 3]> + '_ {
+        let (idx, prefix) = self.plan_access(pattern);
+        let len = idx.range(&prefix).len();
+        ScanIter { idx, prefix, pos: start.min(len), end: end.min(len) }
     }
 
     /// Exact number of triples matching `pattern` (binary search only).
@@ -214,11 +231,12 @@ impl Iterator for DistinctSeconds<'_> {
     }
 }
 
-/// Owning scan iterator over one index range.
+/// Owning scan iterator over (a slice of) one index range.
 struct ScanIter<'a> {
     idx: &'a PermIndex,
     prefix: Vec<Id>,
     pos: usize,
+    end: usize,
 }
 
 impl<'a> Iterator for ScanIter<'a> {
@@ -226,7 +244,7 @@ impl<'a> Iterator for ScanIter<'a> {
 
     fn next(&mut self) -> Option<[Id; 3]> {
         let range = self.idx.range(&self.prefix);
-        if self.pos < range.len() {
+        if self.pos < self.end {
             let key = range[self.pos];
             self.pos += 1;
             Some(self.idx.order().spo_of(key))
@@ -236,7 +254,7 @@ impl<'a> Iterator for ScanIter<'a> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = self.idx.range(&self.prefix).len().saturating_sub(self.pos);
+        let remaining = self.end.saturating_sub(self.pos);
         (remaining, Some(remaining))
     }
 }
@@ -344,6 +362,27 @@ mod tests {
         // A predicate with no triples yields an empty iterator.
         let missing = Id(9999);
         assert_eq!(ds.objects_of_iter(missing).count(), 0);
+    }
+
+    #[test]
+    fn scan_slices_concatenate_to_full_scan() {
+        let ds = build_sample();
+        let knows = ds.lookup(&Term::iri("http://e/knows")).unwrap();
+        for pat in [[None, None, None], [None, Some(knows), None]] {
+            let full: Vec<[Id; 3]> = ds.scan(pat).collect();
+            for step in 1..=full.len() {
+                let mut pieced = Vec::new();
+                let mut start = 0;
+                while start < full.len() {
+                    pieced.extend(ds.scan_slice(pat, start, start + step));
+                    start += step;
+                }
+                assert_eq!(pieced, full, "step {step} over {pat:?}");
+            }
+            // Out-of-range slices clamp instead of panicking.
+            assert_eq!(ds.scan_slice(pat, full.len() + 5, full.len() + 9).count(), 0);
+            assert_eq!(ds.scan_slice(pat, 0, usize::MAX).count(), full.len());
+        }
     }
 
     #[test]

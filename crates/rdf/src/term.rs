@@ -10,12 +10,19 @@ use std::fmt;
 
 /// Well-known XSD datatype IRIs used by the typed-literal fast paths.
 pub mod xsd {
+    /// `xsd:integer`.
     pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:decimal`.
     pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
     pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:dateTime`.
     pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    /// `xsd:date`.
     pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    /// `xsd:string`.
     pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:boolean`.
     pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
 }
 
@@ -33,7 +40,9 @@ pub enum LiteralKind {
 /// An RDF literal: a lexical form plus a [`LiteralKind`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Literal {
+    /// The lexical form (the text between the quotes).
     pub lexical: String,
+    /// Language tag / datatype classification.
     pub kind: LiteralKind,
 }
 

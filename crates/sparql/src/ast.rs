@@ -2,8 +2,8 @@
 //!
 //! The subset covers what the paper's workloads need: SELECT (optionally
 //! DISTINCT) with variable or aggregate projections, basic graph patterns,
-//! FILTER expressions, OPTIONAL groups, GROUP BY, ORDER BY with direction,
-//! LIMIT/OFFSET — plus `%name` *substitution parameters*, the paper's core
+//! FILTER expressions, OPTIONAL and UNION groups, GROUP BY, ORDER BY with
+//! direction, LIMIT/OFFSET — plus `%name` *substitution parameters*, the paper's core
 //! object: a query with parameters is a [`template`](crate::template)
 //! instantiated once per binding by the workload generator.
 
@@ -39,8 +39,11 @@ impl VarOrTerm {
 /// A triple pattern.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TriplePattern {
+    /// Subject position.
     pub subject: VarOrTerm,
+    /// Predicate position.
     pub predicate: VarOrTerm,
+    /// Object position.
     pub object: VarOrTerm,
 }
 
@@ -79,17 +82,29 @@ pub enum Expr {
 /// Binary operators, in increasing binding strength groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
+    /// Logical `||`.
     Or,
+    /// Logical `&&`.
     And,
+    /// `=`.
     Eq,
+    /// `!=`.
     Ne,
+    /// `<`.
     Lt,
+    /// `<=`.
     Le,
+    /// `>`.
     Gt,
+    /// `>=`.
     Ge,
+    /// `+`.
     Add,
+    /// `-`.
     Sub,
+    /// `*`.
     Mul,
+    /// `/`.
     Div,
 }
 
@@ -146,10 +161,15 @@ pub enum Element {
 /// An aggregate function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFunc {
+    /// `COUNT(?x)` / `COUNT(*)`: bound values (or rows).
     Count,
+    /// `SUM(?x)` over numeric values (0 when none exist).
     Sum,
+    /// `AVG(?x)`: sum over the *numeric* count; unbound when none exist.
     Avg,
+    /// `MIN(?x)` over numeric values; unbound when none exist.
     Min,
+    /// `MAX(?x)` over numeric values; unbound when none exist.
     Max,
 }
 
@@ -159,7 +179,16 @@ pub enum Projection {
     /// A plain variable.
     Var(String),
     /// An aggregate `(FUNC(?x) AS ?alias)`; `var = None` means `COUNT(*)`.
-    Aggregate { func: AggFunc, var: Option<String>, distinct: bool, alias: String },
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Input variable (`None` = `COUNT(*)`).
+        var: Option<String>,
+        /// `FUNC(DISTINCT ?x)`.
+        distinct: bool,
+        /// Output column name (`AS ?alias`).
+        alias: String,
+    },
 }
 
 impl Projection {
@@ -177,18 +206,26 @@ impl Projection {
 pub struct OrderKey {
     /// Column to sort by: a pattern variable or an aggregate alias.
     pub var: String,
+    /// `DESC(...)` vs `ASC(...)`.
     pub descending: bool,
 }
 
 /// A parsed SELECT query (or query template, when parameters remain).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectQuery {
+    /// `SELECT DISTINCT`.
     pub distinct: bool,
+    /// Projection list (`SELECT *` expands at parse time).
     pub projections: Vec<Projection>,
+    /// The WHERE group: triples, filters, OPTIONAL and UNION blocks.
     pub where_clause: Vec<Element>,
+    /// GROUP BY variables, in clause order.
     pub group_by: Vec<String>,
+    /// ORDER BY keys, in clause order.
     pub order_by: Vec<OrderKey>,
+    /// `LIMIT n`.
     pub limit: Option<usize>,
+    /// `OFFSET n`.
     pub offset: Option<usize>,
 }
 

@@ -66,6 +66,9 @@ impl Estimate {
 /// Cache key: (id-level access pattern, target position).
 type DistinctCache = Mutex<HashMap<([Option<Id>; 3], usize), f64>>;
 
+/// Statistics-backed cardinality estimator over one dataset, with a
+/// cross-query distinct-count cache (keyed on id-level access pattern
+/// and target position).
 pub struct Estimator<'a> {
     ds: &'a Dataset,
     distinct_cache: DistinctCache,

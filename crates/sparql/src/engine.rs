@@ -16,11 +16,12 @@ use parambench_rdf::term::Term;
 use crate::ast::{Element, Expr, Projection, SelectQuery, TriplePattern, VarOrTerm};
 use crate::cardinality::Estimator;
 use crate::error::QueryError;
-use crate::exec::ExecStats;
+use crate::exec::{ExecConfig, ExecStats, UNBOUND};
 use crate::modifiers::{Distinct, GroupFold, Slice, TopK};
 use crate::optimizer::{optimize, reestimate};
 use crate::physical::{
-    self, BoxedOperator, CoutBucket, FilterEval, HashJoinProbe, LeftOuterJoin, Project, UnionAll,
+    self, BoxedOperator, CoutBucket, FilterEval, Gather, HashJoinProbe, LeftOuterJoin,
+    ParallelSource, Project, UnionAll,
 };
 use crate::plan::{ModifierPlan, PlanNode, PlanSignature, PlannedPattern, Slot};
 use crate::results::{
@@ -123,16 +124,95 @@ pub struct QueryOutput {
     pub stats: ExecStats,
 }
 
+/// The base pipeline before modifier operators: either a plain serial
+/// operator chain, or a "pure" morsel-parallel source (a qualified BGP
+/// with nothing stacked on top) that the engine can still consume worker-
+/// side (parallel aggregation) instead of through a [`Gather`].
+enum Pipeline<'a> {
+    Serial(BoxedOperator<'a>),
+    Parallel(ParallelSource<'a>),
+}
+
+impl<'a> Pipeline<'a> {
+    /// The pull-based view: parallel sources are wrapped in a [`Gather`]
+    /// that merges worker batches in morsel order.
+    fn into_operator(self) -> BoxedOperator<'a> {
+        match self {
+            Pipeline::Serial(op) => op,
+            Pipeline::Parallel(src) => Box::new(Gather::new(src)),
+        }
+    }
+}
+
 /// The query engine over one frozen dataset.
+///
+/// # Quickstart
+///
+/// The front-door flow — build a dataset, prepare a parameterized
+/// template, execute with instrumentation. This is a doc-test, so
+/// `cargo test` exercises exactly the snippet shown here;
+/// `examples/quickstart.rs` extends it with dataset generation and
+/// parameter curation, which live in downstream crates.
+///
+/// ```
+/// use parambench_rdf::{StoreBuilder, Term};
+/// use parambench_sparql::{Binding, Engine, QueryTemplate};
+///
+/// // 1. A tiny product catalog (write-once: freeze() makes it immutable).
+/// let mut b = StoreBuilder::new();
+/// for i in 0..4i64 {
+///     let p = Term::iri(format!("product/{i}"));
+///     let ty = if i < 3 { "t/a" } else { "t/b" };
+///     b.insert(p.clone(), Term::iri("type"), Term::iri(ty));
+///     b.insert(p, Term::iri("price"), Term::integer(10 * (i + 1)));
+/// }
+/// let ds = b.freeze();
+///
+/// // 2. One engine per dataset. `prepare` finds the Cout-optimal plan
+/// //    without running it (the curation pipeline's cheap probe);
+/// //    `execute` then streams it with full instrumentation.
+/// let engine = Engine::new(&ds);
+/// let template = QueryTemplate::parse(
+///     "cheapest-of-type",
+///     "SELECT ?p ?c WHERE { ?p <type> %type . ?p <price> ?c } \
+///      ORDER BY ASC(?c) LIMIT 2",
+/// )
+/// .unwrap();
+/// let binding = Binding::new().with("type", Term::iri("t/a"));
+/// let prepared = engine.prepare_template(&template, &binding).unwrap();
+/// assert!(prepared.est_result_card <= 2.0); // modifier-aware estimate
+///
+/// let out = engine.execute(&prepared).unwrap();
+/// assert_eq!(out.results.len(), 2);
+/// assert_eq!(out.results.rows[0][1].as_num(), Some(10.0)); // cheapest
+/// assert!(out.cout >= 1); // measured Cout: total join output tuples
+/// ```
 pub struct Engine<'a> {
     ds: &'a Dataset,
     est: Estimator<'a>,
+    exec: ExecConfig,
 }
 
 impl<'a> Engine<'a> {
-    /// Creates an engine (and its statistics/estimator caches) for a dataset.
+    /// Creates an engine (and its statistics/estimator caches) for a
+    /// dataset, with the default (single-worker) [`ExecConfig`].
     pub fn new(ds: &'a Dataset) -> Self {
-        Engine { ds, est: Estimator::new(ds) }
+        Self::with_exec_config(ds, ExecConfig::default())
+    }
+
+    /// Creates an engine with an explicit parallel-execution configuration.
+    pub fn with_exec_config(ds: &'a Dataset, exec: ExecConfig) -> Self {
+        Engine { ds, est: Estimator::new(ds), exec }
+    }
+
+    /// The engine's default parallel-execution configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
+    }
+
+    /// Replaces the engine's default parallel-execution configuration.
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.exec = exec;
     }
 
     /// The underlying dataset.
@@ -392,9 +472,48 @@ impl<'a> Engine<'a> {
     /// Lowers the prepared query's pattern part (BGP + UNION + OPTIONAL +
     /// FILTER) to the streaming operator pipeline, without any modifier
     /// operators.
-    fn build_pipeline(&self, prepared: &Prepared) -> BoxedOperator<'a> {
-        let mut op: Option<BoxedOperator<'_>> =
-            prepared.bgp_plan.as_ref().map(|plan| plan.lower(self.ds, CoutBucket::Required));
+    ///
+    /// The required BGP is lowered through the morsel-parallel path
+    /// ([`crate::plan::PlanNode::lower_parallel`]) when it qualifies under
+    /// `exec`; shared hash-build sides are materialized here, against
+    /// `stats`. When nothing else (UNION / OPTIONAL / FILTER) is stacked
+    /// on top, the parallel source is returned directly so the modifier
+    /// epilogue can consume it worker-side.
+    fn build_pipeline(
+        &self,
+        prepared: &Prepared,
+        exec: &ExecConfig,
+        stats: &mut ExecStats,
+    ) -> Pipeline<'a> {
+        // Plain LIMIT queries (no aggregation, no ORDER BY) are
+        // output-bound: the serial Slice stops batch-granularly after
+        // ~`limit` rows, while parallel early exit is wave-granular — up to
+        // a whole wave of surplus scans for zero win. They stay serial.
+        // Aggregation and ORDER BY drain the pipeline fully, so for them
+        // the fan-out is pure gain. (Shape-derived, thread-independent:
+        // the determinism guarantee is unaffected.)
+        let m = &prepared.modifiers;
+        let output_bound = m.aggregate.is_none() && m.order_by.is_empty() && m.limit.is_some();
+        let base = prepared.bgp_plan.as_ref().map(|plan| {
+            let parallel = if output_bound {
+                None
+            } else {
+                plan.lower_parallel(self.ds, CoutBucket::Required, exec, stats)
+            };
+            match parallel {
+                Some(src) => Pipeline::Parallel(src),
+                None => Pipeline::Serial(plan.lower(self.ds, CoutBucket::Required)),
+            }
+        });
+        if prepared.unions.is_empty()
+            && prepared.optionals.is_empty()
+            && prepared.filters.is_empty()
+        {
+            if let Some(base) = base {
+                return base;
+            }
+        }
+        let mut op: Option<BoxedOperator<'_>> = base.map(Pipeline::into_operator);
 
         for u in &prepared.unions {
             let mut branches: Vec<BoxedOperator<'_>> = Vec::with_capacity(u.branches.len());
@@ -448,7 +567,7 @@ impl<'a> Engine<'a> {
                 self.ds,
             ));
         }
-        op
+        Pipeline::Serial(op)
     }
 
     /// Executes a prepared query through the batched Volcano pipeline (the
@@ -456,7 +575,7 @@ impl<'a> Engine<'a> {
     /// physical layer** wherever their combination allows:
     ///
     /// * aggregation folds batches into per-group accumulators as they
-    ///   stream ([`GroupFold`]) — the grouped input is never materialized;
+    ///   stream (`GroupFold`) — the grouped input is never materialized;
     /// * DISTINCT deduplicates raw `Id` rows pre-decode ([`Distinct`]);
     /// * ORDER BY + LIMIT becomes a bounded-heap [`TopK`];
     /// * LIMIT/OFFSET becomes a [`Slice`] that stops pulling upstream
@@ -466,7 +585,20 @@ impl<'a> Engine<'a> {
     /// under unprojected sort keys) fall back to the solution-table path at
     /// the result boundary, which sorts by per-row precomputed keys.
     pub fn execute(&self, prepared: &Prepared) -> Result<QueryOutput, QueryError> {
-        self.run(prepared, true)
+        self.run(prepared, true, &self.exec)
+    }
+
+    /// Executes with an explicit [`ExecConfig`], overriding the engine's
+    /// default for this run — how the benchmark driver applies its
+    /// thread-count knob without rebuilding the engine. Rows, row order
+    /// and measured `Cout` are identical at every `threads` value (see
+    /// [`ExecConfig`]); only wall time changes.
+    pub fn execute_with(
+        &self,
+        prepared: &Prepared,
+        exec: &ExecConfig,
+    ) -> Result<QueryOutput, QueryError> {
+        self.run(prepared, true, exec)
     }
 
     /// Executes with every solution modifier applied **after** full
@@ -476,19 +608,32 @@ impl<'a> Engine<'a> {
     /// measured against this path in `benches/engine.rs` and the
     /// integration suite.
     pub fn execute_unpushed(&self, prepared: &Prepared) -> Result<QueryOutput, QueryError> {
-        self.run(prepared, false)
+        self.run(prepared, false, &self.exec)
     }
 
-    fn run(&self, prepared: &Prepared, push: bool) -> Result<QueryOutput, QueryError> {
+    fn run(
+        &self,
+        prepared: &Prepared,
+        push: bool,
+        exec: &ExecConfig,
+    ) -> Result<QueryOutput, QueryError> {
         let start = Instant::now();
         let mut stats = ExecStats::default();
-        let op = self.build_pipeline(prepared);
+        // LIMIT 0 is provably empty on every pushed path: skip all
+        // execution before the pipeline (and any eager shared hash builds)
+        // exists, so nothing is ever scanned.
+        if push && prepared.modifiers.limit == Some(0) {
+            let results = ResultSet { columns: prepared.modifiers.out_names(), rows: Vec::new() };
+            return Ok(QueryOutput { results, wall_time: start.elapsed(), cout: 0, stats });
+        }
+        let pipeline = self.build_pipeline(prepared, exec, &mut stats);
         let results = if push {
-            self.finish_pushed(prepared, op, &mut stats)?
+            self.finish_pushed(prepared, pipeline, &mut stats)?
         } else {
             // Baseline: project to the needed columns, drain everything,
             // then run the whole modifier stack on the materialized table.
             let m = &prepared.modifiers;
+            let op = pipeline.into_operator();
             let needed = m.input_slots();
             let op = if needed.len() < op.schema().len() {
                 Box::new(Project::new(op, &needed)) as BoxedOperator<'_>
@@ -504,42 +649,70 @@ impl<'a> Engine<'a> {
     }
 
     /// The pushed-modifier epilogue: stacks modifier operators onto the
-    /// pipeline and decodes at the boundary.
+    /// pipeline and decodes at the boundary. (`run` already short-circuits
+    /// LIMIT 0 before the pipeline exists.)
     fn finish_pushed(
         &self,
         prepared: &Prepared,
-        mut op: BoxedOperator<'a>,
+        pipeline: Pipeline<'a>,
         stats: &mut ExecStats,
     ) -> Result<ResultSet, QueryError> {
         let m = &prepared.modifiers;
 
-        // LIMIT 0 is provably empty on every path: skip all execution
-        // (aggregation and TopK would otherwise still drain the pipeline).
-        if m.limit == Some(0) {
-            return Ok(ResultSet { columns: m.out_names(), rows: Vec::new() });
-        }
-
         if let Some(agg) = &m.aggregate {
-            // Streaming aggregation: project to the group + aggregate input
-            // columns, fold batch-by-batch, then finish the (small) group
-            // table at the boundary.
-            let needed = m.input_slots();
-            if needed.len() < op.schema().len() {
-                op = Box::new(Project::new(op, &needed));
-            }
-            let mut fold = GroupFold::new(agg, op.schema(), self.ds);
-            let width = op.schema().len();
-            let mut row = vec![crate::exec::UNBOUND; width];
-            while let Some(batch) = op.next_batch(stats) {
-                for r in 0..batch.len() {
-                    batch.read_row(r, &mut row);
-                    // add_row registers new group state with `stats` while
-                    // the input batch is still live.
-                    fold.add_row(&row, stats);
+            // Streaming aggregation. On a pure parallel source the fold
+            // itself fans out: every morsel folds into a private GroupFold
+            // on its worker, and the partials merge at gather time in
+            // morsel-index order — so group first-seen order (and with it
+            // the pre-sort output order) matches the serial fold exactly.
+            let fold = match pipeline {
+                Pipeline::Parallel(src) => {
+                    let ds = self.ds;
+                    let mut master: Option<GroupFold<'_>> = None;
+                    src.process(
+                        stats,
+                        |mut op, st| {
+                            let mut fold = GroupFold::new(agg, op.schema(), ds);
+                            let mut row = vec![UNBOUND; op.schema().len()];
+                            while let Some(batch) = op.next_batch(st) {
+                                for r in 0..batch.len() {
+                                    batch.read_row(r, &mut row);
+                                    fold.add_row(&row, st);
+                                }
+                                st.shrink(batch.len());
+                            }
+                            fold
+                        },
+                        |partial, stats| match &mut master {
+                            None => master = Some(partial),
+                            Some(fold) => fold.merge(partial, stats),
+                        },
+                    );
+                    master.expect("qualified parallel plans have at least one morsel")
                 }
-                // Input tuples collapse into the group accumulators.
-                stats.shrink(batch.len());
-            }
+                Pipeline::Serial(mut op) => {
+                    // Project to the group + aggregate input columns, fold
+                    // batch-by-batch.
+                    let needed = m.input_slots();
+                    if needed.len() < op.schema().len() {
+                        op = Box::new(Project::new(op, &needed));
+                    }
+                    let mut fold = GroupFold::new(agg, op.schema(), self.ds);
+                    let width = op.schema().len();
+                    let mut row = vec![UNBOUND; width];
+                    while let Some(batch) = op.next_batch(stats) {
+                        for r in 0..batch.len() {
+                            batch.read_row(r, &mut row);
+                            // add_row registers new group state with
+                            // `stats` while the input batch is still live.
+                            fold.add_row(&row, stats);
+                        }
+                        // Input tuples collapse into the accumulators.
+                        stats.shrink(batch.len());
+                    }
+                    fold
+                }
+            };
             let resident = fold.resident();
             let (keys, states) = fold.finish();
             let rows = table_from_groups(keys, states, m, agg);
@@ -547,6 +720,7 @@ impl<'a> Engine<'a> {
             stats.shrink(resident);
             return Ok(out);
         }
+        let mut op = pipeline.into_operator();
 
         // Plain path: project to the solution-table columns.
         let slots = m.table_slots();

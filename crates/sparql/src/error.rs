@@ -1,4 +1,11 @@
 //! Error type for the query engine.
+//!
+//! All query-shape problems (parse errors, unknown variables, unsupported
+//! constructs, unbound `%parameters`, invalid modifier combinations) are
+//! raised at parse or prepare time; execution itself never fails — a
+//! missing constant just yields an empty scan. This split is what lets the
+//! curation pipeline probe thousands of candidate bindings cheaply without
+//! running them.
 
 use std::fmt;
 

@@ -21,6 +21,59 @@ use crate::error::QueryError;
 /// Sentinel id marking an unbound value (from OPTIONAL mismatches).
 pub const UNBOUND: Id = Id(u32::MAX);
 
+/// Configuration of the morsel-driven parallel execution layer
+/// ([`crate::physical::Gather`]).
+///
+/// `threads` is purely an *execution* knob: the decision to morselize a
+/// plan, the morsel geometry and therefore the produced rows, their order
+/// and every deterministic counter (`cout`, `scanned`) are identical at
+/// any thread count — only wall-clock time changes. The *lowering*
+/// decision is taken from cardinality estimates and exact scan extents
+/// (`min_driver_rows`, `min_est_cost`), never from `threads`, so a run at
+/// 1 thread and a run at 8 threads execute the same physical plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecConfig {
+    /// Worker-pool size. `1` runs the morsels inline on the calling thread
+    /// (no spawning) but through the same morsel schedule.
+    pub threads: usize,
+    /// Driving-scan rows per morsel.
+    pub morsel_rows: usize,
+    /// Minimum driving-scan extent before a plan is morselized; below it
+    /// the exact serial lowering runs (fan-out would cost more than it
+    /// buys, and batch-granular LIMIT early exit is tighter than
+    /// wave-granular).
+    pub min_driver_rows: usize,
+    /// Minimum estimated plan cost (`est_cout + est_card`) before
+    /// parallel lowering is considered.
+    pub min_est_cost: f64,
+}
+
+impl Default for ExecConfig {
+    /// Serial by default: one worker, morselization only for plans whose
+    /// driving scan and estimated cost are large enough to amortize the
+    /// wave machinery.
+    fn default() -> Self {
+        ExecConfig { threads: 1, morsel_rows: 8192, min_driver_rows: 16384, min_est_cost: 4096.0 }
+    }
+}
+
+impl ExecConfig {
+    /// The default geometry with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig { threads: threads.max(1), ..ExecConfig::default() }
+    }
+
+    /// The default geometry with one worker per available hardware thread.
+    pub fn parallel() -> Self {
+        Self::with_threads(available_parallelism())
+    }
+}
+
+/// Hardware threads available to this process (1 when undetectable).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// A table of variable bindings: `cols[i]` is the variable slot stored in
 /// column `i`; rows are flattened row-major.
 ///
@@ -75,6 +128,16 @@ impl Bindings {
         self.rows += 1;
     }
 
+    /// Appends pre-laid-out rows (`flat` is row-major and must be a whole
+    /// number of schema-width rows) — the bulk append the partitioned hash
+    /// build uses to concatenate morsel outputs.
+    pub fn extend_rows(&mut self, flat: &[Id]) {
+        let w = self.cols.len();
+        debug_assert!(w > 0 && flat.len().is_multiple_of(w));
+        self.data.extend_from_slice(flat);
+        self.rows += flat.len() / w;
+    }
+
     /// Iterates rows.
     pub fn iter(&self) -> impl Iterator<Item = &[Id]> {
         (0..self.rows).map(|i| self.row(i))
@@ -119,6 +182,28 @@ impl ExecStats {
         self.live_tuples = self.live_tuples.saturating_sub(n as u64);
     }
 
+    /// Folds the per-morsel stats of one parallel wave, in morsel-index
+    /// order. Counters (`cout`, `scanned`, `join_cards`) are plain sums,
+    /// so the merged totals equal the serial run's bit-for-bit regardless
+    /// of thread count. The workers ran concurrently, so the wave's peak
+    /// is bounded by the *sum* of the per-morsel peaks on top of what was
+    /// already live downstream — a deterministic, thread-count-independent
+    /// upper bound.
+    pub fn absorb_workers(&mut self, parts: impl IntoIterator<Item = ExecStats>) {
+        let mut wave_peak = 0u64;
+        let mut wave_live = 0u64;
+        for p in parts {
+            self.cout += p.cout;
+            self.cout_optional += p.cout_optional;
+            self.scanned += p.scanned;
+            self.join_cards.extend(p.join_cards);
+            wave_peak += p.peak_tuples;
+            wave_live += p.live_tuples;
+        }
+        self.peak_tuples = self.peak_tuples.max(self.live_tuples + wave_peak);
+        self.live_tuples += wave_live;
+    }
+
     /// Folds the stats of an OPTIONAL sub-plan executed with its own
     /// [`ExecStats`]: its join outputs count as optional `Cout`, and its
     /// peak happened while `self`'s currently live tuples were resident.
@@ -134,9 +219,13 @@ impl ExecStats {
 /// A value during filter evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
+    /// A dictionary term.
     Term(Id),
+    /// A numeric value (from arithmetic or a numeric constant).
     Num(f64),
+    /// A boolean.
     Bool(bool),
+    /// An unbound variable (OPTIONAL mismatch).
     Unbound,
     /// SPARQL expression error: propagates and makes the filter reject.
     Error,

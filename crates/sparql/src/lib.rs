@@ -25,6 +25,15 @@
 //!   bounded-heap TopK with per-row precomputed sort keys, and
 //!   LIMIT/OFFSET stops pulling upstream work the moment it is satisfied
 //!   (lowered by [`plan::ModifierPlan`] at prepare time);
+//! * large plans execute **morsel-driven parallel**
+//!   ([`physical::Exchange`]/[`physical::Gather`], lowered by
+//!   [`plan::PlanNode::lower_parallel`] from cardinality estimates): the
+//!   driving scan is split into morsels fanned across a `std::thread`
+//!   worker pool, hash-join build sides are built partitioned and shared
+//!   read-only, and grouped aggregation folds per-morsel accumulators
+//!   merged at gather time. Batches merge by morsel index — never worker
+//!   arrival order — so rows, row order and measured `Cout` are
+//!   bit-identical at any [`exec::ExecConfig::threads`] value;
 //! * the pipeline measures the *actual* `Cout` (sum of join output
 //!   cardinalities, [`exec::ExecStats`]) next to wall-clock time, enabling
 //!   the §III correlation experiment, plus the peak intermediate-tuple
@@ -52,6 +61,8 @@
 //! assert_eq!(out.results.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod cardinality;
 pub mod display;
@@ -69,9 +80,9 @@ pub mod template;
 pub use ast::SelectQuery;
 pub use engine::{Engine, Prepared, QueryOutput};
 pub use error::QueryError;
-pub use exec::ExecStats;
+pub use exec::{available_parallelism, ExecConfig, ExecStats};
 pub use parser::parse_query;
-pub use physical::{Batch, CoutBucket, Operator, BATCH_SIZE};
+pub use physical::{Batch, CoutBucket, Operator, BATCH_SIZE, MORSELS_PER_WAVE};
 pub use plan::{ModifierPlan, PlanNode, PlanSignature};
 pub use results::{OutVal, ResultSet};
 pub use template::{Binding, QueryTemplate};

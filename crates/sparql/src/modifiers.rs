@@ -13,7 +13,7 @@
 //!   `offset + limit` rows, with per-row sort keys
 //!   ([`crate::results::SortAtom`]) computed **once** on arrival instead of
 //!   decoded on every comparison;
-//! * [`GroupFold`] — streaming GROUP BY/aggregation: folds each input batch
+//! * `GroupFold` — streaming GROUP BY/aggregation: folds each input batch
 //!   into per-group accumulators so the grouped query never materializes
 //!   its (potentially huge) join input, only the groups.
 //!
@@ -47,6 +47,7 @@ pub struct Distinct<'a> {
 }
 
 impl<'a> Distinct<'a> {
+    /// Wraps `child`, deduplicating its rows.
     pub fn new(child: BoxedOperator<'a>) -> Self {
         Distinct { child, seen: HashSet::new() }
     }
@@ -100,6 +101,7 @@ pub struct Slice<'a> {
 }
 
 impl<'a> Slice<'a> {
+    /// Wraps `child`, skipping `offset` rows and emitting at most `limit`.
     pub fn new(child: BoxedOperator<'a>, offset: usize, limit: Option<usize>) -> Self {
         Slice { child, skip: offset, take: limit, done: limit == Some(0) }
     }
@@ -236,6 +238,8 @@ pub struct TopK<'a> {
 }
 
 impl<'a> TopK<'a> {
+    /// Wraps `child`, keeping the best `offset + limit` rows under `keys`
+    /// ((child column, descending) pairs) and emitting those past `offset`.
     pub fn new(
         child: BoxedOperator<'a>,
         ds: &'a Dataset,
@@ -448,6 +452,73 @@ impl<'a> GroupFold<'a> {
                         state.sum += n;
                         state.min = state.min.min(n);
                         state.max = state.max.max(n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges a partial fold into `self` — the gather step of parallel
+    /// aggregation, where each morsel folded its rows into a private
+    /// accumulator. Partials MUST be merged in morsel-index order: group
+    /// first-seen order across the merged sequence then equals the serial
+    /// fold's pipeline row order, which pins the pre-sort output order.
+    /// (The accumulators are morsel-local rather than thread-local for
+    /// exactly this reason — thread-local arrival order would race.)
+    ///
+    /// Collapsed duplicate state (group rows and DISTINCT input ids both
+    /// sides retained) is released from `stats`. DISTINCT aggregates are
+    /// re-folded id-by-id over the incoming `seen` set (in sorted-id order
+    /// for a deterministic float fold), so cross-morsel duplicates are
+    /// counted once, exactly like the serial fold.
+    pub fn merge(&mut self, other: GroupFold<'a>, stats: &mut ExecStats) {
+        debug_assert_eq!(self.group_cols, other.group_cols);
+        debug_assert_eq!(self.spec_cols.len(), other.spec_cols.len());
+        let ds = self.ds;
+        self.resident += other.resident;
+        for (key, src_states) in other.order.into_iter().zip(other.states) {
+            match self.groups.get(&key) {
+                None => {
+                    let gi = self.order.len();
+                    self.groups.insert(key.clone(), gi);
+                    self.order.push(key);
+                    // The partial's state (and its stats registration)
+                    // moves over wholesale.
+                    self.states.push(src_states);
+                }
+                Some(&gi) => {
+                    // Duplicate group row: one of the two collapses.
+                    stats.shrink(1);
+                    self.resident -= 1;
+                    for ((_, distinct), (dst, src)) in
+                        self.spec_cols.iter().zip(self.states[gi].iter_mut().zip(src_states))
+                    {
+                        if *distinct {
+                            // Re-fold the incoming distinct ids; sorted so
+                            // the float fold order is deterministic.
+                            let mut ids: Vec<u32> = src.seen.into_iter().collect();
+                            ids.sort_unstable();
+                            for raw in ids {
+                                if !dst.seen.insert(raw) {
+                                    stats.shrink(1);
+                                    self.resident -= 1;
+                                    continue;
+                                }
+                                dst.count += 1;
+                                if let Some(n) = ds.dict().numeric(Id(raw)) {
+                                    dst.num_count += 1;
+                                    dst.sum += n;
+                                    dst.min = dst.min.min(n);
+                                    dst.max = dst.max.max(n);
+                                }
+                            }
+                        } else {
+                            dst.count += src.count;
+                            dst.num_count += src.num_count;
+                            dst.sum += src.sum;
+                            dst.min = dst.min.min(src.min);
+                            dst.max = dst.max.max(src.max);
+                        }
                     }
                 }
             }

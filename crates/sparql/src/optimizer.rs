@@ -362,7 +362,9 @@ pub fn exhaustive_min_cout(
 /// A convenience wrapper retaining per-subset diagnostics (for EXPLAIN and
 /// the curation profiler): the chosen plan plus its estimate.
 pub struct OptimizedBgp {
+    /// The Cout-optimal join tree.
     pub plan: PlanNode,
+    /// The root estimate (cardinality + distinct counts).
     pub est: Estimate,
 }
 

@@ -25,6 +25,7 @@ use crate::ast::{
 };
 use crate::error::QueryError;
 
+/// The `rdf:type` IRI the `a` keyword expands to.
 pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
 
 /// Parses a SELECT query (or template with `%params`) from text.

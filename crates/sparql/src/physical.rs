@@ -27,15 +27,34 @@
 //! Solution-modifier operators (DISTINCT, TopK, Slice, streaming
 //! aggregation) live in [`crate::modifiers`]. Physical plans are produced
 //! from logical [`crate::plan::PlanNode`] trees by
-//! [`crate::plan::PlanNode::lower`].
+//! [`crate::plan::PlanNode::lower`] (serial) or
+//! [`crate::plan::PlanNode::lower_parallel`] (morsel-driven).
+//!
+//! # Morsel-driven parallelism
+//!
+//! The [`Exchange`]/[`Gather`] pair parallelizes qualifying plans across a
+//! `std::thread` worker pool. [`Exchange`] partitions the plan's *driving*
+//! [`IndexScan`] range into fixed-size morsels; each worker instantiates
+//! its own copy of the streaming spine ([`SharedBuildProbe`] probes into
+//! hash tables built once and shared read-only, [`BindJoin`] probes the
+//! permutation indexes directly) over one morsel at a time, and [`Gather`]
+//! re-emits the per-morsel batches **in morsel-index order** — never in
+//! worker arrival order. Together with the fixed wave size
+//! ([`MORSELS_PER_WAVE`], deliberately *not* derived from the thread
+//! count) this makes rows, row order, measured `Cout` and `scanned`
+//! bit-identical at any thread count; only wall-clock time changes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use parambench_rdf::dict::Id;
 use parambench_rdf::store::Dataset;
 
 use crate::ast::Expr;
-use crate::exec::{row_passes, Bindings, ExecStats, UNBOUND};
+use crate::exec::{row_passes, Bindings, ExecConfig, ExecStats, UNBOUND};
 use crate::plan::{PlannedPattern, Slot};
 
 /// Rows per batch. Large enough to amortize per-batch dispatch, small
@@ -47,7 +66,9 @@ pub const BATCH_SIZE: usize = 1024;
 /// OPTIONAL groups feed [`ExecStats::cout_optional`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoutBucket {
+    /// Joins of the required BGP.
     Required,
+    /// Joins inside OPTIONAL groups.
     Optional,
 }
 
@@ -201,7 +222,19 @@ struct ScanState<'a> {
 }
 
 impl<'a> IndexScan<'a> {
+    /// Scans the pattern's full index range.
     pub fn new(ds: &'a Dataset, pattern: &PlannedPattern) -> Self {
+        Self::over(ds, pattern, None)
+    }
+
+    /// Scans only rows `[start, end)` of the pattern's index range — one
+    /// morsel of a parallel scan. Consecutive morsels concatenated in
+    /// index order reproduce [`IndexScan::new`] exactly.
+    pub fn morsel(ds: &'a Dataset, pattern: &PlannedPattern, start: usize, end: usize) -> Self {
+        Self::over(ds, pattern, Some((start, end)))
+    }
+
+    fn over(ds: &'a Dataset, pattern: &PlannedPattern, slice: Option<(usize, usize)>) -> Self {
         let schema = pattern.var_slots();
         if pattern.has_absent() {
             return IndexScan { schema, state: None };
@@ -217,7 +250,10 @@ impl<'a> IndexScan<'a> {
             })
             .collect();
         let eq_pairs = eq_pairs(pattern);
-        let iter = Box::new(ds.scan(pattern.access()));
+        let iter: Box<dyn Iterator<Item = [Id; 3]> + 'a> = match slice {
+            None => Box::new(ds.scan(pattern.access())),
+            Some((start, end)) => Box::new(ds.scan_slice(pattern.access(), start, end)),
+        };
         IndexScan { schema, state: Some(ScanState { iter, col_pos, eq_pairs }) }
     }
 }
@@ -296,10 +332,24 @@ impl JoinCardRecorder {
 
 /// The materialized side of a hash join: row storage plus the key index.
 /// Stays resident (and counted in [`ExecStats::peak_tuples`]) until the
-/// owning probe operator is dropped.
+/// owning probe operator is dropped — or, when shared read-only across a
+/// [`Gather`]'s workers, until the gather exhausts its morsels.
+///
+/// The key index is split into hash partitions so
+/// [`HashJoinBuild::build_partitioned`] can fill them from independent
+/// workers. Row indices are always assigned in the build input's row
+/// order, and each key lives in exactly one partition, so a key's match
+/// list is in global row order regardless of how the table was built —
+/// the property that keeps probe output order identical between the
+/// serial and the partitioned build.
 pub struct HashJoinBuild {
     rows: Bindings,
-    table: HashMap<Vec<Id>, Vec<usize>>,
+    /// Key → row indices, one map per hash partition (serial builds use a
+    /// single partition).
+    partitions: Vec<HashMap<Vec<Id>, Vec<usize>>>,
+    /// Partition selector; kept with the table so lookups and builds
+    /// agree for its whole lifetime.
+    hasher: RandomState,
 }
 
 impl HashJoinBuild {
@@ -327,11 +377,133 @@ impl HashJoinBuild {
                 rows.push_row(&row_buf);
             }
         }
-        HashJoinBuild { rows, table }
+        HashJoinBuild { rows, partitions: vec![table], hasher: RandomState::new() }
     }
 
-    fn len(&self) -> usize {
+    /// Parallel build of a *scan* build side: workers extract rows and key
+    /// hashes per morsel (phase 1), then one worker per hash partition
+    /// walks the morsels **in index order** inserting its partition's keys
+    /// (phase 2). Global row numbering follows scan order, so probing the
+    /// result is bit-identical to probing a serially built table.
+    pub fn build_partitioned(
+        ds: &Dataset,
+        pattern: &PlannedPattern,
+        join_vars: &[usize],
+        cfg: &ExecConfig,
+        stats: &mut ExecStats,
+    ) -> HashJoinBuild {
+        let schema = pattern.var_slots();
+        let mut rows = Bindings::empty(schema.clone());
+        if pattern.has_absent() {
+            return HashJoinBuild {
+                rows,
+                partitions: vec![HashMap::new()],
+                hasher: RandomState::new(),
+            };
+        }
+        let width = schema.len();
+        let col_pos: Vec<usize> = schema
+            .iter()
+            .map(|&v| {
+                pattern.slots.iter().position(|s| s.as_var() == Some(v)).expect("var from pattern")
+            })
+            .collect();
+        let key_cols: Vec<usize> = join_vars
+            .iter()
+            .map(|&v| schema.iter().position(|&c| c == v).expect("join var in build side"))
+            .collect();
+        let eq = eq_pairs(pattern);
+        let hasher = RandomState::new();
+
+        // Phase 1: per-morsel row extraction (eq-pair filtering, column
+        // layout, key hashing) fans out across the pool; results land in
+        // morsel-indexed slots.
+        let exchange = Exchange::new(ds.count(pattern.access()), cfg.morsel_rows);
+        let access = pattern.access();
+        let extract = |m: usize| -> (Vec<Id>, Vec<u64>, u64) {
+            let morsel = exchange.morsel(m);
+            let mut flat = Vec::new();
+            let mut hashes = Vec::new();
+            let mut scanned = 0u64;
+            let mut row = vec![UNBOUND; width];
+            for triple in ds.scan_slice(access, morsel.start, morsel.end) {
+                scanned += 1;
+                if eq.iter().any(|&(i, j)| triple[i] != triple[j]) {
+                    continue;
+                }
+                for (c, &pos) in col_pos.iter().enumerate() {
+                    row[c] = triple[pos];
+                }
+                let mut h = hasher.build_hasher();
+                for &c in &key_cols {
+                    row[c].hash(&mut h);
+                }
+                hashes.push(h.finish());
+                flat.extend_from_slice(&row);
+            }
+            (flat, hashes, scanned)
+        };
+        let morsels = scatter(exchange.morsel_count(), cfg.threads, &extract);
+
+        // Global row numbering: concatenate morsels in index order.
+        let mut bases = Vec::with_capacity(morsels.len());
+        for (flat, _, scanned) in &morsels {
+            bases.push(rows.len());
+            rows.extend_rows(flat);
+            stats.scanned += scanned;
+        }
+
+        // Phase 2: one worker per hash partition; each walks every morsel
+        // in order and inserts only the keys that hash into its partition,
+        // so per-key match lists come out in global row order.
+        let nparts = cfg.threads.clamp(1, 8);
+        let fill = |p: usize| -> HashMap<Vec<Id>, Vec<usize>> {
+            let mut table: HashMap<Vec<Id>, Vec<usize>> = HashMap::new();
+            for ((flat, hashes, _), &base) in morsels.iter().zip(&bases) {
+                for (i, &h) in hashes.iter().enumerate() {
+                    if h as usize % nparts != p {
+                        continue;
+                    }
+                    let row = &flat[i * width..(i + 1) * width];
+                    let key: Vec<Id> = key_cols.iter().map(|&c| row[c]).collect();
+                    table.entry(key).or_default().push(base + i);
+                }
+            }
+            table
+        };
+        let partitions = scatter(nparts, cfg.threads, &fill);
+
+        stats.grow(rows.len());
+        HashJoinBuild { rows, partitions, hasher }
+    }
+
+    /// Variable slot of each build-row column.
+    pub fn schema(&self) -> &[usize] {
+        self.rows.cols()
+    }
+
+    /// Number of build rows (the table's contribution to `peak_tuples`).
+    pub fn len(&self) -> usize {
         self.rows.len()
+    }
+
+    /// True when the build side produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row indices matching `key`, in global build-row order.
+    fn matches(&self, key: &[Id]) -> Option<&Vec<usize>> {
+        let p = if self.partitions.len() == 1 {
+            0
+        } else {
+            let mut h = self.hasher.build_hasher();
+            for id in key {
+                id.hash(&mut h);
+            }
+            h.finish() as usize % self.partitions.len()
+        };
+        self.partitions[p].get(key)
     }
 }
 
@@ -342,47 +514,61 @@ enum ColSource {
     Build(usize),
 }
 
-/// Inner hash join: streams the probe child against the built side.
-/// `build_right` says which *semantic* side (left = first operand, whose
-/// columns lead the output schema) is materialized — the optimizer picks
-/// the side with the smaller estimated cardinality.
-pub struct HashJoinProbe<'a> {
+/// The build side as seen by a probe core: owned by the join (released on
+/// finish) or shared read-only across a [`Gather`]'s workers (residency
+/// accounted by the gather, never released here).
+enum BuildRef {
+    Owned(HashJoinBuild),
+    Shared(Arc<HashJoinBuild>),
+}
+
+impl BuildRef {
+    fn get(&self) -> &HashJoinBuild {
+        match self {
+            BuildRef::Owned(b) => b,
+            BuildRef::Shared(b) => b,
+        }
+    }
+}
+
+/// The probe engine shared by [`HashJoinProbe`] and [`SharedBuildProbe`]:
+/// output-schema/source layout, the resumable probe loop and the per-batch
+/// `Cout` recording live here exactly once, so the serial and the parallel
+/// hash join cannot drift apart.
+struct ProbeCore {
     schema: Vec<usize>,
-    join_vars: Vec<usize>,
-    recorder: JoinCardRecorder,
-    /// Children waiting to run (build child first); emptied on first pull.
-    pending: Option<(BoxedOperator<'a>, BoxedOperator<'a>)>,
-    build: Option<HashJoinBuild>,
-    probe: Option<BoxedOperator<'a>>,
+    build: Option<BuildRef>,
     probe_key_cols: Vec<usize>,
     sources: Vec<ColSource>,
+    recorder: JoinCardRecorder,
     /// In-progress probe batch: (batch, row index, match offset).
     cursor: Option<(Batch, usize, usize)>,
     done: bool,
 }
 
-impl<'a> HashJoinProbe<'a> {
-    pub fn new(
-        left: BoxedOperator<'a>,
-        right: BoxedOperator<'a>,
-        join_vars: Vec<usize>,
-        build_right: bool,
+impl ProbeCore {
+    /// Lays out the output schema (semantic-left columns lead, regardless
+    /// of which side built) and the per-column sources. `stream_is_left`
+    /// says whether the streaming probe side is the semantic left operand.
+    fn new(
+        probe_schema: &[usize],
+        build_schema: &[usize],
+        stream_is_left: bool,
+        join_vars: &[usize],
         signature: String,
         bucket: CoutBucket,
     ) -> Self {
-        // Output schema: all left cols, then right cols not already present
-        // — stable regardless of which side builds the hash table.
-        let mut schema: Vec<usize> = left.schema().to_vec();
-        for &v in right.schema() {
+        let (left_schema, right_schema) = if stream_is_left {
+            (probe_schema, build_schema)
+        } else {
+            (build_schema, probe_schema)
+        };
+        let mut schema: Vec<usize> = left_schema.to_vec();
+        for &v in right_schema {
             if !schema.contains(&v) {
                 schema.push(v);
             }
         }
-        let (build_schema, probe_schema): (&[usize], &[usize]) = if build_right {
-            (right.schema(), left.schema())
-        } else {
-            (left.schema(), right.schema())
-        };
         let col_in = |s: &[usize], v: usize| s.iter().position(|&c| c == v);
         let sources: Vec<ColSource> = schema
             .iter()
@@ -395,16 +581,12 @@ impl<'a> HashJoinProbe<'a> {
             .iter()
             .map(|&v| col_in(probe_schema, v).expect("join var in probe side"))
             .collect();
-        let pending = if build_right { (right, left) } else { (left, right) };
-        HashJoinProbe {
+        ProbeCore {
             schema,
-            join_vars,
-            recorder: JoinCardRecorder::new(signature, bucket),
-            pending: Some(pending),
             build: None,
-            probe: None,
             probe_key_cols,
             sources,
+            recorder: JoinCardRecorder::new(signature, bucket),
             cursor: None,
             done: false,
         }
@@ -413,77 +595,56 @@ impl<'a> HashJoinProbe<'a> {
     fn finish(&mut self, stats: &mut ExecStats) {
         // A join that completed without emitting still reports itself.
         self.recorder.record(stats, 0);
-        // Release the build side: the join output has been handed on.
-        if let Some(build) = self.build.take() {
+        // Release an owned build side: the join output has been handed on.
+        // A shared build stays resident until its gather exhausts.
+        if let Some(BuildRef::Owned(build)) = self.build.take() {
             stats.shrink(build.len());
         }
         self.done = true;
     }
-}
 
-impl Operator for HashJoinProbe<'_> {
-    fn schema(&self) -> &[usize] {
-        &self.schema
-    }
-
-    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
-        if self.done {
-            return None;
-        }
-        if let Some((build_child, probe_child)) = self.pending.take() {
-            let build = HashJoinBuild::build(build_child, &self.join_vars, stats);
-            let mut probe_child = probe_child;
-            if build.rows.is_empty() {
-                // Empty build side: the join is empty, but the probe subtree
-                // must still run so its joins contribute to measured `Cout`
-                // exactly as in the materializing executor.
-                while let Some(batch) = probe_child.next_batch(stats) {
-                    stats.shrink(batch.len());
-                }
-                self.finish(stats);
-                return None;
-            }
-            self.build = Some(build);
-            self.probe = Some(probe_child);
-        }
-        let build = self.build.as_ref().expect("built above");
-        let probe = self.probe.as_mut().expect("built above");
-
+    /// One `next_batch` step probing the build with rows pulled from
+    /// `probe`, resuming mid-batch across calls; finishes (and releases an
+    /// owned build) when the probe side is exhausted.
+    fn fill(&mut self, probe: &mut BoxedOperator<'_>, stats: &mut ExecStats) -> Option<Batch> {
         let mut out = Batch::with_schema(self.schema.clone());
-        let mut probe_buf = vec![UNBOUND; probe.schema().len()];
-        let mut row_buf = vec![UNBOUND; self.schema.len()];
-        'fill: while !out.is_full() {
-            let (batch, mut row, mut offset) = match self.cursor.take() {
-                Some(c) => c,
-                None => match probe.next_batch(stats) {
-                    Some(b) => (b, 0, 0),
-                    None => break 'fill,
-                },
-            };
-            while row < batch.len() {
-                batch.read_row(row, &mut probe_buf);
-                let key: Vec<Id> = self.probe_key_cols.iter().map(|&c| probe_buf[c]).collect();
-                if let Some(matches) = build.table.get(&key) {
-                    while offset < matches.len() {
-                        if out.is_full() {
-                            self.cursor = Some((batch, row, offset));
-                            break 'fill;
+        {
+            let build = self.build.as_ref().expect("build installed before fill").get();
+            let mut probe_buf = vec![UNBOUND; probe.schema().len()];
+            let mut row_buf = vec![UNBOUND; self.schema.len()];
+            'fill: while !out.is_full() {
+                let (batch, mut row, mut offset) = match self.cursor.take() {
+                    Some(c) => c,
+                    None => match probe.next_batch(stats) {
+                        Some(b) => (b, 0, 0),
+                        None => break 'fill,
+                    },
+                };
+                while row < batch.len() {
+                    batch.read_row(row, &mut probe_buf);
+                    let key: Vec<Id> = self.probe_key_cols.iter().map(|&c| probe_buf[c]).collect();
+                    if let Some(matches) = build.matches(&key) {
+                        while offset < matches.len() {
+                            if out.is_full() {
+                                self.cursor = Some((batch, row, offset));
+                                break 'fill;
+                            }
+                            let brow = build.rows.row(matches[offset]);
+                            for (k, src) in self.sources.iter().enumerate() {
+                                row_buf[k] = match *src {
+                                    ColSource::Probe(c) => probe_buf[c],
+                                    ColSource::Build(c) => brow[c],
+                                };
+                            }
+                            out.push_row(&row_buf);
+                            offset += 1;
                         }
-                        let brow = build.rows.row(matches[offset]);
-                        for (k, src) in self.sources.iter().enumerate() {
-                            row_buf[k] = match *src {
-                                ColSource::Probe(c) => probe_buf[c],
-                                ColSource::Build(c) => brow[c],
-                            };
-                        }
-                        out.push_row(&row_buf);
-                        offset += 1;
                     }
+                    offset = 0;
+                    row += 1;
                 }
-                offset = 0;
-                row += 1;
+                stats.shrink(batch.len());
             }
-            stats.shrink(batch.len());
         }
         if self.cursor.is_none() && out.is_empty() {
             self.finish(stats);
@@ -500,6 +661,71 @@ impl Operator for HashJoinProbe<'_> {
         self.recorder.record(stats, out.len() as u64);
         stats.grow(out.len());
         Some(out)
+    }
+}
+
+/// Inner hash join: streams the probe child against the built side.
+/// `build_right` says which *semantic* side (left = first operand, whose
+/// columns lead the output schema) is materialized — the optimizer picks
+/// the side with the smaller estimated cardinality.
+pub struct HashJoinProbe<'a> {
+    core: ProbeCore,
+    join_vars: Vec<usize>,
+    /// Children waiting to run (build child first); emptied on first pull.
+    pending: Option<(BoxedOperator<'a>, BoxedOperator<'a>)>,
+    probe: Option<BoxedOperator<'a>>,
+}
+
+impl<'a> HashJoinProbe<'a> {
+    /// An inner hash join of `left ⋈ right` on `join_vars`; `build_right`
+    /// selects which semantic side is materialized.
+    pub fn new(
+        left: BoxedOperator<'a>,
+        right: BoxedOperator<'a>,
+        join_vars: Vec<usize>,
+        build_right: bool,
+        signature: String,
+        bucket: CoutBucket,
+    ) -> Self {
+        let (build_schema, probe_schema): (&[usize], &[usize]) = if build_right {
+            (right.schema(), left.schema())
+        } else {
+            (left.schema(), right.schema())
+        };
+        let core =
+            ProbeCore::new(probe_schema, build_schema, build_right, &join_vars, signature, bucket);
+        let pending = if build_right { (right, left) } else { (left, right) };
+        HashJoinProbe { core, join_vars, pending: Some(pending), probe: None }
+    }
+}
+
+impl Operator for HashJoinProbe<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.core.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        if self.core.done {
+            return None;
+        }
+        if let Some((build_child, probe_child)) = self.pending.take() {
+            let build = HashJoinBuild::build(build_child, &self.join_vars, stats);
+            let mut probe_child = probe_child;
+            if build.is_empty() {
+                // Empty build side: the join is empty, but the probe subtree
+                // must still run so its joins contribute to measured `Cout`
+                // exactly as in the materializing executor.
+                while let Some(batch) = probe_child.next_batch(stats) {
+                    stats.shrink(batch.len());
+                }
+                self.core.finish(stats);
+                return None;
+            }
+            self.core.build = Some(BuildRef::Owned(build));
+            self.probe = Some(probe_child);
+        }
+        let probe = self.probe.as_mut().expect("installed above");
+        self.core.fill(probe, stats)
     }
 }
 
@@ -538,6 +764,7 @@ struct BindCursor<'a> {
 }
 
 impl<'a> BindJoin<'a> {
+    /// An index nested-loop join probing `pattern` once per `left` row.
     pub fn new(
         ds: &'a Dataset,
         left: BoxedOperator<'a>,
@@ -709,6 +936,7 @@ pub struct LeftOuterJoin<'a> {
 }
 
 impl<'a> LeftOuterJoin<'a> {
+    /// A left-outer join of `left ⟕ right` on `join_vars` (right is built).
     pub fn new(left: BoxedOperator<'a>, right: BoxedOperator<'a>, join_vars: Vec<usize>) -> Self {
         let mut schema: Vec<usize> = left.schema().to_vec();
         for &v in right.schema() {
@@ -785,7 +1013,7 @@ impl Operator for LeftOuterJoin<'_> {
                 let matches = if key.contains(&UNBOUND) {
                     None
                 } else {
-                    build.table.get(&key).filter(|m| !m.is_empty())
+                    build.matches(&key).filter(|m| !m.is_empty())
                 };
                 match matches {
                     Some(matches) => {
@@ -953,6 +1181,7 @@ pub struct UnionAll<'a> {
 }
 
 impl<'a> UnionAll<'a> {
+    /// Concatenates `branches` (all binding the same variable set).
     pub fn new(branches: Vec<BoxedOperator<'a>>) -> Self {
         assert!(!branches.is_empty(), "UNION with no branches");
         let schema: Vec<usize> = branches[0].schema().to_vec();
@@ -994,6 +1223,404 @@ impl Operator for UnionAll<'_> {
             }
         }
         None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel execution: Exchange / SharedBuildProbe / Gather
+// ---------------------------------------------------------------------------
+
+/// Morsels dispatched per wave. Deliberately a fixed constant — *not*
+/// derived from the thread count — so the amount of work completed before
+/// a downstream LIMIT stops pulling (and with it measured `Cout` and
+/// `scanned`) is identical at any thread count. Early exit is therefore
+/// wave-granular under parallel execution: at most one wave of surplus
+/// work, bounded by `MORSELS_PER_WAVE × ExecConfig::morsel_rows` driving
+/// rows.
+pub const MORSELS_PER_WAVE: usize = 32;
+
+/// One contiguous chunk of the driving scan's index range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Position in the morsel sequence (the merge key [`Gather`] orders by).
+    pub index: usize,
+    /// First driving-scan row (inclusive).
+    pub start: usize,
+    /// Last driving-scan row (exclusive).
+    pub end: usize,
+}
+
+/// Partitions a scan extent into fixed-size [`Morsel`]s. The geometry
+/// depends only on the extent and `morsel_rows`, never on the thread
+/// count — the root of the engine's any-thread-count determinism.
+#[derive(Debug, Clone, Copy)]
+pub struct Exchange {
+    extent: usize,
+    morsel_rows: usize,
+}
+
+impl Exchange {
+    /// An exchange over `extent` driving rows in chunks of `morsel_rows`.
+    pub fn new(extent: usize, morsel_rows: usize) -> Self {
+        Exchange { extent, morsel_rows: morsel_rows.max(1) }
+    }
+
+    /// Total number of morsels.
+    pub fn morsel_count(&self) -> usize {
+        self.extent.div_ceil(self.morsel_rows)
+    }
+
+    /// The `index`-th morsel (the last one may be short).
+    pub fn morsel(&self, index: usize) -> Morsel {
+        let start = index * self.morsel_rows;
+        Morsel { index, start, end: (start + self.morsel_rows).min(self.extent) }
+    }
+}
+
+/// Runs `job(0..count)` across up to `threads` workers claiming indexes
+/// from a shared cursor, and returns the results in index order. With one
+/// thread (or one job) everything runs inline on the caller — same
+/// schedule, no spawn.
+fn scatter<T: Send>(count: usize, threads: usize, job: &(dyn Fn(usize) -> T + Sync)) -> Vec<T> {
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let v = job(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("result slot poisoned").expect("worker filled every slot"))
+        .collect()
+}
+
+/// Inner hash join probing a **shared, read-only** build table — the
+/// per-worker operator of a parallel hash join. A thin wrapper over the
+/// same [`ProbeCore`] as [`HashJoinProbe`]; the build side was constructed
+/// once (by [`crate::plan::PlanNode::lower_parallel`]) and its residency
+/// is accounted by the owning gather, so finishing a probe never shrinks
+/// it.
+pub struct SharedBuildProbe<'a> {
+    core: ProbeCore,
+    child: BoxedOperator<'a>,
+}
+
+impl<'a> SharedBuildProbe<'a> {
+    /// `stream_is_left` says whether the streaming `child` is the
+    /// *semantic* left operand (whose columns lead the output schema),
+    /// mirroring [`HashJoinProbe`]'s `build_right` choice.
+    pub fn new(
+        child: BoxedOperator<'a>,
+        build: Arc<HashJoinBuild>,
+        join_vars: &[usize],
+        stream_is_left: bool,
+        signature: String,
+        bucket: CoutBucket,
+    ) -> Self {
+        let mut core = ProbeCore::new(
+            child.schema(),
+            build.schema(),
+            stream_is_left,
+            join_vars,
+            signature,
+            bucket,
+        );
+        core.build = Some(BuildRef::Shared(build));
+        SharedBuildProbe { core, child }
+    }
+}
+
+impl Operator for SharedBuildProbe<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.core.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        if self.core.done {
+            return None;
+        }
+        if self.core.build.as_ref().expect("installed at construction").get().is_empty() {
+            // Same contract as HashJoinProbe: the probe subtree still runs
+            // so its joins contribute to measured `Cout`.
+            while let Some(batch) = self.child.next_batch(stats) {
+                stats.shrink(batch.len());
+            }
+            self.core.finish(stats);
+            return None;
+        }
+        self.core.fill(&mut self.child, stats)
+    }
+}
+
+/// One operator level of a parallel plan's streaming spine, bottom-up
+/// from the driving scan. Every worker assembles the same step sequence
+/// over its morsel; shared builds are reference-counted, everything else
+/// is cloned per morsel.
+pub enum SpineStep {
+    /// Index nested-loop join probing `pattern` per streamed row.
+    Bind {
+        /// The probed triple pattern.
+        pattern: PlannedPattern,
+        /// Shared variable slots.
+        join_vars: Vec<usize>,
+        /// Plan signature path for `ExecStats::join_cards`.
+        signature: String,
+    },
+    /// Hash probe into a shared read-only build table.
+    Probe {
+        /// The pre-built side, shared across workers.
+        build: Arc<HashJoinBuild>,
+        /// Shared variable slots.
+        join_vars: Vec<usize>,
+        /// Whether the streaming side is the semantic left operand.
+        stream_is_left: bool,
+        /// Plan signature path for `ExecStats::join_cards`.
+        signature: String,
+    },
+}
+
+/// A morsel-parallel pipeline: the driving scan's [`Exchange`] plus the
+/// spine steps every worker stacks on top of its morsel. Consumed either
+/// through [`Gather`] (an [`Operator`] that merges worker batches in
+/// morsel order) or through [`ParallelSource::process`] (per-morsel
+/// folding for parallel aggregation).
+pub struct ParallelSource<'a> {
+    ds: &'a Dataset,
+    driver: PlannedPattern,
+    steps: Vec<SpineStep>,
+    exchange: Exchange,
+    threads: usize,
+    bucket: CoutBucket,
+    schema: Vec<usize>,
+    /// Tuples resident in the shared build tables, released once all
+    /// morsels have run.
+    shared_tuples: usize,
+}
+
+impl<'a> ParallelSource<'a> {
+    /// Assembles a source from the driving pattern and its spine steps.
+    /// `stats` residency for the shared builds must already be registered
+    /// (they were built with it).
+    pub fn new(
+        ds: &'a Dataset,
+        driver: PlannedPattern,
+        steps: Vec<SpineStep>,
+        cfg: &ExecConfig,
+        bucket: CoutBucket,
+    ) -> Self {
+        let extent = if driver.has_absent() { 0 } else { ds.count(driver.access()) };
+        let exchange = Exchange::new(extent, cfg.morsel_rows);
+        let shared_tuples = steps
+            .iter()
+            .map(|s| match s {
+                SpineStep::Probe { build, .. } => build.len(),
+                SpineStep::Bind { .. } => 0,
+            })
+            .sum();
+        let schema = Self::spine_schema(&driver, &steps);
+        debug_assert_eq!(
+            schema,
+            Self::assemble(ds, &driver, &steps, bucket, Morsel { index: 0, start: 0, end: 0 })
+                .schema(),
+            "spine_schema must mirror the assembled operators' layout"
+        );
+        ParallelSource {
+            ds,
+            driver,
+            steps,
+            exchange,
+            threads: cfg.threads.max(1),
+            bucket,
+            schema,
+            shared_tuples,
+        }
+    }
+
+    /// Output schema (identical to the serial lowering's root schema).
+    pub fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    /// Folds the output schema of the assembled spine without constructing
+    /// any operators, mirroring [`BindJoin::new`] (left columns, then new
+    /// pattern columns) and [`ProbeCore::new`] (semantic-left columns
+    /// lead). The debug assertion in [`ParallelSource::new`] pins the two
+    /// layouts together.
+    fn spine_schema(driver: &PlannedPattern, steps: &[SpineStep]) -> Vec<usize> {
+        let mut schema = driver.var_slots();
+        for step in steps {
+            match step {
+                SpineStep::Bind { pattern, .. } => {
+                    for v in pattern.var_slots() {
+                        if !schema.contains(&v) {
+                            schema.push(v);
+                        }
+                    }
+                }
+                SpineStep::Probe { build, stream_is_left, .. } => {
+                    let (lead, trail) = if *stream_is_left {
+                        (std::mem::take(&mut schema), build.schema().to_vec())
+                    } else {
+                        (build.schema().to_vec(), std::mem::take(&mut schema))
+                    };
+                    schema = lead;
+                    for v in trail {
+                        if !schema.contains(&v) {
+                            schema.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        schema
+    }
+
+    /// One worker pipeline over one morsel.
+    fn assemble(
+        ds: &'a Dataset,
+        driver: &PlannedPattern,
+        steps: &[SpineStep],
+        bucket: CoutBucket,
+        m: Morsel,
+    ) -> BoxedOperator<'a> {
+        let mut op: BoxedOperator<'a> = Box::new(IndexScan::morsel(ds, driver, m.start, m.end));
+        for step in steps {
+            op = match step {
+                SpineStep::Bind { pattern, join_vars, signature } => Box::new(BindJoin::new(
+                    ds,
+                    op,
+                    pattern.clone(),
+                    join_vars,
+                    signature.clone(),
+                    bucket,
+                )),
+                SpineStep::Probe { build, join_vars, stream_is_left, signature } => {
+                    Box::new(SharedBuildProbe::new(
+                        op,
+                        Arc::clone(build),
+                        join_vars,
+                        *stream_is_left,
+                        signature.clone(),
+                        bucket,
+                    ))
+                }
+            };
+        }
+        op
+    }
+
+    /// Runs one contiguous wave of morsels across the pool; results come
+    /// back in morsel order, each with the worker's private [`ExecStats`].
+    fn run_wave(&self, wave: Range<usize>) -> Vec<(Vec<Batch>, ExecStats)> {
+        let base = wave.start;
+        scatter(wave.len(), self.threads, &|i| {
+            let m = self.exchange.morsel(base + i);
+            let mut stats = ExecStats::default();
+            let mut op = Self::assemble(self.ds, &self.driver, &self.steps, self.bucket, m);
+            let mut batches = Vec::new();
+            while let Some(b) = op.next_batch(&mut stats) {
+                batches.push(b);
+            }
+            (batches, stats)
+        })
+    }
+
+    /// Drains every morsel through `job` (a fresh pipeline per morsel with
+    /// its own stats), wave by wave, handing each result to `sink` in
+    /// morsel-index order — the parallel-aggregation driver: `job` folds a
+    /// morsel into a partial accumulator, `sink` merges partials in the
+    /// deterministic order. Shared builds are released when all morsels
+    /// have run.
+    pub fn process<T: Send>(
+        self,
+        stats: &mut ExecStats,
+        job: impl Fn(BoxedOperator<'a>, &mut ExecStats) -> T + Sync,
+        mut sink: impl FnMut(T, &mut ExecStats),
+    ) {
+        let count = self.exchange.morsel_count();
+        let mut next = 0;
+        while next < count {
+            let wave = next..(next + MORSELS_PER_WAVE).min(count);
+            let base = wave.start;
+            let parts: Vec<(T, ExecStats)> = scatter(wave.len(), self.threads, &|i| {
+                let m = self.exchange.morsel(base + i);
+                let mut st = ExecStats::default();
+                let op = Self::assemble(self.ds, &self.driver, &self.steps, self.bucket, m);
+                let v = job(op, &mut st);
+                (v, st)
+            });
+            next = wave.end;
+            let (values, worker_stats): (Vec<T>, Vec<ExecStats>) = parts.into_iter().unzip();
+            stats.absorb_workers(worker_stats);
+            for v in values {
+                sink(v, stats);
+            }
+        }
+        stats.shrink(self.shared_tuples);
+    }
+}
+
+/// The consumer end of a morsel-parallel pipeline: pulls like any other
+/// [`Operator`], internally dispatching waves of morsels to the pool and
+/// re-emitting their batches **by morsel index** (never worker arrival
+/// order), so downstream operators observe exactly the serial row order.
+/// A downstream LIMIT that stops pulling stops the workers at the next
+/// wave boundary.
+pub struct Gather<'a> {
+    source: ParallelSource<'a>,
+    next_morsel: usize,
+    buffer: VecDeque<Batch>,
+    done: bool,
+}
+
+impl<'a> Gather<'a> {
+    /// Wraps a parallel source for pull-based consumption.
+    pub fn new(source: ParallelSource<'a>) -> Self {
+        Gather { source, next_morsel: 0, buffer: VecDeque::new(), done: false }
+    }
+}
+
+impl Operator for Gather<'_> {
+    fn schema(&self) -> &[usize] {
+        self.source.schema()
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        loop {
+            if let Some(b) = self.buffer.pop_front() {
+                return Some(b);
+            }
+            if self.done {
+                return None;
+            }
+            let count = self.source.exchange.morsel_count();
+            if self.next_morsel >= count {
+                self.done = true;
+                // All morsels ran: the shared build tables are dead.
+                stats.shrink(self.source.shared_tuples);
+                return None;
+            }
+            let wave = self.next_morsel..(self.next_morsel + MORSELS_PER_WAVE).min(count);
+            self.next_morsel = wave.end;
+            let parts = self.source.run_wave(wave);
+            let mut worker_stats = Vec::with_capacity(parts.len());
+            for (batches, st) in parts {
+                worker_stats.push(st);
+                self.buffer.extend(batches);
+            }
+            stats.absorb_workers(worker_stats);
+        }
     }
 }
 
@@ -1188,6 +1815,136 @@ mod tests {
         assert_eq!(union.schema(), &[0, 1]);
         let out = drain(Box::new(union), &mut stats);
         assert_eq!(out.len(), 20);
+    }
+
+    /// Forces morselization regardless of extent/estimate size.
+    fn tiny_morsel_cfg(threads: usize, morsel_rows: usize) -> ExecConfig {
+        ExecConfig { threads, morsel_rows, min_driver_rows: 1, min_est_cost: 0.0 }
+    }
+
+    #[test]
+    fn exchange_partitions_cover_extent_exactly() {
+        let ex = Exchange::new(100, 32);
+        assert_eq!(ex.morsel_count(), 4);
+        let mut covered = 0;
+        for i in 0..ex.morsel_count() {
+            let m = ex.morsel(i);
+            assert_eq!(m.index, i);
+            assert_eq!(m.start, covered);
+            covered = m.end;
+        }
+        assert_eq!(covered, 100);
+        assert_eq!(Exchange::new(0, 32).morsel_count(), 0);
+        // Degenerate morsel size clamps to 1 row per morsel.
+        assert_eq!(Exchange::new(3, 0).morsel_count(), 3);
+    }
+
+    #[test]
+    fn gather_reproduces_serial_rows_order_and_cout_at_any_thread_count() {
+        let n = 3 * BATCH_SIZE + 311;
+        let ds = chain_dataset(n);
+        let scan_node = |s, o, idx| PlanNode::Scan {
+            pattern: pattern(&ds, "p/next", s, o, idx),
+            est_card: n as f64,
+        };
+        // Two-join chain: exercises a shared hash build AND a bind join on
+        // the spine, depending on what the estimates select.
+        let plan = PlanNode::HashJoin {
+            left: Box::new(PlanNode::HashJoin {
+                left: Box::new(scan_node(0, 1, 0)),
+                right: Box::new(scan_node(1, 2, 1)),
+                join_vars: vec![1],
+                est_card: n as f64,
+            }),
+            right: Box::new(scan_node(2, 3, 2)),
+            join_vars: vec![2],
+            est_card: n as f64,
+        };
+        let mut serial_stats = ExecStats::default();
+        let serial = drain(plan.lower(&ds, CoutBucket::Required), &mut serial_stats);
+
+        let mut reference: Option<(Vec<Vec<Id>>, u64, u64)> = None;
+        for threads in [1, 2, 4] {
+            let cfg = tiny_morsel_cfg(threads, 97);
+            let mut stats = ExecStats::default();
+            let src = plan
+                .lower_parallel(&ds, CoutBucket::Required, &cfg, &mut stats)
+                .expect("forced config must qualify");
+            let got = drain(Box::new(Gather::new(src)), &mut stats);
+            // Bit-identical to the serial pipeline: same rows, same order.
+            let rows: Vec<Vec<Id>> = got.iter().map(|r| r.to_vec()).collect();
+            let serial_rows: Vec<Vec<Id>> = serial.iter().map(|r| r.to_vec()).collect();
+            assert_eq!(rows, serial_rows, "threads={threads}");
+            assert_eq!(stats.cout, serial_stats.cout, "threads={threads}");
+            assert_eq!(stats.scanned, serial_stats.scanned, "threads={threads}");
+            // And identical across thread counts, peak included.
+            let key = (rows, stats.cout, stats.peak_tuples);
+            match &reference {
+                None => reference = Some(key),
+                Some(r) => assert_eq!(*r, key, "threads={threads} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_build_probes_identically_to_serial_build() {
+        let n = 2 * BATCH_SIZE + 57;
+        let ds = chain_dataset(n);
+        let pat = pattern(&ds, "p/next", 1, 2, 1);
+        let mut serial_stats = ExecStats::default();
+        let serial =
+            HashJoinBuild::build(Box::new(IndexScan::new(&ds, &pat)), &[1], &mut serial_stats);
+        let cfg = tiny_morsel_cfg(4, 131);
+        let mut part_stats = ExecStats::default();
+        let partitioned = HashJoinBuild::build_partitioned(&ds, &pat, &[1], &cfg, &mut part_stats);
+        assert_eq!(partitioned.len(), serial.len());
+        assert_eq!(partitioned.schema(), serial.schema());
+        // Every key resolves to the same match list (global row order), so
+        // probe output is bit-identical whichever build produced the table.
+        for row in serial.rows.iter() {
+            let key = &row[..1];
+            let a = serial.matches(key).expect("key from build rows");
+            let b = partitioned.matches(key).expect("same key set");
+            assert_eq!(a, b);
+            for (&i, &j) in a.iter().zip(b) {
+                assert_eq!(serial.rows.row(i), partitioned.rows.row(j));
+            }
+        }
+    }
+
+    #[test]
+    fn gather_stops_dispatching_waves_when_not_pulled() {
+        let n = MORSELS_PER_WAVE * 64 * 4; // 4 waves at 64-row morsels
+        let ds = chain_dataset(n);
+        let plan = PlanNode::HashJoin {
+            left: Box::new(PlanNode::Scan {
+                pattern: pattern(&ds, "p/next", 0, 1, 0),
+                est_card: n as f64,
+            }),
+            right: Box::new(PlanNode::Scan {
+                pattern: pattern(&ds, "p/label", 0, 2, 1),
+                est_card: (n / 2) as f64,
+            }),
+            join_vars: vec![0],
+            est_card: n as f64,
+        };
+        let cfg = tiny_morsel_cfg(4, 64);
+        let mut stats = ExecStats::default();
+        let src = plan
+            .lower_parallel(&ds, CoutBucket::Required, &cfg, &mut stats)
+            .expect("forced config must qualify");
+        let mut gather = Gather::new(src);
+        // Pull one batch, then stop — as a satisfied LIMIT would.
+        assert!(gather.next_batch(&mut stats).is_some());
+        // At most one wave of driving rows was scanned on top of the
+        // (eagerly built) build side.
+        let wave_rows = (MORSELS_PER_WAVE * 64) as u64;
+        let build_rows = ds.count([None, ds.lookup(&Term::iri("p/label")), None]) as u64;
+        assert!(
+            stats.scanned <= build_rows + wave_rows,
+            "scanned {} exceeds build {build_rows} + one wave {wave_rows}",
+            stats.scanned
+        );
     }
 
     #[test]

@@ -10,13 +10,18 @@
 //! trees match.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parambench_rdf::dict::Id;
 use parambench_rdf::store::Dataset;
 
 use crate::ast::{AggFunc, Projection, SelectQuery};
 use crate::error::QueryError;
-use crate::physical::{BindJoin, BoxedOperator, CoutBucket, HashJoinProbe, IndexScan};
+use crate::exec::{ExecConfig, ExecStats};
+use crate::physical::{
+    BindJoin, BoxedOperator, CoutBucket, HashJoinBuild, HashJoinProbe, IndexScan, ParallelSource,
+    SpineStep,
+};
 
 /// One S/P/O slot of a planned pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,13 +94,23 @@ impl PlannedPattern {
 pub enum PlanNode {
     /// An index scan of one triple pattern. Scans contribute zero to `Cout`.
     Scan {
+        /// The scanned pattern.
         pattern: PlannedPattern,
         /// Estimated output cardinality.
         est_card: f64,
     },
     /// A hash join; `join_vars` are the shared variable slots (empty for a
     /// cross product). The join's output cardinality is what `Cout` sums.
-    HashJoin { left: Box<PlanNode>, right: Box<PlanNode>, join_vars: Vec<usize>, est_card: f64 },
+    HashJoin {
+        /// Left (semantic-first) operand.
+        left: Box<PlanNode>,
+        /// Right operand.
+        right: Box<PlanNode>,
+        /// Shared variable slots (empty = cross product).
+        join_vars: Vec<usize>,
+        /// Estimated output cardinality.
+        est_card: f64,
+    },
 }
 
 impl PlanNode {
@@ -188,20 +203,18 @@ impl PlanNode {
         match self {
             PlanNode::Scan { pattern, .. } => Box::new(IndexScan::new(ds, pattern)),
             PlanNode::HashJoin { left, right, join_vars, .. } => {
-                if let PlanNode::Scan { pattern, .. } = right.as_ref() {
-                    if !join_vars.is_empty()
-                        && !pattern.has_absent()
-                        && left.est_card() <= ds.count(pattern.access()) as f64
-                    {
-                        return Box::new(BindJoin::new(
-                            ds,
-                            left.lower(ds, bucket),
-                            pattern.clone(),
-                            join_vars,
-                            self.signature().0,
-                            bucket,
-                        ));
-                    }
+                if Self::binds_right(left, right, join_vars, ds) {
+                    let PlanNode::Scan { pattern, .. } = right.as_ref() else {
+                        unreachable!("binds_right implies a scan right child")
+                    };
+                    return Box::new(BindJoin::new(
+                        ds,
+                        left.lower(ds, bucket),
+                        pattern.clone(),
+                        join_vars,
+                        self.signature().0,
+                        bucket,
+                    ));
                 }
                 let build_right = right.est_card() <= left.est_card();
                 Box::new(HashJoinProbe::new(
@@ -214,6 +227,111 @@ impl PlanNode {
                 ))
             }
         }
+    }
+
+    /// Whether `lower` would turn this join into an index nested-loop
+    /// [`BindJoin`] probing `right`'s pattern (the selective-join rule).
+    /// Kept as one function so the serial and the parallel lowering can
+    /// never disagree on the physical join method.
+    fn binds_right(left: &PlanNode, right: &PlanNode, join_vars: &[usize], ds: &Dataset) -> bool {
+        if let PlanNode::Scan { pattern, .. } = right {
+            !join_vars.is_empty()
+                && !pattern.has_absent()
+                && left.est_card() <= ds.count(pattern.access()) as f64
+        } else {
+            false
+        }
+    }
+
+    /// Morsel-driven parallel lowering: partitions the plan's *driving*
+    /// scan (the leaf that feeds the streaming probe spine) into morsels
+    /// and returns a [`ParallelSource`] whose workers each run the spine
+    /// over one morsel, probing shared read-only hash tables built here —
+    /// in parallel ([`HashJoinBuild::build_partitioned`]) when the build
+    /// side is itself a large scan.
+    ///
+    /// Returns `None` when the plan does not qualify: single-scan plans,
+    /// driving scans below `cfg.min_driver_rows`, or estimated cost
+    /// (`est_cout + est_card`, the optimizer's own numbers) below
+    /// `cfg.min_est_cost` stay on the exact serial [`PlanNode::lower`]
+    /// path. The decision reads only estimates and exact extents — never
+    /// `cfg.threads` — so the same plan is chosen at every thread count
+    /// and results stay bit-identical.
+    pub fn lower_parallel<'a>(
+        &self,
+        ds: &'a Dataset,
+        bucket: CoutBucket,
+        cfg: &ExecConfig,
+        stats: &mut ExecStats,
+    ) -> Option<ParallelSource<'a>> {
+        if self.leaf_count() < 2 || self.est_cout() + self.est_card() < cfg.min_est_cost {
+            return None;
+        }
+        // Pass 1 (read-only): walk the streaming spine to the driving scan
+        // and qualify its extent before building anything.
+        let mut node = self;
+        let driver = loop {
+            match node {
+                PlanNode::Scan { pattern, .. } => break pattern,
+                PlanNode::HashJoin { left, right, join_vars, .. } => {
+                    // A bind join streams its left side; a hash join
+                    // streams the probe side (left when the right builds).
+                    let streams_left = Self::binds_right(left, right, join_vars, ds)
+                        || right.est_card() <= left.est_card();
+                    node = if streams_left { left } else { right };
+                }
+            }
+        };
+        if driver.has_absent() || ds.count(driver.access()) < cfg.min_driver_rows.max(1) {
+            return None;
+        }
+
+        // Pass 2: materialize the shared build sides and record the spine
+        // steps top-down, then flip to bottom-up assembly order.
+        let mut steps: Vec<SpineStep> = Vec::new();
+        let mut node = self;
+        loop {
+            match node {
+                PlanNode::Scan { .. } => break,
+                PlanNode::HashJoin { left, right, join_vars, .. } => {
+                    if Self::binds_right(left, right, join_vars, ds) {
+                        let PlanNode::Scan { pattern, .. } = right.as_ref() else {
+                            unreachable!("binds_right implies a scan right child")
+                        };
+                        steps.push(SpineStep::Bind {
+                            pattern: pattern.clone(),
+                            join_vars: join_vars.clone(),
+                            signature: node.signature().0,
+                        });
+                        node = left;
+                        continue;
+                    }
+                    let build_right = right.est_card() <= left.est_card();
+                    let build_node = if build_right { right } else { left };
+                    let build = match build_node.as_ref() {
+                        // Large scan build sides get the partitioned
+                        // parallel build; anything else builds serially.
+                        PlanNode::Scan { pattern, .. }
+                            if !pattern.has_absent()
+                                && !pattern.var_slots().is_empty()
+                                && ds.count(pattern.access()) >= cfg.min_driver_rows.max(1) =>
+                        {
+                            HashJoinBuild::build_partitioned(ds, pattern, join_vars, cfg, stats)
+                        }
+                        _ => HashJoinBuild::build(build_node.lower(ds, bucket), join_vars, stats),
+                    };
+                    steps.push(SpineStep::Probe {
+                        build: Arc::new(build),
+                        join_vars: join_vars.clone(),
+                        stream_is_left: build_right,
+                        signature: node.signature().0,
+                    });
+                    node = if build_right { left } else { right };
+                }
+            }
+        }
+        steps.reverse();
+        Some(ParallelSource::new(ds, driver.clone(), steps, cfg, bucket))
     }
 
     /// Pretty multi-line rendering with estimates, for EXPLAIN output.
@@ -248,12 +366,14 @@ pub enum TableColSource {
 pub struct TableCol {
     /// Output name (variable name or aggregate alias).
     pub name: String,
+    /// Where the column's values come from.
     pub source: TableColSource,
 }
 
 /// One aggregate projection, lowered to the slot level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggSpec {
+    /// The aggregate function.
     pub func: AggFunc,
     /// Input variable slot; `None` for `COUNT(*)`.
     pub slot: Option<usize>,
@@ -286,8 +406,11 @@ pub struct AggregatePlan {
 /// ([`crate::results`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModifierPlan {
+    /// `SELECT DISTINCT`.
     pub distinct: bool,
+    /// Rows to skip (`OFFSET`; 0 when absent).
     pub offset: usize,
+    /// Row cap (`LIMIT`).
     pub limit: Option<usize>,
     /// Solution-table columns: projections, then ORDER BY helper columns.
     pub table: Vec<TableCol>,

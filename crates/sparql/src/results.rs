@@ -129,8 +129,11 @@ impl ResultSet {
 /// [`Term`] order, unbound last.
 #[derive(Debug, Clone, Copy)]
 pub enum SortAtom<'a> {
+    /// A numeric value (sorts first, by value).
     Num(f64),
+    /// A non-numeric term (sorts after numerics, in [`Term`] order).
     Term(&'a Term),
+    /// Unbound (sorts last).
     Unbound,
 }
 

@@ -7,6 +7,7 @@ use parambench_rdf::term::Term;
 use parambench_sparql::engine::Engine;
 use parambench_sparql::error::QueryError;
 use parambench_sparql::results::OutVal;
+use parambench_sparql::{ExecConfig, MORSELS_PER_WAVE};
 
 fn dataset() -> Dataset {
     let mut b = StoreBuilder::new();
@@ -333,6 +334,61 @@ fn topk_peak_is_strictly_below_full_sort_peak() {
         "TopK peak {} should be heap + batch bounded",
         pushed.stats.peak_tuples
     );
+}
+
+#[test]
+fn parallel_limit_early_exit_stops_workers_promptly() {
+    // Plain LIMIT queries are output-bound: the engine must not spawn a
+    // worker pool it would immediately have to stop, so even under a
+    // forced-parallel config the pipeline stays serial and the LIMIT exits
+    // batch-granularly — scanned stays near one batch of driving rows, not
+    // a whole wave (MORSELS_PER_WAVE × morsel_rows) of surplus work.
+    let morsel_rows = 64;
+    let n = MORSELS_PER_WAVE * morsel_rows * 4; // 4 waves' worth of rows
+    let mut b = StoreBuilder::new();
+    for i in 0..n {
+        let s = Term::iri(format!("row/{i}"));
+        b.insert(s.clone(), Term::iri("cat"), Term::iri(format!("c/{}", i % 7)));
+        b.insert(s, Term::iri("val"), Term::integer(i as i64));
+    }
+    let ds = b.freeze();
+    let engine = Engine::new(&ds);
+    let q = parambench_sparql::parse_query(
+        "SELECT ?s ?c ?v WHERE { ?s <cat> ?c . ?s <val> ?v } LIMIT 9",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let exec = ExecConfig { threads: 4, morsel_rows, min_driver_rows: 1, min_est_cost: 0.0 };
+    let out = engine.execute_with(&prepared, &exec).unwrap();
+    assert_eq!(out.results.len(), 9);
+    // Rows and order equal the default path's.
+    let serial = engine.execute(&prepared).unwrap();
+    assert_eq!(out.results, serial.results);
+    assert_eq!(out.stats.scanned, serial.stats.scanned);
+    assert_eq!(out.cout, serial.cout);
+    // Batch-granular early exit: one lazily-built side (≤ n) plus a few
+    // batches of driving rows — nowhere near the 2n of a full drain, and
+    // strictly tighter than even one parallel wave of surplus driving rows.
+    let bound = n as u64 + 4 * parambench_sparql::BATCH_SIZE as u64;
+    assert!(
+        out.stats.scanned <= bound,
+        "LIMIT early exit did too much work: scanned {} (bound {bound}, total {})",
+        out.stats.scanned,
+        2 * n
+    );
+    // The same query WITH an ORDER BY drains everything and therefore does
+    // use the pool — and stays bit-identical at any thread count.
+    let sorted = parambench_sparql::parse_query(
+        "SELECT ?s ?c ?v WHERE { ?s <cat> ?c . ?s <val> ?v } ORDER BY ASC(?v) LIMIT 9",
+    )
+    .unwrap();
+    let prepared_sorted = engine.prepare(&sorted).unwrap();
+    let par = engine.execute_with(&prepared_sorted, &exec).unwrap();
+    let one = engine.execute_with(&prepared_sorted, &ExecConfig { threads: 1, ..exec }).unwrap();
+    assert_eq!(par.results.len(), 9);
+    assert_eq!(par.results, one.results);
+    assert_eq!(par.cout, one.cout);
+    assert_eq!(par.stats.scanned, one.stats.scanned);
 }
 
 #[test]

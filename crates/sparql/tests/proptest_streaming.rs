@@ -17,6 +17,13 @@
 //! that are not projected), and LIMIT/OFFSET (including LIMIT 0 and
 //! offsets past the end).
 
+//! Every differential case additionally re-executes through the
+//! morsel-driven parallel path at `threads ∈ {1, 2, 4}` (with tiny morsels
+//! forced, so even these small datasets split into many morsels): the
+//! engine guarantees rows, row order and measured `Cout` are bit-identical
+//! at any thread count, and — absent a LIMIT that legitimizes wave-granular
+//! early exit — equal to the serial pipeline's too.
+
 mod common;
 
 use common::oracle;
@@ -25,7 +32,7 @@ use proptest::prelude::*;
 use parambench_rdf::store::{Dataset, StoreBuilder};
 use parambench_rdf::term::Term;
 use parambench_sparql::engine::Engine;
-use parambench_sparql::parse_query;
+use parambench_sparql::{parse_query, ExecConfig};
 
 /// Builds a random dataset over small vocabularies so joins actually hit.
 /// Predicate 3 carries small-integer objects, so aggregates and ORDER BY
@@ -359,6 +366,43 @@ fn check_case(ds: &Dataset, text: &str, limit_present: bool) {
     // Independent oracle: naive evaluation + modifiers over decoded terms.
     let want = oracle::evaluate(ds, &query);
     oracle::assert_matches(&pushed.results, &want, text);
+
+    // Morsel-parallel determinism: force morselization (tiny morsels, no
+    // qualification thresholds) and run at several thread counts. Rows and
+    // row order must equal the serial pipeline's bit-for-bit; Cout and
+    // scanned must be identical across thread counts (the fixed morsel/wave
+    // geometry guarantee), and equal to serial when no LIMIT allows
+    // wave-granular early exit to complete extra work.
+    let mut reference: Option<(u64, u64, u64)> = None;
+    for threads in [1usize, 2, 4] {
+        let exec = ExecConfig { threads, morsel_rows: 5, min_driver_rows: 1, min_est_cost: 0.0 };
+        let par = engine
+            .execute_with(&prepared, &exec)
+            .unwrap_or_else(|e| panic!("execute_with({threads}) {text:?}: {e}"));
+        assert_eq!(
+            par.results, pushed.results,
+            "parallel ({threads} threads) rows/order diverge from serial for {text}"
+        );
+        let key = (par.cout, par.stats.scanned, par.stats.peak_tuples);
+        match &reference {
+            None => {
+                reference = Some(key);
+                if limit_present {
+                    assert!(
+                        par.cout <= unpushed.cout,
+                        "parallel Cout {} exceeds unpushed {} for {text}",
+                        par.cout,
+                        unpushed.cout
+                    );
+                } else {
+                    assert_eq!(par.cout, pushed.cout, "parallel Cout diverges for {text}");
+                }
+            }
+            Some(r) => {
+                assert_eq!(*r, key, "thread count {threads} changed Cout/scanned/peak for {text}")
+            }
+        }
+    }
 }
 
 proptest! {

@@ -40,11 +40,15 @@ fn main() {
             .with("countryY", Term::iri(schema::country(y)));
         let prepared = engine.prepare_template(&template, &binding).unwrap();
         let out = engine.execute(&prepared).unwrap();
+        // est_result_card is the modifier-aware row estimate; printing it
+        // next to the real row count makes the estimator inspectable.
         println!(
-            "{x:>8} + {y:<9} plan {:<40} est Cout {:>12.1}  measured Cout {:>8}  rows {:>4}",
+            "{x:>8} + {y:<9} plan {:<40} est Cout {:>12.1}  measured Cout {:>8}  \
+             est rows {:>8.1}  rows {:>4}",
             prepared.signature.to_string(),
             prepared.est_cout,
             out.cout,
+            prepared.est_result_card,
             out.results.len()
         );
         signatures

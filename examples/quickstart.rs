@@ -1,5 +1,10 @@
 //! Quickstart: generate data, run a parameterized query, curate parameters.
 //!
+//! The engine-facing part of this flow (store → template → prepare →
+//! execute) is also a doc-test on `parambench_sparql::Engine`, so
+//! `cargo test` exercises the front-door API snippet; this example adds
+//! the dataset generation and curation steps on top.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```

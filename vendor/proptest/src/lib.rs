@@ -1,11 +1,11 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no access to crates.io, so this vendored crate
-//! implements the subset of proptest this workspace uses: [`Strategy`]
+//! implements the subset of proptest this workspace uses: `Strategy`
 //! combinators (`prop_map`, `prop_recursive`), range / tuple / collection /
 //! option strategies, a tiny `[a-z]{m,n}`-style string strategy, the
 //! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] macros and a
-//! deterministic [`test_runner::TestRunner`].
+//! deterministic `test_runner::TestRunner`.
 //!
 //! Differences from upstream: no shrinking (a failing case reports its case
 //! index; re-running is deterministic, so the case is reproducible), and
@@ -345,7 +345,7 @@ pub mod prop {
         use crate::strategy::Strategy;
         use crate::test_runner::TestRng;
 
-        /// Sizes accepted by [`vec`]: an exact length or a length range.
+        /// Sizes accepted by [`vec()`]: an exact length or a length range.
         pub trait SizeRange: Clone {
             fn pick(&self, rng: &mut TestRng) -> usize;
         }
