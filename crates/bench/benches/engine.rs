@@ -1,8 +1,9 @@
 //! Criterion micro-benchmarks of the engine substrate: index scans, exact
 //! counts, optimizer (prepare) latency — the cost of one curation probe —
-//! full query execution at the two extremes of the E3 parameter space, and
-//! the modifier pushdown (streaming aggregation, bounded-heap TopK)
-//! against the materialize-then-modify baseline.
+//! full query execution at the two extremes of the E3 parameter space, the
+//! modifier pushdown (streaming aggregation, bounded-heap TopK) against
+//! the materialize-then-modify baseline, and the out-of-core GROUP BY
+//! (spill-to-disk under a memory budget) against the in-memory fold.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use parambench_core::ParameterDomain;
@@ -83,6 +84,42 @@ fn engine_benches(c: &mut Criterion) {
     c.bench_function("exec/order_by_limit_full_sort", |b| {
         b.iter(|| black_box(engine.execute_unpushed(&prepared_topk).unwrap().results.len()))
     });
+
+    // Out-of-core aggregation: the same grouped template executed with an
+    // unlimited memory budget (everything in accumulators) and with a
+    // budget small enough that most groups hash-partition to spill files.
+    // Results are bit-identical by contract (the external fold preserves
+    // per-group fold order exactly); the printed ratio is the price of
+    // degrading gracefully to disk instead of falling over.
+    {
+        let inmem_cfg = ExecConfig { mem_budget_rows: None, ..ExecConfig::default() };
+        let spill_cfg = ExecConfig { mem_budget_rows: Some(16), ..ExecConfig::default() };
+        let inmem = engine.execute_with(&prepared_root, &inmem_cfg).unwrap();
+        let spill = engine.execute_with(&prepared_root, &spill_cfg).unwrap();
+        assert_eq!(inmem.results, spill.results, "spilling changed aggregate results");
+        assert!(spill.stats.spilled_rows > 0, "budget 16 should spill this template");
+        let wall = |cfg: &ExecConfig| {
+            (0..5)
+                .map(|_| engine.execute_with(&prepared_root, cfg).unwrap().wall_time)
+                .min()
+                .expect("five runs")
+        };
+        let (t_mem, t_spill) = (wall(&inmem_cfg), wall(&spill_cfg));
+        println!(
+            "q4 group-by out-of-core: inmem {t_mem:?} vs spill {t_spill:?} — {:.2}x overhead \
+             ({} rows spilled over {} runs, {} bytes)",
+            t_spill.as_secs_f64() / t_mem.as_secs_f64(),
+            spill.stats.spilled_rows,
+            spill.stats.spill_runs,
+            spill.stats.spill_bytes,
+        );
+        c.bench_function("exec/group_by_inmem", |b| {
+            b.iter(|| black_box(engine.execute_with(&prepared_root, &inmem_cfg).unwrap().cout))
+        });
+        c.bench_function("exec/group_by_spill", |b| {
+            b.iter(|| black_box(engine.execute_with(&prepared_root, &spill_cfg).unwrap().cout))
+        });
+    }
 
     // Morsel-driven parallel execution: the BSBM hash-join template at
     // 1 / 2 / 4 worker threads, on a catalog big enough that the driving

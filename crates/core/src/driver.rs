@@ -158,7 +158,7 @@ pub fn run_suite(
     specs: &[BenchmarkSpec],
     config: &SuiteConfig,
 ) -> Result<SuiteReport, CurationError> {
-    let run_cfg = RunConfig { warmup: 0, threads: config.threads };
+    let run_cfg = RunConfig { warmup: 0, threads: config.threads, ..RunConfig::default() };
     let mut templates = Vec::with_capacity(specs.len());
     for spec in specs {
         // Uniform baseline groups.

@@ -126,7 +126,8 @@ pub fn validate_class(
     class_id: usize,
     config: &ValidationConfig,
 ) -> Result<ClassValidation, CurationError> {
-    let run_cfg = RunConfig { warmup: config.warmup, threads: config.threads };
+    let run_cfg =
+        RunConfig { warmup: config.warmup, threads: config.threads, ..RunConfig::default() };
     let sample_a = workload.sample_class(class_id, config.sample_size, config.seed)?;
     let sample_b =
         workload.sample_class(class_id, config.sample_size, config.seed.wrapping_add(1))?;

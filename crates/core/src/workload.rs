@@ -45,11 +45,21 @@ pub struct RunConfig {
     /// order are identical at any value (the engine's determinism
     /// guarantee); only wall-clock measurements change.
     pub threads: usize,
+    /// Out-of-core memory budget (resident rows for GROUP BY accumulators
+    /// and LIMIT-less sorts; `None` = unlimited). Defaults to the
+    /// `SPARQL_MEM_BUDGET_ROWS` environment override. Like `threads`,
+    /// this knob cannot change measured `Cout`, rows or row order — only
+    /// wall time and spill volume.
+    pub mem_budget_rows: Option<usize>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { warmup: 0, threads: parambench_sparql::available_parallelism() }
+        RunConfig {
+            warmup: 0,
+            threads: parambench_sparql::available_parallelism(),
+            mem_budget_rows: parambench_sparql::env_mem_budget_rows(),
+        }
     }
 }
 
@@ -61,7 +71,11 @@ pub fn run_workload(
     bindings: &[Binding],
     config: &RunConfig,
 ) -> Result<Vec<Measurement>, CurationError> {
-    let exec = ExecConfig { threads: config.threads.max(1), ..engine.exec_config() };
+    let exec = ExecConfig {
+        threads: config.threads.max(1),
+        mem_budget_rows: config.mem_budget_rows,
+        ..engine.exec_config()
+    };
     let mut out = Vec::with_capacity(bindings.len());
     for b in bindings {
         let prepared = engine.prepare_template(template, b)?;

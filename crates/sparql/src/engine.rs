@@ -8,8 +8,10 @@
 //! instrumentation: wall time and measured `Cout`.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use parambench_rdf::dict::Id;
 use parambench_rdf::store::Dataset;
 use parambench_rdf::term::Term;
 
@@ -17,17 +19,18 @@ use crate::ast::{Element, Expr, Projection, SelectQuery, TriplePattern, VarOrTer
 use crate::cardinality::Estimator;
 use crate::error::QueryError;
 use crate::exec::{ExecConfig, ExecStats, UNBOUND};
-use crate::modifiers::{Distinct, GroupFold, Slice, TopK};
+use crate::modifiers::{Distinct, GroupFold, Slice, SortedDistinct, TopK};
 use crate::optimizer::{optimize, reestimate};
 use crate::physical::{
     self, BoxedOperator, CoutBucket, FilterEval, Gather, HashJoinProbe, LeftOuterJoin,
     ParallelSource, Project, UnionAll,
 };
-use crate::plan::{ModifierPlan, PlanNode, PlanSignature, PlannedPattern, Slot};
+use crate::plan::{ModifierPlan, PlanNode, PlanSignature, PlannedPattern, Slot, SpillMode};
 use crate::results::{
     decode_bindings, finalize_bindings, finalize_table, table_from_bindings, table_from_groups,
-    ResultSet,
+    OutVal, ResultSet,
 };
+use crate::spill::{ExternalGroupFold, ExternalSorter};
 use crate::template::{Binding, QueryTemplate};
 
 /// An optimized OPTIONAL group.
@@ -191,6 +194,9 @@ pub struct Engine<'a> {
     ds: &'a Dataset,
     est: Estimator<'a>,
     exec: ExecConfig,
+    /// Base directory the out-of-core layer creates its per-run spill
+    /// spaces under ([`crate::spill::SpillSpace`]).
+    spill_base: PathBuf,
 }
 
 impl<'a> Engine<'a> {
@@ -202,7 +208,7 @@ impl<'a> Engine<'a> {
 
     /// Creates an engine with an explicit parallel-execution configuration.
     pub fn with_exec_config(ds: &'a Dataset, exec: ExecConfig) -> Self {
-        Engine { ds, est: Estimator::new(ds), exec }
+        Engine { ds, est: Estimator::new(ds), exec, spill_base: std::env::temp_dir() }
     }
 
     /// The engine's default parallel-execution configuration.
@@ -213,6 +219,20 @@ impl<'a> Engine<'a> {
     /// Replaces the engine's default parallel-execution configuration.
     pub fn set_exec_config(&mut self, exec: ExecConfig) {
         self.exec = exec;
+    }
+
+    /// The directory spill files are created under (the system temp dir
+    /// by default). Each spilling execution makes its own uniquely-named
+    /// subdirectory there and removes it when the run finishes.
+    pub fn spill_dir(&self) -> &Path {
+        &self.spill_base
+    }
+
+    /// Redirects spill files to `dir`. The directory itself need not
+    /// exist yet; an unusable path surfaces as
+    /// [`QueryError::Exec`] from the first execution that actually spills.
+    pub fn set_spill_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.spill_base = dir.into();
     }
 
     /// The underlying dataset.
@@ -628,7 +648,7 @@ impl<'a> Engine<'a> {
         }
         let pipeline = self.build_pipeline(prepared, exec, &mut stats);
         let results = if push {
-            self.finish_pushed(prepared, pipeline, &mut stats)?
+            self.finish_pushed(prepared, pipeline, exec, &mut stats)?
         } else {
             // Baseline: project to the needed columns, drain everything,
             // then run the whole modifier stack on the materialized table.
@@ -650,16 +670,51 @@ impl<'a> Engine<'a> {
 
     /// The pushed-modifier epilogue: stacks modifier operators onto the
     /// pipeline and decodes at the boundary. (`run` already short-circuits
-    /// LIMIT 0 before the pipeline exists.)
+    /// LIMIT 0 before the pipeline exists.) Under an
+    /// [`ExecConfig::mem_budget_rows`] budget the blocking stages lower to
+    /// their external variants ([`crate::spill`]): the GROUP BY fold
+    /// hash-partitions overflow groups to spill files and the full-sort
+    /// fallback becomes an external merge sort — with rows, row order and
+    /// every deterministic counter identical to the in-memory run.
     fn finish_pushed(
         &self,
         prepared: &Prepared,
         pipeline: Pipeline<'a>,
+        exec: &ExecConfig,
         stats: &mut ExecStats,
     ) -> Result<ResultSet, QueryError> {
         let m = &prepared.modifiers;
+        let spill_mode = m.spill_mode(prepared.est_result_card, exec.mem_budget_rows);
 
         if let Some(agg) = &m.aggregate {
+            if spill_mode != SpillMode::InMemory {
+                // Budgeted aggregation: consume the pipeline as one row
+                // stream (a parallel source goes through its Gather, so
+                // rows arrive in the serial order) and fold it through the
+                // spill-capable external GroupFold. The worker-side fold
+                // merge below is for the unbudgeted path only — its master
+                // fold holds every group, which is exactly what the budget
+                // must bound.
+                let budget = exec.mem_budget_rows.expect("budgeted mode implies a budget");
+                let mut op = pipeline.into_operator();
+                let needed = m.input_slots();
+                if needed.len() < op.schema().len() {
+                    op = Box::new(Project::new(op, &needed));
+                }
+                let mut fold = ExternalGroupFold::new(
+                    agg,
+                    op.schema(),
+                    self.ds,
+                    budget,
+                    spill_mode == SpillMode::Eager,
+                    self.spill_base.clone(),
+                );
+                Self::for_each_row(&mut op, stats, |row, st| {
+                    fold.add_row(row, st).map_err(QueryError::from)
+                })?;
+                let rows = fold.finish(m, agg, stats)?;
+                return Ok(finalize_table(rows, m, self.ds, false));
+            }
             // Streaming aggregation. On a pure parallel source the fold
             // itself fans out: every morsel folds into a private GroupFold
             // on its worker, and the partials merge at gather time in
@@ -698,18 +753,13 @@ impl<'a> Engine<'a> {
                         op = Box::new(Project::new(op, &needed));
                     }
                     let mut fold = GroupFold::new(agg, op.schema(), self.ds);
-                    let width = op.schema().len();
-                    let mut row = vec![UNBOUND; width];
-                    while let Some(batch) = op.next_batch(stats) {
-                        for r in 0..batch.len() {
-                            batch.read_row(r, &mut row);
-                            // add_row registers new group state with
-                            // `stats` while the input batch is still live.
-                            fold.add_row(&row, stats);
-                        }
-                        // Input tuples collapse into the accumulators.
-                        stats.shrink(batch.len());
-                    }
+                    // add_row registers new group state with `stats` while
+                    // the input batch is still live; the batch's tuples
+                    // then collapse into the accumulators.
+                    Self::for_each_row(&mut op, stats, |row, st| {
+                        fold.add_row(row, st);
+                        Ok(())
+                    })?;
                     fold
                 }
             };
@@ -747,40 +797,152 @@ impl<'a> Engine<'a> {
             return Ok(decode_bindings(&bindings, m, self.ds));
         }
 
-        let distinct_pending = m.distinct && !already_distinct;
-        if !distinct_pending {
-            if let Some(limit) = m.limit {
-                // ORDER BY + LIMIT: bounded heap, sort keys computed once
-                // per row, only offset+limit rows ever resident.
-                let keys: Vec<(usize, bool)> = m
-                    .order_by
-                    .iter()
-                    .map(|&(table_col, desc)| {
-                        let slot = match m.table[table_col].source {
-                            crate::plan::TableColSource::Slot(s) => s,
-                            crate::plan::TableColSource::Agg(_) => {
-                                unreachable!("aggregate column on the plain path")
-                            }
-                        };
-                        let col = op
-                            .schema()
-                            .iter()
-                            .position(|&v| v == slot)
-                            .expect("order slot in pipeline schema");
-                        (col, desc)
-                    })
-                    .collect();
-                op = Box::new(TopK::new(op, self.ds, keys, m.offset, limit));
-                let bindings = physical::drain(op, stats);
-                return Ok(decode_bindings(&bindings, m, self.ds));
-            }
+        if m.distinct && !already_distinct {
+            // DISTINCT under unprojected sort keys: the sort-aware dedup
+            // keeps, per distinct projected value, the duplicate minimal
+            // under (sort keys, arrival order) — exactly the row the
+            // materializing sort→project→dedup fallback would keep — while
+            // holding only the distinct values, never the full input.
+            let keys = Self::pipeline_sort_keys(m, op.schema());
+            let dedup_cols: Vec<usize> = m
+                .out_slots()
+                .iter()
+                .map(|&slot| {
+                    op.schema().iter().position(|&v| v == slot).expect("out slot in schema")
+                })
+                .collect();
+            let mut dedup = SortedDistinct::new(self.ds, keys, dedup_cols);
+            Self::for_each_row(&mut op, stats, |row, st| {
+                dedup.add_row(row, st);
+                Ok(())
+            })?;
+            let sorted = dedup.finish(stats);
+            let cols = Self::out_cols(m, op.schema());
+            let rows = sorted
+                .into_iter()
+                .skip(m.offset)
+                .take(m.limit.unwrap_or(usize::MAX))
+                .map(|r| Self::decode_cols(&cols, &r, self.ds))
+                .collect();
+            return Ok(ResultSet { columns: m.out_names(), rows });
         }
 
-        // Fallback: ORDER BY without LIMIT (full sort is unavoidable), or
-        // DISTINCT that must wait for unprojected sort keys to be dropped.
+        if let Some(limit) = m.limit {
+            // ORDER BY + LIMIT: bounded heap, sort keys computed once
+            // per row, only offset+limit rows ever resident.
+            let keys = Self::pipeline_sort_keys(m, op.schema());
+            op = Box::new(TopK::new(op, self.ds, keys, m.offset, limit));
+            let bindings = physical::drain(op, stats);
+            return Ok(decode_bindings(&bindings, m, self.ds));
+        }
+
+        if spill_mode != SpillMode::InMemory {
+            // ORDER BY without LIMIT under a budget: external merge sort.
+            // Batches stream straight into the sorter (never a full
+            // materialized table); sorted runs spill once the buffer
+            // exceeds the budget and merge back through the loser tree in
+            // exactly the in-memory stable-sort order.
+            let budget = exec.mem_budget_rows.expect("budgeted mode implies a budget");
+            let keys = Self::pipeline_sort_keys(m, op.schema());
+            let width = op.schema().len();
+            let mut sorter =
+                ExternalSorter::new(self.ds, keys, width, budget, self.spill_base.clone());
+            Self::for_each_row(&mut op, stats, |row, st| {
+                sorter.push_row(row, st).map_err(QueryError::from)
+            })?;
+            let mut merged = sorter.finish(stats)?;
+            let cols = Self::out_cols(m, op.schema());
+            let mut rows = Vec::new();
+            let mut skip = m.offset;
+            while let Some(sorted_row) = merged.next_row()? {
+                if skip > 0 {
+                    skip -= 1;
+                    continue;
+                }
+                rows.push(Self::decode_cols(&cols, &sorted_row, self.ds));
+            }
+            return Ok(ResultSet { columns: m.out_names(), rows });
+        }
+
+        // Fallback: ORDER BY without LIMIT (full sort is unavoidable),
+        // fully in memory.
         let bindings = physical::drain(op, stats);
         let rows = table_from_bindings(&bindings, m)?;
         Ok(finalize_table(rows, m, self.ds, already_distinct))
+    }
+
+    /// Maps the plan's ORDER BY table columns onto the pipeline schema:
+    /// (pipeline column, descending) per key — shared by TopK, the
+    /// sort-aware DISTINCT and the external merge sort so their key layout
+    /// can never diverge.
+    fn pipeline_sort_keys(m: &ModifierPlan, schema: &[usize]) -> Vec<(usize, bool)> {
+        m.order_by
+            .iter()
+            .map(|&(table_col, desc)| {
+                let slot = match m.table[table_col].source {
+                    crate::plan::TableColSource::Slot(s) => s,
+                    crate::plan::TableColSource::Agg(_) => {
+                        unreachable!("aggregate column on the plain path")
+                    }
+                };
+                let col =
+                    schema.iter().position(|&v| v == slot).expect("order slot in pipeline schema");
+                (col, desc)
+            })
+            .collect()
+    }
+
+    /// Streams every row of `op` into `consume`, releasing each batch's
+    /// residency once its rows are handed over — the shared drain
+    /// scaffolding of every row-consuming modifier stage (folds, dedup,
+    /// external sort), kept in one place so the batch/stats protocol
+    /// cannot diverge between them.
+    fn for_each_row(
+        op: &mut BoxedOperator<'_>,
+        stats: &mut ExecStats,
+        mut consume: impl FnMut(&[Id], &mut ExecStats) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
+        let mut row = vec![UNBOUND; op.schema().len()];
+        while let Some(batch) = op.next_batch(stats) {
+            for r in 0..batch.len() {
+                batch.read_row(r, &mut row);
+                consume(&row, stats)?;
+            }
+            stats.shrink(batch.len());
+        }
+        Ok(())
+    }
+
+    /// Pipeline-schema column of each declared output column — resolved
+    /// once, so per-row decoding never scans the schema.
+    fn out_cols(m: &ModifierPlan, schema: &[usize]) -> Vec<usize> {
+        m.table[..m.out_width]
+            .iter()
+            .map(|c| {
+                let slot = match c.source {
+                    crate::plan::TableColSource::Slot(s) => s,
+                    crate::plan::TableColSource::Agg(_) => {
+                        unreachable!("aggregate column on the plain path")
+                    }
+                };
+                schema.iter().position(|&v| v == slot).expect("projected slot in schema")
+            })
+            .collect()
+    }
+
+    /// Decodes one pipeline row through a precomputed [`Self::out_cols`]
+    /// mapping.
+    fn decode_cols(cols: &[usize], row: &[Id], ds: &Dataset) -> Vec<OutVal> {
+        cols.iter()
+            .map(|&col| {
+                let id = row[col];
+                if id == UNBOUND {
+                    OutVal::Unbound
+                } else {
+                    OutVal::Term(ds.decode(id).clone())
+                }
+            })
+            .collect()
     }
 
     /// Parses, prepares and executes query text in one call.

@@ -2,12 +2,37 @@
 //!
 //! All query-shape problems (parse errors, unknown variables, unsupported
 //! constructs, unbound `%parameters`, invalid modifier combinations) are
-//! raised at parse or prepare time; execution itself never fails — a
-//! missing constant just yields an empty scan. This split is what lets the
-//! curation pipeline probe thousands of candidate bindings cheaply without
-//! running them.
+//! raised at parse or prepare time; in-memory execution itself never fails
+//! — a missing constant just yields an empty scan. This split is what lets
+//! the curation pipeline probe thousands of candidate bindings cheaply
+//! without running them. The one execution-time failure class is
+//! out-of-core spilling ([`crate::spill`]): a temp-dir or run-file I/O
+//! problem surfaces as a typed [`ExecError`], never a panic.
 
 use std::fmt;
+use std::path::PathBuf;
+
+/// A runtime failure of the out-of-core execution layer (spill directory
+/// creation, run-file writes/reads). Carries the operation, the path and
+/// the rendered I/O error (`std::io::Error` is not `Clone`, so the message
+/// is captured as text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// What the engine was doing (e.g. `"create spill dir"`).
+    pub op: &'static str,
+    /// The file or directory involved.
+    pub path: PathBuf,
+    /// The underlying I/O error, rendered.
+    pub message: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.op, self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Errors raised while parsing, planning or executing queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +48,14 @@ pub enum QueryError {
     /// Instantiation was given a binding for a parameter the template lacks,
     /// or lacked a binding for one it has.
     BindingMismatch(String),
+    /// Out-of-core execution failed (spill I/O).
+    Exec(ExecError),
+}
+
+impl From<ExecError> for QueryError {
+    fn from(e: ExecError) -> Self {
+        QueryError::Exec(e)
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -33,6 +66,7 @@ impl fmt::Display for QueryError {
             QueryError::UnknownVariable(v) => write!(f, "unknown variable ?{v}"),
             QueryError::Unsupported(msg) => write!(f, "unsupported query shape: {msg}"),
             QueryError::BindingMismatch(msg) => write!(f, "binding mismatch: {msg}"),
+            QueryError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }

@@ -22,7 +22,8 @@ use crate::error::QueryError;
 pub const UNBOUND: Id = Id(u32::MAX);
 
 /// Configuration of the morsel-driven parallel execution layer
-/// ([`crate::physical::Gather`]).
+/// ([`crate::physical::Gather`]) and the out-of-core memory budget
+/// ([`crate::spill`]).
 ///
 /// `threads` is purely an *execution* knob: the decision to morselize a
 /// plan, the morsel geometry and therefore the produced rows, their order
@@ -31,6 +32,13 @@ pub const UNBOUND: Id = Id(u32::MAX);
 /// decision is taken from cardinality estimates and exact scan extents
 /// (`min_driver_rows`, `min_est_cost`), never from `threads`, so a run at
 /// 1 thread and a run at 8 threads execute the same physical plan.
+///
+/// `mem_budget_rows` extends the same contract to memory: rows, row order
+/// and every deterministic counter are identical at any budget — a tighter
+/// budget only moves blocking modifier state (GROUP BY accumulators, the
+/// full-sort buffer) to disk. Per-group aggregate fold order is preserved
+/// by the spill layer, so even float SUM/AVG values are bit-identical
+/// across budgets.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecConfig {
     /// Worker-pool size. `1` runs the morsels inline on the calling thread
@@ -46,14 +54,53 @@ pub struct ExecConfig {
     /// Minimum estimated plan cost (`est_cout + est_card`) before
     /// parallel lowering is considered.
     pub min_est_cost: f64,
+    /// Memory budget, in resident rows, for blocking modifier state:
+    /// GROUP BY accumulator entries and full-sort buffer rows. `None`
+    /// means unlimited (everything stays in memory). When the budget is
+    /// exceeded, grouped aggregation hash-partitions overflow groups to
+    /// spill files and ORDER BY without LIMIT switches to an external
+    /// merge sort (sorted runs + loser-tree k-way merge) — see
+    /// [`crate::spill`]. The default reads the [`MEM_BUDGET_ENV`]
+    /// environment variable, so a whole test suite can be forced onto the
+    /// spill path without code changes.
+    ///
+    /// Two scope notes. State bounded by *output* cardinality stays in
+    /// memory regardless: the TopK heap (`offset + limit` rows), DISTINCT
+    /// value sets, and the retained-id sets of `FUNC(DISTINCT ?x)`
+    /// aggregates on groups that are already resident. And setting any
+    /// budget routes grouped aggregation through the serial budgeted fold
+    /// instead of the worker-side parallel fold merge (whose master holds
+    /// every group — exactly what the budget must bound); joins still fan
+    /// out, so prefer `None` when memory is genuinely unconstrained.
+    pub mem_budget_rows: Option<usize>,
+}
+
+/// Environment variable overriding the default
+/// [`ExecConfig::mem_budget_rows`] (e.g. `SPARQL_MEM_BUDGET_ROWS=8` forces
+/// tiny budgets — the CI job that exercises the spill path on every push).
+/// Unset or unparsable values mean unlimited.
+pub const MEM_BUDGET_ENV: &str = "SPARQL_MEM_BUDGET_ROWS";
+
+/// The process-wide default memory budget, read from [`MEM_BUDGET_ENV`]
+/// once (first use wins; later changes to the variable are ignored).
+pub fn env_mem_budget_rows() -> Option<usize> {
+    static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| std::env::var(MEM_BUDGET_ENV).ok().and_then(|v| v.parse().ok()))
 }
 
 impl Default for ExecConfig {
     /// Serial by default: one worker, morselization only for plans whose
     /// driving scan and estimated cost are large enough to amortize the
-    /// wave machinery.
+    /// wave machinery, memory budget from [`MEM_BUDGET_ENV`] (unlimited
+    /// when unset).
     fn default() -> Self {
-        ExecConfig { threads: 1, morsel_rows: 8192, min_driver_rows: 16384, min_est_cost: 4096.0 }
+        ExecConfig {
+            threads: 1,
+            morsel_rows: 8192,
+            min_driver_rows: 16384,
+            min_est_cost: 4096.0,
+            mem_budget_rows: env_mem_budget_rows(),
+        }
     }
 }
 
@@ -162,6 +209,14 @@ pub struct ExecStats {
     /// how many intermediate tuples a plan *produces*; this measures how
     /// many it must *hold* — the quantity streaming execution minimizes.
     pub peak_tuples: u64,
+    /// Rows written to spill files by the out-of-core layer
+    /// ([`crate::spill`]): overflow GROUP BY input rows plus external-sort
+    /// run rows. Zero when the run stayed within its memory budget.
+    pub spilled_rows: u64,
+    /// Spill run files written (group partitions + sort runs).
+    pub spill_runs: u64,
+    /// Bytes written to spill files.
+    pub spill_bytes: u64,
     /// Currently resident intermediate tuples (bookkeeping for the peak).
     live_tuples: u64,
 }
@@ -196,6 +251,9 @@ impl ExecStats {
             self.cout += p.cout;
             self.cout_optional += p.cout_optional;
             self.scanned += p.scanned;
+            self.spilled_rows += p.spilled_rows;
+            self.spill_runs += p.spill_runs;
+            self.spill_bytes += p.spill_bytes;
             self.join_cards.extend(p.join_cards);
             wave_peak += p.peak_tuples;
             wave_live += p.live_tuples;
@@ -210,6 +268,9 @@ impl ExecStats {
     pub fn absorb_optional(&mut self, other: ExecStats) {
         self.cout_optional += other.cout + other.cout_optional;
         self.scanned += other.scanned;
+        self.spilled_rows += other.spilled_rows;
+        self.spill_runs += other.spill_runs;
+        self.spill_bytes += other.spill_bytes;
         self.join_cards.extend(other.join_cards);
         self.peak_tuples = self.peak_tuples.max(self.live_tuples + other.peak_tuples);
         self.live_tuples += other.live_tuples;

@@ -34,6 +34,14 @@
 //!   merged at gather time. Batches merge by morsel index — never worker
 //!   arrival order — so rows, row order and measured `Cout` are
 //!   bit-identical at any [`exec::ExecConfig::threads`] value;
+//! * blocking modifier state degrades **out-of-core** under a memory
+//!   budget ([`exec::ExecConfig::mem_budget_rows`], env-overridable via
+//!   [`exec::MEM_BUDGET_ENV`]): grouped aggregation hash-partitions
+//!   overflow groups to spill files and ORDER BY without LIMIT becomes an
+//!   external merge sort (sorted runs + loser-tree k-way merge) —
+//!   [`spill`] — with rows, row order, `Cout` and `scanned` bit-identical
+//!   at any budget, and spill volume reported in
+//!   [`exec::ExecStats::spilled_rows`]/`spill_runs`/`spill_bytes`;
 //! * the pipeline measures the *actual* `Cout` (sum of join output
 //!   cardinalities, [`exec::ExecStats`]) next to wall-clock time, enabling
 //!   the §III correlation experiment, plus the peak intermediate-tuple
@@ -75,14 +83,15 @@ pub mod parser;
 pub mod physical;
 pub mod plan;
 pub mod results;
+pub mod spill;
 pub mod template;
 
 pub use ast::SelectQuery;
 pub use engine::{Engine, Prepared, QueryOutput};
-pub use error::QueryError;
-pub use exec::{available_parallelism, ExecConfig, ExecStats};
+pub use error::{ExecError, QueryError};
+pub use exec::{available_parallelism, env_mem_budget_rows, ExecConfig, ExecStats, MEM_BUDGET_ENV};
 pub use parser::parse_query;
 pub use physical::{Batch, CoutBucket, Operator, BATCH_SIZE, MORSELS_PER_WAVE};
-pub use plan::{ModifierPlan, PlanNode, PlanSignature};
+pub use plan::{ModifierPlan, PlanNode, PlanSignature, SpillMode};
 pub use results::{OutVal, ResultSet};
 pub use template::{Binding, QueryTemplate};

@@ -335,6 +335,114 @@ impl Operator for TopK<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// SortedDistinct (DISTINCT under unprojected sort keys)
+// ---------------------------------------------------------------------------
+
+/// Effective comparison of two precomputed key vectors under per-key sort
+/// directions, ties broken by row sequence — the total order every sort
+/// path of the engine (full sort, TopK, external merge) agrees on.
+pub(crate) fn cmp_keyed(
+    a_key: &[SortAtom<'_>],
+    a_seq: u64,
+    b_key: &[SortAtom<'_>],
+    b_seq: u64,
+    descs: &[bool],
+) -> std::cmp::Ordering {
+    for (i, &desc) in descs.iter().enumerate() {
+        let ord = cmp_atoms(&a_key[i], &b_key[i]);
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a_seq.cmp(&b_seq)
+}
+
+/// One retained representative row of a distinct projected value.
+struct DistinctEntry<'a> {
+    key: Vec<SortAtom<'a>>,
+    seq: u64,
+    row: Vec<Id>,
+}
+
+/// Streaming DISTINCT for the case the pipeline [`Distinct`] cannot
+/// handle: unprojected ORDER BY helper columns. Deduplicating *before* the
+/// sort would keep the first-arrival representative, but the SPARQL
+/// semantics (sort → project → DISTINCT) keep the representative at the
+/// earliest *sorted* position — the duplicate minimal under
+/// `(sort keys, pipeline row order)`. This consumer folds the stream into
+/// one entry per distinct projected value, replacing the entry whenever a
+/// sort-wise smaller duplicate arrives, so only the distinct values — not
+/// the full input — are ever resident. `finish` returns the retained rows
+/// in final sorted order, which by construction equals the materializing
+/// fallback (stable sort → project → first-occurrence dedup) row for row.
+pub(crate) struct SortedDistinct<'a> {
+    ds: &'a Dataset,
+    /// (pipeline column, descending) per ORDER BY key.
+    keys: Vec<(usize, bool)>,
+    descs: Vec<bool>,
+    /// Pipeline columns whose values identify a distinct projected row.
+    dedup_cols: Vec<usize>,
+    best: HashMap<Vec<Id>, usize>,
+    entries: Vec<DistinctEntry<'a>>,
+    seq: u64,
+}
+
+impl<'a> SortedDistinct<'a> {
+    /// `keys` are (pipeline column, descending) sort keys; `dedup_cols`
+    /// the pipeline columns of the projected output.
+    pub fn new(ds: &'a Dataset, keys: Vec<(usize, bool)>, dedup_cols: Vec<usize>) -> Self {
+        let descs = keys.iter().map(|&(_, d)| d).collect();
+        SortedDistinct {
+            ds,
+            keys,
+            descs,
+            dedup_cols,
+            best: HashMap::new(),
+            entries: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Folds one pipeline row, keeping per distinct projected value the
+    /// duplicate minimal under `(sort keys, arrival order)`. New entries
+    /// register one resident row with `stats`; replacements are neutral.
+    pub fn add_row(&mut self, row: &[Id], stats: &mut ExecStats) {
+        let seq = self.seq;
+        self.seq += 1;
+        let key: Vec<SortAtom<'a>> =
+            self.keys.iter().map(|&(col, _)| SortAtom::of_id(row[col], self.ds)).collect();
+        let value: Vec<Id> = self.dedup_cols.iter().map(|&c| row[c]).collect();
+        match self.best.get(&value) {
+            None => {
+                self.best.insert(value, self.entries.len());
+                self.entries.push(DistinctEntry { key, seq, row: row.to_vec() });
+                stats.grow(1);
+            }
+            Some(&ix) => {
+                let held = &self.entries[ix];
+                // The candidate arrived later (seq is larger), so it only
+                // wins on strictly smaller sort keys.
+                if cmp_keyed(&key, seq, &held.key, held.seq, &self.descs)
+                    == std::cmp::Ordering::Less
+                {
+                    self.entries[ix] = DistinctEntry { key, seq, row: row.to_vec() };
+                }
+            }
+        }
+    }
+
+    /// Sorts the retained representatives into final output order and
+    /// releases their residency.
+    pub fn finish(self, stats: &mut ExecStats) -> Vec<Vec<Id>> {
+        let mut entries = self.entries;
+        entries.sort_by(|a, b| cmp_keyed(&a.key, a.seq, &b.key, b.seq, &self.descs));
+        stats.shrink(entries.len());
+        entries.into_iter().map(|e| e.row).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // GroupFold (streaming GROUP BY / aggregation)
 // ---------------------------------------------------------------------------
 
@@ -385,6 +493,18 @@ pub(crate) struct GroupFold<'a> {
     /// Group keys in first-seen order.
     order: Vec<Vec<Id>>,
     states: Vec<Vec<AggState>>,
+    /// Per group: the sequence number of the row that created it (the
+    /// group's *birth*). Serial folds assign sequence numbers internally
+    /// (so birth = first-seen pipeline row index); the out-of-core fold
+    /// ([`crate::spill::ExternalGroupFold`]) passes explicit global
+    /// sequence numbers through [`GroupFold::add_row_at`] and later sorts
+    /// re-folded spill partitions back into global first-seen order by
+    /// birth. Morsel-local folds never read births (their merge order
+    /// already pins the group order).
+    births: Vec<u64>,
+    /// Next internal row sequence number (used when the caller does not
+    /// provide one).
+    next_seq: u64,
     /// Resident accumulator entries registered with `ExecStats` so far
     /// (one per group row, one per retained DISTINCT input id): the fold's
     /// memory is counted *while* input batches are still live, not after.
@@ -409,6 +529,8 @@ impl<'a> GroupFold<'a> {
             groups: HashMap::new(),
             order: Vec::new(),
             states: Vec::new(),
+            births: Vec::new(),
+            next_seq: 0,
             resident: 0,
         }
     }
@@ -418,7 +540,27 @@ impl<'a> GroupFold<'a> {
     /// `peak_tuples` sees the fold's memory concurrently with the live
     /// input batch.
     pub fn add_row(&mut self, row: &[Id], stats: &mut ExecStats) {
-        let key: Vec<Id> = self.group_cols.iter().map(|&c| row[c]).collect();
+        let seq = self.next_seq;
+        self.add_row_at(row, seq, stats);
+    }
+
+    /// The group key of `row` (group-column values, in GROUP BY order).
+    pub fn key_of(&self, row: &[Id]) -> Vec<Id> {
+        self.group_cols.iter().map(|&c| row[c]).collect()
+    }
+
+    /// True when `row`'s group already has an accumulator in this fold.
+    pub fn has_group_of(&self, row: &[Id]) -> bool {
+        self.groups.contains_key(&self.key_of(row))
+    }
+
+    /// [`GroupFold::add_row`] with an explicit row sequence number — used
+    /// by the out-of-core fold, which re-folds spilled rows with their
+    /// original global sequence so group births stay comparable across
+    /// spill partitions.
+    pub fn add_row_at(&mut self, row: &[Id], seq: u64, stats: &mut ExecStats) {
+        self.next_seq = seq + 1;
+        let key = self.key_of(row);
         let gi = match self.groups.get(&key) {
             Some(&gi) => gi,
             None => {
@@ -426,6 +568,7 @@ impl<'a> GroupFold<'a> {
                 self.groups.insert(key.clone(), gi);
                 self.order.push(key);
                 self.states.push(vec![AggState::new(); self.spec_cols.len()]);
+                self.births.push(seq);
                 stats.grow(1);
                 self.resident += 1;
                 gi
@@ -476,7 +619,9 @@ impl<'a> GroupFold<'a> {
         debug_assert_eq!(self.spec_cols.len(), other.spec_cols.len());
         let ds = self.ds;
         self.resident += other.resident;
-        for (key, src_states) in other.order.into_iter().zip(other.states) {
+        for ((key, src_states), src_birth) in
+            other.order.into_iter().zip(other.states).zip(other.births)
+        {
             match self.groups.get(&key) {
                 None => {
                     let gi = self.order.len();
@@ -485,6 +630,7 @@ impl<'a> GroupFold<'a> {
                     // The partial's state (and its stats registration)
                     // moves over wholesale.
                     self.states.push(src_states);
+                    self.births.push(src_birth);
                 }
                 Some(&gi) => {
                     // Duplicate group row: one of the two collapses.
@@ -545,8 +691,17 @@ impl<'a> GroupFold<'a> {
         if self.group_cols.is_empty() && self.order.is_empty() {
             self.order.push(Vec::new());
             self.states.push(vec![AggState::new(); self.spec_cols.len()]);
+            self.births.push(0);
         }
         (self.order, self.states)
+    }
+
+    /// Disassembles the fold into keys, states and group births *without*
+    /// synthesizing the implicit group — the out-of-core drain interleaves
+    /// several partial folds by birth first and applies the implicit-group
+    /// rule at the very end.
+    pub fn into_parts(self) -> (Vec<Vec<Id>>, Vec<Vec<AggState>>, Vec<u64>) {
+        (self.order, self.states, self.births)
     }
 }
 

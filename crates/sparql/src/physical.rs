@@ -1307,7 +1307,7 @@ fn scatter<T: Send>(count: usize, threads: usize, job: &(dyn Fn(usize) -> T + Sy
 
 /// Inner hash join probing a **shared, read-only** build table — the
 /// per-worker operator of a parallel hash join. A thin wrapper over the
-/// same [`ProbeCore`] as [`HashJoinProbe`]; the build side was constructed
+/// same probe core as [`HashJoinProbe`]; the build side was constructed
 /// once (by [`crate::plan::PlanNode::lower_parallel`]) and its residency
 /// is accounted by the owning gather, so finishing a probe never shrinks
 /// it.
@@ -1819,7 +1819,13 @@ mod tests {
 
     /// Forces morselization regardless of extent/estimate size.
     fn tiny_morsel_cfg(threads: usize, morsel_rows: usize) -> ExecConfig {
-        ExecConfig { threads, morsel_rows, min_driver_rows: 1, min_est_cost: 0.0 }
+        ExecConfig {
+            threads,
+            morsel_rows,
+            min_driver_rows: 1,
+            min_est_cost: 0.0,
+            mem_budget_rows: None,
+        }
     }
 
     #[test]

@@ -521,6 +521,31 @@ impl ModifierPlan {
         self.table.len() > self.out_width
     }
 
+    /// How the modifier epilogue's blocking state (GROUP BY accumulators,
+    /// the full-sort buffer) is lowered under a memory budget: in memory
+    /// when there is none, otherwise to the external (spill-capable)
+    /// variants in [`crate::spill`] — eagerly (spilling from the first
+    /// row) when the optimizer's `est_result_card` already exceeds the
+    /// budget, lazily (spilling only once the budget actually trips)
+    /// otherwise. The choice reads estimates only; the produced rows,
+    /// their order and every deterministic counter are identical either
+    /// way — eagerness merely avoids pointless in-memory warm-up when the
+    /// overflow is predictable. Note that any non-`None` budget also
+    /// trades the worker-side parallel fold merge for the serial budgeted
+    /// fold (see [`crate::exec::ExecConfig::mem_budget_rows`]).
+    pub fn spill_mode(&self, est_result_card: f64, budget: Option<usize>) -> SpillMode {
+        match budget {
+            None => SpillMode::InMemory,
+            Some(b) => {
+                if est_result_card > b as f64 {
+                    SpillMode::Eager
+                } else {
+                    SpillMode::Lazy
+                }
+            }
+        }
+    }
+
     /// Output column names, in projection order.
     pub fn out_names(&self) -> Vec<String> {
         self.table[..self.out_width].iter().map(|c| c.name.clone()).collect()
@@ -602,6 +627,20 @@ impl ModifierPlan {
         }
         parts.join(" ")
     }
+}
+
+/// Lowering choice for blocking modifier state under an
+/// [`ExecConfig::mem_budget_rows`] budget (see
+/// [`ModifierPlan::spill_mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillMode {
+    /// No budget: all state stays in memory.
+    InMemory,
+    /// External variant armed; spills only once the budget trips.
+    Lazy,
+    /// External variant spilling from the first row (the estimate already
+    /// exceeds the budget).
+    Eager,
 }
 
 /// Canonical structural identity of a plan: join tree shape over pattern

@@ -358,7 +358,13 @@ fn parallel_limit_early_exit_stops_workers_promptly() {
     )
     .unwrap();
     let prepared = engine.prepare(&q).unwrap();
-    let exec = ExecConfig { threads: 4, morsel_rows, min_driver_rows: 1, min_est_cost: 0.0 };
+    let exec = ExecConfig {
+        threads: 4,
+        morsel_rows,
+        min_driver_rows: 1,
+        min_est_cost: 0.0,
+        mem_budget_rows: None,
+    };
     let out = engine.execute_with(&prepared, &exec).unwrap();
     assert_eq!(out.results.len(), 9);
     // Rows and order equal the default path's.
@@ -389,6 +395,232 @@ fn parallel_limit_early_exit_stops_workers_promptly() {
     assert_eq!(par.results, one.results);
     assert_eq!(par.cout, one.cout);
     assert_eq!(par.stats.scanned, one.stats.scanned);
+}
+
+/// `n` rows spread over `groups` groups with integer ranks — enough group
+/// cardinality to push any small memory budget onto the spill path.
+fn grouped_dataset(n: usize, groups: usize) -> Dataset {
+    let mut b = StoreBuilder::new();
+    for i in 0..n {
+        let s = Term::iri(format!("row/{i}"));
+        b.insert(s.clone(), Term::iri("grp"), Term::iri(format!("g/{}", i % groups)));
+        b.insert(s, Term::iri("rank"), Term::integer(((i * 31) % 97) as i64));
+    }
+    b.freeze()
+}
+
+fn budget_cfg(budget: Option<usize>) -> ExecConfig {
+    ExecConfig { mem_budget_rows: budget, ..ExecConfig::default() }
+}
+
+#[test]
+fn group_by_exceeding_budget_spills_bit_identically_with_lower_peak() {
+    let ds = grouped_dataset(4000, 400);
+    let engine = Engine::new(&ds);
+    let q = parambench_sparql::parse_query(
+        "SELECT ?g (COUNT(?s) AS ?n) (SUM(?r) AS ?sum) (AVG(?r) AS ?avg) \
+         WHERE { ?s <grp> ?g . ?s <rank> ?r } GROUP BY ?g ORDER BY DESC(?sum)",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let inmem = engine.execute_with(&prepared, &budget_cfg(None)).unwrap();
+    assert_eq!(inmem.results.len(), 400);
+    assert_eq!(inmem.stats.spilled_rows, 0);
+    for budget in [2usize, 16, 64] {
+        let spilled = engine.execute_with(&prepared, &budget_cfg(Some(budget))).unwrap();
+        // The acceptance gate: identical rows/order/Cout/scanned, real
+        // spill volume, and a strictly lower in-memory peak.
+        assert_eq!(spilled.results, inmem.results, "budget {budget} changed results");
+        assert_eq!(spilled.cout, inmem.cout, "budget {budget} changed Cout");
+        assert_eq!(spilled.stats.scanned, inmem.stats.scanned, "budget {budget} changed scanned");
+        assert!(spilled.stats.spilled_rows > 0, "budget {budget} did not spill");
+        assert!(spilled.stats.spill_runs > 0);
+        assert!(spilled.stats.spill_bytes > 0);
+        assert!(
+            spilled.stats.peak_tuples < inmem.stats.peak_tuples,
+            "budget {budget}: spilled peak {} not below in-memory {}",
+            spilled.stats.peak_tuples,
+            inmem.stats.peak_tuples
+        );
+    }
+}
+
+#[test]
+fn order_by_without_limit_spills_sorted_runs_bit_identically() {
+    let ds = grouped_dataset(3000, 50);
+    let engine = Engine::new(&ds);
+    let q = parambench_sparql::parse_query(
+        "SELECT ?s ?r WHERE { ?s <rank> ?r . ?s <grp> ?g } ORDER BY ASC(?r) OFFSET 7",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let inmem = engine.execute_with(&prepared, &budget_cfg(None)).unwrap();
+    let spilled = engine.execute_with(&prepared, &budget_cfg(Some(16))).unwrap();
+    assert_eq!(spilled.results, inmem.results);
+    assert_eq!(spilled.cout, inmem.cout);
+    assert_eq!(spilled.stats.scanned, inmem.stats.scanned);
+    assert!(spilled.stats.spill_runs >= 2, "external sort must write several runs");
+    assert!(
+        spilled.stats.peak_tuples < inmem.stats.peak_tuples,
+        "external sort peak {} not below in-memory {}",
+        spilled.stats.peak_tuples,
+        inmem.stats.peak_tuples
+    );
+}
+
+#[test]
+fn budget_of_zero_and_one_rows_complete_correctly() {
+    let ds = grouped_dataset(300, 40);
+    let engine = Engine::new(&ds);
+    for text in [
+        "SELECT ?g (COUNT(?s) AS ?n) WHERE { ?s <grp> ?g } GROUP BY ?g ORDER BY DESC(?n)",
+        "SELECT ?s ?r WHERE { ?s <rank> ?r } ORDER BY DESC(?r)",
+        "SELECT (COUNT(DISTINCT ?g) AS ?d) WHERE { ?s <grp> ?g }",
+    ] {
+        let q = parambench_sparql::parse_query(text).unwrap();
+        let prepared = engine.prepare(&q).unwrap();
+        let want = engine.execute_with(&prepared, &budget_cfg(None)).unwrap();
+        for budget in [0usize, 1] {
+            let got = engine.execute_with(&prepared, &budget_cfg(Some(budget))).unwrap();
+            assert_eq!(got.results, want.results, "budget {budget} broke {text}");
+            assert_eq!(got.cout, want.cout, "budget {budget} changed Cout of {text}");
+        }
+    }
+}
+
+#[test]
+fn empty_input_aggregate_over_the_spill_path_yields_one_row() {
+    let ds = grouped_dataset(100, 10);
+    let engine = Engine::new(&ds);
+    // The filter rejects every row; budget 0 arms the external fold
+    // eagerly, so the implicit-group rule must hold on the spill path too.
+    let q = parambench_sparql::parse_query(
+        "SELECT (COUNT(?r) AS ?n) (SUM(?r) AS ?sum) (AVG(?r) AS ?avg) \
+         WHERE { ?s <rank> ?r . FILTER(?r > 1000) }",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let out = engine.execute_with(&prepared, &budget_cfg(Some(0))).unwrap();
+    assert_eq!(out.results.len(), 1);
+    assert_eq!(out.results.rows[0][0].as_num(), Some(0.0));
+    assert_eq!(out.results.rows[0][1].as_num(), Some(0.0));
+    assert!(matches!(out.results.rows[0][2], OutVal::Unbound));
+}
+
+#[test]
+fn spill_runs_are_cleaned_up_and_limit_exits_promptly_under_budget() {
+    let morsel_rows = 64;
+    let n = MORSELS_PER_WAVE * morsel_rows * 2;
+    let ds = grouped_dataset(n, 300);
+    let mut engine = Engine::new(&ds);
+    let spill_base = std::env::temp_dir().join(format!("parambench-test-{}", std::process::id()));
+    engine.set_spill_dir(&spill_base);
+
+    // A spilling GROUP BY + ORDER BY + LIMIT under a forced-parallel
+    // config: workers drain (aggregation needs all input), the fold
+    // spills, and every run file is gone once the query returns.
+    let q = parambench_sparql::parse_query(
+        "SELECT ?g (COUNT(?s) AS ?n) WHERE { ?s <grp> ?g . ?s <rank> ?r } \
+         GROUP BY ?g ORDER BY DESC(?n) LIMIT 5",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let exec = ExecConfig {
+        threads: 4,
+        morsel_rows,
+        min_driver_rows: 1,
+        min_est_cost: 0.0,
+        mem_budget_rows: Some(8),
+    };
+    let spilled = engine.execute_with(&prepared, &exec).unwrap();
+    let serial = engine.execute_with(&prepared, &budget_cfg(None)).unwrap();
+    assert_eq!(spilled.results, serial.results);
+    assert!(spilled.stats.spilled_rows > 0, "400 groups must overflow a budget of 8");
+    let leftovers: Vec<_> = std::fs::read_dir(&spill_base)
+        .map(|d| d.filter_map(|e| e.ok()).collect())
+        .unwrap_or_default();
+    assert!(leftovers.is_empty(), "spill runs not cleaned up: {leftovers:?}");
+
+    // A plain LIMIT under the same budget: output-bound queries never
+    // block, so nothing spills and the early exit stays batch-granular —
+    // upstream workers stop promptly instead of draining the scan.
+    let q = parambench_sparql::parse_query(
+        "SELECT ?s ?g ?r WHERE { ?s <grp> ?g . ?s <rank> ?r } LIMIT 9",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let out = engine.execute_with(&prepared, &exec).unwrap();
+    assert_eq!(out.results.len(), 9);
+    assert_eq!(out.stats.spilled_rows, 0, "LIMIT early exit must not spill");
+    let bound = n as u64 + 4 * parambench_sparql::BATCH_SIZE as u64;
+    assert!(
+        out.stats.scanned <= bound,
+        "LIMIT early exit under a budget did too much work: scanned {} (bound {bound})",
+        out.stats.scanned
+    );
+    let _ = std::fs::remove_dir_all(&spill_base);
+}
+
+#[test]
+fn spill_write_failure_surfaces_as_typed_exec_error() {
+    let ds = grouped_dataset(500, 100);
+    let mut engine = Engine::new(&ds);
+    // Point the spill base at a regular file: creating the per-run spill
+    // directory under it must fail, and the failure must come back as the
+    // typed error — not a panic, not a generic Unsupported.
+    let bogus = std::env::temp_dir().join(format!("parambench-not-a-dir-{}", std::process::id()));
+    std::fs::write(&bogus, b"occupied").unwrap();
+    engine.set_spill_dir(&bogus);
+    let q = parambench_sparql::parse_query(
+        "SELECT ?g (COUNT(?s) AS ?n) WHERE { ?s <grp> ?g } GROUP BY ?g",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let err = engine.execute_with(&prepared, &budget_cfg(Some(4))).unwrap_err();
+    match err {
+        QueryError::Exec(e) => {
+            assert_eq!(e.op, "create spill dir");
+            assert!(e.path.starts_with(&bogus), "error path {:?} not under {bogus:?}", e.path);
+            assert!(!e.message.is_empty());
+        }
+        other => panic!("expected QueryError::Exec, got {other:?}"),
+    }
+    // In-memory execution of the same prepared query is unaffected.
+    assert!(engine.execute_with(&prepared, &budget_cfg(None)).is_ok());
+    let _ = std::fs::remove_file(&bogus);
+}
+
+#[test]
+fn distinct_under_unprojected_sort_key_streams_with_bounded_peak() {
+    // 6000 input rows collapse to 10 distinct groups; the sort key ?r is
+    // not projected. The sort-aware dedup must reproduce the materializing
+    // fallback row-for-row while holding only the distinct values.
+    let ds = grouped_dataset(6000, 10);
+    let engine = Engine::new(&ds);
+    let q = parambench_sparql::parse_query(
+        "SELECT DISTINCT ?g WHERE { ?s <grp> ?g . ?s <rank> ?r } ORDER BY ASC(?r)",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let pushed = engine.execute(&prepared).unwrap();
+    let unpushed = engine.execute_unpushed(&prepared).unwrap();
+    assert_eq!(pushed.results, unpushed.results, "sort-aware dedup diverged from fallback");
+    assert_eq!(pushed.results.len(), 10);
+    assert_eq!(pushed.cout, unpushed.cout);
+    // Regression gate: the streaming dedup holds one entry per distinct
+    // value plus in-flight batches — nowhere near the 6000 materialized
+    // rows of the old fallback path.
+    assert!(
+        pushed.stats.peak_tuples <= (10 + 2 * parambench_sparql::BATCH_SIZE) as u64,
+        "sort-aware DISTINCT peak {} should be bounded by distinct values + batches",
+        pushed.stats.peak_tuples
+    );
+    assert!(
+        pushed.stats.peak_tuples < unpushed.stats.peak_tuples,
+        "streaming dedup peak {} not below materializing peak {}",
+        pushed.stats.peak_tuples,
+        unpushed.stats.peak_tuples
+    );
 }
 
 #[test]

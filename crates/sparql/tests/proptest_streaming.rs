@@ -23,6 +23,12 @@
 //! engine guarantees rows, row order and measured `Cout` are bit-identical
 //! at any thread count, and — absent a LIMIT that legitimizes wave-granular
 //! early exit — equal to the serial pipeline's too.
+//!
+//! Finally, every case sweeps the out-of-core layer: memory budgets of
+//! {2, 16} rows × {1, 4} threads force the GROUP BY fold and the
+//! full-sort fallback onto the spill path (partitioned run files,
+//! loser-tree merge), asserting rows, row order, `Cout` and `scanned`
+//! stay bit-identical to the unlimited in-memory run.
 
 mod common;
 
@@ -375,7 +381,13 @@ fn check_case(ds: &Dataset, text: &str, limit_present: bool) {
     // wave-granular early exit to complete extra work.
     let mut reference: Option<(u64, u64, u64)> = None;
     for threads in [1usize, 2, 4] {
-        let exec = ExecConfig { threads, morsel_rows: 5, min_driver_rows: 1, min_est_cost: 0.0 };
+        let exec = ExecConfig {
+            threads,
+            morsel_rows: 5,
+            min_driver_rows: 1,
+            min_est_cost: 0.0,
+            mem_budget_rows: None,
+        };
         let par = engine
             .execute_with(&prepared, &exec)
             .unwrap_or_else(|e| panic!("execute_with({threads}) {text:?}: {e}"));
@@ -401,6 +413,39 @@ fn check_case(ds: &Dataset, text: &str, limit_present: bool) {
             Some(r) => {
                 assert_eq!(*r, key, "thread count {threads} changed Cout/scanned/peak for {text}")
             }
+        }
+    }
+
+    // Budget sweep: the out-of-core guarantee. At memory budgets of 2 and
+    // 16 rows (forcing the GROUP BY fold and the full-sort fallback onto
+    // the spill path for nearly every case) × 1 and 4 threads, rows, row
+    // order, Cout and scanned must all be bit-identical to the unlimited
+    // run — spilling may only move state to disk, never change a result
+    // or a deterministic counter. The unlimited combos above anchor the
+    // (cout, scanned) reference; peak_tuples is deliberately excluded
+    // here (a tighter budget legitimately lowers it).
+    let (ref_cout, ref_scanned, _) = reference.expect("thread sweep ran");
+    for budget in [Some(2), Some(16)] {
+        for threads in [1usize, 4] {
+            let exec = ExecConfig {
+                threads,
+                morsel_rows: 5,
+                min_driver_rows: 1,
+                min_est_cost: 0.0,
+                mem_budget_rows: budget,
+            };
+            let out = engine.execute_with(&prepared, &exec).unwrap_or_else(|e| {
+                panic!("execute_with(budget {budget:?}, {threads} threads) {text:?}: {e}")
+            });
+            assert_eq!(
+                out.results, pushed.results,
+                "budget {budget:?} × {threads} threads changed rows/order for {text}"
+            );
+            assert_eq!(
+                (out.cout, out.stats.scanned),
+                (ref_cout, ref_scanned),
+                "budget {budget:?} × {threads} threads changed Cout/scanned for {text}"
+            );
         }
     }
 }
