@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use parambench_core::ParameterDomain;
 use parambench_datagen::{Bsbm, BsbmConfig};
 use parambench_rdf::Term;
-use parambench_sparql::{Binding, Engine, ExecConfig};
+use parambench_sparql::{Binding, Engine, ExecConfig, OrderExec};
 use std::hint::black_box;
 
 fn engine_benches(c: &mut Criterion) {
@@ -118,6 +118,55 @@ fn engine_benches(c: &mut Criterion) {
         });
         c.bench_function("exec/group_by_spill", |b| {
             b.iter(|| black_box(engine.execute_with(&prepared_root, &spill_cfg).unwrap().cout))
+        });
+    }
+
+    // Order-aware execution (PR 5). Two pairs:
+    // * the star template lowered as merge joins (Force) vs the forced
+    //   hash lowering of the same prepared plan — zero build rows vs a
+    //   materialized build side, identical results;
+    // * the ORDER-BY-matching template with the sort eliminated behind
+    //   the delivered order vs the forced full machinery.
+    {
+        let force_cfg = ExecConfig { order_exec: OrderExec::Force, ..ExecConfig::default() };
+        let off_cfg = ExecConfig { order_exec: OrderExec::Off, ..ExecConfig::default() };
+        let force_engine = Engine::with_exec_config(ds, force_cfg);
+        let prepared_star = force_engine.prepare_template(&q4, &root_binding).unwrap();
+        let merged = force_engine.execute(&prepared_star).unwrap();
+        let hashed = force_engine.execute_with(&prepared_star, &off_cfg).unwrap();
+        assert_eq!(merged.results, hashed.results, "merge lowering changed results");
+        println!(
+            "q4 star join: merge build_rows {} peak {} vs hash build_rows {} peak {}",
+            merged.stats.build_rows,
+            merged.stats.peak_tuples,
+            hashed.stats.build_rows,
+            hashed.stats.peak_tuples,
+        );
+        c.bench_function("exec/star_join_merge", |b| {
+            b.iter(|| black_box(force_engine.execute(&prepared_star).unwrap().cout))
+        });
+        c.bench_function("exec/star_join_hash", |b| {
+            b.iter(|| black_box(force_engine.execute_with(&prepared_star, &off_cfg).unwrap().cout))
+        });
+
+        let catalog = Bsbm::q_catalog_of_type();
+        let prepared_cat = engine.prepare_template(&catalog, &root_binding).unwrap();
+        let eliminated = engine.execute(&prepared_cat).unwrap();
+        let forced = engine.execute_with(&prepared_cat, &off_cfg).unwrap();
+        assert_eq!(eliminated.results, forced.results, "sort elimination changed results");
+        println!(
+            "catalog-of-type: sorted_rows eliminated {} vs forced {} (rows {})",
+            eliminated.stats.sorted_rows,
+            forced.stats.sorted_rows,
+            eliminated.results.len(),
+        );
+        c.bench_function("exec/order_by_eliminated", |b| {
+            b.iter(|| black_box(engine.execute(&prepared_cat).unwrap().results.len()))
+        });
+        c.bench_function("exec/order_by_forced_sort", |b| {
+            b.iter(|| {
+                black_box(engine.execute_with(&prepared_cat, &off_cfg).unwrap().results.len())
+            })
         });
     }
 

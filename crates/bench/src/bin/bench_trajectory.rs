@@ -1,0 +1,109 @@
+//! Benchmark trajectory harness: runs the BSBM template suite and writes
+//! `BENCH_<seq>.json` (wall time, `Cout`, scanned, peak_tuples,
+//! spilled_rows, sorted_rows, build_rows per template) so performance is
+//! tracked across PRs — each PR commits its snapshot next to the previous
+//! ones and regressions show up as a diff, not an anecdote.
+//!
+//! ```text
+//! cargo run --release -p parambench-bench --bin bench_trajectory
+//! ```
+//!
+//! The sequence number defaults to `5` (this PR) and can be overridden
+//! with `BENCH_SEQ`; dataset scale follows `PARAMBENCH_TRIPLES` like the
+//! experiment binaries. Wall times are min-of-N to damp scheduler noise;
+//! the deterministic counters are single-run (they cannot vary).
+
+use std::time::Duration;
+
+use parambench_bench::{bsbm, fmt_ms, header};
+use parambench_datagen::{bsbm::schema, Bsbm};
+use parambench_rdf::Term;
+use parambench_sparql::template::{Binding, QueryTemplate};
+use parambench_sparql::Engine;
+
+/// Wall-time runs per template (min is reported).
+const RUNS: usize = 5;
+
+fn suite() -> Vec<(QueryTemplate, Binding)> {
+    let root_type = Binding::new().with("type", Term::iri(schema::product_type(0)));
+    vec![
+        (
+            Bsbm::q2_similar_products(),
+            Binding::new().with("product", Term::iri(schema::product(0))),
+        ),
+        (Bsbm::q4_feature_price_by_type(), root_type.clone()),
+        (Bsbm::q_cheapest_products_of_type(), root_type.clone()),
+        (Bsbm::q_catalog_of_type(), root_type.clone()),
+        (Bsbm::q_rating_by_type(), root_type.clone()),
+        (Bsbm::q_type_feature_offers(), root_type.with("feature", Term::iri(schema::feature(0)))),
+    ]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "5".into());
+    let data = bsbm();
+    header(&format!("BSBM template suite trajectory (seq {seq}, {} triples)", data.dataset.len()));
+    let engine = Engine::new(&data.dataset);
+
+    let mut entries: Vec<String> = Vec::new();
+    for (template, binding) in suite() {
+        let prepared = match engine.prepare_template(&template, &binding) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:<18} SKIPPED ({e})", template.name());
+                continue;
+            }
+        };
+        let mut wall = Duration::MAX;
+        let mut out = None;
+        for _ in 0..RUNS {
+            let run = engine.execute(&prepared).expect("template executes");
+            wall = wall.min(run.wall_time);
+            out = Some(run);
+        }
+        let out = out.expect("at least one run");
+        let ms = wall.as_secs_f64() * 1e3;
+        println!(
+            "{:<18} {:>10} | rows {:>6} Cout {:>8} scanned {:>8} peak {:>8} \
+             spilled {:>6} sorted {:>8} build {:>8}",
+            template.name(),
+            fmt_ms(ms),
+            out.results.len(),
+            out.cout,
+            out.stats.scanned,
+            out.stats.peak_tuples,
+            out.stats.spilled_rows,
+            out.stats.sorted_rows,
+            out.stats.build_rows,
+        );
+        entries.push(format!(
+            "    {{\"template\": \"{}\", \"signature\": \"{}\", \"wall_ms\": {:.3}, \
+             \"rows\": {}, \"cout\": {}, \"scanned\": {}, \"peak_tuples\": {}, \
+             \"spilled_rows\": {}, \"sorted_rows\": {}, \"build_rows\": {}}}",
+            json_escape(template.name()),
+            json_escape(&prepared.signature.0),
+            ms,
+            out.results.len(),
+            out.cout,
+            out.stats.scanned,
+            out.stats.peak_tuples,
+            out.stats.spilled_rows,
+            out.stats.sorted_rows,
+            out.stats.build_rows,
+        ));
+    }
+
+    let body = format!(
+        "{{\n  \"seq\": {seq},\n  \"suite\": \"bsbm\",\n  \"triples\": {},\n  \
+         \"wall_runs\": {RUNS},\n  \"templates\": [\n{}\n  ]\n}}\n",
+        data.dataset.len(),
+        entries.join(",\n"),
+    );
+    let path = format!("BENCH_{seq}.json");
+    std::fs::write(&path, &body).expect("write benchmark snapshot");
+    println!("\nwrote {path}");
+}

@@ -377,6 +377,26 @@ impl Bsbm {
         .expect("static template parses")
     }
 
+    /// Catalog listing: every product of `%type` with its price, in
+    /// product-IRI order — the ORDER-BY-matching-index template: the type
+    /// scan already delivers products sorted (value-ordered dictionary +
+    /// POS index), so the order-aware engine executes it with the sort
+    /// provably skipped (`ExecStats::sorted_rows == 0`).
+    pub fn q_catalog_of_type() -> QueryTemplate {
+        QueryTemplate::parse(
+            "BSBM-CATALOG",
+            &format!(
+                "SELECT ?p ?price WHERE {{ \
+                   ?p <{ty}> %type . \
+                   ?p <{pr}> ?price \
+                 }} ORDER BY ASC(?p)",
+                ty = schema::RDF_TYPE,
+                pr = schema::PRICE
+            ),
+        )
+        .expect("static template parses")
+    }
+
     /// Extra BI-style template: average review rating of `%type` products.
     pub fn q_rating_by_type() -> QueryTemplate {
         QueryTemplate::parse(

@@ -43,6 +43,13 @@ pub struct Dictionary {
     /// Cached `numeric_value()` per id (NaN = none); parallel to `terms`.
     numeric: Vec<f64>,
     by_term: HashMap<Term, Id>,
+    /// Set by [`Dictionary::reorder_by_value`] when two *distinct* ids
+    /// carry the same numeric value (e.g. `"1"^^int` vs `"1.0"^^double`).
+    /// When false, ascending id order is not merely consistent with but
+    /// *equivalent to* the ORDER BY value order — the stronger property
+    /// multi-key sort elimination needs (a value tie would let a secondary
+    /// sort key reorder rows that id order pins by lexical form).
+    value_ties: bool,
 }
 
 impl Dictionary {
@@ -138,6 +145,61 @@ impl Dictionary {
             (None, None) => self.decode(a).cmp(self.decode(b)),
         }
     }
+
+    /// Reassigns every id so that ascending [`Id`] order coincides with the
+    /// benchmark value order of [`Dictionary::compare`] (numeric values
+    /// first by value, then lexical term order; numeric ties broken by term
+    /// order so the permutation is total and deterministic). Returns the
+    /// old-id → new-id mapping so callers can remap data encoded against
+    /// the pre-reorder ids.
+    ///
+    /// This is the *order-preserving dictionary* step of
+    /// `StoreBuilder::freeze`: once ids are value-ordered, the sorted
+    /// permutation indexes deliver rows in exactly the order `ORDER BY`
+    /// asks for, which is what lets the executor elide sorts behind an
+    /// order-compatible index scan.
+    pub fn reorder_by_value(&mut self) -> Vec<u32> {
+        use std::cmp::Ordering;
+        let n = self.terms.len();
+        // new-id → old-id, sorted by (value order, term order).
+        let mut by_value: Vec<u32> = (0..n as u32).collect();
+        by_value.sort_by(|&a, &b| {
+            self.compare(Id(a), Id(b)).then_with(|| {
+                // Equal numeric values with different lexical forms (e.g.
+                // "1"^^int vs "1.0"^^double): pin by term order.
+                match self.decode(Id(a)).cmp(self.decode(Id(b))) {
+                    Ordering::Equal => a.cmp(&b),
+                    other => other,
+                }
+            })
+        });
+        let mut old_to_new = vec![0u32; n];
+        for (new, &old) in by_value.iter().enumerate() {
+            old_to_new[old as usize] = new as u32;
+        }
+        let mut terms = Vec::with_capacity(n);
+        let mut numeric = Vec::with_capacity(n);
+        for &old in &by_value {
+            terms.push(self.terms[old as usize].clone());
+            numeric.push(self.numeric[old as usize]);
+        }
+        self.terms = terms;
+        self.numeric = numeric;
+        for id in self.by_term.values_mut() {
+            *id = Id(old_to_new[id.index()]);
+        }
+        // Value ties sit adjacent after the sort: one linear scan.
+        self.value_ties =
+            self.numeric.windows(2).any(|w| !w[0].is_nan() && !w[1].is_nan() && w[0] == w[1]);
+        old_to_new
+    }
+
+    /// True when two distinct ids carry the same numeric value (see the
+    /// `value_ties` field): id order then still *refines* the ORDER BY
+    /// value order, but is not equivalent to it under secondary sort keys.
+    pub fn has_value_ties(&self) -> bool {
+        self.value_ties
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +256,41 @@ mod tests {
         assert_eq!(dict.compare(ten, two), std::cmp::Ordering::Greater);
         assert_eq!(dict.compare(two, txt), std::cmp::Ordering::Less);
         assert_eq!(dict.compare(two, two), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn reorder_by_value_makes_id_order_the_value_order() {
+        let mut dict = Dictionary::new();
+        // Intern in deliberately scrambled value order.
+        let terms = vec![
+            Term::iri("z/last"),
+            Term::integer(10),
+            Term::literal("abc"),
+            Term::integer(2),
+            Term::double(2.5),
+            Term::iri("a/first"),
+        ];
+        let olds: Vec<Id> = terms.iter().cloned().map(|t| dict.encode(t)).collect();
+        let map = dict.reorder_by_value();
+        // Round trip survives: every term still decodes and looks up.
+        for (old, term) in olds.iter().zip(&terms) {
+            let new = Id(map[old.index()]);
+            assert_eq!(dict.decode(new), term);
+            assert_eq!(dict.lookup(term), Some(new));
+        }
+        // Ascending ids now follow compare(): numerics by value, then terms.
+        for a in 0..dict.len() as u32 {
+            for b in (a + 1)..dict.len() as u32 {
+                assert_ne!(
+                    dict.compare(Id(a), Id(b)),
+                    std::cmp::Ordering::Greater,
+                    "Id({a}) vs Id({b}) out of value order"
+                );
+            }
+        }
+        assert_eq!(dict.numeric(Id(0)), Some(2.0));
+        assert_eq!(dict.numeric(Id(1)), Some(2.5));
+        assert_eq!(dict.numeric(Id(2)), Some(10.0));
     }
 
     #[test]

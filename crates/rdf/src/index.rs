@@ -79,6 +79,23 @@ impl IndexOrder {
         }
     }
 
+    /// True when this index can serve a pattern with the given bound
+    /// positions through one contiguous key range: the bound positions must
+    /// occupy a prefix of the key permutation. `bound = (s?, p?, o?)`.
+    pub fn covers_bound(self, s: bool, p: bool, o: bool) -> bool {
+        let bound = [s, p, o];
+        let n_bound = bound.iter().filter(|&&b| b).count();
+        self.perm()[..n_bound].iter().all(|&pos| bound[pos])
+    }
+
+    /// Every index order that can serve the given bound positions (see
+    /// [`IndexOrder::covers_bound`]), in [`IndexOrder::ALL`] order. The
+    /// orders differ in which *unbound* position leads the delivered rows —
+    /// the raw material of the optimizer's interesting-order exploration.
+    pub fn all_for_bound(s: bool, p: bool, o: bool) -> impl Iterator<Item = IndexOrder> {
+        IndexOrder::ALL.into_iter().filter(move |order| order.covers_bound(s, p, o))
+    }
+
     /// Re-orders an SPO triple into this index's key order.
     #[inline]
     pub fn key_of(self, spo: [Id; 3]) -> [Id; 3] {

@@ -58,7 +58,20 @@ impl StoreBuilder {
 
     /// Deduplicates, builds all six permutation indexes and dataset
     /// statistics, and returns the immutable dataset.
+    ///
+    /// Freezing first rewrites the dictionary into *value order*
+    /// ([`Dictionary::reorder_by_value`]): ascending ids then mean
+    /// ascending ORDER BY values (numerics first by value, then term
+    /// order), so every sorted permutation index doubles as a sorted
+    /// result source and the executor can skip sorts behind an
+    /// order-compatible scan.
     pub fn freeze(mut self) -> Dataset {
+        let old_to_new = self.dict.reorder_by_value();
+        for triple in &mut self.triples {
+            for slot in triple.iter_mut() {
+                *slot = Id(old_to_new[slot.index()]);
+            }
+        }
         self.triples.sort_unstable();
         self.triples.dedup();
         let indexes: Vec<PermIndex> =
@@ -111,10 +124,24 @@ impl Dataset {
         &self.indexes[order.slot()]
     }
 
+    /// The default index order serving an id-level pattern.
+    pub fn default_order(pattern: IdPattern) -> IndexOrder {
+        IndexOrder::for_bound(pattern[0].is_some(), pattern[1].is_some(), pattern[2].is_some())
+    }
+
     /// Chooses the index and key prefix serving an id-level pattern.
     fn plan_access(&self, pattern: IdPattern) -> (&PermIndex, Vec<Id>) {
-        let order =
-            IndexOrder::for_bound(pattern[0].is_some(), pattern[1].is_some(), pattern[2].is_some());
+        self.plan_access_with(pattern, Self::default_order(pattern))
+    }
+
+    /// The index of `order` and the bound-key prefix for `pattern`.
+    /// `order` must cover the pattern's bound positions
+    /// ([`IndexOrder::covers_bound`]).
+    fn plan_access_with(&self, pattern: IdPattern, order: IndexOrder) -> (&PermIndex, Vec<Id>) {
+        debug_assert!(
+            order.covers_bound(pattern[0].is_some(), pattern[1].is_some(), pattern[2].is_some()),
+            "{order:?} does not cover the bound positions of {pattern:?}"
+        );
         let idx = self.index(order);
         let perm = order.perm();
         let mut prefix = Vec::with_capacity(3);
@@ -129,7 +156,19 @@ impl Dataset {
 
     /// Iterates all SPO triples matching `pattern`.
     pub fn scan(&self, pattern: IdPattern) -> impl Iterator<Item = [Id; 3]> + '_ {
-        let (idx, prefix) = self.plan_access(pattern);
+        self.scan_with(pattern, Self::default_order(pattern))
+    }
+
+    /// Iterates all SPO triples matching `pattern` out of the index with
+    /// the given `order` (which must cover the pattern's bound positions).
+    /// The choice never changes *which* triples match — only the order they
+    /// are delivered in: ascending by the unbound key positions of `order`.
+    pub fn scan_with(
+        &self,
+        pattern: IdPattern,
+        order: IndexOrder,
+    ) -> impl Iterator<Item = [Id; 3]> + '_ {
+        let (idx, prefix) = self.plan_access_with(pattern, order);
         let end = idx.range(&prefix).len();
         // `prefix` is moved into the closure-owning iterator below.
         ScanIter { idx, prefix, pos: 0, end }
@@ -146,7 +185,20 @@ impl Dataset {
         start: usize,
         end: usize,
     ) -> impl Iterator<Item = [Id; 3]> + '_ {
-        let (idx, prefix) = self.plan_access(pattern);
+        self.scan_slice_with(pattern, Self::default_order(pattern), start, end)
+    }
+
+    /// [`Dataset::scan_slice`] over an explicit index `order` — so morsels
+    /// of an order-chosen scan concatenate to [`Dataset::scan_with`] of the
+    /// same order exactly.
+    pub fn scan_slice_with(
+        &self,
+        pattern: IdPattern,
+        order: IndexOrder,
+        start: usize,
+        end: usize,
+    ) -> impl Iterator<Item = [Id; 3]> + '_ {
+        let (idx, prefix) = self.plan_access_with(pattern, order);
         let len = idx.range(&prefix).len();
         ScanIter { idx, prefix, pos: start.min(len), end: end.min(len) }
     }
@@ -382,6 +434,62 @@ mod tests {
             // Out-of-range slices clamp instead of panicking.
             assert_eq!(ds.scan_slice(pat, full.len() + 5, full.len() + 9).count(), 0);
             assert_eq!(ds.scan_slice(pat, 0, usize::MAX).count(), full.len());
+        }
+    }
+
+    #[test]
+    fn freeze_orders_ids_by_value() {
+        let mut b = StoreBuilder::new();
+        b.insert(Term::iri("s/z"), Term::iri("p"), Term::integer(30));
+        b.insert(Term::iri("s/a"), Term::iri("p"), Term::integer(4));
+        b.insert(Term::iri("s/m"), Term::iri("p"), Term::integer(200));
+        let ds = b.freeze();
+        // Ascending id ⇔ ascending value order, for every pair of ids.
+        for a in 0..ds.dict().len() as u32 {
+            for bb in (a + 1)..ds.dict().len() as u32 {
+                assert_ne!(
+                    ds.dict().compare(Id(a), Id(bb)),
+                    std::cmp::Ordering::Greater,
+                    "ids out of value order after freeze"
+                );
+            }
+        }
+        // Scanning (?, p, ?) therefore delivers objects sorted by VALUE
+        // when subjects tie — and subjects sorted by term order overall.
+        let p = ds.lookup(&Term::iri("p")).unwrap();
+        let objs: Vec<f64> =
+            ds.scan([None, Some(p), None]).map(|t| ds.dict().numeric(t[2]).unwrap()).collect();
+        let subj: Vec<&Term> = ds.scan([None, Some(p), None]).map(|t| ds.decode(t[0])).collect();
+        assert!(subj.windows(2).all(|w| w[0] <= w[1]), "subjects not in term order");
+        assert_eq!(objs.len(), 3);
+        // Per-subject numeric order holds trivially (one object each); the
+        // POS index delivers prices in ascending numeric order.
+        let by_obj: Vec<f64> = ds
+            .scan_with([None, Some(p), None], IndexOrder::Pos)
+            .map(|t| ds.dict().numeric(t[2]).unwrap())
+            .collect();
+        assert_eq!(by_obj, vec![4.0, 30.0, 200.0]);
+    }
+
+    #[test]
+    fn scan_with_alternative_orders_matches_scan_set() {
+        let ds = build_sample();
+        let knows = ds.lookup(&Term::iri("http://e/knows")).unwrap();
+        let pat = [None, Some(knows), None];
+        let mut base: Vec<[Id; 3]> = ds.scan(pat).collect();
+        base.sort_unstable();
+        for order in IndexOrder::all_for_bound(false, true, false) {
+            let mut got: Vec<[Id; 3]> = ds.scan_with(pat, order).collect();
+            // Same triple set, possibly different delivery order.
+            got.sort_unstable();
+            assert_eq!(got, base, "{order:?}");
+            // Slices concatenate to the ordered scan exactly.
+            let full: Vec<[Id; 3]> = ds.scan_with(pat, order).collect();
+            let mut pieced = Vec::new();
+            for start in (0..full.len()).step_by(2) {
+                pieced.extend(ds.scan_slice_with(pat, order, start, start + 2));
+            }
+            assert_eq!(pieced, full, "{order:?}");
         }
     }
 

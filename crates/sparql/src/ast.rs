@@ -201,13 +201,41 @@ impl Projection {
     }
 }
 
+/// What an ORDER BY key sorts on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderTarget {
+    /// A pattern variable or an aggregate alias, matched by name.
+    Var(String),
+    /// A computed expression, e.g. `ORDER BY (?a + ?b)`. Evaluated once
+    /// per row into a precomputed sort key (the `SortAtom` path); rows on
+    /// which the expression errors sort like unbound values (last).
+    Expr(Expr),
+}
+
+impl OrderTarget {
+    /// The variable/alias name, if this is a plain name key.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            OrderTarget::Var(v) => Some(v),
+            OrderTarget::Expr(_) => None,
+        }
+    }
+}
+
 /// A sort key of the ORDER BY clause.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrderKey {
-    /// Column to sort by: a pattern variable or an aggregate alias.
-    pub var: String,
+    /// Column to sort by: a variable/alias or a computed expression.
+    pub target: OrderTarget,
     /// `DESC(...)` vs `ASC(...)`.
     pub descending: bool,
+}
+
+impl OrderKey {
+    /// A plain ascending/descending variable key.
+    pub fn var(name: impl Into<String>, descending: bool) -> Self {
+        OrderKey { target: OrderTarget::Var(name.into()), descending }
+    }
 }
 
 /// A parsed SELECT query (or query template, when parameters remain).

@@ -138,11 +138,11 @@ impl fmt::Display for SelectQuery {
         }
         if !self.order_by.is_empty() {
             write!(f, " ORDER BY")?;
-            for OrderKey { var, descending } in &self.order_by {
-                if *descending {
-                    write!(f, " DESC(?{var})")?;
-                } else {
-                    write!(f, " ASC(?{var})")?;
+            for OrderKey { target, descending } in &self.order_by {
+                let dir = if *descending { "DESC" } else { "ASC" };
+                match target {
+                    crate::ast::OrderTarget::Var(var) => write!(f, " {dir}(?{var})")?,
+                    crate::ast::OrderTarget::Expr(e) => write!(f, " {dir}({e})")?,
                 }
             }
         }

@@ -18,14 +18,18 @@ use parambench_rdf::term::Term;
 use crate::ast::{Element, Expr, Projection, SelectQuery, TriplePattern, VarOrTerm};
 use crate::cardinality::Estimator;
 use crate::error::QueryError;
-use crate::exec::{ExecConfig, ExecStats, UNBOUND};
-use crate::modifiers::{Distinct, GroupFold, Slice, SortedDistinct, TopK};
-use crate::optimizer::{optimize, reestimate};
+use crate::exec::{ExecConfig, ExecStats, OrderExec, UNBOUND};
+use crate::modifiers::{
+    Distinct, GroupFold, OrderedGroupFold, RowKeys, Slice, SortedDistinct, TopK,
+};
+use crate::optimizer::{optimize_with, reestimate, OrderPrefs};
 use crate::physical::{
     self, BoxedOperator, CoutBucket, FilterEval, Gather, HashJoinProbe, LeftOuterJoin,
     ParallelSource, Project, UnionAll,
 };
-use crate::plan::{ModifierPlan, PlanNode, PlanSignature, PlannedPattern, Slot, SpillMode};
+use crate::plan::{
+    ModifierPlan, PlanNode, PlanSignature, PlannedPattern, Slot, SpillMode, TableColSource,
+};
 use crate::results::{
     decode_bindings, finalize_bindings, finalize_table, table_from_bindings, table_from_groups,
     OutVal, ResultSet,
@@ -78,6 +82,12 @@ pub struct Prepared {
     /// (grouping, DISTINCT, OFFSET/LIMIT) — the modifier-aware companion
     /// of `est_card`.
     pub est_result_card: f64,
+    /// The variable-slot sequence the pipeline's output arrives sorted by
+    /// (the required plan's delivered order; UNION-as-base delivers none).
+    /// Filters, OPTIONAL joins and base-side UNION joins all stream the
+    /// base, so the base order survives to the modifier boundary — what
+    /// sort elimination checks against.
+    pub delivered_order: Vec<usize>,
 }
 
 impl Prepared {
@@ -346,7 +356,12 @@ impl<'a> Engine<'a> {
                 planned.push(lower(t, next_idx, &mut var_names, &mut slot_of)?);
                 next_idx += 1;
             }
-            let plan = optimize(&planned, &self.est)?;
+            // Interesting-order preferences: when every ORDER BY key is a
+            // plain ascending pattern variable, a plan delivering that slot
+            // sequence escapes the sort penalty in the root selection.
+            let prefs =
+                OrderPrefs { sort: order_pref_slots(query, &slot_of), mode: self.exec.order_exec };
+            let plan = optimize_with(&planned, &self.est, &prefs)?;
             let est = reestimate(&plan, &self.est);
             est_cout += plan.est_cout();
             sig = plan.signature().0;
@@ -370,7 +385,11 @@ impl<'a> Engine<'a> {
                     lowered.push(lower(t, next_idx, &mut var_names, &mut slot_of)?);
                     next_idx += 1;
                 }
-                let plan = optimize(&lowered, &self.est)?;
+                let plan = optimize_with(
+                    &lowered,
+                    &self.est,
+                    &OrderPrefs { sort: vec![], mode: self.exec.order_exec },
+                )?;
                 let mut vars = plan.var_slots();
                 vars.sort_unstable();
                 match &branch_vars {
@@ -435,7 +454,11 @@ impl<'a> Engine<'a> {
                 lowered.push(lower(t, next_idx, &mut var_names, &mut slot_of)?);
                 next_idx += 1;
             }
-            let plan = optimize(&lowered, &self.est)?;
+            let plan = optimize_with(
+                &lowered,
+                &self.est,
+                &OrderPrefs { sort: vec![], mode: self.exec.order_exec },
+            )?;
             let opt_est = reestimate(&plan, &self.est);
             let join_vars: Vec<usize> =
                 plan.var_slots().into_iter().filter(|v| required_vars.contains(v)).collect();
@@ -474,6 +497,8 @@ impl<'a> Engine<'a> {
         // the output-cardinality estimate.
         let modifiers = ModifierPlan::lower(query, &slot_of)?;
         let est_result_card = self.est.modifier_output_card(&bgp_est, &modifiers);
+        let delivered_order =
+            bgp_plan.as_ref().map(|p| p.delivered_order(self.ds)).unwrap_or_default();
 
         Ok(Prepared {
             var_names,
@@ -486,6 +511,7 @@ impl<'a> Engine<'a> {
             signature: PlanSignature(sig),
             est_cout,
             est_result_card,
+            delivered_order,
         })
     }
 
@@ -505,15 +531,18 @@ impl<'a> Engine<'a> {
         exec: &ExecConfig,
         stats: &mut ExecStats,
     ) -> Pipeline<'a> {
-        // Plain LIMIT queries (no aggregation, no ORDER BY) are
-        // output-bound: the serial Slice stops batch-granularly after
+        // Plain LIMIT queries (no aggregation, no unsatisfied ORDER BY)
+        // are output-bound: the serial Slice stops batch-granularly after
         // ~`limit` rows, while parallel early exit is wave-granular — up to
         // a whole wave of surplus scans for zero win. They stay serial.
-        // Aggregation and ORDER BY drain the pipeline fully, so for them
-        // the fan-out is pure gain. (Shape-derived, thread-independent:
-        // the determinism guarantee is unaffected.)
+        // An ORDER BY the delivered order eliminates behaves exactly like
+        // no ORDER BY here (the sort is gone, the Slice exits early).
+        // Aggregation and real sorts drain the pipeline fully, so for them
+        // the fan-out is pure gain. (Shape-and-config derived,
+        // thread-independent: the determinism guarantee is unaffected.)
         let m = &prepared.modifiers;
-        let output_bound = m.aggregate.is_none() && m.order_by.is_empty() && m.limit.is_some();
+        let sort_gone = m.order_by.is_empty() || self.sort_eliminated(prepared, exec);
+        let output_bound = m.aggregate.is_none() && sort_gone && m.limit.is_some();
         let base = prepared.bgp_plan.as_ref().map(|plan| {
             let parallel = if output_bound {
                 None
@@ -522,7 +551,11 @@ impl<'a> Engine<'a> {
             };
             match parallel {
                 Some(src) => Pipeline::Parallel(src),
-                None => Pipeline::Serial(plan.lower(self.ds, CoutBucket::Required)),
+                None => Pipeline::Serial(plan.lower_with(
+                    self.ds,
+                    CoutBucket::Required,
+                    exec.order_exec,
+                )),
             }
         });
         if prepared.unions.is_empty()
@@ -538,7 +571,7 @@ impl<'a> Engine<'a> {
         for u in &prepared.unions {
             let mut branches: Vec<BoxedOperator<'_>> = Vec::with_capacity(u.branches.len());
             for (plan, branch_filters) in &u.branches {
-                let mut branch = plan.lower(self.ds, CoutBucket::Required);
+                let mut branch = plan.lower_with(self.ds, CoutBucket::Required, exec.order_exec);
                 if !branch_filters.is_empty() {
                     branch = Box::new(FilterEval::new(
                         branch,
@@ -567,7 +600,7 @@ impl<'a> Engine<'a> {
         let mut op = op.expect("prepare guarantees a base");
 
         for opt in &prepared.optionals {
-            let mut right = opt.plan.lower(self.ds, CoutBucket::Optional);
+            let mut right = opt.plan.lower_with(self.ds, CoutBucket::Optional, exec.order_exec);
             if !opt.filters.is_empty() {
                 right = Box::new(FilterEval::new(
                     right,
@@ -685,8 +718,62 @@ impl<'a> Engine<'a> {
     ) -> Result<ResultSet, QueryError> {
         let m = &prepared.modifiers;
         let spill_mode = m.spill_mode(prepared.est_result_card, exec.mem_budget_rows);
+        // Order-aware eliminations, all derived from the *plan's* delivered
+        // order (never from thread count or budget): with the value-ordered
+        // dictionary, ascending-id delivery IS ascending ORDER BY order.
+        let order_on = exec.order_exec != OrderExec::Off;
+        let sort_elim = order_on && self.order_satisfied(m, &prepared.delivered_order);
+        let delivered: &[usize] = if order_on { &prepared.delivered_order } else { &[] };
 
         if let Some(agg) = &m.aggregate {
+            // Group-clustered delivery (the group slots are a prefix
+            // permutation of the delivered order): fold one group at a
+            // time — no hash map, DISTINCT-aggregate sets freed per group
+            // — and skip the final sort when ORDER BY follows the same
+            // prefix. Serial, unbudgeted pipelines only: the parallel
+            // worker fold and the spill fold keep their own machinery.
+            let clustered = order_on
+                && spill_mode == SpillMode::InMemory
+                && Self::clustered(delivered, &agg.group_slots);
+            match pipeline {
+                Pipeline::Serial(op) if clustered => {
+                    let mut op = op;
+                    let needed = m.input_slots();
+                    if needed.len() < op.schema().len() {
+                        op = Box::new(Project::new(op, &needed));
+                    }
+                    let mut fold = OrderedGroupFold::new(m, agg, op.schema(), self.ds);
+                    Self::for_each_row(&mut op, stats, |row, st| {
+                        fold.add_row(row, st);
+                        Ok(())
+                    })?;
+                    let (rows, resident) = fold.finish(stats);
+                    let out = finalize_table(rows, m, self.ds, false, sort_elim, stats);
+                    stats.shrink(resident);
+                    return Ok(out);
+                }
+                // Parallel pipelines keep the worker-side fold (the fan-out
+                // is worth more than the one-group residency win).
+                other => return self.finish_agg_unclustered(prepared, other, exec, stats),
+            }
+        }
+        self.finish_plain(prepared, pipeline, exec, stats, sort_elim, delivered)
+    }
+
+    /// The aggregation epilogue for pipelines whose delivered order does
+    /// not cluster the groups (or that run parallel / under a budget):
+    /// hash-map folds, external when budgeted — the pre-order-aware paths.
+    fn finish_agg_unclustered(
+        &self,
+        prepared: &Prepared,
+        pipeline: Pipeline<'a>,
+        exec: &ExecConfig,
+        stats: &mut ExecStats,
+    ) -> Result<ResultSet, QueryError> {
+        let m = &prepared.modifiers;
+        let spill_mode = m.spill_mode(prepared.est_result_card, exec.mem_budget_rows);
+        let agg = m.aggregate.as_ref().expect("aggregation epilogue");
+        {
             if spill_mode != SpillMode::InMemory {
                 // Budgeted aggregation: consume the pipeline as one row
                 // stream (a parallel source goes through its Gather, so
@@ -713,7 +800,7 @@ impl<'a> Engine<'a> {
                     fold.add_row(row, st).map_err(QueryError::from)
                 })?;
                 let rows = fold.finish(m, agg, stats)?;
-                return Ok(finalize_table(rows, m, self.ds, false));
+                return Ok(finalize_table(rows, m, self.ds, false, false, stats));
             }
             // Streaming aggregation. On a pure parallel source the fold
             // itself fans out: every morsel folds into a private GroupFold
@@ -766,10 +853,28 @@ impl<'a> Engine<'a> {
             let resident = fold.resident();
             let (keys, states) = fold.finish();
             let rows = table_from_groups(keys, states, m, agg);
-            let out = finalize_table(rows, m, self.ds, false);
+            let out = finalize_table(rows, m, self.ds, false, false, stats);
             stats.shrink(resident);
-            return Ok(out);
+            Ok(out)
         }
+    }
+
+    /// The non-aggregate epilogue, with the order-aware eliminations:
+    /// a delivered order satisfying ORDER BY turns TopK into an early-exit
+    /// [`Slice`] and skips every sort (`ExecStats::sorted_rows` stays 0);
+    /// a delivered order clustering the projected columns turns the
+    /// DISTINCT hash set into O(1) run dedup.
+    fn finish_plain(
+        &self,
+        prepared: &Prepared,
+        pipeline: Pipeline<'a>,
+        exec: &ExecConfig,
+        stats: &mut ExecStats,
+        sort_elim: bool,
+        delivered: &[usize],
+    ) -> Result<ResultSet, QueryError> {
+        let m = &prepared.modifiers;
+        let spill_mode = m.spill_mode(prepared.est_result_card, exec.mem_budget_rows);
         let mut op = pipeline.into_operator();
 
         // Plain path: project to the solution-table columns.
@@ -781,10 +886,17 @@ impl<'a> Engine<'a> {
         // DISTINCT streams when the table has no helper sort columns: rows
         // equal on all projected columns then share their sort keys, so
         // dedup-before-sort keeps exactly the representative (first
-        // arrival) that dedup-after-sort would.
+        // arrival) that dedup-after-sort would. When the delivered order
+        // additionally clusters the projected columns, the hash set
+        // degrades to remembering one previous tuple.
         let mut already_distinct = false;
         if m.distinct && !m.has_helper_cols() {
-            op = Box::new(Distinct::new(op));
+            op = if Self::clustered(delivered, &m.out_slots()) {
+                let cols = (0..op.schema().len()).collect();
+                Box::new(Distinct::ordered(op, cols))
+            } else {
+                Box::new(Distinct::new(op))
+            };
             already_distinct = true;
         }
 
@@ -797,13 +909,40 @@ impl<'a> Engine<'a> {
             return Ok(decode_bindings(&bindings, m, self.ds));
         }
 
+        if sort_elim {
+            // The pipeline already delivers rows in final ORDER BY order:
+            // the sort disappears entirely. TopK degenerates to an
+            // early-exit Slice; DISTINCT under helper sort columns dedups
+            // on the projected columns, first arrival = first sorted
+            // occurrence — exactly the fallback's representative.
+            if m.distinct && !already_distinct {
+                let dedup_cols: Vec<usize> = m
+                    .out_slots()
+                    .iter()
+                    .map(|&slot| {
+                        op.schema().iter().position(|&v| v == slot).expect("out slot in schema")
+                    })
+                    .collect();
+                op = if Self::clustered(delivered, &m.out_slots()) {
+                    Box::new(Distinct::ordered(op, dedup_cols))
+                } else {
+                    Box::new(Distinct::on_cols(op, dedup_cols))
+                };
+            }
+            if m.offset > 0 || m.limit.is_some() {
+                op = Box::new(Slice::new(op, m.offset, m.limit));
+            }
+            let bindings = physical::drain(op, stats);
+            return Ok(decode_bindings(&bindings, m, self.ds));
+        }
+
         if m.distinct && !already_distinct {
             // DISTINCT under unprojected sort keys: the sort-aware dedup
             // keeps, per distinct projected value, the duplicate minimal
             // under (sort keys, arrival order) — exactly the row the
             // materializing sort→project→dedup fallback would keep — while
             // holding only the distinct values, never the full input.
-            let keys = Self::pipeline_sort_keys(m, op.schema());
+            let keys = RowKeys::resolve(m, op.schema(), self.ds);
             let dedup_cols: Vec<usize> = m
                 .out_slots()
                 .iter()
@@ -811,7 +950,7 @@ impl<'a> Engine<'a> {
                     op.schema().iter().position(|&v| v == slot).expect("out slot in schema")
                 })
                 .collect();
-            let mut dedup = SortedDistinct::new(self.ds, keys, dedup_cols);
+            let mut dedup = SortedDistinct::new(keys, dedup_cols);
             Self::for_each_row(&mut op, stats, |row, st| {
                 dedup.add_row(row, st);
                 Ok(())
@@ -830,8 +969,8 @@ impl<'a> Engine<'a> {
         if let Some(limit) = m.limit {
             // ORDER BY + LIMIT: bounded heap, sort keys computed once
             // per row, only offset+limit rows ever resident.
-            let keys = Self::pipeline_sort_keys(m, op.schema());
-            op = Box::new(TopK::new(op, self.ds, keys, m.offset, limit));
+            let keys = RowKeys::resolve(m, op.schema(), self.ds);
+            op = Box::new(TopK::new(op, keys, m.offset, limit));
             let bindings = physical::drain(op, stats);
             return Ok(decode_bindings(&bindings, m, self.ds));
         }
@@ -843,10 +982,9 @@ impl<'a> Engine<'a> {
             // exceeds the budget and merge back through the loser tree in
             // exactly the in-memory stable-sort order.
             let budget = exec.mem_budget_rows.expect("budgeted mode implies a budget");
-            let keys = Self::pipeline_sort_keys(m, op.schema());
+            let keys = RowKeys::resolve(m, op.schema(), self.ds);
             let width = op.schema().len();
-            let mut sorter =
-                ExternalSorter::new(self.ds, keys, width, budget, self.spill_base.clone());
+            let mut sorter = ExternalSorter::new(keys, width, budget, self.spill_base.clone());
             Self::for_each_row(&mut op, stats, |row, st| {
                 sorter.push_row(row, st).map_err(QueryError::from)
             })?;
@@ -867,29 +1005,79 @@ impl<'a> Engine<'a> {
         // Fallback: ORDER BY without LIMIT (full sort is unavoidable),
         // fully in memory.
         let bindings = physical::drain(op, stats);
-        let rows = table_from_bindings(&bindings, m)?;
-        Ok(finalize_table(rows, m, self.ds, already_distinct))
+        let rows = table_from_bindings(&bindings, m, self.ds)?;
+        Ok(finalize_table(rows, m, self.ds, already_distinct, false, stats))
     }
 
-    /// Maps the plan's ORDER BY table columns onto the pipeline schema:
-    /// (pipeline column, descending) per key — shared by TopK, the
-    /// sort-aware DISTINCT and the external merge sort so their key layout
-    /// can never diverge.
-    fn pipeline_sort_keys(m: &ModifierPlan, schema: &[usize]) -> Vec<(usize, bool)> {
-        m.order_by
-            .iter()
-            .map(|&(table_col, desc)| {
-                let slot = match m.table[table_col].source {
-                    crate::plan::TableColSource::Slot(s) => s,
-                    crate::plan::TableColSource::Agg(_) => {
-                        unreachable!("aggregate column on the plain path")
+    /// Whether the delivered order provably satisfies the full ORDER BY:
+    /// every key an ascending plain-variable column, and the deduplicated
+    /// key-slot sequence a prefix of the delivered order. (Value semantics
+    /// hold because the dictionary is value-ordered at freeze: ascending
+    /// ids are ascending ORDER BY values, unbound ids sort last both ways.)
+    fn order_satisfied(&self, m: &ModifierPlan, delivered: &[usize]) -> bool {
+        if m.order_by.is_empty() {
+            return false;
+        }
+        let mut seq: Vec<usize> = Vec::new();
+        for &(col, desc) in &m.order_by {
+            if desc {
+                return false;
+            }
+            match m.table[col].source {
+                TableColSource::Slot(s) => {
+                    if !seq.contains(&s) {
+                        seq.push(s);
                     }
-                };
-                let col =
-                    schema.iter().position(|&v| v == slot).expect("order slot in pipeline schema");
-                (col, desc)
-            })
-            .collect()
+                }
+                TableColSource::Agg(_) | TableColSource::Expr(_) => return false,
+            }
+        }
+        // With more than one effective key, id order must be *equivalent*
+        // to value order, not merely a refinement: two distinct ids with
+        // equal numeric value ("1"^^int vs "1.0"^^double) form a sort-key
+        // tie the baseline's stable sort reorders by the next key, while
+        // id-ordered delivery pins them by lexical form. The dictionary
+        // records at freeze whether any such tie exists; a single key is
+        // always safe (ties fall back to arrival order on both paths).
+        if seq.len() > 1 && self.ds.dict().has_value_ties() {
+            return false;
+        }
+        delivered.starts_with(&seq)
+    }
+
+    /// Whether the delivered order makes rows equal on `slots` contiguous:
+    /// the distinct slots are exactly the leading `k` delivered slots (in
+    /// any permutation). Empty slot sets are trivially clustered.
+    fn clustered(delivered: &[usize], slots: &[usize]) -> bool {
+        let mut set: Vec<usize> = Vec::new();
+        for &s in slots {
+            if !set.contains(&s) {
+                set.push(s);
+            }
+        }
+        set.len() <= delivered.len() && delivered[..set.len()].iter().all(|v| set.contains(v))
+    }
+
+    /// Whether this prepared query's final sort is eliminated under `exec`
+    /// (see [`Engine::order_satisfied`]): used by the pipeline-shape
+    /// decision and surfaced in [`Engine::explain_physical`]. For
+    /// aggregate queries the sort only disappears on the ordered
+    /// one-group-at-a-time fold, which additionally needs group-clustered
+    /// delivery and no memory budget (a parallel pipeline may still fall
+    /// back to the sorting fold — EXPLAIN is advisory there).
+    fn sort_eliminated(&self, prepared: &Prepared, exec: &ExecConfig) -> bool {
+        let m = &prepared.modifiers;
+        if exec.order_exec == OrderExec::Off || !self.order_satisfied(m, &prepared.delivered_order)
+        {
+            return false;
+        }
+        match &m.aggregate {
+            None => true,
+            Some(agg) => {
+                m.spill_mode(prepared.est_result_card, exec.mem_budget_rows) == SpillMode::InMemory
+                    && Self::clustered(&prepared.delivered_order, &agg.group_slots)
+            }
+        }
     }
 
     /// Streams every row of `op` into `consume`, releasing each batch's
@@ -920,9 +1108,12 @@ impl<'a> Engine<'a> {
             .iter()
             .map(|c| {
                 let slot = match c.source {
-                    crate::plan::TableColSource::Slot(s) => s,
-                    crate::plan::TableColSource::Agg(_) => {
+                    TableColSource::Slot(s) => s,
+                    TableColSource::Agg(_) => {
                         unreachable!("aggregate column on the plain path")
+                    }
+                    TableColSource::Expr(_) => {
+                        unreachable!("expression keys are never projected")
                     }
                 };
                 schema.iter().position(|&v| v == slot).expect("projected slot in schema")
@@ -943,6 +1134,42 @@ impl<'a> Engine<'a> {
                 }
             })
             .collect()
+    }
+
+    /// EXPLAIN-style *physical* rendering of a prepared query: one line
+    /// per operator with the chosen join method (hash/bind/merge), the
+    /// scanned index and the delivered order, plus the modifier strategy —
+    /// in particular whether the final sort is eliminated behind the
+    /// delivered order. Uses the engine's execution configuration (the
+    /// same one `execute` would).
+    pub fn explain_physical(&self, prepared: &Prepared) -> String {
+        let m = &prepared.modifiers;
+        let mut out = format!("delivered order: {:?}\n", prepared.delivered_order);
+        if let Some(plan) = &prepared.bgp_plan {
+            out.push_str(&plan.render_physical(self.ds, 0));
+        }
+        for (i, u) in prepared.unions.iter().enumerate() {
+            out.push_str(&format!("UNION #{i} (join on {:?})\n", u.join_vars));
+            for (b, (plan, _)) in u.branches.iter().enumerate() {
+                out.push_str(&format!("  branch {b}:\n"));
+                out.push_str(&plan.render_physical(self.ds, 2));
+            }
+        }
+        for (i, opt) in prepared.optionals.iter().enumerate() {
+            out.push_str(&format!("OPTIONAL #{i} (left outer join on {:?})\n", opt.join_vars));
+            out.push_str(&opt.plan.render_physical(self.ds, 1));
+        }
+        let sort = if m.order_by.is_empty() {
+            "none"
+        } else if self.sort_eliminated(prepared, &self.exec) {
+            "eliminated (delivered order satisfies ORDER BY)"
+        } else if m.aggregate.is_none() && m.limit.is_some() {
+            "topk (bounded heap)"
+        } else {
+            "full sort"
+        };
+        out.push_str(&format!("modifiers: {} | sort: {sort}\n", m.render()));
+        out
     }
 
     /// Parses, prepares and executes query text in one call.
@@ -980,6 +1207,33 @@ impl<'a> Engine<'a> {
             .lookup(term)
             .ok_or_else(|| QueryError::Unsupported(format!("term not in dataset: {term}")))
     }
+}
+
+/// The ORDER BY slot-sequence preference handed to the optimizer: the
+/// deduplicated slot sequence when *every* key is a plain ascending
+/// pattern variable already carrying a slot, empty otherwise (descending
+/// keys, expressions and aggregate aliases cannot be served by an index
+/// order, so no preference exists).
+fn order_pref_slots(query: &SelectQuery, slot_of: &HashMap<String, usize>) -> Vec<usize> {
+    if query.order_by.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for k in &query.order_by {
+        if k.descending {
+            return Vec::new();
+        }
+        let Some(v) = k.target.as_var() else {
+            return Vec::new();
+        };
+        let Some(&s) = slot_of.get(v) else {
+            return Vec::new();
+        };
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

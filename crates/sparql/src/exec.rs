@@ -54,6 +54,14 @@ pub struct ExecConfig {
     /// Minimum estimated plan cost (`est_cout + est_card`) before
     /// parallel lowering is considered.
     pub min_est_cost: f64,
+    /// How the order-aware execution paths (merge joins over sorted index
+    /// scans, sort/hash elimination behind a delivered order) are applied.
+    /// Defaults from the [`ORDER_EXEC_ENV`] environment variable. Like
+    /// every other knob here it never changes produced rows, their order or
+    /// measured `Cout` — only which physical machinery computes them — so
+    /// the differential suites compare [`OrderExec::Off`] runs against the
+    /// order-aware default bit for bit.
+    pub order_exec: OrderExec,
     /// Memory budget, in resident rows, for blocking modifier state:
     /// GROUP BY accumulator entries and full-sort buffer rows. `None`
     /// means unlimited (everything stays in memory). When the budget is
@@ -81,6 +89,43 @@ pub struct ExecConfig {
 /// Unset or unparsable values mean unlimited.
 pub const MEM_BUDGET_ENV: &str = "SPARQL_MEM_BUDGET_ROWS";
 
+/// How aggressively the planner and executor exploit delivered orders
+/// (sorted index scans → merge joins, sort/hash elimination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderExec {
+    /// Cost-guided (the default): merge joins replace hash *builds* when
+    /// both sides already deliver the key sorted (a selective bind join is
+    /// never displaced), and sorts are skipped whenever the pipeline's
+    /// delivered order provably satisfies them.
+    #[default]
+    Auto,
+    /// Prefer order-based operators wherever the orders allow, even where
+    /// a bind join would touch less data — the CI mode that exercises the
+    /// merge/elimination paths suite-wide.
+    Force,
+    /// Plan and execute exactly as the pre-order-aware engine did: merge
+    /// join nodes lower to hash/bind joins and every sort runs. The
+    /// baseline side of the order differential tests.
+    Off,
+}
+
+/// Environment variable overriding the default [`ExecConfig::order_exec`]
+/// (`SPARQL_ORDER_EXEC=force` / `off`; anything else means `Auto`) — the
+/// CI job that forces the merge-join and sort-elimination paths on for the
+/// whole suite mirrors the [`MEM_BUDGET_ENV`] pattern.
+pub const ORDER_EXEC_ENV: &str = "SPARQL_ORDER_EXEC";
+
+/// The process-wide default order-execution mode, read from
+/// [`ORDER_EXEC_ENV`] once (first use wins).
+pub fn env_order_exec() -> OrderExec {
+    static CACHE: std::sync::OnceLock<OrderExec> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var(ORDER_EXEC_ENV).as_deref() {
+        Ok("force") | Ok("FORCE") => OrderExec::Force,
+        Ok("off") | Ok("OFF") => OrderExec::Off,
+        _ => OrderExec::Auto,
+    })
+}
+
 /// The process-wide default memory budget, read from [`MEM_BUDGET_ENV`]
 /// once (first use wins; later changes to the variable are ignored).
 pub fn env_mem_budget_rows() -> Option<usize> {
@@ -99,6 +144,7 @@ impl Default for ExecConfig {
             morsel_rows: 8192,
             min_driver_rows: 16384,
             min_est_cost: 4096.0,
+            order_exec: env_order_exec(),
             mem_budget_rows: env_mem_budget_rows(),
         }
     }
@@ -204,6 +250,15 @@ pub struct ExecStats {
     pub join_cards: Vec<(String, u64)>,
     /// Rows scanned out of the store (sum over scans).
     pub scanned: u64,
+    /// Rows that passed through a *sorting* stage (the TopK heap, the
+    /// in-memory full sort, the external merge sort, the sort-aware
+    /// DISTINCT). Zero proves the run's delivered order made every sort
+    /// unnecessary — the order-elimination acceptance metric.
+    pub sorted_rows: u64,
+    /// Rows materialized into hash-join build tables (shared parallel
+    /// builds and the OPTIONAL build side included). Zero proves the plan
+    /// ran entirely on streaming merge/bind joins.
+    pub build_rows: u64,
     /// Peak number of intermediate tuples resident at once (materialized
     /// tables, hash-join build sides, in-flight batches). `Cout` measures
     /// how many intermediate tuples a plan *produces*; this measures how
@@ -251,6 +306,8 @@ impl ExecStats {
             self.cout += p.cout;
             self.cout_optional += p.cout_optional;
             self.scanned += p.scanned;
+            self.sorted_rows += p.sorted_rows;
+            self.build_rows += p.build_rows;
             self.spilled_rows += p.spilled_rows;
             self.spill_runs += p.spill_runs;
             self.spill_bytes += p.spill_bytes;
@@ -268,6 +325,8 @@ impl ExecStats {
     pub fn absorb_optional(&mut self, other: ExecStats) {
         self.cout_optional += other.cout + other.cout_optional;
         self.scanned += other.scanned;
+        self.sorted_rows += other.sorted_rows;
+        self.build_rows += other.build_rows;
         self.spilled_rows += other.spilled_rows;
         self.spill_runs += other.spill_runs;
         self.spill_bytes += other.spill_bytes;
@@ -343,7 +402,7 @@ fn numeric_of(v: Value, ds: &Dataset) -> Option<f64> {
     }
 }
 
-fn eval_binary(op: BinOp, a: Value, b: Value, ds: &Dataset) -> Value {
+pub(crate) fn eval_binary(op: BinOp, a: Value, b: Value, ds: &Dataset) -> Value {
     use BinOp::*;
     match op {
         And => match (truth(a), truth(b)) {

@@ -34,6 +34,17 @@
 //!   merged at gather time. Batches merge by morsel index — never worker
 //!   arrival order — so rows, row order and measured `Cout` are
 //!   bit-identical at any [`exec::ExecConfig::threads`] value;
+//! * execution is **order-aware** ([`plan::PlanNode::delivered_order`]):
+//!   the store's sorted permutation indexes double as sorted result
+//!   sources (the dictionary is value-ordered at freeze), the DP keeps
+//!   the cheapest plan *per delivered order*, order-compatible sides zip
+//!   through a build-free [`physical::MergeJoin`], and sorts whose keys
+//!   the delivered order already satisfies are skipped entirely
+//!   (`ExecStats::sorted_rows == 0`; TopK degenerates to an early-exit
+//!   slice, GROUP BY folds one group at a time, DISTINCT dedups by run) —
+//!   controlled by [`exec::ExecConfig::order_exec`] /
+//!   [`exec::ORDER_EXEC_ENV`], with the `Off` mode reproducing the
+//!   hash/bind engine bit for bit;
 //! * blocking modifier state degrades **out-of-core** under a memory
 //!   budget ([`exec::ExecConfig::mem_budget_rows`], env-overridable via
 //!   [`exec::MEM_BUDGET_ENV`]): grouped aggregation hash-partitions
@@ -89,7 +100,10 @@ pub mod template;
 pub use ast::SelectQuery;
 pub use engine::{Engine, Prepared, QueryOutput};
 pub use error::{ExecError, QueryError};
-pub use exec::{available_parallelism, env_mem_budget_rows, ExecConfig, ExecStats, MEM_BUDGET_ENV};
+pub use exec::{
+    available_parallelism, env_mem_budget_rows, env_order_exec, ExecConfig, ExecStats, OrderExec,
+    MEM_BUDGET_ENV, ORDER_EXEC_ENV,
+};
 pub use parser::parse_query;
 pub use physical::{Batch, CoutBucket, Operator, BATCH_SIZE, MORSELS_PER_WAVE};
 pub use plan::{ModifierPlan, PlanNode, PlanSignature, SpillMode};

@@ -29,27 +29,133 @@ use parambench_rdf::store::Dataset;
 
 use crate::exec::{ExecStats, UNBOUND};
 use crate::physical::{Batch, BoxedOperator, Operator};
-use crate::plan::AggregatePlan;
-use crate::results::{cmp_atoms, SortAtom};
+use crate::plan::{AggregatePlan, ModifierPlan, SlotExpr, TableColSource};
+use crate::results::{cmp_atoms, group_row, SolVal, SortAtom};
+
+// ---------------------------------------------------------------------------
+// RowKeys (shared precomputed-sort-key layout)
+// ---------------------------------------------------------------------------
+
+/// One resolved ORDER BY key over the pipeline schema: a column read or a
+/// per-row evaluated expression.
+pub(crate) enum KeyCol {
+    /// Read pipeline column directly.
+    Col(usize),
+    /// Evaluate a slot expression over the row.
+    Expr(SlotExpr),
+}
+
+/// The ORDER BY keys of one pipeline, resolved against its schema once —
+/// shared by TopK, the sort-aware DISTINCT and the external merge sort so
+/// their key layout (columns, expressions, directions) can never diverge.
+/// Key atoms are resolved once per row; comparisons never touch the
+/// dictionary again.
+pub(crate) struct RowKeys<'a> {
+    ds: &'a Dataset,
+    /// Pipeline schema (variable slot per column) for expression keys.
+    schema: Vec<usize>,
+    keys: Vec<(KeyCol, bool)>,
+}
+
+impl<'a> RowKeys<'a> {
+    /// Resolves `m`'s ORDER BY table columns against a pipeline `schema`.
+    pub fn resolve(m: &ModifierPlan, schema: &[usize], ds: &'a Dataset) -> RowKeys<'a> {
+        let keys = m
+            .order_by
+            .iter()
+            .map(|&(table_col, desc)| {
+                let col = match m.table[table_col].source {
+                    TableColSource::Slot(s) => KeyCol::Col(
+                        schema.iter().position(|&v| v == s).expect("order slot in pipeline schema"),
+                    ),
+                    TableColSource::Expr(i) => KeyCol::Expr(m.order_exprs[i].clone()),
+                    TableColSource::Agg(_) => {
+                        unreachable!("aggregate column on the plain path")
+                    }
+                };
+                (col, desc)
+            })
+            .collect();
+        RowKeys { ds, schema: schema.to_vec(), keys }
+    }
+
+    /// Plain column keys over an explicit dataset — the unit-test
+    /// constructor ((column, descending) pairs).
+    #[cfg(test)]
+    pub fn cols(ds: &'a Dataset, keys: Vec<(usize, bool)>) -> RowKeys<'a> {
+        RowKeys {
+            ds,
+            schema: Vec::new(),
+            keys: keys.into_iter().map(|(c, d)| (KeyCol::Col(c), d)).collect(),
+        }
+    }
+
+    /// Per-key descending flags.
+    pub fn descs(&self) -> Vec<bool> {
+        self.keys.iter().map(|&(_, d)| d).collect()
+    }
+
+    /// Resolves one row's key atoms (dictionary touched here, never in
+    /// comparisons).
+    pub fn atoms(&self, row: &[Id]) -> Vec<SortAtom<'a>> {
+        self.keys
+            .iter()
+            .map(|(k, _)| match k {
+                KeyCol::Col(c) => SortAtom::of_id(row[*c], self.ds),
+                KeyCol::Expr(e) => SortAtom::of_value(&e.eval(row, &self.schema, self.ds), self.ds),
+            })
+            .collect()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Distinct
 // ---------------------------------------------------------------------------
 
 /// Streams only the first occurrence of each row (compared as raw `Id`
-/// tuples, before any decode). The retained key set is the operator's only
-/// state — counted into [`ExecStats::peak_tuples`] alongside the emitted
-/// copy, since both are resident at once; rows already emitted flow on
-/// unchanged.
+/// tuples, before any decode). Three modes:
+///
+/// * whole-row hash dedup (the classic pipeline DISTINCT);
+/// * hash dedup over a column subset ([`Distinct::on_cols`]) — DISTINCT
+///   over the projected columns while helper sort columns ride along;
+/// * run dedup ([`Distinct::ordered`]) for order-eliminated pipelines
+///   whose delivered order makes equal dedup tuples *contiguous*: only
+///   the previous tuple is retained — O(1) state instead of a hash set.
+///
+/// Retained state is counted into [`ExecStats::peak_tuples`] alongside the
+/// emitted copy; rows already emitted flow on unchanged.
 pub struct Distinct<'a> {
     child: BoxedOperator<'a>,
-    seen: HashSet<Vec<Id>>,
+    /// Child columns forming the dedup tuple.
+    cols: Vec<usize>,
+    mode: DedupMode,
+}
+
+enum DedupMode {
+    /// Hash-set of every distinct tuple seen.
+    Hash(HashSet<Vec<Id>>),
+    /// Last emitted tuple only — valid when equal tuples are contiguous.
+    Ordered(Option<Vec<Id>>),
 }
 
 impl<'a> Distinct<'a> {
-    /// Wraps `child`, deduplicating its rows.
+    /// Wraps `child`, deduplicating whole rows.
     pub fn new(child: BoxedOperator<'a>) -> Self {
-        Distinct { child, seen: HashSet::new() }
+        let cols = (0..child.schema().len()).collect();
+        Distinct { child, cols, mode: DedupMode::Hash(HashSet::new()) }
+    }
+
+    /// Wraps `child`, deduplicating on the given child columns (first
+    /// arrival's full row survives).
+    pub fn on_cols(child: BoxedOperator<'a>, cols: Vec<usize>) -> Self {
+        Distinct { child, cols, mode: DedupMode::Hash(HashSet::new()) }
+    }
+
+    /// Run-based dedup on the given child columns. Correct only when the
+    /// child's delivered order makes equal dedup tuples contiguous — the
+    /// caller (the engine's order analysis) proves that.
+    pub fn ordered(child: BoxedOperator<'a>, cols: Vec<usize>) -> Self {
+        Distinct { child, cols, mode: DedupMode::Ordered(None) }
     }
 }
 
@@ -61,23 +167,46 @@ impl Operator for Distinct<'_> {
     fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
         let width = self.child.schema().len();
         let mut row_buf = vec![UNBOUND; width];
+        // Scratch dedup tuple, reused per row: duplicates (the common case
+        // this operator exists for) pay no allocation; only rows actually
+        // retained clone it.
+        let mut tuple: Vec<Id> = Vec::with_capacity(self.cols.len());
         loop {
             let batch = self.child.next_batch(stats)?;
             let mut out = Batch::with_schema(batch.schema().to_vec());
+            let mut retained = 0usize;
             for r in 0..batch.len() {
                 batch.read_row(r, &mut row_buf);
-                // contains-then-insert: duplicates (the common case this
-                // operator exists for) pay no allocation.
-                if !self.seen.contains(row_buf.as_slice()) {
-                    self.seen.insert(row_buf.clone());
-                    out.push_row(&row_buf);
+                tuple.clear();
+                tuple.extend(self.cols.iter().map(|&c| row_buf[c]));
+                match &mut self.mode {
+                    DedupMode::Hash(seen) => {
+                        // contains-then-insert keeps the miss path cheap.
+                        if !seen.contains(tuple.as_slice()) {
+                            seen.insert(tuple.clone());
+                            out.push_row(&row_buf);
+                            retained += 1;
+                        }
+                    }
+                    DedupMode::Ordered(last) => {
+                        if last.as_deref() != Some(tuple.as_slice()) {
+                            match last {
+                                Some(prev) => {
+                                    prev.clear();
+                                    prev.extend_from_slice(&tuple);
+                                }
+                                None => *last = Some(tuple.clone()),
+                            }
+                            out.push_row(&row_buf);
+                        }
+                    }
                 }
             }
             stats.shrink(batch.len());
             if !out.is_empty() {
-                // The retained `seen` copy stays resident for the rest of
-                // the query; the emitted copy is handed downstream.
-                stats.grow(2 * out.len());
+                // Hash mode retains one tuple per emitted row for the rest
+                // of the query; ordered mode holds only the last tuple.
+                stats.grow(out.len() + retained);
                 return Some(out);
             }
         }
@@ -224,9 +353,8 @@ impl Ord for HeapRow<'_> {
 /// term reference); comparisons never touch the dictionary again.
 pub struct TopK<'a> {
     child: BoxedOperator<'a>,
-    ds: &'a Dataset,
-    /// (child column, descending) per ORDER BY key.
-    keys: Vec<(usize, bool)>,
+    /// Resolved ORDER BY keys (columns, expressions, directions).
+    keys: RowKeys<'a>,
     offset: usize,
     /// Heap capacity: `offset + limit`.
     k: usize,
@@ -239,30 +367,24 @@ pub struct TopK<'a> {
 
 impl<'a> TopK<'a> {
     /// Wraps `child`, keeping the best `offset + limit` rows under `keys`
-    /// ((child column, descending) pairs) and emitting those past `offset`.
-    pub fn new(
+    /// and emitting those past `offset`.
+    pub(crate) fn new(
         child: BoxedOperator<'a>,
-        ds: &'a Dataset,
-        keys: Vec<(usize, bool)>,
+        keys: RowKeys<'a>,
         offset: usize,
         limit: usize,
     ) -> Self {
         let schema = child.schema().to_vec();
         let k = offset.saturating_add(limit);
-        TopK { child, ds, keys, offset, k, heap: BinaryHeap::new(), emit: None, seq: 0, schema }
+        TopK { child, keys, offset, k, heap: BinaryHeap::new(), emit: None, seq: 0, schema }
     }
 
     fn make_key(&self, row: &[Id]) -> Vec<KeyAtom<'a>> {
         self.keys
-            .iter()
-            .map(|&(col, desc)| {
-                let atom = SortAtom::of_id(row[col], self.ds);
-                if desc {
-                    KeyAtom::Desc(atom)
-                } else {
-                    KeyAtom::Asc(atom)
-                }
-            })
+            .atoms(row)
+            .into_iter()
+            .zip(self.keys.descs())
+            .map(|(atom, desc)| if desc { KeyAtom::Desc(atom) } else { KeyAtom::Asc(atom) })
             .collect()
     }
 }
@@ -278,6 +400,7 @@ impl Operator for TopK<'_> {
             let mut row_buf = vec![UNBOUND; width];
             if self.k > 0 {
                 while let Some(batch) = self.child.next_batch(stats) {
+                    stats.sorted_rows += batch.len() as u64;
                     for r in 0..batch.len() {
                         batch.read_row(r, &mut row_buf);
                         let key = self.make_key(&row_buf);
@@ -377,9 +500,8 @@ struct DistinctEntry<'a> {
 /// in final sorted order, which by construction equals the materializing
 /// fallback (stable sort → project → first-occurrence dedup) row for row.
 pub(crate) struct SortedDistinct<'a> {
-    ds: &'a Dataset,
-    /// (pipeline column, descending) per ORDER BY key.
-    keys: Vec<(usize, bool)>,
+    /// Resolved ORDER BY keys (columns, expressions, directions).
+    keys: RowKeys<'a>,
     descs: Vec<bool>,
     /// Pipeline columns whose values identify a distinct projected row.
     dedup_cols: Vec<usize>,
@@ -389,12 +511,11 @@ pub(crate) struct SortedDistinct<'a> {
 }
 
 impl<'a> SortedDistinct<'a> {
-    /// `keys` are (pipeline column, descending) sort keys; `dedup_cols`
-    /// the pipeline columns of the projected output.
-    pub fn new(ds: &'a Dataset, keys: Vec<(usize, bool)>, dedup_cols: Vec<usize>) -> Self {
-        let descs = keys.iter().map(|&(_, d)| d).collect();
+    /// `keys` are the resolved sort keys; `dedup_cols` the pipeline
+    /// columns of the projected output.
+    pub fn new(keys: RowKeys<'a>, dedup_cols: Vec<usize>) -> Self {
+        let descs = keys.descs();
         SortedDistinct {
-            ds,
             keys,
             descs,
             dedup_cols,
@@ -410,8 +531,8 @@ impl<'a> SortedDistinct<'a> {
     pub fn add_row(&mut self, row: &[Id], stats: &mut ExecStats) {
         let seq = self.seq;
         self.seq += 1;
-        let key: Vec<SortAtom<'a>> =
-            self.keys.iter().map(|&(col, _)| SortAtom::of_id(row[col], self.ds)).collect();
+        stats.sorted_rows += 1;
+        let key: Vec<SortAtom<'a>> = self.keys.atoms(row);
         let value: Vec<Id> = self.dedup_cols.iter().map(|&c| row[c]).collect();
         match self.best.get(&value) {
             None => {
@@ -705,6 +826,139 @@ impl<'a> GroupFold<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// OrderedGroupFold (streaming GROUP BY over group-clustered input)
+// ---------------------------------------------------------------------------
+
+/// GROUP BY fold for pipelines whose delivered order clusters each group's
+/// rows contiguously (the group slots are a prefix permutation of the
+/// delivered order): holds **one** group's accumulators at a time instead
+/// of a hash map over all groups, converting each group to its final
+/// solution row the moment the key changes — DISTINCT-aggregate id sets
+/// are freed per group instead of accumulating.
+///
+/// Emission order is group first-seen order, which over clustered input
+/// equals the hash fold's first-seen order exactly, and the per-row fold
+/// sequence is identical — results (floats included) are bit-identical to
+/// [`GroupFold`].
+pub(crate) struct OrderedGroupFold<'a, 'p> {
+    ds: &'a Dataset,
+    m: &'p ModifierPlan,
+    agg: &'p AggregatePlan,
+    /// Input column per group key.
+    group_cols: Vec<usize>,
+    /// Input column per aggregate (`None` = COUNT(*)), plus DISTINCT flag.
+    spec_cols: Vec<(Option<usize>, bool)>,
+    /// The one in-flight group.
+    active: Option<(Vec<Id>, Vec<AggState>)>,
+    /// Distinct-aggregate ids retained by the active group (released when
+    /// the group closes).
+    active_distinct: usize,
+    /// Finished solution rows, in group first-seen order.
+    rows: Vec<Vec<SolVal>>,
+    /// Resident entries registered with `stats` so far.
+    resident: usize,
+}
+
+impl<'a, 'p> OrderedGroupFold<'a, 'p> {
+    /// `schema` is the slot list of the rows that will be folded.
+    pub fn new(
+        m: &'p ModifierPlan,
+        agg: &'p AggregatePlan,
+        schema: &[usize],
+        ds: &'a Dataset,
+    ) -> Self {
+        let col_of = |slot: usize| {
+            schema.iter().position(|&v| v == slot).expect("modifier slot in pipeline schema")
+        };
+        OrderedGroupFold {
+            ds,
+            m,
+            agg,
+            group_cols: agg.group_slots.iter().map(|&s| col_of(s)).collect(),
+            spec_cols: agg
+                .specs
+                .iter()
+                .map(|spec| (spec.slot.map(col_of), spec.distinct))
+                .collect(),
+            active: None,
+            active_distinct: 0,
+            rows: Vec::new(),
+            resident: 0,
+        }
+    }
+
+    fn close_active(&mut self, stats: &mut ExecStats) {
+        if let Some((key, states)) = self.active.take() {
+            self.rows.push(group_row(&key, &states, self.m, self.agg));
+            // The distinct-id sets die with the accumulators; the group's
+            // one-row registration lives on as the emitted solution row.
+            stats.shrink(self.active_distinct);
+            self.resident -= self.active_distinct;
+            self.active_distinct = 0;
+        }
+    }
+
+    /// Folds one row; a key change closes the previous group.
+    pub fn add_row(&mut self, row: &[Id], stats: &mut ExecStats) {
+        let key: Vec<Id> = self.group_cols.iter().map(|&c| row[c]).collect();
+        let start_new = match &self.active {
+            Some((k, _)) => *k != key,
+            None => true,
+        };
+        if start_new {
+            self.close_active(stats);
+            self.active = Some((key, vec![AggState::new(); self.spec_cols.len()]));
+            stats.grow(1);
+            self.resident += 1;
+        }
+        let (_, states) = self.active.as_mut().expect("opened above");
+        // Identical per-row fold sequence to GroupFold::add_row, so float
+        // results cannot drift between the hash and the ordered fold.
+        for ((col, distinct), state) in self.spec_cols.iter().zip(states.iter_mut()) {
+            match col {
+                None => state.count += 1, // COUNT(*)
+                Some(c) => {
+                    let id = row[*c];
+                    if id == UNBOUND {
+                        continue;
+                    }
+                    if *distinct {
+                        if !state.seen.insert(id.0) {
+                            continue;
+                        }
+                        stats.grow(1);
+                        self.resident += 1;
+                        self.active_distinct += 1;
+                    }
+                    state.count += 1;
+                    if let Some(n) = self.ds.dict().numeric(id) {
+                        state.num_count += 1;
+                        state.sum += n;
+                        state.min = state.min.min(n);
+                        state.max = state.max.max(n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes the last group and returns the finished rows plus the
+    /// resident count to release once the result is laid out. An ungrouped
+    /// fold over empty input yields the implicit single group, like
+    /// [`GroupFold::finish`].
+    pub fn finish(mut self, stats: &mut ExecStats) -> (Vec<Vec<SolVal>>, usize) {
+        self.close_active(stats);
+        if self.group_cols.is_empty() && self.rows.is_empty() {
+            let states = vec![AggState::new(); self.spec_cols.len()];
+            self.rows.push(group_row(&[], &states, self.m, self.agg));
+            stats.grow(1);
+            self.resident += 1;
+        }
+        (self.rows, self.resident)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -791,7 +1045,12 @@ mod tests {
 
         let (offset, limit) = (5, 40);
         let mut tk_stats = ExecStats::default();
-        let topk = TopK::new(scan(&ds, "p/val", 0, 1), &ds, vec![(1, false)], offset, limit);
+        let topk = TopK::new(
+            scan(&ds, "p/val", 0, 1),
+            RowKeys::cols(&ds, vec![(1, false)]),
+            offset,
+            limit,
+        );
         let got = drain(Box::new(topk), &mut tk_stats);
         assert_eq!(got.len(), limit);
         for (g, (id, i)) in got.iter().zip(expected.iter().skip(offset).take(limit)) {

@@ -18,24 +18,72 @@
 
 use std::collections::HashMap;
 
+use parambench_rdf::index::IndexOrder;
+use parambench_rdf::store::Dataset;
+
 use crate::cardinality::{Estimate, Estimator};
 use crate::error::QueryError;
+use crate::exec::OrderExec;
 use crate::plan::{PlanNode, PlannedPattern};
 
 /// Maximum number of patterns for the exact subset DP (3^16 ≈ 43M partition
 /// enumerations is the practical ceiling; our workloads stay well below).
 pub const EXACT_LIMIT: usize = 13;
 
+/// Beyond this many patterns the DP keeps only one candidate per subset
+/// (no interesting-order exploration): the Pareto sets multiply the 3^n
+/// partition enumeration — and every candidate pays an O(subtree)
+/// property derivation — which is only worth it on
+/// realistic query sizes. Star/path templates stay well below this.
+/// (The per-candidate derivation is `Cand::of_plan`, private.)
+pub const ORDER_EXPLORE_LIMIT: usize = 8;
+
+/// Per-subset candidate cap — a safety valve on Pareto-set growth. The
+/// overall cheapest candidate always sorts first and is never dropped, so
+/// `Cout` optimality is unaffected.
+const MAX_CANDS: usize = 8;
+
+/// What the caller would like the final plan's delivered order to look
+/// like, plus how aggressively order-based operators may be chosen.
+#[derive(Debug, Clone, Default)]
+pub struct OrderPrefs {
+    /// Desired delivered-order prefix (the ORDER BY slots when every key
+    /// is a plain ascending variable; empty = no preference). A root
+    /// candidate delivering this prefix escapes the sort penalty.
+    pub sort: Vec<usize>,
+    /// Merge-join aggressiveness (see [`OrderExec`]). `Off` reproduces the
+    /// pre-order-aware planner exactly.
+    pub mode: OrderExec,
+}
+
 /// Produces the `Cout`-optimal (or greedily approximated) join tree for a
 /// set of required triple patterns.
 pub fn optimize(patterns: &[PlannedPattern], est: &Estimator<'_>) -> Result<PlanNode, QueryError> {
+    optimize_with(patterns, est, &OrderPrefs::default())
+}
+
+/// [`optimize`] with explicit interesting-order preferences. The DP keeps
+/// the cheapest plan **per delivered order**, not just overall, so an
+/// order-producing plan (a sorted index scan feeding a merge join) can win
+/// the root selection when it saves a downstream sort or hash build.
+///
+/// Selection is lexicographic: estimated `Cout` plus a sort penalty when
+/// the delivered order misses `prefs.sort` (the paper's cost function stays
+/// primary), then estimated hash-build rows (memory), then estimated
+/// scanned rows (I/O), then a deterministic structural tiebreak.
+pub fn optimize_with(
+    patterns: &[PlannedPattern],
+    est: &Estimator<'_>,
+    prefs: &OrderPrefs,
+) -> Result<PlanNode, QueryError> {
     match patterns.len() {
         0 => Err(QueryError::Unsupported("empty basic graph pattern".into())),
-        1 => Ok(PlanNode::Scan {
-            pattern: patterns[0].clone(),
-            est_card: est.scan(&patterns[0]).card,
-        }),
-        n if n <= EXACT_LIMIT => Ok(dp_optimal(patterns, est)),
+        1 => {
+            let e = est.scan(&patterns[0]);
+            let cands = leaf_cands(&patterns[0], e.card, est.dataset(), prefs);
+            Ok(pick_root(cands, e.card, prefs).plan)
+        }
+        n if n <= EXACT_LIMIT => Ok(dp_optimal(patterns, est, prefs)),
         _ => Ok(greedy(patterns, est)),
     }
 }
@@ -50,9 +98,141 @@ fn var_mask(pattern: &PlannedPattern) -> u64 {
     m
 }
 
-struct DpEntry {
+/// One Pareto candidate of a pattern subset: a plan plus the physical
+/// properties the order-aware selection compares. `cost` is the paper's
+/// `Cout`; `build`/`scan` are the memory/I/O tiebreaks; `order` is the
+/// delivered variable-slot order; `hashish` counts non-merge joins (the
+/// [`OrderExec::Force`] preference); `pref` is 0 for the legacy canonical
+/// orientation so exact ties reproduce the pre-order-aware plans.
+#[derive(Clone)]
+struct Cand {
     cost: f64,
+    build: f64,
+    scan: f64,
+    hashish: usize,
+    pref: u8,
+    order: Vec<usize>,
+    sig: String,
     plan: PlanNode,
+}
+
+impl Cand {
+    /// Builds a candidate around `plan`, deriving every physical property
+    /// from the single source of truth in `plan.rs`
+    /// (`delivered_order` / `est_build_rows` / `est_scan_rows`), so the
+    /// DP's tiebreaks can never drift from what the lowering will do.
+    fn of_plan(plan: PlanNode, cost: f64, pref: u8, ds: &Dataset) -> Cand {
+        fn hashish(plan: &PlanNode) -> usize {
+            match plan {
+                PlanNode::Scan { .. } => 0,
+                PlanNode::HashJoin { left, right, .. } => 1 + hashish(left) + hashish(right),
+                PlanNode::MergeJoin { left, right, .. } => hashish(left) + hashish(right),
+            }
+        }
+        Cand {
+            cost,
+            build: plan.est_build_rows(ds),
+            scan: plan.est_scan_rows(ds),
+            hashish: hashish(&plan),
+            pref,
+            order: plan.delivered_order(ds),
+            sig: plan.signature().0,
+            plan,
+        }
+    }
+}
+
+/// Total deterministic candidate order: better-first.
+fn cmp_cands(a: &Cand, b: &Cand, force: bool) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    a.cost
+        .partial_cmp(&b.cost)
+        .unwrap_or(Ordering::Equal)
+        .then(a.build.partial_cmp(&b.build).unwrap_or(Ordering::Equal))
+        .then(if force { a.hashish.cmp(&b.hashish) } else { Ordering::Equal })
+        .then(a.scan.partial_cmp(&b.scan).unwrap_or(Ordering::Equal))
+        .then(a.pref.cmp(&b.pref))
+        .then_with(|| a.sig.cmp(&b.sig))
+}
+
+/// Prunes a candidate list: sorted better-first, a candidate is dropped
+/// when an already-kept (hence no-worse) candidate's order extends its
+/// order — everything the dropped plan's order could later enable, the
+/// kept plan enables at no extra cost. Capped at [`MAX_CANDS`]; the
+/// overall best candidate always survives.
+fn prune_cands(mut cands: Vec<Cand>, force: bool) -> Vec<Cand> {
+    cands.sort_by(|a, b| cmp_cands(a, b, force));
+    let mut kept: Vec<Cand> = Vec::new();
+    for c in cands {
+        if kept.len() >= MAX_CANDS {
+            break;
+        }
+        if kept.iter().any(|k| k.order.starts_with(&c.order)) {
+            continue;
+        }
+        kept.push(c);
+    }
+    kept
+}
+
+/// All scan candidates of one pattern: the default index plus (in
+/// exploration mode) every alternative index whose delivered order
+/// differs — same rows, different interesting order.
+fn leaf_cands(pattern: &PlannedPattern, card: f64, ds: &Dataset, prefs: &OrderPrefs) -> Vec<Cand> {
+    let mk = |order: Option<IndexOrder>, pref: u8| {
+        Cand::of_plan(
+            PlanNode::Scan { pattern: pattern.clone(), est_card: card, order },
+            0.0,
+            pref,
+            ds,
+        )
+    };
+    let mut cands = vec![mk(None, 0)];
+    if prefs.mode != OrderExec::Off && !pattern.has_absent() {
+        let access = pattern.access();
+        let default = Dataset::default_order(access);
+        for order in
+            IndexOrder::all_for_bound(access[0].is_some(), access[1].is_some(), access[2].is_some())
+        {
+            if order == default {
+                continue;
+            }
+            let cand = mk(Some(order), 1);
+            if cands.iter().any(|c| c.order == cand.order) {
+                continue;
+            }
+            cands.push(cand);
+        }
+    }
+    cands
+}
+
+/// The root-candidate selection: minimum `Cout` plus the estimated cost of
+/// the sort the plan would force (zero when its delivered order serves
+/// `prefs.sort`), tie-broken like every other candidate comparison.
+fn pick_root(cands: Vec<Cand>, card: f64, prefs: &OrderPrefs) -> Cand {
+    let penalty = |c: &Cand| -> f64 {
+        if prefs.sort.is_empty() || c.order.starts_with(&prefs.sort) {
+            0.0
+        } else {
+            // n·log2(n) comparisons the avoided sort would have cost.
+            card.max(1.0) * card.max(2.0).log2()
+        }
+    };
+    let force = prefs.mode == OrderExec::Force;
+    cands
+        .into_iter()
+        .min_by(|a, b| {
+            use std::cmp::Ordering;
+            // Penalized total first, then the shared candidate tiebreak
+            // chain (whose leading raw-cost compare only matters on
+            // equal penalized totals, where it stays deterministic).
+            (a.cost + penalty(a))
+                .partial_cmp(&(b.cost + penalty(b)))
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| cmp_cands(a, b, force))
+        })
+        .expect("non-empty candidate set")
 }
 
 /// The canonical estimate of a pattern *subset*: scans folded in ascending
@@ -90,31 +270,37 @@ pub fn subset_estimate(patterns: &[PlannedPattern], est: &Estimator<'_>) -> Esti
     acc.expect("non-empty pattern set").0
 }
 
-/// Exact bitset DP over all pattern subsets.
+/// Exact bitset DP over all pattern subsets, keeping a pruned Pareto set
+/// of candidates per subset — the cheapest overall plus the cheapest per
+/// distinct *delivered order* (see [`Cand`] / [`prune_cands`]).
 ///
 /// `Cout(T) = Σ canonical-card(leafset(n))` over internal nodes `n`, so the
 /// cost of a plan depends only on which subsets its joins materialize — the
-/// textbook setting in which subset DP is provably optimal.
-fn dp_optimal(patterns: &[PlannedPattern], est: &Estimator<'_>) -> PlanNode {
+/// textbook setting in which subset DP is provably optimal. Every subset's
+/// best-first candidate is exactly the old single-plan DP's entry, so
+/// `Cout` optimality of the returned root is preserved; the extra
+/// candidates only ever *win* the root selection through the sort penalty
+/// or the build/scan tiebreaks.
+fn dp_optimal(patterns: &[PlannedPattern], est: &Estimator<'_>, prefs: &OrderPrefs) -> PlanNode {
+    let ds = est.dataset();
     let n = patterns.len();
+    // Interesting-order exploration multiplies the partition enumeration;
+    // above the limit (or when ordered execution is off) the DP keeps one
+    // candidate per subset, which reproduces the legacy planner.
+    let explore = prefs.mode != OrderExec::Off && n <= ORDER_EXPLORE_LIMIT;
+    let force = prefs.mode == OrderExec::Force;
+    let cap = if explore { MAX_CANDS } else { 1 };
     let full = (1usize << n) - 1;
     let masks: Vec<u64> = patterns.iter().map(var_mask).collect();
-    let mut best: Vec<Option<DpEntry>> = Vec::with_capacity(full + 1);
-    let mut subset_est: Vec<Option<Estimate>> = Vec::with_capacity(full + 1);
-    best.push(None); // empty set
-    subset_est.push(None);
-    for _ in 1..=full {
-        best.push(None);
-        subset_est.push(None);
-    }
+    let mut cands: Vec<Vec<Cand>> = vec![Vec::new(); full + 1];
+    let mut subset_est: Vec<Option<Estimate>> = vec![None; full + 1];
 
     // Leaves.
     for (i, p) in patterns.iter().enumerate() {
         let e = est.scan(p);
-        best[1 << i] = Some(DpEntry {
-            cost: 0.0,
-            plan: PlanNode::Scan { pattern: p.clone(), est_card: e.card },
-        });
+        let mut leaf = leaf_cands(p, e.card, ds, prefs);
+        leaf.truncate(cap.max(1));
+        cands[1 << i] = leaf;
         subset_est[1 << i] = Some(e);
     }
 
@@ -148,6 +334,7 @@ fn dp_optimal(patterns: &[PlannedPattern], est: &Estimator<'_>) -> PlanNode {
         // bit of s. Cross-product partitions participate too (`Cout`
         // decides) so the DP is truly optimal, matching the exhaustive
         // oracle even on disconnected join graphs.
+        let mut new_cands: Vec<Cand> = Vec::new();
         let low = s & s.wrapping_neg();
         let mut s1 = s;
         while s1 > 0 {
@@ -159,39 +346,105 @@ fn dp_optimal(patterns: &[PlannedPattern], est: &Estimator<'_>) -> PlanNode {
                 continue;
             }
             let s2 = s ^ s1;
-            let shared = subset_vars[s1] & subset_vars[s2];
-            let (Some(e1), Some(e2)) = (&best[s1], &best[s2]) else {
+            if cands[s1].is_empty() || cands[s2].is_empty() {
                 continue;
-            };
+            }
+            let shared = subset_vars[s1] & subset_vars[s2];
             let join_vars: Vec<usize> = (0..64).filter(|&v| shared & (1 << v) != 0).collect();
-            let cost = e1.cost + e2.cost + subset_card;
-            let better = match &best[s] {
-                None => true,
-                Some(cur) => cost < cur.cost,
-            };
-            if better {
-                // Both child orders cost the same under Cout; canonicalize
-                // build side = smaller-estimate side for determinism.
-                let (l, r) = if subset_est[s1].as_ref().expect("computed").card
-                    <= subset_est[s2].as_ref().expect("computed").card
-                {
-                    (s1, s2)
-                } else {
-                    (s2, s1)
-                };
-                let (Some(le), Some(re)) = (&best[l], &best[r]) else { unreachable!() };
-                let plan = PlanNode::HashJoin {
-                    left: Box::new(le.plan.clone()),
-                    right: Box::new(re.plan.clone()),
-                    join_vars,
-                    est_card: subset_card,
-                };
-                best[s] = Some(DpEntry { cost, plan });
+            // Canonical orientation: smaller-estimate side left (ties keep
+            // the lowest-bit side left), exactly like the legacy DP.
+            let card1 = subset_est[s1].as_ref().expect("computed").card;
+            let card2 = subset_est[s2].as_ref().expect("computed").card;
+            let canonical = if card1 <= card2 { (s1, s2) } else { (s2, s1) };
+            let orientations: Vec<(usize, usize)> =
+                if explore { vec![(s1, s2), (s2, s1)] } else { vec![canonical] };
+            for &(l, r) in &orientations {
+                hash_cands(
+                    &cands[l],
+                    &cands[r],
+                    &join_vars,
+                    subset_card,
+                    (l, r) == canonical,
+                    ds,
+                    &mut new_cands,
+                );
+                if explore && !join_vars.is_empty() {
+                    merge_cands(&cands[l], &cands[r], &join_vars, subset_card, ds, &mut new_cands);
+                }
             }
         }
+        let mut pruned = prune_cands(new_cands, force);
+        pruned.truncate(cap);
+        cands[s] = pruned;
     }
 
-    best[full].take().expect("DP covers the full set").plan
+    let root_card = subset_est[full].as_ref().map(|e| e.card).unwrap_or(0.0);
+    pick_root(std::mem::take(&mut cands[full]), root_card, prefs).plan
+}
+
+/// Emits the hash/bind-join candidates of one oriented split. The stream
+/// side's candidates each contribute their delivered order; the build side
+/// uses its best candidate only (its order is destroyed by the build).
+fn hash_cands(
+    left: &[Cand],
+    right: &[Cand],
+    join_vars: &[usize],
+    card: f64,
+    canonical: bool,
+    ds: &Dataset,
+    out: &mut Vec<Cand>,
+) {
+    // Which side streams is a subset-level property (estimates and scan
+    // extents), identical for every candidate pair — mirror PlanNode::lower.
+    let binds = PlanNode::binds_right(&left[0].plan, &right[0].plan, join_vars, ds);
+    let streams_left = binds || right[0].plan.est_card() <= left[0].plan.est_card();
+    let (stream_side, other_side) = if streams_left { (left, right) } else { (right, left) };
+    for sc in stream_side {
+        let oc = &other_side[0];
+        let (lc, rc) = if streams_left { (sc, oc) } else { (oc, sc) };
+        let plan = PlanNode::HashJoin {
+            left: Box::new(lc.plan.clone()),
+            right: Box::new(rc.plan.clone()),
+            join_vars: join_vars.to_vec(),
+            est_card: card,
+        };
+        let pref = if canonical { sc.pref } else { 1 };
+        out.push(Cand::of_plan(plan, lc.cost + rc.cost + card, pref, ds));
+    }
+}
+
+/// Emits the merge-join candidates of one oriented split: every candidate
+/// pair whose delivered orders both start with the same permutation of the
+/// join variables zips without a build phase, delivering the left order.
+fn merge_cands(
+    left: &[Cand],
+    right: &[Cand],
+    join_vars: &[usize],
+    card: f64,
+    ds: &Dataset,
+    out: &mut Vec<Cand>,
+) {
+    for lc in left {
+        if lc.order.len() < join_vars.len() {
+            continue;
+        }
+        let key = &lc.order[..join_vars.len()];
+        if !join_vars.iter().all(|v| key.contains(v)) {
+            continue;
+        }
+        for rc in right {
+            if !rc.order.starts_with(key) {
+                continue;
+            }
+            let plan = PlanNode::MergeJoin {
+                left: Box::new(lc.plan.clone()),
+                right: Box::new(rc.plan.clone()),
+                key: key.to_vec(),
+                est_card: card,
+            };
+            out.push(Cand::of_plan(plan, lc.cost + rc.cost + card, 1, ds));
+        }
+    }
 }
 
 /// Greedy join ordering: start from the smallest pattern, repeatedly join
@@ -211,7 +464,7 @@ pub fn greedy(patterns: &[PlannedPattern], est: &Estimator<'_>) -> PlanNode {
         .map(|(i, _)| i)
         .expect("non-empty");
     let (p0, e0) = remaining.swap_remove(start);
-    let mut plan = PlanNode::Scan { pattern: p0, est_card: e0.card };
+    let mut plan = PlanNode::Scan { pattern: p0, est_card: e0.card, order: None };
     let mut cur = e0;
     let mut cur_vars = plan.var_slots();
 
@@ -240,7 +493,7 @@ pub fn greedy(patterns: &[PlannedPattern], est: &Estimator<'_>) -> PlanNode {
         }
         plan = PlanNode::HashJoin {
             left: Box::new(plan),
-            right: Box::new(PlanNode::Scan { pattern: p, est_card: e.card }),
+            right: Box::new(PlanNode::Scan { pattern: p, est_card: e.card, order: None }),
             join_vars: best_shared,
             est_card: joined.card,
         };
@@ -256,11 +509,12 @@ pub fn greedy(patterns: &[PlannedPattern], est: &Estimator<'_>) -> PlanNode {
 /// pattern set; returns those leaves.
 pub fn annotate_canonical(plan: &mut PlanNode, est: &Estimator<'_>) -> Vec<PlannedPattern> {
     match plan {
-        PlanNode::Scan { pattern, est_card } => {
+        PlanNode::Scan { pattern, est_card, .. } => {
             *est_card = est.scan(pattern).card;
             vec![pattern.clone()]
         }
-        PlanNode::HashJoin { left, right, est_card, .. } => {
+        PlanNode::HashJoin { left, right, est_card, .. }
+        | PlanNode::MergeJoin { left, right, est_card, .. } => {
             let mut leaves = annotate_canonical(left, est);
             leaves.extend(annotate_canonical(right, est));
             *est_card = subset_estimate(&leaves, est).card;
@@ -286,7 +540,7 @@ pub fn exhaustive_min_cout(
             return c;
         }
         let members: Vec<PlannedPattern> = (0..patterns.len())
-            .filter(|i| mask & (1 << i) != 0)
+            .filter(|&i| mask & (1 << i) != 0)
             .map(|i| patterns[i].clone())
             .collect();
         let c = subset_estimate(&members, est).card;
@@ -347,7 +601,7 @@ pub fn exhaustive_min_cout(
         .enumerate()
         .map(|(i, p)| {
             let e = est.scan(p);
-            (PlanNode::Scan { pattern: p.clone(), est_card: e.card }, 1usize << i, 0.0)
+            (PlanNode::Scan { pattern: p.clone(), est_card: e.card, order: None }, 1usize << i, 0.0)
         })
         .collect();
     if items.len() == 1 {
@@ -384,7 +638,7 @@ pub fn reestimate(plan: &PlanNode, est: &Estimator<'_>) -> Estimate {
     fn leaves(plan: &PlanNode, out: &mut Vec<PlannedPattern>) {
         match plan {
             PlanNode::Scan { pattern, .. } => out.push(pattern.clone()),
-            PlanNode::HashJoin { left, right, .. } => {
+            PlanNode::HashJoin { left, right, .. } | PlanNode::MergeJoin { left, right, .. } => {
                 leaves(left, out);
                 leaves(right, out);
             }
@@ -551,6 +805,80 @@ mod tests {
         let (oracle, _) = exhaustive_min_cout(&pats, &est).unwrap();
         assert!((dp.est_cout() - oracle).abs() < 1e-6);
         assert_eq!(dp.leaf_count(), 3);
+    }
+
+    /// A multiplying star: every product carries several features, so the
+    /// (type ⋈ feature) intermediate exceeds the price extent and the
+    /// legacy planner must hash-build — exactly where the order-aware DP
+    /// should find the all-merge plan instead.
+    fn multiplying_star() -> Dataset {
+        let mut b = StoreBuilder::new();
+        for i in 0..200 {
+            let s = Term::iri(format!("prod/{i:04}"));
+            b.insert(s.clone(), Term::iri("p/type"), Term::iri("class/x"));
+            for f in 0..5 {
+                b.insert(
+                    s.clone(),
+                    Term::iri("p/feature"),
+                    Term::iri(format!("feat/{}", (i + f) % 40)),
+                );
+            }
+            b.insert(s, Term::iri("p/price"), Term::integer((i % 97) as i64));
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn forced_order_mode_produces_an_all_merge_star_plan() {
+        let ds = multiplying_star();
+        let est = Estimator::new(&ds);
+        let pats = vec![
+            pattern(&ds, 0, "p/type", Some("class/x"), 0, 9),
+            pattern(&ds, 1, "p/feature", None, 0, 1),
+            pattern(&ds, 2, "p/price", None, 0, 2),
+        ];
+        let legacy =
+            optimize_with(&pats, &est, &OrderPrefs { sort: vec![], mode: OrderExec::Off }).unwrap();
+        let forced =
+            optimize_with(&pats, &est, &OrderPrefs { sort: vec![], mode: OrderExec::Force })
+                .unwrap();
+        // Same Cout (the paper's cost is join-method blind)...
+        assert!((forced.est_cout() - legacy.est_cout()).abs() < 1e-6);
+        // ...but every join zips: all three scans deliver the shared
+        // subject first, so the whole star runs merge-only, build-free.
+        assert_eq!(forced.est_build_rows(&ds), 0.0, "plan: {}", forced.render_physical(&ds, 0));
+        assert!(forced.signature().0.contains("MJ("), "{}", forced.signature());
+        assert_eq!(forced.leaf_count(), 3);
+        // The delivered order leads with the shared subject slot.
+        assert_eq!(forced.delivered_order(&ds).first(), Some(&0));
+        // Auto mode keeps the selective bind plan here (binds touch less
+        // data than a full right-side zip) — merge never displaces a bind.
+        let auto = optimize(&pats, &est).unwrap();
+        assert!((auto.est_cout() - legacy.est_cout()).abs() < 1e-6);
+        assert_eq!(auto.est_build_rows(&ds), 0.0);
+    }
+
+    #[test]
+    fn sort_preference_flips_the_root_to_an_order_compatible_plan() {
+        let ds = multiplying_star();
+        let est = Estimator::new(&ds);
+        let pats = vec![
+            pattern(&ds, 0, "p/type", Some("class/x"), 0, 9),
+            pattern(&ds, 1, "p/price", None, 0, 1),
+        ];
+        // Without preferences: some plan sorted by the subject.
+        let plain = optimize(&pats, &est).unwrap();
+        assert_eq!(plain.delivered_order(&ds).first(), Some(&0));
+        // Preferring the price slot: the DP keeps the POS-scan candidate
+        // per its distinct order and the root picks it (Cout ties).
+        let prefs = OrderPrefs { sort: vec![1], mode: OrderExec::Auto };
+        let by_price = optimize_with(&pats, &est, &prefs).unwrap();
+        assert!(
+            by_price.delivered_order(&ds).starts_with(&[1]),
+            "expected a price-ordered plan, got {}",
+            by_price.render_physical(&ds, 0)
+        );
+        assert!((by_price.est_cout() - plain.est_cout()).abs() < 1e-6, "Cout stays optimal");
     }
 
     #[test]

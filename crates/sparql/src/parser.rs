@@ -9,7 +9,7 @@
 //! Group      := ( Triples "."? | "FILTER" "(" Expr ")" | "OPTIONAL" "{" Group "}" )*
 //! Triples    := VarOrTerm VarOrTerm VarOrTerm ( ";" VarOrTerm VarOrTerm )* ( "," VarOrTerm )*
 //! Modifiers  := ("GROUP" "BY" Var+)? ("ORDER" "BY" OrderKey+)? ("LIMIT" INT)? ("OFFSET" INT)?
-//! OrderKey   := Var | ("ASC"|"DESC") "(" Var ")"
+//! OrderKey   := Var | "(" Expr ")" | ("ASC"|"DESC") "(" Expr ")"
 //! ```
 //!
 //! Terms: `<iri>`, `prefix:local`, `?var`, `%param`, `"literal"(@lang|^^dt)?`,
@@ -476,18 +476,22 @@ impl Parser {
                 match self.peek() {
                     Some(Tok::Var(_)) => {
                         if let Some(Tok::Var(v)) = self.next() {
-                            order_by.push(OrderKey { var: v, descending: false });
+                            order_by.push(OrderKey::var(v, false));
                         }
                     }
                     Some(Tok::Kw("ASC")) | Some(Tok::Kw("DESC")) => {
                         let descending = matches!(self.next(), Some(Tok::Kw("DESC")));
                         self.expect_punct('(')?;
-                        let var = match self.next() {
-                            Some(Tok::Var(v)) => v,
-                            _ => return Err(self.err("expected variable in ORDER BY key")),
-                        };
+                        let target = self.order_target()?;
                         self.expect_punct(')')?;
-                        order_by.push(OrderKey { var, descending });
+                        order_by.push(OrderKey { target, descending });
+                    }
+                    // Bare parenthesized expression key: ORDER BY (?a + ?b).
+                    Some(Tok::Punct('(')) => {
+                        self.pos += 1;
+                        let target = self.order_target()?;
+                        self.expect_punct(')')?;
+                        order_by.push(OrderKey { target, descending: false });
                     }
                     _ => break,
                 }
@@ -507,6 +511,17 @@ impl Parser {
         }
 
         Ok(SelectQuery { distinct, projections, where_clause, group_by, order_by, limit, offset })
+    }
+
+    /// One ORDER BY key body (inside ASC()/DESC()/bare parens): a full
+    /// expression; a lone variable stays a name key so aggregate aliases
+    /// keep resolving by name.
+    fn order_target(&mut self) -> Result<crate::ast::OrderTarget, QueryError> {
+        let expr = self.expr()?;
+        Ok(match expr {
+            Expr::Var(v) => crate::ast::OrderTarget::Var(v),
+            other => crate::ast::OrderTarget::Expr(other),
+        })
     }
 
     fn expect_uint(&mut self) -> Result<usize, QueryError> {

@@ -51,6 +51,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use parambench_rdf::dict::Id;
+use parambench_rdf::index::IndexOrder;
 use parambench_rdf::store::Dataset;
 
 use crate::ast::Expr;
@@ -222,23 +223,49 @@ struct ScanState<'a> {
 }
 
 impl<'a> IndexScan<'a> {
-    /// Scans the pattern's full index range.
+    /// Scans the pattern's full index range (default index order).
     pub fn new(ds: &'a Dataset, pattern: &PlannedPattern) -> Self {
-        Self::over(ds, pattern, None)
+        Self::over(ds, pattern, None, None)
+    }
+
+    /// Scans the pattern out of an explicitly chosen permutation index
+    /// (`None` = default): same rows, delivered sorted by that index's
+    /// unbound key positions — the order the plan layer advertises through
+    /// `PlanNode::delivered_order`.
+    pub fn with_order(
+        ds: &'a Dataset,
+        pattern: &PlannedPattern,
+        order: Option<IndexOrder>,
+    ) -> Self {
+        Self::over(ds, pattern, order, None)
     }
 
     /// Scans only rows `[start, end)` of the pattern's index range — one
     /// morsel of a parallel scan. Consecutive morsels concatenated in
-    /// index order reproduce [`IndexScan::new`] exactly.
-    pub fn morsel(ds: &'a Dataset, pattern: &PlannedPattern, start: usize, end: usize) -> Self {
-        Self::over(ds, pattern, Some((start, end)))
+    /// index order reproduce [`IndexScan::with_order`] of the same order
+    /// exactly.
+    pub fn morsel(
+        ds: &'a Dataset,
+        pattern: &PlannedPattern,
+        order: Option<IndexOrder>,
+        start: usize,
+        end: usize,
+    ) -> Self {
+        Self::over(ds, pattern, order, Some((start, end)))
     }
 
-    fn over(ds: &'a Dataset, pattern: &PlannedPattern, slice: Option<(usize, usize)>) -> Self {
+    fn over(
+        ds: &'a Dataset,
+        pattern: &PlannedPattern,
+        order: Option<IndexOrder>,
+        slice: Option<(usize, usize)>,
+    ) -> Self {
         let schema = pattern.var_slots();
         if pattern.has_absent() {
             return IndexScan { schema, state: None };
         }
+        let access = pattern.access();
+        let order = order.unwrap_or_else(|| Dataset::default_order(access));
         let col_pos: Vec<usize> = schema
             .iter()
             .map(|&v| {
@@ -251,8 +278,8 @@ impl<'a> IndexScan<'a> {
             .collect();
         let eq_pairs = eq_pairs(pattern);
         let iter: Box<dyn Iterator<Item = [Id; 3]> + 'a> = match slice {
-            None => Box::new(ds.scan(pattern.access())),
-            Some((start, end)) => Box::new(ds.scan_slice(pattern.access(), start, end)),
+            None => Box::new(ds.scan_with(access, order)),
+            Some((start, end)) => Box::new(ds.scan_slice_with(access, order, start, end)),
         };
         IndexScan { schema, state: Some(ScanState { iter, col_pos, eq_pairs }) }
     }
@@ -377,6 +404,7 @@ impl HashJoinBuild {
                 rows.push_row(&row_buf);
             }
         }
+        stats.build_rows += rows.len() as u64;
         HashJoinBuild { rows, partitions: vec![table], hasher: RandomState::new() }
     }
 
@@ -388,6 +416,7 @@ impl HashJoinBuild {
     pub fn build_partitioned(
         ds: &Dataset,
         pattern: &PlannedPattern,
+        order: Option<IndexOrder>,
         join_vars: &[usize],
         cfg: &ExecConfig,
         stats: &mut ExecStats,
@@ -420,13 +449,14 @@ impl HashJoinBuild {
         // morsel-indexed slots.
         let exchange = Exchange::new(ds.count(pattern.access()), cfg.morsel_rows);
         let access = pattern.access();
+        let scan_order = order.unwrap_or_else(|| Dataset::default_order(access));
         let extract = |m: usize| -> (Vec<Id>, Vec<u64>, u64) {
             let morsel = exchange.morsel(m);
             let mut flat = Vec::new();
             let mut hashes = Vec::new();
             let mut scanned = 0u64;
             let mut row = vec![UNBOUND; width];
-            for triple in ds.scan_slice(access, morsel.start, morsel.end) {
+            for triple in ds.scan_slice_with(access, scan_order, morsel.start, morsel.end) {
                 scanned += 1;
                 if eq.iter().any(|&(i, j)| triple[i] != triple[j]) {
                     continue;
@@ -474,6 +504,7 @@ impl HashJoinBuild {
         let partitions = scatter(nparts, cfg.threads, &fill);
 
         stats.grow(rows.len());
+        stats.build_rows += rows.len() as u64;
         HashJoinBuild { rows, partitions, hasher }
     }
 
@@ -905,6 +936,277 @@ impl Operator for BindJoin<'_> {
             self.finish(stats);
         }
         if out.is_empty() {
+            return None;
+        }
+        // Per-batch Cout reporting: survives downstream LIMIT early exit.
+        self.recorder.record(stats, out.len() as u64);
+        stats.grow(out.len());
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge join (order-aware, no build phase)
+// ---------------------------------------------------------------------------
+
+/// Streaming merge join of two inputs that both deliver `key` as the
+/// leading prefix of their sorted order (ascending ids — which the
+/// value-ordered dictionary makes ascending ORDER BY order).
+///
+/// Neither side is materialized: the left streams row by row, the right is
+/// consumed through a monotone cursor, and only the right rows of the
+/// *current* key run are buffered (released when the run ends) — the
+/// zero-`build_rows` replacement for a hash join whose build side the
+/// optimizer can prove arrives sorted. Output is emitted left-major (for
+/// each left row, its matching right run in right order), which both
+/// preserves the left side's delivered order for downstream consumers and
+/// makes the output sequence bit-identical to a hash join that builds the
+/// right side and streams the left — the equivalence the forced-off
+/// differential lowering relies on.
+///
+/// On exhaustion of either side the other is drained to completion, so
+/// sub-join `Cout` and `scanned` match the hash lowering exactly (a
+/// downstream LIMIT that stops pulling skips the drain on both paths).
+pub struct MergeJoin<'a> {
+    schema: Vec<usize>,
+    left: BoxedOperator<'a>,
+    right: BoxedOperator<'a>,
+    left_key_cols: Vec<usize>,
+    right_key_cols: Vec<usize>,
+    /// (output column, right column) for right-only columns.
+    right_only: Vec<(usize, usize)>,
+    recorder: JoinCardRecorder,
+    /// In-progress left batch: (batch, row index, run offset).
+    lcursor: Option<(Batch, usize, usize)>,
+    /// Unconsumed right batch + position (the monotone cursor).
+    rbatch: Option<(Batch, usize)>,
+    right_done: bool,
+    /// Key of the buffered right run, if any.
+    run_key: Option<Vec<Id>>,
+    /// Right rows matching `run_key`, in right arrival order.
+    run: Vec<Vec<Id>>,
+    #[cfg(debug_assertions)]
+    prev_left_key: Option<Vec<Id>>,
+    done: bool,
+}
+
+impl<'a> MergeJoin<'a> {
+    /// A merge join of `left ⋈ right` on `key` (a shared-variable sequence
+    /// both inputs deliver as their leading sort order).
+    pub fn new(
+        left: BoxedOperator<'a>,
+        right: BoxedOperator<'a>,
+        key: &[usize],
+        signature: String,
+        bucket: CoutBucket,
+    ) -> Self {
+        assert!(!key.is_empty(), "merge join needs a non-empty key");
+        let mut schema: Vec<usize> = left.schema().to_vec();
+        for &v in right.schema() {
+            if !schema.contains(&v) {
+                schema.push(v);
+            }
+        }
+        let col_in = |s: &[usize], v: usize| s.iter().position(|&c| c == v);
+        let left_key_cols: Vec<usize> =
+            key.iter().map(|&v| col_in(left.schema(), v).expect("key var in left")).collect();
+        let right_key_cols: Vec<usize> =
+            key.iter().map(|&v| col_in(right.schema(), v).expect("key var in right")).collect();
+        let right_only: Vec<(usize, usize)> = schema
+            .iter()
+            .enumerate()
+            .skip(left.schema().len())
+            .map(|(k, &v)| (k, col_in(right.schema(), v).expect("right-only var in right")))
+            .collect();
+        MergeJoin {
+            schema,
+            left,
+            right,
+            left_key_cols,
+            right_key_cols,
+            right_only,
+            recorder: JoinCardRecorder::new(signature, bucket),
+            lcursor: None,
+            rbatch: None,
+            right_done: false,
+            run_key: None,
+            run: Vec::new(),
+            #[cfg(debug_assertions)]
+            prev_left_key: None,
+            done: false,
+        }
+    }
+
+    /// Clears the buffered run, then advances the right cursor to `key`:
+    /// skips smaller keys, buffers the equal-key run, stops at the first
+    /// greater key (kept as lookahead). The cursor never moves backwards —
+    /// left keys arrive non-decreasing.
+    fn advance_right_to(&mut self, key: &[Id], stats: &mut ExecStats) {
+        stats.shrink(self.run.len());
+        self.run.clear();
+        self.run_key = None;
+        let width = self.right.schema().len();
+        let mut row_buf = vec![UNBOUND; width];
+        'advance: loop {
+            let (batch, idx) = match self.rbatch.as_mut() {
+                Some(c) => c,
+                None => {
+                    if self.right_done {
+                        break 'advance;
+                    }
+                    match self.right.next_batch(stats) {
+                        Some(b) => {
+                            self.rbatch = Some((b, 0));
+                            continue 'advance;
+                        }
+                        None => {
+                            self.right_done = true;
+                            break 'advance;
+                        }
+                    }
+                }
+            };
+            if *idx >= batch.len() {
+                let released = batch.len();
+                self.rbatch = None;
+                stats.shrink(released);
+                continue 'advance;
+            }
+            let mut cmp = std::cmp::Ordering::Equal;
+            for (&kc, &kv) in self.right_key_cols.iter().zip(key) {
+                match batch.value(*idx, kc).cmp(&kv) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => {
+                        cmp = other;
+                        break;
+                    }
+                }
+            }
+            match cmp {
+                std::cmp::Ordering::Less => *idx += 1,
+                std::cmp::Ordering::Equal => {
+                    batch.read_row(*idx, &mut row_buf);
+                    self.run.push(row_buf.clone());
+                    stats.grow(1);
+                    *idx += 1;
+                }
+                std::cmp::Ordering::Greater => break 'advance,
+            }
+        }
+        if !self.run.is_empty() {
+            self.run_key = Some(key.to_vec());
+        }
+    }
+
+    /// Pulls-and-releases the rest of an operator (exhaustion drain): the
+    /// side that outlives its partner still runs to completion so its
+    /// sub-joins report `Cout` and scans exactly as the hash lowering does.
+    fn drain_rest(op: &mut BoxedOperator<'_>, stats: &mut ExecStats) {
+        while let Some(batch) = op.next_batch(stats) {
+            stats.shrink(batch.len());
+        }
+    }
+
+    fn finish(&mut self, stats: &mut ExecStats) {
+        stats.shrink(self.run.len());
+        self.run.clear();
+        self.run_key = None;
+        if let Some((batch, _)) = self.rbatch.take() {
+            stats.shrink(batch.len());
+        }
+        Self::drain_rest(&mut self.right, stats);
+        if let Some((batch, _, _)) = self.lcursor.take() {
+            stats.shrink(batch.len());
+        }
+        Self::drain_rest(&mut self.left, stats);
+        self.recorder.record(stats, 0);
+        self.done = true;
+    }
+}
+
+impl Operator for MergeJoin<'_> {
+    fn schema(&self) -> &[usize] {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        let left_width = self.left.schema().len();
+        let mut out = Batch::with_schema(self.schema.clone());
+        let mut row_buf = vec![UNBOUND; self.schema.len()];
+        let mut exhausted = false;
+        'fill: while !out.is_full() {
+            if self.lcursor.is_none() {
+                match self.left.next_batch(stats) {
+                    Some(batch) => self.lcursor = Some((batch, 0, 0)),
+                    None => {
+                        exhausted = true;
+                        break 'fill;
+                    }
+                }
+            }
+            let (batch, row, _) = self.lcursor.as_mut().expect("ensured above");
+            if *row >= batch.len() {
+                let released = batch.len();
+                self.lcursor = None;
+                stats.shrink(released);
+                continue 'fill;
+            }
+            batch.read_row(*row, &mut row_buf[..left_width]);
+            let key: Vec<Id> = self.left_key_cols.iter().map(|&c| row_buf[c]).collect();
+            #[cfg(debug_assertions)]
+            {
+                if let Some(prev) = &self.prev_left_key {
+                    debug_assert!(*prev <= key, "merge join left input not sorted on its key");
+                }
+                self.prev_left_key = Some(key.clone());
+            }
+            if self.run_key.as_deref() != Some(key.as_slice()) {
+                // Borrow dance: advance_right_to needs &mut self, the left
+                // cursor state survives in self.lcursor.
+                let (b, r, o) = self.lcursor.take().expect("held above");
+                self.advance_right_to(&key, stats);
+                self.lcursor = Some((b, r, o));
+                if self.run.is_empty() && self.right_done {
+                    // No run and no more right rows: every remaining left
+                    // row is unmatched — drain and finish.
+                    exhausted = true;
+                    break 'fill;
+                }
+            }
+            let (_, row, offset) = self.lcursor.as_mut().expect("restored above");
+            if self.run.is_empty() {
+                *row += 1;
+                *offset = 0;
+                continue 'fill;
+            }
+            while *offset < self.run.len() {
+                if out.is_full() {
+                    break 'fill;
+                }
+                let rrow = &self.run[*offset];
+                for &(k, rc) in &self.right_only {
+                    row_buf[k] = rrow[rc];
+                }
+                out.push_row(&row_buf);
+                *offset += 1;
+            }
+            if *offset >= self.run.len() {
+                *row += 1;
+                *offset = 0;
+            }
+        }
+        if exhausted {
+            self.finish(stats);
+        }
+        if out.is_empty() {
+            if !self.done {
+                // Filled nothing but not exhausted (cannot happen: the loop
+                // only exits full or exhausted) — defensive finish.
+                self.finish(stats);
+            }
             return None;
         }
         // Per-batch Cout reporting: survives downstream LIMIT early exit.
@@ -1398,6 +1700,10 @@ pub enum SpineStep {
 pub struct ParallelSource<'a> {
     ds: &'a Dataset,
     driver: PlannedPattern,
+    /// Index order of the driving scan (`None` = default): morsels are
+    /// slices of *this* order, so their in-order concatenation reproduces
+    /// the serial ordered scan exactly.
+    driver_order: Option<IndexOrder>,
     steps: Vec<SpineStep>,
     exchange: Exchange,
     threads: usize,
@@ -1415,6 +1721,7 @@ impl<'a> ParallelSource<'a> {
     pub fn new(
         ds: &'a Dataset,
         driver: PlannedPattern,
+        driver_order: Option<IndexOrder>,
         steps: Vec<SpineStep>,
         cfg: &ExecConfig,
         bucket: CoutBucket,
@@ -1431,13 +1738,21 @@ impl<'a> ParallelSource<'a> {
         let schema = Self::spine_schema(&driver, &steps);
         debug_assert_eq!(
             schema,
-            Self::assemble(ds, &driver, &steps, bucket, Morsel { index: 0, start: 0, end: 0 })
-                .schema(),
+            Self::assemble(
+                ds,
+                &driver,
+                driver_order,
+                &steps,
+                bucket,
+                Morsel { index: 0, start: 0, end: 0 }
+            )
+            .schema(),
             "spine_schema must mirror the assembled operators' layout"
         );
         ParallelSource {
             ds,
             driver,
+            driver_order,
             steps,
             exchange,
             threads: cfg.threads.max(1),
@@ -1490,11 +1805,13 @@ impl<'a> ParallelSource<'a> {
     fn assemble(
         ds: &'a Dataset,
         driver: &PlannedPattern,
+        driver_order: Option<IndexOrder>,
         steps: &[SpineStep],
         bucket: CoutBucket,
         m: Morsel,
     ) -> BoxedOperator<'a> {
-        let mut op: BoxedOperator<'a> = Box::new(IndexScan::morsel(ds, driver, m.start, m.end));
+        let mut op: BoxedOperator<'a> =
+            Box::new(IndexScan::morsel(ds, driver, driver_order, m.start, m.end));
         for step in steps {
             op = match step {
                 SpineStep::Bind { pattern, join_vars, signature } => Box::new(BindJoin::new(
@@ -1527,7 +1844,14 @@ impl<'a> ParallelSource<'a> {
         scatter(wave.len(), self.threads, &|i| {
             let m = self.exchange.morsel(base + i);
             let mut stats = ExecStats::default();
-            let mut op = Self::assemble(self.ds, &self.driver, &self.steps, self.bucket, m);
+            let mut op = Self::assemble(
+                self.ds,
+                &self.driver,
+                self.driver_order,
+                &self.steps,
+                self.bucket,
+                m,
+            );
             let mut batches = Vec::new();
             while let Some(b) = op.next_batch(&mut stats) {
                 batches.push(b);
@@ -1556,7 +1880,14 @@ impl<'a> ParallelSource<'a> {
             let parts: Vec<(T, ExecStats)> = scatter(wave.len(), self.threads, &|i| {
                 let m = self.exchange.morsel(base + i);
                 let mut st = ExecStats::default();
-                let op = Self::assemble(self.ds, &self.driver, &self.steps, self.bucket, m);
+                let op = Self::assemble(
+                    self.ds,
+                    &self.driver,
+                    self.driver_order,
+                    &self.steps,
+                    self.bucket,
+                    m,
+                );
                 let v = job(op, &mut st);
                 (v, st)
             });
@@ -1765,6 +2096,104 @@ mod tests {
     }
 
     #[test]
+    fn merge_join_is_bit_identical_to_stream_left_hash_join() {
+        // Duplicate-heavy keys: label objects repeat (i % 2 == 0 → i), and
+        // we join label(s,o) with label(s,o2) on s — every subject expands
+        // 1×1, then next(s,o) ⋈ label(s,l) gives duplicates on the probe.
+        let n = 2 * BATCH_SIZE + 123;
+        let ds = chain_dataset(n);
+        let next = |s, o, idx| pattern(&ds, "p/next", s, o, idx);
+        let label = |s, o, idx| pattern(&ds, "p/label", s, o, idx);
+        // Both sides sorted by var 0 (subject) via their default Pso scans.
+        for (lp, rp) in [(next(0, 1, 0), label(0, 2, 1)), (label(0, 1, 0), next(0, 2, 1))] {
+            let mut mj_stats = ExecStats::default();
+            let mj = MergeJoin::new(
+                Box::new(IndexScan::new(&ds, &lp)),
+                Box::new(IndexScan::new(&ds, &rp)),
+                &[0],
+                "sig".into(),
+                CoutBucket::Required,
+            );
+            let got = drain(Box::new(mj), &mut mj_stats);
+
+            let mut hj_stats = ExecStats::default();
+            let hj = HashJoinProbe::new(
+                Box::new(IndexScan::new(&ds, &lp)),
+                Box::new(IndexScan::new(&ds, &rp)),
+                vec![0],
+                true, // build right, stream left: the merge join's sequence
+                "sig".into(),
+                CoutBucket::Required,
+            );
+            let want = drain(Box::new(hj), &mut hj_stats);
+
+            assert_eq!(got.cols(), want.cols());
+            let got_rows: Vec<Vec<Id>> = got.iter().map(|r| r.to_vec()).collect();
+            let want_rows: Vec<Vec<Id>> = want.iter().map(|r| r.to_vec()).collect();
+            assert_eq!(got_rows, want_rows, "merge join must emit the exact hash sequence");
+            assert_eq!(mj_stats.cout, hj_stats.cout);
+            assert_eq!(mj_stats.scanned, hj_stats.scanned, "both drain both sides fully");
+            assert_eq!(hj_stats.build_rows as usize, ds.count(rp.access()));
+            assert_eq!(mj_stats.build_rows, 0, "merge joins build nothing");
+            assert!(mj_stats.peak_tuples < hj_stats.peak_tuples);
+        }
+    }
+
+    #[test]
+    fn merge_join_empty_sides_drain_like_hash() {
+        let ds = chain_dataset(300);
+        let absent = PlannedPattern { idx: 9, slots: [Slot::Var(0), Slot::Absent, Slot::Var(3)] };
+        // Empty right: left must still be drained (scanned counted).
+        let mut stats = ExecStats::default();
+        let mj = MergeJoin::new(
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/next", 0, 1, 0))),
+            Box::new(IndexScan::new(&ds, &absent)),
+            &[0],
+            "sig".into(),
+            CoutBucket::Required,
+        );
+        let out = drain(Box::new(mj), &mut stats);
+        assert!(out.is_empty());
+        assert_eq!(stats.scanned, 300, "left side drained for Cout/scan parity");
+        assert_eq!(stats.cout, 0);
+
+        // Empty left: right drained.
+        let mut stats = ExecStats::default();
+        let mj = MergeJoin::new(
+            Box::new(IndexScan::new(&ds, &absent)),
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/next", 0, 1, 0))),
+            &[0],
+            "sig".into(),
+            CoutBucket::Required,
+        );
+        let out = drain(Box::new(mj), &mut stats);
+        assert!(out.is_empty());
+        assert_eq!(stats.scanned, 300, "right side drained for Cout/scan parity");
+        assert_eq!(stats.cout, 0);
+    }
+
+    #[test]
+    fn index_scan_with_order_delivers_alternative_sort() {
+        let ds = chain_dataset(500);
+        let pat = pattern(&ds, "p/next", 0, 1, 0);
+        // Default (Pso): sorted by subject column; Pos: sorted by object.
+        let mut stats = ExecStats::default();
+        let mut scan = IndexScan::with_order(&ds, &pat, Some(IndexOrder::Pos));
+        let mut last: Option<Id> = None;
+        while let Some(batch) = scan.next_batch(&mut stats) {
+            let obj_col = batch.schema().iter().position(|&v| v == 1).unwrap();
+            for r in 0..batch.len() {
+                let v = batch.value(r, obj_col);
+                if let Some(prev) = last {
+                    assert!(prev <= v, "POS scan must deliver objects ascending");
+                }
+                last = Some(v);
+            }
+        }
+        assert_eq!(stats.scanned, 500);
+    }
+
+    #[test]
     fn left_outer_join_pads_unmatched() {
         let ds = chain_dataset(10);
         let people =
@@ -1825,6 +2254,7 @@ mod tests {
             min_driver_rows: 1,
             min_est_cost: 0.0,
             mem_budget_rows: None,
+            ..ExecConfig::default()
         }
     }
 
@@ -1852,6 +2282,7 @@ mod tests {
         let scan_node = |s, o, idx| PlanNode::Scan {
             pattern: pattern(&ds, "p/next", s, o, idx),
             est_card: n as f64,
+            order: None,
         };
         // Two-join chain: exercises a shared hash build AND a bind join on
         // the spine, depending on what the estimates select.
@@ -1902,7 +2333,8 @@ mod tests {
             HashJoinBuild::build(Box::new(IndexScan::new(&ds, &pat)), &[1], &mut serial_stats);
         let cfg = tiny_morsel_cfg(4, 131);
         let mut part_stats = ExecStats::default();
-        let partitioned = HashJoinBuild::build_partitioned(&ds, &pat, &[1], &cfg, &mut part_stats);
+        let partitioned =
+            HashJoinBuild::build_partitioned(&ds, &pat, None, &[1], &cfg, &mut part_stats);
         assert_eq!(partitioned.len(), serial.len());
         assert_eq!(partitioned.schema(), serial.schema());
         // Every key resolves to the same match list (global row order), so
@@ -1926,10 +2358,12 @@ mod tests {
             left: Box::new(PlanNode::Scan {
                 pattern: pattern(&ds, "p/next", 0, 1, 0),
                 est_card: n as f64,
+                order: None,
             }),
             right: Box::new(PlanNode::Scan {
                 pattern: pattern(&ds, "p/label", 0, 2, 1),
                 est_card: (n / 2) as f64,
+                order: None,
             }),
             join_vars: vec![0],
             est_card: n as f64,
@@ -1960,6 +2394,7 @@ mod tests {
         let scan_node = |s, o, idx| PlanNode::Scan {
             pattern: pattern(&ds, "p/next", s, o, idx),
             est_card: n as f64,
+            order: None,
         };
         // Three-hop chain join: two intermediate results of ~n rows each.
         let plan = PlanNode::HashJoin {

@@ -13,14 +13,16 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parambench_rdf::dict::Id;
+use parambench_rdf::index::IndexOrder;
 use parambench_rdf::store::Dataset;
+use parambench_rdf::term::Term;
 
-use crate::ast::{AggFunc, Projection, SelectQuery};
+use crate::ast::{AggFunc, BinOp, Expr, OrderTarget, Projection, SelectQuery};
 use crate::error::QueryError;
-use crate::exec::{ExecConfig, ExecStats};
+use crate::exec::{self, ExecConfig, ExecStats, OrderExec, Value, UNBOUND};
 use crate::physical::{
-    BindJoin, BoxedOperator, CoutBucket, HashJoinBuild, HashJoinProbe, IndexScan, ParallelSource,
-    SpineStep,
+    BindJoin, BoxedOperator, CoutBucket, HashJoinBuild, HashJoinProbe, IndexScan, MergeJoin,
+    ParallelSource, SpineStep,
 };
 
 /// One S/P/O slot of a planned pattern.
@@ -98,6 +100,11 @@ pub enum PlanNode {
         pattern: PlannedPattern,
         /// Estimated output cardinality.
         est_card: f64,
+        /// The permutation index to scan (`None` = the default index for
+        /// the pattern's bound positions). Alternative orders deliver the
+        /// same rows sorted by a different unbound position — the raw
+        /// material of merge joins and sort elimination.
+        order: Option<IndexOrder>,
     },
     /// A hash join; `join_vars` are the shared variable slots (empty for a
     /// cross product). The join's output cardinality is what `Cout` sums.
@@ -111,22 +118,43 @@ pub enum PlanNode {
         /// Estimated output cardinality.
         est_card: f64,
     },
+    /// A merge join of two inputs that both deliver `key` as the leading
+    /// prefix of their sorted order. No build phase: both sides stream,
+    /// matching key runs zip together, output stays sorted in the left
+    /// side's delivered order. `Cout` is identical to the hash join of the
+    /// same children — only memory (zero build rows) and order differ.
+    MergeJoin {
+        /// Left operand (its delivered order leads the output).
+        left: Box<PlanNode>,
+        /// Right operand.
+        right: Box<PlanNode>,
+        /// The shared key, in the delivered-order sequence both sides
+        /// start with (never empty).
+        key: Vec<usize>,
+        /// Estimated output cardinality.
+        est_card: f64,
+    },
 }
 
 impl PlanNode {
     /// Estimated output cardinality of this node.
     pub fn est_card(&self) -> f64 {
         match self {
-            PlanNode::Scan { est_card, .. } | PlanNode::HashJoin { est_card, .. } => *est_card,
+            PlanNode::Scan { est_card, .. }
+            | PlanNode::HashJoin { est_card, .. }
+            | PlanNode::MergeJoin { est_card, .. } => *est_card,
         }
     }
 
     /// Estimated `Cout` of the subtree: sum of estimated cardinalities of
     /// all join results (scans cost 0) — the paper's cost function.
+    /// Deliberately identical for hash and merge joins of the same
+    /// children: `Cout` counts what a plan *produces*, not how.
     pub fn est_cout(&self) -> f64 {
         match self {
             PlanNode::Scan { .. } => 0.0,
-            PlanNode::HashJoin { left, right, est_card, .. } => {
+            PlanNode::HashJoin { left, right, est_card, .. }
+            | PlanNode::MergeJoin { left, right, est_card, .. } => {
                 est_card + left.est_cout() + right.est_cout()
             }
         }
@@ -136,7 +164,9 @@ impl PlanNode {
     pub fn leaf_count(&self) -> usize {
         match self {
             PlanNode::Scan { .. } => 1,
-            PlanNode::HashJoin { left, right, .. } => left.leaf_count() + right.leaf_count(),
+            PlanNode::HashJoin { left, right, .. } | PlanNode::MergeJoin { left, right, .. } => {
+                left.leaf_count() + right.leaf_count()
+            }
         }
     }
 
@@ -151,7 +181,8 @@ impl PlanNode {
                         }
                     }
                 }
-                PlanNode::HashJoin { left, right, .. } => {
+                PlanNode::HashJoin { left, right, .. }
+                | PlanNode::MergeJoin { left, right, .. } => {
                     walk(left, out);
                     walk(right, out);
                 }
@@ -163,6 +194,9 @@ impl PlanNode {
     }
 
     /// The structural signature of this subtree (see [`PlanSignature`]).
+    /// Join *method* participates: a merge join is a different physical
+    /// plan than the hash join of the same children, so conditions (a)/(c)
+    /// of the paper's clustering problem see it as a different optimum.
     pub fn signature(&self) -> PlanSignature {
         let mut text = String::new();
         fn walk(node: &PlanNode, out: &mut String) {
@@ -178,10 +212,111 @@ impl PlanNode {
                     walk(right, out);
                     out.push(')');
                 }
+                PlanNode::MergeJoin { left, right, .. } => {
+                    out.push_str("MJ(");
+                    walk(left, out);
+                    out.push(',');
+                    walk(right, out);
+                    out.push(')');
+                }
             }
         }
         walk(self, &mut text);
         PlanSignature(text)
+    }
+
+    /// The variable-slot sequence this subtree's output is guaranteed to
+    /// arrive sorted by (lexicographically, ascending ids — which, with the
+    /// value-ordered dictionary built at `freeze`, is exactly ascending
+    /// ORDER BY value order).
+    ///
+    /// Propagation rules (the interesting-order algebra):
+    /// * a scan delivers its index's unbound key positions, in key order;
+    /// * a hash/bind join streams one side and expands each streamed row
+    ///   into a contiguous run, so it delivers the *streaming* side's
+    ///   order unchanged (mirrors the side [`PlanNode::lower`] streams);
+    /// * a merge join emits left-major and delivers the left order.
+    pub fn delivered_order(&self, ds: &Dataset) -> Vec<usize> {
+        match self {
+            PlanNode::Scan { pattern, order, .. } => Self::scan_order_slots(pattern, *order),
+            PlanNode::HashJoin { left, right, join_vars, .. } => {
+                let streams_left = Self::binds_right(left, right, join_vars, ds)
+                    || right.est_card() <= left.est_card();
+                if streams_left {
+                    left.delivered_order(ds)
+                } else {
+                    right.delivered_order(ds)
+                }
+            }
+            PlanNode::MergeJoin { left, .. } => left.delivered_order(ds),
+        }
+    }
+
+    /// The delivered order of a scan: distinct variable slots of the
+    /// pattern's unbound positions, in the chosen index's key order.
+    pub fn scan_order_slots(pattern: &PlannedPattern, order: Option<IndexOrder>) -> Vec<usize> {
+        let access = pattern.access();
+        let order = order.unwrap_or_else(|| Dataset::default_order(access));
+        let mut out = Vec::with_capacity(3);
+        for &pos in &order.perm() {
+            if access[pos].is_some() {
+                continue;
+            }
+            if let Slot::Var(v) = pattern.slots[pos] {
+                // A repeated variable keeps its first key position: rows
+                // sorted by that position are sorted by the variable.
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Estimated rows materialized into hash-join build tables across the
+    /// subtree — the memory-side tiebreak of the order-aware optimizer
+    /// (bind and merge joins build nothing).
+    pub fn est_build_rows(&self, ds: &Dataset) -> f64 {
+        match self {
+            PlanNode::Scan { .. } => 0.0,
+            PlanNode::HashJoin { left, right, join_vars, .. } => {
+                if Self::binds_right(left, right, join_vars, ds) {
+                    left.est_build_rows(ds)
+                } else {
+                    let build = if right.est_card() <= left.est_card() { right } else { left };
+                    left.est_build_rows(ds) + right.est_build_rows(ds) + build.est_card()
+                }
+            }
+            PlanNode::MergeJoin { left, right, .. } => {
+                left.est_build_rows(ds) + right.est_build_rows(ds)
+            }
+        }
+    }
+
+    /// Estimated rows scanned out of the store across the subtree — the
+    /// I/O-side tiebreak. A bind join touches only the ranges its streamed
+    /// rows select (≈ its output cardinality); every other join reads both
+    /// children in full.
+    pub fn est_scan_rows(&self, ds: &Dataset) -> f64 {
+        match self {
+            PlanNode::Scan { pattern, .. } => {
+                if pattern.has_absent() {
+                    0.0
+                } else {
+                    ds.count(pattern.access()) as f64
+                }
+            }
+            PlanNode::HashJoin { left, right, join_vars, est_card } => {
+                if Self::binds_right(left, right, join_vars, ds) {
+                    left.est_scan_rows(ds) + est_card
+                } else {
+                    left.est_scan_rows(ds) + right.est_scan_rows(ds)
+                }
+            }
+            PlanNode::MergeJoin { left, right, .. } => {
+                left.est_scan_rows(ds) + right.est_scan_rows(ds)
+            }
+        }
     }
 
     /// Lowers the logical join tree to a physical operator pipeline over
@@ -200,28 +335,48 @@ impl PlanNode {
     /// `bucket` routes the joins' output cardinalities into the required
     /// or OPTIONAL `Cout` accumulator of [`crate::exec::ExecStats`].
     pub fn lower<'a>(&self, ds: &'a Dataset, bucket: CoutBucket) -> BoxedOperator<'a> {
+        self.lower_with(ds, bucket, OrderExec::Auto)
+    }
+
+    /// [`PlanNode::lower`] with an explicit order-execution mode. Under
+    /// [`OrderExec::Off`] a [`PlanNode::MergeJoin`] lowers through the
+    /// hash/bind machinery instead (same rows, same order, same `Cout` —
+    /// the baseline the order differential suite compares against).
+    pub fn lower_with<'a>(
+        &self,
+        ds: &'a Dataset,
+        bucket: CoutBucket,
+        order_exec: OrderExec,
+    ) -> BoxedOperator<'a> {
         match self {
-            PlanNode::Scan { pattern, .. } => Box::new(IndexScan::new(ds, pattern)),
+            PlanNode::Scan { pattern, order, .. } => {
+                Box::new(IndexScan::with_order(ds, pattern, *order))
+            }
             PlanNode::HashJoin { left, right, join_vars, .. } => {
-                if Self::binds_right(left, right, join_vars, ds) {
-                    let PlanNode::Scan { pattern, .. } = right.as_ref() else {
-                        unreachable!("binds_right implies a scan right child")
-                    };
-                    return Box::new(BindJoin::new(
-                        ds,
-                        left.lower(ds, bucket),
-                        pattern.clone(),
-                        join_vars,
+                self.lower_hashish(ds, bucket, order_exec, left, right, join_vars)
+            }
+            PlanNode::MergeJoin { left, right, key, .. } => {
+                if order_exec == OrderExec::Off {
+                    // Forced hash lowering of the same logical join. The
+                    // right side is always built and the left streamed:
+                    // left-major emission with per-key matches in right
+                    // arrival order is exactly the merge join's output
+                    // sequence, so rows, row order, `Cout` and `scanned`
+                    // stay bit-identical — the property the order
+                    // differential suite pins.
+                    return Box::new(HashJoinProbe::new(
+                        left.lower_with(ds, bucket, order_exec),
+                        right.lower_with(ds, bucket, order_exec),
+                        key.clone(),
+                        true,
                         self.signature().0,
                         bucket,
                     ));
                 }
-                let build_right = right.est_card() <= left.est_card();
-                Box::new(HashJoinProbe::new(
-                    left.lower(ds, bucket),
-                    right.lower(ds, bucket),
-                    join_vars.clone(),
-                    build_right,
+                Box::new(MergeJoin::new(
+                    left.lower_with(ds, bucket, order_exec),
+                    right.lower_with(ds, bucket, order_exec),
+                    key,
                     self.signature().0,
                     bucket,
                 ))
@@ -229,11 +384,52 @@ impl PlanNode {
         }
     }
 
+    /// The hash/bind lowering of a binary join node (shared by
+    /// [`PlanNode::HashJoin`] and the forced-off lowering of
+    /// [`PlanNode::MergeJoin`]).
+    fn lower_hashish<'a>(
+        &self,
+        ds: &'a Dataset,
+        bucket: CoutBucket,
+        order_exec: OrderExec,
+        left: &PlanNode,
+        right: &PlanNode,
+        join_vars: &[usize],
+    ) -> BoxedOperator<'a> {
+        if Self::binds_right(left, right, join_vars, ds) {
+            let PlanNode::Scan { pattern, .. } = right else {
+                unreachable!("binds_right implies a scan right child")
+            };
+            return Box::new(BindJoin::new(
+                ds,
+                left.lower_with(ds, bucket, order_exec),
+                pattern.clone(),
+                join_vars,
+                self.signature().0,
+                bucket,
+            ));
+        }
+        let build_right = right.est_card() <= left.est_card();
+        Box::new(HashJoinProbe::new(
+            left.lower_with(ds, bucket, order_exec),
+            right.lower_with(ds, bucket, order_exec),
+            join_vars.to_vec(),
+            build_right,
+            self.signature().0,
+            bucket,
+        ))
+    }
+
     /// Whether `lower` would turn this join into an index nested-loop
     /// [`BindJoin`] probing `right`'s pattern (the selective-join rule).
     /// Kept as one function so the serial and the parallel lowering can
     /// never disagree on the physical join method.
-    fn binds_right(left: &PlanNode, right: &PlanNode, join_vars: &[usize], ds: &Dataset) -> bool {
+    pub(crate) fn binds_right(
+        left: &PlanNode,
+        right: &PlanNode,
+        join_vars: &[usize],
+        ds: &Dataset,
+    ) -> bool {
         if let PlanNode::Scan { pattern, .. } = right {
             !join_vars.is_empty()
                 && !pattern.has_absent()
@@ -268,11 +464,14 @@ impl PlanNode {
             return None;
         }
         // Pass 1 (read-only): walk the streaming spine to the driving scan
-        // and qualify its extent before building anything.
+        // and qualify its extent before building anything. A merge join on
+        // the spine disqualifies the plan: its two sides consume each
+        // other's cursor positions, which morsel-restart cannot reproduce
+        // without re-scanning — those plans run on the exact serial path.
         let mut node = self;
-        let driver = loop {
+        let (driver, driver_order) = loop {
             match node {
-                PlanNode::Scan { pattern, .. } => break pattern,
+                PlanNode::Scan { pattern, order, .. } => break (pattern, *order),
                 PlanNode::HashJoin { left, right, join_vars, .. } => {
                     // A bind join streams its left side; a hash join
                     // streams the probe side (left when the right builds).
@@ -280,6 +479,7 @@ impl PlanNode {
                         || right.est_card() <= left.est_card();
                     node = if streams_left { left } else { right };
                 }
+                PlanNode::MergeJoin { .. } => return None,
             }
         };
         if driver.has_absent() || ds.count(driver.access()) < cfg.min_driver_rows.max(1) {
@@ -293,6 +493,9 @@ impl PlanNode {
         loop {
             match node {
                 PlanNode::Scan { .. } => break,
+                PlanNode::MergeJoin { .. } => {
+                    unreachable!("merge joins on the spine disqualify in pass 1")
+                }
                 PlanNode::HashJoin { left, right, join_vars, .. } => {
                     if Self::binds_right(left, right, join_vars, ds) {
                         let PlanNode::Scan { pattern, .. } = right.as_ref() else {
@@ -311,14 +514,28 @@ impl PlanNode {
                     let build = match build_node.as_ref() {
                         // Large scan build sides get the partitioned
                         // parallel build; anything else builds serially.
-                        PlanNode::Scan { pattern, .. }
+                        // The scan's chosen index order is passed through:
+                        // build-row numbering follows scan arrival order,
+                        // which fixes every key's match-list order and with
+                        // it the probe output's sub-order.
+                        PlanNode::Scan { pattern, order, .. }
                             if !pattern.has_absent()
                                 && !pattern.var_slots().is_empty()
                                 && ds.count(pattern.access()) >= cfg.min_driver_rows.max(1) =>
                         {
-                            HashJoinBuild::build_partitioned(ds, pattern, join_vars, cfg, stats)
+                            HashJoinBuild::build_partitioned(
+                                ds, pattern, *order, join_vars, cfg, stats,
+                            )
                         }
-                        _ => HashJoinBuild::build(build_node.lower(ds, bucket), join_vars, stats),
+                        // Non-scan builds honor the execution config's
+                        // order mode, so OrderExec::Off forces off-spine
+                        // merge joins back to the hash lowering exactly
+                        // like the serial path does.
+                        _ => HashJoinBuild::build(
+                            build_node.lower_with(ds, bucket, cfg.order_exec),
+                            join_vars,
+                            stats,
+                        ),
                     };
                     steps.push(SpineStep::Probe {
                         build: Arc::new(build),
@@ -331,21 +548,162 @@ impl PlanNode {
             }
         }
         steps.reverse();
-        Some(ParallelSource::new(ds, driver.clone(), steps, cfg, bucket))
+        Some(ParallelSource::new(ds, driver.clone(), driver_order, steps, cfg, bucket))
     }
 
     /// Pretty multi-line rendering with estimates, for EXPLAIN output.
     pub fn render(&self, indent: usize) -> String {
         let pad = "  ".repeat(indent);
         match self {
-            PlanNode::Scan { pattern, est_card } => {
-                format!("{pad}Scan p{} {:?} (est {est_card:.1})\n", pattern.idx, pattern.slots)
+            PlanNode::Scan { pattern, est_card, order } => {
+                let idx = match order {
+                    Some(o) => format!(" idx={o:?}"),
+                    None => String::new(),
+                };
+                format!("{pad}Scan p{} {:?}{idx} (est {est_card:.1})\n", pattern.idx, pattern.slots)
             }
             PlanNode::HashJoin { left, right, join_vars, est_card } => {
                 let mut out = format!("{pad}HashJoin on {join_vars:?} (est {est_card:.1})\n");
                 out.push_str(&left.render(indent + 1));
                 out.push_str(&right.render(indent + 1));
                 out
+            }
+            PlanNode::MergeJoin { left, right, key, est_card } => {
+                let mut out = format!("{pad}MergeJoin key {key:?} (est {est_card:.1})\n");
+                out.push_str(&left.render(indent + 1));
+                out.push_str(&right.render(indent + 1));
+                out
+            }
+        }
+    }
+
+    /// EXPLAIN-style physical rendering: one line per operator with the
+    /// chosen join method (hash/bind/merge), the scanned index, and the
+    /// delivered order — what `plan_explorer` prints.
+    pub fn render_physical(&self, ds: &Dataset, indent: usize) -> String {
+        let pad = "  ".repeat(indent);
+        let order = self.delivered_order(ds);
+        match self {
+            PlanNode::Scan { pattern, est_card, order: idx } => {
+                let idx = idx.unwrap_or_else(|| Dataset::default_order(pattern.access()));
+                format!(
+                    "{pad}IndexScan p{} idx={idx:?} order={order:?} (est {est_card:.1})\n",
+                    pattern.idx
+                )
+            }
+            PlanNode::HashJoin { left, right, join_vars, est_card } => {
+                let method = if Self::binds_right(left, right, join_vars, ds) {
+                    "BindJoin".to_string()
+                } else if right.est_card() <= left.est_card() {
+                    "HashJoin[build=right]".to_string()
+                } else {
+                    "HashJoin[build=left]".to_string()
+                };
+                let mut out =
+                    format!("{pad}{method} on {join_vars:?} order={order:?} (est {est_card:.1})\n");
+                out.push_str(&left.render_physical(ds, indent + 1));
+                out.push_str(&right.render_physical(ds, indent + 1));
+                out
+            }
+            PlanNode::MergeJoin { left, right, key, est_card } => {
+                let mut out = format!(
+                    "{pad}MergeJoin key={key:?} order={order:?} (est {est_card:.1}, build 0)\n"
+                );
+                out.push_str(&left.render_physical(ds, indent + 1));
+                out.push_str(&right.render_physical(ds, indent + 1));
+                out
+            }
+        }
+    }
+}
+
+/// A scalar expression lowered to the variable-slot level — the execution
+/// form of ORDER BY expression keys (`ORDER BY (?a + ?b)`). Mirrors
+/// [`Expr`] with variables resolved to slots at prepare time, so per-row
+/// evaluation never touches names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotExpr {
+    /// A variable slot reference.
+    Slot(usize),
+    /// A constant term.
+    Const(Term),
+    /// `BOUND(slot)`.
+    Bound(usize),
+    /// Logical negation.
+    Not(Box<SlotExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<SlotExpr>, Box<SlotExpr>),
+}
+
+impl SlotExpr {
+    /// Lowers an AST expression, resolving variable names through `slot`.
+    /// Parameters must already be substituted (templates resolve them
+    /// before prepare).
+    pub fn lower(
+        expr: &Expr,
+        slot: &dyn Fn(&str) -> Result<usize, QueryError>,
+    ) -> Result<SlotExpr, QueryError> {
+        Ok(match expr {
+            Expr::Var(v) => SlotExpr::Slot(slot(v)?),
+            Expr::Const(t) => SlotExpr::Const(t.clone()),
+            Expr::Param(p) => return Err(QueryError::UnboundParameter(p.clone())),
+            Expr::Bound(v) => SlotExpr::Bound(slot(v)?),
+            Expr::Not(e) => SlotExpr::Not(Box::new(Self::lower(e, slot)?)),
+            Expr::Binary(op, a, b) => SlotExpr::Binary(
+                *op,
+                Box::new(Self::lower(a, slot)?),
+                Box::new(Self::lower(b, slot)?),
+            ),
+        })
+    }
+
+    /// Collects the distinct slots the expression reads.
+    pub fn collect_slots(&self, out: &mut Vec<usize>) {
+        match self {
+            SlotExpr::Slot(s) | SlotExpr::Bound(s) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            SlotExpr::Const(_) => {}
+            SlotExpr::Not(e) => e.collect_slots(out),
+            SlotExpr::Binary(_, a, b) => {
+                a.collect_slots(out);
+                b.collect_slots(out);
+            }
+        }
+    }
+
+    /// Evaluates over one row whose columns carry the slots listed in
+    /// `schema` (a pipeline batch schema or a bindings column list).
+    /// Errors and missing slots evaluate like SPARQL expression errors —
+    /// the resulting sort key orders them with the unbound values, last.
+    pub(crate) fn eval(&self, row: &[Id], schema: &[usize], ds: &Dataset) -> Value {
+        match self {
+            SlotExpr::Slot(s) => match schema.iter().position(|&c| c == *s) {
+                Some(c) if row[c] != UNBOUND => Value::Term(row[c]),
+                Some(_) => Value::Unbound,
+                None => Value::Error,
+            },
+            SlotExpr::Const(term) => match term.numeric_value() {
+                Some(n) => Value::Num(n),
+                None => match ds.lookup(term) {
+                    Some(id) => Value::Term(id),
+                    None => Value::Error,
+                },
+            },
+            SlotExpr::Bound(s) => match schema.iter().position(|&c| c == *s) {
+                Some(c) => Value::Bool(row[c] != UNBOUND),
+                None => Value::Bool(false),
+            },
+            SlotExpr::Not(e) => match e.eval(row, schema, ds) {
+                Value::Bool(b) => Value::Bool(!b),
+                _ => Value::Error,
+            },
+            SlotExpr::Binary(op, a, b) => {
+                let va = a.eval(row, schema, ds);
+                let vb = b.eval(row, schema, ds);
+                exec::eval_binary(*op, va, vb, ds)
             }
         }
     }
@@ -359,6 +717,10 @@ pub enum TableColSource {
     Slot(usize),
     /// The `i`-th aggregate of the enclosing [`AggregatePlan`].
     Agg(usize),
+    /// The `i`-th ORDER BY expression of [`ModifierPlan::order_exprs`],
+    /// computed per row from slot values (helper columns only — never
+    /// projected).
+    Expr(usize),
 }
 
 /// One column of the solution table the modifier stack operates on.
@@ -418,6 +780,9 @@ pub struct ModifierPlan {
     pub out_width: usize,
     /// Sort keys: (table column, descending).
     pub order_by: Vec<(usize, bool)>,
+    /// ORDER BY expression keys, slot-lowered; referenced by
+    /// [`TableColSource::Expr`] helper columns.
+    pub order_exprs: Vec<SlotExpr>,
     /// Present when any projection is an aggregate.
     pub aggregate: Option<AggregatePlan>,
 }
@@ -484,21 +849,39 @@ impl ModifierPlan {
         // ORDER BY keys: reuse a projected column when one carries the
         // variable/alias; otherwise append a helper column (which must be
         // a pattern variable — a group variable under aggregation).
+        // Expression keys lower to slot expressions evaluated per row into
+        // the same precomputed-sort-key path plain keys use.
         let mut order_by: Vec<(usize, bool)> = Vec::new();
+        let mut order_exprs: Vec<SlotExpr> = Vec::new();
         for k in &query.order_by {
-            let col = match table.iter().position(|c| c.name == k.var) {
-                Some(c) => c,
-                None => {
-                    if aggregate.is_some() && !query.group_by.iter().any(|g| g == &k.var) {
-                        return Err(QueryError::Unsupported(format!(
-                            "ORDER BY ?{} must be a group variable or aggregate alias",
-                            k.var
-                        )));
+            let col = match &k.target {
+                OrderTarget::Var(var) => match table.iter().position(|c| c.name == *var) {
+                    Some(c) => c,
+                    None => {
+                        if aggregate.is_some() && !query.group_by.iter().any(|g| g == var) {
+                            return Err(QueryError::Unsupported(format!(
+                                "ORDER BY ?{var} must be a group variable or aggregate alias"
+                            )));
+                        }
+                        table.push(TableCol {
+                            name: var.clone(),
+                            source: TableColSource::Slot(slot(var)?),
+                        });
+                        table.len() - 1
                     }
+                },
+                OrderTarget::Expr(expr) => {
+                    if aggregate.is_some() {
+                        return Err(QueryError::Unsupported(
+                            "expression ORDER BY keys under aggregation".into(),
+                        ));
+                    }
+                    let lowered = SlotExpr::lower(expr, &slot)?;
                     table.push(TableCol {
-                        name: k.var.clone(),
-                        source: TableColSource::Slot(slot(&k.var)?),
+                        name: format!("({expr})"),
+                        source: TableColSource::Expr(order_exprs.len()),
                     });
+                    order_exprs.push(lowered);
                     table.len() - 1
                 }
             };
@@ -512,6 +895,7 @@ impl ModifierPlan {
             table,
             out_width,
             order_by,
+            order_exprs,
             aggregate,
         })
     }
@@ -552,14 +936,20 @@ impl ModifierPlan {
     }
 
     /// Distinct variable slots referenced by the solution table, in table
-    /// column order (the plain path's pipeline projection).
+    /// column order (the plain path's pipeline projection). Slots read by
+    /// ORDER BY expression keys are included — the pipeline must still
+    /// carry them to the key evaluation.
     pub fn table_slots(&self) -> Vec<usize> {
         let mut out = Vec::new();
         for c in &self.table {
-            if let TableColSource::Slot(s) = c.source {
-                if !out.contains(&s) {
-                    out.push(s);
+            match c.source {
+                TableColSource::Slot(s) => {
+                    if !out.contains(&s) {
+                        out.push(s);
+                    }
                 }
+                TableColSource::Expr(i) => self.order_exprs[i].collect_slots(&mut out),
+                TableColSource::Agg(_) => {}
             }
         }
         out
@@ -667,6 +1057,7 @@ mod tests {
                 slots: [Slot::Var(0), Slot::Bound(Id(1)), Slot::Var(1)],
             },
             est_card: card,
+            order: None,
         }
     }
 
@@ -698,7 +1089,7 @@ mod tests {
         // Same structure, different cardinalities / bound ids inside: equal.
         let mut b = a.clone();
         if let PlanNode::HashJoin { left, .. } = &mut b {
-            if let PlanNode::Scan { pattern, est_card } = left.as_mut() {
+            if let PlanNode::Scan { pattern, est_card, .. } = left.as_mut() {
                 pattern.slots[1] = Slot::Bound(Id(99));
                 *est_card = 777.0;
             }

@@ -156,6 +156,29 @@ impl<'a> SortAtom<'a> {
             SolVal::Unbound => SortAtom::Unbound,
         }
     }
+
+    /// Sort atom of an evaluated ORDER BY expression: numbers by value,
+    /// terms in term order, booleans as 0/1, unbound and errors last —
+    /// the documented expression-key ordering.
+    pub(crate) fn of_value(v: &crate::exec::Value, ds: &'a Dataset) -> SortAtom<'a> {
+        match v {
+            crate::exec::Value::Num(n) => SortAtom::Num(*n),
+            crate::exec::Value::Term(id) => SortAtom::of_id(*id, ds),
+            crate::exec::Value::Bool(b) => SortAtom::Num(if *b { 1.0 } else { 0.0 }),
+            crate::exec::Value::Unbound | crate::exec::Value::Error => SortAtom::Unbound,
+        }
+    }
+}
+
+/// The [`SolVal`] of an evaluated ORDER BY expression (the solution-table
+/// materialization of [`SortAtom::of_value`]).
+pub(crate) fn solval_of_value(v: &crate::exec::Value) -> SolVal {
+    match v {
+        crate::exec::Value::Num(n) => SolVal::Num(*n),
+        crate::exec::Value::Term(id) => SolVal::Id(*id),
+        crate::exec::Value::Bool(b) => SolVal::Num(if *b { 1.0 } else { 0.0 }),
+        crate::exec::Value::Unbound | crate::exec::Value::Error => SolVal::Unbound,
+    }
 }
 
 /// Total order over sort atoms (see [`SortAtom`]).
@@ -186,18 +209,26 @@ fn solval_key(v: &SolVal) -> u64 {
 // ---------------------------------------------------------------------------
 
 /// Builds the solution table (in [`ModifierPlan::table`] column order) from
-/// fully materialized bindings — the non-aggregate fallback path.
+/// fully materialized bindings — the non-aggregate fallback path. ORDER BY
+/// expression helper columns are evaluated here, once per row.
 pub(crate) fn table_from_bindings(
     bindings: &Bindings,
     m: &ModifierPlan,
+    ds: &Dataset,
 ) -> Result<Vec<Vec<SolVal>>, QueryError> {
-    let cols: Vec<usize> = m
+    enum Col {
+        Bind(usize),
+        Expr(usize),
+    }
+    let cols: Vec<Col> = m
         .table
         .iter()
         .map(|c| match c.source {
-            TableColSource::Slot(slot) => {
-                bindings.col_of(slot).ok_or_else(|| QueryError::UnknownVariable(c.name.clone()))
-            }
+            TableColSource::Slot(slot) => bindings
+                .col_of(slot)
+                .map(Col::Bind)
+                .ok_or_else(|| QueryError::UnknownVariable(c.name.clone())),
+            TableColSource::Expr(i) => Ok(Col::Expr(i)),
             TableColSource::Agg(_) => unreachable!("aggregate column on the plain path"),
         })
         .collect::<Result<_, _>>()?;
@@ -205,17 +236,55 @@ pub(crate) fn table_from_bindings(
         .iter()
         .map(|row| {
             cols.iter()
-                .map(|&c| {
-                    let id = row[c];
-                    if id == UNBOUND {
-                        SolVal::Unbound
-                    } else {
-                        SolVal::Id(id)
+                .map(|col| match col {
+                    Col::Bind(c) => {
+                        let id = row[*c];
+                        if id == UNBOUND {
+                            SolVal::Unbound
+                        } else {
+                            SolVal::Id(id)
+                        }
+                    }
+                    Col::Expr(i) => {
+                        solval_of_value(&m.order_exprs[*i].eval(row, bindings.cols(), ds))
                     }
                 })
                 .collect()
         })
         .collect())
+}
+
+/// Lays out one finished group's accumulators as a solution-table row —
+/// shared by the batch layout below and the one-group-at-a-time ordered
+/// fold, so the column mapping can never diverge.
+pub(crate) fn group_row(
+    key: &[Id],
+    states: &[AggState],
+    m: &ModifierPlan,
+    agg: &AggregatePlan,
+) -> Vec<SolVal> {
+    m.table
+        .iter()
+        .map(|c| match c.source {
+            TableColSource::Slot(slot) => {
+                let gi = agg
+                    .group_slots
+                    .iter()
+                    .position(|&g| g == slot)
+                    .expect("table slot is a group slot under aggregation");
+                let id = key[gi];
+                if id == UNBOUND {
+                    SolVal::Unbound
+                } else {
+                    SolVal::Id(id)
+                }
+            }
+            TableColSource::Agg(i) => fold_result(agg.specs[i].func, &states[i]),
+            TableColSource::Expr(_) => {
+                unreachable!("expression ORDER BY keys are rejected under aggregation")
+            }
+        })
+        .collect()
 }
 
 /// Lays out finished [`GroupFold`] accumulators as a solution table.
@@ -225,31 +294,7 @@ pub(crate) fn table_from_groups(
     m: &ModifierPlan,
     agg: &AggregatePlan,
 ) -> Vec<Vec<SolVal>> {
-    let mut rows: Vec<Vec<SolVal>> = Vec::with_capacity(keys.len());
-    for (key, states) in keys.iter().zip(&states) {
-        let row: Vec<SolVal> = m
-            .table
-            .iter()
-            .map(|c| match c.source {
-                TableColSource::Slot(slot) => {
-                    let gi = agg
-                        .group_slots
-                        .iter()
-                        .position(|&g| g == slot)
-                        .expect("table slot is a group slot under aggregation");
-                    let id = key[gi];
-                    if id == UNBOUND {
-                        SolVal::Unbound
-                    } else {
-                        SolVal::Id(id)
-                    }
-                }
-                TableColSource::Agg(i) => fold_result(agg.specs[i].func, &states[i]),
-            })
-            .collect();
-        rows.push(row);
-    }
-    rows
+    keys.iter().zip(&states).map(|(key, states)| group_row(key, states, m, agg)).collect()
 }
 
 /// The final value of one aggregate accumulator (see [`GroupFold`] for the
@@ -285,15 +330,20 @@ pub(crate) fn fold_result(func: AggFunc, st: &AggState) -> SolVal {
 /// Runs the modifier stack over a solution table and decodes the result:
 /// stable sort by precomputed keys → project to the declared outputs →
 /// DISTINCT (unless the pipeline already deduplicated) → OFFSET/LIMIT →
-/// decode.
+/// decode. `already_sorted` skips the sort (and its `sorted_rows`
+/// accounting) when the caller proved the rows arrive in final order —
+/// the sort-elimination path behind an order-compatible index scan.
 pub(crate) fn finalize_table(
     rows: Vec<Vec<SolVal>>,
     m: &ModifierPlan,
     ds: &Dataset,
     already_distinct: bool,
+    already_sorted: bool,
+    stats: &mut crate::exec::ExecStats,
 ) -> ResultSet {
     let mut rows = rows;
-    if !m.order_by.is_empty() {
+    if !m.order_by.is_empty() && !already_sorted {
+        stats.sorted_rows += rows.len() as u64;
         // Precompute per-row sort keys once: the dictionary (numeric cache
         // + decode) is touched n·k times total, not inside the comparator.
         let keyed: Vec<Vec<SortAtom<'_>>> = rows
@@ -362,6 +412,7 @@ pub(crate) fn decode_bindings(bindings: &Bindings, m: &ModifierPlan, ds: &Datase
                 bindings.col_of(slot).expect("projected slot in pipeline schema")
             }
             TableColSource::Agg(_) => unreachable!("aggregate column on the plain path"),
+            TableColSource::Expr(_) => unreachable!("expression keys are never projected"),
         })
         .collect();
     let rows = bindings
@@ -404,9 +455,9 @@ pub(crate) fn finalize_bindings(
             stats.shrink(resident);
             rows
         }
-        None => table_from_bindings(bindings, m)?,
+        None => table_from_bindings(bindings, m, ds)?,
     };
-    Ok(finalize_table(rows, m, ds, false))
+    Ok(finalize_table(rows, m, ds, false, false, stats))
 }
 
 #[cfg(test)]

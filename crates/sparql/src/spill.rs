@@ -46,7 +46,7 @@ use parambench_rdf::store::Dataset;
 
 use crate::error::ExecError;
 use crate::exec::{ExecStats, UNBOUND};
-use crate::modifiers::{cmp_keyed, GroupFold};
+use crate::modifiers::{cmp_keyed, GroupFold, RowKeys};
 use crate::plan::{AggregatePlan, ModifierPlan};
 use crate::results::{table_from_groups, SolVal, SortAtom};
 
@@ -294,9 +294,8 @@ impl LoserTree {
 /// with no spilled run it degenerates to the plain in-memory sort, so the
 /// output sequence is identical either way.
 pub struct ExternalSorter<'a> {
-    ds: &'a Dataset,
-    /// (row column, descending) per sort key.
-    keys: Vec<(usize, bool)>,
+    /// Resolved sort keys (columns, expressions, directions).
+    keys: RowKeys<'a>,
     descs: Vec<bool>,
     width: usize,
     /// Max buffered rows before a run is spilled.
@@ -313,16 +312,14 @@ impl<'a> ExternalSorter<'a> {
     /// A sorter over `width`-column rows under `keys`, spilling runs into
     /// a fresh [`SpillSpace`] under `base` once more than `budget` rows
     /// are buffered.
-    pub fn new(
-        ds: &'a Dataset,
-        keys: Vec<(usize, bool)>,
+    pub(crate) fn new(
+        keys: RowKeys<'a>,
         width: usize,
         budget: usize,
         base: PathBuf,
     ) -> ExternalSorter<'a> {
-        let descs = keys.iter().map(|&(_, d)| d).collect();
+        let descs = keys.descs();
         ExternalSorter {
-            ds,
             keys,
             descs,
             width,
@@ -344,6 +341,7 @@ impl<'a> ExternalSorter<'a> {
         self.seqs.push(self.next_seq);
         self.next_seq += 1;
         stats.grow(1);
+        stats.sorted_rows += 1;
         if self.rows.len() >= self.buffer_rows {
             self.spill(stats)?;
         }
@@ -353,11 +351,8 @@ impl<'a> ExternalSorter<'a> {
     /// Buffer indices in final sorted order: stable under
     /// `(keys, arrival seq)` with one key resolution per row.
     fn sorted_order(&self) -> Vec<usize> {
-        let keyed: Vec<Vec<SortAtom<'_>>> = self
-            .rows
-            .iter()
-            .map(|row| self.keys.iter().map(|&(c, _)| SortAtom::of_id(row[c], self.ds)).collect())
-            .collect();
+        let keyed: Vec<Vec<SortAtom<'_>>> =
+            self.rows.iter().map(|row| self.keys.atoms(row)).collect();
         let mut idx: Vec<usize> = (0..self.rows.len()).collect();
         idx.sort_unstable_by(|&a, &b| {
             cmp_keyed(&keyed[a], self.seqs[a], &keyed[b], self.seqs[b], &self.descs)
@@ -410,10 +405,7 @@ impl<'a> ExternalSorter<'a> {
             let mut reader = run.open()?;
             let mut row = vec![UNBOUND; self.width];
             let cursor = match reader.next(&mut row)? {
-                Some(seq) => {
-                    let key = self.keys.iter().map(|&(c, _)| SortAtom::of_id(row[c], self.ds));
-                    Some(MergeCursor { key: key.collect(), seq, row, reader })
-                }
+                Some(seq) => Some(MergeCursor { key: self.keys.atoms(&row), seq, row, reader }),
                 None => None,
             };
             cursors.push(cursor);
@@ -421,7 +413,6 @@ impl<'a> ExternalSorter<'a> {
         let descs = self.descs.clone();
         let tree = LoserTree::new(cursors.len(), |a, b| cursor_cmp(&cursors, &descs, a, b));
         Ok(SortedRows::Merge(Box::new(KWayMerge {
-            ds: self.ds,
             keys: self.keys,
             descs,
             width: self.width,
@@ -455,8 +446,7 @@ fn cursor_cmp(cursors: &[Option<MergeCursor<'_>>], descs: &[bool], a: usize, b: 
 /// frontier) plus the run files' [`SpillSpace`], which is removed when
 /// the merge is dropped.
 pub struct KWayMerge<'a> {
-    ds: &'a Dataset,
-    keys: Vec<(usize, bool)>,
+    keys: RowKeys<'a>,
     descs: Vec<bool>,
     width: usize,
     cursors: Vec<Option<MergeCursor<'a>>>,
@@ -476,11 +466,7 @@ impl KWayMerge<'_> {
             match cursor.reader.next(&mut next)? {
                 Some(seq) => {
                     let out = std::mem::replace(&mut cursor.row, next);
-                    cursor.key = self
-                        .keys
-                        .iter()
-                        .map(|&(c, _)| SortAtom::of_id(cursor.row[c], self.ds))
-                        .collect();
+                    cursor.key = self.keys.atoms(&cursor.row);
                     cursor.seq = seq;
                     out
                 }
@@ -778,8 +764,12 @@ mod tests {
         };
         for budget in [1usize, 3, 64, 100_000] {
             let mut stats = ExecStats::default();
-            let mut sorter =
-                ExternalSorter::new(&ds, vec![(0, false)], 2, budget, std::env::temp_dir());
+            let mut sorter = ExternalSorter::new(
+                RowKeys::cols(&ds, vec![(0, false)]),
+                2,
+                budget,
+                std::env::temp_dir(),
+            );
             for row in &rows {
                 sorter.push_row(row, &mut stats).unwrap();
             }
@@ -858,6 +848,7 @@ mod tests {
             ],
             out_width: 4,
             order_by: vec![],
+            order_exprs: vec![],
             aggregate: Some(agg.clone()),
         };
         let schema = [0usize, 1usize];

@@ -63,6 +63,13 @@ pub struct OracleOutput {
     limit: Option<usize>,
 }
 
+/// The variable/alias name of an ORDER BY key. The oracle's subset does
+/// not evaluate expression keys (the engine has targeted unit tests for
+/// those); the generators never draw them.
+fn key_var(k: &parambench_sparql::ast::OrderKey) -> &str {
+    k.target.as_var().expect("oracle order keys are plain variables")
+}
+
 /// Naive benchmark-order comparison over decoded values: numeric values
 /// first (by value), then non-numeric terms in `Term` order, unbound last.
 /// Mirrors the engine's ordering semantics without touching its code.
@@ -210,8 +217,8 @@ pub fn evaluate(ds: &Dataset, query: &SelectQuery) -> OracleOutput {
             });
         }
         for k in &query.order_by {
-            if !columns.contains(&k.var) {
-                columns.push(k.var.clone());
+            if !columns.contains(&key_var(k).to_string()) {
+                columns.push(key_var(k).to_string());
             }
         }
         for key in &order {
@@ -239,8 +246,8 @@ pub fn evaluate(ds: &Dataset, query: &SelectQuery) -> OracleOutput {
             }
         }
         for k in &query.order_by {
-            if !columns.contains(&k.var) {
-                columns.push(k.var.clone());
+            if !columns.contains(&key_var(k).to_string()) {
+                columns.push(key_var(k).to_string());
             }
         }
         let cols: Vec<usize> =
@@ -254,7 +261,7 @@ pub fn evaluate(ds: &Dataset, query: &SelectQuery) -> OracleOutput {
     let key_cols: Vec<(usize, bool)> = query
         .order_by
         .iter()
-        .map(|k| (columns.iter().position(|c| c == &k.var).expect("key col"), k.descending))
+        .map(|k| (columns.iter().position(|c| c == key_var(k)).expect("key col"), k.descending))
         .collect();
     if !key_cols.is_empty() {
         rows.sort_by(|a, b| {

@@ -364,6 +364,7 @@ fn parallel_limit_early_exit_stops_workers_promptly() {
         min_driver_rows: 1,
         min_est_cost: 0.0,
         mem_budget_rows: None,
+        ..ExecConfig::default()
     };
     let out = engine.execute_with(&prepared, &exec).unwrap();
     assert_eq!(out.results.len(), 9);
@@ -449,13 +450,17 @@ fn group_by_exceeding_budget_spills_bit_identically_with_lower_peak() {
 fn order_by_without_limit_spills_sorted_runs_bit_identically() {
     let ds = grouped_dataset(3000, 50);
     let engine = Engine::new(&ds);
+    // DESC key: no index order can serve it (indexes only deliver
+    // ascending), so the full sort — and with a budget the external merge
+    // sort — must actually run even under the order-aware planner.
     let q = parambench_sparql::parse_query(
-        "SELECT ?s ?r WHERE { ?s <rank> ?r . ?s <grp> ?g } ORDER BY ASC(?r) OFFSET 7",
+        "SELECT ?s ?r WHERE { ?s <rank> ?r . ?s <grp> ?g } ORDER BY DESC(?r) OFFSET 7",
     )
     .unwrap();
     let prepared = engine.prepare(&q).unwrap();
     let inmem = engine.execute_with(&prepared, &budget_cfg(None)).unwrap();
     let spilled = engine.execute_with(&prepared, &budget_cfg(Some(16))).unwrap();
+    assert!(inmem.stats.sorted_rows > 0, "a DESC key cannot be order-eliminated");
     assert_eq!(spilled.results, inmem.results);
     assert_eq!(spilled.cout, inmem.cout);
     assert_eq!(spilled.stats.scanned, inmem.stats.scanned);
@@ -531,6 +536,7 @@ fn spill_runs_are_cleaned_up_and_limit_exits_promptly_under_budget() {
         min_driver_rows: 1,
         min_est_cost: 0.0,
         mem_budget_rows: Some(8),
+        ..ExecConfig::default()
     };
     let spilled = engine.execute_with(&prepared, &exec).unwrap();
     let serial = engine.execute_with(&prepared, &budget_cfg(None)).unwrap();
@@ -609,9 +615,12 @@ fn distinct_under_unprojected_sort_key_streams_with_bounded_peak() {
     assert_eq!(pushed.cout, unpushed.cout);
     // Regression gate: the streaming dedup holds one entry per distinct
     // value plus in-flight batches — nowhere near the 6000 materialized
-    // rows of the old fallback path.
+    // rows of the old fallback path. (Since PR 5 the order-aware planner
+    // usually serves ASC(?r) straight from the rank index and the dedup
+    // runs as a plain streaming Distinct behind the eliminated sort; the
+    // bound covers both that path and the sort-aware dedup.)
     assert!(
-        pushed.stats.peak_tuples <= (10 + 2 * parambench_sparql::BATCH_SIZE) as u64,
+        pushed.stats.peak_tuples <= (2 * 10 + 3 * parambench_sparql::BATCH_SIZE) as u64,
         "sort-aware DISTINCT peak {} should be bounded by distinct values + batches",
         pushed.stats.peak_tuples
     );
@@ -636,4 +645,324 @@ fn error_messages_are_actionable() {
         .run_text("SELECT ?g (AVG(?r) AS ?a) WHERE { ?s <rank> ?r . ?s <group> ?g }")
         .unwrap_err();
     assert!(matches!(err, QueryError::Unsupported(_)), "projected var without GROUP BY");
+}
+
+// ---------------------------------------------------------------------------
+// Order-aware execution (PR 5): merge joins, sort elimination, expr keys
+// ---------------------------------------------------------------------------
+
+/// Engine whose *prepare* maximizes merge joins (`OrderExec::Force`) —
+/// the per-test equivalent of the CI `SPARQL_ORDER_EXEC=force` pass.
+fn force_order_engine(ds: &Dataset) -> Engine<'_> {
+    let exec = ExecConfig { order_exec: parambench_sparql::OrderExec::Force, ..Default::default() };
+    Engine::with_exec_config(ds, exec)
+}
+
+/// Forced hash/bind lowering of the same prepared plan.
+fn off_cfg() -> ExecConfig {
+    ExecConfig { order_exec: parambench_sparql::OrderExec::Off, ..Default::default() }
+}
+
+/// Duplicate-heavy star: every subject repeats each predicate value pair
+/// several times through multi-valued predicates.
+fn duplicate_heavy_dataset(n: usize) -> Dataset {
+    let mut b = StoreBuilder::new();
+    for i in 0..n {
+        let s = Term::iri(format!("s/{i:05}"));
+        for k in 0..4 {
+            b.insert(s.clone(), Term::iri("a"), Term::integer(((i + k) % 7) as i64));
+        }
+        for k in 0..3 {
+            b.insert(s.clone(), Term::iri("b"), Term::iri(format!("v/{}", (i * k) % 5)));
+        }
+        if i % 4 != 3 {
+            b.insert(s, Term::iri("note"), Term::literal(format!("n{}", i % 6)));
+        }
+    }
+    b.freeze()
+}
+
+/// Join cardinality of `?s <a> ?x . ?s <b> ?y` computed naively from the
+/// store — the duplicate-expansion ground truth for the merge-join tests.
+fn star_rows(ds: &Dataset) -> usize {
+    let a = ds.lookup(&Term::iri("a")).unwrap();
+    let b = ds.lookup(&Term::iri("b")).unwrap();
+    ds.scan([None, Some(a), None]).map(|t| ds.count([Some(t[0]), Some(b), None])).sum()
+}
+
+#[test]
+fn merge_join_star_matches_forced_hash_lowering_with_duplicates() {
+    let ds = duplicate_heavy_dataset(120);
+    let engine = force_order_engine(&ds);
+    // 4×3 duplicate expansion per subject: heavy key runs on both sides.
+    let q =
+        parambench_sparql::parse_query("SELECT ?s ?x ?y WHERE { ?s <a> ?x . ?s <b> ?y }").unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    assert!(
+        prepared.signature.0.contains("MJ("),
+        "forced prepare must merge: {}",
+        prepared.signature
+    );
+    let merged = engine.execute(&prepared).unwrap();
+    let hashed = engine.execute_with(&prepared, &off_cfg()).unwrap();
+    assert_eq!(merged.results, hashed.results, "merge vs hash rows/order diverged");
+    assert_eq!(merged.cout, hashed.cout);
+    assert_eq!(merged.stats.scanned, hashed.stats.scanned);
+    assert_eq!(merged.results.len(), star_rows(&ds));
+    assert_eq!(merged.stats.build_rows, 0, "merge plan must build nothing");
+    assert!(hashed.stats.build_rows > 0, "hash lowering must build a side");
+}
+
+#[test]
+fn optional_over_merge_joined_base_keeps_left_rows_and_order() {
+    let ds = duplicate_heavy_dataset(120);
+    let engine = force_order_engine(&ds);
+    let q = parambench_sparql::parse_query(
+        "SELECT ?s ?x ?y ?n WHERE { ?s <a> ?x . ?s <b> ?y OPTIONAL { ?s <note> ?n } }",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    assert!(prepared.signature.0.contains("MJ("), "{}", prepared.signature);
+    let merged = engine.execute(&prepared).unwrap();
+    let hashed = engine.execute_with(&prepared, &off_cfg()).unwrap();
+    assert_eq!(merged.results, hashed.results);
+    assert_eq!(merged.cout, hashed.cout);
+    assert_eq!(merged.stats.cout_optional, hashed.stats.cout_optional);
+    // Every base row survives the left-outer join; i % 4 == 3 subjects
+    // (which carry no <note>) are padded with UNBOUND.
+    assert_eq!(merged.results.len(), star_rows(&ds));
+    let unbound = merged
+        .results
+        .rows
+        .iter()
+        .filter(|r| matches!(r[3], parambench_sparql::results::OutVal::Unbound))
+        .count();
+    assert!(unbound > 0, "note-less subjects must pad");
+    assert!(unbound < merged.results.len());
+}
+
+#[test]
+fn merge_join_with_empty_side_at_engine_level() {
+    let ds = duplicate_heavy_dataset(120);
+    let engine = force_order_engine(&ds);
+    // <c> has no triples in the dictionary: the pattern is provably empty.
+    let q =
+        parambench_sparql::parse_query("SELECT ?s ?x ?c WHERE { ?s <a> ?x . ?s <c> ?c }").unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let merged = engine.execute(&prepared).unwrap();
+    let hashed = engine.execute_with(&prepared, &off_cfg()).unwrap();
+    assert!(merged.results.is_empty());
+    assert_eq!(merged.results, hashed.results);
+    assert_eq!(merged.stats.scanned, hashed.stats.scanned, "both drain the live side");
+}
+
+#[test]
+fn order_by_matching_index_eliminates_the_sort() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    // ORDER BY the subject: the default PSO scan already delivers it.
+    let q = parambench_sparql::parse_query("SELECT ?s ?r WHERE { ?s <rank> ?r } ORDER BY ASC(?s)")
+        .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let eliminated = engine.execute(&prepared).unwrap();
+    let forced = engine.execute_with(&prepared, &off_cfg()).unwrap();
+    assert_eq!(eliminated.results, forced.results, "eliminated sort changed the output");
+    assert_eq!(eliminated.stats.sorted_rows, 0, "sort must be provably skipped");
+    assert!(forced.stats.sorted_rows > 0, "forced mode must really sort");
+    let explain = engine.explain_physical(&prepared);
+    assert!(explain.contains("sort: eliminated"), "{explain}");
+}
+
+#[test]
+fn eliminated_sort_with_limit_exits_early() {
+    // Extent far beyond one batch, so batch-granular early exit shows.
+    let ds = duplicate_heavy_dataset(2000);
+    let engine = Engine::new(&ds);
+    let q =
+        parambench_sparql::parse_query("SELECT ?s ?x WHERE { ?s <a> ?x } ORDER BY ASC(?s) LIMIT 5")
+            .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let eliminated = engine.execute(&prepared).unwrap();
+    let forced = engine.execute_with(&prepared, &off_cfg()).unwrap();
+    assert_eq!(eliminated.results, forced.results);
+    assert_eq!(eliminated.stats.sorted_rows, 0);
+    assert!(
+        eliminated.stats.scanned < forced.stats.scanned,
+        "the eliminated sort must early-exit ({} vs {})",
+        eliminated.stats.scanned,
+        forced.stats.scanned
+    );
+}
+
+#[test]
+fn order_by_expression_key_sorts_by_computed_value() {
+    let mut b = StoreBuilder::new();
+    for (i, (x, y)) in [(5i64, 1i64), (1, 2), (3, 3), (2, 9), (4, 0)].iter().enumerate() {
+        let s = Term::iri(format!("e/{i}"));
+        b.insert(s.clone(), Term::iri("x"), Term::integer(*x));
+        b.insert(s, Term::iri("y"), Term::integer(*y));
+    }
+    let ds = b.freeze();
+    let engine = Engine::new(&ds);
+    // Sums: 6, 3, 6, 11, 4 → order by (x + y): e1(3), e4(4), e0(6), e2(6), e3(11)
+    let out = engine
+        .run_text("SELECT ?x ?y WHERE { ?s <x> ?x . ?s <y> ?y } ORDER BY ((?x + ?y))")
+        .unwrap();
+    let sums: Vec<f64> =
+        out.results.rows.iter().map(|r| r[0].as_num().unwrap() + r[1].as_num().unwrap()).collect();
+    assert_eq!(sums, vec![3.0, 4.0, 6.0, 6.0, 11.0]);
+    // Ties keep pipeline arrival order (stable): e0 (x=5) before e2 (x=3)?
+    // Arrival order is dictionary/value order of the subject-sorted scan.
+    let unsorted = engine.run_text("SELECT ?x ?y WHERE { ?s <x> ?x . ?s <y> ?y }").unwrap();
+    let mut expect: Vec<(f64, usize, Vec<String>)> = unsorted
+        .results
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let sum = r[0].as_num().unwrap() + r[1].as_num().unwrap();
+            (sum, i, r.iter().map(|v| v.to_string()).collect())
+        })
+        .collect();
+    expect.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let got: Vec<Vec<String>> =
+        out.results.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
+    let want: Vec<Vec<String>> = expect.into_iter().map(|(_, _, r)| r).collect();
+    assert_eq!(got, want, "expression sort must equal stable sort by computed value");
+}
+
+#[test]
+fn order_by_expression_with_desc_topk_and_offset() {
+    let mut b = StoreBuilder::new();
+    for i in 0..50i64 {
+        let s = Term::iri(format!("e/{i:02}"));
+        b.insert(s.clone(), Term::iri("x"), Term::integer(i));
+        b.insert(s, Term::iri("y"), Term::integer((i * 7) % 13));
+    }
+    let ds = b.freeze();
+    let engine = Engine::new(&ds);
+    let q = parambench_sparql::parse_query(
+        "SELECT ?x WHERE { ?s <x> ?x . ?s <y> ?y } ORDER BY DESC((?x * ?y)) LIMIT 4 OFFSET 1",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let pushed = engine.execute(&prepared).unwrap();
+    let unpushed = engine.execute_unpushed(&prepared).unwrap();
+    assert_eq!(pushed.results, unpushed.results, "TopK expr keys diverge from fallback");
+    assert_eq!(pushed.results.len(), 4);
+    assert!(pushed.stats.sorted_rows > 0);
+    // Products: i * ((7i) % 13); verify against a manual computation.
+    let mut products: Vec<(i64, i64)> = (0..50).map(|i| (i * ((i * 7) % 13), i)).collect();
+    products.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let want: Vec<f64> = products[1..5].iter().map(|&(_, i)| i as f64).collect();
+    let got: Vec<f64> = pushed.results.rows.iter().map(|r| r[0].as_num().unwrap()).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn expression_key_under_aggregation_is_rejected() {
+    let ds = dataset();
+    let engine = Engine::new(&ds);
+    let err = engine
+        .run_text(
+            "SELECT ?g (COUNT(?s) AS ?n) WHERE { ?s <group> ?g . ?s <rank> ?r } \
+             GROUP BY ?g ORDER BY ((?r + 1))",
+        )
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Unsupported(_)), "{err:?}");
+}
+
+#[test]
+fn group_by_on_delivered_order_streams_one_group_at_a_time() {
+    let ds = duplicate_heavy_dataset(120);
+    let engine = Engine::new(&ds);
+    // Group key = the subject the scan delivers sorted: the ordered fold
+    // holds one group; the forced-off run uses the hash fold. Results,
+    // Cout and scanned must match bit for bit, and with ORDER BY ASC(?s)
+    // the final sort disappears too.
+    let q = parambench_sparql::parse_query(
+        "SELECT ?s (COUNT(?x) AS ?n) (SUM(?x) AS ?sum) WHERE { ?s <a> ?x } \
+         GROUP BY ?s ORDER BY ASC(?s)",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    // The ordered one-group-at-a-time fold runs on the unbudgeted path
+    // only (under a budget the spill-capable fold takes over), so pin the
+    // budget regardless of any SPARQL_MEM_BUDGET_ROWS the suite runs with.
+    let inmem = ExecConfig { mem_budget_rows: None, ..ExecConfig::default() };
+    let ordered = engine.execute_with(&prepared, &inmem).unwrap();
+    let forced =
+        engine.execute_with(&prepared, &ExecConfig { mem_budget_rows: None, ..off_cfg() }).unwrap();
+    assert_eq!(ordered.results, forced.results);
+    assert_eq!(ordered.results.len(), 120);
+    assert_eq!(ordered.stats.sorted_rows, 0, "group-key ORDER BY rides the delivered order");
+    assert_eq!(ordered.cout, forced.cout);
+    assert!(forced.stats.sorted_rows > 0);
+    assert!(
+        ordered.stats.peak_tuples <= forced.stats.peak_tuples,
+        "one-group-at-a-time fold must not hold more than the hash fold"
+    );
+}
+
+#[test]
+fn distinct_on_delivered_order_uses_run_dedup() {
+    // Large enough that the hash dedup's retained set dominates the peak.
+    let ds = duplicate_heavy_dataset(2000);
+    let engine = Engine::new(&ds);
+    // DISTINCT ?s over the multi-valued <a>: 4 duplicates per subject,
+    // delivered contiguously — run dedup, no hash set.
+    let q = parambench_sparql::parse_query("SELECT DISTINCT ?s WHERE { ?s <a> ?x }").unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let ordered = engine.execute(&prepared).unwrap();
+    let forced = engine.execute_with(&prepared, &off_cfg()).unwrap();
+    assert_eq!(ordered.results, forced.results);
+    assert_eq!(ordered.results.len(), 2000);
+    assert!(
+        ordered.stats.peak_tuples < forced.stats.peak_tuples,
+        "run dedup peak {} not below hash dedup peak {}",
+        ordered.stats.peak_tuples,
+        forced.stats.peak_tuples
+    );
+}
+
+#[test]
+fn multi_key_sort_elimination_declines_on_numeric_value_ties() {
+    // Two DISTINCT ids with the SAME numeric value ("1"^^int vs
+    // "1.0"^^double): under ORDER BY ?a ?b the baseline's stable sort
+    // treats them as one tie group and reorders it by ?b, while id-ordered
+    // delivery would pin them by lexical form. The engine must therefore
+    // refuse multi-key elimination on tie-carrying dictionaries and sort
+    // for real — producing exactly the baseline order.
+    let mut b = StoreBuilder::new();
+    let s1 = Term::iri("row/1");
+    let s2 = Term::iri("row/2");
+    b.insert(s1.clone(), Term::iri("a"), Term::integer(1));
+    b.insert(s1, Term::iri("b"), Term::integer(5));
+    b.insert(s2.clone(), Term::iri("a"), Term::double(1.0));
+    b.insert(s2, Term::iri("b"), Term::integer(3));
+    let ds = b.freeze();
+    assert!(ds.dict().has_value_ties(), "1 and 1.0 must register as a value tie");
+    let engine = Engine::new(&ds);
+    let q = parambench_sparql::parse_query(
+        "SELECT ?s ?a ?b WHERE { ?s <a> ?a . ?s <b> ?b } ORDER BY ASC(?a) ASC(?b)",
+    )
+    .unwrap();
+    let prepared = engine.prepare(&q).unwrap();
+    let auto = engine.execute(&prepared).unwrap();
+    let off = engine.execute_with(&prepared, &off_cfg()).unwrap();
+    assert_eq!(auto.results, off.results, "tie-carrying multi-key order diverged");
+    assert!(auto.stats.sorted_rows > 0, "the engine must really sort here");
+    // The equal-?a tie group is ordered by ?b: b=3 (the double row) first.
+    assert_eq!(auto.results.rows[0][2].as_num(), Some(3.0));
+    assert_eq!(auto.results.rows[1][2].as_num(), Some(5.0));
+
+    // Single-key ORDER BY stays eliminable even with ties: sort-key ties
+    // fall back to arrival order on both paths.
+    let q1 = parambench_sparql::parse_query("SELECT ?s ?a WHERE { ?s <a> ?a } ORDER BY ASC(?a)")
+        .unwrap();
+    let p1 = engine.prepare(&q1).unwrap();
+    let auto1 = engine.execute(&p1).unwrap();
+    let off1 = engine.execute_with(&p1, &off_cfg()).unwrap();
+    assert_eq!(auto1.results, off1.results);
+    assert_eq!(auto1.stats.sorted_rows, 0, "single-key elimination stays sound");
 }

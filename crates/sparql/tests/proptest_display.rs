@@ -131,7 +131,7 @@ fn arb_query() -> impl Strategy<Value = SelectQuery> {
                 group_by,
                 order_by: order
                     .into_iter()
-                    .map(|(var, descending)| OrderKey { var, descending })
+                    .map(|(var, descending)| OrderKey::var(var, descending))
                     .collect(),
                 limit,
                 offset,

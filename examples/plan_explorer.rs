@@ -62,7 +62,9 @@ fn main() {
         println!("  {sig}  <-  {}", pairs.join(", "));
     }
 
-    // Show the full EXPLAIN for the two extreme pairs.
+    // Show the full EXPLAIN for the two extreme pairs — logical plan plus
+    // the physical rendering: one line per operator with the chosen join
+    // method (hash/bind/merge), the scanned index and the delivered order.
     for (x, y) in [("USA", "Canada"), ("Finland", "Zimbabwe")] {
         let binding = Binding::new()
             .with("person", person.clone())
@@ -70,5 +72,23 @@ fn main() {
             .with("countryY", Term::iri(schema::country(y)));
         let prepared = engine.prepare_template(&template, &binding).unwrap();
         println!("\nEXPLAIN {x}+{y}:\n{}", prepared.explain());
+        println!("PHYSICAL {x}+{y}:\n{}", engine.explain_physical(&prepared));
     }
+
+    // Order-aware execution on the BSBM side: an ORDER-BY-matching-index
+    // template whose sort the engine eliminates behind the delivered
+    // order, visible in the physical EXPLAIN's trailing `sort:` line.
+    use parambench::datagen::{Bsbm, BsbmConfig};
+    let bsbm = Bsbm::generate(BsbmConfig::with_scale(60_000));
+    let bsbm_engine = Engine::new(&bsbm.dataset);
+    let catalog = Bsbm::q_catalog_of_type();
+    let binding =
+        Binding::new().with("type", Term::iri(parambench::datagen::bsbm::schema::product_type(0)));
+    let prepared = bsbm_engine.prepare_template(&catalog, &binding).unwrap();
+    let out = bsbm_engine.execute(&prepared).unwrap();
+    println!(
+        "\nBSBM catalog-of-type (ORDER BY matching the index; sorted_rows = {}):\n{}",
+        out.stats.sorted_rows,
+        bsbm_engine.explain_physical(&prepared)
+    );
 }
