@@ -8,21 +8,37 @@
 //! cargo run --release -p parambench-bench --bin bench_trajectory
 //! ```
 //!
-//! The sequence number defaults to `5` (this PR) and can be overridden
+//! The sequence number defaults to `6` (this PR) and can be overridden
 //! with `BENCH_SEQ`; dataset scale follows `PARAMBENCH_TRIPLES` like the
 //! experiment binaries. Wall times are min-of-N to damp scheduler noise;
 //! the deterministic counters are single-run (they cannot vary).
+//!
+//! Since PR 6 the snapshot also records a **concurrent-clients phase**:
+//! the same template mix served through `SparqlServer` from a fixed
+//! number of in-process client threads, reporting aggregate throughput,
+//! per-template p50/p99 latency and the serving-layer counters (plan-
+//! cache hits, admission deferrals, worker-pool peak).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use parambench_bench::{bsbm, fmt_ms, header};
+use parambench_core::workload::run_concurrent;
 use parambench_datagen::{bsbm::schema, Bsbm};
 use parambench_rdf::Term;
+use parambench_sparql::serve::ServeConfig;
 use parambench_sparql::template::{Binding, QueryTemplate};
 use parambench_sparql::Engine;
 
 /// Wall-time runs per template (min is reported).
 const RUNS: usize = 5;
+
+/// Client threads in the concurrent-serving phase.
+const CLIENTS: usize = 4;
+
+/// Requests per template in the concurrent-serving phase (distinct
+/// parameter bindings, cycling the template's parameter domain).
+const VARIANTS: usize = 8;
 
 fn suite() -> Vec<(QueryTemplate, Binding)> {
     let root_type = Binding::new().with("type", Term::iri(schema::product_type(0)));
@@ -43,8 +59,31 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The concurrent phase's request mix: `VARIANTS` bindings per template,
+/// drawn from the real parameter domains so the plan cache sees both
+/// repeats (rebind hits) and fresh constants.
+fn concurrent_requests(data: &Bsbm) -> Vec<(QueryTemplate, Binding)> {
+    let types = data.type_iris();
+    let products = data.product_iris();
+    let mut requests = Vec::new();
+    for v in 0..VARIANTS {
+        // Cycle a small type subset so every template sees both cold
+        // prepares (fresh classes) and cache hits (repeats).
+        let ty = types[v % types.len().min(4)].clone();
+        requests.push((
+            Bsbm::q2_similar_products(),
+            Binding::new().with("product", products[(v * 37) % products.len()].clone()),
+        ));
+        requests.push((Bsbm::q4_feature_price_by_type(), Binding::new().with("type", ty.clone())));
+        requests
+            .push((Bsbm::q_cheapest_products_of_type(), Binding::new().with("type", ty.clone())));
+        requests.push((Bsbm::q_rating_by_type(), Binding::new().with("type", ty)));
+    }
+    requests
+}
+
 fn main() {
-    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "5".into());
+    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "6".into());
     let data = bsbm();
     header(&format!("BSBM template suite trajectory (seq {seq}, {} triples)", data.dataset.len()));
     let engine = Engine::new(&data.dataset);
@@ -97,10 +136,75 @@ fn main() {
         ));
     }
 
+    // --- concurrent-clients phase: the same store behind SparqlServer ---
+    let triples = data.dataset.len();
+    drop(engine);
+    let requests = concurrent_requests(&data);
+    let ds = Arc::new(data.dataset);
+    header(&format!(
+        "Concurrent serving ({CLIENTS} clients, {} requests, {} templates)",
+        requests.len(),
+        requests.len() / VARIANTS,
+    ));
+    let run = run_concurrent(ds, &requests, CLIENTS, ServeConfig::default())
+        .expect("concurrent phase executes");
+    let mut conc_entries: Vec<String> = Vec::new();
+    for t in &run.templates {
+        println!(
+            "{:<18} p50 {:>10} p99 {:>10} | requests {:>3} rows {:>6} cache hits {:>3}",
+            t.template,
+            fmt_ms(t.p50_ms),
+            fmt_ms(t.p99_ms),
+            t.requests,
+            t.rows,
+            t.cache_hits,
+        );
+        conc_entries.push(format!(
+            "      {{\"template\": \"{}\", \"requests\": {}, \"rows\": {}, \
+             \"cache_hits\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            json_escape(&t.template),
+            t.requests,
+            t.rows,
+            t.cache_hits,
+            t.p50_ms,
+            t.p99_ms,
+        ));
+    }
+    println!(
+        "throughput {:.1} q/s | prepares: {} cold, {} avoided | \
+         queue wait {} | pool peak {}/{}",
+        run.throughput_qps,
+        run.serve.cache_misses,
+        run.serve.prepares_avoided,
+        fmt_ms(run.serve.queue_wait.as_secs_f64() * 1e3),
+        run.serve.pool.peak_in_use,
+        run.serve.pool.capacity,
+    );
+
+    let concurrent = format!(
+        "{{\n    \"clients\": {}, \"requests\": {}, \"elapsed_ms\": {:.3}, \
+         \"throughput_qps\": {:.3},\n    \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"prepares_avoided\": {}, \"admissions_deferred\": {}, \
+         \"queue_wait_ms\": {:.3},\n    \"pool_capacity\": {}, \"pool_peak_in_use\": {}, \
+         \"pool_granted\": {},\n    \"templates\": [\n{}\n    ]\n  }}",
+        run.clients,
+        run.requests,
+        run.elapsed_ms,
+        run.throughput_qps,
+        run.serve.cache_hits,
+        run.serve.cache_misses,
+        run.serve.prepares_avoided,
+        run.serve.admissions_deferred,
+        run.serve.queue_wait.as_secs_f64() * 1e3,
+        run.serve.pool.capacity,
+        run.serve.pool.peak_in_use,
+        run.serve.pool.granted,
+        conc_entries.join(",\n"),
+    );
+
     let body = format!(
-        "{{\n  \"seq\": {seq},\n  \"suite\": \"bsbm\",\n  \"triples\": {},\n  \
-         \"wall_runs\": {RUNS},\n  \"templates\": [\n{}\n  ]\n}}\n",
-        data.dataset.len(),
+        "{{\n  \"seq\": {seq},\n  \"suite\": \"bsbm\",\n  \"triples\": {triples},\n  \
+         \"wall_runs\": {RUNS},\n  \"templates\": [\n{}\n  ],\n  \"concurrent\": {concurrent}\n}}\n",
         entries.join(",\n"),
     );
     let path = format!("BENCH_{seq}.json");

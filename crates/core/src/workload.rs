@@ -6,10 +6,16 @@
 //! experiment table (E1–E3), the §III correlation (C1) and the P1–P3
 //! validation.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use parambench_rdf::store::Dataset;
 use parambench_sparql::engine::Engine;
 use parambench_sparql::plan::PlanSignature;
+use parambench_sparql::serve::{drive_clients, ServeConfig, ServeStats, SparqlServer};
 use parambench_sparql::template::{Binding, QueryTemplate};
 use parambench_sparql::ExecConfig;
+use parambench_stats::summary::Summary;
 
 use crate::error::CurationError;
 
@@ -94,6 +100,96 @@ pub fn run_workload(
         });
     }
     Ok(out)
+}
+
+/// Per-template latency digest from a concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentTemplateStats {
+    /// Template report label.
+    pub template: String,
+    /// Requests served for this template.
+    pub requests: usize,
+    /// Total result rows across those requests.
+    pub rows: usize,
+    /// Requests served from the plan cache (rebind, no prepare).
+    pub cache_hits: usize,
+    /// Median per-query wall time, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query wall time, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Result of a multi-client concurrent run ([`run_concurrent`]).
+#[derive(Debug, Clone)]
+pub struct ConcurrentRun {
+    /// Client threads used.
+    pub clients: usize,
+    /// Total requests served.
+    pub requests: usize,
+    /// End-to-end wall time of the whole run, milliseconds.
+    pub elapsed_ms: f64,
+    /// Aggregate throughput, queries per second.
+    pub throughput_qps: f64,
+    /// Per-template latency digests, in first-appearance order.
+    pub templates: Vec<ConcurrentTemplateStats>,
+    /// Serving-layer counters (plan cache, admission, worker pool).
+    pub serve: ServeStats,
+}
+
+/// Serves `requests` from `clients` in-process client threads against one
+/// shared-store [`SparqlServer`] and digests the result: throughput,
+/// per-template p50/p99 latency and serving-layer counters. This is the
+/// benchmark's concurrent phase (`bench_trajectory`) as well as the CI
+/// stress entry point.
+pub fn run_concurrent(
+    ds: Arc<Dataset>,
+    requests: &[(QueryTemplate, Binding)],
+    clients: usize,
+    config: ServeConfig,
+) -> Result<ConcurrentRun, CurationError> {
+    let server = SparqlServer::new(ds, config);
+    let t0 = Instant::now();
+    let outputs = drive_clients(&server, clients, requests)?;
+    let elapsed = t0.elapsed();
+
+    let mut order: Vec<&str> = Vec::new();
+    for (t, _) in requests {
+        if !order.contains(&t.name()) {
+            order.push(t.name());
+        }
+    }
+    let templates = order
+        .iter()
+        .map(|name| {
+            let mut millis = Vec::new();
+            let (mut rows, mut hits) = (0, 0);
+            for ((t, _), out) in requests.iter().zip(&outputs) {
+                if t.name() == *name {
+                    millis.push(out.output.wall_time.as_secs_f64() * 1e3);
+                    rows += out.output.results.len();
+                    hits += out.cache_hit as usize;
+                }
+            }
+            let digest = Summary::new(&millis).expect("template appears in requests");
+            ConcurrentTemplateStats {
+                template: name.to_string(),
+                requests: millis.len(),
+                rows,
+                cache_hits: hits,
+                p50_ms: digest.median(),
+                p99_ms: digest.quantile(0.99),
+            }
+        })
+        .collect();
+
+    Ok(ConcurrentRun {
+        clients: clients.max(1),
+        requests: requests.len(),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        throughput_qps: requests.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        templates,
+        serve: server.stats(),
+    })
 }
 
 /// Wall-clock runtimes (ms) of a measurement batch.
@@ -188,6 +284,35 @@ mod tests {
         assert_eq!(Metric::WallMillis.series(&ms).len(), 1);
         assert_eq!(Metric::Cout.series(&ms).len(), 1);
         assert_eq!(Metric::PeakTuples.series(&ms).len(), 1);
+    }
+
+    #[test]
+    fn concurrent_run_matches_serial_and_digests_per_template() {
+        let ds = Arc::new(data());
+        let t = QueryTemplate::parse("t", "SELECT ?s ?v WHERE { ?s <p> %o . ?s <q> ?v }").unwrap();
+        let requests: Vec<(QueryTemplate, Binding)> = (0..10)
+            .map(|i| (t.clone(), Binding::new().with("o", Term::iri(format!("o/{}", i % 5)))))
+            .collect();
+        let run = run_concurrent(Arc::clone(&ds), &requests, 3, ServeConfig::default()).unwrap();
+        assert_eq!(run.requests, 10);
+        assert_eq!(run.templates.len(), 1);
+        assert_eq!(run.templates[0].requests, 10);
+        assert_eq!(run.templates[0].rows, 100, "10 requests x 10 rows");
+        // 5 distinct bindings of one class: one cold prepare, the rest hits.
+        assert_eq!(run.serve.cache_misses, 1);
+        assert_eq!(run.serve.cache_hits, 9);
+        assert!(run.throughput_qps > 0.0);
+        // Concurrent service returns the same row counts as a serial private
+        // engine (row-level equality is pinned by the sparql stress suite).
+        let engine = Engine::new(&ds);
+        let serial = run_workload(
+            &engine,
+            &t,
+            &requests.iter().map(|(_, b)| b.clone()).collect::<Vec<_>>(),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(serial.iter().map(|m| m.rows).sum::<usize>(), 100);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::modifiers::{
 };
 use crate::optimizer::{optimize_with, reestimate, OrderPrefs};
 use crate::physical::{
-    self, BoxedOperator, CoutBucket, FilterEval, Gather, HashJoinProbe, LeftOuterJoin,
+    self, Batch, BoxedOperator, CoutBucket, FilterEval, Gather, HashJoinProbe, LeftOuterJoin,
     ParallelSource, Project, UnionAll,
 };
 use crate::plan::{
@@ -34,7 +34,7 @@ use crate::results::{
     decode_bindings, finalize_bindings, finalize_table, table_from_bindings, table_from_groups,
     OutVal, ResultSet,
 };
-use crate::spill::{ExternalGroupFold, ExternalSorter};
+use crate::spill::{ExternalGroupFold, ExternalSorter, SortedRows};
 use crate::template::{Binding, QueryTemplate};
 
 /// An optimized OPTIONAL group.
@@ -154,6 +154,236 @@ impl<'a> Pipeline<'a> {
             Pipeline::Serial(op) => op,
             Pipeline::Parallel(src) => Box::new(Gather::new(src)),
         }
+    }
+}
+
+/// What remains of the plain (non-aggregate) modifier epilogue after the
+/// streaming operators are stacked — produced by `Engine::plain_tail`,
+/// consumed either all at once (`Engine::finish_plain`) or incrementally
+/// ([`Engine::stream`]).
+enum PlainTail<'a> {
+    /// The operator already emits final rows in final order (projection,
+    /// streaming DISTINCT, Slice/TopK applied) — drain and decode.
+    Rows(BoxedOperator<'a>),
+    /// The external merge sort's streaming cursor (ORDER BY without LIMIT
+    /// under a memory budget), with `skip` OFFSET rows still to drop.
+    Sorted { merged: SortedRows<'a>, cols: Vec<usize>, skip: usize },
+    /// A materializing path (sort-aware DISTINCT, the in-memory full
+    /// sort) — already finalized.
+    Table(ResultSet),
+}
+
+/// An incrementally drained query result: the serving layer's per-client
+/// output. Rows stream straight off the batched Volcano pipeline (or the
+/// external merge sort's run cursor) as the consumer pulls — a client
+/// reading the first rows of a large result never materializes the rest.
+/// Materializing shapes (aggregation, the in-memory full sort, DISTINCT
+/// under unprojected sort keys) still compute their table up front at
+/// construction and stream the finished rows out.
+///
+/// The same epilogue decisions as [`Engine::execute`] drive it (they share
+/// one implementation), so the streamed rows, their order and the final
+/// [`ExecStats`] are bit-identical to the materialized run's.
+pub struct RowStream<'a> {
+    ds: &'a Dataset,
+    columns: Vec<String>,
+    inner: StreamInner<'a>,
+    stats: ExecStats,
+    started: Instant,
+}
+
+enum StreamInner<'a> {
+    /// Decode rows straight off pipeline batches.
+    Pipeline {
+        op: BoxedOperator<'a>,
+        /// Pipeline-schema column per output column.
+        cols: Vec<usize>,
+        batch: Option<Batch>,
+        /// Next row within `batch`.
+        next: usize,
+        /// Reusable row buffer (pipeline schema width).
+        row: Vec<Id>,
+        done: bool,
+    },
+    /// The external merge sort's cursor.
+    Sorted { merged: SortedRows<'a>, cols: Vec<usize>, skip: usize },
+    /// Materialized rows (aggregation and the other blocking shapes).
+    Table(std::vec::IntoIter<Vec<OutVal>>),
+    /// Trivially empty (LIMIT 0).
+    Done,
+}
+
+/// Final accounting of a drained [`RowStream`] (see [`RowStream::finish`]).
+#[derive(Debug, Clone)]
+pub struct StreamEnd {
+    /// Full operator instrumentation for the work performed so far.
+    pub stats: ExecStats,
+    /// Measured `Cout` (required + optional join outputs) so far.
+    pub cout: u64,
+    /// Wall-clock time from stream construction to `finish`.
+    pub wall_time: Duration,
+}
+
+impl<'a> RowStream<'a> {
+    /// Output column names, in projection order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Pulls the next result row, or `None` when the stream is exhausted.
+    pub fn next_row(&mut self) -> Result<Option<Vec<OutVal>>, QueryError> {
+        let RowStream { ds, inner, stats, .. } = self;
+        match inner {
+            StreamInner::Done => Ok(None),
+            StreamInner::Table(rows) => Ok(rows.next()),
+            StreamInner::Sorted { merged, cols, skip } => loop {
+                match merged.next_row()? {
+                    None => return Ok(None),
+                    Some(sorted_row) => {
+                        if *skip > 0 {
+                            *skip -= 1;
+                            continue;
+                        }
+                        return Ok(Some(Engine::decode_cols(cols, &sorted_row, ds)));
+                    }
+                }
+            },
+            StreamInner::Pipeline { op, cols, batch, next, row, done } => loop {
+                if *done {
+                    return Ok(None);
+                }
+                if let Some(b) = batch {
+                    if *next < b.len() {
+                        b.read_row(*next, row);
+                        *next += 1;
+                        return Ok(Some(Engine::decode_cols(cols, row, ds)));
+                    }
+                    stats.shrink(b.len());
+                    *batch = None;
+                }
+                match op.next_batch(stats) {
+                    Some(b) => {
+                        *next = 0;
+                        *batch = Some(b);
+                    }
+                    None => *done = true,
+                }
+            },
+        }
+    }
+
+    /// Ends the stream and returns its accounting. Counters reflect the
+    /// work performed up to this point — call after draining (or after
+    /// abandoning early: an early finish simply stops pulling upstream,
+    /// which is exactly the streaming win).
+    pub fn finish(self) -> StreamEnd {
+        let cout = self.stats.cout + self.stats.cout_optional;
+        StreamEnd { cout, wall_time: self.started.elapsed(), stats: self.stats }
+    }
+
+    /// Drains every remaining row into a [`QueryOutput`] — the bridge back
+    /// to the materialized API (and the differential anchor: this must
+    /// equal [`Engine::execute`]'s output bit for bit).
+    pub fn collect_output(mut self) -> Result<QueryOutput, QueryError> {
+        let mut rows = Vec::new();
+        while let Some(r) = self.next_row()? {
+            rows.push(r);
+        }
+        let columns = std::mem::take(&mut self.columns);
+        let end = self.finish();
+        Ok(QueryOutput {
+            results: ResultSet { columns, rows },
+            wall_time: end.wall_time,
+            cout: end.cout,
+            stats: end.stats,
+        })
+    }
+}
+
+impl Iterator for RowStream<'_> {
+    type Item = Result<Vec<OutVal>, QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_row().transpose()
+    }
+}
+
+/// The parameter **cardinality class** of one (template, binding) pair —
+/// the plan cache's constant-sensitivity key.
+///
+/// A cached plan skeleton may only be reused for a binding when every
+/// input the optimizer's choices were derived from is unchanged. All such
+/// constant-sensitive inputs flow through per-pattern scan statistics, so
+/// the key records, per triple pattern (in `PlannedPattern::idx` order):
+///
+/// * the *shape* of each parameterized position (bound id vs
+///   dictionary-absent term),
+/// * the exact scan cardinality of the pattern under this binding,
+/// * the distinct-value count of each free (variable) position,
+/// * the bound predicate id when the predicate itself is parameterized
+///   (character-set star statistics and predicate totals depend on the
+///   predicate's identity, not just its counts).
+///
+/// Bound subject/object ids are deliberately *excluded*: only the
+/// statistics they induce matter to the optimizer, so bindings with
+/// equivalent statistics share one cache entry. Key equality therefore
+/// implies identical scan estimates, identical DP join order and
+/// join-method choices, identical estimate fields and identical adaptive
+/// bind-join decisions at lowering — which is why a cached-rebind run is
+/// bit-identical to a cold prepare (pinned by the differential sweep in
+/// `tests/concurrent_serve.rs`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanClass(Vec<u64>);
+
+/// A template's triple patterns in exactly the order `Engine::prepare`
+/// assigns `PlannedPattern::idx`: top-level (required) triples first, then
+/// UNION branch triples (group by group, branch by branch), then OPTIONAL
+/// triples — the provenance map the plan-cache rebind is keyed by.
+fn template_patterns(query: &SelectQuery) -> Vec<&TriplePattern> {
+    let mut out = Vec::new();
+    for el in &query.where_clause {
+        if let Element::Triple(t) = el {
+            out.push(t);
+        }
+    }
+    for el in &query.where_clause {
+        if let Element::Union(branches) = el {
+            for branch in branches {
+                for b_el in branch {
+                    if let Element::Triple(t) = b_el {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+    for el in &query.where_clause {
+        if let Element::Optional(inner) = el {
+            for o_el in inner {
+                if let Element::Triple(t) = o_el {
+                    out.push(t);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Replaces, in `cached` (an already-instantiated expression), the
+/// constant at every `%param` site of the structurally identical template
+/// expression `tmpl` with the new binding's term. Instantiation only ever
+/// rewrites `Param` nodes to `Const`, so the two trees are congruent.
+fn rebind_expr(cached: &mut Expr, tmpl: &Expr, binding: &Binding) {
+    match (&mut *cached, tmpl) {
+        (c, Expr::Param(p)) => {
+            *c = Expr::Const(binding.get(p).expect("binding validated").clone());
+        }
+        (Expr::Not(c), Expr::Not(t)) => rebind_expr(c, t, binding),
+        (Expr::Binary(_, ca, cb), Expr::Binary(_, ta, tb)) => {
+            rebind_expr(ca, ta, binding);
+            rebind_expr(cb, tb, binding);
+        }
+        _ => {}
     }
 }
 
@@ -701,6 +931,61 @@ impl<'a> Engine<'a> {
         Ok(QueryOutput { results, wall_time, cout, stats })
     }
 
+    /// Executes a prepared query as an incrementally drained [`RowStream`]
+    /// (the serving layer's per-client result). The pipeline-shape and
+    /// modifier decisions are shared with [`Engine::execute`]'s pushed
+    /// path, so the streamed rows, their order and the final stats are
+    /// bit-identical to the materialized run's; shapes that must
+    /// materialize (aggregation, in-memory full sorts, sort-aware
+    /// DISTINCT) compute their table here and stream the finished rows.
+    ///
+    /// The stream borrows only the dataset, not the engine or the
+    /// `Prepared` — a per-request engine value can be dropped while its
+    /// stream is still being drained.
+    pub fn stream(
+        &self,
+        prepared: &Prepared,
+        exec: &ExecConfig,
+    ) -> Result<RowStream<'a>, QueryError> {
+        let started = Instant::now();
+        let mut stats = ExecStats::default();
+        let m = &prepared.modifiers;
+        let columns = m.out_names();
+        // Same LIMIT-0 short-circuit as `run`: nothing is ever scanned.
+        if m.limit == Some(0) {
+            return Ok(RowStream {
+                ds: self.ds,
+                columns,
+                inner: StreamInner::Done,
+                stats,
+                started,
+            });
+        }
+        let pipeline = self.build_pipeline(prepared, exec, &mut stats);
+        let inner = if m.aggregate.is_some() {
+            // Aggregation materializes its groups regardless; reuse the
+            // pushed epilogue wholesale and stream the finished table.
+            let results = self.finish_pushed(prepared, pipeline, exec, &mut stats)?;
+            StreamInner::Table(results.rows.into_iter())
+        } else {
+            let order_on = exec.order_exec != OrderExec::Off;
+            let sort_elim = order_on && self.order_satisfied(m, &prepared.delivered_order);
+            let delivered: &[usize] = if order_on { &prepared.delivered_order } else { &[] };
+            match self.plain_tail(prepared, pipeline, exec, &mut stats, sort_elim, delivered)? {
+                PlainTail::Rows(op) => {
+                    let cols = Self::out_cols(m, op.schema());
+                    let row = vec![UNBOUND; op.schema().len()];
+                    StreamInner::Pipeline { op, cols, batch: None, next: 0, row, done: false }
+                }
+                PlainTail::Sorted { merged, cols, skip } => {
+                    StreamInner::Sorted { merged, cols, skip }
+                }
+                PlainTail::Table(results) => StreamInner::Table(results.rows.into_iter()),
+            }
+        };
+        Ok(RowStream { ds: self.ds, columns, inner, stats, started })
+    }
+
     /// The pushed-modifier epilogue: stacks modifier operators onto the
     /// pipeline and decodes at the boundary. (`run` already short-circuits
     /// LIMIT 0 before the pipeline exists.) Under an
@@ -874,6 +1159,41 @@ impl<'a> Engine<'a> {
         delivered: &[usize],
     ) -> Result<ResultSet, QueryError> {
         let m = &prepared.modifiers;
+        match self.plain_tail(prepared, pipeline, exec, stats, sort_elim, delivered)? {
+            PlainTail::Rows(op) => {
+                let bindings = physical::drain(op, stats);
+                Ok(decode_bindings(&bindings, m, self.ds))
+            }
+            PlainTail::Sorted { mut merged, cols, mut skip } => {
+                let mut rows = Vec::new();
+                while let Some(sorted_row) = merged.next_row()? {
+                    if skip > 0 {
+                        skip -= 1;
+                        continue;
+                    }
+                    rows.push(Self::decode_cols(&cols, &sorted_row, self.ds));
+                }
+                Ok(ResultSet { columns: m.out_names(), rows })
+            }
+            PlainTail::Table(results) => Ok(results),
+        }
+    }
+
+    /// Stacks the streaming modifier operators of the plain path and
+    /// classifies what remains — the shared core of [`Engine::finish_plain`]
+    /// (which drains it) and [`Engine::stream`] (which hands it to the
+    /// caller row by row). Every decision here is the plain path's: the
+    /// two consumers cannot diverge because they share this one function.
+    fn plain_tail(
+        &self,
+        prepared: &Prepared,
+        pipeline: Pipeline<'a>,
+        exec: &ExecConfig,
+        stats: &mut ExecStats,
+        sort_elim: bool,
+        delivered: &[usize],
+    ) -> Result<PlainTail<'a>, QueryError> {
+        let m = &prepared.modifiers;
         let spill_mode = m.spill_mode(prepared.est_result_card, exec.mem_budget_rows);
         let mut op = pipeline.into_operator();
 
@@ -905,8 +1225,7 @@ impl<'a> Engine<'a> {
                 // Early-exit slice: upstream stops once the limit is hit.
                 op = Box::new(Slice::new(op, m.offset, m.limit));
             }
-            let bindings = physical::drain(op, stats);
-            return Ok(decode_bindings(&bindings, m, self.ds));
+            return Ok(PlainTail::Rows(op));
         }
 
         if sort_elim {
@@ -932,8 +1251,7 @@ impl<'a> Engine<'a> {
             if m.offset > 0 || m.limit.is_some() {
                 op = Box::new(Slice::new(op, m.offset, m.limit));
             }
-            let bindings = physical::drain(op, stats);
-            return Ok(decode_bindings(&bindings, m, self.ds));
+            return Ok(PlainTail::Rows(op));
         }
 
         if m.distinct && !already_distinct {
@@ -963,7 +1281,7 @@ impl<'a> Engine<'a> {
                 .take(m.limit.unwrap_or(usize::MAX))
                 .map(|r| Self::decode_cols(&cols, &r, self.ds))
                 .collect();
-            return Ok(ResultSet { columns: m.out_names(), rows });
+            return Ok(PlainTail::Table(ResultSet { columns: m.out_names(), rows }));
         }
 
         if let Some(limit) = m.limit {
@@ -971,8 +1289,7 @@ impl<'a> Engine<'a> {
             // per row, only offset+limit rows ever resident.
             let keys = RowKeys::resolve(m, op.schema(), self.ds);
             op = Box::new(TopK::new(op, keys, m.offset, limit));
-            let bindings = physical::drain(op, stats);
-            return Ok(decode_bindings(&bindings, m, self.ds));
+            return Ok(PlainTail::Rows(op));
         }
 
         if spill_mode != SpillMode::InMemory {
@@ -988,25 +1305,16 @@ impl<'a> Engine<'a> {
             Self::for_each_row(&mut op, stats, |row, st| {
                 sorter.push_row(row, st).map_err(QueryError::from)
             })?;
-            let mut merged = sorter.finish(stats)?;
+            let merged = sorter.finish(stats)?;
             let cols = Self::out_cols(m, op.schema());
-            let mut rows = Vec::new();
-            let mut skip = m.offset;
-            while let Some(sorted_row) = merged.next_row()? {
-                if skip > 0 {
-                    skip -= 1;
-                    continue;
-                }
-                rows.push(Self::decode_cols(&cols, &sorted_row, self.ds));
-            }
-            return Ok(ResultSet { columns: m.out_names(), rows });
+            return Ok(PlainTail::Sorted { merged, cols, skip: m.offset });
         }
 
         // Fallback: ORDER BY without LIMIT (full sort is unavoidable),
         // fully in memory.
         let bindings = physical::drain(op, stats);
         let rows = table_from_bindings(&bindings, m, self.ds)?;
-        Ok(finalize_table(rows, m, self.ds, already_distinct, false, stats))
+        Ok(PlainTail::Table(finalize_table(rows, m, self.ds, already_distinct, false, stats)))
     }
 
     /// Whether the delivered order provably satisfies the full ORDER BY:
@@ -1199,6 +1507,164 @@ impl<'a> Engine<'a> {
     ) -> Result<Prepared, QueryError> {
         let query = template.instantiate(binding)?;
         self.prepare(&query)
+    }
+
+    /// Computes the [`PlanClass`] of a (template, binding) pair — the
+    /// plan cache's key — without parsing, optimizing or lowering
+    /// anything. Cost: one exact index count plus (cached) distinct-count
+    /// probes per triple pattern.
+    pub fn plan_class(
+        &self,
+        template: &QueryTemplate,
+        binding: &Binding,
+    ) -> Result<PlanClass, QueryError> {
+        template.check_binding(binding)?;
+        let mut words: Vec<u64> = Vec::new();
+        for t in template_patterns(template.query()) {
+            // Synthetic probe pattern: real ids for constants and bound
+            // parameters, one distinct variable per free position — its
+            // scan estimate captures every statistic the real pattern's
+            // estimate (including repeated-variable minima) derives from.
+            let mut slots = [Slot::Absent; 3];
+            let mut shape = 0u64;
+            let mut pred_param: Option<Slot> = None;
+            for (i, vot) in [&t.subject, &t.predicate, &t.object].into_iter().enumerate() {
+                let (slot, code) = match vot {
+                    VarOrTerm::Var(_) => (Slot::Var(i), 0u64),
+                    VarOrTerm::Term(term) => match self.ds.lookup(term) {
+                        Some(id) => (Slot::Bound(id), 1),
+                        None => (Slot::Absent, 1),
+                    },
+                    VarOrTerm::Param(p) => {
+                        let term = binding.get(p).expect("binding validated");
+                        match self.ds.lookup(term) {
+                            Some(id) => (Slot::Bound(id), 2),
+                            None => (Slot::Absent, 3),
+                        }
+                    }
+                };
+                slots[i] = slot;
+                shape = shape << 2 | code;
+                if i == 1 && code >= 2 {
+                    pred_param = Some(slot);
+                }
+            }
+            words.push(shape);
+            let est = self.est.scan(&PlannedPattern { idx: 0, slots });
+            words.push(est.card as u64);
+            for (i, vot) in [&t.subject, &t.predicate, &t.object].into_iter().enumerate() {
+                if matches!(vot, VarOrTerm::Var(_)) {
+                    words.push(est.distinct_of(i).to_bits());
+                }
+            }
+            if let Some(Slot::Bound(id)) = pred_param {
+                words.push(id.0 as u64);
+            }
+        }
+        Ok(PlanClass(words))
+    }
+
+    /// Rebinds a cached [`Prepared`] plan skeleton to a new binding of the
+    /// same template **without re-parsing, re-optimizing or re-lowering**:
+    /// the new constants are substituted in place into the cached plan's
+    /// scan patterns (keyed by `PlannedPattern::idx`) and filter
+    /// expressions. Estimate fields, signature and modifier plan carry
+    /// over from the cache.
+    ///
+    /// Only valid when the new binding's [`PlanClass`] equals the cached
+    /// plan's — the caller (the serving layer's plan cache) keys its
+    /// entries by class, so a class change is a cache miss, never a wrong
+    /// reuse. Under class equality the rebound plan is exactly what a cold
+    /// [`Engine::prepare`] of the instantiated query would produce.
+    pub fn rebind(
+        &self,
+        cached: &Prepared,
+        template: &QueryTemplate,
+        binding: &Binding,
+    ) -> Result<Prepared, QueryError> {
+        template.check_binding(binding)?;
+        let query = template.query();
+
+        // Per-idx slot substitutions for the parameterized positions.
+        let patterns = template_patterns(query);
+        let mut subs: Vec<[Option<Slot>; 3]> = Vec::with_capacity(patterns.len());
+        for t in &patterns {
+            let mut sub = [None, None, None];
+            for (i, vot) in [&t.subject, &t.predicate, &t.object].into_iter().enumerate() {
+                if let VarOrTerm::Param(p) = vot {
+                    let term = binding.get(p).expect("binding validated");
+                    sub[i] = Some(match self.ds.lookup(term) {
+                        Some(id) => Slot::Bound(id),
+                        None => Slot::Absent,
+                    });
+                }
+            }
+            subs.push(sub);
+        }
+
+        let mut out = cached.clone();
+        let mut apply = |pat: &mut PlannedPattern| {
+            for (i, s) in subs[pat.idx].iter().enumerate() {
+                if let Some(slot) = s {
+                    pat.slots[i] = *slot;
+                }
+            }
+        };
+        if let Some(plan) = &mut out.bgp_plan {
+            plan.patterns_mut(&mut apply);
+        }
+        for u in &mut out.unions {
+            for (plan, _) in &mut u.branches {
+                plan.patterns_mut(&mut apply);
+            }
+        }
+        for o in &mut out.optionals {
+            o.plan.patterns_mut(&mut apply);
+        }
+
+        // Filters, in prepare's grouping order: top-level filters, then
+        // per-UNION-branch filters, then per-OPTIONAL filters — each a
+        // structural lock-step walk of the template expression (which
+        // still carries `Expr::Param`) against the cached instantiation.
+        let mut top = out.filters.iter_mut();
+        for el in &query.where_clause {
+            if let Element::Filter(f) = el {
+                rebind_expr(top.next().expect("same template shape"), f, binding);
+            }
+        }
+        let mut union_plans = out.unions.iter_mut();
+        for el in &query.where_clause {
+            if let Element::Union(branches) = el {
+                let u = union_plans.next().expect("same template shape");
+                for (branch, (_, fs)) in branches.iter().zip(&mut u.branches) {
+                    let mut it = fs.iter_mut();
+                    for b_el in branch {
+                        if let Element::Filter(f) = b_el {
+                            rebind_expr(it.next().expect("same template shape"), f, binding);
+                        }
+                    }
+                }
+            }
+        }
+        let mut opt_plans = out.optionals.iter_mut();
+        for el in &query.where_clause {
+            if let Element::Optional(inner) = el {
+                let o = opt_plans.next().expect("same template shape");
+                let mut it = o.filters.iter_mut();
+                for o_el in inner {
+                    if let Element::Filter(f) = o_el {
+                        rebind_expr(it.next().expect("same template shape"), f, binding);
+                    }
+                }
+            }
+        }
+
+        // The delivered order is a function of which positions are bound
+        // (identical under class equality), but recomputing it is cheap
+        // and keeps the invariant locally checkable.
+        out.delivered_order =
+            out.bgp_plan.as_ref().map(|p| p.delivered_order(self.ds)).unwrap_or_default();
+        Ok(out)
     }
 
     /// Convenience: looks up a term, returning a readable error.

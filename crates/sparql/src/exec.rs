@@ -39,10 +39,14 @@ pub const UNBOUND: Id = Id(u32::MAX);
 /// full-sort buffer) to disk. Per-group aggregate fold order is preserved
 /// by the spill layer, so even float SUM/AVG values are bit-identical
 /// across budgets.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
-    /// Worker-pool size. `1` runs the morsels inline on the calling thread
-    /// (no spawning) but through the same morsel schedule.
+    /// Per-query worker cap. `1` runs the morsels inline on the calling
+    /// thread (no spawning) but through the same morsel schedule. Values
+    /// above 1 are a *cap*, not a reservation: the extra workers beyond the
+    /// calling thread are leased non-blockingly from [`ExecConfig::pool`],
+    /// so concurrent queries share one process-wide thread budget instead
+    /// of multiplying it.
     pub threads: usize,
     /// Driving-scan rows per morsel.
     pub morsel_rows: usize,
@@ -81,6 +85,32 @@ pub struct ExecConfig {
     /// every group — exactly what the budget must bound); joins still fan
     /// out, so prefer `None` when memory is genuinely unconstrained.
     pub mem_budget_rows: Option<usize>,
+    /// The worker pool extra execution threads are leased from. `None`
+    /// (the default) means the process-wide [`global_pool`]; the serving
+    /// layer installs its own pool so a whole server shares one thread
+    /// budget. Like `threads`, the pool never changes produced rows or
+    /// deterministic counters — an exhausted pool only means morsels run
+    /// on fewer workers (down to the calling thread alone).
+    pub pool: Option<&'static WorkerPool>,
+}
+
+impl PartialEq for ExecConfig {
+    /// Pools compare by identity (two configs are equal when they lease
+    /// from the *same* pool); everything else compares structurally.
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+            && self.morsel_rows == other.morsel_rows
+            && self.min_driver_rows == other.min_driver_rows
+            && (self.min_est_cost == other.min_est_cost
+                || (self.min_est_cost.is_nan() && other.min_est_cost.is_nan()))
+            && self.order_exec == other.order_exec
+            && self.mem_budget_rows == other.mem_budget_rows
+            && match (self.pool, other.pool) {
+                (None, None) => true,
+                (Some(a), Some(b)) => std::ptr::eq(a, b),
+                _ => false,
+            }
+    }
 }
 
 /// Environment variable overriding the default
@@ -115,22 +145,25 @@ pub enum OrderExec {
 /// whole suite mirrors the [`MEM_BUDGET_ENV`] pattern.
 pub const ORDER_EXEC_ENV: &str = "SPARQL_ORDER_EXEC";
 
-/// The process-wide default order-execution mode, read from
-/// [`ORDER_EXEC_ENV`] once (first use wins).
+/// The default order-execution mode, read fresh from [`ORDER_EXEC_ENV`] on
+/// every call. Each [`ExecConfig`] construction therefore observes the
+/// environment as it stands *then*, so engines built at different times in
+/// one process can carry different modes (a `OnceLock` here used to freeze
+/// the first reading process-wide, making per-engine config impossible to
+/// vary and test outcomes dependent on execution order).
 pub fn env_order_exec() -> OrderExec {
-    static CACHE: std::sync::OnceLock<OrderExec> = std::sync::OnceLock::new();
-    *CACHE.get_or_init(|| match std::env::var(ORDER_EXEC_ENV).as_deref() {
+    match std::env::var(ORDER_EXEC_ENV).as_deref() {
         Ok("force") | Ok("FORCE") => OrderExec::Force,
         Ok("off") | Ok("OFF") => OrderExec::Off,
         _ => OrderExec::Auto,
-    })
+    }
 }
 
-/// The process-wide default memory budget, read from [`MEM_BUDGET_ENV`]
-/// once (first use wins; later changes to the variable are ignored).
+/// The default memory budget, read fresh from [`MEM_BUDGET_ENV`] on every
+/// call — the value is captured per [`ExecConfig`] construction, never
+/// cached process-wide (see [`env_order_exec`] for why).
 pub fn env_mem_budget_rows() -> Option<usize> {
-    static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
-    *CACHE.get_or_init(|| std::env::var(MEM_BUDGET_ENV).ok().and_then(|v| v.parse().ok()))
+    std::env::var(MEM_BUDGET_ENV).ok().and_then(|v| v.parse().ok())
 }
 
 impl Default for ExecConfig {
@@ -146,6 +179,7 @@ impl Default for ExecConfig {
             min_est_cost: 4096.0,
             order_exec: env_order_exec(),
             mem_budget_rows: env_mem_budget_rows(),
+            pool: None,
         }
     }
 }
@@ -160,11 +194,133 @@ impl ExecConfig {
     pub fn parallel() -> Self {
         Self::with_threads(available_parallelism())
     }
+
+    /// The pool extra workers are leased from: the configured one, or the
+    /// process-wide [`global_pool`] when none was installed.
+    pub fn worker_pool(&self) -> &'static WorkerPool {
+        self.pool.unwrap_or_else(global_pool)
+    }
 }
 
 /// Hardware threads available to this process (1 when undetectable).
 pub fn available_parallelism() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A process-wide budget of *extra* worker threads for morsel execution.
+///
+/// Every thread-spawn site in the executor (`physical::scatter`) leases its
+/// workers from a pool before spawning, so N concurrent queries share one
+/// budget instead of each spawning `threads - 1` workers of their own. The
+/// lease is non-blocking and the calling thread always participates in the
+/// morsel schedule, so an exhausted pool degrades a query to fewer workers
+/// (down to fully inline) — it never deadlocks or queues work. Because
+/// morsel geometry and result assembly are thread-count-independent (see
+/// [`ExecConfig::threads`]), the lease size never changes produced rows or
+/// deterministic counters, only wall-clock time.
+///
+/// Accounting is tracked for observability and tests: `peak_in_use` proves
+/// (without timing) that aggregate concurrent workers never exceeded the
+/// capacity, and `deferred` counts leases that got fewer workers than
+/// requested.
+#[derive(Debug)]
+pub struct WorkerPool {
+    capacity: usize,
+    state: std::sync::Mutex<PoolState>,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    in_use: usize,
+    peak_in_use: usize,
+    granted: u64,
+    deferred: u64,
+}
+
+/// A snapshot of a [`WorkerPool`]'s accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Maximum extra workers that may be leased at once.
+    pub capacity: usize,
+    /// Extra workers currently leased.
+    pub in_use: usize,
+    /// Peak of `in_use` over the pool's lifetime — the stats-side proof
+    /// that concurrent queries never exceeded the thread budget.
+    pub peak_in_use: usize,
+    /// Total workers granted across all leases.
+    pub granted: u64,
+    /// Leases that received fewer workers than requested (including zero)
+    /// because the pool was partly or fully exhausted.
+    pub deferred: u64,
+}
+
+impl WorkerPool {
+    /// A pool allowing up to `capacity` extra workers at once. Capacity 0
+    /// is valid: every query runs inline on its calling thread.
+    pub fn new(capacity: usize) -> Self {
+        WorkerPool { capacity, state: std::sync::Mutex::new(PoolState::default()) }
+    }
+
+    /// A leaked (`'static`) pool — the form [`ExecConfig::pool`] accepts.
+    /// Intended for long-lived servers and tests; each call leaks one
+    /// small allocation for the rest of the process.
+    pub fn leak(capacity: usize) -> &'static WorkerPool {
+        Box::leak(Box::new(WorkerPool::new(capacity)))
+    }
+
+    /// Maximum extra workers that may be leased at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Leases up to `want` extra workers without blocking, returning the
+    /// grant (possibly 0). Each granted worker must be returned with
+    /// [`WorkerPool::release`].
+    pub fn try_acquire(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut st = self.state.lock().expect("worker pool poisoned");
+        let grant = want.min(self.capacity - st.in_use);
+        if grant < want {
+            st.deferred += 1;
+        }
+        st.in_use += grant;
+        st.peak_in_use = st.peak_in_use.max(st.in_use);
+        st.granted += grant as u64;
+        grant
+    }
+
+    /// Returns `n` previously leased workers to the pool.
+    pub fn release(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut st = self.state.lock().expect("worker pool poisoned");
+        debug_assert!(n <= st.in_use, "released more workers than leased");
+        st.in_use = st.in_use.saturating_sub(n);
+    }
+
+    /// Snapshot of the pool's accounting.
+    pub fn stats(&self) -> PoolStats {
+        let st = self.state.lock().expect("worker pool poisoned");
+        PoolStats {
+            capacity: self.capacity,
+            in_use: st.in_use,
+            peak_in_use: st.peak_in_use,
+            granted: st.granted,
+            deferred: st.deferred,
+        }
+    }
+}
+
+/// The process-wide default [`WorkerPool`], sized to the hardware
+/// parallelism (minimum 2 so parallel code paths stay exercised even on
+/// single-CPU machines). Used by every [`ExecConfig`] that doesn't install
+/// its own pool.
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: std::sync::OnceLock<WorkerPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(available_parallelism().max(2)))
 }
 
 /// A table of variable bindings: `cols[i]` is the variable slot stored in
@@ -541,6 +697,38 @@ mod tests {
         let p = ds.lookup(&Term::iri(pred)).unwrap();
         let pat = PlannedPattern { idx: 0, slots: [Slot::Var(s), Slot::Bound(p), Slot::Var(o)] };
         drain(Box::new(IndexScan::new(ds, &pat)), &mut ExecStats::default())
+    }
+
+    #[test]
+    fn worker_pool_grants_clamp_to_capacity_and_track_peak() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.try_acquire(2), 2);
+        assert_eq!(pool.try_acquire(2), 1); // only 1 left → partial grant
+        assert_eq!(pool.try_acquire(1), 0); // exhausted → zero grant
+        let s = pool.stats();
+        assert_eq!((s.in_use, s.peak_in_use, s.granted, s.deferred), (3, 3, 3, 2));
+        pool.release(3);
+        let s = pool.stats();
+        assert_eq!((s.in_use, s.peak_in_use), (0, 3));
+        assert_eq!(pool.try_acquire(5), 3); // full again, capped at capacity
+        pool.release(3);
+        // Zero-capacity pool: everything runs inline, every lease deferred.
+        let none = WorkerPool::new(0);
+        assert_eq!(none.try_acquire(4), 0);
+        assert_eq!(none.stats().deferred, 1);
+    }
+
+    #[test]
+    fn exec_config_equality_compares_pools_by_identity() {
+        let a = ExecConfig::default();
+        let b = ExecConfig::default();
+        assert_eq!(a, b);
+        let p1 = WorkerPool::leak(1);
+        let p2 = WorkerPool::leak(1);
+        let c1 = ExecConfig { pool: Some(p1), ..a };
+        assert_ne!(a, c1);
+        assert_eq!(c1, ExecConfig { pool: Some(p1), ..a });
+        assert_ne!(c1, ExecConfig { pool: Some(p2), ..a });
     }
 
     #[test]

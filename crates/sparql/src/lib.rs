@@ -61,7 +61,16 @@
 //!   materialize-then-modify baseline for differential measurement);
 //! * query *templates* with `%param` placeholders ([`template`]) are
 //!   first-class: the workload generator instantiates them once per
-//!   parameter binding.
+//!   parameter binding;
+//! * a **serving layer** ([`serve`]) runs many concurrent clients over one
+//!   shared store: a prepared-plan cache keyed by template +
+//!   constant-sensitivity class ([`engine::PlanClass`]) rebinds cached
+//!   plan skeletons per request ([`engine::Engine::rebind`], skipping
+//!   parse/optimize/lower entirely on hits), admission control bounds
+//!   in-flight queries, every query leases its extra execution threads
+//!   from one shared [`exec::WorkerPool`], and results stream per client
+//!   through [`engine::RowStream`] — with each query's rows bit-identical
+//!   to a serial run.
 //!
 //! Supported query shape: `SELECT [DISTINCT] vars/aggregates WHERE { basic
 //! graph pattern + FILTER + OPTIONAL + UNION } [GROUP BY] [ORDER BY]
@@ -94,18 +103,20 @@ pub mod parser;
 pub mod physical;
 pub mod plan;
 pub mod results;
+pub mod serve;
 pub mod spill;
 pub mod template;
 
 pub use ast::SelectQuery;
-pub use engine::{Engine, Prepared, QueryOutput};
+pub use engine::{Engine, PlanClass, Prepared, QueryOutput, RowStream, StreamEnd};
 pub use error::{ExecError, QueryError};
 pub use exec::{
-    available_parallelism, env_mem_budget_rows, env_order_exec, ExecConfig, ExecStats, OrderExec,
-    MEM_BUDGET_ENV, ORDER_EXEC_ENV,
+    available_parallelism, env_mem_budget_rows, env_order_exec, global_pool, ExecConfig, ExecStats,
+    OrderExec, PoolStats, WorkerPool, MEM_BUDGET_ENV, ORDER_EXEC_ENV,
 };
 pub use parser::parse_query;
 pub use physical::{Batch, CoutBucket, Operator, BATCH_SIZE, MORSELS_PER_WAVE};
 pub use plan::{ModifierPlan, PlanNode, PlanSignature, SpillMode};
 pub use results::{OutVal, ResultSet};
+pub use serve::{drive_clients, ServeConfig, ServeStats, ServedOutput, ServedQuery, SparqlServer};
 pub use template::{Binding, QueryTemplate};

@@ -55,7 +55,7 @@ use parambench_rdf::index::IndexOrder;
 use parambench_rdf::store::Dataset;
 
 use crate::ast::Expr;
-use crate::exec::{row_passes, Bindings, ExecConfig, ExecStats, UNBOUND};
+use crate::exec::{row_passes, Bindings, ExecConfig, ExecStats, WorkerPool, UNBOUND};
 use crate::plan::{PlannedPattern, Slot};
 
 /// Rows per batch. Large enough to amortize per-batch dispatch, small
@@ -473,7 +473,7 @@ impl HashJoinBuild {
             }
             (flat, hashes, scanned)
         };
-        let morsels = scatter(exchange.morsel_count(), cfg.threads, &extract);
+        let morsels = scatter(exchange.morsel_count(), cfg.threads, cfg.worker_pool(), &extract);
 
         // Global row numbering: concatenate morsels in index order.
         let mut bases = Vec::with_capacity(morsels.len());
@@ -501,7 +501,7 @@ impl HashJoinBuild {
             }
             table
         };
-        let partitions = scatter(nparts, cfg.threads, &fill);
+        let partitions = scatter(nparts, cfg.threads, cfg.worker_pool(), &fill);
 
         stats.grow(rows.len());
         stats.build_rows += rows.len() as u64;
@@ -1579,28 +1579,45 @@ impl Exchange {
     }
 }
 
-/// Runs `job(0..count)` across up to `threads` workers claiming indexes
-/// from a shared cursor, and returns the results in index order. With one
-/// thread (or one job) everything runs inline on the caller — same
-/// schedule, no spawn.
-fn scatter<T: Send>(count: usize, threads: usize, job: &(dyn Fn(usize) -> T + Sync)) -> Vec<T> {
+/// Runs `job(0..count)` across the calling thread plus extra workers
+/// claiming indexes from a shared cursor, and returns the results in index
+/// order. This is the executor's only thread-spawn site: the extra workers
+/// (at most `threads.min(count) - 1`) are leased non-blockingly from
+/// `pool`, so concurrent queries share one process-wide thread budget. The
+/// caller always participates in the schedule, so progress never depends
+/// on pool availability — with no lease (or one thread, or one job)
+/// everything runs inline through the same index schedule. Results land in
+/// per-index slots, so output order is identical at any lease size.
+fn scatter<T: Send>(
+    count: usize,
+    threads: usize,
+    pool: &WorkerPool,
+    job: &(dyn Fn(usize) -> T + Sync),
+) -> Vec<T> {
     if threads <= 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let extra = pool.try_acquire(threads.min(count) - 1);
+    if extra == 0 {
         return (0..count).map(job).collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(count) {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let v = job(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(v);
-            });
+    let work = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= count {
+            break;
         }
+        let v = job(i);
+        *slots[i].lock().expect("result slot poisoned") = Some(v);
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..extra {
+            scope.spawn(work);
+        }
+        work();
     });
+    pool.release(extra);
     slots
         .into_iter()
         .map(|s| s.into_inner().expect("result slot poisoned").expect("worker filled every slot"))
@@ -1707,6 +1724,9 @@ pub struct ParallelSource<'a> {
     steps: Vec<SpineStep>,
     exchange: Exchange,
     threads: usize,
+    /// Pool the wave workers are leased from (resolved from the config at
+    /// construction).
+    pool: &'static WorkerPool,
     bucket: CoutBucket,
     schema: Vec<usize>,
     /// Tuples resident in the shared build tables, released once all
@@ -1756,6 +1776,7 @@ impl<'a> ParallelSource<'a> {
             steps,
             exchange,
             threads: cfg.threads.max(1),
+            pool: cfg.worker_pool(),
             bucket,
             schema,
             shared_tuples,
@@ -1841,7 +1862,7 @@ impl<'a> ParallelSource<'a> {
     /// back in morsel order, each with the worker's private [`ExecStats`].
     fn run_wave(&self, wave: Range<usize>) -> Vec<(Vec<Batch>, ExecStats)> {
         let base = wave.start;
-        scatter(wave.len(), self.threads, &|i| {
+        scatter(wave.len(), self.threads, self.pool, &|i| {
             let m = self.exchange.morsel(base + i);
             let mut stats = ExecStats::default();
             let mut op = Self::assemble(
@@ -1877,7 +1898,7 @@ impl<'a> ParallelSource<'a> {
         while next < count {
             let wave = next..(next + MORSELS_PER_WAVE).min(count);
             let base = wave.start;
-            let parts: Vec<(T, ExecStats)> = scatter(wave.len(), self.threads, &|i| {
+            let parts: Vec<(T, ExecStats)> = scatter(wave.len(), self.threads, self.pool, &|i| {
                 let m = self.exchange.morsel(base + i);
                 let mut st = ExecStats::default();
                 let op = Self::assemble(

@@ -170,6 +170,19 @@ impl PlanNode {
         }
     }
 
+    /// Visits every scan leaf's pattern mutably — the plan-cache rebind
+    /// hook: a cached plan skeleton has its parameter constants swapped in
+    /// place (keyed by `PlannedPattern::idx`) without re-optimizing.
+    pub(crate) fn patterns_mut(&mut self, f: &mut dyn FnMut(&mut PlannedPattern)) {
+        match self {
+            PlanNode::Scan { pattern, .. } => f(pattern),
+            PlanNode::HashJoin { left, right, .. } | PlanNode::MergeJoin { left, right, .. } => {
+                left.patterns_mut(f);
+                right.patterns_mut(f);
+            }
+        }
+    }
+
     /// Collects the distinct variable slots produced by the subtree.
     pub fn var_slots(&self) -> Vec<usize> {
         fn walk(node: &PlanNode, out: &mut Vec<usize>) {

@@ -1,0 +1,356 @@
+//! The serving layer: many concurrent clients over one shared store.
+//!
+//! [`SparqlServer`] wraps an [`Arc<Dataset>`] and serves template
+//! instantiations from any number of client threads, coordinating three
+//! pieces (`vendor/` is offline, so the client interface is the in-process
+//! multi-client driver [`drive_clients`], not HTTP):
+//!
+//! * a **prepared-plan cache** keyed by `(template name, PlanClass)`: the
+//!   optimized + lowered plan skeleton is prepared once per parameter
+//!   cardinality class and *rebound* per request ([`Engine::rebind`]) —
+//!   the hit path never parses, optimizes or lowers. The [`PlanClass`]
+//!   key carries every constant-sensitive optimizer input, so a binding
+//!   that would change the join order is a cache miss by construction,
+//!   never a wrong reuse.
+//! * **admission control and a per-server worker pool**: at most
+//!   `max_concurrent` queries execute at once (excess requests queue —
+//!   deterministically counted, FIFO-woken), every per-query [`ExecConfig`]
+//!   draws its extra execution threads from one shared [`WorkerPool`], and
+//!   a global memory budget is divided across the admitted slots — so N
+//!   concurrent clients cannot multiply resource use by N.
+//! * **streaming results**: each request returns a [`ServedQuery`] wrapping
+//!   a [`RowStream`], drained row by row per client; its admission slot is
+//!   released when the stream is dropped.
+//!
+//! Execution remains deterministic per query: rows, row order and every
+//! deterministic counter are independent of thread count, pool pressure
+//! and concurrent load (see [`ExecConfig`]), which is what the concurrent
+//! differential suite asserts.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use parambench_rdf::store::Dataset;
+
+use crate::engine::{Engine, PlanClass, Prepared, QueryOutput, RowStream};
+use crate::error::QueryError;
+use crate::exec::{ExecConfig, PoolStats, WorkerPool};
+use crate::template::{Binding, QueryTemplate};
+
+/// Configuration of a [`SparqlServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Maximum queries executing at once; further requests wait in
+    /// admission (their wait is measured and counted).
+    pub max_concurrent: usize,
+    /// Capacity of the server's [`WorkerPool`]: the total *extra*
+    /// execution threads all admitted queries may hold at once, on top of
+    /// their own client threads.
+    pub pool_capacity: usize,
+    /// Per-query execution template (thread cap, morsel geometry, order
+    /// mode). Its `pool` and `mem_budget_rows` fields are overridden by
+    /// the server: the pool with the server's own, the budget with
+    /// `mem_budget_rows / max_concurrent`.
+    pub exec: ExecConfig,
+    /// *Global* memory budget (in resident rows) shared by all admitted
+    /// queries; divided evenly across the `max_concurrent` slots. `None`
+    /// means unlimited.
+    pub mem_budget_rows: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    /// Four admission slots over a hardware-sized worker pool, parallel
+    /// per-query execution, memory budget from the environment (see
+    /// [`crate::exec::MEM_BUDGET_ENV`]).
+    fn default() -> Self {
+        let exec = ExecConfig::parallel();
+        ServeConfig {
+            max_concurrent: 4,
+            pool_capacity: crate::exec::available_parallelism(),
+            mem_budget_rows: exec.mem_budget_rows,
+            exec,
+        }
+    }
+}
+
+/// Counters of the serving layer (see [`ServeStats`]).
+#[derive(Debug, Default)]
+struct Counters {
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    queue_wait_nanos: AtomicU64,
+    admissions_deferred: AtomicU64,
+}
+
+/// Admission gate state, guarded by one mutex so the running/waiting
+/// counts move atomically with respect to each other.
+#[derive(Debug, Default)]
+struct Gate {
+    running: usize,
+    waiting: usize,
+}
+
+/// A shared-store query server: one dataset, one plan cache, one worker
+/// pool, any number of client threads. See the [module docs](self).
+pub struct SparqlServer {
+    ds: Arc<Dataset>,
+    /// Resolved per-query execution config: caller's template with the
+    /// server's pool installed and the divided memory budget applied.
+    exec: ExecConfig,
+    max_concurrent: usize,
+    pool: &'static WorkerPool,
+    cache: Mutex<HashMap<(String, PlanClass), Arc<Prepared>>>,
+    gate: Mutex<Gate>,
+    admitted: Condvar,
+    counters: Counters,
+}
+
+impl SparqlServer {
+    /// Builds a server over a shared dataset.
+    pub fn new(ds: Arc<Dataset>, config: ServeConfig) -> Self {
+        let max_concurrent = config.max_concurrent.max(1);
+        let pool = WorkerPool::leak(config.pool_capacity);
+        let exec = ExecConfig {
+            pool: Some(pool),
+            mem_budget_rows: config.mem_budget_rows.map(|b| (b / max_concurrent).max(1)),
+            ..config.exec
+        };
+        SparqlServer {
+            ds,
+            exec,
+            max_concurrent,
+            pool,
+            cache: Mutex::new(HashMap::new()),
+            gate: Mutex::new(Gate::default()),
+            admitted: Condvar::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The shared dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.ds
+    }
+
+    /// The per-query execution configuration requests run under.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
+    }
+
+    /// Serves one template instantiation, returning a streaming result.
+    ///
+    /// Flow: wait for an admission slot (bounded concurrency), look up the
+    /// plan cache under the binding's [`PlanClass`] — a hit rebinds the
+    /// cached skeleton ([`Engine::rebind`], no parse/optimize/lower), a
+    /// miss prepares cold and populates the cache — then start the
+    /// streaming pipeline. The admission slot is held by the returned
+    /// [`ServedQuery`] and released when it is dropped, so a slow reader
+    /// holds its slot (that is the point of admission control), and
+    /// callers should drain or drop promptly.
+    pub fn query(
+        &self,
+        template: &QueryTemplate,
+        binding: &Binding,
+    ) -> Result<ServedQuery<'_>, QueryError> {
+        let t0 = Instant::now();
+        let permit = self.admit();
+        let queue_wait = t0.elapsed();
+        self.counters.queue_wait_nanos.fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
+
+        // Per-request engine over the shared store: cheap (the estimator's
+        // distinct cache is per-engine, but every constant-sensitive probe
+        // the class key needs is an indexed count).
+        let engine = Engine::with_exec_config(&self.ds, self.exec);
+        let class = engine.plan_class(template, binding)?;
+        let key = (template.name().to_string(), class);
+        let cached = self.cache.lock().expect("plan cache poisoned").get(&key).cloned();
+        let (prepared, cache_hit) = match cached {
+            Some(skeleton) => {
+                let prepared = engine.rebind(&skeleton, template, binding)?;
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                (prepared, true)
+            }
+            None => {
+                let query = template.instantiate(binding)?;
+                let prepared = engine.prepare(&query)?;
+                self.cache
+                    .lock()
+                    .expect("plan cache poisoned")
+                    .insert(key, Arc::new(prepared.clone()));
+                self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                (prepared, false)
+            }
+        };
+        let rows = engine.stream(&prepared, &self.exec)?;
+        Ok(ServedQuery { rows, cache_hit, queue_wait, _permit: permit })
+    }
+
+    /// Serves one request and drains it to a materialized output — the
+    /// convenience form (and the one [`drive_clients`] uses).
+    pub fn run(
+        &self,
+        template: &QueryTemplate,
+        binding: &Binding,
+    ) -> Result<ServedOutput, QueryError> {
+        self.query(template, binding)?.collect()
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            prepares_avoided: self.counters.cache_hits.load(Ordering::Relaxed),
+            queue_wait: Duration::from_nanos(
+                self.counters.queue_wait_nanos.load(Ordering::Relaxed),
+            ),
+            admissions_deferred: self.counters.admissions_deferred.load(Ordering::Relaxed),
+            pool: self.pool.stats(),
+        }
+    }
+
+    /// Number of requests currently waiting in admission (exposed so
+    /// tests can synchronize on "a request is queued" without timing).
+    pub fn waiting(&self) -> usize {
+        self.gate.lock().expect("admission gate poisoned").waiting
+    }
+
+    /// Blocks until an execution slot is free.
+    fn admit(&self) -> AdmissionPermit<'_> {
+        let mut gate = self.gate.lock().expect("admission gate poisoned");
+        if gate.running >= self.max_concurrent {
+            self.counters.admissions_deferred.fetch_add(1, Ordering::Relaxed);
+            gate.waiting += 1;
+            while gate.running >= self.max_concurrent {
+                gate = self.admitted.wait(gate).expect("admission gate poisoned");
+            }
+            gate.waiting -= 1;
+        }
+        gate.running += 1;
+        AdmissionPermit { server: self }
+    }
+}
+
+/// RAII admission slot: releasing it (on drop) wakes one queued request.
+struct AdmissionPermit<'s> {
+    server: &'s SparqlServer,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut gate = self.server.gate.lock().expect("admission gate poisoned");
+        gate.running -= 1;
+        drop(gate);
+        self.server.admitted.notify_one();
+    }
+}
+
+/// One served request: a streaming result plus its serving metadata. Holds
+/// the request's admission slot until dropped.
+pub struct ServedQuery<'s> {
+    rows: RowStream<'s>,
+    cache_hit: bool,
+    queue_wait: Duration,
+    _permit: AdmissionPermit<'s>,
+}
+
+impl ServedQuery<'_> {
+    /// Output column names, in projection order.
+    pub fn columns(&self) -> &[String] {
+        self.rows.columns()
+    }
+
+    /// Whether this request was served from the plan cache (rebind) rather
+    /// than a cold prepare.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Time spent waiting for an admission slot.
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
+    }
+
+    /// Pulls the next result row (see [`RowStream::next_row`]).
+    pub fn next_row(&mut self) -> Result<Option<Vec<crate::results::OutVal>>, QueryError> {
+        self.rows.next_row()
+    }
+
+    /// Drains the remaining rows into a materialized [`ServedOutput`],
+    /// releasing the admission slot.
+    pub fn collect(self) -> Result<ServedOutput, QueryError> {
+        let ServedQuery { rows, cache_hit, queue_wait, _permit } = self;
+        let output = rows.collect_output()?;
+        Ok(ServedOutput { output, cache_hit, queue_wait })
+    }
+}
+
+/// A fully drained served request.
+#[derive(Debug, Clone)]
+pub struct ServedOutput {
+    /// The query result with full instrumentation (identical to what
+    /// [`Engine::execute`] would produce for the same query).
+    pub output: QueryOutput,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Time spent waiting for an admission slot.
+    pub queue_wait: Duration,
+}
+
+/// Snapshot of a server's serving-layer counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests served by rebinding a cached plan skeleton.
+    pub cache_hits: u64,
+    /// Requests that prepared cold (and populated the cache).
+    pub cache_misses: u64,
+    /// Full parse→optimize→lower passes avoided (every cache hit is one).
+    pub prepares_avoided: u64,
+    /// Total time requests spent waiting in admission.
+    pub queue_wait: Duration,
+    /// Requests that found all execution slots busy and had to wait.
+    pub admissions_deferred: u64,
+    /// The server worker pool's accounting ([`WorkerPool::stats`]):
+    /// `pool.peak_in_use <= pool.capacity` is the stats-side proof that
+    /// concurrent queries never exceeded the thread budget.
+    pub pool: PoolStats,
+}
+
+/// The in-process multi-client driver: `clients` threads round-robin over
+/// `requests` (client `i` takes requests `i`, `i + clients`, …) against
+/// one shared server, each draining its results independently. Outputs
+/// come back in request order regardless of completion order; the first
+/// error (if any) is returned after all clients finish.
+///
+/// Each individual query's rows are bit-identical to a serial run on a
+/// private engine — concurrency changes only scheduling, never results —
+/// which is exactly what the concurrent differential suite asserts.
+pub fn drive_clients(
+    server: &SparqlServer,
+    clients: usize,
+    requests: &[(QueryTemplate, Binding)],
+) -> Result<Vec<ServedOutput>, QueryError> {
+    let clients = clients.max(1);
+    let slots: Vec<Mutex<Option<Result<ServedOutput, QueryError>>>> =
+        requests.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for c in 0..clients.min(requests.len().max(1)) {
+            let slots = &slots;
+            scope.spawn(move || {
+                let mut i = c;
+                while i < requests.len() {
+                    let (template, binding) = &requests[i];
+                    let result = server.run(template, binding);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    i += clients;
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("result slot poisoned").expect("client filled every slot"))
+        .collect()
+}

@@ -6,7 +6,7 @@
 //! once per binding; the aggregate of the resulting runtimes is what the
 //! benchmark reports.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use parambench_rdf::term::Term;
 
@@ -73,20 +73,23 @@ pub struct QueryTemplate {
     name: String,
     query: SelectQuery,
     params: Vec<String>,
+    /// The same names as `params`, as a set — precomputed at parse so that
+    /// binding validation on the instantiate hot path is pure lookups, with
+    /// no per-call string formatting or quadratic scans.
+    param_set: BTreeSet<String>,
 }
 
 impl QueryTemplate {
     /// Parses a template from query text. `name` labels it in reports.
     pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, QueryError> {
-        let query = parse_query(text)?;
-        let params = query.params();
-        Ok(QueryTemplate { name: name.into(), query, params })
+        Ok(Self::from_query(name, parse_query(text)?))
     }
 
     /// Wraps an already-parsed query.
     pub fn from_query(name: impl Into<String>, query: SelectQuery) -> Self {
         let params = query.params();
-        QueryTemplate { name: name.into(), query, params }
+        let param_set = params.iter().cloned().collect();
+        QueryTemplate { name: name.into(), query, params, param_set }
     }
 
     /// The template's report label.
@@ -104,24 +107,41 @@ impl QueryTemplate {
         &self.query
     }
 
-    /// Substitutes `binding` into the template, producing a concrete query.
+    /// Validates that `binding` assigns exactly this template's parameters.
     ///
     /// Every template parameter must be bound; extra bindings are rejected
-    /// as a likely workload-generator bug.
-    pub fn instantiate(&self, binding: &Binding) -> Result<SelectQuery, QueryError> {
+    /// as a likely workload-generator bug. The success path is pure set
+    /// lookups; the error message (naming the template and listing its
+    /// expected parameters) is only formatted once a mismatch is found.
+    pub fn check_binding(&self, binding: &Binding) -> Result<(), QueryError> {
         for p in &self.params {
             if binding.get(p).is_none() {
-                return Err(QueryError::BindingMismatch(format!("missing value for %{p}")));
+                return Err(self.mismatch(format_args!("is missing a value for %{p}")));
             }
         }
         for k in binding.0.keys() {
-            if !self.params.iter().any(|p| p == k) {
-                return Err(QueryError::BindingMismatch(format!(
-                    "binding provides %{k} which template {} lacks",
-                    self.name
-                )));
+            if !self.param_set.contains(k) {
+                return Err(self.mismatch(format_args!("provides unknown parameter %{k}")));
             }
         }
+        Ok(())
+    }
+
+    fn mismatch(&self, what: std::fmt::Arguments<'_>) -> QueryError {
+        let expected = if self.params.is_empty() {
+            "(none)".to_string()
+        } else {
+            self.params.iter().map(|p| format!("%{p}")).collect::<Vec<_>>().join(", ")
+        };
+        QueryError::BindingMismatch(format!(
+            "binding for template '{}' {what}; expected parameters: {expected}",
+            self.name
+        ))
+    }
+
+    /// Substitutes `binding` into the template, producing a concrete query.
+    pub fn instantiate(&self, binding: &Binding) -> Result<SelectQuery, QueryError> {
+        self.check_binding(binding)?;
         let mut query = self.query.clone();
         substitute_elements(&mut query.where_clause, binding);
         debug_assert!(query.is_concrete());
@@ -209,6 +229,28 @@ mod tests {
             .with("excluded", Term::iri("http://p"))
             .with("bogus", Term::literal("x"));
         assert!(matches!(t.instantiate(&extra), Err(QueryError::BindingMismatch(_))));
+    }
+
+    #[test]
+    fn mismatch_messages_name_template_and_expected_params() {
+        let t = QueryTemplate::parse("q1", TEMPLATE).unwrap();
+        let missing = Binding::new().with("name", Term::literal("Li"));
+        let Err(QueryError::BindingMismatch(msg)) = t.instantiate(&missing) else {
+            panic!("expected BindingMismatch");
+        };
+        assert!(msg.contains("'q1'"), "{msg}");
+        assert!(msg.contains("%country"), "{msg}");
+        assert!(msg.contains("%name, %country, %excluded"), "{msg}");
+        let extra = Binding::new()
+            .with("name", Term::literal("Li"))
+            .with("country", Term::iri("http://c"))
+            .with("excluded", Term::iri("http://p"))
+            .with("bogus", Term::literal("x"));
+        let Err(QueryError::BindingMismatch(msg)) = t.instantiate(&extra) else {
+            panic!("expected BindingMismatch");
+        };
+        assert!(msg.contains("%bogus"), "{msg}");
+        assert!(msg.contains("'q1'"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Serving-layer correctness: concurrent multi-client stress vs the serial
+//! engine, structural plan-cache gating, cache-rebind vs cold-prepare
+//! differentials (including a proptest sweep over random templates), and
+//! stats-asserted admission / worker-pool accounting.
+//!
+//! Every assertion here is deterministic on a single-CPU host: concurrency
+//! properties are checked through counters (`ServeStats`, `PoolStats`, the
+//! admission `waiting` gauge), never through wall time.
+
+mod common;
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use common::oracle;
+use parambench_rdf::store::{Dataset, StoreBuilder};
+use parambench_rdf::term::Term;
+use parambench_sparql::engine::Engine;
+use parambench_sparql::serve::{drive_clients, ServeConfig, SparqlServer};
+use parambench_sparql::template::{Binding, QueryTemplate};
+use parambench_sparql::{ExecConfig, QueryOutput};
+
+/// BSBM-flavoured inline dataset: products with evenly distributed types,
+/// producers, features and numeric attributes, plus reviews with ratings.
+/// Even distribution keeps all bindings of one template in one parameter
+/// cardinality class (the prepare-once tests rely on that).
+fn product_dataset(products: usize, reviews: usize) -> Dataset {
+    let mut b = StoreBuilder::new();
+    for i in 0..products {
+        let p = Term::iri(format!("prod/{i:04}"));
+        b.insert(p.clone(), Term::iri("type"), Term::iri(format!("ptype/{}", i % 5)));
+        b.insert(p.clone(), Term::iri("producer"), Term::iri(format!("producer/{}", i % 4)));
+        b.insert(p.clone(), Term::iri("feature"), Term::iri(format!("feat/{}", i % 10)));
+        b.insert(p, Term::iri("num"), Term::integer((i % 13) as i64));
+    }
+    for j in 0..reviews {
+        let r = Term::iri(format!("rev/{j:04}"));
+        b.insert(r.clone(), Term::iri("about"), Term::iri(format!("prod/{:04}", j % products)));
+        b.insert(r, Term::iri("rating"), Term::integer((j % 10) as i64));
+    }
+    b.freeze()
+}
+
+/// The BSBM-style template mix the stress tests serve.
+fn template_mix() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate::parse("b1", "SELECT ?p ?n WHERE { ?p <type> %t . ?p <num> ?n }").unwrap(),
+        QueryTemplate::parse(
+            "b2",
+            "SELECT ?p ?n WHERE { ?p <type> %t . ?p <producer> %pr . ?p <num> ?n . \
+             FILTER(?n > %min) } ORDER BY ?p",
+        )
+        .unwrap(),
+        QueryTemplate::parse(
+            "b3",
+            "SELECT ?r ?rt WHERE { ?r <about> %prod . ?r <rating> ?rt } \
+             ORDER BY DESC(?rt) ?r LIMIT 5",
+        )
+        .unwrap(),
+        QueryTemplate::parse(
+            "b4",
+            "SELECT ?t (COUNT(?p) AS ?c) WHERE { ?p <type> ?t . ?p <feature> %f } \
+             GROUP BY ?t ORDER BY ?t",
+        )
+        .unwrap(),
+    ]
+}
+
+/// One request per (template, variant) pair, round-robin over variants.
+fn request_mix(templates: &[QueryTemplate], variants: usize) -> Vec<(QueryTemplate, Binding)> {
+    let mut requests = Vec::new();
+    for v in 0..variants {
+        for t in templates {
+            let b = match t.name() {
+                "b1" => Binding::new().with("t", Term::iri(format!("ptype/{}", v % 5))),
+                "b2" => Binding::new()
+                    .with("t", Term::iri(format!("ptype/{}", v % 5)))
+                    .with("pr", Term::iri(format!("producer/{}", v % 4)))
+                    .with("min", Term::integer((v % 6) as i64)),
+                "b3" => Binding::new().with("prod", Term::iri(format!("prod/{:04}", v % 40))),
+                "b4" => Binding::new().with("f", Term::iri(format!("feat/{}", v % 10))),
+                other => panic!("unknown template {other}"),
+            };
+            requests.push((t.clone(), b));
+        }
+    }
+    requests
+}
+
+/// Serial reference run on a *private* engine: same order/budget knobs as
+/// the server's per-query config, but one thread, no shared pool, no cache.
+fn serial_reference(
+    ds: &Dataset,
+    server_exec: ExecConfig,
+    requests: &[(QueryTemplate, Binding)],
+) -> Vec<QueryOutput> {
+    let exec = ExecConfig { threads: 1, pool: None, ..server_exec };
+    let engine = Engine::with_exec_config(ds, exec);
+    requests
+        .iter()
+        .map(|(t, b)| {
+            let prepared = engine.prepare_template(t, b).expect("serial prepare");
+            engine.execute_with(&prepared, &exec).expect("serial execute")
+        })
+        .collect()
+}
+
+/// Tentpole acceptance: N client threads over a BSBM template mix against
+/// one shared server produce, per request, rows/order/`Cout`/`scanned`
+/// bit-identical to a serial run on a private engine — through cold
+/// prepares on the first pass and cache rebinds on the second.
+#[test]
+fn concurrent_clients_bit_identical_to_serial() {
+    let ds = Arc::new(product_dataset(120, 240));
+    let requests = request_mix(&template_mix(), 6);
+    let server = SparqlServer::new(
+        Arc::clone(&ds),
+        ServeConfig { max_concurrent: 3, ..ServeConfig::default() },
+    );
+    let serial = serial_reference(&ds, server.exec_config(), &requests);
+
+    for pass in 0..2 {
+        let outputs = drive_clients(&server, 4, &requests).expect("concurrent run");
+        assert_eq!(outputs.len(), requests.len());
+        for (i, (out, want)) in outputs.iter().zip(&serial).enumerate() {
+            let (t, b) = &requests[i];
+            let ctx = format!("pass {pass}, request {i} ({} {b})", t.name());
+            assert_eq!(out.output.results, want.results, "rows diverge: {ctx}");
+            assert_eq!(out.output.cout, want.cout, "Cout diverges: {ctx}");
+            assert_eq!(out.output.stats.scanned, want.stats.scanned, "scanned diverges: {ctx}");
+        }
+        // Second pass is served entirely from the plan cache.
+        if pass == 1 {
+            let stats = server.stats();
+            assert_eq!(stats.cache_hits + stats.cache_misses, 2 * requests.len() as u64);
+            assert!(
+                stats.cache_hits >= requests.len() as u64,
+                "warm pass must hit the cache: {stats:?}"
+            );
+        }
+    }
+}
+
+/// Structural cache gating: K repeated instantiations of each template
+/// (all bindings in one parameter class) trigger exactly one cold prepare
+/// per template; every other request is a rebind that skips
+/// parse/optimize/lower entirely.
+#[test]
+fn repeated_instantiations_prepare_exactly_once() {
+    let ds = Arc::new(product_dataset(100, 200));
+    let templates = template_mix();
+    let requests = request_mix(&templates, 8);
+    let server = SparqlServer::new(Arc::clone(&ds), ServeConfig::default());
+    let outputs = drive_clients(&server, 2, &requests).expect("run");
+    let stats = server.stats();
+    assert_eq!(
+        stats.cache_misses,
+        templates.len() as u64,
+        "one cold prepare per template: {stats:?}"
+    );
+    assert_eq!(stats.cache_hits, (requests.len() - templates.len()) as u64, "{stats:?}");
+    assert_eq!(stats.prepares_avoided, stats.cache_hits);
+    // Per-request flags agree with the aggregate counters.
+    let hits = outputs.iter().filter(|o| o.cache_hit).count();
+    assert_eq!(hits as u64, stats.cache_hits);
+}
+
+/// Constant-sensitivity rule: a binding whose constant changes the scan
+/// cardinalities (here: a type IRI absent from the dictionary) lands in a
+/// different [`parambench_sparql::PlanClass`] — a cache miss by
+/// construction, never a wrong reuse of the populated plan.
+#[test]
+fn constant_sensitive_bindings_split_the_cache_key() {
+    let ds = Arc::new(product_dataset(50, 0));
+    let t = template_mix().remove(0); // b1
+    let server = SparqlServer::new(Arc::clone(&ds), ServeConfig::default());
+    let present = Binding::new().with("t", Term::iri("ptype/0"));
+    let absent = Binding::new().with("t", Term::iri("ptype/nonexistent"));
+    let a = server.run(&t, &present).expect("present");
+    let b = server.run(&t, &absent).expect("absent");
+    let c = server.run(&t, &present).expect("present again");
+    assert_eq!(a.output.results.len(), 10);
+    assert_eq!(b.output.results.len(), 0, "absent constant yields empty result");
+    assert_eq!(a.output.results, c.output.results);
+    let stats = server.stats();
+    assert_eq!(stats.cache_misses, 2, "present and absent classes each prepare once: {stats:?}");
+    assert_eq!(stats.cache_hits, 1, "{stats:?}");
+}
+
+/// Admission control, asserted through counters (not timing): with one
+/// execution slot, a second request queues — visible in the `waiting`
+/// gauge — and is admitted the moment the first stream is dropped.
+#[test]
+fn admission_defers_second_request_until_slot_frees() {
+    let ds = Arc::new(product_dataset(60, 120));
+    let t = template_mix().remove(0);
+    let server = SparqlServer::new(
+        Arc::clone(&ds),
+        ServeConfig { max_concurrent: 1, ..ServeConfig::default() },
+    );
+    let binding = Binding::new().with("t", Term::iri("ptype/1"));
+    let held = server.query(&t, &binding).expect("first admit");
+    std::thread::scope(|scope| {
+        let second = scope.spawn(|| server.run(&t, &binding).expect("second request"));
+        // Deterministic rendezvous: wait for the gauge, not a sleep.
+        while server.waiting() != 1 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        let out = second.join().expect("second client");
+        assert_eq!(out.output.results.len(), 12);
+    });
+    let stats = server.stats();
+    assert_eq!(stats.admissions_deferred, 1, "{stats:?}");
+    assert_eq!(server.waiting(), 0);
+}
+
+/// Global thread budget: concurrent parallel queries lease extra workers
+/// from the server pool, and the pool's peak usage never exceeds its
+/// capacity — asserted via [`parambench_sparql::PoolStats`], not wall
+/// time, so it holds on a 1-CPU host.
+#[test]
+fn worker_pool_caps_aggregate_threads_across_queries() {
+    let ds = Arc::new(product_dataset(200, 400));
+    // Tiny morsel geometry so every query engages parallel lowering and
+    // actually asks the pool for workers.
+    let exec = ExecConfig {
+        threads: 4,
+        morsel_rows: 5,
+        min_driver_rows: 1,
+        min_est_cost: 0.0,
+        ..ExecConfig::default()
+    };
+    let config = ServeConfig { max_concurrent: 4, pool_capacity: 2, exec, mem_budget_rows: None };
+    let server = SparqlServer::new(Arc::clone(&ds), config);
+    let requests = request_mix(&template_mix(), 4);
+    let serial = serial_reference(&ds, server.exec_config(), &requests);
+    let outputs = drive_clients(&server, 4, &requests).expect("run");
+    for (i, (out, want)) in outputs.iter().zip(&serial).enumerate() {
+        assert_eq!(out.output.results, want.results, "request {i}");
+        assert_eq!(out.output.cout, want.cout, "request {i}");
+    }
+    let pool = server.stats().pool;
+    assert_eq!(pool.capacity, 2);
+    assert!(pool.granted > 0, "parallel queries should lease workers: {pool:?}");
+    assert!(
+        pool.peak_in_use <= pool.capacity,
+        "aggregate leased workers exceeded the global budget: {pool:?}"
+    );
+    assert_eq!(pool.in_use, 0, "all leases returned: {pool:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache correctness sweep: cached-rebind vs cold-prepare on random
+// templates (proptest corpus), plus the naive-evaluation oracle.
+// ---------------------------------------------------------------------------
+
+/// A random parameterized pattern: subject var, predicate index, object
+/// either a var, a fixed constant, or the template parameter `%x`.
+#[derive(Debug, Clone)]
+struct TemplateSpec {
+    patterns: Vec<(u8, u8, ObjSpec)>,
+}
+
+#[derive(Debug, Clone)]
+enum ObjSpec {
+    Var(u8),
+    Const(u8),
+    Param,
+}
+
+fn arb_template() -> impl Strategy<Value = TemplateSpec> {
+    let obj = prop_oneof![
+        (0u8..4).prop_map(ObjSpec::Var),
+        (0u8..12).prop_map(ObjSpec::Const),
+        Just(ObjSpec::Param),
+    ];
+    prop::collection::vec((0u8..4, 0u8..4, obj), 1..4).prop_map(|mut patterns| {
+        // Ensure at least one parameterized position so rebinding is real.
+        if !patterns.iter().any(|(_, _, o)| matches!(o, ObjSpec::Param)) {
+            patterns[0].2 = ObjSpec::Param;
+        }
+        TemplateSpec { patterns }
+    })
+}
+
+fn spec_dataset(triples: &[(u8, u8, u8)]) -> Dataset {
+    let mut b = StoreBuilder::new();
+    for &(s, p, o) in triples {
+        b.insert(
+            Term::iri(format!("s/{}", s % 12)),
+            Term::iri(format!("p/{}", p % 4)),
+            Term::iri(format!("o/{}", o % 12)),
+        );
+    }
+    b.freeze()
+}
+
+fn template_text(spec: &TemplateSpec) -> String {
+    let mut body = String::new();
+    for (s, p, o) in &spec.patterns {
+        let obj = match o {
+            ObjSpec::Var(v) => format!("?v{v}"),
+            ObjSpec::Const(c) => format!("<o/{c}>"),
+            ObjSpec::Param => "%x".to_string(),
+        };
+        body.push_str(&format!("?s{s} <p/{p}> {obj} . "));
+    }
+    format!("SELECT * WHERE {{ {body}}}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every random template and binding pair: when two bindings share
+    /// a [`parambench_sparql::PlanClass`], executing the *rebound* cached
+    /// plan is bit-identical (rows, order, `Cout`, `scanned`, estimates)
+    /// to a cold prepare of the same instantiation — and both match the
+    /// naive oracle. Distinct classes simply decline reuse.
+    #[test]
+    fn cached_rebind_matches_cold_prepare(
+        triples in prop::collection::vec((0u8..12, 0u8..4, 0u8..12), 1..60),
+        spec in arb_template(),
+        const_a in 0u8..12,
+        const_b in 0u8..12,
+    ) {
+        let ds = spec_dataset(&triples);
+        let engine = Engine::new(&ds);
+        let template = QueryTemplate::parse("rand", &template_text(&spec)).unwrap();
+        let bind_a = Binding::new().with("x", Term::iri(format!("o/{const_a}")));
+        let bind_b = Binding::new().with("x", Term::iri(format!("o/{const_b}")));
+
+        let cold = |b: &Binding| {
+            let q = template.instantiate(b).unwrap();
+            let prepared = engine.prepare(&q).unwrap();
+            let out = engine.execute(&prepared).unwrap();
+            (prepared, out, q)
+        };
+        let (prep_a, out_a, _) = cold(&bind_a);
+
+        // Same-binding rebind must always be possible and bit-identical.
+        let rebound_a = engine.rebind(&prep_a, &template, &bind_a).unwrap();
+        let out_ra = engine.execute(&rebound_a).unwrap();
+        prop_assert_eq!(&out_ra.results, &out_a.results);
+        prop_assert_eq!(out_ra.cout, out_a.cout);
+        prop_assert_eq!(out_ra.stats.scanned, out_a.stats.scanned);
+
+        // Cross-binding reuse, gated by the class key.
+        let class_a = engine.plan_class(&template, &bind_a).unwrap();
+        let class_b = engine.plan_class(&template, &bind_b).unwrap();
+        if class_a == class_b {
+            let rebound_b = engine.rebind(&prep_a, &template, &bind_b).unwrap();
+            let (prep_b, out_b, q_b) = cold(&bind_b);
+            let out_rb = engine.execute(&rebound_b).unwrap();
+            prop_assert_eq!(&out_rb.results, &out_b.results, "rebind rows diverge from cold prepare");
+            prop_assert_eq!(out_rb.cout, out_b.cout);
+            prop_assert_eq!(out_rb.stats.scanned, out_b.stats.scanned);
+            prop_assert_eq!(rebound_b.est_cout.to_bits(), prep_b.est_cout.to_bits());
+            prop_assert_eq!(&rebound_b.delivered_order, &prep_b.delivered_order);
+            let oracle_out = oracle::evaluate(&ds, &q_b);
+            oracle::assert_matches(&out_rb.results, &oracle_out, "rebound plan vs oracle");
+        }
+    }
+}

@@ -469,6 +469,7 @@ fn check_case(ds: &Dataset, text: &str, limit_present: bool) {
                 min_est_cost: 0.0,
                 mem_budget_rows: budget,
                 order_exec: parambench_sparql::OrderExec::Off,
+                ..ExecConfig::default()
             };
             let off = engine.execute_with(&prepared, &exec).unwrap_or_else(|e| {
                 panic!(
