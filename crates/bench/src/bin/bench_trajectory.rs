@@ -8,7 +8,7 @@
 //! cargo run --release -p parambench-bench --bin bench_trajectory
 //! ```
 //!
-//! The sequence number defaults to `6` (this PR) and can be overridden
+//! The sequence number defaults to `7` (this PR) and can be overridden
 //! with `BENCH_SEQ`; dataset scale follows `PARAMBENCH_TRIPLES` like the
 //! experiment binaries. Wall times are min-of-N to damp scheduler noise;
 //! the deterministic counters are single-run (they cannot vary).
@@ -18,12 +18,21 @@
 //! number of in-process client threads, reporting aggregate throughput,
 //! per-template p50/p99 latency and the serving-layer counters (plan-
 //! cache hits, admission deferrals, worker-pool peak).
+//!
+//! Since PR 7 it also records a **persistence phase**: cold build
+//! (regenerate + freeze) versus `Dataset::save` + `Dataset::load` of the
+//! on-disk snapshot, plus first-query latency (prepare + execute) on the
+//! built store versus the snapshot-loaded store — the warm-start story in
+//! numbers. The snapshot is written under `PARAMBENCH_SNAPSHOT_DIR` (the
+//! system temp dir when unset).
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use std::time::Instant;
+
 use parambench_bench::{bsbm, fmt_ms, header};
-use parambench_core::workload::run_concurrent;
+use parambench_core::workload::{env_snapshot_dir, open_snapshot, persist_dataset, run_concurrent};
 use parambench_datagen::{bsbm::schema, Bsbm};
 use parambench_rdf::Term;
 use parambench_sparql::serve::ServeConfig;
@@ -83,7 +92,7 @@ fn concurrent_requests(data: &Bsbm) -> Vec<(QueryTemplate, Binding)> {
 }
 
 fn main() {
-    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "6".into());
+    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "7".into());
     let data = bsbm();
     header(&format!("BSBM template suite trajectory (seq {seq}, {} triples)", data.dataset.len()));
     let engine = Engine::new(&data.dataset);
@@ -146,7 +155,7 @@ fn main() {
         requests.len(),
         requests.len() / VARIANTS,
     ));
-    let run = run_concurrent(ds, &requests, CLIENTS, ServeConfig::default())
+    let run = run_concurrent(Arc::clone(&ds), &requests, CLIENTS, ServeConfig::default())
         .expect("concurrent phase executes");
     let mut conc_entries: Vec<String> = Vec::new();
     for t in &run.templates {
@@ -202,9 +211,62 @@ fn main() {
         conc_entries.join(",\n"),
     );
 
+    // --- persistence phase: cold build vs snapshot save/load ---
+    header("Persistence (cold build vs snapshot load)");
+    let t0 = Instant::now();
+    let rebuilt = bsbm();
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(rebuilt);
+
+    let dir = env_snapshot_dir().unwrap_or_else(std::env::temp_dir);
+    let t0 = Instant::now();
+    let snap_path = persist_dataset(&ds, &dir, "bench-trajectory").expect("snapshot saves");
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let snapshot_bytes = std::fs::metadata(&snap_path).expect("snapshot exists").len();
+
+    let (loaded, load_ms) = open_snapshot(&snap_path).expect("snapshot loads");
+    let mapped = loaded.is_mapped();
+
+    // First-query latency: full prepare + execute of the q4 template on
+    // each store — the time-to-first-result a restarted server pays.
+    let (template, binding) = (
+        parambench_datagen::Bsbm::q4_feature_price_by_type(),
+        Binding::new().with("type", Term::iri(schema::product_type(0))),
+    );
+    let first_query = |store: &parambench_rdf::Dataset| {
+        let t0 = Instant::now();
+        let engine = Engine::new(store);
+        let prepared = engine.prepare_template(&template, &binding).expect("q4 prepares");
+        let out = engine.execute(&prepared).expect("q4 executes");
+        (t0.elapsed().as_secs_f64() * 1e3, out.results)
+    };
+    let (first_built_ms, rows_built) = first_query(&ds);
+    let (first_loaded_ms, rows_loaded) = first_query(&loaded);
+    assert_eq!(rows_built, rows_loaded, "loaded store must serve identical rows");
+    std::fs::remove_file(&snap_path).ok();
+
+    println!(
+        "cold build {} | save {} | load {} ({:.1} MiB, {}) | first query: built {} loaded {}",
+        fmt_ms(build_ms),
+        fmt_ms(save_ms),
+        fmt_ms(load_ms),
+        snapshot_bytes as f64 / (1024.0 * 1024.0),
+        if mapped { "mmap" } else { "arena" },
+        fmt_ms(first_built_ms),
+        fmt_ms(first_loaded_ms),
+    );
+
+    let persistence = format!(
+        "{{\n    \"build_ms\": {build_ms:.3}, \"save_ms\": {save_ms:.3}, \
+         \"load_ms\": {load_ms:.3},\n    \"snapshot_bytes\": {snapshot_bytes}, \
+         \"mapped\": {mapped},\n    \"first_query_built_ms\": {first_built_ms:.3}, \
+         \"first_query_loaded_ms\": {first_loaded_ms:.3}\n  }}",
+    );
+
     let body = format!(
         "{{\n  \"seq\": {seq},\n  \"suite\": \"bsbm\",\n  \"triples\": {triples},\n  \
-         \"wall_runs\": {RUNS},\n  \"templates\": [\n{}\n  ],\n  \"concurrent\": {concurrent}\n}}\n",
+         \"wall_runs\": {RUNS},\n  \"templates\": [\n{}\n  ],\n  \"concurrent\": {concurrent},\n  \
+         \"persistence\": {persistence}\n}}\n",
         entries.join(",\n"),
     );
     let path = format!("BENCH_{seq}.json");

@@ -1,0 +1,33 @@
+//! Process-wide build diagnostics.
+//!
+//! Tiny monotonic counters incremented by the expensive freeze-time steps
+//! ([`crate::index::PermIndex::build`] and
+//! [`crate::dict::Dictionary::reorder_by_value`]). They exist so tests can
+//! assert *structurally* that [`crate::store::Dataset::load`] performs no
+//! rebuild work — the zero-copy contract of the snapshot path — instead of
+//! relying on timing. The counters are process-global and monotonically
+//! increasing; assertions should compare deltas, not absolute values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
+static DICT_REORDERS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`crate::index::PermIndex::build`] calls so far in this process.
+pub fn index_builds() -> u64 {
+    INDEX_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Number of [`crate::dict::Dictionary::reorder_by_value`] calls so far in
+/// this process.
+pub fn dict_reorders() -> u64 {
+    DICT_REORDERS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_index_build() {
+    INDEX_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_dict_reorder() {
+    DICT_REORDERS.fetch_add(1, Ordering::Relaxed);
+}

@@ -18,6 +18,12 @@ use std::collections::HashMap;
 use crate::term::Term;
 
 /// A dense identifier for an interned term. `Id(0)` is the first term.
+///
+/// `repr(transparent)` over `u32` is load-bearing: the snapshot loader
+/// reinterprets checksummed little-endian file bytes as `[Id; 3]` triple
+/// keys (see [`crate::snapshot`]), which is only sound because an `Id` is
+/// layout-identical to its `u32` and every bit pattern is a valid value.
+#[repr(transparent)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Id(pub u32);
 
@@ -36,12 +42,41 @@ impl std::fmt::Display for Id {
     }
 }
 
+/// Total order over cached numeric values: non-NaN values compare by their
+/// IEEE order (so `-0.0 == 0.0`, matching filter arithmetic), and NaN sorts
+/// *after* every number and equal to itself. An explicit NaN-last rule
+/// rather than `f64::total_cmp` because `total_cmp` distinguishes `-0.0`
+/// from `0.0`, which would contradict the `==` the executor's filters use.
+///
+/// This is what keeps [`Dictionary::compare`] (and through it
+/// [`Dictionary::reorder_by_value`] and every ORDER BY sort key) a strict
+/// total order now that genuinely NaN-valued literals keep their
+/// numeric-ness — the old code relied on NaN being pre-filtered by the
+/// cache's NaN sentinel and fell back to `Ordering::Equal`.
+#[inline]
+pub fn cmp_numeric(x: f64, y: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (x.is_nan(), y.is_nan()) {
+        (false, false) => x.partial_cmp(&y).expect("both non-NaN"),
+        (false, true) => Ordering::Less,
+        (true, false) => Ordering::Greater,
+        (true, true) => Ordering::Equal,
+    }
+}
+
 /// Bidirectional mapping between [`Term`]s and [`Id`]s.
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
     terms: Vec<Term>,
-    /// Cached `numeric_value()` per id (NaN = none); parallel to `terms`.
+    /// Cached `numeric_value()` per id; parallel to `terms`. Whether id `i`
+    /// *has* a numeric value lives in the `numeric_set` bitmap — absent
+    /// entries hold `0.0`, never a sentinel, so a literal whose value is
+    /// genuinely NaN (`"NaN"^^xsd:double`) stays numeric.
     numeric: Vec<f64>,
+    /// Presence bitmap of `numeric`: bit `i % 64` of word `i / 64` is set
+    /// iff term `i` has a numeric value. Always `terms.len().div_ceil(64)`
+    /// words long.
+    numeric_set: Vec<u64>,
     by_term: HashMap<Term, Id>,
     /// Set by [`Dictionary::reorder_by_value`] when two *distinct* ids
     /// carry the same numeric value (e.g. `"1"^^int` vs `"1.0"^^double`).
@@ -100,8 +135,18 @@ impl Dictionary {
             return id;
         }
         Self::check_capacity(self.terms.len());
-        let id = Id(self.terms.len() as u32);
-        self.numeric.push(term.numeric_value().unwrap_or(f64::NAN));
+        let idx = self.terms.len();
+        let id = Id(idx as u32);
+        if idx.is_multiple_of(64) {
+            self.numeric_set.push(0);
+        }
+        match term.numeric_value() {
+            Some(v) => {
+                self.numeric.push(v);
+                self.numeric_set[idx / 64] |= 1 << (idx % 64);
+            }
+            None => self.numeric.push(0.0),
+        }
         self.by_term.insert(term.clone(), id);
         self.terms.push(term);
         id
@@ -118,15 +163,23 @@ impl Dictionary {
         &self.terms[id.index()]
     }
 
-    /// The cached numeric value of `id`'s term, if it has one.
+    /// The cached numeric value of `id`'s term, if it has one. Presence is
+    /// tracked in an explicit bitmap, so `Some(f64::NAN)` is a possible —
+    /// and meaningful — answer for a NaN-valued literal.
     #[inline]
     pub fn numeric(&self, id: Id) -> Option<f64> {
-        let v = self.numeric[id.index()];
-        if v.is_nan() {
-            None
+        let i = id.index();
+        if self.numeric_set[i / 64] >> (i % 64) & 1 == 1 {
+            Some(self.numeric[i])
         } else {
-            Some(v)
+            None
         }
+    }
+
+    /// True when term index `i` has a cached numeric value.
+    #[inline]
+    fn has_numeric(&self, i: usize) -> bool {
+        self.numeric_set[i / 64] >> (i % 64) & 1 == 1
     }
 
     /// Iterates over all `(id, term)` pairs in interning order.
@@ -135,11 +188,13 @@ impl Dictionary {
     }
 
     /// Compares two ids by the RDF "benchmark order": numeric values first
-    /// (by value), then lexical term order. Used by ORDER BY.
+    /// (by [`cmp_numeric`], NaN last among numerics), then lexical term
+    /// order. Used by ORDER BY. This is a strict total order even when the
+    /// dataset contains NaN-valued literals.
     pub fn compare(&self, a: Id, b: Id) -> std::cmp::Ordering {
         use std::cmp::Ordering;
         match (self.numeric(a), self.numeric(b)) {
-            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            (Some(x), Some(y)) => cmp_numeric(x, y),
             (Some(_), None) => Ordering::Less,
             (None, Some(_)) => Ordering::Greater,
             (None, None) => self.decode(a).cmp(self.decode(b)),
@@ -160,6 +215,7 @@ impl Dictionary {
     /// order-compatible index scan.
     pub fn reorder_by_value(&mut self) -> Vec<u32> {
         use std::cmp::Ordering;
+        crate::diag::count_dict_reorder();
         let n = self.terms.len();
         // new-id → old-id, sorted by (value order, term order).
         let mut by_value: Vec<u32> = (0..n as u32).collect();
@@ -179,18 +235,29 @@ impl Dictionary {
         }
         let mut terms = Vec::with_capacity(n);
         let mut numeric = Vec::with_capacity(n);
-        for &old in &by_value {
+        let mut numeric_set = vec![0u64; n.div_ceil(64)];
+        for (new, &old) in by_value.iter().enumerate() {
             terms.push(self.terms[old as usize].clone());
             numeric.push(self.numeric[old as usize]);
+            if self.has_numeric(old as usize) {
+                numeric_set[new / 64] |= 1 << (new % 64);
+            }
         }
         self.terms = terms;
         self.numeric = numeric;
+        self.numeric_set = numeric_set;
         for id in self.by_term.values_mut() {
             *id = Id(old_to_new[id.index()]);
         }
-        // Value ties sit adjacent after the sort: one linear scan.
-        self.value_ties =
-            self.numeric.windows(2).any(|w| !w[0].is_nan() && !w[1].is_nan() && w[0] == w[1]);
+        // Value ties sit adjacent after the sort: one linear scan. Presence
+        // comes from the bitmap, equality from cmp_numeric — two distinct
+        // NaN-valued literals are a tie (they compare Equal), just like
+        // `"1"^^int` vs `"1.0"^^double`.
+        self.value_ties = (1..n).any(|i| {
+            self.has_numeric(i - 1)
+                && self.has_numeric(i)
+                && cmp_numeric(self.numeric[i - 1], self.numeric[i]) == Ordering::Equal
+        });
         old_to_new
     }
 
@@ -199,6 +266,55 @@ impl Dictionary {
     /// value order, but is not equivalent to it under secondary sort keys.
     pub fn has_value_ties(&self) -> bool {
         self.value_ties
+    }
+
+    /// The raw snapshot-serializable parts: `(terms, numeric values,
+    /// numeric presence bitmap, value_ties)`. Only the snapshot writer
+    /// should care about this shape.
+    pub(crate) fn parts(&self) -> (&[Term], &[f64], &[u64], bool) {
+        (&self.terms, &self.numeric, &self.numeric_set, self.value_ties)
+    }
+
+    /// Rebuilds a dictionary from snapshot parts, reconstructing the
+    /// term→id map. Validates the parallel-array invariants and rejects
+    /// duplicate terms; it does *not* re-derive the numeric cache from the
+    /// lexical forms (that re-parse is exactly the freeze-time work the
+    /// snapshot exists to skip — the per-section checksums vouch for the
+    /// cached values instead).
+    pub(crate) fn from_parts(
+        terms: Vec<Term>,
+        numeric: Vec<f64>,
+        numeric_set: Vec<u64>,
+        value_ties: bool,
+    ) -> Result<Self, String> {
+        let n = terms.len();
+        if n >= Self::MAX_TERMS {
+            return Err(format!("{n} terms exceed the dictionary id space"));
+        }
+        if numeric.len() != n {
+            return Err(format!("numeric cache holds {} entries for {n} terms", numeric.len()));
+        }
+        if numeric_set.len() != n.div_ceil(64) {
+            return Err(format!(
+                "numeric bitmap holds {} words, expected {}",
+                numeric_set.len(),
+                n.div_ceil(64)
+            ));
+        }
+        if !n.is_multiple_of(64) {
+            if let Some(&last) = numeric_set.last() {
+                if last >> (n % 64) != 0 {
+                    return Err("numeric bitmap has bits set past the term count".into());
+                }
+            }
+        }
+        let mut by_term = HashMap::with_capacity(n);
+        for (i, term) in terms.iter().enumerate() {
+            if by_term.insert(term.clone(), Id(i as u32)).is_some() {
+                return Err(format!("duplicate term at id {i}"));
+            }
+        }
+        Ok(Dictionary { terms, numeric, numeric_set, by_term, value_ties })
     }
 }
 
@@ -291,6 +407,120 @@ mod tests {
         assert_eq!(dict.numeric(Id(0)), Some(2.0));
         assert_eq!(dict.numeric(Id(1)), Some(2.5));
         assert_eq!(dict.numeric(Id(2)), Some(10.0));
+    }
+
+    /// Regression (PR 7): the numeric cache used `f64::NAN` as its "no
+    /// value" sentinel, so `"NaN"^^xsd:double` silently lost its
+    /// numeric-ness. With the presence bitmap it stays numeric.
+    #[test]
+    fn nan_literal_keeps_its_numeric_value() {
+        let mut dict = Dictionary::new();
+        let nan = dict.encode(Term::double(f64::NAN));
+        let txt = dict.encode(Term::literal("zzz"));
+        let one = dict.encode(Term::integer(1));
+        assert!(dict.numeric(nan).is_some_and(f64::is_nan), "NaN literal must stay numeric");
+        assert_eq!(dict.numeric(txt), None);
+        // As a numeric, NaN orders after every number but before every
+        // non-numeric term — and equal to itself, keeping the order total.
+        assert_eq!(dict.compare(one, nan), std::cmp::Ordering::Less);
+        assert_eq!(dict.compare(nan, txt), std::cmp::Ordering::Less);
+        assert_eq!(dict.compare(nan, nan), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_numeric_is_a_total_order_with_nan_last() {
+        use std::cmp::Ordering;
+        assert_eq!(cmp_numeric(1.0, 2.0), Ordering::Less);
+        assert_eq!(cmp_numeric(2.0, 1.0), Ordering::Greater);
+        assert_eq!(cmp_numeric(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(cmp_numeric(f64::INFINITY, f64::NAN), Ordering::Less);
+        assert_eq!(cmp_numeric(f64::NAN, f64::NEG_INFINITY), Ordering::Greater);
+        // Unlike f64::total_cmp, signed zeros stay equal — matching the
+        // IEEE `==` the executor's filters evaluate.
+        assert_eq!(cmp_numeric(-0.0, 0.0), Ordering::Equal);
+        // Antisymmetry over a mixed sample (totality spot check).
+        let sample = [f64::NEG_INFINITY, -1.5, -0.0, 0.0, 2.0, f64::INFINITY, f64::NAN];
+        for &x in &sample {
+            for &y in &sample {
+                assert_eq!(cmp_numeric(x, y), cmp_numeric(y, x).reverse(), "{x} vs {y}");
+            }
+        }
+    }
+
+    /// After the bitmap fix, `reorder_by_value` must keep a strict total
+    /// order in the presence of NaN — previously NaN routed through
+    /// `partial_cmp(..).unwrap_or(Equal)`, which is not transitive.
+    #[test]
+    fn reorder_with_nan_keeps_total_order() {
+        let mut dict = Dictionary::new();
+        let terms = vec![
+            Term::double(f64::NAN),
+            Term::integer(5),
+            Term::literal("text"),
+            Term::double(f64::INFINITY),
+            Term::iri("http://e/x"),
+            Term::double(-1.0),
+            // A second, lexically distinct NaN form ("NaN" vs "nan"): a
+            // genuine value tie under the NaN-equal rule.
+            Term::Literal(crate::term::Literal::typed("nan", crate::term::xsd::DOUBLE)),
+        ];
+        let olds: Vec<Id> = terms.iter().cloned().map(|t| dict.encode(t)).collect();
+        let map = dict.reorder_by_value();
+        for (old, term) in olds.iter().zip(&terms) {
+            assert_eq!(dict.decode(Id(map[old.index()])), term);
+        }
+        // Ascending ids refine the value order for every pair.
+        for a in 0..dict.len() as u32 {
+            for b in (a + 1)..dict.len() as u32 {
+                assert_ne!(
+                    dict.compare(Id(a), Id(b)),
+                    std::cmp::Ordering::Greater,
+                    "Id({a}) vs Id({b}) out of value order"
+                );
+            }
+        }
+        // Numerics occupy the low ids: -1, 5, inf, then the two NaNs.
+        assert_eq!(dict.numeric(Id(0)), Some(-1.0));
+        assert_eq!(dict.numeric(Id(1)), Some(5.0));
+        assert_eq!(dict.numeric(Id(2)), Some(f64::INFINITY));
+        assert!(dict.numeric(Id(3)).is_some_and(f64::is_nan));
+        assert!(dict.numeric(Id(4)).is_some_and(f64::is_nan));
+        assert_eq!(dict.numeric(Id(5)), None);
+        // The two NaN literals tie by value, so the ties flag is up.
+        assert!(dict.has_value_ties());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let mut dict = Dictionary::new();
+        for t in [Term::integer(3), Term::double(f64::NAN), Term::literal("x")] {
+            dict.encode(t);
+        }
+        dict.reorder_by_value();
+        let (terms, numeric, numeric_set, ties) = dict.parts();
+        let rebuilt =
+            Dictionary::from_parts(terms.to_vec(), numeric.to_vec(), numeric_set.to_vec(), ties)
+                .expect("valid parts");
+        for i in 0..dict.len() as u32 {
+            assert_eq!(rebuilt.decode(Id(i)), dict.decode(Id(i)));
+            match (rebuilt.numeric(Id(i)), dict.numeric(Id(i))) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (a, b) => assert_eq!(a, b),
+            }
+            assert_eq!(rebuilt.lookup(dict.decode(Id(i))), Some(Id(i)));
+        }
+        assert_eq!(rebuilt.has_value_ties(), ties);
+        // Mismatched parallel arrays and duplicate terms are rejected.
+        let (terms, numeric, numeric_set, ties) = dict.parts();
+        assert!(Dictionary::from_parts(terms.to_vec(), vec![], numeric_set.to_vec(), ties).is_err());
+        assert!(Dictionary::from_parts(terms.to_vec(), numeric.to_vec(), vec![], ties).is_err());
+        let mut dup = terms.to_vec();
+        dup[0] = dup[1].clone();
+        assert!(Dictionary::from_parts(dup, numeric.to_vec(), numeric_set.to_vec(), ties).is_err());
+        // Bitmap bits past the term count are rejected.
+        let mut bad_set = numeric_set.to_vec();
+        bad_set[0] |= 1 << (terms.len() % 64);
+        assert!(Dictionary::from_parts(terms.to_vec(), numeric.to_vec(), bad_set, ties).is_err());
     }
 
     #[test]

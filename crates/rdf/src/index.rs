@@ -6,8 +6,18 @@
 //! positions can then be answered by a binary-searched contiguous range of
 //! exactly one index, which also gives *exact* pattern cardinalities in
 //! `O(log n)` — the property the paper's `Cout` analysis relies on.
+//!
+//! Since PR 7 each index is generic over its **storage backend**: freshly
+//! frozen stores keep keys on the heap, while snapshot-loaded stores serve
+//! the same binary searches straight out of checksummed mapped file bytes
+//! (see [`crate::snapshot`]) — the scan code cannot tell the difference.
+//! Each index also carries a small **bucket directory** (one entry per
+//! distinct leading key component) that both accelerates the common
+//! single-bound lookups and persists as the per-index metadata section of
+//! the snapshot format.
 
 use crate::dict::Id;
+use crate::snapshot::SectionSlice;
 
 /// One of the six orderings of (S, P, O).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,20 +125,167 @@ impl IndexOrder {
     }
 }
 
+/// One bucket-directory entry: the run of keys sharing leading component
+/// `key` starts at key index `start`.
+///
+/// `repr(C)` with two `u32` fields gives the exact 8-byte little-endian
+/// layout the snapshot's bucket sections use, so a mapped section can be
+/// reinterpreted as `[Bucket]` without decoding.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Bucket {
+    /// The shared leading key component of this run.
+    pub key: Id,
+    /// Index of the run's first key; the run ends at the next bucket's
+    /// `start` (or the key count, for the last bucket).
+    pub start: u32,
+}
+
+/// Sorted `[Id; 3]` key storage: heap-built at freeze time, or a zero-copy
+/// view over a checksummed snapshot section after [`crate::store::Dataset::load`].
+#[derive(Debug, Clone)]
+pub(crate) enum KeyStore {
+    /// Keys owned on the heap (freshly frozen store, or the big-endian
+    /// decode fallback of the loader).
+    Heap(Vec<[Id; 3]>),
+    /// Keys served directly from snapshot bytes.
+    Mapped(SectionSlice<[Id; 3]>),
+}
+
+impl KeyStore {
+    #[inline]
+    fn as_slice(&self) -> &[[Id; 3]] {
+        match self {
+            KeyStore::Heap(v) => v,
+            KeyStore::Mapped(s) => s.as_slice(),
+        }
+    }
+}
+
+/// Bucket-directory storage; mirrors [`KeyStore`].
+#[derive(Debug, Clone)]
+pub(crate) enum BucketStore {
+    /// Directory owned on the heap.
+    Heap(Vec<Bucket>),
+    /// Directory served directly from snapshot bytes.
+    Mapped(SectionSlice<Bucket>),
+}
+
+impl BucketStore {
+    #[inline]
+    fn as_slice(&self) -> &[Bucket] {
+        match self {
+            BucketStore::Heap(v) => v,
+            BucketStore::Mapped(s) => s.as_slice(),
+        }
+    }
+}
+
 /// A single sorted permutation index.
 #[derive(Debug, Clone)]
 pub struct PermIndex {
     order: IndexOrder,
     /// Triples re-ordered into key order and sorted lexicographically.
-    keys: Vec<[Id; 3]>,
+    keys: KeyStore,
+    /// One entry per distinct leading key component, ascending.
+    buckets: BucketStore,
 }
 
 impl PermIndex {
     /// Builds the index for `order` from a deduplicated SPO triple set.
     pub fn build(order: IndexOrder, spo_triples: &[[Id; 3]]) -> Self {
+        crate::diag::count_index_build();
+        assert!(
+            spo_triples.len() <= u32::MAX as usize,
+            "index of {} keys overflows the u32 bucket offsets",
+            spo_triples.len()
+        );
         let mut keys: Vec<[Id; 3]> = spo_triples.iter().map(|&t| order.key_of(t)).collect();
         keys.sort_unstable();
-        PermIndex { order, keys }
+        let buckets = build_buckets(&keys);
+        PermIndex { order, keys: KeyStore::Heap(keys), buckets: BucketStore::Heap(buckets) }
+    }
+
+    /// Assembles an index from pre-built storage (the snapshot load path).
+    ///
+    /// Validates the bucket directory against the keys in `O(d)` for `d`
+    /// distinct leading components: ascending bucket keys, strictly
+    /// increasing in-bounds starts, and each bucket's key matching the key
+    /// array at its start. Key *ids* are bounds-checked against
+    /// `term_count` in `O(n)` so a well-checksummed but nonsensical file
+    /// can never index the dictionary out of range. The keys' sort order
+    /// itself is vouched for by the section checksum (binary search over a
+    /// mis-sorted array would return wrong ranges, never unsafety).
+    pub(crate) fn from_parts(
+        order: IndexOrder,
+        keys: KeyStore,
+        buckets: BucketStore,
+        term_count: usize,
+    ) -> Result<Self, String> {
+        let ks = keys.as_slice();
+        let bs = buckets.as_slice();
+        let name = format!("{order:?}");
+        if ks.len() > u32::MAX as usize {
+            return Err(format!("{name}: {} keys overflow u32 bucket offsets", ks.len()));
+        }
+        if ks.is_empty() {
+            if !bs.is_empty() {
+                return Err(format!("{name}: {} buckets over an empty key array", bs.len()));
+            }
+        } else {
+            if bs.is_empty() {
+                return Err(format!("{name}: empty bucket directory over {} keys", ks.len()));
+            }
+            if bs[0].start != 0 {
+                return Err(format!("{name}: first bucket starts at {}", bs[0].start));
+            }
+            for w in bs.windows(2) {
+                if w[0].key >= w[1].key || w[0].start >= w[1].start {
+                    return Err(format!("{name}: bucket directory not strictly increasing"));
+                }
+            }
+            for b in bs {
+                let start = b.start as usize;
+                if start >= ks.len() {
+                    return Err(format!("{name}: bucket start {start} past {} keys", ks.len()));
+                }
+                if ks[start][0] != b.key {
+                    return Err(format!(
+                        "{name}: bucket key {} does not match key array at {start}",
+                        b.key
+                    ));
+                }
+            }
+            for k in ks {
+                for id in k {
+                    if id.index() >= term_count {
+                        return Err(format!("{name}: key id {id} out of {term_count} terms"));
+                    }
+                }
+            }
+        }
+        Ok(PermIndex { order, keys, buckets })
+    }
+
+    /// True when the keys are served from mapped snapshot bytes.
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(&self.keys, KeyStore::Mapped(s) if s.is_os_mapped())
+    }
+
+    /// True when the keys are served from a loaded snapshot (mapped or
+    /// arena-backed), as opposed to a freeze-time heap build.
+    pub(crate) fn is_loaded(&self) -> bool {
+        matches!(self.keys, KeyStore::Mapped(_))
+    }
+
+    /// The sorted key array (for the snapshot writer).
+    pub(crate) fn keys(&self) -> &[[Id; 3]] {
+        self.keys.as_slice()
+    }
+
+    /// The bucket directory (for the snapshot writer).
+    pub(crate) fn buckets(&self) -> &[Bucket] {
+        self.buckets.as_slice()
     }
 
     /// The ordering of this index.
@@ -138,27 +295,43 @@ impl PermIndex {
 
     /// Number of triples.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.keys.as_slice().len()
     }
 
     /// True if the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.keys.as_slice().is_empty()
     }
 
     /// The contiguous key range whose first `prefix.len()` key components
-    /// equal `prefix` (at most 3 components).
+    /// equal `prefix` (at most 3 components). The leading component is
+    /// resolved through the bucket directory (`O(log d)` over distinct
+    /// values); the remaining components binary-search within the bucket.
     pub fn range(&self, prefix: &[Id]) -> &[[Id; 3]] {
         debug_assert!(prefix.len() <= 3);
-        let lo = self.keys.partition_point(|k| cmp_prefix(k, prefix) == std::cmp::Ordering::Less);
-        let hi = self.keys[lo..]
-            .partition_point(|k| cmp_prefix(k, prefix) != std::cmp::Ordering::Greater)
-            + lo;
-        &self.keys[lo..hi]
+        let keys = self.keys.as_slice();
+        let Some((&first, rest)) = prefix.split_first() else {
+            return keys;
+        };
+        let buckets = self.buckets.as_slice();
+        let bi = buckets.partition_point(|b| b.key < first);
+        if bi == buckets.len() || buckets[bi].key != first {
+            return &keys[0..0];
+        }
+        let lo = buckets[bi].start as usize;
+        let hi = buckets.get(bi + 1).map_or(keys.len(), |b| b.start as usize);
+        let run = &keys[lo..hi];
+        if rest.is_empty() {
+            return run;
+        }
+        let lo2 = run.partition_point(|k| cmp_tail(k, rest) == std::cmp::Ordering::Less);
+        let hi2 =
+            run[lo2..].partition_point(|k| cmp_tail(k, rest) != std::cmp::Ordering::Greater) + lo2;
+        &run[lo2..hi2]
     }
 
-    /// Exact number of triples matching a bound key prefix, via two binary
-    /// searches (no scan).
+    /// Exact number of triples matching a bound key prefix, via the bucket
+    /// directory plus binary search (no scan).
     pub fn count(&self, prefix: &[Id]) -> usize {
         self.range(prefix).len()
     }
@@ -170,11 +343,14 @@ impl PermIndex {
     }
 
     /// Number of *distinct* values in key position `prefix.len()` within the
-    /// range selected by `prefix`. Because keys are sorted, distinct values
-    /// form runs; this gallops over the runs, so cost is `O(d log n)` for
-    /// `d` distinct values rather than `O(range)`.
+    /// range selected by `prefix`. The root level is answered by the bucket
+    /// directory in `O(1)`; deeper levels gallop over the sorted runs, so
+    /// cost is `O(d log n)` for `d` distinct values rather than `O(range)`.
     pub fn distinct_after(&self, prefix: &[Id]) -> usize {
         let pos = prefix.len();
+        if pos == 0 {
+            return self.buckets.as_slice().len();
+        }
         if pos >= 3 {
             return usize::from(!self.range(prefix).is_empty());
         }
@@ -191,8 +367,24 @@ impl PermIndex {
     }
 }
 
-fn cmp_prefix(key: &[Id; 3], prefix: &[Id]) -> std::cmp::Ordering {
-    for (k, p) in key.iter().zip(prefix) {
+/// Builds the bucket directory of a sorted key array: one entry per
+/// distinct leading component, found by galloping over the runs.
+fn build_buckets(keys: &[[Id; 3]]) -> Vec<Bucket> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < keys.len() {
+        let key = keys[i][0];
+        out.push(Bucket { key, start: i as u32 });
+        i += keys[i..].partition_point(|k| k[0] == key);
+    }
+    out
+}
+
+/// Compares a key's components *after* the first against `rest`
+/// (`rest.len() <= 2`); used for the in-bucket binary search once the
+/// bucket directory has pinned the leading component.
+fn cmp_tail(key: &[Id; 3], rest: &[Id]) -> std::cmp::Ordering {
+    for (k, p) in key[1..].iter().zip(rest) {
         match k.cmp(p) {
             std::cmp::Ordering::Equal => continue,
             other => return other,
@@ -283,5 +475,84 @@ mod tests {
         assert!(idx.is_empty());
         assert_eq!(idx.count(&[]), 0);
         assert_eq!(idx.distinct_after(&[]), 0);
+    }
+
+    #[test]
+    fn bucket_directory_matches_leading_runs() {
+        let idx = PermIndex::build(IndexOrder::Spo, &sample_triples());
+        let buckets = idx.buckets();
+        assert_eq!(buckets.len(), 3); // subjects {1, 2, 3}
+        assert_eq!(buckets[0], Bucket { key: id(1), start: 0 });
+        assert_eq!(buckets[1], Bucket { key: id(2), start: 3 });
+        assert_eq!(buckets[2], Bucket { key: id(3), start: 5 });
+        // Bucket-resolved ranges agree with a brute-force filter for every
+        // prefix depth, including misses between and beyond bucket keys.
+        let keys = idx.keys().to_vec();
+        for lead in 0..6u32 {
+            let expect: Vec<[Id; 3]> = keys.iter().copied().filter(|k| k[0] == id(lead)).collect();
+            assert_eq!(idx.range(&[id(lead)]), &expect[..], "lead {lead}");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_buckets() {
+        let built = PermIndex::build(IndexOrder::Spo, &sample_triples());
+        let keys = built.keys().to_vec();
+        let buckets = built.buckets().to_vec();
+        let ok = PermIndex::from_parts(
+            IndexOrder::Spo,
+            KeyStore::Heap(keys.clone()),
+            BucketStore::Heap(buckets.clone()),
+            200,
+        )
+        .expect("consistent parts");
+        assert_eq!(ok.count(&[id(1)]), 3);
+
+        // Wrong first start.
+        let mut bad = buckets.clone();
+        bad[0].start = 1;
+        assert!(PermIndex::from_parts(
+            IndexOrder::Spo,
+            KeyStore::Heap(keys.clone()),
+            BucketStore::Heap(bad),
+            200
+        )
+        .is_err());
+        // Non-increasing keys.
+        let mut bad = buckets.clone();
+        bad[1].key = bad[0].key;
+        assert!(PermIndex::from_parts(
+            IndexOrder::Spo,
+            KeyStore::Heap(keys.clone()),
+            BucketStore::Heap(bad),
+            200
+        )
+        .is_err());
+        // Bucket key disagreeing with the key array.
+        let mut bad = buckets.clone();
+        bad[2].key = id(99);
+        assert!(PermIndex::from_parts(
+            IndexOrder::Spo,
+            KeyStore::Heap(keys.clone()),
+            BucketStore::Heap(bad),
+            200
+        )
+        .is_err());
+        // Empty directory over non-empty keys.
+        assert!(PermIndex::from_parts(
+            IndexOrder::Spo,
+            KeyStore::Heap(keys.clone()),
+            BucketStore::Heap(vec![]),
+            200
+        )
+        .is_err());
+        // Key ids out of the dictionary range.
+        assert!(PermIndex::from_parts(
+            IndexOrder::Spo,
+            KeyStore::Heap(keys),
+            BucketStore::Heap(buckets),
+            5
+        )
+        .is_err());
     }
 }

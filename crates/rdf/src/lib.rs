@@ -13,6 +13,12 @@
 //! and [`store::StoreBuilder::freeze`] produces an immutable
 //! [`store::Dataset`] that is cheap to share across threads.
 //!
+//! A frozen dataset can be persisted with [`store::Dataset::save`] and
+//! reloaded with [`store::Dataset::load`], which maps the checksummed
+//! snapshot file and serves scans zero-copy from the mapped bytes — no
+//! dictionary reorder, no index sort, no per-triple decode (see the
+//! [`snapshot`] and [`mod@format`] modules).
+//!
 //! ```
 //! use parambench_rdf::store::StoreBuilder;
 //! use parambench_rdf::term::Term;
@@ -26,15 +32,19 @@
 
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod dict;
 pub mod error;
+pub mod format;
 pub mod index;
 pub mod ntriples;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod term;
 
-pub use dict::{Dictionary, Id};
+pub use dict::{cmp_numeric, Dictionary, Id};
 pub use error::RdfError;
+pub use format::SnapshotError;
 pub use store::{Dataset, IdPattern, StoreBuilder};
 pub use term::{Literal, LiteralKind, Term};

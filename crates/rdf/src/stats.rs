@@ -109,6 +109,37 @@ impl CharacteristicSets {
         CharacteristicSets { sets }
     }
 
+    /// The sorted `(predicate set, payload)` entries (snapshot writer).
+    pub(crate) fn entries(&self) -> &[(Vec<Id>, CsEntry)] {
+        &self.sets
+    }
+
+    /// Rebuilds characteristic sets from snapshot entries, validating the
+    /// sorted-and-distinct invariant [`CharacteristicSets::compute`]
+    /// establishes (the `star` lookup relies on per-set binary search).
+    pub(crate) fn from_parts(sets: Vec<(Vec<Id>, CsEntry)>) -> Result<Self, String> {
+        for (preds, entry) in &sets {
+            if preds.is_empty() {
+                return Err("characteristic set with no predicates".into());
+            }
+            if preds.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("characteristic set predicates not strictly ascending".into());
+            }
+            if entry.subjects == 0 {
+                return Err("characteristic set with zero subjects".into());
+            }
+            if entry.triples.len() != preds.len()
+                || preds.iter().any(|p| !entry.triples.contains_key(p))
+            {
+                return Err("characteristic set triple counts do not match its predicates".into());
+            }
+        }
+        if sets.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err("characteristic sets not sorted by predicate set".into());
+        }
+        Ok(CharacteristicSets { sets })
+    }
+
     /// Number of distinct characteristic sets.
     pub fn len(&self) -> usize {
         self.sets.len()
@@ -204,6 +235,28 @@ impl DatasetStats {
             total_triples,
             distinct_subjects: subjects.len(),
             distinct_objects: objects.len(),
+            distinct_predicates: per_predicate.len(),
+            per_predicate,
+        }
+    }
+
+    /// The per-predicate table (snapshot writer).
+    pub(crate) fn per_predicate(&self) -> &HashMap<Id, PredicateStats> {
+        &self.per_predicate
+    }
+
+    /// Rebuilds statistics from snapshot parts; `distinct_predicates` is
+    /// derived from the table, as [`DatasetStats::compute`] does.
+    pub(crate) fn from_parts(
+        total_triples: usize,
+        distinct_subjects: usize,
+        distinct_objects: usize,
+        per_predicate: HashMap<Id, PredicateStats>,
+    ) -> Self {
+        DatasetStats {
+            total_triples,
+            distinct_subjects,
+            distinct_objects,
             distinct_predicates: per_predicate.len(),
             per_predicate,
         }

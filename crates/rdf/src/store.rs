@@ -49,10 +49,18 @@ impl StoreBuilder {
     }
 
     /// Inserts a triple of already-interned ids.
+    ///
+    /// # Panics
+    /// When any id was not handed out by this builder's dictionary. The
+    /// check is unconditional: in a release build an out-of-range id would
+    /// otherwise corrupt the frozen indexes silently (or panic much later,
+    /// deep inside `reorder_by_value`, far from the culprit).
     pub fn insert_ids(&mut self, s: Id, p: Id, o: Id) {
-        debug_assert!(s.index() < self.dict.len());
-        debug_assert!(p.index() < self.dict.len());
-        debug_assert!(o.index() < self.dict.len());
+        let n = self.dict.len();
+        assert!(
+            s.index() < n && p.index() < n && o.index() < n,
+            "insert_ids([{s}, {p}, {o}]): id out of range for a dictionary of {n} terms"
+        );
         self.triples.push([s, p, o]);
     }
 
@@ -65,7 +73,26 @@ impl StoreBuilder {
     /// order), so every sorted permutation index doubles as a sorted
     /// result source and the executor can skip sorts behind an
     /// order-compatible scan.
-    pub fn freeze(mut self) -> Dataset {
+    ///
+    /// When the `PARAMBENCH_SNAPSHOT_FREEZE` env knob is set (see
+    /// [`crate::snapshot::SNAPSHOT_FREEZE_ENV`]), the frozen dataset is
+    /// round-tripped through a temporary on-disk snapshot and the *loaded*
+    /// store is returned instead — pointing an entire test suite at the
+    /// mapped-scan path without touching a single test.
+    pub fn freeze(self) -> Dataset {
+        let ds = self.freeze_in_memory();
+        if crate::snapshot::freeze_roundtrip_enabled() {
+            return crate::snapshot::roundtrip_via_temp_snapshot(&ds)
+                .expect("PARAMBENCH_SNAPSHOT_FREEZE round-trip");
+        }
+        ds
+    }
+
+    /// [`StoreBuilder::freeze`] without the env-gated snapshot round-trip:
+    /// always builds (and returns) the heap-resident store. The benchmark
+    /// harness uses this to time cold builds, and differential tests to
+    /// hold the in-memory side fixed while the loaded side varies.
+    pub fn freeze_in_memory(mut self) -> Dataset {
         let old_to_new = self.dict.reorder_by_value();
         for triple in &mut self.triples {
             for slot in triple.iter_mut() {
@@ -84,15 +111,34 @@ impl StoreBuilder {
 }
 
 /// An immutable, fully indexed RDF dataset.
+///
+/// Datasets come into existence two ways: built in memory by
+/// [`StoreBuilder::freeze`], or reloaded from a persistent snapshot by
+/// [`Dataset::load`] — in which case the triple arrays and bucket
+/// directories are served zero-copy from the snapshot's bytes (see
+/// [`crate::snapshot`]). The query surface is identical either way.
 #[derive(Debug)]
 pub struct Dataset {
-    dict: Dictionary,
-    indexes: [PermIndex; 6],
-    stats: DatasetStats,
-    char_sets: CharacteristicSets,
+    pub(crate) dict: Dictionary,
+    pub(crate) indexes: [PermIndex; 6],
+    pub(crate) stats: DatasetStats,
+    pub(crate) char_sets: CharacteristicSets,
 }
 
 impl Dataset {
+    /// True when this dataset was reloaded from a snapshot and serves its
+    /// scans from the snapshot's bytes (OS-mapped or arena-backed) rather
+    /// than a freeze-time heap build.
+    pub fn is_loaded(&self) -> bool {
+        self.indexes.iter().all(PermIndex::is_loaded)
+    }
+
+    /// True when this dataset's scans are served from an OS file mapping
+    /// (the zero-copy fast path; false for heap builds and for the
+    /// read-into-arena fallback forced by `PARAMBENCH_SNAPSHOT_MMAP=off`).
+    pub fn is_mapped(&self) -> bool {
+        self.indexes.iter().all(PermIndex::is_mapped)
+    }
     /// The term dictionary.
     pub fn dict(&self) -> &Dictionary {
         &self.dict
@@ -499,5 +545,22 @@ mod tests {
         assert!(ds.is_empty());
         assert_eq!(ds.count([None, None, None]), 0);
         assert_eq!(ds.scan([None, None, None]).count(), 0);
+    }
+
+    /// Regression (PR 7): `insert_ids` only `debug_assert!`ed its ids, so a
+    /// release build would let an out-of-range id corrupt the frozen
+    /// indexes silently. The bound check is now unconditional.
+    #[test]
+    fn insert_ids_rejects_foreign_ids_unconditionally() {
+        let mut b = StoreBuilder::new();
+        let s = b.dict_mut().encode(Term::iri("http://e/s"));
+        let p = b.dict_mut().encode(Term::iri("http://e/p"));
+        let o = b.dict_mut().encode(Term::integer(1));
+        b.insert_ids(s, p, o); // in-range: fine
+        let out_of_range = Id(b.dict_mut().len() as u32);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.insert_ids(s, p, out_of_range);
+        }));
+        assert!(panicked.is_err(), "an id the dictionary never issued must be refused");
     }
 }

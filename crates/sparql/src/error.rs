@@ -50,11 +50,20 @@ pub enum QueryError {
     BindingMismatch(String),
     /// Out-of-core execution failed (spill I/O).
     Exec(ExecError),
+    /// Opening a persisted store snapshot failed (missing file, foreign
+    /// bytes, checksum mismatch — see [`parambench_rdf::SnapshotError`]).
+    Snapshot(parambench_rdf::SnapshotError),
 }
 
 impl From<ExecError> for QueryError {
     fn from(e: ExecError) -> Self {
         QueryError::Exec(e)
+    }
+}
+
+impl From<parambench_rdf::SnapshotError> for QueryError {
+    fn from(e: parambench_rdf::SnapshotError) -> Self {
+        QueryError::Snapshot(e)
     }
 }
 
@@ -67,6 +76,7 @@ impl fmt::Display for QueryError {
             QueryError::Unsupported(msg) => write!(f, "unsupported query shape: {msg}"),
             QueryError::BindingMismatch(msg) => write!(f, "binding mismatch: {msg}"),
             QueryError::Exec(e) => write!(f, "execution error: {e}"),
+            QueryError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }

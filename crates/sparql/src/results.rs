@@ -184,7 +184,10 @@ pub(crate) fn solval_of_value(v: &crate::exec::Value) -> SolVal {
 /// Total order over sort atoms (see [`SortAtom`]).
 pub fn cmp_atoms(a: &SortAtom<'_>, b: &SortAtom<'_>) -> Ordering {
     match (a, b) {
-        (SortAtom::Num(x), SortAtom::Num(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        // NaN-last total order: `unwrap_or(Equal)` would make NaN compare
+        // equal to everything, which is not transitive and lets sort
+        // results depend on the algorithm's comparison order.
+        (SortAtom::Num(x), SortAtom::Num(y)) => parambench_rdf::cmp_numeric(*x, *y),
         (SortAtom::Num(_), _) => Ordering::Less,
         (_, SortAtom::Num(_)) => Ordering::Greater,
         (SortAtom::Term(x), SortAtom::Term(y)) => x.cmp(y),

@@ -129,6 +129,17 @@ impl SparqlServer {
         }
     }
 
+    /// Builds a server directly over a persisted store snapshot
+    /// ([`Dataset::save`]): the warm-start path. The snapshot is
+    /// checksum-verified and served zero-copy from the file bytes — no
+    /// dictionary reorder, no index build — so a restarted server reaches
+    /// its first query without repeating any freeze-time work. Corrupted
+    /// or foreign files surface as [`QueryError::Snapshot`].
+    pub fn open(path: &std::path::Path, config: ServeConfig) -> Result<Self, QueryError> {
+        let ds = Dataset::load(path)?;
+        Ok(Self::new(Arc::new(ds), config))
+    }
+
     /// The shared dataset.
     pub fn dataset(&self) -> &Arc<Dataset> {
         &self.ds

@@ -80,7 +80,14 @@ pub fn cmp_vals(a: &OutVal, b: &OutVal) -> Ordering {
         (OutVal::Unbound, _) => Ordering::Greater,
         (_, OutVal::Unbound) => Ordering::Less,
         _ => match (num(a), num(b)) {
-            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            // Independent NaN-last total order (deliberately not the
+            // engine's `cmp_numeric`, so the oracle cross-checks it).
+            (Some(x), Some(y)) => match (x.is_nan(), y.is_nan()) {
+                (false, false) => x.partial_cmp(&y).expect("non-NaN comparison"),
+                (false, true) => Ordering::Less,
+                (true, false) => Ordering::Greater,
+                (true, true) => Ordering::Equal,
+            },
             (Some(_), None) => Ordering::Less,
             (None, Some(_)) => Ordering::Greater,
             (None, None) => match (a, b) {

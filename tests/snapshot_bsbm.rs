@@ -1,0 +1,112 @@
+//! End-to-end persistence integration at BSBM scale: generate → freeze →
+//! save → load, then serve the full BSBM template suite from the loaded
+//! store and demand **bit-identical** output against the in-memory store —
+//! rows, row order, `Cout` and the deterministic execution counters. Also
+//! asserts the structural zero-rebuild contract (no index builds, no
+//! dictionary reorders during load) and exercises the serving layer's
+//! warm-start entry point ([`SparqlServer::open`]).
+
+use std::sync::Arc;
+
+use parambench::datagen::{bsbm::schema, Bsbm, BsbmConfig};
+use parambench::rdf::store::Dataset;
+use parambench::rdf::Term;
+use parambench::sparql::serve::{ServeConfig, SparqlServer};
+use parambench::sparql::template::{Binding, QueryTemplate};
+use parambench::sparql::{Engine, QueryError};
+
+fn suite() -> Vec<(QueryTemplate, Binding)> {
+    let root_type = Binding::new().with("type", Term::iri(schema::product_type(0)));
+    vec![
+        (
+            Bsbm::q2_similar_products(),
+            Binding::new().with("product", Term::iri(schema::product(0))),
+        ),
+        (Bsbm::q4_feature_price_by_type(), root_type.clone()),
+        (Bsbm::q_cheapest_products_of_type(), root_type.clone()),
+        (Bsbm::q_catalog_of_type(), root_type.clone()),
+        (Bsbm::q_rating_by_type(), root_type.clone()),
+        (Bsbm::q_type_feature_offers(), root_type.with("feature", Term::iri(schema::feature(0)))),
+    ]
+}
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("parambench-snapbsbm-{}-{name}", std::process::id()))
+}
+
+/// Serializes this binary's tests: the zero-rebuild assertion reads the
+/// process-global `diag` counters, and a concurrent test freezing its own
+/// dataset would move them.
+static DIAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn bsbm_suite_is_bit_identical_on_a_loaded_snapshot() {
+    let _guard = DIAG_LOCK.lock().unwrap();
+    let data = Bsbm::generate(BsbmConfig { products: 250, ..Default::default() });
+    let built = data.dataset;
+    let path = temp("suite.pbsnap");
+    built.save(&path).expect("snapshot saves");
+
+    let builds = parambench::rdf::diag::index_builds();
+    let reorders = parambench::rdf::diag::dict_reorders();
+    let loaded = Dataset::load(&path).expect("snapshot loads");
+    assert_eq!(parambench::rdf::diag::index_builds(), builds, "load must not build indexes");
+    assert_eq!(parambench::rdf::diag::dict_reorders(), reorders, "load must not reorder the dict");
+    assert!(loaded.is_loaded(), "all six indexes must come from the snapshot");
+
+    let mem_engine = Engine::new(&built);
+    let snap_engine = Engine::new(&loaded);
+    let mut served = 0;
+    for (template, binding) in suite() {
+        let mem_prepared = match mem_engine.prepare_template(&template, &binding) {
+            Ok(p) => p,
+            Err(e) => panic!("{} fails to prepare in memory: {e}", template.name()),
+        };
+        let snap_prepared = snap_engine
+            .prepare_template(&template, &binding)
+            .unwrap_or_else(|e| panic!("{} fails to prepare on snapshot: {e}", template.name()));
+        // Same store → same statistics → same plan.
+        assert_eq!(mem_prepared.signature, snap_prepared.signature, "{}", template.name());
+        let mem = mem_engine.execute(&mem_prepared).expect("in-memory run");
+        let snap = snap_engine.execute(&snap_prepared).expect("snapshot run");
+        assert_eq!(mem.results, snap.results, "{} rows diverge", template.name());
+        assert_eq!(mem.cout, snap.cout, "{} Cout diverges", template.name());
+        assert_eq!(mem.stats.scanned, snap.stats.scanned, "{} scanned diverges", template.name());
+        assert_eq!(
+            mem.stats.peak_tuples,
+            snap.stats.peak_tuples,
+            "{} peak diverges",
+            template.name()
+        );
+        served += 1;
+    }
+    assert_eq!(served, 6, "every BSBM template must be served");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn server_warm_starts_from_a_snapshot() {
+    let _guard = DIAG_LOCK.lock().unwrap();
+    let data = Bsbm::generate(BsbmConfig { products: 120, ..Default::default() });
+    let path = temp("serve.pbsnap");
+    data.dataset.save(&path).expect("snapshot saves");
+
+    let server = SparqlServer::open(&path, ServeConfig::default()).expect("server opens snapshot");
+    let baseline = SparqlServer::new(Arc::new(data.dataset), ServeConfig::default());
+    for (template, binding) in suite() {
+        let warm = server.run(&template, &binding).expect("warm-start serve");
+        let cold = baseline.run(&template, &binding).expect("in-memory serve");
+        assert_eq!(warm.output.results, cold.output.results, "{}", template.name());
+    }
+    std::fs::remove_file(&path).ok();
+
+    // And the typed-error path reaches the serving layer unchanged.
+    let missing = temp("missing.pbsnap");
+    match SparqlServer::open(&missing, ServeConfig::default()) {
+        Err(QueryError::Snapshot(e)) => {
+            assert!(e.to_string().contains("missing.pbsnap"), "{e}");
+        }
+        Err(other) => panic!("expected a typed snapshot error, got {other:?}"),
+        Ok(_) => panic!("opening a missing snapshot must fail"),
+    }
+}
