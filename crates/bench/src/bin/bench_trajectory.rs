@@ -8,7 +8,7 @@
 //! cargo run --release -p parambench-bench --bin bench_trajectory
 //! ```
 //!
-//! The sequence number defaults to `7` (this PR) and can be overridden
+//! The sequence number defaults to `8` (this PR) and can be overridden
 //! with `BENCH_SEQ`; dataset scale follows `PARAMBENCH_TRIPLES` like the
 //! experiment binaries. Wall times are min-of-N to damp scheduler noise;
 //! the deterministic counters are single-run (they cannot vary).
@@ -25,6 +25,12 @@
 //! built store versus the snapshot-loaded store — the warm-start story in
 //! numbers. The snapshot is written under `PARAMBENCH_SNAPSHOT_DIR` (the
 //! system temp dir when unset).
+//!
+//! Since PR 8 it also records an **update phase**: the mixed read/write
+//! BSBM workload (`parambench_datagen::updates`) replayed through
+//! `SparqlServer::update` — write-batch and interleaved-query latency over
+//! the live overlay, plan-cache invalidations per epoch bump, and the
+//! final `compact()` cost that re-freezes base+delta.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -33,7 +39,7 @@ use std::time::Instant;
 
 use parambench_bench::{bsbm, fmt_ms, header};
 use parambench_core::workload::{env_snapshot_dir, open_snapshot, persist_dataset, run_concurrent};
-use parambench_datagen::{bsbm::schema, Bsbm};
+use parambench_datagen::{bsbm::schema, Bsbm, MixedWorkload, MixedWorkloadConfig, WorkloadStep};
 use parambench_rdf::Term;
 use parambench_sparql::serve::ServeConfig;
 use parambench_sparql::template::{Binding, QueryTemplate};
@@ -92,7 +98,7 @@ fn concurrent_requests(data: &Bsbm) -> Vec<(QueryTemplate, Binding)> {
 }
 
 fn main() {
-    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "7".into());
+    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "8".into());
     let data = bsbm();
     header(&format!("BSBM template suite trajectory (seq {seq}, {} triples)", data.dataset.len()));
     let engine = Engine::new(&data.dataset);
@@ -149,6 +155,7 @@ fn main() {
     let triples = data.dataset.len();
     drop(engine);
     let requests = concurrent_requests(&data);
+    let workload = MixedWorkload::generate(&data, &MixedWorkloadConfig::default());
     let ds = Arc::new(data.dataset);
     header(&format!(
         "Concurrent serving ({CLIENTS} clients, {} requests, {} templates)",
@@ -263,10 +270,91 @@ fn main() {
          \"first_query_loaded_ms\": {first_loaded_ms:.3}\n  }}",
     );
 
+    // --- update phase: mixed read/write workload over the live overlay ---
+    header(&format!(
+        "Live updates ({} steps: {} writes, {} queries)",
+        workload.steps.len(),
+        workload.write_steps(),
+        workload.query_steps(),
+    ));
+    let mut server = parambench_sparql::serve::SparqlServer::new(
+        Arc::new((*ds).clone()),
+        ServeConfig::default(),
+    );
+    let mut inserted = 0usize;
+    let mut deleted = 0usize;
+    let mut write_ms = 0.0f64;
+    let mut query_ms = 0.0f64;
+    let mut query_rows = 0usize;
+    let mut peak_overlay = 0usize;
+    let t_phase = Instant::now();
+    for step in &workload.steps {
+        match step {
+            WorkloadStep::Insert(batch) => {
+                let t0 = Instant::now();
+                inserted += server.update(|ds| ds.insert_batch(batch.iter().cloned()));
+                write_ms += t0.elapsed().as_secs_f64() * 1e3;
+            }
+            WorkloadStep::Delete(batch) => {
+                let t0 = Instant::now();
+                deleted += server.update(|ds| ds.delete_batch(batch.iter().cloned()));
+                write_ms += t0.elapsed().as_secs_f64() * 1e3;
+            }
+            WorkloadStep::Compact => {
+                let t0 = Instant::now();
+                server.update(|ds| ds.compact());
+                write_ms += t0.elapsed().as_secs_f64() * 1e3;
+            }
+            WorkloadStep::Query { template, binding } => {
+                let t0 = Instant::now();
+                let out = server
+                    .run(&workload.templates[*template], binding)
+                    .expect("workload query executes");
+                query_ms += t0.elapsed().as_secs_f64() * 1e3;
+                query_rows += out.output.results.len();
+            }
+        }
+        let overlay = server.dataset().overlay();
+        peak_overlay = peak_overlay.max(overlay.adds_len() + overlay.dels_len());
+    }
+    let update_elapsed_ms = t_phase.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    server.update(|ds| ds.compact());
+    let final_compact_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let serve_after = server.stats();
+    println!(
+        "writes {} ({} ins, {} del) in {} | queries {} ({} rows) in {} | \
+         final compact {} | epoch {} | plans invalidated {} | peak overlay {}",
+        workload.write_steps(),
+        inserted,
+        deleted,
+        fmt_ms(write_ms),
+        workload.query_steps(),
+        query_rows,
+        fmt_ms(query_ms),
+        fmt_ms(final_compact_ms),
+        serve_after.epoch,
+        serve_after.plan_invalidations,
+        peak_overlay,
+    );
+    let updates = format!(
+        "{{\n    \"steps\": {}, \"write_batches\": {}, \"queries\": {},\n    \
+         \"triples_inserted\": {inserted}, \"triples_deleted\": {deleted},\n    \
+         \"elapsed_ms\": {update_elapsed_ms:.3}, \"write_ms\": {write_ms:.3}, \
+         \"query_ms\": {query_ms:.3}, \"final_compact_ms\": {final_compact_ms:.3},\n    \
+         \"query_rows\": {query_rows}, \"epoch\": {}, \"plan_invalidations\": {}, \
+         \"peak_overlay_entries\": {peak_overlay}\n  }}",
+        workload.steps.len(),
+        workload.write_steps(),
+        workload.query_steps(),
+        serve_after.epoch,
+        serve_after.plan_invalidations,
+    );
+
     let body = format!(
         "{{\n  \"seq\": {seq},\n  \"suite\": \"bsbm\",\n  \"triples\": {triples},\n  \
          \"wall_runs\": {RUNS},\n  \"templates\": [\n{}\n  ],\n  \"concurrent\": {concurrent},\n  \
-         \"persistence\": {persistence}\n}}\n",
+         \"persistence\": {persistence},\n  \"updates\": {updates}\n}}\n",
         entries.join(",\n"),
     );
     let path = format!("BENCH_{seq}.json");

@@ -24,7 +24,9 @@ pub mod dist;
 pub mod lubm;
 pub mod names;
 pub mod snb;
+pub mod updates;
 
 pub use bsbm::{Bsbm, BsbmConfig};
 pub use lubm::{Lubm, LubmConfig};
 pub use snb::{Snb, SnbConfig};
+pub use updates::{MixedWorkload, MixedWorkloadConfig, WorkloadStep};

@@ -143,6 +143,15 @@ pub enum SnapshotError {
     },
     /// A structural invariant of the decoded content is violated.
     Corrupt(String),
+    /// The dataset carries net overlay updates that a snapshot cannot
+    /// represent (the format stores the frozen base only). Call
+    /// `Dataset::compact` first.
+    PendingUpdates {
+        /// Pending overlay adds at save time.
+        adds: usize,
+        /// Pending overlay tombstones at save time.
+        dels: usize,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -162,6 +171,11 @@ impl fmt::Display for SnapshotError {
                 write!(f, "snapshot checksum mismatch in section `{section}`")
             }
             SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::PendingUpdates { adds, dels } => write!(
+                f,
+                "dataset has pending live updates ({adds} adds, {dels} deletes); \
+                 compact() before save()"
+            ),
         }
     }
 }

@@ -38,6 +38,7 @@ pub mod error;
 pub mod format;
 pub mod index;
 pub mod ntriples;
+pub mod overlay;
 pub mod snapshot;
 pub mod stats;
 pub mod store;

@@ -745,7 +745,15 @@ pub(crate) fn load_from(bytes: Arc<SnapshotBytes>) -> Result<Dataset, SnapshotEr
     }
     let indexes: [PermIndex; 6] = indexes.try_into().expect("six index orders");
 
-    Ok(Dataset { dict, indexes, stats, char_sets })
+    let frozen_terms = dict.len();
+    Ok(Dataset {
+        dict,
+        indexes,
+        stats,
+        char_sets,
+        overlay: crate::overlay::Overlay::default(),
+        frozen_terms,
+    })
 }
 
 impl Dataset {
@@ -754,7 +762,20 @@ impl Dataset {
     /// file that [`Dataset::load`] rejects as truncated or checksum-bad
     /// rather than silently wrong). Snapshot bytes are deterministic: the
     /// same dataset always serializes identically.
+    ///
+    /// The snapshot format stores the frozen base only, so a dataset with
+    /// *net* pending overlay updates is refused
+    /// ([`SnapshotError::PendingUpdates`]) — call [`Dataset::compact`]
+    /// first. A net-empty overlay (every add cancelled by a tombstone of
+    /// the same triple, as overlay stress mode seeds) is fine: the visible
+    /// set equals the base.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        if !self.overlay.net_empty() {
+            return Err(SnapshotError::PendingUpdates {
+                adds: self.overlay.adds_len(),
+                dels: self.overlay.dels_len(),
+            });
+        }
         save_to(self, path).map_err(|e| SnapshotError::Io {
             op: "write snapshot",
             path: path.to_path_buf(),
@@ -884,5 +905,60 @@ mod tests {
     fn missing_file_is_a_typed_io_error() {
         let err = Dataset::load(Path::new("/nonexistent/parambench.pbsnap")).unwrap_err();
         assert!(matches!(err, SnapshotError::Io { .. }), "{err}");
+    }
+
+    /// Regression: `Dictionary::reorder_by_value` must round-trip through
+    /// the snapshot path when the dictionary grew an overflow region after
+    /// the original freeze. Live inserts intern post-freeze terms past the
+    /// value-ordered watermark; `compact()` re-runs reorder_by_value over
+    /// the enlarged dictionary, and the result must save/load bit-exactly
+    /// with the invariant restored.
+    #[test]
+    fn compacted_overflow_store_round_trips() {
+        let mut ds = sample();
+        let frozen = ds.dict().len();
+        // Overflow terms: an IRI sorting between existing IRIs, a numeric
+        // sorting between existing numerics, and a fresh literal.
+        assert!(ds.insert(Term::iri("http://e/ab"), Term::iri("http://e/p"), Term::integer(2)));
+        assert!(ds.insert(Term::iri("http://e/a"), Term::iri("http://e/q"), Term::literal("w")));
+        assert!(ds.delete(&Term::iri("http://e/a"), &Term::iri("http://e/p"), &Term::integer(10)));
+        assert!(ds.dict().len() > frozen, "the inserts must have grown an overflow region");
+        assert!(!ds.order_by_value_intact());
+
+        ds.compact();
+        assert!(ds.order_by_value_intact());
+        assert!(ds.overlay().is_empty());
+
+        let path = temp("overflow-compact.pbsnap");
+        ds.save(&path).expect("compacted store saves");
+        let loaded = Dataset::load(&path).expect("loads");
+        assert!(loaded.is_loaded());
+        assert_same(&ds, &loaded);
+        assert!(loaded.order_by_value_intact());
+        // The reloaded dictionary is value-ordered across the formerly
+        // overflow terms: ascending id must mean ascending value.
+        for i in 1..loaded.dict().len() as u32 {
+            assert_ne!(
+                loaded.dict().compare(Id(i - 1), Id(i)),
+                std::cmp::Ordering::Greater,
+                "ids #{} and #{i} out of value order after reload",
+                i - 1
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `save` refuses a store whose overlay holds real pending updates.
+    #[test]
+    fn save_refuses_pending_updates() {
+        let mut ds = sample();
+        assert!(ds.insert(Term::iri("http://e/c"), Term::iri("http://e/p"), Term::integer(1)));
+        let path = temp("pending.pbsnap");
+        let err = ds.save(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::PendingUpdates { adds: 1, dels: 0 }), "{err}");
+        assert!(!path.exists(), "refused save must not leave a file behind");
+        ds.compact();
+        ds.save(&path).expect("saves after compaction");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -80,7 +80,14 @@ pub struct StarEstimate {
 impl CharacteristicSets {
     /// Builds the characteristic sets from the SPO index (subject-grouped).
     pub fn compute(spo: &PermIndex) -> Self {
-        let all = spo.range(&[]);
+        Self::compute_from_keys(spo.range(&[]))
+    }
+
+    /// [`CharacteristicSets::compute`] over an explicit sorted SPO key
+    /// slice — the overlay update path feeds the *merged* visible scan
+    /// through this so mutated stores carry the same exact statistics a
+    /// from-scratch freeze would.
+    pub fn compute_from_keys(all: &[[Id; 3]]) -> Self {
         let mut sets: HashMap<Vec<Id>, CsEntry> = HashMap::new();
         let mut i = 0;
         while i < all.len() {
@@ -189,8 +196,15 @@ impl DatasetStats {
     /// Computes statistics from the PSO index (grouped by predicate) and the
     /// dictionary. `O(n)` over the triples, done once at freeze time.
     pub fn compute(pso: &PermIndex, _dict: &Dictionary) -> Self {
+        Self::compute_from_keys(pso.range(&[]))
+    }
+
+    /// [`DatasetStats::compute`] over an explicit sorted PSO key slice
+    /// (`[p, s, o]` layout) — the overlay update path feeds the *merged*
+    /// visible scan through this so mutated stores carry the same exact
+    /// statistics a from-scratch freeze would.
+    pub fn compute_from_keys(all: &[[Id; 3]]) -> Self {
         let mut per_predicate = HashMap::new();
-        let all = pso.range(&[]);
         let total_triples = all.len();
 
         let mut i = 0;

@@ -1,18 +1,57 @@
-//! The triple store: a write-once builder and a frozen, fully indexed dataset.
+//! The triple store: a write-once builder, a frozen fully indexed dataset,
+//! and a live-update path layered on top of it as a delta overlay
+//! ([`crate::overlay`]): `insert`/`delete` accumulate sorted add/tombstone
+//! runs that every scan merges with the frozen base in key order, and
+//! [`Dataset::compact`] re-freezes base+delta back into a plain frozen
+//! store.
 
 use crate::dict::{Dictionary, Id};
 use crate::index::{IndexOrder, PermIndex};
+use crate::overlay::{MergedKeys, Overlay};
 use crate::stats::{CharacteristicSets, DatasetStats};
 use crate::term::Term;
 
 /// A triple pattern at the id level: `None` = wildcard position.
 pub type IdPattern = [Option<Id>; 3];
 
+/// Environment variable enabling overlay stress mode (`1`/`on`/`true`):
+/// every [`StoreBuilder::freeze`] seeds a *net-empty* overlay echo — every
+/// third base triple tombstoned and immediately re-added — so the whole
+/// test suite exercises the tombstone-skip and add-merge scan paths with
+/// bit-identical results, and batch updates auto-compact at a tiny
+/// threshold so compaction runs constantly. Composes with
+/// `PARAMBENCH_SNAPSHOT_FREEZE` (the echo is seeded on the reloaded
+/// store). [`StoreBuilder::freeze_in_memory`] is never stressed, so
+/// differential baselines and cold-build timing stay clean.
+pub const OVERLAY_STRESS_ENV: &str = "PARAMBENCH_OVERLAY_STRESS";
+
+/// Whether overlay stress mode is on — read fresh on every call, like the
+/// other env knobs, so per-test overrides behave predictably.
+pub fn overlay_stress_enabled() -> bool {
+    matches!(
+        std::env::var(OVERLAY_STRESS_ENV).as_deref(),
+        Ok("1") | Ok("on") | Ok("ON") | Ok("true")
+    )
+}
+
+/// Pending-entry count above which the *batch* update APIs compact
+/// automatically. Effectively unlimited normally (compaction is an
+/// explicit, relatively expensive choice); tiny under stress mode so the
+/// whole suite exercises compaction.
+fn auto_compact_threshold() -> usize {
+    if overlay_stress_enabled() {
+        16
+    } else {
+        usize::MAX
+    }
+}
+
 /// Accumulates triples (at the term level), then freezes into a [`Dataset`].
 ///
-/// The builder is the single mutation point of the system: once
-/// [`StoreBuilder::freeze`] runs, the dataset is immutable and safe to share
-/// across threads (`Dataset: Send + Sync`).
+/// The builder is the bulk-load path: once [`StoreBuilder::freeze`] runs,
+/// the dataset's base indexes are immutable and safe to share across
+/// threads (`Dataset: Send + Sync`). Post-freeze mutation goes through the
+/// dataset's own [`Dataset::insert`] / [`Dataset::delete`] overlay APIs.
 #[derive(Debug, Default)]
 pub struct StoreBuilder {
     dict: Dictionary,
@@ -78,20 +117,27 @@ impl StoreBuilder {
     /// [`crate::snapshot::SNAPSHOT_FREEZE_ENV`]), the frozen dataset is
     /// round-tripped through a temporary on-disk snapshot and the *loaded*
     /// store is returned instead — pointing an entire test suite at the
-    /// mapped-scan path without touching a single test.
+    /// mapped-scan path without touching a single test. When
+    /// [`OVERLAY_STRESS_ENV`] is set, the returned store additionally
+    /// carries a net-empty overlay echo so every scan exercises the merge
+    /// paths.
     pub fn freeze(self) -> Dataset {
-        let ds = self.freeze_in_memory();
+        let mut ds = self.freeze_in_memory();
         if crate::snapshot::freeze_roundtrip_enabled() {
-            return crate::snapshot::roundtrip_via_temp_snapshot(&ds)
+            ds = crate::snapshot::roundtrip_via_temp_snapshot(&ds)
                 .expect("PARAMBENCH_SNAPSHOT_FREEZE round-trip");
+        }
+        if overlay_stress_enabled() {
+            ds.seed_stress_overlay();
         }
         ds
     }
 
-    /// [`StoreBuilder::freeze`] without the env-gated snapshot round-trip:
-    /// always builds (and returns) the heap-resident store. The benchmark
-    /// harness uses this to time cold builds, and differential tests to
-    /// hold the in-memory side fixed while the loaded side varies.
+    /// [`StoreBuilder::freeze`] without the env-gated snapshot round-trip
+    /// or overlay stress echo: always builds (and returns) the plain
+    /// heap-resident store. The benchmark harness uses this to time cold
+    /// builds, and differential tests to hold the baseline side fixed
+    /// while the exercised side varies.
     pub fn freeze_in_memory(mut self) -> Dataset {
         let old_to_new = self.dict.reorder_by_value();
         for triple in &mut self.triples {
@@ -106,35 +152,61 @@ impl StoreBuilder {
         let indexes: [PermIndex; 6] = indexes.try_into().expect("six orders");
         let stats = DatasetStats::compute(&indexes[IndexOrder::Pso.slot()], &self.dict);
         let char_sets = CharacteristicSets::compute(&indexes[IndexOrder::Spo.slot()]);
-        Dataset { dict: self.dict, indexes, stats, char_sets }
+        let frozen_terms = self.dict.len();
+        Dataset {
+            dict: self.dict,
+            indexes,
+            stats,
+            char_sets,
+            overlay: Overlay::default(),
+            frozen_terms,
+        }
     }
 }
 
-/// An immutable, fully indexed RDF dataset.
+/// A fully indexed RDF dataset: an immutable frozen base plus a small
+/// mutable delta overlay.
 ///
 /// Datasets come into existence two ways: built in memory by
 /// [`StoreBuilder::freeze`], or reloaded from a persistent snapshot by
 /// [`Dataset::load`] — in which case the triple arrays and bucket
 /// directories are served zero-copy from the snapshot's bytes (see
 /// [`crate::snapshot`]). The query surface is identical either way.
-#[derive(Debug)]
+///
+/// Live updates ([`Dataset::insert`] / [`Dataset::delete`]) never touch
+/// the frozen indexes: they maintain sorted add/tombstone runs in the
+/// [`Overlay`], which every scan merges with the base in ascending key
+/// order. Merged scans therefore stay valid inputs for merge joins and
+/// morsel slicing. What updates *can* break is the freeze-time
+/// "ascending id ⇔ ascending ORDER BY value" dictionary invariant: a term
+/// first interned after freeze gets an id past [`Dataset::frozen_terms`]
+/// (the *overflow region*), and while any such id has entered the overlay,
+/// [`Dataset::order_by_value_intact`] turns false so the query layer
+/// declines value-order service (sorts actually run) instead of silently
+/// returning misordered rows. [`Dataset::compact`] re-freezes base+delta
+/// and restores the invariant.
+#[derive(Debug, Clone)]
 pub struct Dataset {
     pub(crate) dict: Dictionary,
     pub(crate) indexes: [PermIndex; 6],
     pub(crate) stats: DatasetStats,
     pub(crate) char_sets: CharacteristicSets,
+    pub(crate) overlay: Overlay,
+    /// Dictionary length at freeze/load time: ids below are value-ordered,
+    /// ids at or past it are post-freeze overflow terms.
+    pub(crate) frozen_terms: usize,
 }
 
 impl Dataset {
     /// True when this dataset was reloaded from a snapshot and serves its
-    /// scans from the snapshot's bytes (OS-mapped or arena-backed) rather
-    /// than a freeze-time heap build.
+    /// base scans from the snapshot's bytes (OS-mapped or arena-backed)
+    /// rather than a freeze-time heap build.
     pub fn is_loaded(&self) -> bool {
         self.indexes.iter().all(PermIndex::is_loaded)
     }
 
-    /// True when this dataset's scans are served from an OS file mapping
-    /// (the zero-copy fast path; false for heap builds and for the
+    /// True when this dataset's base scans are served from an OS file
+    /// mapping (the zero-copy fast path; false for heap builds and for the
     /// read-into-arena fallback forced by `PARAMBENCH_SNAPSHOT_MMAP=off`).
     pub fn is_mapped(&self) -> bool {
         self.indexes.iter().all(PermIndex::is_mapped)
@@ -144,27 +216,55 @@ impl Dataset {
         &self.dict
     }
 
-    /// Pre-computed dataset statistics.
+    /// Pre-computed dataset statistics — exact for the *visible* triple
+    /// set: mutations recompute them from the merged base+overlay scan, so
+    /// the optimizer sees the same numbers a from-scratch freeze of the
+    /// visible set would produce.
     pub fn stats(&self) -> &DatasetStats {
         &self.stats
     }
 
-    /// Pre-computed characteristic sets (star-query statistics).
+    /// Pre-computed characteristic sets (star-query statistics); exact for
+    /// the visible set, like [`Dataset::stats`].
     pub fn char_sets(&self) -> &CharacteristicSets {
         &self.char_sets
     }
 
-    /// Total number of distinct triples.
-    pub fn len(&self) -> usize {
-        self.indexes[0].len()
+    /// The delta overlay (add/tombstone runs) over the frozen base.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
     }
 
-    /// True if the dataset holds no triples.
+    /// Dictionary length at freeze/load time: the boundary of the
+    /// value-ordered id range. Terms interned by later inserts get ids at
+    /// or past it (the overflow region).
+    pub fn frozen_terms(&self) -> usize {
+        self.frozen_terms
+    }
+
+    /// True while "ascending id ⇔ ascending ORDER BY value" holds for
+    /// every id a scan can emit. Turns false (sticky, until
+    /// [`Dataset::compact`]) once an overflow-region id enters the
+    /// overlay; the planner then declines order service — merged scans are
+    /// still perfectly id-sorted (merge joins keep working), but id order
+    /// no longer implies value order, so sorts must actually run.
+    pub fn order_by_value_intact(&self) -> bool {
+        !self.overlay.has_overflow()
+    }
+
+    /// Total number of distinct *visible* triples
+    /// (`base − tombstones + adds`).
+    pub fn len(&self) -> usize {
+        self.indexes[0].len() + self.overlay.adds_len() - self.overlay.dels_len()
+    }
+
+    /// True if the dataset holds no visible triples.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// The index with the given ordering.
+    /// The base index with the given ordering (frozen triples only — use
+    /// the scan/count APIs for overlay-aware access).
     #[allow(clippy::should_implement_trait)] // domain term: a store "index", not ops::Index
     pub fn index(&self, order: IndexOrder) -> &PermIndex {
         &self.indexes[order.slot()]
@@ -200,28 +300,29 @@ impl Dataset {
         (idx, prefix)
     }
 
-    /// Iterates all SPO triples matching `pattern`.
+    /// Iterates all visible SPO triples matching `pattern`.
     pub fn scan(&self, pattern: IdPattern) -> impl Iterator<Item = [Id; 3]> + '_ {
         self.scan_with(pattern, Self::default_order(pattern))
     }
 
-    /// Iterates all SPO triples matching `pattern` out of the index with
-    /// the given `order` (which must cover the pattern's bound positions).
-    /// The choice never changes *which* triples match — only the order they
-    /// are delivered in: ascending by the unbound key positions of `order`.
+    /// Iterates all visible SPO triples matching `pattern` out of the
+    /// index with the given `order` (which must cover the pattern's bound
+    /// positions), merged with the overlay's matching delta runs. The
+    /// choice never changes *which* triples match — only the order they
+    /// are delivered in: ascending by the unbound key positions of
+    /// `order`, tombstoned base triples skipped, added triples spliced in
+    /// at their sorted position.
     pub fn scan_with(
         &self,
         pattern: IdPattern,
         order: IndexOrder,
     ) -> impl Iterator<Item = [Id; 3]> + '_ {
-        let (idx, prefix) = self.plan_access_with(pattern, order);
-        let end = idx.range(&prefix).len();
-        // `prefix` is moved into the closure-owning iterator below.
-        ScanIter { idx, prefix, pos: 0, end }
+        let (keys, remaining) = self.merged_keys(pattern, order);
+        MergedScan { order, keys, remaining }
     }
 
-    /// Iterates the sub-range `[start, end)` of the triples matching
-    /// `pattern`, in the same index order [`Dataset::scan`] uses — the
+    /// Iterates the sub-range `[start, end)` of the visible triples
+    /// matching `pattern`, in the same order [`Dataset::scan`] uses — the
     /// morsel primitive of parallel scans: consecutive slices concatenated
     /// in order reproduce the full scan exactly. `end` is clamped to the
     /// match count.
@@ -236,7 +337,7 @@ impl Dataset {
 
     /// [`Dataset::scan_slice`] over an explicit index `order` — so morsels
     /// of an order-chosen scan concatenate to [`Dataset::scan_with`] of the
-    /// same order exactly.
+    /// same order exactly, overlay deltas included.
     pub fn scan_slice_with(
         &self,
         pattern: IdPattern,
@@ -244,28 +345,115 @@ impl Dataset {
         start: usize,
         end: usize,
     ) -> impl Iterator<Item = [Id; 3]> + '_ {
-        let (idx, prefix) = self.plan_access_with(pattern, order);
-        let len = idx.range(&prefix).len();
-        ScanIter { idx, prefix, pos: start.min(len), end: end.min(len) }
+        let (mut keys, len) = self.merged_keys(pattern, order);
+        let start = start.min(len);
+        keys.skip(start);
+        MergedScan { order, keys, remaining: end.min(len) - start }
     }
 
-    /// Exact number of triples matching `pattern` (binary search only).
+    /// The merged key source for `pattern` under `order`, plus its exact
+    /// length.
+    fn merged_keys(&self, pattern: IdPattern, order: IndexOrder) -> (MergedKeys<'_>, usize) {
+        let (idx, prefix) = self.plan_access_with(pattern, order);
+        let base = idx.range(&prefix);
+        let (adds, dels) = self.overlay.range(order, &prefix);
+        let keys = MergedKeys::new(base, adds, dels);
+        let len = keys.len();
+        (keys, len)
+    }
+
+    /// Exact number of visible triples matching `pattern` (binary search
+    /// on the base index and on the overlay runs).
     pub fn count(&self, pattern: IdPattern) -> usize {
         let (idx, prefix) = self.plan_access(pattern);
-        idx.count(&prefix)
+        let base = idx.count(&prefix);
+        if self.overlay.is_empty() {
+            return base;
+        }
+        let (adds, dels) = self.overlay.range(idx.order(), &prefix);
+        base + adds.len() - dels.len()
     }
 
-    /// True if at least one triple matches `pattern`.
+    /// Number of overlay delta entries (adds + tombstones) a scan of
+    /// `pattern` consults — 0 exactly when the scan takes the overlay-free
+    /// fast path. The executor records this per scan so tests can prove
+    /// the empty-overlay path really merges nothing.
+    pub fn overlay_entries(&self, pattern: IdPattern) -> usize {
+        if self.overlay.is_empty() {
+            return 0;
+        }
+        let (idx, prefix) = self.plan_access(pattern);
+        let (adds, dels) = self.overlay.range(idx.order(), &prefix);
+        adds.len() + dels.len()
+    }
+
+    /// True if at least one visible triple matches `pattern`.
     pub fn contains(&self, pattern: IdPattern) -> bool {
         self.count(pattern) > 0
     }
 
     /// Exact number of distinct values of the *first unbound* position in
     /// index order for `pattern` — e.g. for `(?, p, o)` the number of
-    /// distinct subjects.
+    /// distinct subjects. Overlay-aware.
     pub fn distinct_next(&self, pattern: IdPattern) -> usize {
         let (idx, prefix) = self.plan_access(pattern);
-        idx.distinct_after(&prefix)
+        self.distinct_with(idx.order(), &prefix)
+    }
+
+    /// Exact distinct count of the key position right after `prefix` in
+    /// `order`, over the *visible* triples. The base answer is the frozen
+    /// index's galloping [`PermIndex::distinct_after`], corrected for the
+    /// overlay: a value disappears only when tombstones cover every base
+    /// triple carrying it and no add re-supplies it; a value is new only
+    /// when the base range never had it. `O(delta · log n)` on top of the
+    /// base cost.
+    pub fn distinct_with(&self, order: IndexOrder, prefix: &[Id]) -> usize {
+        let idx = self.index(order);
+        let base = idx.distinct_after(prefix);
+        if self.overlay.is_empty() {
+            return base;
+        }
+        let (adds, dels) = self.overlay.range(order, prefix);
+        if adds.is_empty() && dels.is_empty() {
+            return base;
+        }
+        let k = prefix.len();
+        debug_assert!(k < 3, "distinct_with needs an unbound key position");
+        // Count of entries in a prefix-restricted run whose component `k`
+        // equals `v` (the run is sorted by component `k` within the prefix).
+        let value_run = |run: &[[Id; 3]], v: Id| -> usize {
+            let lo = run.partition_point(|key| key[k] < v);
+            let hi = run.partition_point(|key| key[k] <= v);
+            hi - lo
+        };
+        let mut d = base as isize;
+        let mut sub = prefix.to_vec();
+        sub.push(Id(0));
+        let mut last: Option<Id> = None;
+        for key in dels {
+            let v = key[k];
+            if last == Some(v) {
+                continue;
+            }
+            last = Some(v);
+            sub[k] = v;
+            if value_run(dels, v) == idx.count(&sub) && value_run(adds, v) == 0 {
+                d -= 1;
+            }
+        }
+        let mut last: Option<Id> = None;
+        for key in adds {
+            let v = key[k];
+            if last == Some(v) {
+                continue;
+            }
+            last = Some(v);
+            sub[k] = v;
+            if idx.count(&sub) == 0 {
+                d += 1;
+            }
+        }
+        d.max(0) as usize
     }
 
     /// Looks up a term id.
@@ -278,82 +466,242 @@ impl Dataset {
         self.dict.decode(id)
     }
 
-    /// Iterates the distinct objects of triples with predicate `p` (e.g. a
-    /// parameter domain such as "all countries") in ascending id order,
-    /// without allocating. Preferred over [`Dataset::objects_of`] on hot
-    /// paths (domain extraction scans every value once per curation run).
+    /// Iterates the distinct objects of visible triples with predicate `p`
+    /// (e.g. a parameter domain such as "all countries") in ascending id
+    /// order, without allocating. Preferred over [`Dataset::objects_of`]
+    /// on hot paths (domain extraction scans every value once per curation
+    /// run).
     pub fn objects_of_iter(&self, p: Id) -> impl Iterator<Item = Id> + '_ {
-        DistinctSeconds { range: self.index(IndexOrder::Pos).range(&[p]), last: None }
+        let mut last: Option<Id> = None;
+        self.scan_with([None, Some(p), None], IndexOrder::Pos).filter_map(move |t| {
+            let v = t[2];
+            if last == Some(v) {
+                None
+            } else {
+                last = Some(v);
+                Some(v)
+            }
+        })
     }
 
-    /// Iterates the distinct subjects of triples with predicate `p` in
-    /// ascending id order, without allocating.
+    /// Iterates the distinct subjects of visible triples with predicate
+    /// `p` in ascending id order, without allocating.
     pub fn subjects_of_iter(&self, p: Id) -> impl Iterator<Item = Id> + '_ {
-        DistinctSeconds { range: self.index(IndexOrder::Pso).range(&[p]), last: None }
+        let mut last: Option<Id> = None;
+        self.scan_with([None, Some(p), None], IndexOrder::Pso).filter_map(move |t| {
+            let v = t[0];
+            if last == Some(v) {
+                None
+            } else {
+                last = Some(v);
+                Some(v)
+            }
+        })
     }
 
-    /// All distinct objects of triples with predicate `p`. Sorted by id.
-    /// Thin allocating wrapper around [`Dataset::objects_of_iter`].
+    /// All distinct objects of visible triples with predicate `p`. Sorted
+    /// by id. Thin allocating wrapper around [`Dataset::objects_of_iter`].
     pub fn objects_of(&self, p: Id) -> Vec<Id> {
         self.objects_of_iter(p).collect()
     }
 
-    /// All distinct subjects of triples with predicate `p`. Sorted by id.
-    /// Thin allocating wrapper around [`Dataset::subjects_of_iter`].
+    /// All distinct subjects of visible triples with predicate `p`. Sorted
+    /// by id. Thin allocating wrapper around
+    /// [`Dataset::subjects_of_iter`].
     pub fn subjects_of(&self, p: Id) -> Vec<Id> {
         self.subjects_of_iter(p).collect()
     }
-}
 
-/// Iterator over the distinct values in key position 1 of a sorted,
-/// single-prefix index range (duplicates form runs, so one look-behind
-/// value suffices).
-struct DistinctSeconds<'a> {
-    range: &'a [[Id; 3]],
-    last: Option<Id>,
-}
+    // ------------------------------------------------------------------
+    // Live updates
+    // ------------------------------------------------------------------
 
-impl Iterator for DistinctSeconds<'_> {
-    type Item = Id;
+    /// Inserts one triple, interning any new terms (which land in the
+    /// dictionary's overflow region and suspend value-order service until
+    /// [`Dataset::compact`]). Returns `true` if the visible set changed
+    /// (`false` = the triple was already visible).
+    ///
+    /// Statistics and characteristic sets are refreshed to stay exact for
+    /// the visible set. Prefer [`Dataset::insert_batch`] for more than a
+    /// handful of triples — the refresh is per call, not per triple.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let spo = [self.dict.encode(s), self.dict.encode(p), self.dict.encode(o)];
+        let changed = self.insert_raw(spo);
+        if changed {
+            self.refresh_derived();
+        }
+        changed
+    }
 
-    fn next(&mut self) -> Option<Id> {
-        while let Some((key, rest)) = self.range.split_first() {
-            self.range = rest;
-            let v = key[1];
-            if self.last != Some(v) {
-                self.last = Some(v);
-                return Some(v);
+    /// Deletes one triple (by term; unknown terms mean the triple cannot
+    /// be visible — nothing is interned). Returns `true` if the visible
+    /// set changed.
+    pub fn delete(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let (Some(s), Some(p), Some(o)) =
+            (self.dict.lookup(s), self.dict.lookup(p), self.dict.lookup(o))
+        else {
+            return false;
+        };
+        let changed = self.delete_raw([s, p, o]);
+        if changed {
+            self.refresh_derived();
+        }
+        changed
+    }
+
+    /// Inserts a batch of triples; returns how many changed the visible
+    /// set. One statistics refresh for the whole batch; auto-compacts when
+    /// the overlay exceeds the stress-mode threshold (see
+    /// [`OVERLAY_STRESS_ENV`]).
+    pub fn insert_batch(&mut self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
+        let mut changed = 0;
+        for (s, p, o) in triples {
+            let spo = [self.dict.encode(s), self.dict.encode(p), self.dict.encode(o)];
+            if self.insert_raw(spo) {
+                changed += 1;
             }
         }
-        None
+        if changed > 0 {
+            self.refresh_derived();
+        }
+        self.maybe_auto_compact();
+        changed
+    }
+
+    /// Deletes a batch of triples; returns how many changed the visible
+    /// set. One statistics refresh for the whole batch; auto-compacts like
+    /// [`Dataset::insert_batch`].
+    pub fn delete_batch(&mut self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
+        let mut changed = 0;
+        for (s, p, o) in triples {
+            let (Some(s), Some(p), Some(o)) =
+                (self.dict.lookup(&s), self.dict.lookup(&p), self.dict.lookup(&o))
+            else {
+                continue;
+            };
+            if self.delete_raw([s, p, o]) {
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            self.refresh_derived();
+        }
+        self.maybe_auto_compact();
+        changed
+    }
+
+    /// Re-freezes base+delta into a plain frozen store: materializes the
+    /// visible triple set, rebuilds the six permutation indexes and the
+    /// statistics, and rewrites the *whole* dictionary (overflow region
+    /// included — no term is ever dropped, so pre-interned vocabulary
+    /// survives) back into value order. Afterwards the overlay is empty
+    /// and [`Dataset::order_by_value_intact`] holds again. A compacted
+    /// store can be re-saved with [`Dataset::save`].
+    pub fn compact(&mut self) {
+        if self.overlay.is_empty() {
+            return;
+        }
+        let triples: Vec<[Id; 3]> = self.scan([None, None, None]).collect();
+        let dict = std::mem::take(&mut self.dict);
+        *self = StoreBuilder { dict, triples }.freeze_in_memory();
+    }
+
+    /// Applies one insert to the overlay (no statistics refresh). Returns
+    /// whether the visible set changed.
+    fn insert_raw(&mut self, spo: [Id; 3]) -> bool {
+        if self.contains([Some(spo[0]), Some(spo[1]), Some(spo[2])]) {
+            return false;
+        }
+        if self.overlay.in_dels(spo) {
+            // A tombstoned base triple coming back: lift the tombstone
+            // (cheaper than an add that would shadow it, and it keeps the
+            // adds run free of visible-base duplicates).
+            self.overlay.remove_del(spo);
+        } else {
+            self.overlay.insert_add(spo);
+            if spo.iter().any(|id| id.index() >= self.frozen_terms) {
+                self.overlay.mark_overflow();
+            }
+        }
+        true
+    }
+
+    /// Applies one delete to the overlay (no statistics refresh). Returns
+    /// whether the visible set changed.
+    fn delete_raw(&mut self, spo: [Id; 3]) -> bool {
+        if !self.contains([Some(spo[0]), Some(spo[1]), Some(spo[2])]) {
+            return false;
+        }
+        if self.overlay.in_adds(spo) {
+            // Visible via the adds run (a post-freeze insert, or a
+            // deleted-then-readded base triple whose tombstone still
+            // stands): dropping the add suffices either way.
+            self.overlay.remove_add(spo);
+        } else {
+            self.overlay.insert_del(spo);
+        }
+        true
+    }
+
+    /// Recomputes statistics and characteristic sets from the merged
+    /// visible scan — the same computation freeze runs, so the optimizer's
+    /// inputs on a mutated store are bit-identical to what a from-scratch
+    /// freeze of the visible set would produce (the property the update
+    /// differential suite pins). `O(n)` per mutation call; batch the
+    /// updates.
+    fn refresh_derived(&mut self) {
+        let pso: Vec<[Id; 3]> = self
+            .scan_with([None, None, None], IndexOrder::Pso)
+            .map(|t| IndexOrder::Pso.key_of(t))
+            .collect();
+        self.stats = DatasetStats::compute_from_keys(&pso);
+        let spo: Vec<[Id; 3]> = self.scan_with([None, None, None], IndexOrder::Spo).collect();
+        self.char_sets = CharacteristicSets::compute_from_keys(&spo);
+    }
+
+    /// Compacts when the overlay has outgrown the (stress-mode) threshold.
+    fn maybe_auto_compact(&mut self) {
+        if self.overlay.adds_len() + self.overlay.dels_len() > auto_compact_threshold() {
+            self.compact();
+        }
+    }
+
+    /// Seeds the stress-mode overlay echo: every third base triple
+    /// tombstoned and immediately re-added. Net-empty — the visible set,
+    /// statistics and snapshot bytes are unchanged — but every scan now
+    /// runs the three-way merge.
+    fn seed_stress_overlay(&mut self) {
+        let echo: Vec<[Id; 3]> =
+            self.indexes[IndexOrder::Spo.slot()].range(&[]).iter().copied().step_by(3).collect();
+        if echo.is_empty() {
+            return;
+        }
+        self.overlay.seed_echo(&echo);
     }
 }
 
-/// Owning scan iterator over (a slice of) one index range.
-struct ScanIter<'a> {
-    idx: &'a PermIndex,
-    prefix: Vec<Id>,
-    pos: usize,
-    end: usize,
+/// Owning merged-scan iterator over (a slice of) one index range plus the
+/// overlay's matching delta runs, emitting SPO triples.
+struct MergedScan<'a> {
+    order: IndexOrder,
+    keys: MergedKeys<'a>,
+    remaining: usize,
 }
 
-impl<'a> Iterator for ScanIter<'a> {
+impl Iterator for MergedScan<'_> {
     type Item = [Id; 3];
 
     fn next(&mut self) -> Option<[Id; 3]> {
-        let range = self.idx.range(&self.prefix);
-        if self.pos < self.end {
-            let key = range[self.pos];
-            self.pos += 1;
-            Some(self.idx.order().spo_of(key))
-        } else {
-            None
+        if self.remaining == 0 {
+            return None;
         }
+        let key = self.keys.next_key()?;
+        self.remaining -= 1;
+        Some(self.order.spo_of(key))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = self.end.saturating_sub(self.pos);
-        (remaining, Some(remaining))
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -562,5 +910,217 @@ mod tests {
             b.insert_ids(s, p, out_of_range);
         }));
         assert!(panicked.is_err(), "an id the dictionary never issued must be refused");
+    }
+
+    // ------------------------------------------------------------------
+    // Live-update (overlay) behaviour
+    // ------------------------------------------------------------------
+
+    fn term(s: &str) -> Term {
+        Term::iri(s.to_string())
+    }
+
+    /// Every pattern mask agrees between scan and count, and matches an
+    /// independently maintained visible-set model.
+    fn assert_consistent(ds: &Dataset, model: &std::collections::BTreeSet<(Term, Term, Term)>) {
+        let visible: Vec<(Term, Term, Term)> = ds
+            .scan([None, None, None])
+            .map(|t| (ds.decode(t[0]).clone(), ds.decode(t[1]).clone(), ds.decode(t[2]).clone()))
+            .collect();
+        let as_set: std::collections::BTreeSet<_> = visible.iter().cloned().collect();
+        assert_eq!(as_set, *model, "visible set diverged from model");
+        assert_eq!(visible.len(), model.len(), "merged scan emitted duplicates");
+        assert_eq!(ds.len(), model.len());
+        // Counts agree with scans for per-triple masks.
+        for (s, p, o) in model {
+            let (s, p, o) = (ds.lookup(s).unwrap(), ds.lookup(p).unwrap(), ds.lookup(o).unwrap());
+            assert!(ds.contains([Some(s), Some(p), Some(o)]));
+        }
+        // Statistics stayed exact.
+        assert_eq!(ds.stats().total_triples, model.len());
+    }
+
+    #[test]
+    fn insert_delete_roundtrip_updates_visible_set() {
+        let mut b = StoreBuilder::new();
+        b.insert(term("s/a"), term("p"), term("o/1"));
+        b.insert(term("s/b"), term("p"), term("o/2"));
+        // In-memory freeze: the assertions below reason about exact overlay
+        // run contents, which the stress-mode echo would perturb.
+        let mut ds = b.freeze_in_memory();
+        let mut model: std::collections::BTreeSet<(Term, Term, Term)> =
+            [(term("s/a"), term("p"), term("o/1")), (term("s/b"), term("p"), term("o/2"))]
+                .into_iter()
+                .collect();
+        assert_consistent(&ds, &model);
+
+        // Insert of a brand-new triple over existing terms.
+        assert!(ds.insert(term("s/a"), term("p"), term("o/2")));
+        model.insert((term("s/a"), term("p"), term("o/2")));
+        assert_consistent(&ds, &model);
+        // Re-insert of a visible triple: no-op.
+        assert!(!ds.insert(term("s/a"), term("p"), term("o/2")));
+        assert_consistent(&ds, &model);
+
+        // Delete of a base triple (tombstone).
+        assert!(ds.delete(&term("s/b"), &term("p"), &term("o/2")));
+        model.remove(&(term("s/b"), term("p"), term("o/2")));
+        assert_consistent(&ds, &model);
+        // Delete of a never-inserted triple: no-op, nothing interned.
+        let dict_before = ds.dict().len();
+        assert!(!ds.delete(&term("s/zzz"), &term("p"), &term("o/1")));
+        assert_eq!(ds.dict().len(), dict_before);
+        assert_consistent(&ds, &model);
+
+        // Re-insert after delete lifts the tombstone.
+        assert!(ds.insert(term("s/b"), term("p"), term("o/2")));
+        model.insert((term("s/b"), term("p"), term("o/2")));
+        assert_consistent(&ds, &model);
+        assert_eq!(ds.overlay().dels_len(), 0, "tombstone must be lifted, not shadowed");
+
+        // Delete of an overlay add removes the add again.
+        assert!(ds.delete(&term("s/a"), &term("p"), &term("o/2")));
+        model.remove(&(term("s/a"), term("p"), term("o/2")));
+        assert_consistent(&ds, &model);
+        assert!(ds.overlay().is_empty(), "all deltas cancelled out");
+        assert!(ds.order_by_value_intact());
+    }
+
+    #[test]
+    fn overflow_terms_suspend_value_order_until_compact() {
+        let mut b = StoreBuilder::new();
+        b.insert(term("s/a"), term("p"), term("o/1"));
+        let mut ds = b.freeze_in_memory();
+        assert!(ds.order_by_value_intact());
+        let frozen = ds.frozen_terms();
+        // A new term lands in the overflow region.
+        assert!(ds.insert(term("s/new"), term("p"), term("o/1")));
+        let new_id = ds.lookup(&term("s/new")).unwrap();
+        assert!(new_id.index() >= frozen);
+        assert!(!ds.order_by_value_intact());
+        // Sticky even after the add is deleted again.
+        assert!(ds.delete(&term("s/new"), &term("p"), &term("o/1")));
+        assert!(!ds.order_by_value_intact());
+        // Compact rebuilds value order; the overflow term keeps existing.
+        assert!(ds.insert(term("s/new"), term("p"), term("o/1")));
+        ds.compact();
+        assert!(ds.order_by_value_intact());
+        assert!(ds.overlay().is_empty());
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.frozen_terms(), ds.dict().len());
+        // Ascending id ⇔ ascending value again, overflow term included.
+        for a in 0..ds.dict().len() as u32 {
+            for bb in (a + 1)..ds.dict().len() as u32 {
+                assert_ne!(ds.dict().compare(Id(a), Id(bb)), std::cmp::Ordering::Greater);
+            }
+        }
+    }
+
+    #[test]
+    fn delete_then_compact_drops_triples_but_keeps_terms() {
+        let mut b = StoreBuilder::new();
+        b.insert(term("s/a"), term("p"), term("o/1"));
+        b.insert(term("s/b"), term("p"), term("o/2"));
+        let mut ds = b.freeze_in_memory();
+        assert!(ds.delete(&term("s/a"), &term("p"), &term("o/1")));
+        ds.compact();
+        assert_eq!(ds.len(), 1);
+        assert!(ds.overlay().is_empty());
+        // The now-unused terms survive compaction (pre-interned vocabulary
+        // must never fall out of the dictionary).
+        assert!(ds.lookup(&term("s/a")).is_some());
+        assert!(ds.lookup(&term("o/1")).is_some());
+        let model = [(term("s/b"), term("p"), term("o/2"))].into_iter().collect();
+        assert_consistent(&ds, &model);
+    }
+
+    #[test]
+    fn merged_scans_and_slices_agree_under_overlay() {
+        let mut b = StoreBuilder::new();
+        for i in 0..12u32 {
+            b.insert(term(&format!("s/{i}")), term("p"), term(&format!("o/{}", i % 5)));
+        }
+        let mut ds = b.freeze_in_memory();
+        // Mix of tombstones, re-adds and fresh inserts.
+        assert!(ds.delete(&term("s/3"), &term("p"), &term("o/3")));
+        assert!(ds.delete(&term("s/7"), &term("p"), &term("o/2")));
+        assert!(ds.insert(term("s/3"), term("p"), term("o/3")));
+        assert!(ds.insert(term("s/1"), term("p"), term("o/4")));
+        let pat = [None, Some(ds.lookup(&term("p")).unwrap()), None];
+        for order in IndexOrder::all_for_bound(false, true, false) {
+            let full: Vec<[Id; 3]> = ds.scan_with(pat, order).collect();
+            assert_eq!(full.len(), ds.count(pat), "{order:?}");
+            // Keys ascend strictly in the order's layout.
+            let keys: Vec<[Id; 3]> = full.iter().map(|&t| order.key_of(t)).collect();
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "{order:?} not sorted");
+            // Every slicing reproduces the full scan.
+            for step in 1..=full.len() {
+                let mut pieced = Vec::new();
+                let mut start = 0;
+                while start < full.len() {
+                    pieced.extend(ds.scan_slice_with(pat, order, start, start + step));
+                    start += step;
+                }
+                assert_eq!(pieced, full, "{order:?} step {step}");
+            }
+        }
+        // distinct_next stays exact under the overlay.
+        let p = ds.lookup(&term("p")).unwrap();
+        let mut subjects: Vec<Id> = ds.scan(pat).map(|t| t[0]).collect();
+        subjects.sort_unstable();
+        subjects.dedup();
+        assert_eq!(ds.distinct_next([None, Some(p), None]), subjects.len());
+        let mut objects: Vec<Id> = ds.scan(pat).map(|t| t[2]).collect();
+        objects.sort_unstable();
+        objects.dedup();
+        assert_eq!(ds.objects_of(p), objects);
+    }
+
+    #[test]
+    fn batch_apis_report_net_changes() {
+        let mut b = StoreBuilder::new();
+        b.insert(term("s/a"), term("p"), term("o/1"));
+        let mut ds = b.freeze_in_memory();
+        let n = ds.insert_batch(vec![
+            (term("s/a"), term("p"), term("o/1")), // already visible
+            (term("s/a"), term("p"), term("o/2")),
+            (term("s/c"), term("p"), term("o/1")),
+        ]);
+        assert_eq!(n, 2);
+        assert_eq!(ds.len(), 3);
+        let n = ds.delete_batch(vec![
+            (term("s/a"), term("p"), term("o/2")),
+            (term("s/missing"), term("p"), term("o/1")), // unknown term
+        ]);
+        assert_eq!(n, 1);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn stress_echo_is_invisible_in_results() {
+        // Build the same dataset plain and with a hand-seeded echo (what
+        // PARAMBENCH_OVERLAY_STRESS does at freeze): every read agrees.
+        let build = || {
+            let mut b = StoreBuilder::new();
+            for i in 0..10u32 {
+                b.insert(term(&format!("s/{i}")), term("p"), term(&format!("o/{}", i % 4)));
+            }
+            b.freeze_in_memory()
+        };
+        let plain = build();
+        let mut echoed = build();
+        echoed.seed_stress_overlay();
+        assert!(!echoed.overlay().is_empty());
+        assert!(echoed.overlay().net_empty());
+        assert_eq!(echoed.len(), plain.len());
+        let p = plain.lookup(&term("p")).unwrap();
+        for pat in [[None, None, None], [None, Some(p), None]] {
+            let a: Vec<[Id; 3]> = plain.scan(pat).collect();
+            let b2: Vec<[Id; 3]> = echoed.scan(pat).collect();
+            assert_eq!(a, b2, "{pat:?}");
+            assert_eq!(plain.count(pat), echoed.count(pat));
+            assert_eq!(plain.distinct_next(pat), echoed.distinct_next(pat));
+        }
+        assert!(echoed.order_by_value_intact());
     }
 }

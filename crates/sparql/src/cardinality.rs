@@ -165,7 +165,7 @@ impl<'a> Estimator<'a> {
             .expect("six permutations cover every (bound-set, next) combination");
         let prefix: Vec<Id> =
             order.perm()[..bound.len()].iter().map(|&p| access[p].expect("bound")).collect();
-        let d = self.ds.index(order).distinct_after(&prefix) as f64;
+        let d = self.ds.distinct_with(order, &prefix) as f64;
         self.distinct_cache.lock().expect("poisoned").insert(key, d);
         d
     }

@@ -428,6 +428,10 @@ pub struct ExecStats {
     pub spill_runs: u64,
     /// Bytes written to spill files.
     pub spill_bytes: u64,
+    /// Live-update overlay delta entries (adds + tombstones) consulted by
+    /// the run's index scans. Zero proves every scan took the
+    /// overlay-free fast path — the empty-overlay zero-overhead metric.
+    pub overlay_rows: u64,
     /// Currently resident intermediate tuples (bookkeeping for the peak).
     live_tuples: u64,
 }
@@ -467,6 +471,7 @@ impl ExecStats {
             self.spilled_rows += p.spilled_rows;
             self.spill_runs += p.spill_runs;
             self.spill_bytes += p.spill_bytes;
+            self.overlay_rows += p.overlay_rows;
             self.join_cards.extend(p.join_cards);
             wave_peak += p.peak_tuples;
             wave_live += p.live_tuples;
@@ -486,6 +491,7 @@ impl ExecStats {
         self.spilled_rows += other.spilled_rows;
         self.spill_runs += other.spill_runs;
         self.spill_bytes += other.spill_bytes;
+        self.overlay_rows += other.overlay_rows;
         self.join_cards.extend(other.join_cards);
         self.peak_tuples = self.peak_tuples.max(self.live_tuples + other.peak_tuples);
         self.live_tuples += other.live_tuples;

@@ -220,6 +220,11 @@ struct ScanState<'a> {
     col_pos: Vec<usize>,
     /// Repeated-variable equality constraints within the pattern.
     eq_pairs: Vec<(usize, usize)>,
+    /// Overlay delta entries this scan's pattern range consults, flushed
+    /// into [`ExecStats::overlay_rows`] on the first batch. Charged once
+    /// per logical scan: morsels other than the first report 0 so the
+    /// total is independent of how many morsels a wave used.
+    overlay_entries: u64,
 }
 
 impl<'a> IndexScan<'a> {
@@ -277,11 +282,15 @@ impl<'a> IndexScan<'a> {
             })
             .collect();
         let eq_pairs = eq_pairs(pattern);
+        let overlay_entries = match slice {
+            None | Some((0, _)) => ds.overlay_entries(access) as u64,
+            Some(_) => 0,
+        };
         let iter: Box<dyn Iterator<Item = [Id; 3]> + 'a> = match slice {
             None => Box::new(ds.scan_with(access, order)),
             Some((start, end)) => Box::new(ds.scan_slice_with(access, order, start, end)),
         };
-        IndexScan { schema, state: Some(ScanState { iter, col_pos, eq_pairs }) }
+        IndexScan { schema, state: Some(ScanState { iter, col_pos, eq_pairs, overlay_entries }) }
     }
 }
 
@@ -292,6 +301,7 @@ impl Operator for IndexScan<'_> {
 
     fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
         let state = self.state.as_mut()?;
+        stats.overlay_rows += std::mem::take(&mut state.overlay_entries);
         let mut out = Batch::with_schema(self.schema.clone());
         let mut row = vec![UNBOUND; self.schema.len()];
         while !out.is_full() {

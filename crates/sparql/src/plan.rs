@@ -249,7 +249,18 @@ impl PlanNode {
     ///   into a contiguous run, so it delivers the *streaming* side's
     ///   order unchanged (mirrors the side [`PlanNode::lower`] streams);
     /// * a merge join emits left-major and delivers the left order.
+    ///
+    /// When the dataset's "ascending id ⇔ ascending value" dictionary
+    /// invariant is suspended (an overflow-region term entered the live
+    /// overlay, [`Dataset::order_by_value_intact`]), *no* order is claimed:
+    /// merged scans are still id-sorted, but id order no longer implies
+    /// ORDER BY value order, so sort elimination must not fire. The blanket
+    /// refusal also steers the optimizer away from value-order-motivated
+    /// merge joins until [`Dataset::compact`] restores the invariant.
     pub fn delivered_order(&self, ds: &Dataset) -> Vec<usize> {
+        if !ds.order_by_value_intact() {
+            return Vec::new();
+        }
         match self {
             PlanNode::Scan { pattern, order, .. } => Self::scan_order_slots(pattern, *order),
             PlanNode::HashJoin { left, right, join_vars, .. } => {

@@ -82,6 +82,7 @@ struct Counters {
     cache_misses: AtomicU64,
     queue_wait_nanos: AtomicU64,
     admissions_deferred: AtomicU64,
+    plan_invalidations: AtomicU64,
 }
 
 /// Admission gate state, guarded by one mutex so the running/waiting
@@ -96,6 +97,10 @@ struct Gate {
 /// pool, any number of client threads. See the [module docs](self).
 pub struct SparqlServer {
     ds: Arc<Dataset>,
+    /// Store generation: bumped by every [`SparqlServer::update`]. A plan
+    /// prepared under epoch `e` is only ever served while the store is
+    /// still at epoch `e` — updates clear the cache wholesale.
+    epoch: AtomicU64,
     /// Resolved per-query execution config: caller's template with the
     /// server's pool installed and the divided memory budget applied.
     exec: ExecConfig,
@@ -119,6 +124,7 @@ impl SparqlServer {
         };
         SparqlServer {
             ds,
+            epoch: AtomicU64::new(0),
             exec,
             max_concurrent,
             pool,
@@ -148,6 +154,38 @@ impl SparqlServer {
     /// The per-query execution configuration requests run under.
     pub fn exec_config(&self) -> ExecConfig {
         self.exec
+    }
+
+    /// The store's current epoch (how many [`SparqlServer::update`] calls
+    /// it has absorbed).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Applies a store mutation — insert/delete batches, [`Dataset::compact`],
+    /// any combination — then bumps the store epoch and invalidates the
+    /// whole prepared-plan cache: every cached skeleton was optimized
+    /// against the pre-update statistics, cardinalities and (possibly)
+    /// dictionary ids, so none may be rebound afterwards. The next request
+    /// per `(template, class)` key re-prepares against the updated store.
+    ///
+    /// Requires `&mut self`, which statically excludes in-flight
+    /// [`ServedQuery`] streams (they borrow the server) — an update can
+    /// never mutate a dataset a running query is scanning. If the dataset
+    /// `Arc` is additionally shared outside the server, the mutation works
+    /// on a private copy-on-write clone ([`Arc::make_mut`]) and external
+    /// holders keep the pre-update store.
+    pub fn update<R>(&mut self, f: impl FnOnce(&mut Dataset) -> R) -> R {
+        let result = f(Arc::make_mut(&mut self.ds));
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        let invalidated = {
+            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            let n = cache.len() as u64;
+            cache.clear();
+            n
+        };
+        self.counters.plan_invalidations.fetch_add(invalidated, Ordering::Relaxed);
+        result
     }
 
     /// Serves one template instantiation, returning a streaming result.
@@ -218,6 +256,8 @@ impl SparqlServer {
                 self.counters.queue_wait_nanos.load(Ordering::Relaxed),
             ),
             admissions_deferred: self.counters.admissions_deferred.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            plan_invalidations: self.counters.plan_invalidations.load(Ordering::Relaxed),
             pool: self.pool.stats(),
         }
     }
@@ -323,6 +363,11 @@ pub struct ServeStats {
     pub queue_wait: Duration,
     /// Requests that found all execution slots busy and had to wait.
     pub admissions_deferred: u64,
+    /// Store epoch: number of [`SparqlServer::update`] calls absorbed.
+    pub epoch: u64,
+    /// Cached plan skeletons discarded by store updates (each was prepared
+    /// against a pre-update epoch and must not be rebound).
+    pub plan_invalidations: u64,
     /// The server worker pool's accounting ([`WorkerPool::stats`]):
     /// `pool.peak_in_use <= pool.capacity` is the stats-side proof that
     /// concurrent queries never exceeded the thread budget.
