@@ -276,8 +276,11 @@ impl Dictionary {
     }
 
     /// Rebuilds a dictionary from snapshot parts, reconstructing the
-    /// term→id map. Validates the parallel-array invariants and rejects
-    /// duplicate terms; it does *not* re-derive the numeric cache from the
+    /// term→id map. Validates the parallel-array invariants, rejects
+    /// duplicate terms, and requires ascending id order to be ascending
+    /// value order (the snapshot loader treats every stored id as
+    /// value-ordered, so an unordered dictionary would silently misorder
+    /// ORDER BY); it does *not* re-derive the numeric cache from the
     /// lexical forms (that re-parse is exactly the freeze-time work the
     /// snapshot exists to skip — the per-section checksums vouch for the
     /// cached values instead).
@@ -314,7 +317,13 @@ impl Dictionary {
                 return Err(format!("duplicate term at id {i}"));
             }
         }
-        Ok(Dictionary { terms, numeric, numeric_set, by_term, value_ties })
+        let dict = Dictionary { terms, numeric, numeric_set, by_term, value_ties };
+        for i in 1..n as u32 {
+            if dict.compare(Id(i - 1), Id(i)) == std::cmp::Ordering::Greater {
+                return Err(format!("terms at ids {} and {i} are not in value order", i - 1));
+            }
+        }
+        Ok(dict)
     }
 }
 
@@ -521,6 +530,23 @@ mod tests {
         let mut bad_set = numeric_set.to_vec();
         bad_set[0] |= 1 << (terms.len() % 64);
         assert!(Dictionary::from_parts(terms.to_vec(), numeric.to_vec(), bad_set, ties).is_err());
+    }
+
+    /// Regression: parts whose id order is not the value order must be
+    /// rejected — the snapshot loader treats every stored id as
+    /// value-ordered, so accepting an unordered dictionary would let sort
+    /// elimination silently return misordered rows after a reload.
+    #[test]
+    fn from_parts_rejects_ids_out_of_value_order() {
+        let mut dict = Dictionary::new();
+        dict.encode(Term::integer(10));
+        dict.encode(Term::integer(2));
+        // No reorder_by_value: id 0 (value 10) sorts after id 1 (value 2).
+        let (terms, numeric, numeric_set, ties) = dict.parts();
+        let err =
+            Dictionary::from_parts(terms.to_vec(), numeric.to_vec(), numeric_set.to_vec(), ties)
+                .unwrap_err();
+        assert!(err.contains("value order"), "{err}");
     }
 
     #[test]

@@ -152,6 +152,15 @@ pub enum SnapshotError {
         /// Pending overlay tombstones at save time.
         dels: usize,
     },
+    /// The dictionary holds post-freeze overflow terms that are not in
+    /// value order. The snapshot format has no overflow watermark — a
+    /// loader treats *every* stored id as value-ordered — so saving would
+    /// let the reloaded store serve order it cannot deliver. Call
+    /// `Dataset::compact` first.
+    OverflowTerms {
+        /// Terms interned past the frozen value-ordered range.
+        overflow: usize,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -175,6 +184,11 @@ impl fmt::Display for SnapshotError {
                 f,
                 "dataset has pending live updates ({adds} adds, {dels} deletes); \
                  compact() before save()"
+            ),
+            SnapshotError::OverflowTerms { overflow } => write!(
+                f,
+                "dataset dictionary holds {overflow} post-freeze overflow terms out of \
+                 value order; compact() before save()"
             ),
         }
     }

@@ -768,12 +768,22 @@ impl Dataset {
     /// ([`SnapshotError::PendingUpdates`]) — call [`Dataset::compact`]
     /// first. A net-empty overlay (every add cancelled by a tombstone of
     /// the same triple, as overlay stress mode seeds) is fine: the visible
-    /// set equals the base.
+    /// set equals the base. A dictionary that grew post-freeze overflow
+    /// terms is refused even when the overlay cancelled back to empty
+    /// ([`SnapshotError::OverflowTerms`]): the format has no overflow
+    /// watermark, so [`Dataset::load`] would treat the out-of-value-order
+    /// overflow ids as value-ordered and re-enable the sort elimination
+    /// this store's [`Dataset::order_by_value_intact`] gate declines.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
         if !self.overlay.net_empty() {
             return Err(SnapshotError::PendingUpdates {
                 adds: self.overlay.adds_len(),
                 dels: self.overlay.dels_len(),
+            });
+        }
+        if self.dict.len() > self.frozen_terms || !self.order_by_value_intact() {
+            return Err(SnapshotError::OverflowTerms {
+                overflow: self.dict.len() - self.frozen_terms,
             });
         }
         save_to(self, path).map_err(|e| SnapshotError::Io {
@@ -937,6 +947,45 @@ mod tests {
         assert!(loaded.order_by_value_intact());
         // The reloaded dictionary is value-ordered across the formerly
         // overflow terms: ascending id must mean ascending value.
+        for i in 1..loaded.dict().len() as u32 {
+            assert_ne!(
+                loaded.dict().compare(Id(i - 1), Id(i)),
+                std::cmp::Ordering::Greater,
+                "ids #{} and #{i} out of value order after reload",
+                i - 1
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression: `save` must refuse a store whose dictionary grew an
+    /// overflow region even when the overlay cancelled back to net-empty
+    /// (insert a triple with a brand-new term, then delete it). The old
+    /// net-empty-only check let such a store save; reloading set
+    /// `frozen_terms = dict.len()` and reported value order intact over
+    /// ids that are NOT value-ordered, so sort elimination could silently
+    /// misorder ORDER BY.
+    #[test]
+    fn save_refuses_cancelled_overflow_insert_until_compact() {
+        let mut ds = sample();
+        let frozen = ds.frozen_terms();
+        // "http://e/aa" and integer(1) are new: two overflow terms.
+        assert!(ds.insert(Term::iri("http://e/aa"), Term::iri("http://e/p"), Term::integer(1)));
+        assert!(ds.delete(&Term::iri("http://e/aa"), &Term::iri("http://e/p"), &Term::integer(1)));
+        assert!(ds.overlay().is_empty());
+        assert!(ds.dict().len() > frozen);
+        assert!(!ds.order_by_value_intact());
+        let path = temp("cancelled-overflow.pbsnap");
+        let err = ds.save(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::OverflowTerms { overflow: 2 }), "{err}");
+        assert!(!path.exists(), "refused save must not leave a file behind");
+        // Compaction re-sorts the dictionary; then the snapshot round
+        // trips with real value order and an honest intact flag.
+        ds.compact();
+        assert!(ds.order_by_value_intact());
+        ds.save(&path).expect("saves after compaction");
+        let loaded = Dataset::load(&path).expect("loads");
+        assert!(loaded.order_by_value_intact());
         for i in 1..loaded.dict().len() as u32 {
             assert_ne!(
                 loaded.dict().compare(Id(i - 1), Id(i)),

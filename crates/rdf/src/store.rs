@@ -325,7 +325,7 @@ impl Dataset {
     /// matching `pattern`, in the same order [`Dataset::scan`] uses — the
     /// morsel primitive of parallel scans: consecutive slices concatenated
     /// in order reproduce the full scan exactly. `end` is clamped to the
-    /// match count.
+    /// match count; an inverted range (`end <= start`) yields nothing.
     pub fn scan_slice(
         &self,
         pattern: IdPattern,
@@ -348,7 +348,9 @@ impl Dataset {
         let (mut keys, len) = self.merged_keys(pattern, order);
         let start = start.min(len);
         keys.skip(start);
-        MergedScan { order, keys, remaining: end.min(len) - start }
+        // saturating: an inverted range (end < start) is an empty slice,
+        // not an underflow.
+        MergedScan { order, keys, remaining: end.min(len).saturating_sub(start) }
     }
 
     /// The merged key source for `pattern` under `order`, plus its exact
@@ -597,8 +599,17 @@ impl Dataset {
     /// survives) back into value order. Afterwards the overlay is empty
     /// and [`Dataset::order_by_value_intact`] holds again. A compacted
     /// store can be re-saved with [`Dataset::save`].
+    ///
+    /// The no-op fast path requires more than an empty overlay: a
+    /// cancelled overflow insert (new term interned, triple deleted again)
+    /// leaves the runs empty while the dictionary still holds
+    /// out-of-value-order terms and the sticky overflow flag stands, so
+    /// compaction must still re-sort to honour its postcondition.
     pub fn compact(&mut self) {
-        if self.overlay.is_empty() {
+        if self.overlay.is_empty()
+            && self.order_by_value_intact()
+            && self.dict.len() == self.frozen_terms
+        {
             return;
         }
         let triples: Vec<[Id; 3]> = self.scan([None, None, None]).collect();
@@ -1014,6 +1025,47 @@ mod tests {
                 assert_ne!(ds.dict().compare(Id(a), Id(bb)), std::cmp::Ordering::Greater);
             }
         }
+    }
+
+    /// Regression: `compact()` used to early-return on an empty overlay
+    /// even when a cancelled overflow insert had left the dictionary out
+    /// of value order — the sticky overflow flag then stood forever and
+    /// order service stayed disabled with no way back.
+    #[test]
+    fn compact_restores_value_order_after_cancelled_overflow_insert() {
+        let mut b = StoreBuilder::new();
+        b.insert(term("s/a"), term("p"), term("o/1"));
+        let mut ds = b.freeze_in_memory();
+        assert!(ds.insert(term("s/new"), term("p"), term("o/1")));
+        assert!(ds.delete(&term("s/new"), &term("p"), &term("o/1")));
+        assert!(ds.overlay().is_empty());
+        assert!(!ds.order_by_value_intact());
+        assert!(ds.dict().len() > ds.frozen_terms());
+        ds.compact();
+        assert!(ds.order_by_value_intact());
+        assert!(ds.overlay().is_empty());
+        assert_eq!(ds.frozen_terms(), ds.dict().len());
+        assert_eq!(ds.len(), 1);
+        // The overflow term survived compaction, now in value order.
+        assert!(ds.lookup(&term("s/new")).is_some());
+        for a in 1..ds.dict().len() as u32 {
+            assert_ne!(ds.dict().compare(Id(a - 1), Id(a)), std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn scan_slice_with_degenerate_ranges_is_empty() {
+        let mut b = StoreBuilder::new();
+        b.insert(term("s/a"), term("p"), term("o/1"));
+        b.insert(term("s/b"), term("p"), term("o/2"));
+        let ds = b.freeze_in_memory();
+        let pat = [None, None, None];
+        // Inverted range: empty, not an underflow.
+        assert_eq!(ds.scan_slice(pat, 2, 1).count(), 0);
+        // Empty range at a valid position.
+        assert_eq!(ds.scan_slice(pat, 1, 1).count(), 0);
+        // Range entirely past the match count.
+        assert_eq!(ds.scan_slice(pat, 5, 9).count(), 0);
     }
 
     #[test]
