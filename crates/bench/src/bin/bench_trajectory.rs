@@ -8,7 +8,7 @@
 //! cargo run --release -p parambench-bench --bin bench_trajectory
 //! ```
 //!
-//! The sequence number defaults to `8` (this PR) and can be overridden
+//! The sequence number defaults to `9` (this PR) and can be overridden
 //! with `BENCH_SEQ`; dataset scale follows `PARAMBENCH_TRIPLES` like the
 //! experiment binaries. Wall times are min-of-N to damp scheduler noise;
 //! the deterministic counters are single-run (they cannot vary).
@@ -31,6 +31,14 @@
 //! `SparqlServer::update` — write-batch and interleaved-query latency over
 //! the live overlay, plan-cache invalidations per epoch bump, and the
 //! final `compact()` cost that re-freezes base+delta.
+//!
+//! Since PR 9 it also records a **parallel-merge phase**: the all-merge
+//! star plan (forced order-aware planning) morselized by key range over
+//! the driving sorted scan, at 1 and 4 workers — wall time per thread
+//! count plus the structural gates (`build_rows == 0` everywhere,
+//! `scanned`/`Cout` identical across thread counts). On a 1-core
+//! container the wall ratio is ~1.0× and reported honestly; the gates
+//! are what the snapshot diff tracks.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,7 +51,7 @@ use parambench_datagen::{bsbm::schema, Bsbm, MixedWorkload, MixedWorkloadConfig,
 use parambench_rdf::Term;
 use parambench_sparql::serve::ServeConfig;
 use parambench_sparql::template::{Binding, QueryTemplate};
-use parambench_sparql::Engine;
+use parambench_sparql::{Engine, ExecConfig, OrderExec};
 
 /// Wall-time runs per template (min is reported).
 const RUNS: usize = 5;
@@ -98,7 +106,7 @@ fn concurrent_requests(data: &Bsbm) -> Vec<(QueryTemplate, Binding)> {
 }
 
 fn main() {
-    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "8".into());
+    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "9".into());
     let data = bsbm();
     header(&format!("BSBM template suite trajectory (seq {seq}, {} triples)", data.dataset.len()));
     let engine = Engine::new(&data.dataset);
@@ -150,6 +158,64 @@ fn main() {
             out.stats.build_rows,
         ));
     }
+
+    // --- parallel-merge phase: key-range morsels over the all-merge star ---
+    header("Parallel merge joins (key-range morsels, 1 vs 4 workers)");
+    let force_engine = Engine::with_exec_config(
+        &data.dataset,
+        ExecConfig { order_exec: OrderExec::Force, ..ExecConfig::default() },
+    );
+    let star = Bsbm::q4_feature_price_by_type();
+    let star_binding = Binding::new().with("type", Term::iri(schema::product_type(0)));
+    let prepared_star =
+        force_engine.prepare_template(&star, &star_binding).expect("star template prepares");
+    let par_cfg = |threads| ExecConfig {
+        threads,
+        morsel_rows: 4096,
+        min_driver_rows: 1,
+        min_est_cost: 0.0,
+        order_exec: OrderExec::Force,
+        ..ExecConfig::default()
+    };
+    let merge_wall = |threads: usize| {
+        let cfg = par_cfg(threads);
+        let mut wall = Duration::MAX;
+        let mut out = None;
+        for _ in 0..RUNS {
+            let run =
+                force_engine.execute_with(&prepared_star, &cfg).expect("parallel merge executes");
+            wall = wall.min(run.wall_time);
+            out = Some(run);
+        }
+        (wall.as_secs_f64() * 1e3, out.expect("at least one run"))
+    };
+    let (merge_t1_ms, merge_t1) = merge_wall(1);
+    let (merge_t4_ms, merge_t4) = merge_wall(4);
+    assert_eq!(merge_t1.results, merge_t4.results, "thread count changed merge morsel results");
+    assert_eq!(merge_t1.cout, merge_t4.cout, "thread count changed merge morsel Cout");
+    assert_eq!(merge_t1.stats.scanned, merge_t4.stats.scanned);
+    assert_eq!(merge_t1.stats.build_rows, 0, "merge morsels must not build");
+    assert_eq!(merge_t4.stats.build_rows, 0, "merge morsels must not build");
+    println!(
+        "star merge morsels: t1 {} t4 {} ({:.2}x) | rows {} Cout {} scanned {} build 0",
+        fmt_ms(merge_t1_ms),
+        fmt_ms(merge_t4_ms),
+        merge_t1_ms / merge_t4_ms,
+        merge_t1.results.len(),
+        merge_t1.cout,
+        merge_t1.stats.scanned,
+    );
+    let parallel_merge = format!(
+        "{{\n    \"template\": \"{}\", \"signature\": \"{}\",\n    \
+         \"wall_ms_t1\": {merge_t1_ms:.3}, \"wall_ms_t4\": {merge_t4_ms:.3},\n    \
+         \"rows\": {}, \"cout\": {}, \"scanned\": {}, \"build_rows\": 0\n  }}",
+        json_escape(star.name()),
+        json_escape(&prepared_star.signature.0),
+        merge_t1.results.len(),
+        merge_t1.cout,
+        merge_t1.stats.scanned,
+    );
+    drop(force_engine);
 
     // --- concurrent-clients phase: the same store behind SparqlServer ---
     let triples = data.dataset.len();
@@ -353,7 +419,8 @@ fn main() {
 
     let body = format!(
         "{{\n  \"seq\": {seq},\n  \"suite\": \"bsbm\",\n  \"triples\": {triples},\n  \
-         \"wall_runs\": {RUNS},\n  \"templates\": [\n{}\n  ],\n  \"concurrent\": {concurrent},\n  \
+         \"wall_runs\": {RUNS},\n  \"templates\": [\n{}\n  ],\n  \
+         \"parallel_merge\": {parallel_merge},\n  \"concurrent\": {concurrent},\n  \
          \"persistence\": {persistence},\n  \"updates\": {updates}\n}}\n",
         entries.join(",\n"),
     );

@@ -12,6 +12,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use parambench_rdf::dict::Id;
+use parambench_rdf::index::IndexOrder;
 use parambench_rdf::store::Dataset;
 use parambench_rdf::term::Term;
 
@@ -24,8 +25,8 @@ use crate::modifiers::{
 };
 use crate::optimizer::{optimize_with, reestimate, OrderPrefs};
 use crate::physical::{
-    self, Batch, BoxedOperator, CoutBucket, FilterEval, Gather, HashJoinProbe, LeftOuterJoin,
-    ParallelSource, Project, UnionAll,
+    self, Batch, BoxedOperator, CoutBucket, FilterEval, Gather, HashJoinProbe, IndexScan,
+    LeftOuterJoin, ParallelSource, Project, UnionAll,
 };
 use crate::plan::{
     ModifierPlan, PlanNode, PlanSignature, PlannedPattern, Slot, SpillMode, TableColSource,
@@ -266,7 +267,15 @@ impl<'a> RowStream<'a> {
                         *next = 0;
                         *batch = Some(b);
                     }
-                    None => *done = true,
+                    None => {
+                        *done = true;
+                        // An operator that hit an invariant violation stops
+                        // producing and records the error; surface it
+                        // instead of a clean end-of-stream.
+                        if let Some(err) = stats.exec_error.take() {
+                            return Err(QueryError::Exec(err));
+                        }
+                    }
                 }
             },
         }
@@ -586,11 +595,15 @@ impl<'a> Engine<'a> {
                 planned.push(lower(t, next_idx, &mut var_names, &mut slot_of)?);
                 next_idx += 1;
             }
-            // Interesting-order preferences: when every ORDER BY key is a
-            // plain ascending pattern variable, a plan delivering that slot
-            // sequence escapes the sort penalty in the root selection.
-            let prefs =
-                OrderPrefs { sort: order_pref_slots(query, &slot_of), mode: self.exec.order_exec };
+            // Interesting-order preferences: when the ORDER BY keys form a
+            // direction-uniform run of plain pattern variables, a plan
+            // delivering that slot sequence escapes the sort penalty in the
+            // root selection (descending keys only for bare single-pattern
+            // scans, which the descending order service can serve).
+            let prefs = OrderPrefs {
+                sort: order_pref_slots(query, &slot_of, planned.len() == 1),
+                mode: self.exec.order_exec,
+            };
             let plan = optimize_with(&planned, &self.est, &prefs)?;
             let est = reestimate(&plan, &self.est);
             est_cout += plan.est_cout();
@@ -773,7 +786,17 @@ impl<'a> Engine<'a> {
         let m = &prepared.modifiers;
         let sort_gone = m.order_by.is_empty() || self.sort_eliminated(prepared, exec);
         let output_bound = m.aggregate.is_none() && sort_gone && m.limit.is_some();
+        let desc_scan = self.desc_elimination(prepared, exec);
         let base = prepared.bgp_plan.as_ref().map(|plan| {
+            // ORDER BY ... DESC served by the index: the bare scan lowers
+            // to run-reversed descending iteration (inherently serial) and
+            // the epilogue's sort disappears, mirroring the ascending
+            // elimination.
+            if let Some((pattern, order, runs)) = desc_scan {
+                let scan: BoxedOperator<'_> =
+                    Box::new(IndexScan::descending(self.ds, pattern, order, runs));
+                return Pipeline::Serial(scan);
+            }
             let parallel = if output_bound {
                 None
             } else {
@@ -926,6 +949,12 @@ impl<'a> Engine<'a> {
             let bindings = physical::drain(op, &mut stats);
             finalize_bindings(&bindings, m, self.ds, &mut stats)?
         };
+        // A pipeline invariant violation (ExecStats::exec_error) outranks
+        // whatever rows were drained: the operator protocol has no Result
+        // channel, so the error surfaces here, at the run boundary.
+        if let Some(err) = stats.exec_error.take() {
+            return Err(QueryError::Exec(err));
+        }
         let wall_time = start.elapsed();
         let cout = stats.cout + stats.cout_optional;
         Ok(QueryOutput { results, wall_time, cout, stats })
@@ -969,7 +998,9 @@ impl<'a> Engine<'a> {
             StreamInner::Table(results.rows.into_iter())
         } else {
             let order_on = exec.order_exec != OrderExec::Off;
-            let sort_elim = order_on && self.order_satisfied(m, &prepared.delivered_order);
+            let sort_elim = order_on
+                && (self.order_satisfied(m, &prepared.delivered_order)
+                    || self.desc_elimination(prepared, exec).is_some());
             let delivered: &[usize] = if order_on { &prepared.delivered_order } else { &[] };
             match self.plain_tail(prepared, pipeline, exec, &mut stats, sort_elim, delivered)? {
                 PlainTail::Rows(op) => {
@@ -983,6 +1014,12 @@ impl<'a> Engine<'a> {
                 PlainTail::Table(results) => StreamInner::Table(results.rows.into_iter()),
             }
         };
+        // Materializing shapes already ran the pipeline: surface any
+        // recorded invariant violation now. Lazy pipelines check again at
+        // exhaustion (RowStream::next_row).
+        if let Some(err) = stats.exec_error.take() {
+            return Err(QueryError::Exec(err));
+        }
         Ok(RowStream { ds: self.ds, columns, inner, stats, started })
     }
 
@@ -1007,7 +1044,12 @@ impl<'a> Engine<'a> {
         // order (never from thread count or budget): with the value-ordered
         // dictionary, ascending-id delivery IS ascending ORDER BY order.
         let order_on = exec.order_exec != OrderExec::Off;
-        let sort_elim = order_on && self.order_satisfied(m, &prepared.delivered_order);
+        // The descending elimination counts too: build_pipeline derives
+        // the same pure decision from the same inputs, so when it lowered
+        // the base descending the rows already arrive in final order.
+        let sort_elim = order_on
+            && (self.order_satisfied(m, &prepared.delivered_order)
+                || self.desc_elimination(prepared, exec).is_some());
         let delivered: &[usize] = if order_on { &prepared.delivered_order } else { &[] };
 
         if let Some(agg) = &m.aggregate {
@@ -1353,6 +1395,73 @@ impl<'a> Engine<'a> {
         delivered.starts_with(&seq)
     }
 
+    /// The descending counterpart of [`Engine::order_satisfied`] — the
+    /// direction-symmetric half of the order service. When every ORDER BY
+    /// key is a *descending* plain-variable column and the pattern part is
+    /// one bare scan (filters allowed — they preserve order), the engine
+    /// serves the query by run-reversed index iteration
+    /// ([`IndexScan::descending`]) instead of sorting: runs of the leading
+    /// key components are visited in reverse key order with forward order
+    /// inside each run, which is exactly a stable descending sort of the
+    /// forward pipeline — the forced-off baseline's output, bit for bit.
+    ///
+    /// Returns the scan to lower descending (pattern, chosen index order,
+    /// run components). Conservatively `None` beyond the bare-scan shape;
+    /// multi-join plans keep the forward pipeline and sort.
+    fn desc_elimination<'p>(
+        &self,
+        prepared: &'p Prepared,
+        exec: &ExecConfig,
+    ) -> Option<(&'p PlannedPattern, Option<IndexOrder>, usize)> {
+        if exec.order_exec == OrderExec::Off {
+            return None;
+        }
+        let m = &prepared.modifiers;
+        if m.order_by.is_empty() || m.aggregate.is_some() {
+            return None;
+        }
+        let mut seq: Vec<usize> = Vec::new();
+        for &(col, desc) in &m.order_by {
+            if !desc {
+                return None;
+            }
+            match m.table[col].source {
+                TableColSource::Slot(s) => {
+                    if !seq.contains(&s) {
+                        seq.push(s);
+                    }
+                }
+                TableColSource::Agg(_) | TableColSource::Expr(_) => return None,
+            }
+        }
+        // Stricter than the ascending path, which tolerates value ties on
+        // a single key: two distinct ids with equal value form separate id
+        // runs, and reversing runs flips their relative order while the
+        // baseline's stable descending sort keeps them in arrival order.
+        // Ascending delivery never reorders them, descending run-reversal
+        // does — so any value tie disables the elimination.
+        if self.ds.dict().has_value_ties() {
+            return None;
+        }
+        if !prepared.unions.is_empty() || !prepared.optionals.is_empty() {
+            return None;
+        }
+        let Some(PlanNode::Scan { pattern, order, .. }) = &prepared.bgp_plan else {
+            return None;
+        };
+        // No repeated variables (the slot→key-component mapping assumes
+        // each key slot is one index component), and the delivered order
+        // must carry the keys as its prefix — `delivered_order` is empty
+        // while the value-order invariant is suspended, which gates the
+        // descending elimination exactly like the ascending one.
+        let var_positions = pattern.slots.iter().filter(|s| s.as_var().is_some()).count();
+        if pattern.var_slots().len() != var_positions || !prepared.delivered_order.starts_with(&seq)
+        {
+            return None;
+        }
+        Some((pattern, *order, seq.len()))
+    }
+
     /// Whether the delivered order makes rows equal on `slots` contiguous:
     /// the distinct slots are exactly the leading `k` delivered slots (in
     /// any permutation). Empty slot sets are trivially clustered.
@@ -1377,7 +1486,10 @@ impl<'a> Engine<'a> {
         let m = &prepared.modifiers;
         if exec.order_exec == OrderExec::Off || !self.order_satisfied(m, &prepared.delivered_order)
         {
-            return false;
+            // `ORDER BY ... DESC` served by the run-reversed scan is the
+            // other way the sort disappears (never for aggregates — the
+            // descending elimination refuses them).
+            return self.desc_elimination(prepared, exec).is_some();
         }
         match &m.aggregate {
             None => true,
@@ -1469,6 +1581,8 @@ impl<'a> Engine<'a> {
         }
         let sort = if m.order_by.is_empty() {
             "none"
+        } else if self.desc_elimination(prepared, &self.exec).is_some() {
+            "eliminated (descending index scan serves ORDER BY ... DESC)"
         } else if self.sort_eliminated(prepared, &self.exec) {
             "eliminated (delivered order satisfies ORDER BY)"
         } else if m.aggregate.is_none() && m.limit.is_some() {
@@ -1676,17 +1790,30 @@ impl<'a> Engine<'a> {
 }
 
 /// The ORDER BY slot-sequence preference handed to the optimizer: the
-/// deduplicated slot sequence when *every* key is a plain ascending
-/// pattern variable already carrying a slot, empty otherwise (descending
-/// keys, expressions and aggregate aliases cannot be served by an index
-/// order, so no preference exists).
-fn order_pref_slots(query: &SelectQuery, slot_of: &HashMap<String, usize>) -> Vec<usize> {
+/// deduplicated slot sequence when the keys form a *direction-uniform*
+/// run of plain pattern variables already carrying slots, empty
+/// otherwise (mixed ASC/DESC, expressions and aggregate aliases cannot
+/// be served by an index order, so no preference exists). All-ascending
+/// keys always yield a preference; all-descending keys yield one only
+/// for a single-pattern required BGP (`bare_scan`) — that is the shape
+/// the descending order service can serve by run-reversed index
+/// iteration, and a multi-join plan must not be handed a sort-penalty
+/// waiver it cannot cash in.
+fn order_pref_slots(
+    query: &SelectQuery,
+    slot_of: &HashMap<String, usize>,
+    bare_scan: bool,
+) -> Vec<usize> {
     if query.order_by.is_empty() {
+        return Vec::new();
+    }
+    let all_desc = query.order_by.iter().all(|k| k.descending);
+    if all_desc && !bare_scan {
         return Vec::new();
     }
     let mut out = Vec::new();
     for k in &query.order_by {
-        if k.descending {
+        if k.descending != all_desc {
             return Vec::new();
         }
         let Some(v) = k.target.as_var() else {

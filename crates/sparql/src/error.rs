@@ -2,33 +2,49 @@
 //!
 //! All query-shape problems (parse errors, unknown variables, unsupported
 //! constructs, unbound `%parameters`, invalid modifier combinations) are
-//! raised at parse or prepare time; in-memory execution itself never fails
+//! raised at parse or prepare time; in-memory execution almost never fails
 //! — a missing constant just yields an empty scan. This split is what lets
 //! the curation pipeline probe thousands of candidate bindings cheaply
-//! without running them. The one execution-time failure class is
+//! without running them. The execution-time failure classes are
 //! out-of-core spilling ([`crate::spill`]): a temp-dir or run-file I/O
-//! problem surfaces as a typed [`ExecError`], never a panic.
+//! problem surfaces as a typed [`ExecError`], never a panic — and runtime
+//! invariant violations the pipeline checks unconditionally (a merge join
+//! observing unsorted input), which surface the same way instead of
+//! silently misjoining in release builds.
 
 use std::fmt;
 use std::path::PathBuf;
 
-/// A runtime failure of the out-of-core execution layer (spill directory
-/// creation, run-file writes/reads). Carries the operation, the path and
-/// the rendered I/O error (`std::io::Error` is not `Clone`, so the message
-/// is captured as text).
+/// A runtime failure of execution: out-of-core spill I/O (directory
+/// creation, run-file writes/reads) or a checked pipeline invariant
+/// violation. Carries the operation, the path involved (empty for
+/// non-I/O failures) and the rendered cause (`std::io::Error` is not
+/// `Clone`, so the message is captured as text).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecError {
     /// What the engine was doing (e.g. `"create spill dir"`).
     pub op: &'static str,
-    /// The file or directory involved.
+    /// The file or directory involved (empty for non-I/O failures).
     pub path: PathBuf,
     /// The underlying I/O error, rendered.
     pub message: String,
 }
 
+impl ExecError {
+    /// A non-I/O execution failure: a checked pipeline invariant that did
+    /// not hold at runtime (no path involved).
+    pub fn invariant(op: &'static str, message: impl Into<String>) -> Self {
+        ExecError { op, path: PathBuf::new(), message: message.into() }
+    }
+}
+
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {}: {}", self.op, self.path.display(), self.message)
+        if self.path.as_os_str().is_empty() {
+            write!(f, "{}: {}", self.op, self.message)
+        } else {
+            write!(f, "{} {}: {}", self.op, self.path.display(), self.message)
+        }
     }
 }
 

@@ -47,9 +47,11 @@ const MAX_CANDS: usize = 8;
 /// like, plus how aggressively order-based operators may be chosen.
 #[derive(Debug, Clone, Default)]
 pub struct OrderPrefs {
-    /// Desired delivered-order prefix (the ORDER BY slots when every key
-    /// is a plain ascending variable; empty = no preference). A root
-    /// candidate delivering this prefix escapes the sort penalty.
+    /// Desired delivered-order prefix (the ORDER BY slots when the keys
+    /// are a direction-uniform run of plain variables; empty = no
+    /// preference). A root candidate delivering this prefix escapes the
+    /// sort penalty. Direction is not encoded here: a descending run is
+    /// served by run-reversed iteration over the same index order.
     pub sort: Vec<usize>,
     /// Merge-join aggressiveness (see [`OrderExec`]). `Off` reproduces the
     /// pre-order-aware planner exactly.

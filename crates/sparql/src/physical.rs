@@ -230,7 +230,7 @@ struct ScanState<'a> {
 impl<'a> IndexScan<'a> {
     /// Scans the pattern's full index range (default index order).
     pub fn new(ds: &'a Dataset, pattern: &PlannedPattern) -> Self {
-        Self::over(ds, pattern, None, None)
+        Self::over(ds, pattern, None, None, true)
     }
 
     /// Scans the pattern out of an explicitly chosen permutation index
@@ -242,13 +242,14 @@ impl<'a> IndexScan<'a> {
         pattern: &PlannedPattern,
         order: Option<IndexOrder>,
     ) -> Self {
-        Self::over(ds, pattern, order, None)
+        Self::over(ds, pattern, order, None, true)
     }
 
     /// Scans only rows `[start, end)` of the pattern's index range — one
     /// morsel of a parallel scan. Consecutive morsels concatenated in
     /// index order reproduce [`IndexScan::with_order`] of the same order
-    /// exactly.
+    /// exactly. The morsel starting at row 0 charges the logical scan's
+    /// overlay entries (exactly one driver morsel starts there).
     pub fn morsel(
         ds: &'a Dataset,
         pattern: &PlannedPattern,
@@ -256,14 +257,39 @@ impl<'a> IndexScan<'a> {
         start: usize,
         end: usize,
     ) -> Self {
-        Self::over(ds, pattern, order, Some((start, end)))
+        Self::over(ds, pattern, order, Some((start, end)), start == 0)
     }
 
-    fn over(
+    /// [`IndexScan::morsel`] with an explicit overlay-charge decision. The
+    /// right side of a parallel merge join is sliced by key-derived bounds:
+    /// its first slice need not start at row 0 and several empty slices may
+    /// share a position, so "starts at 0" no longer identifies one unique
+    /// morsel per logical scan — the caller marks exactly one (morsel
+    /// index 0) as the charging one, keeping `ExecStats::overlay_rows`
+    /// geometry-independent.
+    pub(crate) fn morsel_charged(
         ds: &'a Dataset,
         pattern: &PlannedPattern,
         order: Option<IndexOrder>,
-        slice: Option<(usize, usize)>,
+        start: usize,
+        end: usize,
+        charge_overlay: bool,
+    ) -> Self {
+        Self::over(ds, pattern, order, Some((start, end)), charge_overlay)
+    }
+
+    /// Scans the pattern's full range in **descending** key order, run by
+    /// run: runs of the leading `run_components` unbound key components
+    /// are visited in reverse key order while rows *within* a run keep
+    /// forward order — exactly a stable descending sort of the forward
+    /// scan on those components. This is what lets the engine serve
+    /// `ORDER BY ... DESC` straight from the index (`sorted_rows == 0`)
+    /// while reproducing the forced-off baseline's tie order bit for bit.
+    pub fn descending(
+        ds: &'a Dataset,
+        pattern: &PlannedPattern,
+        order: Option<IndexOrder>,
+        run_components: usize,
     ) -> Self {
         let schema = pattern.var_slots();
         if pattern.has_absent() {
@@ -271,6 +297,38 @@ impl<'a> IndexScan<'a> {
         }
         let access = pattern.access();
         let order = order.unwrap_or_else(|| Dataset::default_order(access));
+        let overlay_entries = ds.overlay_entries(access) as u64;
+        let iter = Box::new(ds.scan_desc_runs(access, order, run_components));
+        Self::from_parts(pattern, schema, iter, overlay_entries)
+    }
+
+    fn over(
+        ds: &'a Dataset,
+        pattern: &PlannedPattern,
+        order: Option<IndexOrder>,
+        slice: Option<(usize, usize)>,
+        charge_overlay: bool,
+    ) -> Self {
+        let schema = pattern.var_slots();
+        if pattern.has_absent() {
+            return IndexScan { schema, state: None };
+        }
+        let access = pattern.access();
+        let order = order.unwrap_or_else(|| Dataset::default_order(access));
+        let overlay_entries = if charge_overlay { ds.overlay_entries(access) as u64 } else { 0 };
+        let iter: Box<dyn Iterator<Item = [Id; 3]> + 'a> = match slice {
+            None => Box::new(ds.scan_with(access, order)),
+            Some((start, end)) => Box::new(ds.scan_slice_with(access, order, start, end)),
+        };
+        Self::from_parts(pattern, schema, iter, overlay_entries)
+    }
+
+    fn from_parts(
+        pattern: &PlannedPattern,
+        schema: Vec<usize>,
+        iter: Box<dyn Iterator<Item = [Id; 3]> + 'a>,
+        overlay_entries: u64,
+    ) -> Self {
         let col_pos: Vec<usize> = schema
             .iter()
             .map(|&v| {
@@ -282,14 +340,6 @@ impl<'a> IndexScan<'a> {
             })
             .collect();
         let eq_pairs = eq_pairs(pattern);
-        let overlay_entries = match slice {
-            None | Some((0, _)) => ds.overlay_entries(access) as u64,
-            Some(_) => 0,
-        };
-        let iter: Box<dyn Iterator<Item = [Id; 3]> + 'a> = match slice {
-            None => Box::new(ds.scan_with(access, order)),
-            Some((start, end)) => Box::new(ds.scan_slice_with(access, order, start, end)),
-        };
         IndexScan { schema, state: Some(ScanState { iter, col_pos, eq_pairs, overlay_entries }) }
     }
 }
@@ -995,7 +1045,11 @@ pub struct MergeJoin<'a> {
     run_key: Option<Vec<Id>>,
     /// Right rows matching `run_key`, in right arrival order.
     run: Vec<Vec<Id>>,
-    #[cfg(debug_assertions)]
+    /// Last left key seen, for the unconditional sortedness check: a merge
+    /// join fed an unsorted left input silently drops matches, so the
+    /// invariant is verified on every row (one slice compare against an
+    /// already-decoded key) and violations surface as
+    /// [`crate::error::QueryError::Exec`] instead of wrong answers.
     prev_left_key: Option<Vec<Id>>,
     done: bool,
 }
@@ -1041,7 +1095,6 @@ impl<'a> MergeJoin<'a> {
             right_done: false,
             run_key: None,
             run: Vec::new(),
-            #[cfg(debug_assertions)]
             prev_left_key: None,
             done: false,
         }
@@ -1132,6 +1185,23 @@ impl<'a> MergeJoin<'a> {
         self.recorder.record(stats, 0);
         self.done = true;
     }
+
+    /// Stops the join *without* the exhaustion drain — the
+    /// invariant-violation path, where pulling the rest of a pipeline that
+    /// already produced out-of-order rows would only compound the damage.
+    /// Everything resident is released so tuple accounting still balances.
+    fn abort(&mut self, stats: &mut ExecStats) {
+        stats.shrink(self.run.len());
+        self.run.clear();
+        self.run_key = None;
+        if let Some((batch, _)) = self.rbatch.take() {
+            stats.shrink(batch.len());
+        }
+        if let Some((batch, _, _)) = self.lcursor.take() {
+            stats.shrink(batch.len());
+        }
+        self.done = true;
+    }
 }
 
 impl Operator for MergeJoin<'_> {
@@ -1166,12 +1236,20 @@ impl Operator for MergeJoin<'_> {
             }
             batch.read_row(*row, &mut row_buf[..left_width]);
             let key: Vec<Id> = self.left_key_cols.iter().map(|&c| row_buf[c]).collect();
-            #[cfg(debug_assertions)]
-            {
-                if let Some(prev) = &self.prev_left_key {
-                    debug_assert!(*prev <= key, "merge join left input not sorted on its key");
+            match &mut self.prev_left_key {
+                Some(prev) if *prev > key => {
+                    // Unconditional, not debug-only: with overlay-merged
+                    // and morsel-sliced inputs feeding the join, a silent
+                    // release-build misjoin is the worst failure mode.
+                    stats.record_exec_error(crate::error::ExecError::invariant(
+                        "merge join",
+                        format!("left input not sorted on its key: {prev:?} then {key:?}"),
+                    ));
+                    self.abort(stats);
+                    return None;
                 }
-                self.prev_left_key = Some(key.clone());
+                Some(prev) => prev.clone_from(&key),
+                None => self.prev_left_key = Some(key.clone()),
             }
             if self.run_key.as_deref() != Some(key.as_slice()) {
                 // Borrow dance: advance_right_to needs &mut self, the left
@@ -1562,30 +1640,56 @@ pub struct Morsel {
     pub end: usize,
 }
 
-/// Partitions a scan extent into fixed-size [`Morsel`]s. The geometry
-/// depends only on the extent and `morsel_rows`, never on the thread
-/// count — the root of the engine's any-thread-count determinism.
-#[derive(Debug, Clone, Copy)]
+/// Partitions a scan extent into [`Morsel`]s — fixed-size row chunks, or
+/// explicit key-range cuts when the spine carries merge joins (a run of
+/// equal merge keys must never straddle a morsel). The geometry depends
+/// only on the extent and `morsel_rows` (or the cut table, itself a
+/// function of the data and `morsel_rows`), never on the thread count —
+/// the root of the engine's any-thread-count determinism.
+#[derive(Debug, Clone)]
 pub struct Exchange {
     extent: usize,
     morsel_rows: usize,
+    /// Explicit morsel boundaries (`cuts[i]..cuts[i + 1]` is morsel `i`),
+    /// produced by `Dataset::key_range_cuts`. `None` = fixed-size chunks.
+    cuts: Option<Arc<Vec<usize>>>,
 }
 
 impl Exchange {
     /// An exchange over `extent` driving rows in chunks of `morsel_rows`.
     pub fn new(extent: usize, morsel_rows: usize) -> Self {
-        Exchange { extent, morsel_rows: morsel_rows.max(1) }
+        Exchange { extent, morsel_rows: morsel_rows.max(1), cuts: None }
+    }
+
+    /// An exchange cutting the driving scan at explicit row boundaries.
+    /// `cuts` must start at 0 and be non-decreasing; its last entry is the
+    /// extent. The one-entry table `[0]` (empty scan) yields zero morsels.
+    pub fn with_cuts(cuts: Vec<usize>) -> Self {
+        debug_assert!(
+            cuts.first() == Some(&0) && cuts.windows(2).all(|w| w[0] <= w[1]),
+            "cut table must start at 0 and be non-decreasing: {cuts:?}"
+        );
+        let extent = *cuts.last().expect("cut table is never empty");
+        Exchange { extent, morsel_rows: 1, cuts: Some(Arc::new(cuts)) }
     }
 
     /// Total number of morsels.
     pub fn morsel_count(&self) -> usize {
-        self.extent.div_ceil(self.morsel_rows)
+        match &self.cuts {
+            Some(cuts) => cuts.len() - 1,
+            None => self.extent.div_ceil(self.morsel_rows),
+        }
     }
 
     /// The `index`-th morsel (the last one may be short).
     pub fn morsel(&self, index: usize) -> Morsel {
-        let start = index * self.morsel_rows;
-        Morsel { index, start, end: (start + self.morsel_rows).min(self.extent) }
+        match &self.cuts {
+            Some(cuts) => Morsel { index, start: cuts[index], end: cuts[index + 1] },
+            None => {
+                let start = index * self.morsel_rows;
+                Morsel { index, start, end: (start + self.morsel_rows).min(self.extent) }
+            }
+        }
     }
 }
 
@@ -1717,6 +1821,29 @@ pub enum SpineStep {
         /// Plan signature path for `ExecStats::join_cards`.
         signature: String,
     },
+    /// Morsel-private merge join against a key-aligned slice of a sorted
+    /// index scan — the zero-build parallel lowering of a spine
+    /// [`crate::plan::PlanNode::MergeJoin`]. `bounds[i]..bounds[i + 1]` is
+    /// the right-side row slice of morsel `i`: computed once per logical
+    /// scan by [`ParallelSource::new`] via the right index's cursor-seek
+    /// (`Dataset::seek_with` on the driver morsel's first key), and pinned
+    /// to `[0, right extent]` at the edges so the slices *partition* the
+    /// right scan — `scanned` stays geometry-independent because the
+    /// serial merge join drains its right side to completion too.
+    Merge {
+        /// The sorted right-side pattern.
+        pattern: PlannedPattern,
+        /// Index order serving the right side (`None` = default).
+        order: Option<IndexOrder>,
+        /// The merge key (shared variable slots, in delivered-order
+        /// sequence).
+        join_vars: Vec<usize>,
+        /// Plan signature path for `ExecStats::join_cards`.
+        signature: String,
+        /// Per-morsel right-side row bounds (filled by
+        /// [`ParallelSource::new`]; the plan layer emits a placeholder).
+        bounds: Arc<Vec<usize>>,
+    },
 }
 
 /// A morsel-parallel pipeline: the driving scan's [`Exchange`] plus the
@@ -1752,17 +1879,38 @@ impl<'a> ParallelSource<'a> {
         ds: &'a Dataset,
         driver: PlannedPattern,
         driver_order: Option<IndexOrder>,
-        steps: Vec<SpineStep>,
+        mut steps: Vec<SpineStep>,
         cfg: &ExecConfig,
         bucket: CoutBucket,
     ) -> Self {
         let extent = if driver.has_absent() { 0 } else { ds.count(driver.access()) };
-        let exchange = Exchange::new(extent, cfg.morsel_rows);
+        // Merge steps switch the exchange to key-range cuts: the driving
+        // scan is cut only at run boundaries of its shortest merge-key
+        // prefix, so no run of equal keys — of *any* merge step, since
+        // longer-prefix runs nest inside shorter-prefix runs — straddles a
+        // morsel. Without merge steps the fixed-size geometry is kept.
+        let merge_runs = steps
+            .iter()
+            .filter_map(|s| match s {
+                SpineStep::Merge { join_vars, .. } => Some(join_vars.len()),
+                _ => None,
+            })
+            .min();
+        let exchange = match merge_runs {
+            None => Exchange::new(extent, cfg.morsel_rows),
+            Some(run_components) => {
+                let access = driver.access();
+                let order = driver_order.unwrap_or_else(|| Dataset::default_order(access));
+                let cuts = ds.key_range_cuts(access, order, run_components, cfg.morsel_rows);
+                Self::fill_merge_bounds(ds, &driver, order, &cuts, &mut steps);
+                Exchange::with_cuts(cuts)
+            }
+        };
         let shared_tuples = steps
             .iter()
             .map(|s| match s {
                 SpineStep::Probe { build, .. } => build.len(),
-                SpineStep::Bind { .. } => 0,
+                SpineStep::Bind { .. } | SpineStep::Merge { .. } => 0,
             })
             .sum();
         let schema = Self::spine_schema(&driver, &steps);
@@ -1827,9 +1975,66 @@ impl<'a> ParallelSource<'a> {
                         }
                     }
                 }
+                // Mirrors MergeJoin::new: left columns, then new right ones.
+                SpineStep::Merge { pattern, .. } => {
+                    for v in pattern.var_slots() {
+                        if !schema.contains(&v) {
+                            schema.push(v);
+                        }
+                    }
+                }
             }
         }
         schema
+    }
+
+    /// Computes each merge step's per-morsel right-side bounds — the
+    /// cursor-seek discipline: morsel `i`'s right slice starts where the
+    /// driver's first key at cut `i` begins in the right index
+    /// (`Dataset::seek_with`, lower bound), so the private merge join sees
+    /// every right row matching any driver key of its morsel. Bounds 0 and
+    /// last pin `[0, right extent]`: the below-first-key and
+    /// above-last-key right rows the serial join would skip/drain land in
+    /// the first/last morsel, keeping `scanned` geometry-independent.
+    fn fill_merge_bounds(
+        ds: &Dataset,
+        driver: &PlannedPattern,
+        driver_order: IndexOrder,
+        cuts: &[usize],
+        steps: &mut [SpineStep],
+    ) {
+        let access = driver.access();
+        // Unbound key positions of the driving index, in key order — the
+        // triple positions whose values form the keys `seek_with` compares.
+        let key_positions: Vec<usize> =
+            driver_order.perm().iter().copied().filter(|&pos| access[pos].is_none()).collect();
+        // First-key components at each interior cut (the edge cuts 0 and
+        // `extent` need no key: their bounds are pinned).
+        let interior = if cuts.len() > 2 { &cuts[1..cuts.len() - 1] } else { &[][..] };
+        let cut_keys: Vec<Vec<Id>> = interior
+            .iter()
+            .map(|&row| {
+                let spo = ds
+                    .scan_slice_with(access, driver_order, row, row + 1)
+                    .next()
+                    .expect("interior cuts lie strictly inside the scan");
+                key_positions.iter().map(|&pos| spo[pos]).collect()
+            })
+            .collect();
+        for step in steps {
+            if let SpineStep::Merge { pattern, order, join_vars, bounds, .. } = step {
+                let raccess = pattern.access();
+                let rorder = order.unwrap_or_else(|| Dataset::default_order(raccess));
+                let k = join_vars.len();
+                let mut b = Vec::with_capacity(cuts.len());
+                b.push(0);
+                for key in &cut_keys {
+                    b.push(ds.seek_with(raccess, rorder, &key[..k], false));
+                }
+                b.push(ds.count(raccess));
+                *bounds = Arc::new(b);
+            }
+        }
     }
 
     /// One worker pipeline over one morsel.
@@ -1862,6 +2067,25 @@ impl<'a> ParallelSource<'a> {
                         signature.clone(),
                         bucket,
                     ))
+                }
+                SpineStep::Merge { pattern, order, join_vars, signature, bounds } => {
+                    // Defensive clamp for placeholder bounds (the schema
+                    // assertion assembles before geometry exists): an
+                    // out-of-range morsel gets an empty right slice.
+                    let (rstart, rend) = if m.index + 1 < bounds.len() {
+                        (bounds[m.index], bounds[m.index + 1])
+                    } else {
+                        (0, 0)
+                    };
+                    let right: BoxedOperator<'a> = Box::new(IndexScan::morsel_charged(
+                        ds,
+                        pattern,
+                        *order,
+                        rstart,
+                        rend,
+                        m.index == 0,
+                    ));
+                    Box::new(MergeJoin::new(op, right, join_vars, signature.clone(), bucket))
                 }
             };
         }
@@ -2203,6 +2427,49 @@ mod tests {
         assert_eq!(stats.cout, 0);
     }
 
+    /// Emits one hand-built batch whose join column regresses (5 then 2),
+    /// violating the merge join's sorted-input contract.
+    struct UnsortedInput {
+        schema: Vec<usize>,
+        emitted: bool,
+    }
+
+    impl Operator for UnsortedInput {
+        fn schema(&self) -> &[usize] {
+            &self.schema
+        }
+
+        fn next_batch(&mut self, stats: &mut ExecStats) -> Option<Batch> {
+            if self.emitted {
+                return None;
+            }
+            self.emitted = true;
+            let mut b = Batch::with_schema(self.schema.clone());
+            b.push_row(&[Id(5), Id(100)]);
+            b.push_row(&[Id(2), Id(101)]);
+            stats.grow(b.len());
+            Some(b)
+        }
+    }
+
+    #[test]
+    fn merge_join_surfaces_unsorted_left_as_typed_error() {
+        let ds = chain_dataset(50);
+        let left = Box::new(UnsortedInput { schema: vec![0, 3], emitted: false });
+        let right =
+            Box::new(IndexScan::new(&ds, &pattern(&ds, "p/next", 0, 1, 0))) as BoxedOperator<'_>;
+        let mut stats = ExecStats::default();
+        let mut mj = MergeJoin::new(left, right, &[0], "sig".into(), CoutBucket::Required);
+        while mj.next_batch(&mut stats).is_some() {}
+        let err = stats.exec_error.clone().expect("unsorted left input must be reported");
+        assert_eq!(err.op, "merge join");
+        assert!(err.message.contains("not sorted"), "unexpected message: {}", err.message);
+        // The join aborted without draining its inputs and stays exhausted.
+        assert!(mj.next_batch(&mut stats).is_none());
+        // The error converts into the public typed variant.
+        assert!(matches!(crate::error::QueryError::from(err), crate::error::QueryError::Exec(_)));
+    }
+
     #[test]
     fn index_scan_with_order_delivers_alternative_sort() {
         let ds = chain_dataset(500);
@@ -2350,6 +2617,97 @@ mod tests {
             match &reference {
                 None => reference = Some(key),
                 Some(r) => assert_eq!(*r, key, "threads={threads} diverged"),
+            }
+        }
+    }
+
+    /// A BSBM-flavoured star: every product has one type triple, two
+    /// feature triples (duplicate subject keys — real runs the key-range
+    /// exchange must not split) and one price triple.
+    fn star_dataset(n: usize) -> Dataset {
+        let mut b = StoreBuilder::new();
+        let ty = Term::iri("p/type");
+        let feature = Term::iri("p/feature");
+        let price = Term::iri("p/price");
+        for i in 0..n {
+            let s = Term::iri(format!("prod/{i}"));
+            b.insert(s.clone(), ty.clone(), Term::iri("c/Product"));
+            b.insert(s.clone(), feature.clone(), Term::iri(format!("f/{}", i % 7)));
+            b.insert(s.clone(), feature.clone(), Term::iri(format!("f/{}", (i + 3) % 7)));
+            b.insert(s, price.clone(), Term::integer(i as i64));
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn parallel_merge_join_is_bit_identical_across_threads_and_geometries() {
+        let n = 4 * BATCH_SIZE / 2 + 201;
+        let ds = star_dataset(n);
+        let scan_node = |pred, s, o, idx, card: f64| PlanNode::Scan {
+            pattern: pattern(&ds, pred, s, o, idx),
+            est_card: card,
+            order: None,
+        };
+        // All-merge star on the subject: feature (driver, runs of 2) ⋈
+        // price ⋈ type — the shape the forced-order optimizer emits for
+        // BSBM-style star queries.
+        let plan = PlanNode::MergeJoin {
+            left: Box::new(PlanNode::MergeJoin {
+                left: Box::new(scan_node("p/feature", 0, 1, 0, 2.0 * n as f64)),
+                right: Box::new(scan_node("p/price", 0, 2, 1, n as f64)),
+                key: vec![0],
+                est_card: 2.0 * n as f64,
+            }),
+            right: Box::new(scan_node("p/type", 0, 3, 2, n as f64)),
+            key: vec![0],
+            est_card: 2.0 * n as f64,
+        };
+
+        let mut serial_stats = ExecStats::default();
+        let serial = drain(plan.lower(&ds, CoutBucket::Required), &mut serial_stats);
+        assert_eq!(serial.len(), 2 * n);
+        assert_eq!(serial_stats.build_rows, 0, "all-merge plan builds nothing");
+        let serial_rows: Vec<Vec<Id>> = serial.iter().map(|r| r.to_vec()).collect();
+
+        // Off declines: the serial lowering would hash-join, and the two
+        // modes must not be mixed inside one differential signature.
+        let off = ExecConfig { order_exec: crate::exec::OrderExec::Off, ..tiny_morsel_cfg(4, 7) };
+        let mut off_stats = ExecStats::default();
+        assert!(plan.lower_parallel(&ds, CoutBucket::Required, &off, &mut off_stats).is_none());
+
+        let mut reference: Option<(u64, u64, u64)> = None;
+        for threads in [1, 4] {
+            // Two key-range geometries, including a deliberately tiny one.
+            for morsel_rows in [7, 397] {
+                let cfg = ExecConfig {
+                    order_exec: crate::exec::OrderExec::Auto,
+                    ..tiny_morsel_cfg(threads, morsel_rows)
+                };
+                let mut stats = ExecStats::default();
+                let src = plan
+                    .lower_parallel(&ds, CoutBucket::Required, &cfg, &mut stats)
+                    .expect("spine merge joins must lower parallel");
+                assert!(
+                    src.exchange.morsel_count() >= 2,
+                    "threads={threads} morsel_rows={morsel_rows}: want >= 2 morsels, got {}",
+                    src.exchange.morsel_count()
+                );
+                let got = drain(Box::new(Gather::new(src)), &mut stats);
+                let rows: Vec<Vec<Id>> = got.iter().map(|r| r.to_vec()).collect();
+                assert_eq!(rows, serial_rows, "threads={threads} morsel_rows={morsel_rows}");
+                assert_eq!(stats.cout, serial_stats.cout);
+                assert_eq!(stats.build_rows, 0, "merge morsels must not build");
+                // `scanned` is geometry-independent: the right sides are
+                // charged once per logical scan, like the serial drain.
+                assert_eq!(
+                    stats.scanned, serial_stats.scanned,
+                    "threads={threads} morsel_rows={morsel_rows}"
+                );
+                let key = (stats.cout, stats.scanned, stats.build_rows);
+                match &reference {
+                    None => reference = Some(key),
+                    Some(r) => assert_eq!(*r, key, "threads={threads} rows={morsel_rows}"),
+                }
             }
         }
     }

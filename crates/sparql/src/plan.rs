@@ -444,6 +444,40 @@ impl PlanNode {
         ))
     }
 
+    /// The parallel-qualification cost test, robust to adversarial
+    /// estimates: IEEE addition of finite non-negative terms saturates to
+    /// `+∞` rather than wrapping, and a `NaN` sum (degenerate statistics)
+    /// is treated as unboundedly expensive — it qualifies — instead of
+    /// silently flunking every comparison the way raw `NaN < threshold`
+    /// would.
+    fn cost_qualifies(est_cout: f64, est_card: f64, min_est_cost: f64) -> bool {
+        let total = est_cout + est_card;
+        total.is_nan() || total >= min_est_cost
+    }
+
+    /// The right side of a spine merge join, when it is "clean" enough to
+    /// slice by key bounds ([`SpineStep::Merge`]): a scan with no absent
+    /// constant, no repeated variables (the slot→key-component mapping of
+    /// the seek geometry assumes each key slot is one index component),
+    /// and an index order delivering the merge key as its leading slots.
+    fn clean_merge_scan<'p>(
+        right: &'p PlanNode,
+        key: &[usize],
+    ) -> Option<(&'p PlannedPattern, Option<IndexOrder>)> {
+        let PlanNode::Scan { pattern, order, .. } = right else {
+            return None;
+        };
+        let var_positions = pattern.slots.iter().filter(|s| s.as_var().is_some()).count();
+        if pattern.has_absent()
+            || key.is_empty()
+            || pattern.var_slots().len() != var_positions
+            || !Self::scan_order_slots(pattern, *order).starts_with(key)
+        {
+            return None;
+        }
+        Some((pattern, *order))
+    }
+
     /// Whether `lower` would turn this join into an index nested-loop
     /// [`BindJoin`] probing `right`'s pattern (the selective-join rule).
     /// Kept as one function so the serial and the parallel lowering can
@@ -484,14 +518,20 @@ impl PlanNode {
         cfg: &ExecConfig,
         stats: &mut ExecStats,
     ) -> Option<ParallelSource<'a>> {
-        if self.leaf_count() < 2 || self.est_cout() + self.est_card() < cfg.min_est_cost {
+        if self.leaf_count() < 2
+            || !Self::cost_qualifies(self.est_cout(), self.est_card(), cfg.min_est_cost)
+        {
             return None;
         }
         // Pass 1 (read-only): walk the streaming spine to the driving scan
         // and qualify its extent before building anything. A merge join on
-        // the spine disqualifies the plan: its two sides consume each
-        // other's cursor positions, which morsel-restart cannot reproduce
-        // without re-scanning — those plans run on the exact serial path.
+        // the spine is accepted when its right side is a clean sorted scan
+        // (see `merge_spine_scan`) — the morsel geometry then switches to
+        // key-range cuts and each worker seeks the right cursor to its
+        // morsel's first key. Anything else (and every merge join under
+        // OrderExec::Off, whose serial lowering is a hash join) runs on
+        // the exact serial path.
+        let mut merge_keys: Vec<&[usize]> = Vec::new();
         let mut node = self;
         let (driver, driver_order) = loop {
             match node {
@@ -503,11 +543,36 @@ impl PlanNode {
                         || right.est_card() <= left.est_card();
                     node = if streams_left { left } else { right };
                 }
-                PlanNode::MergeJoin { .. } => return None,
+                PlanNode::MergeJoin { left, right, key, .. } => {
+                    // Under OrderExec::Off the serial lowering turns this
+                    // node into a hash join — the parallel path must not
+                    // silently re-enable merging.
+                    if cfg.order_exec == OrderExec::Off
+                        || Self::clean_merge_scan(right, key).is_none()
+                    {
+                        return None;
+                    }
+                    merge_keys.push(key);
+                    node = left;
+                }
             }
         };
         if driver.has_absent() || ds.count(driver.access()) < cfg.min_driver_rows.max(1) {
             return None;
+        }
+        if !merge_keys.is_empty() {
+            // Merge steps need a clean driver too: no repeated variables
+            // (they would break the slot→key-component mapping the cut
+            // geometry relies on) and every merge key delivered as a
+            // leading prefix of the driver's scan order — the order each
+            // private merge join's left input arrives in.
+            let driver_slots = Self::scan_order_slots(driver, driver_order);
+            let var_positions = driver.slots.iter().filter(|s| s.as_var().is_some()).count();
+            if driver.var_slots().len() != var_positions
+                || merge_keys.iter().any(|k| !driver_slots.starts_with(k))
+            {
+                return None;
+            }
         }
 
         // Pass 2: materialize the shared build sides and record the spine
@@ -517,8 +582,19 @@ impl PlanNode {
         loop {
             match node {
                 PlanNode::Scan { .. } => break,
-                PlanNode::MergeJoin { .. } => {
-                    unreachable!("merge joins on the spine disqualify in pass 1")
+                PlanNode::MergeJoin { left, right, key, .. } => {
+                    let (pattern, order) =
+                        Self::clean_merge_scan(right, key).expect("accepted in pass 1");
+                    steps.push(SpineStep::Merge {
+                        pattern: pattern.clone(),
+                        order,
+                        join_vars: key.clone(),
+                        signature: node.signature().0,
+                        // Real bounds are computed once per logical scan by
+                        // ParallelSource::new, which owns the cut geometry.
+                        bounds: Arc::new(Vec::new()),
+                    });
+                    node = left;
                 }
                 PlanNode::HashJoin { left, right, join_vars, .. } => {
                     if Self::binds_right(left, right, join_vars, ds) {
@@ -1083,6 +1159,21 @@ mod tests {
             est_card: card,
             order: None,
         }
+    }
+
+    #[test]
+    fn cost_gate_is_robust_near_extreme_estimates() {
+        // Adding two near-MAX finite estimates saturates to +inf under IEEE
+        // arithmetic — it must qualify, never wrap to something tiny.
+        assert!(PlanNode::cost_qualifies(f64::MAX, f64::MAX, 4096.0));
+        assert!(PlanNode::cost_qualifies(f64::MAX, 1.0, 4096.0));
+        // A poisoned estimate (NaN) must not silently disqualify the plan:
+        // every comparison with NaN is false, so the gate treats it as
+        // qualifying rather than letting `total >= min` quietly fail.
+        assert!(PlanNode::cost_qualifies(f64::NAN, 10.0, 4096.0));
+        // The ordinary case still filters cheap plans out.
+        assert!(!PlanNode::cost_qualifies(0.0, 0.0, 4096.0));
+        assert!(PlanNode::cost_qualifies(4000.0, 96.0, 4096.0));
     }
 
     #[test]

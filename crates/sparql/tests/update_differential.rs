@@ -3,17 +3,24 @@
 //! **bit-identical** — rows, row order, measured `Cout`, `scanned`, and
 //! the prepared plan's signature — to the same query over a dataset
 //! frozen *from scratch* with the same visible triples, swept over
-//! thread counts {1, 4} × order-execution modes {auto, off}. The updated
-//! store's results are additionally checked against the independent naive
-//! oracle, and `compact()` must preserve all of it (the re-freeze changes
-//! representation, never results or plans).
+//! thread counts {1, 4} × order-execution modes {auto, force, off}. The
+//! updated store's results are additionally checked against the
+//! independent naive oracle, and `compact()` must preserve all of it (the
+//! re-freeze changes representation, never results or plans).
 //!
 //! The full term vocabulary is pre-interned in both builders, so the
 //! update path never creates dictionary overflow ids and both stores
 //! carry the *same* value-ordered dictionary — the precondition for
-//! comparing rows at the id level and plans by signature. Overflow-id
-//! behaviour (order service declined, sorts forced) is covered separately
-//! in `update_edge.rs`.
+//! comparing rows at the id level and plans by signature. A second,
+//! deliberately *non*-pre-interned variant re-runs the same
+//! interleavings with overflow-id-creating batches and checks every
+//! sweep config against the oracle: it exists to pin the engine's
+//! `order_by_value_intact` gate — a seeded mutant dropping that gate in
+//! `delivered_order` survives the pre-interned tests (ids there *are*
+//! value-ordered) but is caught here, because the engine would then
+//! claim id order as value order and skip sorts the overflow ids have
+//! invalidated. Remaining overflow-id edge behaviour (explain output,
+//! compaction re-interning) is covered in `update_edge.rs`.
 
 mod common;
 
@@ -103,6 +110,37 @@ fn live_store(base: &[Triple], batches: &[Batch]) -> (Dataset, BTreeSet<(Term, T
     (ds, model)
 }
 
+/// The non-pre-interned twin of [`live_store`]: the builder interns only
+/// what the *base* triples mention, so any new term an update batch
+/// introduces after `freeze()` gets a dictionary **overflow id** — out of
+/// value order by construction. On such a store the engine must decline
+/// the order service (`order_by_value_intact` is false) and really sort.
+fn live_store_raw(base: &[Triple], batches: &[Batch]) -> (Dataset, BTreeSet<(Term, Term, Term)>) {
+    let mut b = StoreBuilder::new();
+    let mut model: BTreeSet<(Term, Term, Term)> = BTreeSet::new();
+    for &t in base {
+        let (s, p, o) = terms_of(t);
+        b.insert(s.clone(), p.clone(), o.clone());
+        model.insert((s, p, o));
+    }
+    let mut ds = b.freeze_in_memory();
+    for (insert, triples) in batches {
+        let batch: Vec<(Term, Term, Term)> = triples.iter().map(|&t| terms_of(t)).collect();
+        if *insert {
+            for t in &batch {
+                model.insert(t.clone());
+            }
+            ds.insert_batch(batch);
+        } else {
+            for t in &batch {
+                model.remove(t);
+            }
+            ds.delete_batch(batch);
+        }
+    }
+    (ds, model)
+}
+
 /// Freezes the model's visible set from scratch — the reference store.
 fn fresh_store(model: &BTreeSet<(Term, Term, Term)>) -> Dataset {
     let mut b = preinterned_builder();
@@ -126,8 +164,10 @@ fn exec_sweep() -> Vec<(&'static str, ExecConfig)> {
     };
     vec![
         ("t1-auto", serial(OrderExec::Auto)),
+        ("t1-force", serial(OrderExec::Force)),
         ("t1-off", serial(OrderExec::Off)),
         ("t4-auto", parallel(OrderExec::Auto)),
+        ("t4-force", parallel(OrderExec::Force)),
         ("t4-off", parallel(OrderExec::Off)),
     ]
 }
@@ -200,6 +240,33 @@ fn check_differential(live: &Dataset, fresh: &Dataset, label: &str) {
     }
 }
 
+/// Oracle check of a store whose dictionary may carry overflow ids: the
+/// live and fresh dictionaries differ, so ids, plan signatures and
+/// `scanned` are not comparable — but the *decoded* results under every
+/// sweep config must still satisfy the oracle (ORDER BY compared tie
+/// class by tie class, so genuinely sorted output is required wherever
+/// the keys demand it).
+fn check_against_oracle(live: &Dataset, label: &str) {
+    for text in query_mix() {
+        let query = parse_query(&text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"));
+        let reference = oracle::evaluate(live, &query);
+        for (cfg_name, cfg) in exec_sweep() {
+            let engine = Engine::with_exec_config(live, cfg);
+            let prepared = engine
+                .prepare(&query)
+                .unwrap_or_else(|e| panic!("[{label}/{cfg_name}] prepare {text:?}: {e}"));
+            let out = engine
+                .execute(&prepared)
+                .unwrap_or_else(|e| panic!("[{label}/{cfg_name}] execute {text:?}: {e}"));
+            oracle::assert_matches(
+                &out.results,
+                &reference,
+                &format!("[{label}/{cfg_name}] {text}"),
+            );
+        }
+    }
+}
+
 #[test]
 fn fixed_interleaving_matches_from_scratch_freeze() {
     let base: Vec<Triple> = (0u8..50).map(|i| (i % 11, i % 5, i.wrapping_mul(7) % 13)).collect();
@@ -229,6 +296,27 @@ fn deleting_everything_matches_an_empty_freeze() {
     check_differential(&live, &fresh, "emptied");
 }
 
+#[test]
+fn overflow_id_updates_decline_the_order_service_and_stay_oracle_correct() {
+    // Base covers only predicate 0; the batches introduce predicates 1–3
+    // and fresh objects, all of which intern as overflow ids.
+    let base: Vec<Triple> = (0u8..12).map(|i| (i % 7, 0, i % 5)).collect();
+    let batches: Vec<Batch> = vec![
+        (true, (0u8..24).map(|i| (i % 11, 1 + i % 3, i.wrapping_mul(5) % 16)).collect()),
+        (false, (0u8..6).map(|i| (i % 7, 0, i % 5)).collect()),
+        (true, (0u8..10).map(|i| ((i + 2) % 12, 3, i % 8)).collect()),
+    ];
+    let (live, model) = live_store_raw(&base, &batches);
+    assert!(
+        !live.order_by_value_intact(),
+        "the batches must actually create overflow ids for this test to bite"
+    );
+    check_against_oracle(&live, "raw-fixed");
+    // The decoded visible set still matches a from-scratch freeze.
+    let fresh = fresh_store(&model);
+    assert_eq!(live.len(), fresh.len());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(100))]
 
@@ -252,5 +340,21 @@ proptest! {
             live.compact();
             check_differential(&live, &fresh, "prop-compacted");
         }
+    }
+
+    /// The same random interleavings through the *non*-pre-interned
+    /// builder: update batches intern overflow ids, the engine must
+    /// decline the order service, and every sweep config must still
+    /// produce oracle-correct (really sorted) decoded results.
+    #[test]
+    fn random_overflow_id_interleavings_stay_oracle_correct(
+        base in prop::collection::vec((0u8..12, 0u8..5, 0u8..16), 0..40),
+        batches in prop::collection::vec(
+            (any::<bool>(), prop::collection::vec((0u8..12, 0u8..5, 0u8..16), 1..12)),
+            1..4,
+        ),
+    ) {
+        let (live, _model) = live_store_raw(&base, &batches);
+        check_against_oracle(&live, "raw-prop");
     }
 }

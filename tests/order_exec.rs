@@ -91,6 +91,43 @@ fn order_matching_templates_skip_the_sort_entirely() {
 }
 
 #[test]
+fn descending_order_on_an_index_served_key_skips_the_sort() {
+    use parambench::rdf::store::StoreBuilder;
+    use parambench::sparql::parse_query;
+
+    // Distinct integer prices: the descending service requires a tie-free
+    // dictionary, since run reversal would flip the relative order of
+    // distinct ids carrying equal values.
+    let mut b = StoreBuilder::new();
+    let price = Term::iri("p/price");
+    for i in 0..500i64 {
+        b.insert(Term::iri(format!("prod/{i:04}")), price.clone(), Term::integer(i));
+    }
+    let ds = b.freeze();
+    let engine = Engine::new(&ds);
+    let query =
+        parse_query("SELECT ?prod ?price WHERE { ?prod <p/price> ?price } ORDER BY DESC(?price)")
+            .unwrap();
+    let prepared = engine.prepare(&query).unwrap();
+
+    let eliminated = engine.execute(&prepared).unwrap();
+    let sorted = engine.execute_with(&prepared, &off_cfg()).unwrap();
+    assert_eq!(eliminated.results, sorted.results, "descending service changed the output");
+    assert_eq!(eliminated.stats.sorted_rows, 0, "the descending sort must be provably skipped");
+    assert!(sorted.stats.sorted_rows > 0, "the forced-off run must actually sort");
+
+    // Oracle: the delivered rows really are strictly descending on ?price.
+    let col = eliminated.results.col("price").expect("projected column");
+    let prices: Vec<f64> =
+        eliminated.results.rows.iter().map(|r| r[col].as_num().expect("integer price")).collect();
+    assert_eq!(prices.len(), 500);
+    assert!(prices.windows(2).all(|w| w[0] > w[1]), "rows must arrive strictly descending");
+
+    let explain = engine.explain_physical(&prepared);
+    assert!(explain.contains("descending index scan"), "{explain}");
+}
+
+#[test]
 fn cheapest_template_early_exits_behind_the_eliminated_sort() {
     let data = Bsbm::generate(BsbmConfig { products: 3000, ..Default::default() });
     let engine = Engine::new(&data.dataset);
