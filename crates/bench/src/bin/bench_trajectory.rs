@@ -8,7 +8,7 @@
 //! cargo run --release -p parambench-bench --bin bench_trajectory
 //! ```
 //!
-//! The sequence number defaults to `9` (this PR) and can be overridden
+//! The sequence number defaults to `10` (this PR) and can be overridden
 //! with `BENCH_SEQ`; dataset scale follows `PARAMBENCH_TRIPLES` like the
 //! experiment binaries. Wall times are min-of-N to damp scheduler noise;
 //! the deterministic counters are single-run (they cannot vary).
@@ -39,6 +39,13 @@
 //! `scanned`/`Cout` identical across thread counts). On a 1-core
 //! container the wall ratio is ~1.0× and reported honestly; the gates
 //! are what the snapshot diff tracks.
+//!
+//! Since PR 10 it also records a **durability phase**: the same mixed
+//! workload replayed through a *durable* `SparqlServer` (every write
+//! journaled + fsynced before publication), then a simulated crash and
+//! `open_durable` recovery — journal append throughput, recovery replay
+//! time and record count, and the checkpoint cost that truncates the
+//! journal back to its header.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -46,7 +53,9 @@ use std::time::Duration;
 use std::time::Instant;
 
 use parambench_bench::{bsbm, fmt_ms, header};
-use parambench_core::workload::{env_snapshot_dir, open_snapshot, persist_dataset, run_concurrent};
+use parambench_core::workload::{
+    env_snapshot_dir, open_snapshot, persist_dataset, recover_server, run_concurrent,
+};
 use parambench_datagen::{bsbm::schema, Bsbm, MixedWorkload, MixedWorkloadConfig, WorkloadStep};
 use parambench_rdf::Term;
 use parambench_sparql::serve::ServeConfig;
@@ -106,7 +115,7 @@ fn concurrent_requests(data: &Bsbm) -> Vec<(QueryTemplate, Binding)> {
 }
 
 fn main() {
-    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "9".into());
+    let seq = std::env::var("BENCH_SEQ").unwrap_or_else(|_| "10".into());
     let data = bsbm();
     header(&format!("BSBM template suite trajectory (seq {seq}, {} triples)", data.dataset.len()));
     let engine = Engine::new(&data.dataset);
@@ -417,11 +426,87 @@ fn main() {
         serve_after.plan_invalidations,
     );
 
+    // --- durability phase: journaled updates, crash recovery, checkpoint ---
+    header(&format!(
+        "Durability (journaled workload: {} writes, crash recovery, checkpoint)",
+        workload.write_steps(),
+    ));
+    let durable_dir = env_snapshot_dir()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!("bench-trajectory-durable-{}", std::process::id()));
+    std::fs::remove_dir_all(&durable_dir).ok();
+    // Start from a compacted clone so the snapshot save never refuses
+    // (pending overlay updates are a typed refusal, not an implicit flush).
+    let mut durable_base = (*ds).clone();
+    durable_base.compact();
+    let mut dserver = parambench_sparql::serve::SparqlServer::create_durable(
+        Arc::new(durable_base),
+        &durable_dir,
+        ServeConfig::default(),
+    )
+    .expect("creates durable store");
+    let mut append_ms = 0.0f64;
+    let t0 = Instant::now();
+    for step in &workload.steps {
+        match step {
+            WorkloadStep::Query { .. } => {
+                workload.apply_step(&mut dserver, step).expect("durable query serves");
+            }
+            _ => {
+                let t0 = Instant::now();
+                workload.apply_step(&mut dserver, step).expect("durable write commits");
+                append_ms += t0.elapsed().as_secs_f64() * 1e3;
+            }
+        }
+    }
+    let durable_elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let journal_bytes = dserver.journal_len();
+    let journal_records = dserver.epoch();
+    let live_triples = dserver.dataset().stats().total_triples;
+    drop(dserver); // simulated crash: no checkpoint, no snapshot re-save
+
+    let (mut recovered, recovery_ms) =
+        recover_server(&durable_dir, ServeConfig::default()).expect("crash recovery succeeds");
+    let recovered_records = recovered.recovered_records();
+    assert_eq!(
+        recovered.dataset().stats().total_triples,
+        live_triples,
+        "recovery lost acknowledged updates"
+    );
+    let t0 = Instant::now();
+    recovered.checkpoint().expect("checkpoint succeeds");
+    let checkpoint_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let journal_after_checkpoint = recovered.journal_len();
+    drop(recovered);
+    std::fs::remove_dir_all(&durable_dir).ok();
+    println!(
+        "journaled writes {} ({:.1} KiB, {} records) in {} | recovery {} ({} records) | \
+         checkpoint {} (journal {} B after)",
+        workload.write_steps(),
+        journal_bytes as f64 / 1024.0,
+        journal_records,
+        fmt_ms(append_ms),
+        fmt_ms(recovery_ms),
+        recovered_records,
+        fmt_ms(checkpoint_ms),
+        journal_after_checkpoint,
+    );
+    let durability = format!(
+        "{{\n    \"write_batches\": {}, \"journal_bytes\": {journal_bytes}, \
+         \"journal_records\": {journal_records},\n    \"append_ms\": {append_ms:.3}, \
+         \"elapsed_ms\": {durable_elapsed_ms:.3},\n    \"recovery_ms\": {recovery_ms:.3}, \
+         \"recovered_records\": {recovered_records},\n    \
+         \"checkpoint_ms\": {checkpoint_ms:.3}, \
+         \"journal_bytes_after_checkpoint\": {journal_after_checkpoint}\n  }}",
+        workload.write_steps(),
+    );
+
     let body = format!(
         "{{\n  \"seq\": {seq},\n  \"suite\": \"bsbm\",\n  \"triples\": {triples},\n  \
          \"wall_runs\": {RUNS},\n  \"templates\": [\n{}\n  ],\n  \
          \"parallel_merge\": {parallel_merge},\n  \"concurrent\": {concurrent},\n  \
-         \"persistence\": {persistence},\n  \"updates\": {updates}\n}}\n",
+         \"persistence\": {persistence},\n  \"updates\": {updates},\n  \
+         \"durability\": {durability}\n}}\n",
         entries.join(",\n"),
     );
     let path = format!("BENCH_{seq}.json");

@@ -61,6 +61,22 @@ pub fn open_snapshot(path: &Path) -> Result<(Arc<Dataset>, f64), CurationError> 
     Ok((Arc::new(ds), t0.elapsed().as_secs_f64() * 1e3))
 }
 
+/// Reopens a durable store directory ([`SparqlServer::open_durable`]) —
+/// the crash-recovery path: map the snapshot, scan the journal (torn tail
+/// truncated), replay every committed record — and returns the recovered
+/// server together with the recovery wall time in milliseconds. The
+/// server's [`SparqlServer::recovered_records`] says how much journal the
+/// recovery replayed; both numbers belong in the benchmark's durability
+/// phase.
+pub fn recover_server(
+    dir: &Path,
+    config: ServeConfig,
+) -> Result<(SparqlServer, f64), CurationError> {
+    let t0 = Instant::now();
+    let server = SparqlServer::open_durable(dir, config).map_err(CurationError::Query)?;
+    Ok((server, t0.elapsed().as_secs_f64() * 1e3))
+}
+
 /// One executed query instance.
 #[derive(Debug, Clone)]
 pub struct Measurement {

@@ -183,6 +183,40 @@ impl MixedWorkload {
         MixedWorkload { templates, steps }
     }
 
+    /// Applies one step of this workload to a served store through the
+    /// durable commit path: write steps go through
+    /// [`SparqlServer::try_update`] — journaled and fsynced *before*
+    /// publication when the server is durable — and query steps through
+    /// [`SparqlServer::run`]. Returns the served output for query steps,
+    /// `None` for writes. A journal failure surfaces as the typed
+    /// [`parambench_sparql::QueryError::Wal`]; the store is unchanged.
+    ///
+    /// [`SparqlServer::try_update`]: parambench_sparql::serve::SparqlServer::try_update
+    /// [`SparqlServer::run`]: parambench_sparql::serve::SparqlServer::run
+    pub fn apply_step(
+        &self,
+        server: &mut parambench_sparql::serve::SparqlServer,
+        step: &WorkloadStep,
+    ) -> Result<Option<parambench_sparql::serve::ServedOutput>, parambench_sparql::QueryError> {
+        match step {
+            WorkloadStep::Insert(batch) => {
+                server.try_update(|ds| ds.insert_batch(batch.iter().cloned()))?;
+                Ok(None)
+            }
+            WorkloadStep::Delete(batch) => {
+                server.try_update(|ds| ds.delete_batch(batch.iter().cloned()))?;
+                Ok(None)
+            }
+            WorkloadStep::Compact => {
+                server.try_update(|ds| ds.compact())?;
+                Ok(None)
+            }
+            WorkloadStep::Query { template, binding } => {
+                server.run(&self.templates[*template], binding).map(Some)
+            }
+        }
+    }
+
     /// Number of write steps (insert/delete batches) in the script.
     pub fn write_steps(&self) -> usize {
         self.steps
@@ -266,5 +300,48 @@ mod tests {
             }
         }
         assert_eq!(server.epoch(), updates);
+    }
+
+    /// The same script through [`MixedWorkload::apply_step`] against a
+    /// *durable* server: every write is journaled, and after a simulated
+    /// crash (drop without checkpoint) recovery replays the journal back
+    /// to the live store's exact state.
+    #[test]
+    fn replay_against_durable_server_and_recover() {
+        let g = small_bsbm();
+        let workload =
+            MixedWorkload::generate(&g, &MixedWorkloadConfig { steps: 24, ..Default::default() });
+        let dir =
+            std::env::temp_dir().join(format!("parambench-updates-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // The generated dataset came from `freeze()`; re-freeze in memory so
+        // the snapshot side starts from the same echo-free representation.
+        let mut base = g.dataset.clone();
+        base.compact();
+        let mut server = SparqlServer::create_durable(Arc::new(base), &dir, ServeConfig::default())
+            .expect("creates durable store");
+        let mut query_rows = Vec::new();
+        for step in &workload.steps {
+            if let Some(out) = workload.apply_step(&mut server, step).expect("step applies") {
+                query_rows.push(out.output.results.rows.len());
+            }
+        }
+        assert_eq!(query_rows.len(), workload.query_steps());
+        let live_triples = server.dataset().stats().total_triples;
+        let journal_len = server.journal_len();
+        assert!(journal_len > 0);
+        drop(server); // crash: no checkpoint
+        let recovered = SparqlServer::open_durable(&dir, ServeConfig::default()).expect("recovers");
+        assert!(recovered.recovered_records() > 0);
+        assert_eq!(recovered.dataset().stats().total_triples, live_triples);
+        // Checkpoint truncates the journal; a further reopen replays nothing.
+        let mut recovered = recovered;
+        recovered.checkpoint().expect("checkpoints");
+        drop(recovered);
+        let reopened = SparqlServer::open_durable(&dir, ServeConfig::default()).expect("reopens");
+        assert_eq!(reopened.recovered_records(), 0);
+        assert_eq!(reopened.dataset().stats().total_triples, live_triples);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

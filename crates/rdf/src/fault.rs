@@ -1,0 +1,344 @@
+//! Injectable I/O fault seam for durability testing.
+//!
+//! Every write-side file operation in the durability layer (WAL appends,
+//! atomic snapshot saves) funnels through `SeamFile` and the seam-gated
+//! free functions below, each of which consults an [`IoSeam`] before
+//! touching the OS. Tests hand in a seam with a scripted failure schedule
+//! — fail the Nth write, persist only a prefix of a write (a torn record),
+//! flip a bit on the way down (silent media corruption), return
+//! ENOSPC/EINTR, fail an fsync or a rename — and the production code path
+//! itself executes the failure, so recovery is exercised against exactly
+//! the faults a real disk produces. [`IoSeam::none`] is the production
+//! seam: zero scheduled faults, and the only overhead is an atomic
+//! refcount per file operation.
+//!
+//! The seam also records the sequence of operations it saw
+//! ([`IoSeam::log`]), which lets tests assert *ordering* properties that
+//! no amount of output checking can prove — most importantly that a WAL
+//! append issues its fsync after its writes and before the append is
+//! acknowledged.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The write-side file operations the seam can intercept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Creating (or truncating) a file.
+    Create,
+    /// One `write` syscall attempt.
+    Write,
+    /// An `fsync` (`File::sync_all`) on a file.
+    Sync,
+    /// Renaming a file over its destination.
+    Rename,
+    /// An `fsync` on a directory (rename durability).
+    SyncDir,
+    /// Truncating a file to a given length (`File::set_len`).
+    SetLen,
+}
+
+impl IoOp {
+    fn slot(self) -> usize {
+        match self {
+            IoOp::Create => 0,
+            IoOp::Write => 1,
+            IoOp::Sync => 2,
+            IoOp::Rename => 3,
+            IoOp::SyncDir => 4,
+            IoOp::SetLen => 5,
+        }
+    }
+}
+
+/// A scripted fault: what the intercepted operation does instead of (or in
+/// addition to) its real effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the operation with an error carrying this message (e.g. a
+    /// simulated ENOSPC: "No space left on device"). Nothing is persisted.
+    Err(&'static str),
+    /// Fail the operation with `ErrorKind::Interrupted` (EINTR). Correct
+    /// callers retry the operation, which then consults the seam again.
+    Interrupt,
+    /// Persist only the first `keep` bytes of the write, then fail — a
+    /// torn record, as produced by a crash or device failure mid-write.
+    /// Meaningless for non-write operations (treated as [`Fault::Err`]).
+    ShortWrite {
+        /// Bytes actually persisted before the simulated failure.
+        keep: usize,
+    },
+    /// Flip one bit of the buffer on its way to the device and report
+    /// success — silent media corruption. Meaningless for non-write
+    /// operations (ignored: the operation succeeds).
+    FlipBit {
+        /// Byte offset within the written buffer (taken modulo its length).
+        offset: usize,
+        /// XOR mask applied to that byte.
+        mask: u8,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Per-[`IoOp`] occurrence counters (how many of each op have run).
+    counts: [usize; 6],
+    /// Scheduled faults: fire when `op`'s counter passes `at` (0-based).
+    plan: Vec<(IoOp, usize, Fault, bool)>,
+    /// Every operation observed, in order.
+    log: Vec<IoOp>,
+}
+
+/// A cloneable handle to a scripted I/O failure schedule (see the module
+/// docs). Clones share the schedule, counters and log.
+#[derive(Debug, Clone, Default)]
+pub struct IoSeam {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl IoSeam {
+    /// The production seam: no faults scheduled, nothing intercepted.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` to fire on the `at`-th occurrence (0-based) of
+    /// `op`, counted from the seam's creation. Multiple faults may target
+    /// the same operation kind at different occurrences.
+    pub fn inject(&self, op: IoOp, at: usize, fault: Fault) {
+        self.inner.lock().expect("seam poisoned").plan.push((op, at, fault, false));
+    }
+
+    /// The sequence of operations observed so far.
+    pub fn log(&self) -> Vec<IoOp> {
+        self.inner.lock().expect("seam poisoned").log.clone()
+    }
+
+    /// Number of scheduled faults that have not fired yet. Tests assert
+    /// zero to prove their script actually executed.
+    pub fn unfired(&self) -> usize {
+        self.inner.lock().expect("seam poisoned").plan.iter().filter(|p| !p.3).count()
+    }
+
+    /// Records one occurrence of `op` and returns the fault scheduled for
+    /// it, if any.
+    pub(crate) fn advance(&self, op: IoOp) -> Option<Fault> {
+        let mut inner = self.inner.lock().expect("seam poisoned");
+        let n = inner.counts[op.slot()];
+        inner.counts[op.slot()] += 1;
+        inner.log.push(op);
+        for (pop, at, fault, fired) in inner.plan.iter_mut() {
+            if !*fired && *pop == op && *at == n {
+                *fired = true;
+                return Some(fault.clone());
+            }
+        }
+        None
+    }
+}
+
+fn fault_err(message: &'static str) -> io::Error {
+    io::Error::other(message)
+}
+
+/// A file whose write-side operations consult an [`IoSeam`].
+///
+/// Reads are never intercepted (crash-recovery's fault model is about what
+/// reached the disk, which the write side decides), and the [`Write`]
+/// implementation reports simulated EINTR as `ErrorKind::Interrupted` so
+/// the standard library's `write_all` retry loop — the same discipline a
+/// real EINTR needs — is what makes interrupted appends succeed.
+#[derive(Debug)]
+pub(crate) struct SeamFile {
+    file: File,
+    seam: IoSeam,
+}
+
+impl SeamFile {
+    /// Creates (truncating) `path` for read+write through the seam.
+    pub(crate) fn create(path: &Path, seam: &IoSeam) -> io::Result<Self> {
+        if let Some(fault) = seam.advance(IoOp::Create) {
+            return Err(fault_err(match fault {
+                Fault::Err(m) => m,
+                _ => "simulated create failure",
+            }));
+        }
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(Self { file, seam: seam.clone() })
+    }
+
+    /// Opens an existing `path` for read+write through the seam (no
+    /// create-op consultation: the file already exists).
+    pub(crate) fn open_rw(path: &Path, seam: &IoSeam) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Self { file, seam: seam.clone() })
+    }
+
+    /// `File::sync_all` through the seam.
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        match self.seam.advance(IoOp::Sync) {
+            None => self.file.sync_all(),
+            Some(Fault::Err(m)) => Err(fault_err(m)),
+            Some(Fault::Interrupt) => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "simulated EINTR during fsync"))
+            }
+            Some(Fault::ShortWrite { .. }) => Err(fault_err("simulated fsync failure")),
+            Some(Fault::FlipBit { .. }) => self.file.sync_all(),
+        }
+    }
+
+    /// `File::set_len` through the seam.
+    pub(crate) fn set_len(&mut self, len: u64) -> io::Result<()> {
+        match self.seam.advance(IoOp::SetLen) {
+            None => self.file.set_len(len),
+            Some(Fault::Err(m)) => Err(fault_err(m)),
+            Some(Fault::Interrupt) => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "simulated EINTR during truncate"))
+            }
+            Some(Fault::ShortWrite { .. }) => Err(fault_err("simulated truncate failure")),
+            Some(Fault::FlipBit { .. }) => self.file.set_len(len),
+        }
+    }
+}
+
+impl Write for SeamFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.seam.advance(IoOp::Write) {
+            None => self.file.write(buf),
+            Some(Fault::Err(m)) => Err(fault_err(m)),
+            Some(Fault::Interrupt) => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "simulated EINTR during write"))
+            }
+            Some(Fault::ShortWrite { keep }) => {
+                let keep = keep.min(buf.len());
+                self.file.write_all(&buf[..keep])?;
+                Err(fault_err("simulated torn write: device failed mid-record"))
+            }
+            Some(Fault::FlipBit { offset, mask }) => {
+                let mut corrupted = buf.to_vec();
+                if !corrupted.is_empty() {
+                    let at = offset % corrupted.len();
+                    corrupted[at] ^= mask;
+                }
+                self.file.write_all(&corrupted)?;
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+impl Read for SeamFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.file.read(buf)
+    }
+}
+
+impl Seek for SeamFile {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.file.seek(pos)
+    }
+}
+
+/// `std::fs::rename` through the seam.
+pub(crate) fn seam_rename(seam: &IoSeam, from: &Path, to: &Path) -> io::Result<()> {
+    match seam.advance(IoOp::Rename) {
+        None => std::fs::rename(from, to),
+        Some(Fault::Err(m)) => Err(fault_err(m)),
+        Some(Fault::Interrupt) => {
+            Err(io::Error::new(io::ErrorKind::Interrupted, "simulated EINTR during rename"))
+        }
+        Some(Fault::ShortWrite { .. }) => Err(fault_err("simulated rename failure")),
+        Some(Fault::FlipBit { .. }) => std::fs::rename(from, to),
+    }
+}
+
+/// Fsyncs the directory containing a just-renamed file so the rename
+/// itself is durable, through the seam. A no-op on platforms where
+/// directories cannot be opened for syncing.
+pub(crate) fn seam_sync_dir(seam: &IoSeam, dir: &Path) -> io::Result<()> {
+    match seam.advance(IoOp::SyncDir) {
+        None => sync_dir(dir),
+        Some(Fault::Err(m)) => Err(fault_err(m)),
+        Some(Fault::Interrupt) => {
+            Err(io::Error::new(io::ErrorKind::Interrupted, "simulated EINTR during dir fsync"))
+        }
+        Some(Fault::ShortWrite { .. }) => Err(fault_err("simulated dir fsync failure")),
+        Some(Fault::FlipBit { .. }) => sync_dir(dir),
+    }
+}
+
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> io::Result<()> {
+    // Directory handles cannot be fsynced portably; rename-over-destination
+    // plus file fsync is the best available guarantee here.
+    Ok(())
+}
+
+/// The `PathBuf`-typed path of a seam-created temp sibling: `path` with
+/// `.tmp.<pid>` appended to its file name, in the same directory (so the
+/// final rename never crosses a filesystem boundary).
+pub(crate) fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_fires_on_nth_occurrence_and_log_records_order() {
+        let seam = IoSeam::none();
+        seam.inject(IoOp::Write, 1, Fault::Err("No space left on device"));
+        assert_eq!(seam.advance(IoOp::Write), None);
+        assert_eq!(seam.advance(IoOp::Sync), None);
+        assert_eq!(seam.advance(IoOp::Write), Some(Fault::Err("No space left on device")));
+        assert_eq!(seam.advance(IoOp::Write), None);
+        assert_eq!(seam.log(), vec![IoOp::Write, IoOp::Sync, IoOp::Write, IoOp::Write]);
+        assert_eq!(seam.unfired(), 0);
+    }
+
+    #[test]
+    fn interrupted_write_is_retried_by_write_all() {
+        let dir = std::env::temp_dir().join(format!("parambench-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("eintr.bin");
+        let seam = IoSeam::none();
+        seam.inject(IoOp::Write, 0, Fault::Interrupt);
+        let mut f = SeamFile::create(&path, &seam).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        // Two write attempts were made: the interrupted one and the retry.
+        assert_eq!(seam.log().iter().filter(|op| **op == IoOp::Write).count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_write_persists_prefix_then_fails() {
+        let dir = std::env::temp_dir().join(format!("parambench-fault-sw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.bin");
+        let seam = IoSeam::none();
+        seam.inject(IoOp::Write, 0, Fault::ShortWrite { keep: 3 });
+        let mut f = SeamFile::create(&path, &seam).unwrap();
+        let err = f.write_all(b"hello").unwrap_err();
+        assert!(err.to_string().contains("torn"), "unexpected error: {err}");
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hel");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,8 +34,9 @@ use crate::term::{Literal, LiteralKind, Term};
 pub const MAGIC: [u8; 8] = *b"PBRDFSNP";
 
 /// Current format version. Bumped on any layout change; loaders reject
-/// other versions with [`SnapshotError::UnsupportedVersion`].
-pub const VERSION: u32 = 1;
+/// other versions with [`SnapshotError::UnsupportedVersion`]. Version 2
+/// added the per-window checksum section ([`SEC_WINDOW_SUMS`]).
+pub const VERSION: u32 = 2;
 
 /// Byte length of the fixed header.
 pub const HEADER_LEN: usize = 32;
@@ -61,6 +62,12 @@ pub const SEC_NUMERIC_SET: u32 = 5;
 pub const SEC_STATS: u32 = 6;
 /// Characteristic sets ([`crate::stats::CharacteristicSets`]).
 pub const SEC_CHAR_SETS: u32 = 7;
+/// Per-window FNV-1a sums of every other section, enabling windowed
+/// checksum verification on load (`PARAMBENCH_SNAPSHOT_VERIFY=windowed`):
+/// `window_size` u64, section count u64, then per section (in table
+/// order) `kind` u32, zero pad u32, window count u64 and that many u64
+/// sums — window `i` covering payload bytes `[i*w, min((i+1)*w, len))`.
+pub const SEC_WINDOW_SUMS: u32 = 8;
 
 /// Base kind of the six sorted triple-key sections (`+ IndexOrder::slot()`).
 pub const SEC_TRIPLES_BASE: u32 = 16;
@@ -77,8 +84,10 @@ pub const fn sec_buckets(slot: usize) -> u32 {
     SEC_BUCKETS_BASE + slot as u32
 }
 
-/// Total number of sections a version-1 snapshot carries.
-pub const SECTION_COUNT: usize = 7 + 6 + 6;
+/// Total number of sections a current-version snapshot carries (seven
+/// metadata sections, the window-sums section, six key arrays and six
+/// bucket directories).
+pub const SECTION_COUNT: usize = 8 + 6 + 6;
 
 /// Human-readable name of a section kind (for error messages).
 pub fn section_name(kind: u32) -> &'static str {
@@ -90,6 +99,7 @@ pub fn section_name(kind: u32) -> &'static str {
         SEC_NUMERIC_SET => "numeric-bitmap",
         SEC_STATS => "stats",
         SEC_CHAR_SETS => "characteristic-sets",
+        SEC_WINDOW_SUMS => "window-sums",
         k if (SEC_TRIPLES_BASE..SEC_TRIPLES_BASE + 6).contains(&k) => "triples",
         k if (SEC_BUCKETS_BASE..SEC_BUCKETS_BASE + 6).contains(&k) => "buckets",
         _ => "unknown",

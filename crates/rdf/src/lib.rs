@@ -17,7 +17,10 @@
 //! reloaded with [`store::Dataset::load`], which maps the checksummed
 //! snapshot file and serves scans zero-copy from the mapped bytes — no
 //! dictionary reorder, no index sort, no per-triple decode (see the
-//! [`snapshot`] and [`mod@format`] modules).
+//! [`snapshot`] and [`mod@format`] modules). Live updates on top of the
+//! snapshot are made durable by the write-ahead journal ([`wal`]), whose
+//! commit/recovery protocol is exercised under injected I/O faults via
+//! the [`fault`] seam.
 //!
 //! ```
 //! use parambench_rdf::store::StoreBuilder;
@@ -35,6 +38,7 @@
 pub mod diag;
 pub mod dict;
 pub mod error;
+pub mod fault;
 pub mod format;
 pub mod index;
 pub mod ntriples;
@@ -43,9 +47,13 @@ pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod term;
+pub mod wal;
 
 pub use dict::{cmp_numeric, Dictionary, Id};
 pub use error::RdfError;
+pub use fault::{Fault, IoOp, IoSeam};
 pub use format::SnapshotError;
+pub use snapshot::VerifyMode;
 pub use store::{Dataset, IdPattern, StoreBuilder};
 pub use term::{Literal, LiteralKind, Term};
+pub use wal::{LoggedOp, Wal, WalError, WalRecord};

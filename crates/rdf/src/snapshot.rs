@@ -40,11 +40,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::dict::{Dictionary, Id};
+use crate::fault::{seam_rename, seam_sync_dir, temp_sibling, IoSeam, SeamFile};
 use crate::format::{
     decode_header_and_table, decode_term, encode_header_and_table, encode_term, fnv1a, sec_buckets,
     sec_triples, section_name, Dec, Fnv1a, SectionEntry, SnapshotError, FLAG_VALUE_TIES,
     HEADER_LEN, SECTION_COUNT, SEC_CHAR_SETS, SEC_META, SEC_NUMERIC, SEC_NUMERIC_SET, SEC_STATS,
-    SEC_TERM_BLOB, SEC_TERM_OFFSETS, TABLE_ENTRY_LEN,
+    SEC_TERM_BLOB, SEC_TERM_OFFSETS, SEC_WINDOW_SUMS, TABLE_ENTRY_LEN,
 };
 use crate::index::{Bucket, BucketStore, IndexOrder, KeyStore, PermIndex};
 use crate::stats::{CharacteristicSets, CsEntry, DatasetStats, PredicateStats};
@@ -62,6 +63,40 @@ pub const SNAPSHOT_FREEZE_ENV: &str = "PARAMBENCH_SNAPSHOT_FREEZE";
 /// and reads the snapshot into an aligned heap arena instead — the
 /// portable fallback path, forceable for testing.
 pub const SNAPSHOT_MMAP_ENV: &str = "PARAMBENCH_SNAPSHOT_MMAP";
+
+/// Env knob selecting how [`Dataset::load`] verifies checksums:
+/// `full` (the default, and what CI pins) hashes every section whole;
+/// `windowed` verifies the per-window sums section instead — same
+/// byte coverage, but failure granularity of one window, and the shape
+/// that lets stores much larger than RAM skip the up-front sequential
+/// read one day. Tests pass [`VerifyMode`] explicitly (the environment is
+/// process-global); the knob only picks the default.
+pub const SNAPSHOT_VERIFY_ENV: &str = "PARAMBENCH_SNAPSHOT_VERIFY";
+
+/// Window size (bytes) used when *writing* the per-window checksum
+/// section. Verification reads the size from the file, so this can change
+/// without a format bump.
+pub const VERIFY_WINDOW_BYTES: usize = 1 << 20;
+
+/// How [`Dataset::load`] verifies section payloads against their
+/// checksums. See [`SNAPSHOT_VERIFY_ENV`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Hash every section whole and compare with its table checksum.
+    Full,
+    /// Verify the window-sums section whole, then every section in
+    /// fixed-size windows against its recorded per-window sums.
+    Windowed,
+}
+
+/// The [`VerifyMode`] selected by [`SNAPSHOT_VERIFY_ENV`] (default:
+/// [`VerifyMode::Full`]). Read fresh per call like the other knobs.
+pub fn env_verify_mode() -> VerifyMode {
+    match std::env::var(SNAPSHOT_VERIFY_ENV).as_deref() {
+        Ok("windowed") | Ok("WINDOWED") => VerifyMode::Windowed,
+        _ => VerifyMode::Full,
+    }
+}
 
 pub(crate) fn freeze_roundtrip_enabled() -> bool {
     matches!(std::env::var(SNAPSHOT_FREEZE_ENV).as_deref(), Ok("1") | Ok("on") | Ok("true"))
@@ -320,11 +355,21 @@ impl<T: Plain> SectionSlice<T> {
 // Save
 // ---------------------------------------------------------------------------
 
-/// A checksumming, length-counting section writer.
+/// A checksumming, length-counting section writer that additionally folds
+/// the bytes into fixed-size window hashes for the window-sums section.
 struct Sink<'a, W: Write> {
     w: &'a mut W,
     hash: Fnv1a,
     written: u64,
+    /// Window size in bytes (the save-time [`VERIFY_WINDOW_BYTES`], or a
+    /// tiny test override).
+    window: usize,
+    /// Hash of the current (possibly partial) window.
+    win_hash: Fnv1a,
+    /// Bytes folded into `win_hash` so far.
+    win_fill: usize,
+    /// Completed window sums.
+    sums: Vec<u64>,
 }
 
 impl<W: Write> Sink<'_, W> {
@@ -332,24 +377,50 @@ impl<W: Write> Sink<'_, W> {
         self.w.write_all(bytes)?;
         self.hash.update(bytes);
         self.written += bytes.len() as u64;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let take = (self.window - self.win_fill).min(rest.len());
+            self.win_hash.update(&rest[..take]);
+            self.win_fill += take;
+            rest = &rest[take..];
+            if self.win_fill == self.window {
+                self.sums.push(std::mem::take(&mut self.win_hash).finish());
+                self.win_fill = 0;
+            }
+        }
         Ok(())
     }
 }
 
 /// Writes one section: runs `f` through a [`Sink`], records the table
-/// entry, and pads the stream to the next 8-byte boundary (padding is
-/// neither counted nor checksummed).
+/// entry and the section's per-window sums, and pads the stream to the
+/// next 8-byte boundary (padding is neither counted nor checksummed).
 fn emit<W: Write>(
     w: &mut W,
     pos: &mut u64,
     table: &mut Vec<SectionEntry>,
+    window_sums: &mut Vec<(u32, Vec<u64>)>,
+    window: usize,
     kind: u32,
     f: impl FnOnce(&mut Sink<'_, W>) -> std::io::Result<()>,
 ) -> std::io::Result<()> {
-    let mut sink = Sink { w, hash: Fnv1a::new(), written: 0 };
+    let mut sink = Sink {
+        w,
+        hash: Fnv1a::new(),
+        written: 0,
+        window,
+        win_hash: Fnv1a::new(),
+        win_fill: 0,
+        sums: Vec::new(),
+    };
     f(&mut sink)?;
     let (hash, written) = (sink.hash, sink.written);
+    let mut sums = sink.sums;
+    if sink.win_fill > 0 {
+        sums.push(sink.win_hash.finish());
+    }
     table.push(SectionEntry { kind, offset: *pos, len: written, checksum: hash.finish() });
+    window_sums.push((kind, sums));
     *pos += written;
     let pad = ((8 - (*pos % 8) as usize) % 8) as u64;
     w.write_all(&[0u8; 8][..pad as usize])?;
@@ -357,11 +428,13 @@ fn emit<W: Write>(
     Ok(())
 }
 
-fn save_to(ds: &Dataset, path: &Path) -> std::io::Result<()> {
-    let mut file = File::create(path)?;
+fn save_to(ds: &Dataset, path: &Path, window: usize, seam: &IoSeam) -> std::io::Result<()> {
+    assert!(window > 0, "window size must be positive");
+    let mut file = SeamFile::create(path, seam)?;
     let reserved = HEADER_LEN + SECTION_COUNT * TABLE_ENTRY_LEN;
     let mut pos = reserved as u64;
     let mut table: Vec<SectionEntry> = Vec::with_capacity(SECTION_COUNT);
+    let mut window_sums: Vec<(u32, Vec<u64>)> = Vec::with_capacity(SECTION_COUNT);
     {
         let mut w = BufWriter::new(&mut file);
         w.write_all(&vec![0u8; reserved])?;
@@ -370,7 +443,7 @@ fn save_to(ds: &Dataset, path: &Path) -> std::io::Result<()> {
         let triple_count = ds.indexes[0].len() as u64;
 
         // META: term count, triple count, flags.
-        emit(&mut w, &mut pos, &mut table, SEC_META, |s| {
+        emit(&mut w, &mut pos, &mut table, &mut window_sums, window, SEC_META, |s| {
             s.write(&(terms.len() as u64).to_le_bytes())?;
             s.write(&triple_count.to_le_bytes())?;
             s.write(&(if ties { FLAG_VALUE_TIES } else { 0u64 }).to_le_bytes())
@@ -384,16 +457,20 @@ fn save_to(ds: &Dataset, path: &Path) -> std::io::Result<()> {
             encode_term(t, &mut blob);
             offsets.extend_from_slice(&(blob.len() as u64).to_le_bytes());
         }
-        emit(&mut w, &mut pos, &mut table, SEC_TERM_OFFSETS, |s| s.write(&offsets))?;
-        emit(&mut w, &mut pos, &mut table, SEC_TERM_BLOB, |s| s.write(&blob))?;
-        emit(&mut w, &mut pos, &mut table, SEC_NUMERIC, |s| {
+        emit(&mut w, &mut pos, &mut table, &mut window_sums, window, SEC_TERM_OFFSETS, |s| {
+            s.write(&offsets)
+        })?;
+        emit(&mut w, &mut pos, &mut table, &mut window_sums, window, SEC_TERM_BLOB, |s| {
+            s.write(&blob)
+        })?;
+        emit(&mut w, &mut pos, &mut table, &mut window_sums, window, SEC_NUMERIC, |s| {
             let mut buf = Vec::with_capacity(numeric.len() * 8);
             for v in numeric {
                 buf.extend_from_slice(&v.to_bits().to_le_bytes());
             }
             s.write(&buf)
         })?;
-        emit(&mut w, &mut pos, &mut table, SEC_NUMERIC_SET, |s| {
+        emit(&mut w, &mut pos, &mut table, &mut window_sums, window, SEC_NUMERIC_SET, |s| {
             let mut buf = Vec::with_capacity(numeric_set.len() * 8);
             for word in numeric_set {
                 buf.extend_from_slice(&word.to_le_bytes());
@@ -405,7 +482,7 @@ fn save_to(ds: &Dataset, path: &Path) -> std::io::Result<()> {
         let stats = &ds.stats;
         let mut preds: Vec<Id> = stats.per_predicate().keys().copied().collect();
         preds.sort_unstable();
-        emit(&mut w, &mut pos, &mut table, SEC_STATS, |s| {
+        emit(&mut w, &mut pos, &mut table, &mut window_sums, window, SEC_STATS, |s| {
             let mut buf = Vec::with_capacity(32 + preds.len() * 32);
             buf.extend_from_slice(&(stats.total_triples as u64).to_le_bytes());
             buf.extend_from_slice(&(stats.distinct_subjects as u64).to_le_bytes());
@@ -423,7 +500,7 @@ fn save_to(ds: &Dataset, path: &Path) -> std::io::Result<()> {
         })?;
 
         // Characteristic sets (already sorted by predicate set).
-        emit(&mut w, &mut pos, &mut table, SEC_CHAR_SETS, |s| {
+        emit(&mut w, &mut pos, &mut table, &mut window_sums, window, SEC_CHAR_SETS, |s| {
             let entries = ds.char_sets.entries();
             let mut buf = Vec::new();
             buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
@@ -447,7 +524,7 @@ fn save_to(ds: &Dataset, path: &Path) -> std::io::Result<()> {
         // in bounded chunks so huge stores never buffer a whole section.
         for slot in 0..6 {
             let idx = &ds.indexes[slot];
-            emit(&mut w, &mut pos, &mut table, sec_triples(slot), |s| {
+            emit(&mut w, &mut pos, &mut table, &mut window_sums, window, sec_triples(slot), |s| {
                 let mut buf = Vec::with_capacity(12 * 4096);
                 for chunk in idx.keys().chunks(4096) {
                     buf.clear();
@@ -460,7 +537,7 @@ fn save_to(ds: &Dataset, path: &Path) -> std::io::Result<()> {
                 }
                 Ok(())
             })?;
-            emit(&mut w, &mut pos, &mut table, sec_buckets(slot), |s| {
+            emit(&mut w, &mut pos, &mut table, &mut window_sums, window, sec_buckets(slot), |s| {
                 let mut buf = Vec::with_capacity(8 * 4096);
                 for chunk in idx.buckets().chunks(4096) {
                     buf.clear();
@@ -473,12 +550,32 @@ fn save_to(ds: &Dataset, path: &Path) -> std::io::Result<()> {
                 Ok(())
             })?;
         }
+        // The per-window checksum section, last: every *other* section's
+        // window sums, in table order (its own whole-section checksum in
+        // the table is what windowed verification checks it against).
+        let mut sums_payload = Vec::new();
+        sums_payload.extend_from_slice(&(window as u64).to_le_bytes());
+        sums_payload.extend_from_slice(&(window_sums.len() as u64).to_le_bytes());
+        for (kind, sums) in &window_sums {
+            sums_payload.extend_from_slice(&kind.to_le_bytes());
+            sums_payload.extend_from_slice(&0u32.to_le_bytes());
+            sums_payload.extend_from_slice(&(sums.len() as u64).to_le_bytes());
+            for sum in sums {
+                sums_payload.extend_from_slice(&sum.to_le_bytes());
+            }
+        }
+        emit(&mut w, &mut pos, &mut table, &mut window_sums, window, SEC_WINDOW_SUMS, |s| {
+            s.write(&sums_payload)
+        })?;
         w.flush()?;
     }
     assert_eq!(table.len(), SECTION_COUNT, "section layout drifted from SECTION_COUNT");
     file.seek(SeekFrom::Start(0))?;
     file.write_all(&encode_header_and_table(pos, &table))?;
     file.flush()?;
+    // The validating header is down before the save is reported complete;
+    // the caller's rename-over-destination then makes publication atomic.
+    file.sync()?;
     Ok(())
 }
 
@@ -533,12 +630,72 @@ fn bucket_store(bytes: &Arc<SnapshotBytes>, e: SectionEntry) -> Result<BucketSto
     Ok(BucketStore::Heap(buckets))
 }
 
+/// Verifies every section in fixed-size windows against the window-sums
+/// section (whose own whole-section checksum must already have been
+/// verified). Byte coverage is identical to full verification; only the
+/// unit of comparison differs.
+fn verify_windowed(
+    data: &[u8],
+    table: &[SectionEntry],
+    sums: SectionEntry,
+) -> Result<(), SnapshotError> {
+    let payload = &data[sums.offset as usize..(sums.offset + sums.len) as usize];
+    let mut dec = Dec::new(payload, "window-sums");
+    let window = dec.u64()? as usize;
+    if window == 0 || window > 1 << 32 {
+        return Err(corrupt(format!("implausible verification window size {window}")));
+    }
+    let listed = dec.u64()? as usize;
+    if listed != table.len() - 1 {
+        return Err(corrupt(format!(
+            "window-sums lists {listed} sections, table holds {} others",
+            table.len() - 1
+        )));
+    }
+    for e in table.iter().filter(|e| e.kind != SEC_WINDOW_SUMS) {
+        let kind = dec.u32()?;
+        if kind != e.kind {
+            return Err(corrupt(format!(
+                "window-sums lists section {} where the table has {}",
+                section_name(kind),
+                section_name(e.kind)
+            )));
+        }
+        if dec.u32()? != 0 {
+            return Err(corrupt("window-sums padding must be zero"));
+        }
+        let count = dec.u64()? as usize;
+        if count != (e.len as usize).div_ceil(window) {
+            return Err(corrupt(format!(
+                "section {} of {} bytes needs {} windows of {window}, sums list {count}",
+                section_name(e.kind),
+                e.len,
+                (e.len as usize).div_ceil(window)
+            )));
+        }
+        let section = &data[e.offset as usize..(e.offset + e.len) as usize];
+        for win in section.chunks(window) {
+            if fnv1a(win) != dec.u64()? {
+                return Err(SnapshotError::ChecksumMismatch { section: section_name(e.kind) });
+            }
+        }
+    }
+    dec.done()
+}
+
 pub(crate) fn load_from(bytes: Arc<SnapshotBytes>) -> Result<Dataset, SnapshotError> {
+    load_from_with(bytes, env_verify_mode())
+}
+
+pub(crate) fn load_from_with(
+    bytes: Arc<SnapshotBytes>,
+    verify: VerifyMode,
+) -> Result<Dataset, SnapshotError> {
     let data = bytes.as_slice();
     let table = decode_header_and_table(data)?;
     if table.len() != SECTION_COUNT {
         return Err(corrupt(format!(
-            "version-1 snapshot must carry {SECTION_COUNT} sections, found {}",
+            "snapshot must carry {SECTION_COUNT} sections, found {}",
             table.len()
         )));
     }
@@ -548,11 +705,27 @@ pub(crate) fn load_from(bytes: Arc<SnapshotBytes>) -> Result<Dataset, SnapshotEr
             return Err(corrupt(format!("duplicate section {}", section_name(e.kind))));
         }
     }
-    // Every payload checksum is verified before any section is interpreted.
-    for e in &table {
-        let payload = &data[e.offset as usize..(e.offset + e.len) as usize];
-        if fnv1a(payload) != e.checksum {
-            return Err(SnapshotError::ChecksumMismatch { section: section_name(e.kind) });
+    // Every payload byte is checksum-verified before any section is
+    // interpreted — whole sections in full mode, fixed windows otherwise.
+    match verify {
+        VerifyMode::Full => {
+            for e in &table {
+                let payload = &data[e.offset as usize..(e.offset + e.len) as usize];
+                if fnv1a(payload) != e.checksum {
+                    return Err(SnapshotError::ChecksumMismatch { section: section_name(e.kind) });
+                }
+            }
+        }
+        VerifyMode::Windowed => {
+            let sums = by_kind
+                .get(&SEC_WINDOW_SUMS)
+                .copied()
+                .ok_or_else(|| corrupt("missing section window-sums"))?;
+            let payload = &data[sums.offset as usize..(sums.offset + sums.len) as usize];
+            if fnv1a(payload) != sums.checksum {
+                return Err(SnapshotError::ChecksumMismatch { section: section_name(sums.kind) });
+            }
+            verify_windowed(data, &table, sums)?;
         }
     }
     let find = |kind: u32| -> Result<SectionEntry, SnapshotError> {
@@ -753,15 +926,18 @@ pub(crate) fn load_from(bytes: Arc<SnapshotBytes>) -> Result<Dataset, SnapshotEr
         char_sets,
         overlay: crate::overlay::Overlay::default(),
         frozen_terms,
+        update_log: None,
     })
 }
 
 impl Dataset {
-    /// Persists this dataset as a snapshot at `path` (atomically ordered:
-    /// payload first, validating header last, so a crash mid-save leaves a
-    /// file that [`Dataset::load`] rejects as truncated or checksum-bad
-    /// rather than silently wrong). Snapshot bytes are deterministic: the
-    /// same dataset always serializes identically.
+    /// Persists this dataset as a snapshot at `path`, atomically: the
+    /// bytes are written and fsynced to a temp file in `path`'s directory
+    /// (payload first, validating header last), renamed over the
+    /// destination, and the directory is fsynced — a crash mid-save leaves
+    /// the previous snapshot at `path` untouched, never a half-written
+    /// file. Snapshot bytes are deterministic: the same dataset always
+    /// serializes identically.
     ///
     /// The snapshot format stores the frozen base only, so a dataset with
     /// *net* pending overlay updates is refused
@@ -775,6 +951,14 @@ impl Dataset {
     /// overflow ids as value-ordered and re-enable the sort elimination
     /// this store's [`Dataset::order_by_value_intact`] gate declines.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        self.save_with(path, &IoSeam::none())
+    }
+
+    /// [`Dataset::save`] with write-side I/O routed through a
+    /// fault-injection seam ([`crate::fault::IoSeam`]), exposing every
+    /// step of the atomic-publication protocol — temp-file writes, file
+    /// fsync, rename, directory fsync — to scripted failures.
+    pub fn save_with(&self, path: &Path, seam: &IoSeam) -> Result<(), SnapshotError> {
         if !self.overlay.net_empty() {
             return Err(SnapshotError::PendingUpdates {
                 adds: self.overlay.adds_len(),
@@ -786,11 +970,27 @@ impl Dataset {
                 overflow: self.dict.len() - self.frozen_terms,
             });
         }
-        save_to(self, path).map_err(|e| SnapshotError::Io {
-            op: "write snapshot",
+        let io_err = |op: &'static str, e: std::io::Error| SnapshotError::Io {
+            op,
             path: path.to_path_buf(),
             message: e.to_string(),
-        })
+        };
+        // Atomic publication: write and fsync a temp sibling, rename it
+        // over the destination, fsync the directory. A crash at any point
+        // leaves either the old complete snapshot or the new complete
+        // snapshot at `path` — never a torn hybrid — and a stray temp file
+        // at worst.
+        let tmp = temp_sibling(path);
+        if let Err(e) = save_to(self, &tmp, VERIFY_WINDOW_BYTES, seam) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io_err("write snapshot", e));
+        }
+        if let Err(e) = seam_rename(seam, &tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io_err("publish snapshot", e));
+        }
+        let dir = path.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(Path::new("."));
+        seam_sync_dir(seam, dir).map_err(|e| io_err("sync snapshot directory", e))
     }
 
     /// Loads a dataset saved by [`Dataset::save`], verifying the magic,
@@ -800,6 +1000,14 @@ impl Dataset {
     /// and the `PARAMBENCH_SNAPSHOT_MMAP` fallback knob).
     pub fn load(path: &Path) -> Result<Dataset, SnapshotError> {
         load_from(Arc::new(SnapshotBytes::open(path)?))
+    }
+
+    /// [`Dataset::load`] with the checksum [`VerifyMode`] chosen by the
+    /// caller instead of the [`SNAPSHOT_VERIFY_ENV`] knob (tests share the
+    /// process environment, so the explicit parameter is the reliable way
+    /// to pin a mode).
+    pub fn load_with_verify(path: &Path, verify: VerifyMode) -> Result<Dataset, SnapshotError> {
+        load_from_with(Arc::new(SnapshotBytes::open(path)?), verify)
     }
 }
 
@@ -994,6 +1202,102 @@ mod tests {
                 i - 1
             );
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Windowed verification must catch a flipped byte even when the
+    /// corrupted section spans many windows — and a tiny save-time window
+    /// forces the multi-window path on a small fixture.
+    #[test]
+    fn windowed_verification_catches_flipped_bytes_across_small_windows() {
+        let ds = sample();
+        let path = temp("windowed.pbsnap");
+        // A 32-byte window: the term blob and key sections span several.
+        save_to(&ds, &path, 32, &IoSeam::none()).expect("saves");
+        let clean = std::fs::read(&path).unwrap();
+        let loaded =
+            load_from_with(Arc::new(SnapshotBytes::arena(clean.clone())), VerifyMode::Windowed)
+                .expect("clean windowed load");
+        assert_same(&ds, &loaded);
+        // Flip one byte in every section's payload (first byte and a byte
+        // past the first window): windowed mode must reject each.
+        let table = decode_header_and_table(&clean).unwrap();
+        let mut rejected = 0;
+        for e in &table {
+            if e.len == 0 {
+                continue;
+            }
+            for probe in [0u64, 40, e.len - 1] {
+                if probe >= e.len {
+                    continue;
+                }
+                let mut corrupt = clean.clone();
+                corrupt[(e.offset + probe) as usize] ^= 0x20;
+                let err =
+                    load_from_with(Arc::new(SnapshotBytes::arena(corrupt)), VerifyMode::Windowed)
+                        .expect_err("flipped byte must be rejected in windowed mode");
+                assert!(
+                    matches!(
+                        err,
+                        SnapshotError::ChecksumMismatch { .. } | SnapshotError::Corrupt(_)
+                    ),
+                    "unexpected error class: {err}"
+                );
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 10, "the sweep must have exercised many sections ({rejected})");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The default-window save must also load under both verify modes.
+    #[test]
+    fn default_window_loads_under_both_verify_modes() {
+        let ds = sample();
+        let path = temp("verify-modes.pbsnap");
+        ds.save(&path).expect("saves");
+        let full = Dataset::load_with_verify(&path, VerifyMode::Full).expect("full");
+        let windowed = Dataset::load_with_verify(&path, VerifyMode::Windowed).expect("windowed");
+        assert_same(&full, &windowed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Atomic save: a crash (injected fault) during the write, the rename
+    /// or the directory fsync must leave the previous snapshot intact and
+    /// loadable, and no temp file behind on the write/rename paths.
+    #[test]
+    fn failed_save_leaves_previous_snapshot_intact() {
+        use crate::fault::{Fault, IoOp};
+        let old = sample();
+        let path = temp("atomic.pbsnap");
+        old.save(&path).expect("baseline saves");
+        let before = std::fs::read(&path).unwrap();
+
+        let mut newer = sample();
+        assert!(newer.insert(Term::iri("http://e/z"), Term::iri("http://e/p"), Term::integer(7)));
+        newer.compact();
+
+        for (op, at) in [(IoOp::Write, 0), (IoOp::Sync, 0), (IoOp::Rename, 0)] {
+            let seam = IoSeam::none();
+            seam.inject(op, at, Fault::Err("No space left on device"));
+            let err = newer.save_with(&path, &seam).expect_err("injected fault must surface");
+            assert!(matches!(err, SnapshotError::Io { .. }), "{err}");
+            assert_eq!(seam.unfired(), 0, "the scripted fault must have fired");
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                before,
+                "a failed save must leave the previous snapshot byte-identical"
+            );
+            assert!(
+                !temp_sibling(&path).exists(),
+                "a failed save must not leave its temp file behind"
+            );
+            Dataset::load(&path).expect("previous snapshot still loads");
+        }
+        // And the subsequent clean save publishes the new store.
+        newer.save(&path).expect("clean save succeeds");
+        let loaded = Dataset::load(&path).expect("loads");
+        assert_same(&newer, &loaded);
         std::fs::remove_file(&path).ok();
     }
 

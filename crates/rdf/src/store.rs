@@ -10,6 +10,7 @@ use crate::index::{IndexOrder, PermIndex};
 use crate::overlay::{MergedKeys, Overlay};
 use crate::stats::{CharacteristicSets, DatasetStats};
 use crate::term::Term;
+use crate::wal::LoggedOp;
 
 /// A triple pattern at the id level: `None` = wildcard position.
 pub type IdPattern = [Option<Id>; 3];
@@ -160,6 +161,7 @@ impl StoreBuilder {
             char_sets,
             overlay: Overlay::default(),
             frozen_terms,
+            update_log: None,
         }
     }
 }
@@ -195,6 +197,10 @@ pub struct Dataset {
     /// Dictionary length at freeze/load time: ids below are value-ordered,
     /// ids at or past it are post-freeze overflow terms.
     pub(crate) frozen_terms: usize,
+    /// When `Some`, every mutation that changes the visible set appends a
+    /// term-level [`LoggedOp`] here — the write-ahead journal's capture
+    /// channel (see [`Dataset::begin_update_log`]).
+    pub(crate) update_log: Option<Vec<LoggedOp>>,
 }
 
 impl Dataset {
@@ -645,10 +651,14 @@ impl Dataset {
     /// the visible set. Prefer [`Dataset::insert_batch`] for more than a
     /// handful of triples — the refresh is per call, not per triple.
     pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let logged = self.update_log.is_some().then(|| (s.clone(), p.clone(), o.clone()));
         let spo = [self.dict.encode(s), self.dict.encode(p), self.dict.encode(o)];
         let changed = self.insert_raw(spo);
         if changed {
             self.refresh_derived();
+            if let (Some(log), Some(triple)) = (self.update_log.as_mut(), logged) {
+                log.push(LoggedOp::Insert(vec![triple]));
+            }
         }
         changed
     }
@@ -657,14 +667,17 @@ impl Dataset {
     /// be visible — nothing is interned). Returns `true` if the visible
     /// set changed.
     pub fn delete(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
-        let (Some(s), Some(p), Some(o)) =
+        let (Some(si), Some(pi), Some(oi)) =
             (self.dict.lookup(s), self.dict.lookup(p), self.dict.lookup(o))
         else {
             return false;
         };
-        let changed = self.delete_raw([s, p, o]);
+        let changed = self.delete_raw([si, pi, oi]);
         if changed {
             self.refresh_derived();
+            if let Some(log) = self.update_log.as_mut() {
+                log.push(LoggedOp::Delete(vec![(s.clone(), p.clone(), o.clone())]));
+            }
         }
         changed
     }
@@ -674,15 +687,26 @@ impl Dataset {
     /// the overlay exceeds the stress-mode threshold (see
     /// [`OVERLAY_STRESS_ENV`]).
     pub fn insert_batch(&mut self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
+        let logging = self.update_log.is_some();
+        let mut logged = Vec::new();
         let mut changed = 0;
         for (s, p, o) in triples {
+            let capture = logging.then(|| (s.clone(), p.clone(), o.clone()));
             let spo = [self.dict.encode(s), self.dict.encode(p), self.dict.encode(o)];
             if self.insert_raw(spo) {
                 changed += 1;
+                if let Some(triple) = capture {
+                    logged.push(triple);
+                }
             }
         }
         if changed > 0 {
             self.refresh_derived();
+        }
+        if !logged.is_empty() {
+            if let Some(log) = self.update_log.as_mut() {
+                log.push(LoggedOp::Insert(logged));
+            }
         }
         self.maybe_auto_compact();
         changed
@@ -692,19 +716,29 @@ impl Dataset {
     /// set. One statistics refresh for the whole batch; auto-compacts like
     /// [`Dataset::insert_batch`].
     pub fn delete_batch(&mut self, triples: impl IntoIterator<Item = (Term, Term, Term)>) -> usize {
+        let logging = self.update_log.is_some();
+        let mut logged = Vec::new();
         let mut changed = 0;
         for (s, p, o) in triples {
-            let (Some(s), Some(p), Some(o)) =
+            let (Some(si), Some(pi), Some(oi)) =
                 (self.dict.lookup(&s), self.dict.lookup(&p), self.dict.lookup(&o))
             else {
                 continue;
             };
-            if self.delete_raw([s, p, o]) {
+            if self.delete_raw([si, pi, oi]) {
                 changed += 1;
+                if logging {
+                    logged.push((s, p, o));
+                }
             }
         }
         if changed > 0 {
             self.refresh_derived();
+        }
+        if !logged.is_empty() {
+            if let Some(log) = self.update_log.as_mut() {
+                log.push(LoggedOp::Delete(logged));
+            }
         }
         self.maybe_auto_compact();
         changed
@@ -732,7 +766,45 @@ impl Dataset {
         }
         let triples: Vec<[Id; 3]> = self.scan([None, None, None]).collect();
         let dict = std::mem::take(&mut self.dict);
+        // The re-freeze replaces `self` wholesale; carry the update log
+        // across it (with the compaction itself recorded, since replay
+        // must compact at the same point to reproduce dictionary order).
+        let mut log = self.update_log.take();
+        if let Some(log) = log.as_mut() {
+            log.push(LoggedOp::Compact);
+        }
         *self = StoreBuilder { dict, triples }.freeze_in_memory();
+        self.update_log = log;
+    }
+
+    /// Starts capturing mutations as term-level [`LoggedOp`]s. While
+    /// active, every mutation that changes the visible set appends the
+    /// changed triples (and every real compaction a [`LoggedOp::Compact`])
+    /// to the log, in application order. Replaying the captured ops via
+    /// [`Dataset::apply_logged`] onto a copy of the pre-mutation store
+    /// reproduces this store exactly — ids, overlay, statistics and all —
+    /// which is what makes the write-ahead journal's recovery bit-exact.
+    pub fn begin_update_log(&mut self) {
+        self.update_log = Some(Vec::new());
+    }
+
+    /// Stops capturing and returns the ops logged since
+    /// [`Dataset::begin_update_log`] (empty if capture was never started).
+    pub fn take_update_log(&mut self) -> Vec<LoggedOp> {
+        self.update_log.take().unwrap_or_default()
+    }
+
+    /// Applies one replayed operation through the same mutation APIs the
+    /// live store used. Returns how many triples changed the visible set.
+    pub fn apply_logged(&mut self, op: &LoggedOp) -> usize {
+        match op {
+            LoggedOp::Insert(triples) => self.insert_batch(triples.iter().cloned()),
+            LoggedOp::Delete(triples) => self.delete_batch(triples.iter().cloned()),
+            LoggedOp::Compact => {
+                self.compact();
+                0
+            }
+        }
     }
 
     /// Applies one insert to the overlay (no statistics refresh). Returns

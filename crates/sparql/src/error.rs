@@ -69,6 +69,11 @@ pub enum QueryError {
     /// Opening a persisted store snapshot failed (missing file, foreign
     /// bytes, checksum mismatch — see [`parambench_rdf::SnapshotError`]).
     Snapshot(parambench_rdf::SnapshotError),
+    /// The write-ahead journal failed (append I/O, corrupt record on
+    /// recovery, orphaned journal — see [`parambench_rdf::WalError`]). An
+    /// update that surfaces this was **not** committed: the served store
+    /// and the journal are both unchanged.
+    Wal(parambench_rdf::WalError),
 }
 
 impl From<ExecError> for QueryError {
@@ -83,6 +88,12 @@ impl From<parambench_rdf::SnapshotError> for QueryError {
     }
 }
 
+impl From<parambench_rdf::WalError> for QueryError {
+    fn from(e: parambench_rdf::WalError) -> Self {
+        QueryError::Wal(e)
+    }
+}
+
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -93,6 +104,7 @@ impl fmt::Display for QueryError {
             QueryError::BindingMismatch(msg) => write!(f, "binding mismatch: {msg}"),
             QueryError::Exec(e) => write!(f, "execution error: {e}"),
             QueryError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            QueryError::Wal(e) => write!(f, "journal error: {e}"),
         }
     }
 }

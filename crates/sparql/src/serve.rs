@@ -28,16 +28,36 @@
 //! differential suite asserts.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use parambench_rdf::fault::IoSeam;
 use parambench_rdf::store::Dataset;
+use parambench_rdf::wal::{self, Wal, WalError};
 
 use crate::engine::{Engine, PlanClass, Prepared, QueryOutput, RowStream};
 use crate::error::QueryError;
 use crate::exec::{ExecConfig, PoolStats, WorkerPool};
 use crate::template::{Binding, QueryTemplate};
+
+/// Snapshot file name inside a durable store directory.
+pub const SNAPSHOT_FILE: &str = "store.pbsnap";
+
+/// Write-ahead journal file name inside a durable store directory.
+pub const JOURNAL_FILE: &str = "store.wal";
+
+/// Env knob (`1`/`on`/`true`): every [`SparqlServer::new`] attaches a
+/// write-ahead journal in a private temp directory, so the whole test
+/// suite journals every update — and on drop each server is reopened
+/// through the recovery replay path and compared against the live store.
+/// The suite-wide durability pass, mirroring `PARAMBENCH_OVERLAY_STRESS`.
+pub const WAL_STRESS_ENV: &str = "PARAMBENCH_WAL";
+
+fn wal_stress_enabled() -> bool {
+    matches!(std::env::var(WAL_STRESS_ENV).as_deref(), Ok("1") | Ok("on") | Ok("true"))
+}
 
 /// Configuration of a [`SparqlServer`].
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +113,19 @@ struct Gate {
     waiting: usize,
 }
 
+/// The durable half of a server: its write-ahead journal, the snapshot
+/// it replays over, and the I/O seam both write through.
+struct Durability {
+    wal: Wal,
+    snapshot: PathBuf,
+    dir: PathBuf,
+    seam: IoSeam,
+    /// Attached by the `PARAMBENCH_WAL=1` env knob: the directory is
+    /// private and temporary, and drop runs the recovery-echo check then
+    /// removes it.
+    stress: bool,
+}
+
 /// A shared-store query server: one dataset, one plan cache, one worker
 /// pool, any number of client threads. See the [module docs](self).
 pub struct SparqlServer {
@@ -110,11 +143,38 @@ pub struct SparqlServer {
     gate: Mutex<Gate>,
     admitted: Condvar,
     counters: Counters,
+    /// `Some` on a durable server ([`SparqlServer::open_durable`] /
+    /// [`SparqlServer::create_durable`], or the `PARAMBENCH_WAL` stress
+    /// knob): updates journal through it before they are published.
+    durability: Option<Durability>,
+    /// Journal records replayed by [`SparqlServer::open_durable`].
+    recovered: u64,
 }
 
 impl SparqlServer {
     /// Builds a server over a shared dataset.
+    ///
+    /// Under `PARAMBENCH_WAL=1` (see [`WAL_STRESS_ENV`]) the server also
+    /// attaches a write-ahead journal in a private temp directory, so every
+    /// update in the process journals and every server drop exercises the
+    /// crash-recovery replay path.
     pub fn new(ds: Arc<Dataset>, config: ServeConfig) -> Self {
+        let mut server = Self::with_durability(ds, config, None, 0);
+        if wal_stress_enabled() {
+            server.attach_stress_durability();
+        }
+        server
+    }
+
+    /// The real constructor: every public entry point funnels here, and
+    /// only [`SparqlServer::new`] layers the env-driven stress attach on
+    /// top (so durable constructors never double-attach).
+    fn with_durability(
+        ds: Arc<Dataset>,
+        config: ServeConfig,
+        durability: Option<Durability>,
+        recovered: u64,
+    ) -> Self {
         let max_concurrent = config.max_concurrent.max(1);
         let pool = WorkerPool::leak(config.pool_capacity);
         let exec = ExecConfig {
@@ -132,6 +192,8 @@ impl SparqlServer {
             gate: Mutex::new(Gate::default()),
             admitted: Condvar::new(),
             counters: Counters::default(),
+            durability,
+            recovered,
         }
     }
 
@@ -144,6 +206,90 @@ impl SparqlServer {
     pub fn open(path: &std::path::Path, config: ServeConfig) -> Result<Self, QueryError> {
         let ds = Dataset::load(path)?;
         Ok(Self::new(Arc::new(ds), config))
+    }
+
+    /// Creates a durable store directory from a dataset and serves it:
+    /// saves the snapshot (`store.pbsnap`), starts an empty journal
+    /// (`store.wal`), and journals every subsequent update before
+    /// publishing it. A stale journal left in the directory is discarded —
+    /// `create` means "this dataset is the new truth".
+    pub fn create_durable(
+        ds: Arc<Dataset>,
+        dir: &Path,
+        config: ServeConfig,
+    ) -> Result<Self, QueryError> {
+        Self::create_durable_with_seam(ds, dir, config, &IoSeam::none())
+    }
+
+    /// [`SparqlServer::create_durable`] with an injectable I/O seam
+    /// ([`IoSeam`]) — the fault-injection entry point the crash-recovery
+    /// suite drives.
+    pub fn create_durable_with_seam(
+        ds: Arc<Dataset>,
+        dir: &Path,
+        config: ServeConfig,
+        seam: &IoSeam,
+    ) -> Result<Self, QueryError> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            QueryError::Snapshot(parambench_rdf::SnapshotError::Io {
+                op: "create store directory",
+                path: dir.to_path_buf(),
+                message: e.to_string(),
+            })
+        })?;
+        let snapshot = dir.join(SNAPSHOT_FILE);
+        let journal = dir.join(JOURNAL_FILE);
+        if journal.exists() {
+            std::fs::remove_file(&journal).map_err(|e| {
+                QueryError::Wal(WalError::Io {
+                    op: "discard stale journal",
+                    path: journal.clone(),
+                    message: e.to_string(),
+                })
+            })?;
+        }
+        ds.save_with(&snapshot, seam)?;
+        let (wal, _) = Wal::open_with_seam(&journal, seam)?;
+        let durability =
+            Durability { wal, snapshot, dir: dir.to_path_buf(), seam: seam.clone(), stress: false };
+        Ok(Self::with_durability(ds, config, Some(durability), 0))
+    }
+
+    /// Reopens a durable store directory after a shutdown or crash: maps
+    /// the snapshot, scans the journal (truncating a torn tail to the last
+    /// committed record — see [`parambench_rdf::wal`]), and replays every
+    /// committed record over the snapshot. The reopened server is
+    /// bit-identical to the pre-crash live store for every committed
+    /// update: same rows, same row order, same deterministic counters,
+    /// same plan signatures.
+    ///
+    /// A journal without its snapshot is typed
+    /// ([`WalError::OrphanJournal`]), not silently treated as empty: the
+    /// journal only makes sense relative to the snapshot it was logged
+    /// against. Any non-torn journal corruption also surfaces as a typed
+    /// [`QueryError::Wal`] — never a panic, never silent data loss.
+    pub fn open_durable(dir: &Path, config: ServeConfig) -> Result<Self, QueryError> {
+        Self::open_durable_with_seam(dir, config, &IoSeam::none())
+    }
+
+    /// [`SparqlServer::open_durable`] with an injectable I/O seam.
+    pub fn open_durable_with_seam(
+        dir: &Path,
+        config: ServeConfig,
+        seam: &IoSeam,
+    ) -> Result<Self, QueryError> {
+        let snapshot = dir.join(SNAPSHOT_FILE);
+        let journal = dir.join(JOURNAL_FILE);
+        if !snapshot.exists() && journal.exists() {
+            return Err(QueryError::Wal(WalError::OrphanJournal { journal, snapshot }));
+        }
+        let mut ds = Dataset::load(&snapshot)?;
+        let (wal, records) = Wal::open_with_seam(&journal, seam)?;
+        let recovered = records.len() as u64;
+        wal::replay(&mut ds, &records);
+        let durability =
+            Durability { wal, snapshot, dir: dir.to_path_buf(), seam: seam.clone(), stress: false };
+        Ok(Self::with_durability(Arc::new(ds), config, Some(durability), recovered))
     }
 
     /// The shared dataset.
@@ -169,14 +315,47 @@ impl SparqlServer {
     /// dictionary ids, so none may be rebound afterwards. The next request
     /// per `(template, class)` key re-prepares against the updated store.
     ///
+    /// The infallible convenience form of [`SparqlServer::try_update`]: on
+    /// a non-durable server it cannot fail; on a durable server a journal
+    /// append failure panics (the update was not committed — use
+    /// `try_update` to handle [`QueryError::Wal`] as a value).
+    pub fn update<R>(&mut self, f: impl FnOnce(&mut Dataset) -> R) -> R {
+        self.try_update(f).unwrap_or_else(|e| panic!("durable update failed: {e}"))
+    }
+
+    /// Applies a store mutation with full commit discipline.
+    ///
+    /// The closure runs against a **private copy-on-write clone** of the
+    /// served dataset, never the served dataset itself. The clone is
+    /// published — and the epoch bumped, the plan cache invalidated — only
+    /// after everything succeeded, which yields two guarantees:
+    ///
+    /// * **Panic safety**: if the closure panics, the clone is dropped
+    ///   mid-unwind and the server still serves the pre-update store, with
+    ///   its plan cache, epoch and journal untouched.
+    /// * **Journal-before-publish** (durable servers): the ops the closure
+    ///   actually performed (captured term-level by the store's update
+    ///   log) are appended to the write-ahead journal and fsynced *before*
+    ///   the clone is published. If the append fails, the error is
+    ///   returned and neither the served store nor the journal changed —
+    ///   an acknowledged update is on disk, a failed one never happened.
+    ///
     /// Requires `&mut self`, which statically excludes in-flight
     /// [`ServedQuery`] streams (they borrow the server) — an update can
-    /// never mutate a dataset a running query is scanning. If the dataset
-    /// `Arc` is additionally shared outside the server, the mutation works
-    /// on a private copy-on-write clone ([`Arc::make_mut`]) and external
-    /// holders keep the pre-update store.
-    pub fn update<R>(&mut self, f: impl FnOnce(&mut Dataset) -> R) -> R {
-        let result = f(Arc::make_mut(&mut self.ds));
+    /// never mutate a dataset a running query is scanning. External
+    /// holders of the dataset `Arc` keep the pre-update store either way.
+    pub fn try_update<R>(&mut self, f: impl FnOnce(&mut Dataset) -> R) -> Result<R, QueryError> {
+        let mut next = Arc::new((*self.ds).clone());
+        let working = Arc::get_mut(&mut next).expect("freshly cloned Arc is unique");
+        if self.durability.is_some() {
+            working.begin_update_log();
+        }
+        let result = f(working);
+        let ops = working.take_update_log();
+        if let Some(d) = self.durability.as_mut() {
+            d.wal.append(&ops)?;
+        }
+        self.ds = next;
         self.epoch.fetch_add(1, Ordering::Relaxed);
         let invalidated = {
             let mut cache = self.cache.lock().expect("plan cache poisoned");
@@ -185,7 +364,51 @@ impl SparqlServer {
             n
         };
         self.counters.plan_invalidations.fetch_add(invalidated, Ordering::Relaxed);
-        result
+        Ok(result)
+    }
+
+    /// Checkpoints a durable server: compacts the overlay into the frozen
+    /// store (journaled like any update, so a crash mid-checkpoint still
+    /// replays to the right state), atomically replaces the snapshot with
+    /// the compacted store, and truncates the journal back to its header.
+    /// After a checkpoint, reopening the directory replays zero records.
+    ///
+    /// Crash safety between the snapshot publish and the journal
+    /// truncation: the new snapshot already *contains* every journaled
+    /// update, and replay is idempotent (per-triple last-op semantics), so
+    /// replaying the stale journal over the new snapshot reproduces the
+    /// same visible set.
+    ///
+    /// On a non-durable server this is just a compaction.
+    pub fn checkpoint(&mut self) -> Result<(), QueryError> {
+        self.try_update(|ds| ds.compact())?;
+        let Some(d) = self.durability.as_mut() else { return Ok(()) };
+        self.ds.save_with(&d.snapshot, &d.seam)?;
+        d.wal.reset()?;
+        Ok(())
+    }
+
+    /// Whether updates on this server are journaled (see
+    /// [`SparqlServer::open_durable`]).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable store directory, if any.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Committed journal length in bytes (the file header counts; an empty
+    /// journal is 16 bytes). Zero on a non-durable server.
+    pub fn journal_len(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.wal.committed_len())
+    }
+
+    /// Journal records replayed when this server was opened with
+    /// [`SparqlServer::open_durable`] (zero for every other constructor).
+    pub fn recovered_records(&self) -> u64 {
+        self.recovered
     }
 
     /// Serves one template instantiation, returning a streaming result.
@@ -282,6 +505,83 @@ impl SparqlServer {
         gate.running += 1;
         AdmissionPermit { server: self }
     }
+
+    /// `PARAMBENCH_WAL=1` attach: snapshot the current dataset into a
+    /// private temp directory and journal every subsequent update there.
+    /// Skipped silently when the dataset refuses to save (pending overlay
+    /// updates or overflow terms on a hand-built store) — the knob must
+    /// never change which servers can be constructed.
+    fn attach_stress_durability(&mut self) {
+        static STRESS_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = STRESS_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("parambench-walstress-{}-{seq}", std::process::id()));
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let snapshot = dir.join(SNAPSHOT_FILE);
+        let seam = IoSeam::none();
+        if self.ds.save_with(&snapshot, &seam).is_err() {
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+        let journal = dir.join(JOURNAL_FILE);
+        let Ok((wal, _)) = Wal::open_with_seam(&journal, &seam) else {
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        };
+        self.durability = Some(Durability { wal, snapshot, dir, seam, stress: true });
+    }
+}
+
+impl Drop for SparqlServer {
+    /// On a stress-attached server (`PARAMBENCH_WAL=1`), reopens the temp
+    /// store through the full crash-recovery path — map snapshot, scan
+    /// journal, replay — and asserts the recovered store serves the same
+    /// visible triple set and stats as the live one, then removes the temp
+    /// directory. This turns the entire test suite into a durability
+    /// differential. Skipped while panicking (don't mask the real
+    /// failure); plain and durable servers are unaffected.
+    fn drop(&mut self) {
+        let Some(d) = self.durability.take() else { return };
+        if !d.stress {
+            return;
+        }
+        let dir = d.dir.clone();
+        drop(d); // close the journal file handle before reopening
+        if !std::thread::panicking() {
+            verify_recovery_echo(&self.ds, &dir);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The recovery-echo check behind `PARAMBENCH_WAL=1`: replay the journal
+/// over the snapshot and compare against the live store. Comparison is
+/// term-level (decoded triples, sorted) because dictionary ids may
+/// legitimately diverge when live and recovered stores auto-compact at
+/// different points.
+fn verify_recovery_echo(live: &Dataset, dir: &Path) {
+    let mut recovered = Dataset::load(&dir.join(SNAPSHOT_FILE)).expect("wal stress: snapshot");
+    let (_wal, records) = Wal::open(&dir.join(JOURNAL_FILE)).expect("wal stress: journal reopens");
+    wal::replay(&mut recovered, &records);
+    assert_eq!(
+        recovered.stats().total_triples,
+        live.stats().total_triples,
+        "wal stress: recovered triple count diverged from live store"
+    );
+    assert_eq!(
+        visible_terms(&recovered),
+        visible_terms(live),
+        "wal stress: recovered visible set diverged from live store"
+    );
+}
+
+/// The decoded visible triple set of a dataset, id-independent.
+fn visible_terms(ds: &Dataset) -> std::collections::BTreeSet<String> {
+    ds.scan([None, None, None])
+        .map(|[s, p, o]| format!("{:?}\t{:?}\t{:?}", ds.decode(s), ds.decode(p), ds.decode(o)))
+        .collect()
 }
 
 /// RAII admission slot: releasing it (on drop) wakes one queued request.
